@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 15 - wall-clock speedup per scene vs the percentage of pixels
+ * traced (RTX 2060, no GPU downscaling), plus the fitted power-law
+ * speedup model corresponding to the paper's equation (4):
+ * speedup(perc) = 181 * perc^-1.15.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/regression.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace zatel;
+    using namespace zatel::bench;
+
+    BenchOptions options = benchOptions();
+    gpusim::GpuConfig sweep_target = sweepConfig(options);
+    printHeader("Fig. 15: running-time speedup vs % pixels traced",
+                options);
+
+    std::vector<int> percents = sweepPercents(options);
+    std::vector<std::string> header{"Scene"};
+    for (int p : percents)
+        header.push_back(std::to_string(p) + "%");
+    AsciiTable table(header);
+
+    gpusim::GpuConfig config = sweep_target;
+    std::printf("sweep target: %s (paper plots the RTX 2060; both configs share the trends)\n",
+                config.name.c_str());
+    std::vector<double> all_percents, all_speedups;
+    CsvWriter csv;
+    csv.setHeader({"scene", "percent", "speedup"});
+
+    for (rt::SceneId id : benchScenes(options)) {
+        PreparedScene prepared(id);
+        core::ZatelParams params = defaultParams(options);
+        params.downscaleGpu = false;
+
+        core::ZatelPredictor oracle_runner(prepared.scene, prepared.bvh,
+                                           config, params);
+        std::printf("[%s] oracle...\n", prepared.scene.name().c_str());
+        core::OracleResult oracle = oracle_runner.runOracle();
+
+        std::vector<std::string> row{prepared.scene.name()};
+        for (int percent : percents) {
+            params.selector.fixedFraction = percent / 100.0;
+            core::ZatelPredictor predictor(prepared.scene, prepared.bvh,
+                                           config, params);
+            core::ZatelResult result = predictor.predict();
+            double speedup =
+                oracle.wallSeconds / (result.simWallSeconds + 1e-9);
+            row.push_back(AsciiTable::num(speedup, 1) + "x");
+            csv.addRow({prepared.scene.name(), std::to_string(percent),
+                        CsvWriter::formatDouble(speedup)});
+            all_percents.push_back(percent);
+            all_speedups.push_back(speedup);
+        }
+        table.addRow(row);
+        std::printf("[%s] sweep done\n", prepared.scene.name().c_str());
+    }
+
+    std::printf("\n%s", table.toString().c_str());
+    writeBenchCsv("fig15_speedup", csv);
+
+    PowerFit fit = fitPowerLaw(all_percents, all_speedups);
+    std::printf("\nfitted model over all scenes: speedup(perc) = %.1f * "
+                "perc^%.2f  (r2 in log space %.3f)\npaper equation (4): "
+                "speedup(perc) = 181 * perc^-1.15 for perc >= 10%%.\n"
+                "Shape to check: speedups are similar across scenes at "
+                "each percentage and converge to ~1x at\nhigh "
+                "percentages, following a power law in the traced "
+                "percentage.\n",
+                fit.scale, fit.exponent, fit.r2);
+    return 0;
+}

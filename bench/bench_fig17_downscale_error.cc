@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 17 - metric error vs downscaling factor K on LumiBench's
+ * representative scene subset, comparing fine-grained and coarse-grained
+ * image-plane division (Mobile SoC base config scaled K in {2, 4}; the
+ * RTX 2060 adds K = {2, 3, 6}). All pixels of each group are traced so
+ * the effect isolated is GPU downscaling + grouping.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hh"
+#include "util/math_utils.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace zatel;
+using namespace zatel::bench;
+using core::DivisionMethod;
+using gpusim::Metric;
+
+/** Factors that divide both SM and partition counts of @p config. */
+std::vector<uint32_t>
+validFactors(const gpusim::GpuConfig &config)
+{
+    std::vector<uint32_t> factors;
+    for (uint32_t k = 2; k <= 6; ++k) {
+        if (config.numSms % k == 0 && config.numMemPartitions % k == 0)
+            factors.push_back(k);
+    }
+    return factors;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchOptions options = benchOptions();
+    printHeader("Fig. 17: error vs downscaling factor K (representative "
+                "scene subset)",
+                options);
+
+    gpusim::GpuConfig config = gpusim::GpuConfig::rtx2060();
+    std::vector<uint32_t> factors = validFactors(config);
+
+    std::vector<rt::SceneId> scenes = rt::representativeSubset();
+    if (options.quick)
+        scenes.resize(std::min<size_t>(scenes.size(), 2));
+
+    for (DivisionMethod method :
+         {DivisionMethod::FineGrained, DivisionMethod::CoarseGrained}) {
+        std::vector<std::string> header{"Metric"};
+        for (uint32_t k : factors)
+            header.push_back("K=" + std::to_string(k));
+        AsciiTable table(header);
+
+        // errors[metric][k] = per-scene samples.
+        std::map<Metric, std::map<uint32_t, std::vector<double>>> errors;
+
+        for (rt::SceneId id : scenes) {
+            PreparedScene prepared(id);
+            core::ZatelParams params = defaultParams(options);
+            params.partition.method = method;
+            // Trace every pixel of each group: isolate downscaling.
+            params.selector.fixedFraction = 1.0;
+
+            core::ZatelPredictor oracle_runner(prepared.scene,
+                                               prepared.bvh, config,
+                                               params);
+            core::OracleResult oracle = oracle_runner.runOracle();
+
+            for (uint32_t k : factors) {
+                params.forcedK = k;
+                core::ZatelPredictor predictor(prepared.scene,
+                                               prepared.bvh, config,
+                                               params);
+                auto rows = core::compareToOracle(
+                    predictor.predict().predicted, oracle.stats);
+                for (const core::ComparisonRow &row : rows)
+                    errors[row.metric][k].push_back(row.errorPct);
+            }
+            std::printf("[%s/%s] done\n",
+                        core::divisionMethodName(method),
+                        prepared.scene.name().c_str());
+        }
+
+        for (Metric metric : gpusim::allMetrics()) {
+            std::vector<std::string> row{gpusim::metricName(metric)};
+            for (uint32_t k : factors)
+                row.push_back(AsciiTable::pct(mean(errors[metric][k])));
+            table.addRow(row);
+        }
+        std::printf("\n%s division:\n%s",
+                    core::divisionMethodName(method),
+                    table.toString().c_str());
+    }
+
+    std::printf("\nPaper reference: with fine-grained division the "
+                "cycles/IPC errors stay under 12%% even at K=6\n(tracing "
+                "only 16.7%% of pixels per instance), while DRAM "
+                "efficiency degrades (~20%% MAE) because\nread/write "
+                "traffic does not scale linearly with partitions. "
+                "Fine-grained division is lower and\nmore stable than "
+                "coarse-grained.\n");
+    return 0;
+}

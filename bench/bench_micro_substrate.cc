@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the substrates: BVH build and
+ * traversal, K-Means quantization, the tag cache, the DRAM channel and
+ * a small end-to-end timed simulation. These bound the cost of each
+ * pipeline stage and catch performance regressions in the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpusim/cache.hh"
+#include "gpusim/dram.hh"
+#include "gpusim/gpu.hh"
+#include "heatmap/heatmap.hh"
+#include "heatmap/kmeans.hh"
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+std::vector<rt::Triangle>
+soup(int count)
+{
+    Rng rng(17);
+    rt::MeshBuilder mesh;
+    mesh.addTriangleSoup(rng, {0.0f, 0.0f, 0.0f}, 10.0f, count, 0.8f, 0);
+    return mesh.takeTriangles();
+}
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    std::vector<rt::Triangle> tris = soup(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        rt::Bvh bvh;
+        bvh.build(tris);
+        benchmark::DoNotOptimize(bvh.nodeCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BvhBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void
+BM_BvhClosestHit(benchmark::State &state)
+{
+    std::vector<rt::Triangle> tris = soup(static_cast<int>(state.range(0)));
+    rt::Bvh bvh;
+    bvh.build(tris);
+    Rng rng(23);
+    for (auto _ : state) {
+        rt::Ray ray;
+        ray.origin = {static_cast<float>(rng.nextDouble(-12.0, 12.0)),
+                      static_cast<float>(rng.nextDouble(-12.0, 12.0)),
+                      20.0f};
+        ray.direction = normalize(rt::Vec3{
+            static_cast<float>(rng.nextDouble(-0.5, 0.5)),
+            static_cast<float>(rng.nextDouble(-0.5, 0.5)), -1.0f});
+        benchmark::DoNotOptimize(rt::closestHit(bvh, ray));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BvhClosestHit)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void
+BM_FunctionalRender(benchmark::State &state)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Bunny);
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+    uint32_t res = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        rt::RenderResult render = tracer.render(res, res);
+        benchmark::DoNotOptimize(render.profiles.size());
+    }
+    state.SetItemsProcessed(state.iterations() * res * res);
+}
+BENCHMARK(BM_FunctionalRender)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_KMeansQuantize(benchmark::State &state)
+{
+    uint32_t res = static_cast<uint32_t>(state.range(0));
+    std::vector<double> costs(static_cast<size_t>(res) * res);
+    Rng rng(29);
+    for (double &c : costs)
+        c = rng.nextDouble();
+    heatmap::Heatmap map = heatmap::Heatmap::fromCosts(res, res, costs);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            heatmap::QuantizedHeatmap::quantize(map, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * res * res);
+}
+BENCHMARK(BM_KMeansQuantize)->Arg(64)->Arg(128);
+
+void
+BM_TagCacheAccess(benchmark::State &state)
+{
+    gpusim::TagCache cache(64 * 1024, 128, 0); // the L1D shape
+    Rng rng(31);
+    bool dirty = false;
+    for (auto _ : state) {
+        uint64_t line = rng.nextBounded(1024) * 128;
+        if (!cache.access(line))
+            cache.fill(line, false, dirty);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagCacheAccess);
+
+void
+BM_DramChannel(benchmark::State &state)
+{
+    gpusim::GpuConfig config = gpusim::GpuConfig::rtx2060();
+    for (auto _ : state) {
+        state.PauseTiming();
+        gpusim::DramChannel dram(config);
+        state.ResumeTiming();
+        std::vector<gpusim::MemRequest> completed;
+        uint64_t cycle = 0;
+        for (int i = 0; i < 16; ++i) {
+            gpusim::MemRequest req;
+            req.lineAddr = i * 128;
+            dram.enqueue(req, cycle);
+        }
+        while (!dram.idle())
+            dram.tick(cycle++, completed);
+        benchmark::DoNotOptimize(completed.size());
+    }
+}
+BENCHMARK(BM_DramChannel);
+
+void
+BM_TimedSimulation(benchmark::State &state)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Spnza);
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+    uint32_t res = static_cast<uint32_t>(state.range(0));
+    gpusim::GpuConfig config = gpusim::GpuConfig::mobileSoc();
+    for (auto _ : state) {
+        gpusim::GpuStats stats =
+            gpusim::simulateFullFrame(config, tracer, res, res);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * res * res);
+}
+BENCHMARK(BM_TimedSimulation)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Simulated physical address layout.
+ *
+ * The scene's data structures are assigned fixed regions so that cache and
+ * DRAM behaviour is deterministic: BVH nodes, triangle data, material
+ * records and the framebuffer each live in their own region. Partition
+ * selection interleaves cache lines across memory partitions, matching
+ * the line-interleaved address hashing of real GPUs.
+ */
+
+#ifndef ZATEL_GPUSIM_ADDRESS_MAP_HH
+#define ZATEL_GPUSIM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+namespace zatel::gpusim
+{
+
+/** Static address-space layout helpers. */
+struct AddressMap
+{
+    static constexpr uint64_t kBvhBase = 0x1000'0000ull;
+    /** BVH nodes are padded to 64B, two per 128B line. */
+    static constexpr uint64_t kBvhNodeStride = 64;
+
+    static constexpr uint64_t kTriangleBase = 0x2000'0000ull;
+    /** Triangle record: 3 vertices + material = 48B, padded to 64B. */
+    static constexpr uint64_t kTriangleStride = 64;
+
+    static constexpr uint64_t kMaterialBase = 0x3000'0000ull;
+    static constexpr uint64_t kMaterialStride = 32;
+
+    static constexpr uint64_t kFramebufferBase = 0x4000'0000ull;
+    /** RGBA float per pixel. */
+    static constexpr uint64_t kFramebufferStride = 16;
+
+    static uint64_t
+    bvhNodeAddress(uint32_t node_index)
+    {
+        return kBvhBase + static_cast<uint64_t>(node_index) * kBvhNodeStride;
+    }
+
+    static uint64_t
+    triangleAddress(uint32_t prim_slot)
+    {
+        return kTriangleBase +
+               static_cast<uint64_t>(prim_slot) * kTriangleStride;
+    }
+
+    static uint64_t
+    materialAddress(uint16_t material_id)
+    {
+        return kMaterialBase +
+               static_cast<uint64_t>(material_id) * kMaterialStride;
+    }
+
+    static uint64_t
+    framebufferAddress(uint32_t pixel_index)
+    {
+        return kFramebufferBase +
+               static_cast<uint64_t>(pixel_index) * kFramebufferStride;
+    }
+
+    /** Align @p addr down to its cache line. */
+    static uint64_t
+    lineOf(uint64_t addr, uint32_t line_bytes)
+    {
+        return addr & ~static_cast<uint64_t>(line_bytes - 1);
+    }
+
+    /** Line-interleaved partition selection. */
+    static uint32_t
+    partitionOf(uint64_t addr, uint32_t line_bytes, uint32_t num_partitions)
+    {
+        return static_cast<uint32_t>((addr / line_bytes) % num_partitions);
+    }
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_ADDRESS_MAP_HH

@@ -1,0 +1,126 @@
+#include "gpusim/cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+TagCache::TagCache(uint64_t size_bytes, uint32_t line_bytes, uint32_t assoc)
+    : lineBytes_(line_bytes)
+{
+    ZATEL_ASSERT(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+                 "line size must be a power of two");
+    uint64_t lines = std::max<uint64_t>(1, size_bytes / line_bytes);
+    if (assoc == 0 || assoc >= lines) {
+        // Fully associative: one set holding every line.
+        assoc_ = static_cast<uint32_t>(lines);
+        numSets_ = 1;
+    } else {
+        assoc_ = assoc;
+        numSets_ = static_cast<uint32_t>(std::max<uint64_t>(1, lines / assoc));
+    }
+    ways_.resize(static_cast<size_t>(numSets_) * assoc_);
+}
+
+uint32_t
+TagCache::setOf(uint64_t line_addr) const
+{
+    return static_cast<uint32_t>((line_addr / lineBytes_) % numSets_);
+}
+
+TagCache::Way *
+TagCache::findWay(uint64_t line_addr)
+{
+    auto it = index_.find(line_addr);
+    if (it == index_.end())
+        return nullptr;
+    return &ways_[it->second];
+}
+
+const TagCache::Way *
+TagCache::findWay(uint64_t line_addr) const
+{
+    return const_cast<TagCache *>(this)->findWay(line_addr);
+}
+
+bool
+TagCache::access(uint64_t line_addr)
+{
+    ++stats_.accesses;
+    Way *way = findWay(line_addr);
+    if (way) {
+        ++stats_.hits;
+        way->lastUse = ++useCounter_;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+TagCache::contains(uint64_t line_addr) const
+{
+    return findWay(line_addr) != nullptr;
+}
+
+bool
+TagCache::fill(uint64_t line_addr, bool dirty, bool &evicted_dirty)
+{
+    evicted_dirty = false;
+    Way *existing = findWay(line_addr);
+    if (existing) {
+        existing->lastUse = ++useCounter_;
+        existing->dirty = existing->dirty || dirty;
+        return false;
+    }
+
+    uint32_t set = setOf(line_addr);
+    Way *base = &ways_[static_cast<size_t>(set) * assoc_];
+    Way *victim = nullptr;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    bool evicted = victim->valid;
+    if (evicted) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.dirtyEvictions;
+            evicted_dirty = true;
+        }
+        index_.erase(victim->tag);
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = dirty;
+    victim->lastUse = ++useCounter_;
+    index_.emplace(line_addr,
+                   static_cast<uint32_t>(victim - ways_.data()));
+    return evicted;
+}
+
+void
+TagCache::markDirty(uint64_t line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (way)
+        way->dirty = true;
+}
+
+uint64_t
+TagCache::residentLines() const
+{
+    uint64_t count = 0;
+    for (const Way &way : ways_)
+        count += way.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace zatel::gpusim

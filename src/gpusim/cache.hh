@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tag-array cache model (used for both the per-SM L1D and the per-
+ * partition L2 slices). Data values are never stored — only tags — since
+ * the functional result comes from the replayed traversal.
+ */
+
+#ifndef ZATEL_GPUSIM_CACHE_HH
+#define ZATEL_GPUSIM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace zatel::gpusim
+{
+
+/**
+ * Set-associative LRU tag cache (assoc == 0 selects fully associative).
+ *
+ * All addresses passed in must already be line aligned.
+ */
+class TagCache
+{
+  public:
+    /** Per-instance access statistics. */
+    struct Stats
+    {
+        uint64_t accesses = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        uint64_t dirtyEvictions = 0;
+    };
+
+    /**
+     * @param size_bytes Total capacity.
+     * @param line_bytes Line size (power of two).
+     * @param assoc Ways per set; 0 = fully associative.
+     */
+    TagCache(uint64_t size_bytes, uint32_t line_bytes, uint32_t assoc);
+
+    /**
+     * Look up @p line_addr, updating LRU and hit/miss stats.
+     * @return true on hit.
+     */
+    bool access(uint64_t line_addr);
+
+    /** Non-statistical peek (no LRU update, no counters). */
+    bool contains(uint64_t line_addr) const;
+
+    /**
+     * Insert @p line_addr (evicting LRU if needed).
+     * @param dirty Mark the inserted line dirty (stores).
+     * @param evicted_dirty Out: true when a dirty victim was evicted.
+     * @return true when a victim line was evicted.
+     */
+    bool fill(uint64_t line_addr, bool dirty, bool &evicted_dirty);
+
+    /** Mark an existing line dirty; no-op when absent. */
+    void markDirty(uint64_t line_addr);
+
+    const Stats &stats() const { return stats_; }
+    uint32_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return assoc_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Lines currently resident (for tests). */
+    uint64_t residentLines() const;
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t setOf(uint64_t line_addr) const;
+    Way *findWay(uint64_t line_addr);
+    const Way *findWay(uint64_t line_addr) const;
+
+    /** line address -> index into ways_ (valid entries only). */
+    std::unordered_map<uint64_t, uint32_t> index_;
+
+    uint32_t lineBytes_;
+    uint32_t assoc_;
+    uint32_t numSets_;
+    std::vector<Way> ways_; // numSets_ x assoc_
+    uint64_t useCounter_ = 0;
+    Stats stats_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_CACHE_HH

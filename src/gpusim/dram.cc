@@ -1,0 +1,76 @@
+#include "gpusim/dram.hh"
+
+namespace zatel::gpusim
+{
+
+DramChannel::DramChannel(const GpuConfig &config)
+    : queueSize_(config.dramQueueSize),
+      latencyCycles_(config.dramLatencyCycles),
+      burstCycles_(config.dramBurstCycles()),
+      lineBytes_(config.l2LineBytes)
+{
+}
+
+bool
+DramChannel::enqueue(const MemRequest &request, uint64_t now)
+{
+    if (queue_.size() >= queueSize_)
+        return false;
+    queue_.push_back({request, now});
+    return true;
+}
+
+void
+DramChannel::tick(uint64_t now, std::vector<MemRequest> &completed)
+{
+    bool has_work = bursting_ || !queue_.empty();
+    if (has_work)
+        ++stats_.activeCycles;
+
+    if (bursting_) {
+        ++stats_.busyCycles;
+        if (now + 1 >= burstEnd_) {
+            // Burst finishes at the end of this cycle.
+            bursting_ = false;
+            if (inFlight_.isWrite) {
+                stats_.bytesWritten += lineBytes_;
+                ++stats_.writes;
+            } else {
+                stats_.bytesRead += lineBytes_;
+                ++stats_.reads;
+                inFlight_.readyCycle = now + 1;
+                completed.push_back(inFlight_);
+            }
+        }
+        return;
+    }
+
+    if (queue_.empty())
+        return;
+
+    // Start the next request once its access latency has elapsed.
+    const Entry &head = queue_.front();
+    if (now < head.arrival + latencyCycles_)
+        return;
+
+    inFlight_ = head.request;
+    queue_.pop_front();
+    bursting_ = true;
+    burstEnd_ = now + burstCycles_;
+    // The burst's first cycle is this one.
+    ++stats_.busyCycles;
+    if (now + 1 >= burstEnd_) {
+        bursting_ = false;
+        if (inFlight_.isWrite) {
+            stats_.bytesWritten += lineBytes_;
+            ++stats_.writes;
+        } else {
+            stats_.bytesRead += lineBytes_;
+            ++stats_.reads;
+            inFlight_.readyCycle = now + 1;
+            completed.push_back(inFlight_);
+        }
+    }
+}
+
+} // namespace zatel::gpusim

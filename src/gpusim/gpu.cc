@@ -1,0 +1,150 @@
+#include "gpusim/gpu.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+Gpu::Gpu(const GpuConfig &config, const SimWorkload &workload)
+    : config_(config), workload_(workload), memory_(config)
+{
+    config_.validate();
+    ZATEL_ASSERT(workload.bvh != nullptr, "workload has no BVH");
+
+    sms_.reserve(config_.numSms);
+    for (uint32_t s = 0; s < config_.numSms; ++s)
+        sms_.push_back(std::make_unique<Sm>(s, &config_, &memory_));
+
+    buildWarps();
+}
+
+void
+Gpu::buildWarps()
+{
+    uint32_t n = static_cast<uint32_t>(workload_.threads.size());
+    uint32_t warp_id = 0;
+    for (uint32_t begin = 0; begin < n; begin += config_.warpSize) {
+        uint32_t end = std::min(n, begin + config_.warpSize);
+        pendingWarps_.push_back(std::make_unique<Warp>(
+            warp_id++, &config_, &workload_, begin, end));
+    }
+}
+
+void
+Gpu::setProgressCallback(uint64_t interval, ProgressCallback callback)
+{
+    ZATEL_ASSERT(interval > 0, "progress interval must be positive");
+    progressInterval_ = interval;
+    progressCallback_ = std::move(callback);
+}
+
+GpuStats
+Gpu::snapshotStats(uint64_t cycle) const
+{
+    GpuStats stats;
+    stats.cycles = cycle;
+    for (const auto &sm : sms_)
+        sm->accumulateStats(stats);
+    stats.cycles = cycle;
+    memory_.accumulateStats(stats);
+    return stats;
+}
+
+GpuStats
+Gpu::run(uint64_t max_cycles)
+{
+    ZATEL_ASSERT(!ran_, "Gpu::run() is single-use");
+    ran_ = true;
+
+    uint64_t cycle = 0;
+    for (; cycle < max_cycles; ++cycle) {
+        // Early-stop probe for sampled-simulation baselines.
+        if (progressCallback_ && cycle > 0 &&
+            cycle % progressInterval_ == 0) {
+            if (progressCallback_(cycle, snapshotStats(cycle))) {
+                stoppedEarly_ = true;
+                break;
+            }
+        }
+
+        // 1. Dispatch pending warps into free SM slots (round-robin).
+        while (!pendingWarps_.empty()) {
+            bool placed = false;
+            for (uint32_t i = 0; i < config_.numSms && !pendingWarps_.empty();
+                 ++i) {
+                uint32_t s = (nextLaunchSm_ + i) % config_.numSms;
+                if (sms_[s]->hasFreeSlot()) {
+                    sms_[s]->launchWarp(std::move(pendingWarps_.front()));
+                    pendingWarps_.pop_front();
+                    ++launchedWarps_;
+                    nextLaunchSm_ = (s + 1) % config_.numSms;
+                    placed = true;
+                }
+            }
+            if (!placed)
+                break;
+        }
+
+        // 2. Advance the memory system, then the SMs.
+        memory_.tick(cycle);
+        for (auto &sm : sms_)
+            sm->tick(cycle);
+
+        // 3. Termination check (cheap: counters only).
+        if (pendingWarps_.empty() && memory_.idle()) {
+            bool all_idle = true;
+            for (auto &sm : sms_) {
+                if (!sm->idle()) {
+                    all_idle = false;
+                    break;
+                }
+            }
+            if (all_idle) {
+                ++cycle; // count this final cycle
+                break;
+            }
+        }
+    }
+
+    if (cycle >= max_cycles)
+        panic("simulation exceeded ", max_cycles,
+              " cycles; likely a deadlock");
+
+    GpuStats stats = snapshotStats(cycle);
+
+    for (const ThreadWork &thread : workload_.threads) {
+        if (thread.selected)
+            ++stats.pixelsTraced;
+        else
+            ++stats.pixelsFiltered;
+        stats.raysTraced += thread.record.rays.size();
+    }
+    return stats;
+}
+
+StatsReport
+Gpu::statsReport() const
+{
+    ZATEL_ASSERT(ran_, "statsReport() requires a completed run()");
+    StatsReport report;
+    for (size_t s = 0; s < sms_.size(); ++s)
+        sms_[s]->reportInto(report, "sm" + std::to_string(s));
+    for (uint32_t p = 0; p < memory_.numPartitions(); ++p)
+        memory_.partition(p).reportInto(report,
+                                        "mem" + std::to_string(p));
+    return report;
+}
+
+GpuStats
+simulateFullFrame(const GpuConfig &config, const rt::Tracer &tracer,
+                  uint32_t width, uint32_t height)
+{
+    SimWorkload workload =
+        SimWorkload::buildFullFrame(tracer, width, height);
+    Gpu gpu(config, workload);
+    return gpu.run();
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Top-level cycle-driven GPU simulator (the Vulkan-Sim analogue).
+ *
+ * Construct with a configuration and a workload, call run(), and read the
+ * resulting GpuStats. Warps are formed from consecutive runs of warpSize
+ * threads in workload order and dispatched to SMs as slots free up.
+ */
+
+#ifndef ZATEL_GPUSIM_GPU_HH
+#define ZATEL_GPUSIM_GPU_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/memory_system.hh"
+#include "gpusim/sm.hh"
+#include "gpusim/stats.hh"
+#include "gpusim/stats_report.hh"
+#include "gpusim/workload.hh"
+
+namespace zatel::gpusim
+{
+
+/** One simulator instance. Single-use: construct, run(), read stats. */
+class Gpu
+{
+  public:
+    /**
+     * @param config Machine description (validated on construction).
+     * @param workload Pixels to trace; must outlive the Gpu.
+     */
+    Gpu(const GpuConfig &config, const SimWorkload &workload);
+
+    /**
+     * Called every progressInterval cycles with a statistics snapshot;
+     * returning true stops the simulation early (sampled-simulation
+     * baselines like PKA's Principal Kernel Projection use this).
+     */
+    using ProgressCallback =
+        std::function<bool(uint64_t cycle, const GpuStats &snapshot)>;
+
+    /** Install an early-stop probe. @pre interval > 0. */
+    void setProgressCallback(uint64_t interval, ProgressCallback callback);
+
+    /**
+     * Simulate until every warp retires (or the progress callback asks
+     * to stop).
+     * @param max_cycles Safety limit; exceeding it is a fatal error
+     *        (indicates a deadlock bug, not a user mistake).
+     * @return final statistics including all Table I metrics.
+     */
+    GpuStats run(uint64_t max_cycles = 4'000'000'000ull);
+
+    /** True when the last run() was cut short by the callback. */
+    bool stoppedEarly() const { return stoppedEarly_; }
+
+    const GpuConfig &config() const { return config_; }
+
+    /**
+     * Per-component counter breakdown (gem5-style dump).
+     * @pre run() has completed.
+     */
+    StatsReport statsReport() const;
+
+    /** Number of warps the workload forms. */
+    uint32_t totalWarps() const
+    {
+        return static_cast<uint32_t>(pendingWarps_.size()) + launchedWarps_;
+    }
+
+  private:
+    void buildWarps();
+
+    /** Aggregate current counters into a snapshot at @p cycle. */
+    GpuStats snapshotStats(uint64_t cycle) const;
+
+    GpuConfig config_;
+    const SimWorkload &workload_;
+    MemorySystem memory_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::deque<std::unique_ptr<Warp>> pendingWarps_;
+    uint32_t launchedWarps_ = 0;
+    uint32_t nextLaunchSm_ = 0;
+    bool ran_ = false;
+    bool stoppedEarly_ = false;
+    uint64_t progressInterval_ = 0;
+    ProgressCallback progressCallback_;
+};
+
+/**
+ * Convenience wrapper: build a full-frame workload for @p tracer and
+ * simulate it on @p config.
+ */
+GpuStats simulateFullFrame(const GpuConfig &config, const rt::Tracer &tracer,
+                           uint32_t width, uint32_t height);
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_GPU_HH

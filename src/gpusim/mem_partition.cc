@@ -1,0 +1,161 @@
+#include "gpusim/mem_partition.hh"
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+MemPartition::MemPartition(const GpuConfig &config, uint32_t index)
+    : index_(index), l2Latency_(config.l2LatencyCycles),
+      l2_(config.l2SliceBytes(), config.l2LineBytes, config.l2Assoc),
+      l2Mshr_(config.l2MshrSize), dram_(config)
+{
+}
+
+void
+MemPartition::enqueue(const MemRequest &request)
+{
+    incoming_.push_back(request);
+}
+
+bool
+MemPartition::idle() const
+{
+    return incoming_.empty() && dram_.idle() && l2Mshr_.occupancy() == 0 &&
+           pendingWritebacks_.empty();
+}
+
+void
+MemPartition::writebackDirtyLine(uint64_t line_addr, uint64_t now)
+{
+    MemRequest writeback;
+    writeback.lineAddr = line_addr;
+    writeback.isWrite = true;
+    writeback.srcSm = 0;
+    writeback.readyCycle = now;
+    if (!dram_.enqueue(writeback, now))
+        pendingWritebacks_.push_back(writeback);
+}
+
+bool
+MemPartition::processRequest(const MemRequest &request, uint64_t now,
+                             std::vector<MemResponse> &responses)
+{
+    if (request.isWrite) {
+        // Write-allocate into L2; dirty evictions go back to DRAM.
+        l2_.access(request.lineAddr); // counts the store access
+        bool evicted_dirty = false;
+        l2_.fill(request.lineAddr, /*dirty=*/true, evicted_dirty);
+        if (evicted_dirty) {
+            // The victim address is unknown to the tag model at this
+            // point; model the writeback cost with the new line's
+            // address (same partition, same burst size).
+            writebackDirtyLine(request.lineAddr ^ 0x80000000ull, now);
+        }
+        return true;
+    }
+
+    // HIT_RESERVED: an in-flight line counts as a hit (no new DRAM
+    // traffic); the requester is attached to the existing MSHR entry.
+    uint64_t waiter = request.srcSm;
+    if (l2Mshr_.pending(request.lineAddr)) {
+        ++l2ReservedHits_;
+        l2Mshr_.request(request.lineAddr, waiter);
+        return true;
+    }
+
+    if (l2_.contains(request.lineAddr)) {
+        l2_.access(request.lineAddr); // counts the hit, updates LRU
+        MemResponse response;
+        response.lineAddr = request.lineAddr;
+        response.dstSm = request.srcSm;
+        response.readyCycle = now + l2Latency_;
+        responses.push_back(response);
+        return true;
+    }
+
+    // L2 miss: allocate an MSHR entry, then go to DRAM. Check resources
+    // before counting so retried requests are counted exactly once.
+    if (l2Mshr_.full() || dram_.queueFull())
+        return false;
+    l2_.access(request.lineAddr); // counts the miss
+
+    MshrTable::Outcome outcome = l2Mshr_.request(request.lineAddr, waiter);
+    ZATEL_ASSERT(outcome == MshrTable::Outcome::Allocated,
+                 "expected a fresh L2 MSHR entry");
+    MemRequest dram_read = request;
+    dram_read.readyCycle = now;
+    bool accepted = dram_.enqueue(dram_read, now);
+    ZATEL_ASSERT(accepted, "DRAM queue accepted after full check");
+    return true;
+}
+
+void
+MemPartition::tick(uint64_t now, std::vector<MemResponse> &responses)
+{
+    // 1. Retry queued dirty writebacks.
+    while (!pendingWritebacks_.empty() && !dram_.queueFull()) {
+        dram_.enqueue(pendingWritebacks_.front(), now);
+        pendingWritebacks_.pop_front();
+    }
+
+    // 2. Service incoming requests (bounded per cycle).
+    uint32_t serviced = 0;
+    while (!incoming_.empty() && serviced < maxRequestsPerCycle_) {
+        const MemRequest &head = incoming_.front();
+        if (head.readyCycle > now)
+            break;
+        if (!processRequest(head, now, responses))
+            break; // resource full: retry next cycle, preserve order
+        incoming_.pop_front();
+        ++serviced;
+    }
+
+    // 3. Advance DRAM; apply read completions.
+    dramCompleted_.clear();
+    dram_.tick(now, dramCompleted_);
+    for (const MemRequest &completed : dramCompleted_) {
+        bool evicted_dirty = false;
+        l2_.fill(completed.lineAddr, /*dirty=*/false, evicted_dirty);
+        if (evicted_dirty)
+            writebackDirtyLine(completed.lineAddr ^ 0x80000000ull, now);
+
+        for (uint64_t waiter : l2Mshr_.fill(completed.lineAddr)) {
+            MemResponse response;
+            response.lineAddr = completed.lineAddr;
+            response.dstSm = static_cast<uint32_t>(waiter);
+            response.readyCycle = now + 1;
+            responses.push_back(response);
+        }
+    }
+}
+
+void
+MemPartition::reportInto(StatsReport &report,
+                         const std::string &prefix) const
+{
+    const TagCache::Stats &l2 = l2_.stats();
+    report.add(prefix + ".l2.accesses",
+               static_cast<double>(l2.accesses + l2ReservedHits_));
+    report.add(prefix + ".l2.hits",
+               static_cast<double>(l2.hits + l2ReservedHits_));
+    report.add(prefix + ".l2.misses", static_cast<double>(l2.misses));
+    report.add(prefix + ".l2.reserved_hits",
+               static_cast<double>(l2ReservedHits_));
+    report.add(prefix + ".l2.dirty_evictions",
+               static_cast<double>(l2.dirtyEvictions));
+
+    const DramChannel::Stats &dram = dram_.stats();
+    report.add(prefix + ".dram.busy_cycles",
+               static_cast<double>(dram.busyCycles));
+    report.add(prefix + ".dram.active_cycles",
+               static_cast<double>(dram.activeCycles));
+    report.add(prefix + ".dram.reads", static_cast<double>(dram.reads));
+    report.add(prefix + ".dram.writes", static_cast<double>(dram.writes));
+    report.add(prefix + ".dram.bytes_read",
+               static_cast<double>(dram.bytesRead));
+    report.add(prefix + ".dram.bytes_written",
+               static_cast<double>(dram.bytesWritten));
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Memory partition: an L2 cache slice plus a DRAM channel behind it
+ * (one box on the right side of Vulkan-Sim's Fig. 2). Downscaling the
+ * partition count proportionally shrinks both LLC capacity and peak DRAM
+ * bandwidth, exactly as paper Section III-C describes.
+ */
+
+#ifndef ZATEL_GPUSIM_MEM_PARTITION_HH
+#define ZATEL_GPUSIM_MEM_PARTITION_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gpusim/cache.hh"
+#include "gpusim/config.hh"
+#include "gpusim/dram.hh"
+#include "gpusim/mem_types.hh"
+#include "gpusim/mshr.hh"
+#include "gpusim/stats_report.hh"
+
+namespace zatel::gpusim
+{
+
+/** One memory partition (L2 slice + DRAM channel). */
+class MemPartition
+{
+  public:
+    MemPartition(const GpuConfig &config, uint32_t index);
+
+    /** Queue a request from the interconnect. */
+    void enqueue(const MemRequest &request);
+
+    /**
+     * Advance one cycle. Fills destined for SMs are appended to
+     * @p responses with partition-exit timestamps (NoC latency is added
+     * by the caller).
+     */
+    void tick(uint64_t now, std::vector<MemResponse> &responses);
+
+    bool idle() const;
+
+    const TagCache &l2() const { return l2_; }
+
+    /** Append this partition's counters to @p report under @p prefix. */
+    void reportInto(StatsReport &report, const std::string &prefix) const;
+
+    /** Requests satisfied by merging into an in-flight MSHR entry. */
+    uint64_t l2ReservedHits() const { return l2ReservedHits_; }
+    const DramChannel &dram() const { return dram_; }
+    uint32_t index() const { return index_; }
+
+  private:
+    /** L2 lookup for one request; returns false when it must retry. */
+    bool processRequest(const MemRequest &request, uint64_t now,
+                        std::vector<MemResponse> &responses);
+
+    void writebackDirtyLine(uint64_t line_addr, uint64_t now);
+
+    uint32_t index_;
+    uint32_t l2Latency_;
+    uint64_t l2ReservedHits_ = 0;
+    uint32_t maxRequestsPerCycle_ = 2;
+
+    TagCache l2_;
+    MshrTable l2Mshr_;
+    DramChannel dram_;
+
+    /** Requests that arrived over the NoC, FIFO by ready cycle. */
+    std::deque<MemRequest> incoming_;
+    /** DRAM read completions to apply. */
+    std::vector<MemRequest> dramCompleted_;
+    /** Dirty writebacks waiting for a free DRAM queue slot. */
+    std::deque<MemRequest> pendingWritebacks_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_MEM_PARTITION_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared request/response types for the simulated memory hierarchy.
+ */
+
+#ifndef ZATEL_GPUSIM_MEM_TYPES_HH
+#define ZATEL_GPUSIM_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace zatel::gpusim
+{
+
+/** A line-granular memory request travelling SM -> partition. */
+struct MemRequest
+{
+    uint64_t lineAddr = 0;
+    uint32_t srcSm = 0;
+    bool isWrite = false;
+    /** Cycle at which the request becomes visible at its next stop. */
+    uint64_t readyCycle = 0;
+};
+
+/** A fill travelling partition -> SM. */
+struct MemResponse
+{
+    uint64_t lineAddr = 0;
+    uint32_t dstSm = 0;
+    uint64_t readyCycle = 0;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_MEM_TYPES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Device-level memory system: routes line requests from SMs across the
+ * interconnect to line-interleaved memory partitions and delivers fills
+ * back to the requesting SM.
+ */
+
+#ifndef ZATEL_GPUSIM_MEMORY_SYSTEM_HH
+#define ZATEL_GPUSIM_MEMORY_SYSTEM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/mem_partition.hh"
+#include "gpusim/mem_types.hh"
+#include "gpusim/stats.hh"
+
+namespace zatel::gpusim
+{
+
+/** Interconnect + all memory partitions. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &config);
+
+    /** Route a read from SM @p src_sm; always accepted (NoC is elastic). */
+    void sendRead(uint32_t src_sm, uint64_t line_addr, uint64_t now);
+
+    /** Route a write (fire-and-forget). */
+    void sendWrite(uint32_t src_sm, uint64_t line_addr, uint64_t now);
+
+    /** Advance partitions and response delivery one cycle. */
+    void tick(uint64_t now);
+
+    /**
+     * Drain fills that are ready for @p sm at cycle @p now.
+     * Returned vector is reused across calls; consume immediately.
+     */
+    const std::vector<uint64_t> &drainFills(uint32_t sm, uint64_t now);
+
+    /** True when no requests are anywhere in flight. */
+    bool idle() const;
+
+    /** Aggregate L2 + DRAM counters into @p stats. */
+    void accumulateStats(GpuStats &stats) const;
+
+    uint32_t numPartitions() const
+    {
+        return static_cast<uint32_t>(partitions_.size());
+    }
+
+    const MemPartition &partition(uint32_t index) const
+    {
+        return partitions_[index];
+    }
+
+  private:
+    struct PendingFill
+    {
+        uint64_t readyCycle;
+        uint64_t lineAddr;
+
+        bool
+        operator>(const PendingFill &o) const
+        {
+            return readyCycle > o.readyCycle;
+        }
+    };
+
+    GpuConfig config_;
+    std::vector<MemPartition> partitions_;
+    /** Min-heap of fills per destination SM. */
+    std::vector<std::priority_queue<PendingFill, std::vector<PendingFill>,
+                                    std::greater<PendingFill>>>
+        fillQueues_;
+    std::vector<MemResponse> responseScratch_;
+    std::vector<uint64_t> drainScratch_;
+    uint64_t inFlightResponses_ = 0;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_MEMORY_SYSTEM_HH

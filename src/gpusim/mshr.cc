@@ -1,0 +1,48 @@
+#include "gpusim/mshr.hh"
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+MshrTable::MshrTable(uint32_t capacity) : capacity_(capacity)
+{
+    ZATEL_ASSERT(capacity > 0, "MSHR capacity must be > 0");
+}
+
+MshrTable::Outcome
+MshrTable::request(uint64_t line_addr, uint64_t waiter_token)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        it->second.push_back(waiter_token);
+        ++stats_.merges;
+        return Outcome::Merged;
+    }
+    if (entries_.size() >= capacity_) {
+        ++stats_.fullStalls;
+        return Outcome::Full;
+    }
+    entries_.emplace(line_addr, std::vector<uint64_t>{waiter_token});
+    ++stats_.allocations;
+    return Outcome::Allocated;
+}
+
+bool
+MshrTable::pending(uint64_t line_addr) const
+{
+    return entries_.count(line_addr) != 0;
+}
+
+std::vector<uint64_t>
+MshrTable::fill(uint64_t line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        return {};
+    std::vector<uint64_t> waiters = std::move(it->second);
+    entries_.erase(it);
+    return waiters;
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Miss Status Holding Register table: merges outstanding misses to the
+ * same cache line and bounds the number of in-flight lines (the paper's
+ * Table II gives the RT unit 64 MSHR entries).
+ */
+
+#ifndef ZATEL_GPUSIM_MSHR_HH
+#define ZATEL_GPUSIM_MSHR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace zatel::gpusim
+{
+
+/**
+ * MSHR table keyed by line address. Waiters are opaque 64-bit tokens the
+ * owning component interprets (e.g. packed warp/lane ids).
+ */
+class MshrTable
+{
+  public:
+    enum class Outcome
+    {
+        /** Line already pending; waiter attached to the existing entry. */
+        Merged,
+        /** New entry allocated; caller must send the memory request. */
+        Allocated,
+        /** Table full; caller must retry later. */
+        Full,
+    };
+
+    struct Stats
+    {
+        uint64_t allocations = 0;
+        uint64_t merges = 0;
+        uint64_t fullStalls = 0;
+    };
+
+    explicit MshrTable(uint32_t capacity);
+
+    /** Register @p waiter_token for @p line_addr. */
+    Outcome request(uint64_t line_addr, uint64_t waiter_token);
+
+    /** True when @p line_addr has an entry in flight. */
+    bool pending(uint64_t line_addr) const;
+
+    /**
+     * Complete @p line_addr: removes the entry.
+     * @return all waiter tokens registered for the line (empty when the
+     *         line was not pending).
+     */
+    std::vector<uint64_t> fill(uint64_t line_addr);
+
+    size_t occupancy() const { return entries_.size(); }
+    uint32_t capacity() const { return capacity_; }
+    bool full() const { return entries_.size() >= capacity_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    uint32_t capacity_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> entries_;
+    Stats stats_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_MSHR_HH

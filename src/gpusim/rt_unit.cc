@@ -1,0 +1,178 @@
+#include "gpusim/rt_unit.hh"
+
+#include "gpusim/address_map.hh"
+#include "gpusim/sm.hh"
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+RtUnit::RtUnit(const GpuConfig *config, Sm *sm) : config_(config), sm_(sm)
+{
+}
+
+RtUnit::Resident *
+RtUnit::findResident(uint32_t warp_slot)
+{
+    for (Resident &resident : resident_) {
+        if (resident.warpSlot == warp_slot)
+            return &resident;
+    }
+    return nullptr;
+}
+
+Warp *
+RtUnit::warpAt(uint32_t warp_slot)
+{
+    Resident *resident = findResident(warp_slot);
+    return resident ? resident->warp : nullptr;
+}
+
+bool
+RtUnit::tryAdmit(uint32_t warp_slot, Warp *warp)
+{
+    if (resident_.size() >= config_->rtMaxWarps)
+        return false;
+
+    warp->enterRtUnit();
+    uint32_t lanes_remaining = 0;
+    for (uint32_t lane = 0; lane < warp->lanes().size(); ++lane) {
+        WarpLane &state = warp->lanes()[lane];
+        if (state.state == WarpLane::State::NeedFetch) {
+            ++lanes_remaining;
+            fetchQueue_.push_back({warp_slot, lane});
+        }
+    }
+    resident_.push_back({warp_slot, warp, lanes_remaining});
+
+    if (lanes_remaining == 0) {
+        // Degenerate: every lane finished instantly (e.g. empty BVH).
+        resident_.pop_back();
+        warp->exitRtUnit(0);
+    }
+    return true;
+}
+
+void
+RtUnit::onFill(uint32_t warp_slot, uint32_t lane)
+{
+    Warp *warp = warpAt(warp_slot);
+    if (!warp)
+        return; // stale token (should not happen; be permissive)
+    WarpLane &state = warp->lanes()[lane];
+    ZATEL_ASSERT(state.state == WarpLane::State::WaitMem,
+                 "fill for a lane that is not waiting");
+    state.state = WarpLane::State::ReadyStep;
+    readyQueue_.push_back({warp_slot, lane});
+}
+
+bool
+RtUnit::issueFetch(const LaneRef &ref, uint64_t now, GpuStats &stats)
+{
+    Warp *warp = warpAt(ref.warpSlot);
+    ZATEL_ASSERT(warp, "fetch for a non-resident warp");
+    WarpLane &lane = warp->lanes()[ref.lane];
+    ZATEL_ASSERT(lane.state == WarpLane::State::NeedFetch,
+                 "fetch for a lane not needing one");
+
+    uint64_t node_addr =
+        AddressMap::bvhNodeAddress(lane.stepper.pendingNode());
+    uint64_t line = AddressMap::lineOf(node_addr, config_->l1dLineBytes);
+    uint64_t token =
+        WaiterToken::pack(WaiterToken::RtRay, ref.warpSlot, ref.lane);
+
+    Sm::L1Outcome outcome = sm_->l1Load(line, token, now);
+    if (outcome == Sm::L1Outcome::Stall)
+        return false;
+    (void)stats;
+    lane.state = WarpLane::State::WaitMem;
+    return true;
+}
+
+void
+RtUnit::executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats)
+{
+    Resident *resident = findResident(ref.warpSlot);
+    ZATEL_ASSERT(resident, "visit for a non-resident warp");
+    Warp *warp = resident->warp;
+    WarpLane &lane = warp->lanes()[ref.lane];
+    ZATEL_ASSERT(lane.state == WarpLane::State::ReadyStep,
+                 "visit for a lane that is not ready");
+
+    rt::StepInfo info = lane.stepper.step();
+    ++stats.rtNodeVisits;
+    ++stats.threadInstructions; // one traversal op on this lane
+    stats.rtTriangleTests += info.triangleTests;
+
+    if (info.wasLeaf && info.triangleTests > 0) {
+        // Stream the leaf's triangle data: fetches that occupy bandwidth
+        // and cache space but never stall the traversal.
+        uint64_t prev_line = ~0ull;
+        for (uint32_t i = 0; i < info.triangleTests; ++i) {
+            uint64_t addr =
+                AddressMap::triangleAddress(info.firstPrimSlot + i);
+            uint64_t line =
+                AddressMap::lineOf(addr, config_->l1dLineBytes);
+            if (line == prev_line)
+                continue;
+            prev_line = line;
+            if (!sm_->portAvailable())
+                break;
+            sm_->l1Load(line, WaiterToken::pack(WaiterToken::Prefetch, 0, 0),
+                        now);
+        }
+    }
+
+    if (lane.stepper.finished()) {
+        lane.state = WarpLane::State::Done;
+        ZATEL_ASSERT(resident->lanesRemaining > 0, "lane accounting broke");
+        --resident->lanesRemaining;
+        if (resident->lanesRemaining == 0) {
+            Warp *done_warp = resident->warp;
+            // Remove from residency, then let the warp continue.
+            for (size_t i = 0; i < resident_.size(); ++i) {
+                if (resident_[i].warpSlot == ref.warpSlot) {
+                    resident_.erase(resident_.begin() + i);
+                    break;
+                }
+            }
+            done_warp->exitRtUnit(now);
+        }
+        return;
+    }
+
+    lane.state = WarpLane::State::NeedFetch;
+    fetchQueue_.push_back(ref);
+}
+
+void
+RtUnit::tick(uint64_t now, GpuStats &stats)
+{
+    // Residency/efficiency sampling (Table I: RT Unit Avg Efficiency).
+    // Lanes still traversing == lanesRemaining (NeedFetch/WaitMem/Ready).
+    for (const Resident &resident : resident_) {
+        ++stats.rtResidentWarpCycles;
+        stats.rtActiveRaySum += resident.lanesRemaining;
+    }
+
+    // 1. Issue node fetches while ports and MSHRs allow.
+    size_t fetch_budget = fetchQueue_.size();
+    while (fetch_budget-- > 0 && !fetchQueue_.empty()) {
+        LaneRef ref = fetchQueue_.front();
+        fetchQueue_.pop_front();
+        if (!issueFetch(ref, now, stats)) {
+            fetchQueue_.push_front(ref);
+            break; // stalled: stop issuing this cycle
+        }
+    }
+
+    // 2. Execute up to rtVisitsPerCycle node visits.
+    uint32_t visit_budget = config_->rtVisitsPerCycle;
+    while (visit_budget-- > 0 && !readyQueue_.empty()) {
+        LaneRef ref = readyQueue_.front();
+        readyQueue_.pop_front();
+        executeVisit(ref, now, stats);
+    }
+}
+
+} // namespace zatel::gpusim

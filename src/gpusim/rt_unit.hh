@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ray-tracing accelerator unit (one per SM, paper Fig. 2 / Table II).
+ *
+ * Up to rtMaxWarps warps are resident at once; each lane traverses the
+ * BVH with a TraversalStepper. Every node visit requires the node's data:
+ * the unit issues a line fetch through the SM's L1D (merging through the
+ * MSHR) and performs the visit when the data arrives, consuming one of
+ * rtVisitsPerCycle visit slots. Leaf visits additionally stream the leaf's
+ * triangle data as prefetch-style fetches that generate cache/DRAM traffic
+ * without stalling traversal.
+ */
+
+#ifndef ZATEL_GPUSIM_RT_UNIT_HH
+#define ZATEL_GPUSIM_RT_UNIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/stats.hh"
+#include "gpusim/warp.hh"
+
+namespace zatel::gpusim
+{
+
+class Sm;
+
+/** The per-SM ray-tracing accelerator. */
+class RtUnit
+{
+  public:
+    RtUnit(const GpuConfig *config, Sm *sm);
+
+    /** Admit @p warp into a free slot. @return false when full. */
+    bool tryAdmit(uint32_t warp_slot, Warp *warp);
+
+    /** Node data for (warp_slot, lane) arrived. */
+    void onFill(uint32_t warp_slot, uint32_t lane);
+
+    /** Advance one cycle: issue fetches, execute visits, retire warps. */
+    void tick(uint64_t now, GpuStats &stats);
+
+    bool idle() const { return resident_.empty(); }
+    size_t residentWarps() const { return resident_.size(); }
+
+  private:
+    struct LaneRef
+    {
+        uint32_t warpSlot;
+        uint32_t lane;
+    };
+
+    /** Resident warp bookkeeping. */
+    struct Resident
+    {
+        uint32_t warpSlot;
+        Warp *warp;
+        uint32_t lanesRemaining;
+    };
+
+    Resident *findResident(uint32_t warp_slot);
+    /** Issue the pending node fetch of a lane. @return false on stall. */
+    bool issueFetch(const LaneRef &ref, uint64_t now, GpuStats &stats);
+    /** Execute one node visit for a ready lane. */
+    void executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats);
+    Warp *warpAt(uint32_t warp_slot);
+
+    const GpuConfig *config_;
+    Sm *sm_;
+    std::vector<Resident> resident_;
+    /** Lanes whose node data is available. */
+    std::deque<LaneRef> readyQueue_;
+    /** Lanes that must (re)issue a fetch. */
+    std::deque<LaneRef> fetchQueue_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_RT_UNIT_HH

@@ -1,0 +1,300 @@
+#include "gpusim/sm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+Sm::Sm(uint32_t index, const GpuConfig *config, MemorySystem *memory)
+    : index_(index), config_(config), memory_(memory),
+      l1_(config->l1dSizeBytes, config->l1dLineBytes, config->l1dAssoc),
+      mshr_(config->rtMshrSize)
+{
+    warpSlots_.resize(config->maxResidentWarps());
+    rtUnitOf_.assign(warpSlots_.size(), -1);
+    rtUnits_.reserve(std::max(1u, config->rtUnitsPerSm));
+    for (uint32_t u = 0; u < std::max(1u, config->rtUnitsPerSm); ++u)
+        rtUnits_.emplace_back(config, this);
+    hitRing_.resize(config->l1dLatencyCycles + 1);
+}
+
+bool
+Sm::hasFreeSlot() const
+{
+    return residentWarps_ < warpSlots_.size();
+}
+
+void
+Sm::launchWarp(std::unique_ptr<Warp> warp)
+{
+    ZATEL_ASSERT(hasFreeSlot(), "launch into a full SM");
+    for (auto &slot : warpSlots_) {
+        if (!slot) {
+            slot = std::move(warp);
+            ++residentWarps_;
+            ++stats_.warpsLaunched;
+            return;
+        }
+    }
+    panic("free slot accounting out of sync");
+}
+
+Sm::L1Outcome
+Sm::l1Load(uint64_t line_addr, uint64_t token, uint64_t now)
+{
+    if (!portAvailable())
+        return L1Outcome::Stall;
+
+    bool is_prefetch = WaiterToken::kindOf(token) == WaiterToken::Prefetch;
+
+    // A line with a pending MSHR entry is not yet in the L1: merge
+    // instead of reporting a (stale) tag hit.
+    if (mshr_.pending(line_addr)) {
+        // HIT_RESERVED: the line is already on its way; count as a hit
+        // for miss-rate purposes (no new memory traffic is generated).
+        ++portsUsed_;
+        ++stats_.l1dAccesses;
+        if (!is_prefetch)
+            mshr_.request(line_addr, token);
+        return L1Outcome::MissPending;
+    }
+
+    if (mshr_.full() && !l1_.contains(line_addr) && !is_prefetch)
+        return L1Outcome::Stall;
+
+    ++portsUsed_;
+    if (l1_.access(line_addr)) {
+        if (!is_prefetch) {
+            uint64_t ready = now + config_->l1dLatencyCycles;
+            hitRing_[ready % hitRing_.size()].push_back(token);
+            ++pendingHitTokens_;
+        }
+        return L1Outcome::HitScheduled;
+    }
+
+    if (is_prefetch) {
+        // Prefetches past a full MSHR are dropped silently.
+        if (mshr_.full())
+            return L1Outcome::MissPending;
+    }
+    MshrTable::Outcome outcome = mshr_.request(line_addr, token);
+    ZATEL_ASSERT(outcome == MshrTable::Outcome::Allocated,
+                 "merge handled above, full handled above");
+    memory_->sendRead(index_, line_addr, now);
+    return L1Outcome::MissPending;
+}
+
+bool
+Sm::l1Store(uint64_t line_addr, uint64_t now)
+{
+    if (!portAvailable())
+        return false;
+    ++portsUsed_;
+    // Write-through, no-allocate L1 (GPU-style).
+    ++stats_.l1dAccesses;
+    if (!l1_.contains(line_addr))
+        ++stats_.l1dMisses;
+    memory_->sendWrite(index_, line_addr, now);
+    return true;
+}
+
+void
+Sm::deliverToken(uint64_t token, uint64_t now)
+{
+    switch (WaiterToken::kindOf(token)) {
+      case WaiterToken::RtRay: {
+        uint32_t slot = WaiterToken::warpSlotOf(token);
+        ZATEL_ASSERT(slot < rtUnitOf_.size() && rtUnitOf_[slot] >= 0,
+                     "RT fill for a warp not resident in any unit");
+        rtUnits_[rtUnitOf_[slot]].onFill(slot, WaiterToken::laneOf(token));
+        break;
+      }
+      case WaiterToken::WarpLoad: {
+        uint32_t slot = WaiterToken::warpSlotOf(token);
+        ZATEL_ASSERT(slot < warpSlots_.size() && warpSlots_[slot],
+                     "load completion for a retired warp");
+        warpSlots_[slot]->onLoadComplete();
+        break;
+      }
+      case WaiterToken::Prefetch:
+        break;
+    }
+    (void)now;
+}
+
+void
+Sm::processFills(uint64_t now)
+{
+    const std::vector<uint64_t> &fills = memory_->drainFills(index_, now);
+    for (uint64_t line : fills) {
+        bool evicted_dirty = false;
+        l1_.fill(line, /*dirty=*/false, evicted_dirty);
+        for (uint64_t token : mshr_.fill(line))
+            deliverToken(token, now);
+    }
+}
+
+void
+Sm::processHitQueue(uint64_t now)
+{
+    if (pendingHitTokens_ == 0)
+        return;
+    std::vector<uint64_t> &bucket = hitRing_[now % hitRing_.size()];
+    if (bucket.empty())
+        return;
+    pendingHitTokens_ -= bucket.size();
+    for (uint64_t token : bucket)
+        deliverToken(token, now);
+    bucket.clear();
+}
+
+void
+Sm::tick(uint64_t now)
+{
+    portsUsed_ = 0;
+    processFills(now);
+    processHitQueue(now);
+    for (RtUnit &unit : rtUnits_)
+        unit.tick(now, stats_);
+
+    if (residentWarps_ == 0)
+        return;
+
+    // Single greedy-then-oldest pass over the warp slots starting at the
+    // last issued warp: advance stage machines, collect instruction
+    // counts, retire finished warps, admit RT-waiting warps, and issue
+    // up to issueWidth instructions. Slot index order approximates age
+    // because launches fill slots in order.
+    uint32_t num_slots = static_cast<uint32_t>(warpSlots_.size());
+    uint32_t issued = 0;
+    bool rt_units_full = false;
+    // GTO starts the scan at the last issued warp; loose round-robin
+    // rotates the starting point every cycle.
+    uint32_t start =
+        config_->scheduler == WarpSchedulerPolicy::GreedyThenOldest
+            ? lastIssuedSlot_
+            : static_cast<uint32_t>((lastIssuedSlot_ + 1) % num_slots);
+
+    for (uint32_t i = 0; i < num_slots; ++i) {
+        uint32_t slot = (start + i) % num_slots;
+        Warp *warp = warpSlots_[slot].get();
+        if (!warp)
+            continue;
+
+        if (warp->pollable())
+            warp->poll(now);
+        if (warp->hasPendingThreadInsts())
+            stats_.threadInstructions += warp->takePendingThreadInsts();
+        if (warp->done()) {
+            warpSlots_[slot].reset();
+            rtUnitOf_[slot] = -1;
+            --residentWarps_;
+            continue;
+        }
+
+        if (warp->wantsRtSlot() && !rt_units_full) {
+            bool admitted = false;
+            for (size_t u = 0; u < rtUnits_.size(); ++u) {
+                if (rtUnits_[u].tryAdmit(slot, warp)) {
+                    rtUnitOf_[slot] = static_cast<int8_t>(u);
+                    admitted = true;
+                    break;
+                }
+            }
+            if (admitted) {
+                // A degenerate admit can complete instantly and leave
+                // the warp with a fresh (post-ray) stage.
+                if (warp->hasPendingThreadInsts()) {
+                    stats_.threadInstructions +=
+                        warp->takePendingThreadInsts();
+                }
+            } else {
+                rt_units_full = true;
+            }
+            continue;
+        }
+
+        if (issued >= config_->issueWidth || !warp->wantsIssue())
+            continue;
+
+        if (warp->nextIsLoad()) {
+            uint64_t line = warp->pendingMemLine();
+            uint64_t token =
+                WaiterToken::pack(WaiterToken::WarpLoad, slot, 0);
+            L1Outcome outcome = l1Load(line, token, now);
+            if (outcome == L1Outcome::Stall)
+                continue; // retry next cycle
+            warp->commitLoad();
+        } else if (warp->nextIsStore()) {
+            uint64_t line = warp->pendingMemLine();
+            if (!l1Store(line, now))
+                continue;
+            warp->commitStore();
+        } else {
+            warp->commitAlu(now);
+        }
+        ++stats_.warpInstructions;
+        lastIssuedSlot_ = slot;
+        ++issued;
+    }
+}
+
+bool
+Sm::idle() const
+{
+    if (residentWarps_ != 0 || pendingHitTokens_ != 0 ||
+        mshr_.occupancy() != 0)
+        return false;
+    for (const RtUnit &unit : rtUnits_) {
+        if (!unit.idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Sm::accumulateStats(GpuStats &stats) const
+{
+    // stats_ carries the manually counted accesses (MSHR-pending merges
+    // and stores); the TagCache carries the tag-array lookups. Both are
+    // L1 traffic.
+    stats += stats_;
+    stats.l1dAccesses += l1_.stats().accesses;
+    stats.l1dMisses += l1_.stats().misses;
+}
+
+void
+Sm::reportInto(StatsReport &report, const std::string &prefix) const
+{
+    const TagCache::Stats &l1 = l1_.stats();
+    report.add(prefix + ".l1d.accesses",
+               static_cast<double>(l1.accesses + stats_.l1dAccesses));
+    report.add(prefix + ".l1d.hits", static_cast<double>(l1.hits));
+    report.add(prefix + ".l1d.misses",
+               static_cast<double>(l1.misses + stats_.l1dMisses));
+    report.add(prefix + ".l1d.evictions",
+               static_cast<double>(l1.evictions));
+    report.add(prefix + ".mshr.allocations",
+               static_cast<double>(mshr_.stats().allocations));
+    report.add(prefix + ".mshr.merges",
+               static_cast<double>(mshr_.stats().merges));
+    report.add(prefix + ".mshr.full_stalls",
+               static_cast<double>(mshr_.stats().fullStalls));
+    report.add(prefix + ".warps_launched",
+               static_cast<double>(stats_.warpsLaunched));
+    report.add(prefix + ".warp_instructions",
+               static_cast<double>(stats_.warpInstructions));
+    report.add(prefix + ".thread_instructions",
+               static_cast<double>(stats_.threadInstructions));
+    report.add(prefix + ".rt.node_visits",
+               static_cast<double>(stats_.rtNodeVisits));
+    report.add(prefix + ".rt.triangle_tests",
+               static_cast<double>(stats_.rtTriangleTests));
+    report.add(prefix + ".rt.resident_warp_cycles",
+               static_cast<double>(stats_.rtResidentWarpCycles));
+    report.add(prefix + ".rt.avg_efficiency", stats_.rtEfficiency());
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Streaming Multiprocessor model: warp slots, a greedy-then-oldest warp
+ * scheduler, an L1D cache with MSHRs, and one RT unit (paper Fig. 2).
+ */
+
+#ifndef ZATEL_GPUSIM_SM_HH
+#define ZATEL_GPUSIM_SM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/cache.hh"
+#include "gpusim/config.hh"
+#include "gpusim/memory_system.hh"
+#include "gpusim/mshr.hh"
+#include "gpusim/rt_unit.hh"
+#include "gpusim/stats.hh"
+#include "gpusim/stats_report.hh"
+#include "gpusim/warp.hh"
+
+namespace zatel::gpusim
+{
+
+/** Opaque completion-token codec shared by the SM and its RT unit. */
+struct WaiterToken
+{
+    enum Kind : uint8_t
+    {
+        RtRay = 0,    ///< wake a traversal lane
+        WarpLoad = 1, ///< complete one outstanding warp load
+        Prefetch = 2, ///< no waiter (triangle streaming)
+    };
+
+    static uint64_t
+    pack(Kind kind, uint32_t warp_slot, uint32_t lane)
+    {
+        return (static_cast<uint64_t>(kind) << 32) |
+               (static_cast<uint64_t>(warp_slot) << 8) | lane;
+    }
+
+    static Kind kindOf(uint64_t token)
+    {
+        return static_cast<Kind>(token >> 32);
+    }
+
+    static uint32_t
+    warpSlotOf(uint64_t token)
+    {
+        return static_cast<uint32_t>((token >> 8) & 0xFFFFFFu);
+    }
+
+    static uint32_t laneOf(uint64_t token)
+    {
+        return static_cast<uint32_t>(token & 0xFFu);
+    }
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    /** Result of an L1 load attempt. */
+    enum class L1Outcome
+    {
+        HitScheduled, ///< hit; waiter wakes after l1dLatencyCycles
+        MissPending,  ///< miss sent to memory; waiter wakes on fill
+        Stall,        ///< no port / MSHR full; retry next cycle
+    };
+
+    Sm(uint32_t index, const GpuConfig *config, MemorySystem *memory);
+
+    uint32_t index() const { return index_; }
+
+    /** True when another warp can be launched here. */
+    bool hasFreeSlot() const;
+
+    /** Install @p warp into a free slot. @pre hasFreeSlot(). */
+    void launchWarp(std::unique_ptr<Warp> warp);
+
+    /** Advance one cycle. */
+    void tick(uint64_t now);
+
+    /** All warps retired and no local activity pending. */
+    bool idle() const;
+
+    /** Fold local counters (L1, RT, instructions) into @p stats. */
+    void accumulateStats(GpuStats &stats) const;
+
+    /** Append this SM's counters to @p report under @p prefix. */
+    void reportInto(StatsReport &report, const std::string &prefix) const;
+
+    // ---- Memory interface used by warps and the RT unit ----
+    /**
+     * Attempt a load of @p line_addr; @p token is woken on completion.
+     * Consumes an L1 port on anything but Stall.
+     */
+    L1Outcome l1Load(uint64_t line_addr, uint64_t token, uint64_t now);
+
+    /** Issue a write-through store. @return false when out of ports. */
+    bool l1Store(uint64_t line_addr, uint64_t now);
+
+    /** Ports left this cycle (RT unit checks before issuing fetches). */
+    bool portAvailable() const { return portsUsed_ < config_->l1dPortsPerCycle; }
+
+    GpuStats &localStats() { return stats_; }
+
+  private:
+    friend class RtUnit;
+
+    /** Deliver a completion token to its waiter. */
+    void deliverToken(uint64_t token, uint64_t now);
+
+    /** Process fills returned by the memory system. */
+    void processFills(uint64_t now);
+
+    /** Process L1-hit delay queue. */
+    void processHitQueue(uint64_t now);
+
+    uint32_t index_;
+    const GpuConfig *config_;
+    MemorySystem *memory_;
+
+    std::vector<std::unique_ptr<Warp>> warpSlots_;
+    uint32_t residentWarps_ = 0;
+    uint32_t lastIssuedSlot_ = 0;
+
+    TagCache l1_;
+    MshrTable mshr_;
+    /** rtUnitsPerSm accelerator units; warps are admitted to any unit
+     *  with a free slot and remembered in rtUnitOf_. */
+    std::vector<RtUnit> rtUnits_;
+    std::vector<int8_t> rtUnitOf_; // per warp slot; -1 = not resident
+    /**
+     * Fixed-latency delay line for L1 hits: ring of token buckets
+     * indexed by (cycle % ring size); the L1 latency is constant so a
+     * bucket is fully drained when its cycle comes around.
+     */
+    std::vector<std::vector<uint64_t>> hitRing_;
+    uint64_t pendingHitTokens_ = 0;
+    uint32_t portsUsed_ = 0;
+
+    GpuStats stats_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_SM_HH

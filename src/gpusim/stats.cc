@@ -1,0 +1,143 @@
+#include "gpusim/stats.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+const std::vector<Metric> &
+allMetrics()
+{
+    static const std::vector<Metric> metrics = {
+        Metric::Ipc,           Metric::SimCycles,
+        Metric::L1dMissRate,   Metric::L2MissRate,
+        Metric::RtEfficiency,  Metric::DramEfficiency,
+        Metric::BwUtilization,
+    };
+    return metrics;
+}
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Ipc: return "GPU IPC";
+      case Metric::SimCycles: return "GPU Sim Cycles";
+      case Metric::L1dMissRate: return "L1D Miss Rate";
+      case Metric::L2MissRate: return "L2 Miss Rate";
+      case Metric::RtEfficiency: return "RT Avg Efficiency";
+      case Metric::DramEfficiency: return "DRAM Efficiency";
+      case Metric::BwUtilization: return "BW Utilization";
+    }
+    panic("unknown Metric");
+}
+
+double
+GpuStats::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(threadInstructions) /
+           static_cast<double>(cycles);
+}
+
+double
+GpuStats::l1dMissRate() const
+{
+    if (l1dAccesses == 0)
+        return 0.0;
+    return static_cast<double>(l1dMisses) / static_cast<double>(l1dAccesses);
+}
+
+double
+GpuStats::l2MissRate() const
+{
+    if (l2Accesses == 0)
+        return 0.0;
+    return static_cast<double>(l2Misses) / static_cast<double>(l2Accesses);
+}
+
+double
+GpuStats::rtEfficiency() const
+{
+    if (rtResidentWarpCycles == 0)
+        return 0.0;
+    return static_cast<double>(rtActiveRaySum) /
+           static_cast<double>(rtResidentWarpCycles);
+}
+
+double
+GpuStats::dramEfficiency() const
+{
+    if (dramActiveCycles == 0)
+        return 0.0;
+    return static_cast<double>(dramBusyCycles) /
+           static_cast<double>(dramActiveCycles);
+}
+
+double
+GpuStats::bwUtilization() const
+{
+    if (dramChannelCycles == 0)
+        return 0.0;
+    return static_cast<double>(dramBusyCycles) /
+           static_cast<double>(dramChannelCycles);
+}
+
+double
+GpuStats::metricValue(Metric metric) const
+{
+    switch (metric) {
+      case Metric::Ipc: return ipc();
+      case Metric::SimCycles: return simCycles();
+      case Metric::L1dMissRate: return l1dMissRate();
+      case Metric::L2MissRate: return l2MissRate();
+      case Metric::RtEfficiency: return rtEfficiency();
+      case Metric::DramEfficiency: return dramEfficiency();
+      case Metric::BwUtilization: return bwUtilization();
+    }
+    panic("unknown Metric");
+}
+
+GpuStats &
+GpuStats::operator+=(const GpuStats &other)
+{
+    // cycles is a max (components share the same clock), everything else
+    // is additive.
+    cycles = cycles > other.cycles ? cycles : other.cycles;
+    threadInstructions += other.threadInstructions;
+    warpInstructions += other.warpInstructions;
+    l1dAccesses += other.l1dAccesses;
+    l1dMisses += other.l1dMisses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    rtActiveRaySum += other.rtActiveRaySum;
+    rtResidentWarpCycles += other.rtResidentWarpCycles;
+    rtNodeVisits += other.rtNodeVisits;
+    rtTriangleTests += other.rtTriangleTests;
+    dramBusyCycles += other.dramBusyCycles;
+    dramActiveCycles += other.dramActiveCycles;
+    dramChannelCycles += other.dramChannelCycles;
+    dramBytesRead += other.dramBytesRead;
+    dramBytesWritten += other.dramBytesWritten;
+    warpsLaunched += other.warpsLaunched;
+    raysTraced += other.raysTraced;
+    pixelsTraced += other.pixelsTraced;
+    pixelsFiltered += other.pixelsFiltered;
+    return *this;
+}
+
+std::string
+GpuStats::summary() const
+{
+    std::ostringstream oss;
+    oss << "cycles=" << cycles << " ipc=" << ipc()
+        << " l1d=" << l1dMissRate() << " l2=" << l2MissRate()
+        << " rt_eff=" << rtEfficiency() << " dram_eff=" << dramEfficiency()
+        << " bw=" << bwUtilization();
+    return oss.str();
+}
+
+} // namespace zatel::gpusim

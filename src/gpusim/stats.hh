@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulation statistics covering every metric of the paper's Table I.
+ */
+
+#ifndef ZATEL_GPUSIM_STATS_HH
+#define ZATEL_GPUSIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zatel::gpusim
+{
+
+/** The seven evaluated metrics (paper Table I). */
+enum class Metric
+{
+    Ipc,            ///< GPU Instructions Per Cycle
+    SimCycles,      ///< GPU Simulation Cycles
+    L1dMissRate,    ///< L1D Total Cache Miss Rate
+    L2MissRate,     ///< L2 Total Cache Miss Rate
+    RtEfficiency,   ///< RT Unit Avg Efficiency (active rays per warp)
+    DramEfficiency, ///< DRAM busy / active cycles
+    BwUtilization,  ///< DRAM busy / total cycles
+};
+
+/** All seven metrics, in Table I order. */
+const std::vector<Metric> &allMetrics();
+
+/** Human-readable metric name (Table I wording, abbreviated). */
+const char *metricName(Metric metric);
+
+/**
+ * Raw counters collected during one simulation run. Derived Table I
+ * metrics are computed on demand so combining/averaging stays explicit.
+ */
+struct GpuStats
+{
+    uint64_t cycles = 0;
+    /** Thread-level (scalar) instructions, incl. RT node-visit ops. */
+    uint64_t threadInstructions = 0;
+    /** Warp-level instructions issued by SIMT schedulers. */
+    uint64_t warpInstructions = 0;
+
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+
+    /** Sum over (unit, cycle) of active rays in resident warps. */
+    uint64_t rtActiveRaySum = 0;
+    /** Sum over (unit, cycle) of resident warps. */
+    uint64_t rtResidentWarpCycles = 0;
+    uint64_t rtNodeVisits = 0;
+    uint64_t rtTriangleTests = 0;
+
+    /** Cycles any DRAM channel spent bursting data. */
+    uint64_t dramBusyCycles = 0;
+    /** Cycles any DRAM channel had work queued or in flight. */
+    uint64_t dramActiveCycles = 0;
+    /** channel-cycles available: cycles x numChannels. */
+    uint64_t dramChannelCycles = 0;
+    uint64_t dramBytesRead = 0;
+    uint64_t dramBytesWritten = 0;
+
+    uint64_t warpsLaunched = 0;
+    uint64_t raysTraced = 0;
+    uint64_t pixelsTraced = 0;
+    uint64_t pixelsFiltered = 0;
+
+    // ---- Derived Table I metrics ----
+    double ipc() const;
+    double simCycles() const { return static_cast<double>(cycles); }
+    double l1dMissRate() const;
+    double l2MissRate() const;
+    double rtEfficiency() const;
+    double dramEfficiency() const;
+    double bwUtilization() const;
+
+    /** Fetch a derived metric by enum. */
+    double metricValue(Metric metric) const;
+
+    /** Sum raw counters (for aggregating per-component stats). */
+    GpuStats &operator+=(const GpuStats &other);
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_STATS_HH

@@ -1,0 +1,62 @@
+#include "gpusim/stats_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+void
+StatsReport::add(const std::string &path, double value)
+{
+    lines_.push_back({path, value});
+}
+
+double
+StatsReport::value(const std::string &path) const
+{
+    for (const StatLine &line : lines_) {
+        if (line.path == path)
+            return line.value;
+    }
+    fatal("stats report has no counter '", path, "'");
+}
+
+bool
+StatsReport::has(const std::string &path) const
+{
+    for (const StatLine &line : lines_) {
+        if (line.path == path)
+            return true;
+    }
+    return false;
+}
+
+std::string
+StatsReport::toString() const
+{
+    size_t width = 0;
+    for (const StatLine &line : lines_)
+        width = std::max(width, line.path.size());
+
+    std::ostringstream oss;
+    for (const StatLine &line : lines_) {
+        char buf[64];
+        // Integers print clean; ratios keep 6 significant digits.
+        if (line.value == static_cast<uint64_t>(line.value) &&
+            line.value >= 0.0 && line.value < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(line.value));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.6g", line.value);
+        }
+        oss << line.path << std::string(width - line.path.size() + 2, ' ')
+            << buf << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-component statistics report (gem5-style stats dump).
+ *
+ * A flat list of dotted-path counters covering every SM (L1D, RT units,
+ * instruction counts) and every memory partition (L2 slice, DRAM
+ * channel), plus the device-level aggregates. Vulkan-Sim users read
+ * exactly this kind of breakdown to locate bottlenecks; Zatel's
+ * per-group instances expose it so downstream tools can diff runs.
+ */
+
+#ifndef ZATEL_GPUSIM_STATS_REPORT_HH
+#define ZATEL_GPUSIM_STATS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zatel::gpusim
+{
+
+/** One named counter in the report. */
+struct StatLine
+{
+    /** Dotted path, e.g. "sm3.l1d.misses" or "mem1.dram.busy_cycles". */
+    std::string path;
+    double value = 0.0;
+};
+
+/** A flat, ordered collection of component counters. */
+class StatsReport
+{
+  public:
+    /** Append a counter. */
+    void add(const std::string &path, double value);
+
+    const std::vector<StatLine> &lines() const { return lines_; }
+
+    /**
+     * Value of the counter at @p path.
+     * @pre the path exists (fatal otherwise).
+     */
+    double value(const std::string &path) const;
+
+    /** True when a counter with @p path exists. */
+    bool has(const std::string &path) const;
+
+    /** Render as "path  value" rows, aligned. */
+    std::string toString() const;
+
+  private:
+    std::vector<StatLine> lines_;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_STATS_REPORT_HH

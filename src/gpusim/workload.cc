@@ -1,0 +1,60 @@
+#include "gpusim/workload.hh"
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+uint64_t
+SimWorkload::totalRays() const
+{
+    uint64_t total = 0;
+    for (const ThreadWork &thread : threads)
+        total += thread.record.rays.size();
+    return total;
+}
+
+SimWorkload
+SimWorkload::build(const rt::Tracer &tracer, uint32_t width, uint32_t height,
+                   const std::vector<PixelCoord> &pixels,
+                   const std::vector<bool> *selected)
+{
+    ZATEL_ASSERT(!selected || selected->size() == pixels.size(),
+                 "selection mask must align with the pixel list");
+
+    SimWorkload workload;
+    workload.width = width;
+    workload.height = height;
+    workload.bvh = &tracer.bvh();
+    workload.threads.reserve(pixels.size());
+
+    for (size_t i = 0; i < pixels.size(); ++i) {
+        const PixelCoord &pixel = pixels[i];
+        ZATEL_ASSERT(pixel.x < width && pixel.y < height,
+                     "workload pixel out of bounds");
+        ThreadWork thread;
+        thread.pixelLinear = pixel.y * width + pixel.x;
+        thread.selected = !selected || (*selected)[i];
+        if (thread.selected) {
+            thread.record =
+                rt::recordPixelRays(tracer, pixel.x, pixel.y, width, height);
+            ++workload.selectedCount;
+        }
+        workload.threads.push_back(std::move(thread));
+    }
+    return workload;
+}
+
+SimWorkload
+SimWorkload::buildFullFrame(const rt::Tracer &tracer, uint32_t width,
+                            uint32_t height)
+{
+    std::vector<PixelCoord> pixels;
+    pixels.reserve(static_cast<size_t>(width) * height);
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            pixels.push_back({x, y});
+    return build(tracer, width, height, pixels);
+}
+
+} // namespace zatel::gpusim

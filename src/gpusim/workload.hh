@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ray-tracing workload fed to the timed simulator.
+ *
+ * A workload is an ordered list of pixel threads. Zatel's pixel filter is
+ * represented exactly like the paper's injected PTX filter_shader: every
+ * pixel of the group still launches a thread, but unselected threads
+ * execute a few filter-check instructions and exit (Section III-F).
+ */
+
+#ifndef ZATEL_GPUSIM_WORKLOAD_HH
+#define ZATEL_GPUSIM_WORKLOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rt/bvh.hh"
+#include "rt/ray_record.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::gpusim
+{
+
+/** Image-plane pixel coordinate. */
+struct PixelCoord
+{
+    uint32_t x = 0;
+    uint32_t y = 0;
+
+    bool operator==(const PixelCoord &o) const { return x == o.x && y == o.y; }
+};
+
+/** One pixel thread: its identity, filter decision, and recorded rays. */
+struct ThreadWork
+{
+    /** Linear pixel index (y * width + x) in the full image plane. */
+    uint32_t pixelLinear = 0;
+    /** False when the Zatel filter skips this pixel. */
+    bool selected = true;
+    /** Rays this pixel casts (empty when !selected). */
+    rt::PixelRayRecord record;
+};
+
+/** A complete launch for one simulator instance. */
+struct SimWorkload
+{
+    uint32_t width = 0;
+    uint32_t height = 0;
+    /** Acceleration structure the RT units traverse. */
+    const rt::Bvh *bvh = nullptr;
+    /** Threads in launch order; warps are consecutive runs of warpSize. */
+    std::vector<ThreadWork> threads;
+    uint64_t selectedCount = 0;
+
+    /** Total recorded rays over all selected threads. */
+    uint64_t totalRays() const;
+
+    /**
+     * Build a workload over @p pixels in the given launch order.
+     *
+     * @param tracer Functional tracer (provides scene, BVH and spp).
+     * @param pixels Pixels in launch order (a Zatel group or a full frame).
+     * @param selected Optional mask aligned with @p pixels; null = all.
+     */
+    static SimWorkload build(const rt::Tracer &tracer, uint32_t width,
+                             uint32_t height,
+                             const std::vector<PixelCoord> &pixels,
+                             const std::vector<bool> *selected = nullptr);
+
+    /** Convenience: full-frame workload in row-major order. */
+    static SimWorkload buildFullFrame(const rt::Tracer &tracer,
+                                      uint32_t width, uint32_t height);
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_WORKLOAD_HH

@@ -1,0 +1,64 @@
+#include "heatmap/heat_gradient.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace zatel::heatmap
+{
+
+namespace
+{
+
+/** Gradient control points from cold to hot. */
+constexpr std::array<rt::Vec3, 6> kStops = {{
+    {0.05f, 0.05f, 0.35f}, // dark blue
+    {0.10f, 0.30f, 0.90f}, // blue
+    {0.05f, 0.80f, 0.85f}, // cyan
+    {0.15f, 0.85f, 0.20f}, // green
+    {0.95f, 0.90f, 0.10f}, // yellow
+    {0.90f, 0.10f, 0.05f}, // red
+}};
+
+constexpr int kSamples = 256;
+
+} // namespace
+
+rt::Vec3
+temperatureToColor(double temperature)
+{
+    double t = std::clamp(temperature, 0.0, 1.0);
+    double scaled = t * (kStops.size() - 1);
+    size_t idx = std::min(static_cast<size_t>(scaled), kStops.size() - 2);
+    float frac = static_cast<float>(scaled - idx);
+    return lerp(kStops[idx], kStops[idx + 1], frac);
+}
+
+double
+colorToTemperature(const rt::Vec3 &color)
+{
+    // Nearest-point search over a dense sampling of the gradient. The
+    // gradient is short, so a linear scan is plenty fast and robust to
+    // centroids that drifted slightly off the curve.
+    double best_t = 0.0;
+    float best_d2 = std::numeric_limits<float>::max();
+    for (int i = 0; i < kSamples; ++i) {
+        double t = static_cast<double>(i) / (kSamples - 1);
+        rt::Vec3 c = temperatureToColor(t);
+        float d2 = lengthSquared(c - color);
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best_t = t;
+        }
+    }
+    return best_t;
+}
+
+double
+coolnessOfColor(const rt::Vec3 &color)
+{
+    return 1.0 - colorToTemperature(color);
+}
+
+} // namespace zatel::heatmap

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Temperature color gradient (paper Section III-B).
+ *
+ * Per the paper, per-pixel runtimes are normalized by the longest runtime
+ * and mapped onto NVIDIA's heat gradient, where warmer colors indicate
+ * lengthier trace times. We implement the classic thermal ramp
+ * (dark blue -> blue -> cyan -> green -> yellow -> red) and make the
+ * mapping invertible: coolness() recovers the "shifted hue parameter"
+ * c_i in [0, 1] that equations (1)-(3) consume (0 = hot, 1 = cold).
+ */
+
+#ifndef ZATEL_HEATMAP_HEAT_GRADIENT_HH
+#define ZATEL_HEATMAP_HEAT_GRADIENT_HH
+
+#include "rt/vec3.hh"
+
+namespace zatel::heatmap
+{
+
+/**
+ * Map a normalized temperature to a gradient color.
+ * @param temperature 0 = coldest, 1 = hottest; clamped.
+ */
+rt::Vec3 temperatureToColor(double temperature);
+
+/**
+ * Recover the coolness value c in [0, 1] from a gradient color
+ * (0 = hottest red, 1 = coldest blue). This is the shifted-hue
+ * parameter used by the selection equations.
+ *
+ * For colors exactly on the gradient, coolness == 1 - temperature.
+ * For off-gradient colors (e.g. K-Means centroids averaging several
+ * gradient colors) it returns the coolness of the nearest gradient point.
+ */
+double coolnessOfColor(const rt::Vec3 &color);
+
+/** Inverse of temperatureToColor for on-gradient colors. */
+double colorToTemperature(const rt::Vec3 &color);
+
+} // namespace zatel::heatmap
+
+#endif // ZATEL_HEATMAP_HEAT_GRADIENT_HH

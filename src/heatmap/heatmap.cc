@@ -1,0 +1,154 @@
+#include "heatmap/heatmap.hh"
+
+#include <algorithm>
+
+#include "heatmap/heat_gradient.hh"
+#include "heatmap/kmeans.hh"
+#include "rt/framebuffer.hh"
+#include "util/logging.hh"
+
+namespace zatel::heatmap
+{
+
+Heatmap
+Heatmap::fromCosts(uint32_t width, uint32_t height,
+                   const std::vector<double> &costs)
+{
+    ZATEL_ASSERT(costs.size() == static_cast<size_t>(width) * height,
+                 "cost grid size mismatch");
+    Heatmap map;
+    map.width_ = width;
+    map.height_ = height;
+    map.temperatures_.resize(costs.size());
+
+    double max_cost = 0.0;
+    for (double c : costs)
+        max_cost = std::max(max_cost, c);
+    if (max_cost <= 0.0) {
+        std::fill(map.temperatures_.begin(), map.temperatures_.end(), 0.0);
+        return map;
+    }
+    for (size_t i = 0; i < costs.size(); ++i)
+        map.temperatures_[i] = std::clamp(costs[i] / max_cost, 0.0, 1.0);
+    return map;
+}
+
+Heatmap
+Heatmap::fromRender(const rt::RenderResult &render)
+{
+    std::vector<double> costs(render.profiles.size());
+    for (size_t i = 0; i < render.profiles.size(); ++i)
+        costs[i] = render.profiles[i].cost();
+    return fromCosts(render.width, render.height, costs);
+}
+
+double
+Heatmap::temperatureAt(uint32_t x, uint32_t y) const
+{
+    ZATEL_ASSERT(x < width_ && y < height_, "heatmap pixel out of bounds");
+    return temperatures_[static_cast<size_t>(y) * width_ + x];
+}
+
+rt::Vec3
+Heatmap::colorAt(uint32_t x, uint32_t y) const
+{
+    return temperatureToColor(temperatureAt(x, y));
+}
+
+double
+Heatmap::averageTemperature() const
+{
+    if (temperatures_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double t : temperatures_)
+        acc += t;
+    return acc / static_cast<double>(temperatures_.size());
+}
+
+bool
+Heatmap::writePpm(const std::string &path) const
+{
+    rt::FrameBuffer fb(width_, height_);
+    for (uint32_t y = 0; y < height_; ++y)
+        for (uint32_t x = 0; x < width_; ++x)
+            fb.set(x, y, colorAt(x, y));
+    return fb.writePpm(path, 1.0f);
+}
+
+uint32_t
+QuantizedHeatmap::clusterAt(uint32_t x, uint32_t y) const
+{
+    ZATEL_ASSERT(x < width_ && y < height_, "pixel out of bounds");
+    return clusterOf_[static_cast<size_t>(y) * width_ + x];
+}
+
+const rt::Vec3 &
+QuantizedHeatmap::paletteColor(uint32_t cluster) const
+{
+    ZATEL_ASSERT(cluster < palette_.size(), "cluster out of range");
+    return palette_[cluster];
+}
+
+double
+QuantizedHeatmap::coolness(uint32_t cluster) const
+{
+    ZATEL_ASSERT(cluster < coolness_.size(), "cluster out of range");
+    return coolness_[cluster];
+}
+
+double
+QuantizedHeatmap::coolnessAt(uint32_t x, uint32_t y) const
+{
+    return coolness(clusterAt(x, y));
+}
+
+size_t
+QuantizedHeatmap::clusterPopulation(uint32_t cluster) const
+{
+    ZATEL_ASSERT(cluster < population_.size(), "cluster out of range");
+    return population_[cluster];
+}
+
+bool
+QuantizedHeatmap::writePpm(const std::string &path) const
+{
+    rt::FrameBuffer fb(width_, height_);
+    for (uint32_t y = 0; y < height_; ++y)
+        for (uint32_t x = 0; x < width_; ++x)
+            fb.set(x, y, palette_[clusterAt(x, y)]);
+    return fb.writePpm(path, 1.0f);
+}
+
+QuantizedHeatmap
+QuantizedHeatmap::quantize(const Heatmap &map, uint32_t k, uint64_t seed)
+{
+    ZATEL_ASSERT(map.pixelCount() > 0, "cannot quantize an empty heatmap");
+
+    std::vector<rt::Vec3> colors;
+    colors.reserve(map.pixelCount());
+    for (uint32_t y = 0; y < map.height(); ++y)
+        for (uint32_t x = 0; x < map.width(); ++x)
+            colors.push_back(map.colorAt(x, y));
+
+    Rng rng(seed);
+    KMeansParams params;
+    params.k = k;
+    KMeansResult clusters = kmeans(colors, params, rng);
+
+    QuantizedHeatmap result;
+    result.width_ = map.width();
+    result.height_ = map.height();
+    result.clusterOf_ = std::move(clusters.assignment);
+    result.palette_ = std::move(clusters.centroids);
+
+    result.coolness_.resize(result.palette_.size());
+    result.population_.assign(result.palette_.size(), 0);
+    for (size_t i = 0; i < result.palette_.size(); ++i)
+        result.coolness_[i] = coolnessOfColor(result.palette_[i]);
+    for (uint32_t c : result.clusterOf_)
+        ++result.population_[c];
+    return result;
+}
+
+} // namespace zatel::heatmap

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Execution-time heatmap and its color-quantized form (paper Section
+ * III-B, steps 1 and 2 of Fig. 3).
+ */
+
+#ifndef ZATEL_HEATMAP_HEATMAP_HH
+#define ZATEL_HEATMAP_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/tracer.hh"
+#include "rt/vec3.hh"
+#include "util/rng.hh"
+
+namespace zatel::heatmap
+{
+
+/**
+ * Per-pixel normalized execution-time map.
+ *
+ * Temperatures are per-pixel runtimes normalized by the longest runtime,
+ * so they live in [0, 1] with 1 = the hottest pixel.
+ */
+class Heatmap
+{
+  public:
+    Heatmap() = default;
+
+    /**
+     * Build from raw per-pixel costs (row-major, width * height entries).
+     * Costs are normalized by the maximum; an all-zero map stays zero.
+     */
+    static Heatmap fromCosts(uint32_t width, uint32_t height,
+                             const std::vector<double> &costs);
+
+    /** Build from a functional render's per-pixel profiles. */
+    static Heatmap fromRender(const rt::RenderResult &render);
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    size_t pixelCount() const { return temperatures_.size(); }
+
+    double temperatureAt(uint32_t x, uint32_t y) const;
+    const std::vector<double> &temperatures() const { return temperatures_; }
+
+    /** Gradient color of a pixel (for visualization / quantization). */
+    rt::Vec3 colorAt(uint32_t x, uint32_t y) const;
+
+    /** Average temperature over the whole map. */
+    double averageTemperature() const;
+
+    /** Dump as a PPM visualization. @return true on success. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    uint32_t width_ = 0;
+    uint32_t height_ = 0;
+    std::vector<double> temperatures_;
+};
+
+/**
+ * Color-quantized heatmap: K-Means merges similar gradient colors into a
+ * small palette, removing noise (Fig. 4). Each palette entry carries its
+ * coolness value c_i in [0, 1] used by equations (1)-(3).
+ */
+class QuantizedHeatmap
+{
+  public:
+    QuantizedHeatmap() = default;
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    size_t pixelCount() const { return clusterOf_.size(); }
+
+    /** Number of palette colors actually produced. */
+    uint32_t paletteSize() const
+    {
+        return static_cast<uint32_t>(palette_.size());
+    }
+
+    /** Cluster id of a pixel. */
+    uint32_t clusterAt(uint32_t x, uint32_t y) const;
+
+    /** Palette color of cluster @p cluster. */
+    const rt::Vec3 &paletteColor(uint32_t cluster) const;
+
+    /** Coolness c_i of cluster @p cluster (0 = hot, 1 = cold). */
+    double coolness(uint32_t cluster) const;
+
+    /** Coolness of a pixel (coolness of its cluster). */
+    double coolnessAt(uint32_t x, uint32_t y) const;
+
+    /** Occurrence count of a cluster across the image. */
+    size_t clusterPopulation(uint32_t cluster) const;
+
+    /** Dump the quantized visualization. @return true on success. */
+    bool writePpm(const std::string &path) const;
+
+    /**
+     * Quantize @p map with K-Means over pixel gradient colors.
+     * @param k Palette size (the paper quantizes to a handful of colors).
+     * @param seed Seed for K-Means++ (deterministic by default).
+     */
+    static QuantizedHeatmap quantize(const Heatmap &map, uint32_t k = 8,
+                                     uint64_t seed = 0x5EED);
+
+  private:
+    uint32_t width_ = 0;
+    uint32_t height_ = 0;
+    std::vector<uint32_t> clusterOf_;
+    std::vector<rt::Vec3> palette_;
+    std::vector<double> coolness_;
+    std::vector<size_t> population_;
+};
+
+} // namespace zatel::heatmap
+
+#endif // ZATEL_HEATMAP_HEATMAP_HH

@@ -1,0 +1,137 @@
+#include "heatmap/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace zatel::heatmap
+{
+
+namespace
+{
+
+uint32_t
+nearestCentroid(const rt::Vec3 &point,
+                const std::vector<rt::Vec3> &centroids, float &best_d2)
+{
+    uint32_t best = 0;
+    best_d2 = std::numeric_limits<float>::max();
+    for (uint32_t c = 0; c < centroids.size(); ++c) {
+        float d2 = lengthSquared(point - centroids[c]);
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/** k-means++ seeding: spread the initial centroids apart. */
+std::vector<rt::Vec3>
+seedPlusPlus(const std::vector<rt::Vec3> &points, uint32_t k, Rng &rng)
+{
+    std::vector<rt::Vec3> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.nextBounded(points.size())]);
+
+    std::vector<double> d2(points.size());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            float best = 0.0f;
+            nearestCentroid(points[i], centroids, best);
+            d2[i] = best;
+            total += best;
+        }
+        if (total <= 1e-12) {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push_back(centroids.back());
+            continue;
+        }
+        double pick = rng.nextDouble() * total;
+        size_t chosen = points.size() - 1;
+        double acc = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            acc += d2[i];
+            if (acc >= pick) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<rt::Vec3> &points, const KMeansParams &params,
+       Rng &rng)
+{
+    ZATEL_ASSERT(!points.empty(), "kmeans needs at least one point");
+    ZATEL_ASSERT(params.k >= 1, "kmeans needs k >= 1");
+
+    uint32_t k = std::min<uint32_t>(params.k,
+                                    static_cast<uint32_t>(points.size()));
+
+    KMeansResult result;
+    result.centroids = seedPlusPlus(points, k, rng);
+    result.assignment.assign(points.size(), 0);
+
+    std::vector<rt::Vec3> sums(k);
+    std::vector<size_t> counts(k);
+
+    for (uint32_t iter = 0; iter < params.maxIterations; ++iter) {
+        ++result.iterations;
+        bool changed = false;
+        std::fill(sums.begin(), sums.end(), rt::Vec3(0.0f));
+        std::fill(counts.begin(), counts.end(), 0u);
+
+        for (size_t i = 0; i < points.size(); ++i) {
+            float d2 = 0.0f;
+            uint32_t c = nearestCentroid(points[i], result.centroids, d2);
+            if (c != result.assignment[i]) {
+                result.assignment[i] = c;
+                changed = true;
+            }
+            sums[c] += points[i];
+            ++counts[c];
+        }
+
+        for (uint32_t c = 0; c < k; ++c) {
+            if (counts[c] > 0) {
+                result.centroids[c] =
+                    sums[c] * (1.0f / static_cast<float>(counts[c]));
+            } else {
+                // Re-seed an empty cluster to the point farthest from
+                // its nearest centroid.
+                float worst = -1.0f;
+                size_t worst_i = 0;
+                for (size_t i = 0; i < points.size(); ++i) {
+                    float d2 = 0.0f;
+                    nearestCentroid(points[i], result.centroids, d2);
+                    if (d2 > worst) {
+                        worst = d2;
+                        worst_i = i;
+                    }
+                }
+                result.centroids[c] = points[worst_i];
+                changed = true;
+            }
+        }
+
+        if (params.earlyStop && !changed)
+            break;
+    }
+
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        result.inertia += lengthSquared(
+            points[i] - result.centroids[result.assignment[i]]);
+    }
+    return result;
+}
+
+} // namespace zatel::heatmap

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * K-Means clustering in RGB color space, used for the color quantization
+ * step that removes heatmap noise (paper Section III-B, Fig. 4).
+ */
+
+#ifndef ZATEL_HEATMAP_KMEANS_HH
+#define ZATEL_HEATMAP_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/vec3.hh"
+#include "util/rng.hh"
+
+namespace zatel::heatmap
+{
+
+/** Output of a K-Means run. */
+struct KMeansResult
+{
+    /** Cluster centroids (size <= requested k when points are few). */
+    std::vector<rt::Vec3> centroids;
+    /** Per-input-point centroid assignment. */
+    std::vector<uint32_t> assignment;
+    /** Number of Lloyd iterations executed. */
+    uint32_t iterations = 0;
+    /** Final within-cluster sum of squared distances. */
+    double inertia = 0.0;
+};
+
+/** K-Means tuning. */
+struct KMeansParams
+{
+    uint32_t k = 8;
+    uint32_t maxIterations = 50;
+    /** Stop when no assignment changes. */
+    bool earlyStop = true;
+};
+
+/**
+ * Run K-Means with k-means++ seeding.
+ *
+ * Deterministic for a given @p rng seed. Empty clusters are re-seeded to
+ * the farthest point from their centroid. If there are fewer distinct
+ * points than k, the result simply has fewer effective clusters.
+ *
+ * @pre !points.empty() and params.k >= 1.
+ */
+KMeansResult kmeans(const std::vector<rt::Vec3> &points,
+                    const KMeansParams &params, Rng &rng);
+
+} // namespace zatel::heatmap
+
+#endif // ZATEL_HEATMAP_KMEANS_HH

@@ -1,0 +1,46 @@
+#include "heatmap/profiler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace zatel::heatmap
+{
+
+const char *
+profilingSourceName(ProfilingSource source)
+{
+    switch (source) {
+      case ProfilingSource::Functional: return "functional";
+      case ProfilingSource::HardwareTimer: return "hw-timer";
+    }
+    panic("unknown ProfilingSource");
+}
+
+Heatmap
+profileRender(const rt::RenderResult &render, const ProfilerParams &params)
+{
+    if (params.source == ProfilingSource::Functional)
+        return Heatmap::fromRender(render);
+
+    // Hardware timers: multiplicative jitter around the true cost, plus
+    // a small additive floor (timestamp granularity) so even trivial
+    // pixels report a nonzero time.
+    Rng rng(params.seed);
+    std::vector<double> costs(render.profiles.size());
+    double floor = 0.0;
+    for (const rt::PixelProfile &profile : render.profiles)
+        floor = std::max(floor, profile.cost());
+    floor *= 0.005; // ~0.5% of the hottest pixel
+
+    for (size_t i = 0; i < render.profiles.size(); ++i) {
+        double jitter =
+            1.0 + params.timerNoise * rng.nextGaussian();
+        jitter = std::max(0.05, jitter);
+        costs[i] = render.profiles[i].cost() * jitter + floor;
+    }
+    return Heatmap::fromCosts(render.width, render.height, costs);
+}
+
+} // namespace zatel::heatmap

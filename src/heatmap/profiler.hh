@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload profiling for Zatel's preprocessing step (paper Section
+ * III-B).
+ *
+ * The paper generates the execution-time heatmap either on real GPU
+ * hardware (shader timer instrumentation - fast but noisy) or with
+ * Vulkan-Sim's functional mode (slow but exact), and argues both yield
+ * comparable results because quantization removes the noise. This module
+ * models both sources: Functional profiles exactly; HardwareTimer adds
+ * multiplicative log-normal-ish jitter to the per-pixel costs, the way
+ * real timestamp counters wobble under clock and scheduling noise.
+ */
+
+#ifndef ZATEL_HEATMAP_PROFILER_HH
+#define ZATEL_HEATMAP_PROFILER_HH
+
+#include <cstdint>
+
+#include "heatmap/heatmap.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::heatmap
+{
+
+/** Where the per-pixel runtimes come from. */
+enum class ProfilingSource
+{
+    /** Exact per-pixel traversal cost (Vulkan-Sim functional mode). */
+    Functional,
+    /** Jittered costs modelling real-GPU shader timers. */
+    HardwareTimer,
+};
+
+const char *profilingSourceName(ProfilingSource source);
+
+/** Profiling configuration. */
+struct ProfilerParams
+{
+    ProfilingSource source = ProfilingSource::Functional;
+    /** Relative standard deviation of the per-pixel timer jitter. */
+    double timerNoise = 0.15;
+    /** Seed for the jitter stream. */
+    uint64_t seed = 0x7157;
+};
+
+/**
+ * Profile the workload into a normalized heatmap.
+ * @param render A functional render of the frame (provides the costs).
+ */
+Heatmap profileRender(const rt::RenderResult &render,
+                      const ProfilerParams &params = ProfilerParams());
+
+} // namespace zatel::heatmap
+
+#endif // ZATEL_HEATMAP_PROFILER_HH

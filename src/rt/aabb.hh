@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Axis-aligned bounding box used for BVH nodes (Section II-A of the paper).
+ */
+
+#ifndef ZATEL_RT_AABB_HH
+#define ZATEL_RT_AABB_HH
+
+#include <limits>
+
+#include "rt/ray.hh"
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/** Axis-aligned bounding box. Default-constructed boxes are empty. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    /** True when no point has been added. */
+    bool empty() const { return lo.x > hi.x; }
+
+    /** Grow to include @p point. */
+    void
+    expand(const Vec3 &point)
+    {
+        lo = minVec(lo, point);
+        hi = maxVec(hi, point);
+    }
+
+    /** Grow to include @p other. */
+    void
+    expand(const Aabb &other)
+    {
+        lo = minVec(lo, other.lo);
+        hi = maxVec(hi, other.hi);
+    }
+
+    /** Diagonal extent. */
+    Vec3 extent() const { return empty() ? Vec3(0.0f) : hi - lo; }
+
+    /** Box center. */
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+
+    /** Surface area (0 for empty boxes); drives the SAH builder. */
+    float surfaceArea() const;
+
+    /** Index (0/1/2) of the widest axis. */
+    int longestAxis() const;
+
+    /** True when @p point is inside (inclusive). */
+    bool contains(const Vec3 &point) const;
+
+    /** True when this box and @p other intersect (inclusive). */
+    bool overlaps(const Aabb &other) const;
+
+    /**
+     * Slab test against @p ray.
+     * @param inv_dir Precomputed component-wise reciprocal direction.
+     * @param t_hit Out: entry distance along the ray when hit.
+     * @return true when the ray intersects within [ray.tMin, ray.tMax].
+     */
+    bool intersect(const Ray &ray, const Vec3 &inv_dir, float &t_hit) const;
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_AABB_HH

@@ -1,0 +1,35 @@
+#include "rt/camera.hh"
+
+#include <cmath>
+
+namespace zatel::rt
+{
+
+Camera::Camera(const Vec3 &position, const Vec3 &look_at, const Vec3 &up,
+               float vertical_fov_deg)
+    : position_(position)
+{
+    forward_ = normalize(look_at - position);
+    right_ = normalize(cross(forward_, up));
+    up_ = cross(right_, forward_);
+    tanHalfFov_ =
+        std::tan(vertical_fov_deg * static_cast<float>(M_PI) / 360.0f);
+}
+
+Ray
+Camera::generateRay(uint32_t x, uint32_t y, uint32_t width, uint32_t height,
+                    float jitter_x, float jitter_y) const
+{
+    float aspect = static_cast<float>(width) / static_cast<float>(height);
+    // NDC in [-1, 1] with +y up; pixel (0,0) is the top-left corner.
+    float ndc_x = (2.0f * (x + jitter_x) / width - 1.0f) * aspect;
+    float ndc_y = 1.0f - 2.0f * (y + jitter_y) / height;
+
+    Ray ray;
+    ray.origin = position_;
+    ray.direction = normalize(forward_ + right_ * (ndc_x * tanHalfFov_) +
+                              up_ * (ndc_y * tanHalfFov_));
+    return ray;
+}
+
+} // namespace zatel::rt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pinhole camera generating primary rays for image-plane pixels.
+ */
+
+#ifndef ZATEL_RT_CAMERA_HH
+#define ZATEL_RT_CAMERA_HH
+
+#include "rt/ray.hh"
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/**
+ * Pinhole camera.
+ *
+ * The image plane is addressed in pixels with (0,0) at the top-left, the
+ * convention the paper's image-plane partitioning (Section III-D) uses.
+ */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param position Eye position.
+     * @param look_at Target point.
+     * @param up Up hint (need not be orthogonal).
+     * @param vertical_fov_deg Vertical field of view in degrees.
+     */
+    Camera(const Vec3 &position, const Vec3 &look_at, const Vec3 &up,
+           float vertical_fov_deg);
+
+    /**
+     * Primary ray through pixel (x, y) of a width x height image.
+     * @param jitter_x / @p jitter_y Sub-pixel offsets in [0, 1); 0.5 hits
+     *        the pixel center. Used for multi-sample rendering.
+     */
+    Ray generateRay(uint32_t x, uint32_t y, uint32_t width, uint32_t height,
+                    float jitter_x = 0.5f, float jitter_y = 0.5f) const;
+
+    const Vec3 &position() const { return position_; }
+
+  private:
+    Vec3 position_{0.0f, 0.0f, 0.0f};
+    Vec3 forward_{0.0f, 0.0f, -1.0f};
+    Vec3 right_{1.0f, 0.0f, 0.0f};
+    Vec3 up_{0.0f, 1.0f, 0.0f};
+    float tanHalfFov_ = 1.0f;
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_CAMERA_HH

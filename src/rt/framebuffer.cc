@@ -1,0 +1,53 @@
+#include "rt/framebuffer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace zatel::rt
+{
+
+FrameBuffer::FrameBuffer(uint32_t width, uint32_t height)
+    : width_(width), height_(height),
+      pixels_(static_cast<size_t>(width) * height)
+{
+}
+
+const Vec3 &
+FrameBuffer::at(uint32_t x, uint32_t y) const
+{
+    ZATEL_ASSERT(x < width_ && y < height_, "pixel (", x, ",", y,
+                 ") out of bounds");
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+}
+
+void
+FrameBuffer::set(uint32_t x, uint32_t y, const Vec3 &color)
+{
+    ZATEL_ASSERT(x < width_ && y < height_, "pixel (", x, ",", y,
+                 ") out of bounds");
+    pixels_[static_cast<size_t>(y) * width_ + x] = color;
+}
+
+bool
+FrameBuffer::writePpm(const std::string &path, float gamma) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+    float inv_gamma = 1.0f / gamma;
+    for (const Vec3 &pixel : pixels_) {
+        for (int c = 0; c < 3; ++c) {
+            float v = std::clamp(pixel[c], 0.0f, 1.0f);
+            v = std::pow(v, inv_gamma);
+            out.put(static_cast<char>(
+                std::lround(v * 255.0f)));
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace zatel::rt

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * RGB framebuffer with PPM export (used by examples and heatmap dumps).
+ */
+
+#ifndef ZATEL_RT_FRAMEBUFFER_HH
+#define ZATEL_RT_FRAMEBUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/** Dense width x height image of linear RGB values. */
+class FrameBuffer
+{
+  public:
+    FrameBuffer() = default;
+    FrameBuffer(uint32_t width, uint32_t height);
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    size_t pixelCount() const { return pixels_.size(); }
+
+    const Vec3 &at(uint32_t x, uint32_t y) const;
+    void set(uint32_t x, uint32_t y, const Vec3 &color);
+
+    const std::vector<Vec3> &pixels() const { return pixels_; }
+
+    /**
+     * Write a binary PPM (P6) with gamma 2.2 encoding.
+     * @return true on success.
+     */
+    bool writePpm(const std::string &path, float gamma = 2.2f) const;
+
+  private:
+    uint32_t width_ = 0;
+    uint32_t height_ = 0;
+    std::vector<Vec3> pixels_;
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_FRAMEBUFFER_HH

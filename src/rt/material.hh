@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Surface material model for the functional tracer.
+ *
+ * The shading model is intentionally small (lambert + perfect mirror +
+ * emitter): what Zatel cares about is the per-pixel ray work each material
+ * induces, not photometric fidelity.
+ */
+
+#ifndef ZATEL_RT_MATERIAL_HH
+#define ZATEL_RT_MATERIAL_HH
+
+#include <cstdint>
+
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/** Shading behaviour selector. */
+enum class MaterialType : uint8_t
+{
+    Diffuse,  ///< Lambertian surface lit by the scene light.
+    Mirror,   ///< Perfect reflector: spawns a secondary reflection ray.
+    Emissive, ///< Light-emitting surface; terminates the path.
+};
+
+/** Material record; indexed by Triangle::materialId. */
+struct Material
+{
+    MaterialType type = MaterialType::Diffuse;
+    /** Base color (diffuse albedo / mirror tint / emitted radiance). */
+    Vec3 albedo{0.8f, 0.8f, 0.8f};
+    /**
+     * Fraction of energy sent down the reflection ray for Mirror
+     * materials; 0 disables the secondary bounce entirely.
+     */
+    float reflectivity = 0.0f;
+
+    static Material
+    diffuse(const Vec3 &color)
+    {
+        return {MaterialType::Diffuse, color, 0.0f};
+    }
+
+    static Material
+    mirror(const Vec3 &tint, float reflectivity = 0.9f)
+    {
+        return {MaterialType::Mirror, tint, reflectivity};
+    }
+
+    static Material
+    emissive(const Vec3 &radiance)
+    {
+        return {MaterialType::Emissive, radiance, 0.0f};
+    }
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_MATERIAL_HH

@@ -1,0 +1,165 @@
+#include "rt/mesh.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zatel::rt
+{
+
+void
+MeshBuilder::addTriangle(const Vec3 &v0, const Vec3 &v1, const Vec3 &v2,
+                         uint16_t material_id)
+{
+    triangles_.push_back({v0, v1, v2, material_id});
+}
+
+void
+MeshBuilder::addQuad(const Vec3 &v0, const Vec3 &v1, const Vec3 &v2,
+                     const Vec3 &v3, uint16_t material_id)
+{
+    addTriangle(v0, v1, v2, material_id);
+    addTriangle(v0, v2, v3, material_id);
+}
+
+void
+MeshBuilder::addBox(const Vec3 &lo, const Vec3 &hi, uint16_t material_id)
+{
+    Vec3 a{lo.x, lo.y, lo.z};
+    Vec3 b{hi.x, lo.y, lo.z};
+    Vec3 c{hi.x, hi.y, lo.z};
+    Vec3 d{lo.x, hi.y, lo.z};
+    Vec3 e{lo.x, lo.y, hi.z};
+    Vec3 f{hi.x, lo.y, hi.z};
+    Vec3 g{hi.x, hi.y, hi.z};
+    Vec3 h{lo.x, hi.y, hi.z};
+
+    addQuad(a, d, c, b, material_id); // -z
+    addQuad(e, f, g, h, material_id); // +z
+    addQuad(a, e, h, d, material_id); // -x
+    addQuad(b, c, g, f, material_id); // +x
+    addQuad(a, b, f, e, material_id); // -y
+    addQuad(d, h, g, c, material_id); // +y
+}
+
+void
+MeshBuilder::addSphere(const Vec3 &center, float radius, int segments,
+                       uint16_t material_id)
+{
+    ZATEL_ASSERT(segments >= 3, "sphere needs >= 3 segments");
+    int lat_steps = std::max(2, segments / 2);
+    int lon_steps = segments;
+
+    auto point = [&](int lat, int lon) {
+        float theta = static_cast<float>(M_PI) * lat / lat_steps;
+        float phi = 2.0f * static_cast<float>(M_PI) * lon / lon_steps;
+        return center + Vec3{radius * std::sin(theta) * std::cos(phi),
+                             radius * std::cos(theta),
+                             radius * std::sin(theta) * std::sin(phi)};
+    };
+
+    for (int lat = 0; lat < lat_steps; ++lat) {
+        for (int lon = 0; lon < lon_steps; ++lon) {
+            Vec3 p00 = point(lat, lon);
+            Vec3 p01 = point(lat, lon + 1);
+            Vec3 p10 = point(lat + 1, lon);
+            Vec3 p11 = point(lat + 1, lon + 1);
+            if (lat != 0)
+                addTriangle(p00, p01, p11, material_id);
+            if (lat != lat_steps - 1)
+                addTriangle(p00, p11, p10, material_id);
+        }
+    }
+}
+
+void
+MeshBuilder::addCone(const Vec3 &base_center, float radius, float height,
+                     int segments, uint16_t material_id)
+{
+    ZATEL_ASSERT(segments >= 3, "cone needs >= 3 segments");
+    Vec3 apex = base_center + Vec3{0.0f, height, 0.0f};
+    for (int i = 0; i < segments; ++i) {
+        float a0 = 2.0f * static_cast<float>(M_PI) * i / segments;
+        float a1 = 2.0f * static_cast<float>(M_PI) * (i + 1) / segments;
+        Vec3 p0 = base_center +
+                  Vec3{radius * std::cos(a0), 0.0f, radius * std::sin(a0)};
+        Vec3 p1 = base_center +
+                  Vec3{radius * std::cos(a1), 0.0f, radius * std::sin(a1)};
+        addTriangle(p0, p1, apex, material_id);
+        addTriangle(p0, base_center, p1, material_id);
+    }
+}
+
+void
+MeshBuilder::addGroundPlane(const Vec3 &center, float half_extent, int cells,
+                            uint16_t material_id)
+{
+    ZATEL_ASSERT(cells >= 1, "ground plane needs >= 1 cell");
+    float step = 2.0f * half_extent / cells;
+    for (int i = 0; i < cells; ++i) {
+        for (int j = 0; j < cells; ++j) {
+            float x0 = center.x - half_extent + i * step;
+            float z0 = center.z - half_extent + j * step;
+            Vec3 a{x0, center.y, z0};
+            Vec3 b{x0 + step, center.y, z0};
+            Vec3 c{x0 + step, center.y, z0 + step};
+            Vec3 d{x0, center.y, z0 + step};
+            addQuad(a, b, c, d, material_id);
+        }
+    }
+}
+
+void
+MeshBuilder::addTriangleSoup(Rng &rng, const Vec3 &center, float radius,
+                             int count, float tri_size,
+                             uint16_t material_id)
+{
+    for (int i = 0; i < count; ++i) {
+        // Rejection-sample a point inside the sphere volume.
+        Vec3 p;
+        do {
+            p = Vec3{static_cast<float>(rng.nextDouble(-1.0, 1.0)),
+                     static_cast<float>(rng.nextDouble(-1.0, 1.0)),
+                     static_cast<float>(rng.nextDouble(-1.0, 1.0))};
+        } while (lengthSquared(p) > 1.0f);
+        p = center + p * radius;
+
+        auto jitter = [&]() {
+            return Vec3{static_cast<float>(rng.nextDouble(-1.0, 1.0)),
+                        static_cast<float>(rng.nextDouble(-1.0, 1.0)),
+                        static_cast<float>(rng.nextDouble(-1.0, 1.0))} *
+                   tri_size;
+        };
+        addTriangle(p + jitter(), p + jitter(), p + jitter(), material_id);
+    }
+}
+
+void
+MeshBuilder::addTerrain(Rng &rng, const Vec3 &center, float half_extent,
+                        int cells, float roughness, uint16_t material_id)
+{
+    ZATEL_ASSERT(cells >= 1, "terrain needs >= 1 cell");
+    int verts = cells + 1;
+    std::vector<float> heights(verts * verts);
+    for (auto &h : heights)
+        h = static_cast<float>(rng.nextDouble(0.0, roughness));
+
+    float step = 2.0f * half_extent / cells;
+    auto vertex = [&](int i, int j) {
+        return Vec3{center.x - half_extent + i * step,
+                    center.y + heights[j * verts + i],
+                    center.z - half_extent + j * step};
+    };
+    for (int i = 0; i < cells; ++i) {
+        for (int j = 0; j < cells; ++j) {
+            Vec3 a = vertex(i, j);
+            Vec3 b = vertex(i + 1, j);
+            Vec3 c = vertex(i + 1, j + 1);
+            Vec3 d = vertex(i, j + 1);
+            addTriangle(a, b, c, material_id);
+            addTriangle(a, c, d, material_id);
+        }
+    }
+}
+
+} // namespace zatel::rt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Procedural triangle-mesh generators used by the scene library.
+ *
+ * The paper evaluates on LumiBench scenes; this repo substitutes procedural
+ * geometry with matching execution-time characteristics (see DESIGN.md), so
+ * the generators here are the building blocks of those analogues.
+ */
+
+#ifndef ZATEL_RT_MESH_HH
+#define ZATEL_RT_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/triangle.hh"
+#include "rt/vec3.hh"
+#include "util/rng.hh"
+
+namespace zatel::rt
+{
+
+/** A growable bag of triangles sharing one coordinate space. */
+class MeshBuilder
+{
+  public:
+    /** Append a single triangle. */
+    void addTriangle(const Vec3 &v0, const Vec3 &v1, const Vec3 &v2,
+                     uint16_t material_id);
+
+    /** Append a quad (two triangles) with corners in CCW order. */
+    void addQuad(const Vec3 &v0, const Vec3 &v1, const Vec3 &v2,
+                 const Vec3 &v3, uint16_t material_id);
+
+    /** Append an axis-aligned box spanning [lo, hi]. */
+    void addBox(const Vec3 &lo, const Vec3 &hi, uint16_t material_id);
+
+    /**
+     * Append a latitude-longitude sphere.
+     * @param segments Longitudinal resolution; latitude uses segments/2.
+     */
+    void addSphere(const Vec3 &center, float radius, int segments,
+                   uint16_t material_id);
+
+    /** Append an upright cone (base on the y = center.y plane). */
+    void addCone(const Vec3 &base_center, float radius, float height,
+                 int segments, uint16_t material_id);
+
+    /**
+     * Append a horizontal ground plane subdivided into cells (so it has
+     * realistic BVH depth rather than two huge triangles).
+     */
+    void addGroundPlane(const Vec3 &center, float half_extent, int cells,
+                        uint16_t material_id);
+
+    /**
+     * Append @p count random small triangles inside a sphere volume
+     * (foliage / clutter analogue producing incoherent traversal).
+     */
+    void addTriangleSoup(Rng &rng, const Vec3 &center, float radius,
+                         int count, float tri_size, uint16_t material_id);
+
+    /**
+     * Append a bumpy heightfield terrain over [-half_extent, half_extent]^2.
+     */
+    void addTerrain(Rng &rng, const Vec3 &center, float half_extent,
+                    int cells, float roughness, uint16_t material_id);
+
+    const std::vector<Triangle> &triangles() const { return triangles_; }
+    std::vector<Triangle> takeTriangles() { return std::move(triangles_); }
+    size_t triangleCount() const { return triangles_.size(); }
+
+  private:
+    std::vector<Triangle> triangles_;
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_MESH_HH

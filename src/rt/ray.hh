@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ray definition shared by the functional tracer and the timed RT unit.
+ */
+
+#ifndef ZATEL_RT_RAY_HH
+#define ZATEL_RT_RAY_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/** A half-line with a parametric validity interval [tMin, tMax]. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 direction;
+    float tMin = 1e-4f;
+    float tMax = std::numeric_limits<float>::infinity();
+
+    Vec3 at(float t) const { return origin + direction * t; }
+};
+
+/** Closest-hit query result. */
+struct HitRecord
+{
+    /** Ray parameter of the hit; infinity when there is no hit. */
+    float t = std::numeric_limits<float>::infinity();
+    /** Index of the hit triangle, or kNoPrim. */
+    uint32_t primIndex = 0xFFFFFFFFu;
+    /** Geometric normal at the hit (unit length, faces the ray origin). */
+    Vec3 normal;
+    /** World-space hit position. */
+    Vec3 position;
+    /** Material id of the hit triangle. */
+    uint16_t materialId = 0;
+
+    static constexpr uint32_t kNoPrim = 0xFFFFFFFFu;
+
+    bool valid() const { return primIndex != kNoPrim; }
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_RAY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-pixel ray recording for the timed simulator.
+ *
+ * The cycle-level GPU simulator replays the exact rays the functional
+ * tracer would cast for each pixel: the recording walks the same shading
+ * control flow as Tracer::shade() and emits one RayTask per cast ray.
+ * During timed simulation each task is re-traversed with a
+ * TraversalStepper, so the memory access stream (BVH node fetches) is
+ * regenerated cycle-accurately rather than stored.
+ */
+
+#ifndef ZATEL_RT_RAY_RECORD_HH
+#define ZATEL_RT_RAY_RECORD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/ray.hh"
+#include "rt/tracer.hh"
+#include "rt/traversal.hh"
+
+namespace zatel::rt
+{
+
+/** One ray the pixel's shader casts, plus what follows it. */
+struct RayTask
+{
+    Ray ray;
+    TraversalMode mode = TraversalMode::ClosestHit;
+    /** Functional result: did this ray hit (closest) / find occlusion. */
+    bool hit = false;
+    /** Material of the closest hit (valid when mode==ClosestHit && hit). */
+    uint16_t materialId = 0;
+    /** Recursion depth (0 = primary / first shadow, 1 = first bounce...). */
+    uint8_t bounce = 0;
+};
+
+/** All rays a pixel casts, in program order, over all its samples. */
+struct PixelRayRecord
+{
+    std::vector<RayTask> rays;
+
+    /** Number of closest-hit rays that hit (== shade invocations). */
+    uint32_t
+    shadeCount() const
+    {
+        uint32_t count = 0;
+        for (const RayTask &task : rays) {
+            if (task.mode == TraversalMode::ClosestHit && task.hit)
+                ++count;
+        }
+        return count;
+    }
+};
+
+/**
+ * Record the rays pixel (x, y) casts under @p tracer's configuration.
+ * Matches Tracer::shade() exactly (same jitter, same recursion).
+ */
+PixelRayRecord recordPixelRays(const Tracer &tracer, uint32_t x, uint32_t y,
+                               uint32_t width, uint32_t height);
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_RAY_RECORD_HH

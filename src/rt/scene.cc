@@ -1,0 +1,32 @@
+#include "rt/scene.hh"
+
+#include "util/logging.hh"
+
+namespace zatel::rt
+{
+
+uint16_t
+Scene::addMaterial(const Material &material)
+{
+    ZATEL_ASSERT(materials_.size() < 0xFFFF, "too many materials");
+    materials_.push_back(material);
+    return static_cast<uint16_t>(materials_.size() - 1);
+}
+
+const Material &
+Scene::material(uint16_t id) const
+{
+    ZATEL_ASSERT(id < materials_.size(), "material id ", id,
+                 " out of range (", materials_.size(), ")");
+    return materials_[id];
+}
+
+void
+Scene::addTriangles(std::vector<Triangle> triangles)
+{
+    triangles_.insert(triangles_.end(),
+                      std::make_move_iterator(triangles.begin()),
+                      std::make_move_iterator(triangles.end()));
+}
+
+} // namespace zatel::rt

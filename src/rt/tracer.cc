@@ -1,0 +1,200 @@
+#include "rt/tracer.hh"
+
+#include "rt/ray_record.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zatel::rt
+{
+
+namespace
+{
+
+/** Deterministic per-sample jitter from a pixel/sample hash. */
+float
+hashJitter(uint32_t x, uint32_t y, uint32_t sample, uint32_t salt)
+{
+    uint32_t h = x * 0x9E3779B1u ^ y * 0x85EBCA77u ^ sample * 0xC2B2AE3Du ^
+                 salt * 0x27D4EB2Fu;
+    h ^= h >> 15;
+    h *= 0x2C1B3C6Du;
+    h ^= h >> 12;
+    h *= 0x297A2D39u;
+    h ^= h >> 15;
+    return (h & 0xFFFFFFu) / static_cast<float>(0x1000000u);
+}
+
+} // namespace
+
+Tracer::Tracer(const Scene &scene, const Bvh &bvh, const Params &params)
+    : scene_(scene), bvh_(bvh), params_(params)
+{
+    ZATEL_ASSERT(params_.samplesPerPixel >= 1, "need at least 1 sample");
+}
+
+RenderResult
+Tracer::render(uint32_t width, uint32_t height) const
+{
+    RenderResult result;
+    result.width = width;
+    result.height = height;
+    result.image = FrameBuffer(width, height);
+    result.profiles.resize(static_cast<size_t>(width) * height);
+
+    for (uint32_t y = 0; y < height; ++y) {
+        for (uint32_t x = 0; x < width; ++x) {
+            PixelProfile &profile =
+                result.profiles[static_cast<size_t>(y) * width + x];
+            Vec3 color = tracePixel(x, y, width, height, profile);
+            result.image.set(x, y, color);
+        }
+    }
+    return result;
+}
+
+Vec3
+Tracer::tracePixel(uint32_t x, uint32_t y, uint32_t width, uint32_t height,
+                   PixelProfile &profile) const
+{
+    Vec3 acc(0.0f);
+    for (uint32_t s = 0; s < params_.samplesPerPixel; ++s) {
+        float jx = params_.samplesPerPixel == 1 ? 0.5f
+                                                : hashJitter(x, y, s, 0x11u);
+        float jy = params_.samplesPerPixel == 1 ? 0.5f
+                                                : hashJitter(x, y, s, 0x23u);
+        Ray ray = scene_.camera().generateRay(x, y, width, height, jx, jy);
+        acc += shade(ray, 0, profile);
+    }
+    return acc / static_cast<float>(params_.samplesPerPixel);
+}
+
+Vec3
+Tracer::shade(const Ray &ray, int bounce, PixelProfile &profile) const
+{
+    TraversalCounters counters;
+    ++profile.raysCast;
+    HitRecord hit = closestHit(bvh_, ray, &counters);
+    profile.nodesVisited += counters.nodesVisited;
+    profile.triangleTests += counters.triangleTests;
+
+    if (!hit.valid())
+        return scene_.background();
+    if (bounce == 0)
+        profile.primaryHit = true;
+
+    const Material &mat = scene_.material(hit.materialId);
+    if (mat.type == MaterialType::Emissive)
+        return mat.albedo;
+
+    // Direct lighting: one shadow ray toward the scene light.
+    const PointLight &light = scene_.light();
+    Vec3 to_light = light.position - hit.position;
+    float dist = length(to_light);
+    Vec3 light_dir = dist > 0.0f ? to_light / dist : Vec3{0.0f, 1.0f, 0.0f};
+
+    Ray shadow_ray;
+    shadow_ray.origin = hit.position + hit.normal * 1e-3f;
+    shadow_ray.direction = light_dir;
+    shadow_ray.tMax = dist - 1e-3f;
+
+    TraversalCounters shadow_counters;
+    ++profile.raysCast;
+    bool occluded = anyHit(bvh_, shadow_ray, &shadow_counters);
+    profile.nodesVisited += shadow_counters.nodesVisited;
+    profile.triangleTests += shadow_counters.triangleTests;
+
+    Vec3 color = mat.albedo * params_.ambient;
+    if (!occluded) {
+        float ndotl = std::max(0.0f, dot(hit.normal, light_dir));
+        float falloff = 1.0f / (1.0f + params_.distanceFalloff * dist * dist);
+        color += mat.albedo * light.intensity * (ndotl * falloff);
+    }
+
+    if (mat.type == MaterialType::Mirror && mat.reflectivity > 0.0f &&
+        bounce < scene_.maxBounces()) {
+        Ray refl;
+        refl.origin = hit.position + hit.normal * 1e-3f;
+        refl.direction = normalize(reflect(ray.direction, hit.normal));
+        Vec3 bounced = shade(refl, bounce + 1, profile);
+        color += bounced * mat.albedo * mat.reflectivity;
+    }
+    return color;
+}
+
+namespace
+{
+
+/**
+ * Mirror of Tracer::shade() that records rays instead of shading.
+ * Any change to the shading control flow must be applied to both.
+ */
+void
+recordShade(const Tracer &tracer, const Ray &ray, int bounce,
+            PixelRayRecord &record)
+{
+    const Scene &scene = tracer.scene();
+    const Bvh &bvh = tracer.bvh();
+
+    RayTask primary;
+    primary.ray = ray;
+    primary.mode = TraversalMode::ClosestHit;
+    primary.bounce = static_cast<uint8_t>(bounce);
+
+    HitRecord hit = closestHit(bvh, ray);
+    primary.hit = hit.valid();
+    if (hit.valid())
+        primary.materialId = hit.materialId;
+    record.rays.push_back(primary);
+
+    if (!hit.valid())
+        return;
+
+    const Material &mat = scene.material(hit.materialId);
+    if (mat.type == MaterialType::Emissive)
+        return;
+
+    const PointLight &light = scene.light();
+    Vec3 to_light = light.position - hit.position;
+    float dist = length(to_light);
+    Vec3 light_dir = dist > 0.0f ? to_light / dist : Vec3{0.0f, 1.0f, 0.0f};
+
+    RayTask shadow;
+    shadow.ray.origin = hit.position + hit.normal * 1e-3f;
+    shadow.ray.direction = light_dir;
+    shadow.ray.tMax = dist - 1e-3f;
+    shadow.mode = TraversalMode::AnyHit;
+    shadow.bounce = static_cast<uint8_t>(bounce);
+    shadow.hit = anyHit(bvh, shadow.ray);
+    record.rays.push_back(shadow);
+
+    if (mat.type == MaterialType::Mirror && mat.reflectivity > 0.0f &&
+        bounce < scene.maxBounces()) {
+        Ray refl;
+        refl.origin = hit.position + hit.normal * 1e-3f;
+        refl.direction = normalize(reflect(ray.direction, hit.normal));
+        recordShade(tracer, refl, bounce + 1, record);
+    }
+}
+
+} // namespace
+
+PixelRayRecord
+recordPixelRays(const Tracer &tracer, uint32_t x, uint32_t y, uint32_t width,
+                uint32_t height)
+{
+    PixelRayRecord record;
+    uint32_t spp = tracer.params().samplesPerPixel;
+    for (uint32_t s = 0; s < spp; ++s) {
+        float jx = spp == 1 ? 0.5f : hashJitter(x, y, s, 0x11u);
+        float jy = spp == 1 ? 0.5f : hashJitter(x, y, s, 0x23u);
+        Ray ray =
+            tracer.scene().camera().generateRay(x, y, width, height, jx, jy);
+        recordShade(tracer, ray, 0, record);
+    }
+    return record;
+}
+
+} // namespace zatel::rt

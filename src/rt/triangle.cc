@@ -1,0 +1,49 @@
+#include "rt/triangle.hh"
+
+#include <cmath>
+
+namespace zatel::rt
+{
+
+Aabb
+Triangle::bounds() const
+{
+    Aabb box;
+    box.expand(v0);
+    box.expand(v1);
+    box.expand(v2);
+    return box;
+}
+
+bool
+Triangle::intersect(const Ray &ray, float &t_out) const
+{
+    constexpr float kEpsilon = 1e-8f;
+
+    Vec3 edge1 = v1 - v0;
+    Vec3 edge2 = v2 - v0;
+    Vec3 pvec = cross(ray.direction, edge2);
+    float det = dot(edge1, pvec);
+    if (std::fabs(det) < kEpsilon)
+        return false;
+
+    float inv_det = 1.0f / det;
+    Vec3 tvec = ray.origin - v0;
+    float u = dot(tvec, pvec) * inv_det;
+    if (u < 0.0f || u > 1.0f)
+        return false;
+
+    Vec3 qvec = cross(tvec, edge1);
+    float v = dot(ray.direction, qvec) * inv_det;
+    if (v < 0.0f || u + v > 1.0f)
+        return false;
+
+    float t = dot(edge2, qvec) * inv_det;
+    if (t < ray.tMin || t > ray.tMax)
+        return false;
+
+    t_out = t;
+    return true;
+}
+
+} // namespace zatel::rt

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Triangle primitive and Moeller-Trumbore intersection.
+ */
+
+#ifndef ZATEL_RT_TRIANGLE_HH
+#define ZATEL_RT_TRIANGLE_HH
+
+#include <cstdint>
+
+#include "rt/aabb.hh"
+#include "rt/ray.hh"
+#include "rt/vec3.hh"
+
+namespace zatel::rt
+{
+
+/** A single triangle with a material binding. */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+    uint16_t materialId = 0;
+
+    Aabb bounds() const;
+    Vec3 centroid() const { return (v0 + v1 + v2) / 3.0f; }
+
+    /** Geometric (unnormalized) normal. */
+    Vec3 rawNormal() const { return cross(v1 - v0, v2 - v0); }
+
+    /**
+     * Moeller-Trumbore intersection test.
+     * @param ray Query ray; hits outside [tMin, tMax] are rejected.
+     * @param t_out Out: hit distance on success.
+     * @return true when the ray intersects this triangle.
+     */
+    bool intersect(const Ray &ray, float &t_out) const;
+};
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_TRIANGLE_HH

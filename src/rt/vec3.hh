@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Minimal 3-component vector used throughout the ray-tracing substrate.
+ */
+
+#ifndef ZATEL_RT_VEC3_HH
+#define ZATEL_RT_VEC3_HH
+
+#include <cmath>
+
+namespace zatel::rt
+{
+
+/** Three-component float vector (positions, directions, colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr Vec3
+    operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3
+    operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3
+    operator*(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+
+    constexpr Vec3
+    operator/(float s) const
+    {
+        return {x / s, y / s, z / s};
+    }
+
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator*=(float s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    constexpr bool
+    operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    constexpr float
+    operator[](int i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    float &
+    operator[](int i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+};
+
+constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float
+length(const Vec3 &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+constexpr float
+lengthSquared(const Vec3 &v)
+{
+    return dot(v, v);
+}
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    if (len <= 0.0f)
+        return {0.0f, 0.0f, 0.0f};
+    return v / len;
+}
+
+constexpr Vec3
+minVec(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x < b.x ? a.x : b.x,
+            a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+}
+
+constexpr Vec3
+maxVec(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x > b.x ? a.x : b.x,
+            a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+}
+
+/** Mirror @p v about unit normal @p n. */
+constexpr Vec3
+reflect(const Vec3 &v, const Vec3 &n)
+{
+    return v - n * (2.0f * dot(v, n));
+}
+
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+} // namespace zatel::rt
+
+#endif // ZATEL_RT_VEC3_HH

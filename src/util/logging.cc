@@ -1,0 +1,52 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace zatel
+{
+namespace detail
+{
+
+namespace
+{
+/** Serializes log lines emitted from worker threads. */
+std::mutex logMutex;
+
+void
+emitLine(const char *label, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::cerr << label << message << std::endl;
+}
+} // namespace
+
+void
+fatalExit(const std::string &message)
+{
+    emitLine("fatal: ", message);
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string &message)
+{
+    emitLine("panic: ", message);
+    std::abort();
+}
+
+void
+emitWarn(const std::string &message)
+{
+    emitLine("warn: ", message);
+}
+
+void
+emitInform(const std::string &message)
+{
+    emitLine("info: ", message);
+}
+
+} // namespace detail
+} // namespace zatel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user-correctable conditions (bad configuration, invalid
+ * arguments) and exits with status 1. panic() is for internal invariant
+ * violations (bugs) and aborts. warn()/inform() report without stopping.
+ */
+
+#ifndef ZATEL_UTIL_LOGGING_HH
+#define ZATEL_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace zatel
+{
+
+namespace detail
+{
+
+/** Stream a pack of arguments into a single string. */
+template <typename... Args>
+std::string
+concatToString(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Print a labeled message to stderr; exits or aborts per @p action. */
+[[noreturn]] void fatalExit(const std::string &message);
+[[noreturn]] void panicAbort(const std::string &message);
+void emitWarn(const std::string &message);
+void emitInform(const std::string &message);
+
+} // namespace detail
+
+/**
+ * Terminate because of a user-level error (bad config, bad arguments).
+ * @param args Message pieces streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because an internal invariant was violated (a bug).
+ * @param args Message pieces streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicAbort(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/** Report suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p condition holds. */
+#define ZATEL_ASSERT(condition, ...)                                        \
+    do {                                                                    \
+        if (!(condition)) {                                                 \
+            ::zatel::panic("assertion '", #condition, "' failed: ",         \
+                           ##__VA_ARGS__);                                  \
+        }                                                                   \
+    } while (0)
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_LOGGING_HH

@@ -1,0 +1,125 @@
+#include "util/math_utils.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace zatel
+{
+
+uint64_t
+gcd(uint64_t a, uint64_t b)
+{
+    while (b != 0) {
+        uint64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+uint64_t
+gcdAll(const std::vector<uint64_t> &values)
+{
+    uint64_t g = 0;
+    for (uint64_t v : values)
+        g = gcd(g, v);
+    return g;
+}
+
+double
+clampDouble(double value, double lo, double hi)
+{
+    ZATEL_ASSERT(lo <= hi, "clamp bounds inverted");
+    return std::min(hi, std::max(lo, value));
+}
+
+uint64_t
+ceilDiv(uint64_t dividend, uint64_t divisor)
+{
+    ZATEL_ASSERT(divisor > 0, "ceilDiv by zero");
+    return (dividend + divisor - 1) / divisor;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+relativeErrorPct(double predicted, double actual)
+{
+    double diff = std::abs(predicted - actual);
+    if (std::abs(actual) < 1e-12)
+        return diff * 100.0;
+    return diff / std::abs(actual) * 100.0;
+}
+
+double
+maePct(const std::vector<double> &predicted,
+       const std::vector<double> &actual)
+{
+    ZATEL_ASSERT(predicted.size() == actual.size(),
+                 "maePct size mismatch: ", predicted.size(), " vs ",
+                 actual.size());
+    if (predicted.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i)
+        acc += relativeErrorPct(predicted[i], actual[i]);
+    return acc / static_cast<double>(predicted.size());
+}
+
+bool
+nearlyEqual(double a, double b, double tol)
+{
+    return std::abs(a - b) <= tol;
+}
+
+} // namespace zatel

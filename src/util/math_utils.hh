@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scalar and statistics helpers shared across the Zatel pipeline.
+ */
+
+#ifndef ZATEL_UTIL_MATH_UTILS_HH
+#define ZATEL_UTIL_MATH_UTILS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace zatel
+{
+
+/** Greatest common divisor; gcd(0, x) == x. */
+uint64_t gcd(uint64_t a, uint64_t b);
+
+/** gcd over a list; returns 0 for an empty list. */
+uint64_t gcdAll(const std::vector<uint64_t> &values);
+
+/** Clamp @p value into [lo, hi]. @pre lo <= hi. */
+double clampDouble(double value, double lo, double hi);
+
+/** Integer ceiling division. @pre divisor > 0. */
+uint64_t ceilDiv(uint64_t dividend, uint64_t divisor);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &values);
+
+/** Median (interpolated for even counts); 0 for an empty vector. */
+double median(std::vector<double> values);
+
+/** Minimum / maximum; 0 for an empty vector. */
+double minOf(const std::vector<double> &values);
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Relative absolute error |predicted - actual| / |actual| in percent.
+ * Falls back to absolute error when |actual| is ~0 to stay finite.
+ */
+double relativeErrorPct(double predicted, double actual);
+
+/**
+ * Mean absolute (relative) error in percent across paired samples.
+ * @pre predicted.size() == actual.size().
+ */
+double maePct(const std::vector<double> &predicted,
+              const std::vector<double> &actual);
+
+/** True when |a - b| <= tol. */
+bool nearlyEqual(double a, double b, double tol = 1e-9);
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_MATH_UTILS_HH

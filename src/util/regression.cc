@@ -1,0 +1,136 @@
+#include "util/regression.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zatel
+{
+
+namespace
+{
+
+double
+computeR2(const std::vector<double> &xs, const std::vector<double> &ys,
+          double (*predict)(double, double, double), double a, double b)
+{
+    double y_mean = 0.0;
+    for (double y : ys)
+        y_mean += y;
+    y_mean /= static_cast<double>(ys.size());
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double pred = predict(xs[i], a, b);
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    }
+    if (ss_tot < 1e-30)
+        return 1.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ZATEL_ASSERT(xs.size() == ys.size(), "fitLinear size mismatch");
+    ZATEL_ASSERT(xs.size() >= 2, "fitLinear needs >= 2 samples");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (std::abs(denom) < 1e-30) {
+        // All x identical: fall back to a horizontal line at the mean.
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+    } else {
+        fit.slope = (n * sxy - sx * sy) / denom;
+        fit.intercept = (sy - fit.slope * sx) / n;
+    }
+    fit.r2 = computeR2(
+        xs, ys,
+        [](double x, double a, double b) { return a * x + b; },
+        fit.slope, fit.intercept);
+    return fit;
+}
+
+double
+PowerFit::evaluate(double x) const
+{
+    return scale * std::pow(x, exponent);
+}
+
+PowerFit
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ZATEL_ASSERT(xs.size() == ys.size(), "fitPowerLaw size mismatch");
+    std::vector<double> lx, ly;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] > 0.0 && ys[i] > 0.0) {
+            lx.push_back(std::log(xs[i]));
+            ly.push_back(std::log(ys[i]));
+        }
+    }
+    ZATEL_ASSERT(lx.size() >= 2, "fitPowerLaw needs >= 2 positive samples");
+    LinearFit line = fitLinear(lx, ly);
+
+    PowerFit fit;
+    fit.scale = std::exp(line.intercept);
+    fit.exponent = line.slope;
+    // R2 in log space describes the quality of the power-law shape.
+    fit.r2 = line.r2;
+    return fit;
+}
+
+double
+ExponentialFit::evaluate(double x) const
+{
+    if (!exponential)
+        return fallback.evaluate(x);
+    return offset + coeff * std::pow(ratio, x);
+}
+
+ExponentialFit
+fitExponentialThreePoint(const std::vector<double> &xs,
+                         const std::vector<double> &ys)
+{
+    ZATEL_ASSERT(xs.size() == 3 && ys.size() == 3,
+                 "three-point fit needs exactly 3 samples");
+    const double h = xs[1] - xs[0];
+    ZATEL_ASSERT(std::abs((xs[2] - xs[1]) - h) < 1e-9 && std::abs(h) > 1e-12,
+                 "three-point fit requires equally spaced x values");
+
+    ExponentialFit fit;
+    const double d1 = ys[1] - ys[0];
+    const double d2 = ys[2] - ys[1];
+
+    // ratio^h = d2 / d1; solvable only when both steps move the same way.
+    if (std::abs(d1) > 1e-12 && d2 / d1 > 1e-9) {
+        double ratio_h = d2 / d1;
+        double ratio = std::pow(ratio_h, 1.0 / h);
+        if (std::abs(ratio - 1.0) > 1e-9) {
+            fit.exponential = true;
+            fit.ratio = ratio;
+            fit.coeff = d1 / (std::pow(ratio, xs[1]) - std::pow(ratio, xs[0]));
+            fit.offset = ys[0] - fit.coeff * std::pow(ratio, xs[0]);
+            return fit;
+        }
+    }
+
+    // Degenerate shape: the line through the outer samples.
+    fit.exponential = false;
+    fit.fallback = fitLinear({xs[0], xs[2]}, {ys[0], ys[2]});
+    return fit;
+}
+
+} // namespace zatel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Curve fitting helpers used by Zatel's extrapolation stage (Section III-G
+ * and IV-F of the paper) and the speedup model of equation (4).
+ */
+
+#ifndef ZATEL_UTIL_REGRESSION_HH
+#define ZATEL_UTIL_REGRESSION_HH
+
+#include <vector>
+
+namespace zatel
+{
+
+/** Result of an ordinary least-squares line fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+
+    double evaluate(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Ordinary least-squares line fit.
+ * @pre xs.size() == ys.size() and xs.size() >= 2.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Power-law fit y = scale * x^exponent (via log-log least squares). */
+struct PowerFit
+{
+    double scale = 0.0;
+    double exponent = 0.0;
+    double r2 = 0.0;
+
+    double evaluate(double x) const;
+};
+
+/**
+ * Fit y = scale * x^exponent to strictly positive samples.
+ * Samples with non-positive x or y are skipped.
+ * @pre at least 2 usable samples.
+ */
+PowerFit fitPowerLaw(const std::vector<double> &xs,
+                     const std::vector<double> &ys);
+
+/**
+ * Shifted exponential y = offset + coeff * ratio^x, exactly determined from
+ * three samples at equally spaced x values (the paper feeds 20%, 30%, 40%).
+ *
+ * When the three samples are not genuinely exponential (ratio would be
+ * non-positive or ~1) the fit degrades gracefully to the line through the
+ * outer points, mirroring how an overfit regression behaves in Fig. 20.
+ */
+struct ExponentialFit
+{
+    double offset = 0.0;
+    double coeff = 0.0;
+    double ratio = 1.0;
+    /** True when the exponential form was solvable. */
+    bool exponential = false;
+    /** Fallback line used when !exponential. */
+    LinearFit fallback;
+
+    double evaluate(double x) const;
+};
+
+/**
+ * Fit the shifted exponential through three equally spaced samples.
+ * @pre xs.size() == 3, ys.size() == 3, xs[1]-xs[0] == xs[2]-xs[1] != 0.
+ */
+ExponentialFit fitExponentialThreePoint(const std::vector<double> &xs,
+                                        const std::vector<double> &ys);
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_REGRESSION_HH

@@ -1,0 +1,112 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zatel
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    ZATEL_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    ZATEL_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    double v = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u));
+    spareGaussian_ = mag * std::sin(2.0 * M_PI * v);
+    hasSpareGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * v);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xA02BDBF7BB3C0A7ull);
+}
+
+} // namespace zatel

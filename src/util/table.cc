@@ -1,0 +1,123 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace zatel
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(std::max(cells.size(), header_.size()));
+    rows_.push_back(std::move(cells));
+    isRule_.push_back(false);
+}
+
+void
+AsciiTable::addRule()
+{
+    rows_.emplace_back();
+    isRule_.push_back(true);
+}
+
+std::string
+AsciiTable::num(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+AsciiTable::pct(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value);
+    return buf;
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+    bool any_digit = false;
+    for (; i < cell.size(); ++i) {
+        char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            any_digit = true;
+        } else if (c != '.' && c != '%' && c != 'e' && c != '+' &&
+                   c != '-' && c != 'x') {
+            return false;
+        }
+    }
+    return any_digit;
+}
+
+} // namespace
+
+std::string
+AsciiTable::toString() const
+{
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<size_t> widths(cols, 0);
+    auto widen = [&widths](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (!isRule_[r])
+            widen(rows_[r]);
+    }
+
+    std::ostringstream oss;
+    auto rule = [&]() {
+        oss << '+';
+        for (size_t w : widths)
+            oss << std::string(w + 2, '-') << '+';
+        oss << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        oss << '|';
+        for (size_t i = 0; i < cols; ++i) {
+            std::string cell = i < row.size() ? row[i] : std::string();
+            size_t pad = widths[i] - cell.size();
+            if (looksNumeric(cell))
+                oss << ' ' << std::string(pad, ' ') << cell << ' ';
+            else
+                oss << ' ' << cell << std::string(pad, ' ') << ' ';
+            oss << '|';
+        }
+        oss << '\n';
+    };
+
+    rule();
+    emit(header_);
+    rule();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (isRule_[r])
+            rule();
+        else
+            emit(rows_[r]);
+    }
+    rule();
+    return oss.str();
+}
+
+} // namespace zatel

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table printer used by benches to render paper-style tables.
+ */
+
+#ifndef ZATEL_UTIL_TABLE_HH
+#define ZATEL_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace zatel
+{
+
+/**
+ * Fixed-column ASCII table with a header row and separator rules.
+ *
+ * Columns auto-size to the widest cell. Numeric cells are right aligned;
+ * everything else left aligns.
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next added row. */
+    void addRule();
+
+    /** Render the table. */
+    std::string toString() const;
+
+    /** Helper: fixed-precision formatting. */
+    static std::string num(double value, int precision = 2);
+
+    /** Helper: percent formatting with a trailing '%'. */
+    static std::string pct(double value, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    /** Row text; an empty optional-like marker row means "rule". */
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> isRule_;
+};
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_TABLE_HH

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace zatel
+{
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(packaged));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &body)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        futures.push_back(submit([&body, i] { body(i); }));
+    for (auto &future : futures)
+        future.get();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return shutdown_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                // shutdown_ must be set; exit.
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace zatel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-size thread pool used by Zatel's group runner to execute the K
+ * downscaled simulator instances concurrently (Section III-A step 6).
+ */
+
+#ifndef ZATEL_UTIL_THREAD_POOL_HH
+#define ZATEL_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zatel
+{
+
+/**
+ * A simple fixed-size worker pool.
+ *
+ * Tasks are std::function<void()>; submit() returns a future for join /
+ * exception propagation. The destructor drains outstanding work.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 selects hardware_concurrency().
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; the future resolves when it completes. */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void waitAll();
+
+    size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Run @p body(i) for i in [0, count) across the pool and wait.
+     * Exceptions from tasks propagate out of the call.
+     */
+    void parallelFor(size_t count, const std::function<void(size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::packaged_task<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_THREAD_POOL_HH

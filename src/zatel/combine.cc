@@ -1,0 +1,44 @@
+#include "zatel/combine.hh"
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace zatel::core
+{
+
+CombineRule
+combineRuleFor(gpusim::Metric metric)
+{
+    switch (metric) {
+      case gpusim::Metric::Ipc:
+        return CombineRule::Sum;
+      case gpusim::Metric::SimCycles:
+      case gpusim::Metric::L1dMissRate:
+      case gpusim::Metric::L2MissRate:
+      case gpusim::Metric::RtEfficiency:
+      case gpusim::Metric::DramEfficiency:
+      case gpusim::Metric::BwUtilization:
+        return CombineRule::Average;
+    }
+    panic("unknown Metric");
+}
+
+double
+combineMetric(gpusim::Metric metric,
+              const std::vector<double> &group_values)
+{
+    ZATEL_ASSERT(!group_values.empty(), "no group values to combine");
+    switch (combineRuleFor(metric)) {
+      case CombineRule::Sum: {
+        double total = 0.0;
+        for (double v : group_values)
+            total += v;
+        return total;
+      }
+      case CombineRule::Average:
+        return mean(group_values);
+    }
+    panic("unknown CombineRule");
+}
+
+} // namespace zatel::core

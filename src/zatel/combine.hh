@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Combining per-group predictions into the final result (paper Section
+ * III-H). The GPU's groups execute concurrently on disjoint slices of
+ * the machine, so throughput metrics (IPC) sum across groups while
+ * encapsulated ratio metrics (cache miss rates, efficiencies) average.
+ * Simulation cycles average: with fine-grained division each group is a
+ * homogeneous sample of the scene, so group runtimes are close and the
+ * mean estimates the concurrent completion time.
+ */
+
+#ifndef ZATEL_ZATEL_COMBINE_HH
+#define ZATEL_ZATEL_COMBINE_HH
+
+#include <vector>
+
+#include "gpusim/stats.hh"
+
+namespace zatel::core
+{
+
+/** How a metric aggregates across groups. */
+enum class CombineRule
+{
+    Sum,     ///< throughput adds across concurrent slices (IPC)
+    Average, ///< ratios/durations average (miss rates, cycles, ...)
+};
+
+/** The rule Section III-H prescribes for @p metric. */
+CombineRule combineRuleFor(gpusim::Metric metric);
+
+/**
+ * Combine per-group values of @p metric.
+ * @pre !group_values.empty().
+ */
+double combineMetric(gpusim::Metric metric,
+                     const std::vector<double> &group_values);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_COMBINE_HH

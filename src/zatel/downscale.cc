@@ -1,0 +1,38 @@
+#include "zatel/downscale.hh"
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace zatel::core
+{
+
+uint32_t
+downscaleFactor(const gpusim::GpuConfig &config)
+{
+    uint64_t k = gcd(config.numSms, config.numMemPartitions);
+    return k == 0 ? 1 : static_cast<uint32_t>(k);
+}
+
+gpusim::GpuConfig
+downscaleConfig(const gpusim::GpuConfig &config, uint32_t k)
+{
+    if (k == 0)
+        fatal("downscale factor must be >= 1");
+    if (config.numSms % k != 0 || config.numMemPartitions % k != 0) {
+        fatal("downscale factor ", k, " does not divide config '",
+              config.name, "' (", config.numSms, " SMs, ",
+              config.numMemPartitions, " partitions)");
+    }
+
+    gpusim::GpuConfig scaled = config;
+    scaled.name = config.name + "/K" + std::to_string(k);
+    scaled.numSms = config.numSms / k;
+    scaled.numMemPartitions = config.numMemPartitions / k;
+    // l2TotalBytes describes the whole (original) chip; keep the slice
+    // size constant so the scaled GPU owns 1/k of the LLC.
+    scaled.l2TotalBytes = config.l2SliceBytes() * scaled.numMemPartitions;
+    scaled.validate();
+    return scaled;
+}
+
+} // namespace zatel::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * GPU configuration downscaling (paper Section III-C).
+ *
+ * The downscaling factor K is the greatest common divisor of the counts
+ * of the scalable components (SMs and memory partitions). Dividing both
+ * by K automatically shrinks the shared resources: LLC capacity and peak
+ * DRAM bandwidth are per-partition, and the interconnect topology follows
+ * the component counts.
+ */
+
+#ifndef ZATEL_ZATEL_DOWNSCALE_HH
+#define ZATEL_ZATEL_DOWNSCALE_HH
+
+#include <cstdint>
+
+#include "gpusim/config.hh"
+
+namespace zatel::core
+{
+
+/**
+ * The paper's downscaling factor: gcd(#SMs, #memory partitions).
+ * Always >= 1.
+ */
+uint32_t downscaleFactor(const gpusim::GpuConfig &config);
+
+/**
+ * Divide the scalable component counts by @p k.
+ * Calls fatal() when @p k does not divide both counts.
+ */
+gpusim::GpuConfig downscaleConfig(const gpusim::GpuConfig &config,
+                                  uint32_t k);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_DOWNSCALE_HH

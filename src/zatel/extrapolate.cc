@@ -1,0 +1,64 @@
+#include "zatel/extrapolate.hh"
+
+#include "util/logging.hh"
+#include "util/regression.hh"
+
+namespace zatel::core
+{
+
+const char *
+extrapolationMethodName(ExtrapolationMethod method)
+{
+    switch (method) {
+      case ExtrapolationMethod::Linear: return "linear";
+      case ExtrapolationMethod::ExponentialRegression: return "regression";
+    }
+    panic("unknown ExtrapolationMethod");
+}
+
+double
+extrapolateLinear(gpusim::Metric metric, double measured, double fraction)
+{
+    ZATEL_ASSERT(fraction > 0.0 && fraction <= 1.0,
+                 "fraction must be in (0, 1], got ", fraction);
+    switch (metric) {
+      case gpusim::Metric::SimCycles:
+        // Absolute quantity: assume work (and thus cycles on a saturated
+        // GPU) scales with the number of traced pixels.
+        return measured / fraction;
+      case gpusim::Metric::Ipc:
+      case gpusim::Metric::L1dMissRate:
+      case gpusim::Metric::L2MissRate:
+      case gpusim::Metric::RtEfficiency:
+      case gpusim::Metric::DramEfficiency:
+      case gpusim::Metric::BwUtilization:
+        // Ratio metrics: numerator and denominator extrapolate by the
+        // same factor, so the measured value is the prediction.
+        return measured;
+    }
+    panic("unknown Metric");
+}
+
+std::vector<double>
+extrapolateAllLinear(const gpusim::GpuStats &stats, double fraction)
+{
+    std::vector<double> predicted;
+    predicted.reserve(gpusim::allMetrics().size());
+    for (gpusim::Metric metric : gpusim::allMetrics()) {
+        predicted.push_back(
+            extrapolateLinear(metric, stats.metricValue(metric), fraction));
+    }
+    return predicted;
+}
+
+double
+extrapolateRegression(const std::vector<double> &fractions,
+                      const std::vector<double> &values)
+{
+    ZATEL_ASSERT(fractions.size() == 3 && values.size() == 3,
+                 "regression extrapolation needs exactly 3 samples");
+    ExponentialFit fit = fitExponentialThreePoint(fractions, values);
+    return fit.evaluate(1.0);
+}
+
+} // namespace zatel::core

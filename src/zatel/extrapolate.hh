@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-group metric extrapolation (paper Sections III-G and IV-F).
+ *
+ * Linear: absolute metrics (simulation cycles) scale by 1/fraction;
+ * ratio metrics (IPC, miss rates, efficiencies) pass through — their
+ * numerator and denominator scale together, which is exactly where the
+ * systematic biases the paper reports come from.
+ *
+ * Exponential regression: simulate the group at three fractions and fit
+ * a shifted exponential through the metric values, evaluating it at
+ * 100% (paper feeds 20%/30%/40%; Section IV-F finds this is usually NOT
+ * better than just tracing 40%).
+ */
+
+#ifndef ZATEL_ZATEL_EXTRAPOLATE_HH
+#define ZATEL_ZATEL_EXTRAPOLATE_HH
+
+#include <vector>
+
+#include "gpusim/stats.hh"
+
+namespace zatel::core
+{
+
+/** Extrapolation model selector. */
+enum class ExtrapolationMethod
+{
+    Linear,
+    ExponentialRegression,
+};
+
+const char *extrapolationMethodName(ExtrapolationMethod method);
+
+/**
+ * Linear extrapolation of one metric measured at @p fraction of pixels.
+ * @pre 0 < fraction <= 1.
+ */
+double extrapolateLinear(gpusim::Metric metric, double measured,
+                         double fraction);
+
+/** Apply extrapolateLinear to all Table I metrics of @p stats. */
+std::vector<double> extrapolateAllLinear(const gpusim::GpuStats &stats,
+                                         double fraction);
+
+/**
+ * Exponential-regression extrapolation: fit metric samples measured at
+ * the given fractions (typically {0.2, 0.3, 0.4}) and evaluate at 1.0.
+ * @pre fractions.size() == 3, equally spaced, values aligned.
+ */
+double extrapolateRegression(const std::vector<double> &fractions,
+                             const std::vector<double> &values);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_EXTRAPOLATE_HH

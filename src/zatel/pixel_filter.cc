@@ -1,0 +1,54 @@
+#include "zatel/pixel_filter.hh"
+
+#include <fstream>
+#include <unordered_map>
+
+namespace zatel::core
+{
+
+bool
+writeFilterFile(const std::string &path, const PixelGroup &group,
+                const Selection &selection)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    for (size_t i = 0; i < group.size(); ++i) {
+        if (selection.mask[i])
+            out << group[i].x << ' ' << group[i].y << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+Selection
+readFilterFile(const std::string &path, const PixelGroup &group)
+{
+    Selection selection;
+    selection.mask.assign(group.size(), false);
+
+    std::unordered_map<uint64_t, uint32_t> index_of;
+    index_of.reserve(group.size());
+    for (uint32_t i = 0; i < group.size(); ++i) {
+        uint64_t key = (static_cast<uint64_t>(group[i].y) << 32) |
+                       group[i].x;
+        index_of.emplace(key, i);
+    }
+
+    std::ifstream in(path);
+    uint64_t x = 0, y = 0;
+    while (in >> x >> y) {
+        auto it = index_of.find((y << 32) | x);
+        if (it != index_of.end() && !selection.mask[it->second]) {
+            selection.mask[it->second] = true;
+            ++selection.selectedCount;
+        }
+    }
+    selection.actualFraction =
+        group.empty() ? 0.0
+                      : static_cast<double>(selection.selectedCount) /
+                            static_cast<double>(group.size());
+    selection.targetFraction = selection.actualFraction;
+    return selection;
+}
+
+} // namespace zatel::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Pixel filter files (paper Section III-F).
+ *
+ * Zatel writes one file per group listing the pixel coordinates the
+ * simulator instance should trace; the simulator's injected
+ * filter_shader consults it. This repo's simulator takes the mask
+ * in memory, but the file format is kept for parity (and lets users
+ * inspect or replay a selection).
+ */
+
+#ifndef ZATEL_ZATEL_PIXEL_FILTER_HH
+#define ZATEL_ZATEL_PIXEL_FILTER_HH
+
+#include <string>
+#include <vector>
+
+#include "zatel/partition.hh"
+#include "zatel/pixel_selector.hh"
+
+namespace zatel::core
+{
+
+/**
+ * Write the selected pixels of @p group to @p path, one "x y" pair per
+ * line.
+ * @return true on success.
+ */
+bool writeFilterFile(const std::string &path, const PixelGroup &group,
+                     const Selection &selection);
+
+/**
+ * Load a filter file back into a selection mask for @p group.
+ * Pixels listed in the file but absent from @p group are ignored.
+ */
+Selection readFilterFile(const std::string &path, const PixelGroup &group);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_PIXEL_FILTER_HH

@@ -1,0 +1,176 @@
+#include "zatel/pixel_selector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace zatel::core
+{
+
+const char *
+distributionMethodName(DistributionMethod method)
+{
+    switch (method) {
+      case DistributionMethod::Uniform: return "uniform";
+      case DistributionMethod::LinTemp: return "lintmp";
+      case DistributionMethod::ExpTemp: return "exptmp";
+    }
+    panic("unknown DistributionMethod");
+}
+
+double
+equationOneFraction(const PixelGroup &group,
+                    const heatmap::QuantizedHeatmap &quantized,
+                    double min_fraction, double max_fraction)
+{
+    ZATEL_ASSERT(!group.empty(), "equation (1) over an empty group");
+    double sum = 0.0;
+    for (const gpusim::PixelCoord &pixel : group)
+        sum += quantized.coolnessAt(pixel.x, pixel.y);
+    double p = sum / static_cast<double>(group.size());
+    return clampDouble(p, min_fraction, max_fraction);
+}
+
+namespace
+{
+
+/** Per-cluster pixel weight under the chosen distribution. */
+double
+clusterWeight(DistributionMethod method, double coolness)
+{
+    double warmth = 1.0 - coolness; // c' = 1 - c
+    switch (method) {
+      case DistributionMethod::Uniform:
+        return 1.0;
+      case DistributionMethod::LinTemp:
+        return warmth;
+      case DistributionMethod::ExpTemp:
+        return std::pow(warmth, 5.0);
+    }
+    panic("unknown DistributionMethod");
+}
+
+} // namespace
+
+Selection
+selectRepresentativePixels(const PixelGroup &group,
+                           const heatmap::QuantizedHeatmap &quantized,
+                           const SelectorParams &params, Rng &rng)
+{
+    ZATEL_ASSERT(!group.empty(), "selection over an empty group");
+
+    Selection selection;
+    selection.mask.assign(group.size(), false);
+
+    double target = params.fixedFraction
+                        ? clampDouble(*params.fixedFraction, 0.0, 1.0)
+                        : equationOneFraction(group, quantized,
+                                              params.minFraction,
+                                              params.maxFraction);
+    selection.targetFraction = target;
+
+    uint64_t target_pixels = static_cast<uint64_t>(
+        std::llround(target * static_cast<double>(group.size())));
+    if (target_pixels == 0 && target > 0.0)
+        target_pixels = 1;
+    if (target_pixels >= group.size()) {
+        // Everything selected; no block machinery needed.
+        std::fill(selection.mask.begin(), selection.mask.end(), true);
+        selection.selectedCount = group.size();
+        selection.actualFraction = 1.0;
+        return selection;
+    }
+    if (target_pixels == 0) {
+        selection.actualFraction = 0.0;
+        return selection;
+    }
+
+    std::vector<SectionBlock> blocks = buildSectionBlocks(
+        group, quantized, params.blockWidth, params.blockHeight);
+
+    // Per-cluster pixel quotas: weight every group pixel by its cluster
+    // weight, normalize, and scale by the pixel budget.
+    uint32_t clusters = quantized.paletteSize();
+    std::vector<double> cluster_population(clusters, 0.0);
+    for (const SectionBlock &block : blocks) {
+        for (uint32_t c = 0; c < clusters; ++c)
+            cluster_population[c] += block.clusterCounts[c];
+    }
+
+    std::vector<double> quota(clusters, 0.0);
+    double total_weight = 0.0;
+    for (uint32_t c = 0; c < clusters; ++c) {
+        double w = clusterWeight(params.distribution,
+                                 quantized.coolness(c)) *
+                   cluster_population[c];
+        quota[c] = w;
+        total_weight += w;
+    }
+    if (total_weight <= 0.0) {
+        // Degenerate (all weight zero, e.g. exptmp on an all-cold map):
+        // fall back to the uniform distribution.
+        total_weight = 0.0;
+        for (uint32_t c = 0; c < clusters; ++c) {
+            quota[c] = cluster_population[c];
+            total_weight += quota[c];
+        }
+    }
+    for (uint32_t c = 0; c < clusters; ++c)
+        quota[c] = quota[c] / total_weight *
+                   static_cast<double>(target_pixels);
+
+    // Visit blocks in random order; take a block while it still serves
+    // a cluster with remaining quota. A second pass takes arbitrary
+    // blocks if the quotas ran dry before the budget was met
+    // (Section III-E: "randomly choose other section blocks").
+    std::vector<uint32_t> order(blocks.size());
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+
+    std::vector<bool> block_taken(blocks.size(), false);
+    uint64_t selected = 0;
+
+    auto take_block = [&](uint32_t b) {
+        block_taken[b] = true;
+        for (uint32_t pixel_index : blocks[b].pixelIndices) {
+            selection.mask[pixel_index] = true;
+            ++selected;
+        }
+        for (uint32_t c = 0; c < clusters; ++c)
+            quota[c] -= blocks[b].clusterCounts[c];
+    };
+
+    for (uint32_t b : order) {
+        if (selected >= target_pixels)
+            break;
+        // Usefulness: how many of the block's pixels serve clusters that
+        // still have quota left.
+        double useful = 0.0;
+        for (uint32_t c = 0; c < clusters; ++c) {
+            if (quota[c] > 0.0) {
+                useful += std::min<double>(blocks[b].clusterCounts[c],
+                                           quota[c]);
+            }
+        }
+        if (useful * 2.0 >= static_cast<double>(
+                                blocks[b].pixelIndices.size())) {
+            take_block(b);
+        }
+    }
+    for (uint32_t b : order) {
+        if (selected >= target_pixels)
+            break;
+        if (!block_taken[b])
+            take_block(b);
+    }
+
+    selection.selectedCount = selected;
+    selection.actualFraction =
+        static_cast<double>(selected) / static_cast<double>(group.size());
+    return selection;
+}
+
+} // namespace zatel::core

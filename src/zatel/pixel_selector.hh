@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Representative-pixel selection (paper Section III-E).
+ *
+ * The number of pixels to trace follows equation (1): the fraction P is
+ * the group's mean coolness, clamped into [0.3, 0.6]. Which pixels to
+ * trace is decided at section-block granularity, distributing the budget
+ * over quantized colors either uniformly (matching the group's color
+ * distribution) or weighted by warmth — linearly (eq. 2, "lintmp") or
+ * amplified to the fifth power (eq. 3, "exptmp").
+ */
+
+#ifndef ZATEL_ZATEL_PIXEL_SELECTOR_HH
+#define ZATEL_ZATEL_PIXEL_SELECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "heatmap/heatmap.hh"
+#include "util/rng.hh"
+#include "zatel/partition.hh"
+#include "zatel/section_block.hh"
+
+namespace zatel::core
+{
+
+/** Color-budget distribution method (Section III-E). */
+enum class DistributionMethod
+{
+    Uniform, ///< match the group's own color distribution
+    LinTemp, ///< weight pixels by warmth c' (equation 2)
+    ExpTemp, ///< weight pixels by warmth c'^5 (equation 3)
+};
+
+const char *distributionMethodName(DistributionMethod method);
+
+/** Selection tuning. */
+struct SelectorParams
+{
+    DistributionMethod distribution = DistributionMethod::Uniform;
+    /** Section block size; 32x2 is the tuned choice (Section IV-C). */
+    uint32_t blockWidth = 32;
+    uint32_t blockHeight = 2;
+    /** Equation (1) clamp bounds. */
+    double minFraction = 0.3;
+    double maxFraction = 0.6;
+    /**
+     * Bypass equation (1) with a fixed fraction (used by the sweeps of
+     * Section IV-D and the capped-10% PARK experiment).
+     */
+    std::optional<double> fixedFraction;
+};
+
+/** Result of selecting a group's representative pixels. */
+struct Selection
+{
+    /** Aligned with the group's pixel list; true = trace this pixel. */
+    std::vector<bool> mask;
+    /** Fraction equation (1) asked for. */
+    double targetFraction = 0.0;
+    /** Fraction actually selected (block granularity rounds up). */
+    double actualFraction = 0.0;
+    /** Number of selected pixels. */
+    uint64_t selectedCount = 0;
+};
+
+/**
+ * Equation (1): mean coolness of the group's pixels, clamped into
+ * [min_fraction, max_fraction].
+ */
+double equationOneFraction(const PixelGroup &group,
+                           const heatmap::QuantizedHeatmap &quantized,
+                           double min_fraction, double max_fraction);
+
+/**
+ * Select the representative pixels of @p group.
+ * Deterministic for a given @p rng state.
+ */
+Selection selectRepresentativePixels(
+    const PixelGroup &group, const heatmap::QuantizedHeatmap &quantized,
+    const SelectorParams &params, Rng &rng);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_PIXEL_SELECTOR_HH

@@ -1,0 +1,222 @@
+#include "zatel/predictor.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+#include "zatel/downscale.hh"
+
+namespace zatel::core
+{
+
+namespace
+{
+
+rt::TracerParams
+tracerParamsFor(const ZatelParams &params)
+{
+    rt::TracerParams tp;
+    tp.samplesPerPixel = params.samplesPerPixel;
+    return tp;
+}
+
+} // namespace
+
+std::map<gpusim::Metric, double>
+OracleResult::metrics() const
+{
+    std::map<gpusim::Metric, double> values;
+    for (gpusim::Metric metric : gpusim::allMetrics())
+        values[metric] = stats.metricValue(metric);
+    return values;
+}
+
+ZatelPredictor::ZatelPredictor(const rt::Scene &scene, const rt::Bvh &bvh,
+                               const gpusim::GpuConfig &target_config,
+                               const ZatelParams &params)
+    : scene_(scene), bvh_(bvh), targetConfig_(target_config),
+      params_(params), tracer_(scene, bvh, tracerParamsFor(params))
+{
+    targetConfig_.validate();
+    ZATEL_ASSERT(params_.width > 0 && params_.height > 0,
+                 "image plane must be non-empty");
+}
+
+uint32_t
+ZatelPredictor::effectiveK() const
+{
+    if (params_.forcedK)
+        return std::max(1u, *params_.forcedK);
+    if (!params_.downscaleGpu)
+        return 1;
+    return downscaleFactor(targetConfig_);
+}
+
+GroupResult
+ZatelPredictor::simulateGroup(uint32_t group_index, const PixelGroup &group,
+                              const Selection &selection,
+                              const gpusim::GpuConfig &config) const
+{
+    GroupResult result;
+    result.groupIndex = group_index;
+    result.pixels = group.size();
+    result.selectedPixels = selection.selectedCount;
+    result.fractionTraced = selection.actualFraction;
+
+    WallTimer timer;
+    gpusim::SimWorkload workload = gpusim::SimWorkload::build(
+        tracer_, params_.width, params_.height, group, &selection.mask);
+    gpusim::Gpu gpu(config, workload);
+    result.stats = gpu.run();
+    result.wallSeconds = timer.elapsedSeconds();
+    return result;
+}
+
+ZatelResult
+ZatelPredictor::predict()
+{
+    ZatelResult result;
+    WallTimer preprocess_timer;
+
+    // Steps (1) + (2): heatmap + color quantization.
+    rt::RenderResult render =
+        tracer_.render(params_.width, params_.height);
+    heatmap::Heatmap map = heatmap::profileRender(render, params_.profiler);
+    quantized_ = heatmap::QuantizedHeatmap::quantize(
+        map, params_.quantizeColors, params_.seed);
+    result.preprocessWallSeconds = preprocess_timer.elapsedSeconds();
+
+    // Step (3): downscaling factor + config.
+    uint32_t k = effectiveK();
+    result.k = k;
+    gpusim::GpuConfig group_config =
+        (params_.downscaleGpu && k > 1) ? downscaleConfig(targetConfig_, k)
+                                        : targetConfig_;
+
+    // Step (4): image-plane division.
+    std::vector<PixelGroup> groups = divideImagePlane(
+        params_.width, params_.height, k, params_.partition);
+
+    // Step (5): representative pixels per group.
+    Rng rng(params_.seed);
+    std::vector<Selection> selections;
+    selections.reserve(groups.size());
+    for (const PixelGroup &group : groups) {
+        Rng group_rng = rng.split();
+        selections.push_back(selectRepresentativePixels(
+            group, quantized_, params_.selector, group_rng));
+    }
+
+    // Step (6): concurrent simulation of the K groups. With regression
+    // extrapolation each group is simulated at each regression fraction.
+    std::vector<double> fractions_to_run;
+    if (params_.extrapolation == ExtrapolationMethod::ExponentialRegression)
+        fractions_to_run = params_.regressionFractions;
+
+    result.groups.resize(groups.size());
+    std::vector<std::vector<GroupResult>> regression_runs(groups.size());
+
+    WallTimer sim_timer;
+    {
+        // Default the worker count to the hardware so instances are not
+        // time-sliced against each other: per-instance wallSeconds then
+        // measures each instance in isolation, and maxGroupWallSeconds
+        // models the paper's one-core-per-group deployment even on
+        // machines with fewer cores than K.
+        size_t workers =
+            params_.numThreads != 0
+                ? params_.numThreads
+                : std::max<size_t>(1, std::thread::hardware_concurrency());
+        ThreadPool pool(std::min<size_t>(workers, groups.size()));
+        pool.parallelFor(groups.size(), [&](size_t g) {
+            if (fractions_to_run.empty()) {
+                result.groups[g] = simulateGroup(
+                    static_cast<uint32_t>(g), groups[g], selections[g],
+                    group_config);
+            } else {
+                // Regression mode: re-select at each fraction with a
+                // fixed budget, simulate, and keep all runs.
+                for (double fraction : fractions_to_run) {
+                    SelectorParams sel = params_.selector;
+                    sel.fixedFraction = fraction;
+                    Rng frac_rng(params_.seed ^
+                                 (static_cast<uint64_t>(g) << 20) ^
+                                 static_cast<uint64_t>(fraction * 1e6));
+                    Selection selection = selectRepresentativePixels(
+                        groups[g], quantized_, sel, frac_rng);
+                    regression_runs[g].push_back(simulateGroup(
+                        static_cast<uint32_t>(g), groups[g], selection,
+                        group_config));
+                }
+                // Expose the largest-fraction run as the group result.
+                result.groups[g] = regression_runs[g].back();
+            }
+        });
+    }
+    result.simWallSeconds = sim_timer.elapsedSeconds();
+    for (const GroupResult &group : result.groups) {
+        result.maxGroupWallSeconds =
+            std::max(result.maxGroupWallSeconds, group.wallSeconds);
+    }
+
+    // Step (7): extrapolate per group, then combine across groups.
+    const std::vector<gpusim::Metric> &metrics = gpusim::allMetrics();
+    for (size_t g = 0; g < result.groups.size(); ++g) {
+        GroupResult &group = result.groups[g];
+        if (fractions_to_run.empty()) {
+            double fraction = std::max(group.fractionTraced, 1e-9);
+            group.extrapolated =
+                extrapolateAllLinear(group.stats, fraction);
+        } else {
+            group.extrapolated.clear();
+            for (gpusim::Metric metric : metrics) {
+                std::vector<double> xs, ys;
+                for (size_t r = 0; r < fractions_to_run.size(); ++r) {
+                    xs.push_back(fractions_to_run[r]);
+                    ys.push_back(
+                        regression_runs[g][r].stats.metricValue(metric));
+                }
+                group.extrapolated.push_back(
+                    extrapolateRegression(xs, ys));
+            }
+        }
+    }
+
+    uint64_t selected_total = 0;
+    uint64_t pixels_total = 0;
+    for (const GroupResult &group : result.groups) {
+        selected_total += group.selectedPixels;
+        pixels_total += group.pixels;
+    }
+    result.fractionTraced =
+        pixels_total == 0 ? 0.0
+                          : static_cast<double>(selected_total) /
+                                static_cast<double>(pixels_total);
+
+    for (size_t m = 0; m < metrics.size(); ++m) {
+        std::vector<double> group_values;
+        group_values.reserve(result.groups.size());
+        for (const GroupResult &group : result.groups)
+            group_values.push_back(group.extrapolated[m]);
+        result.predicted[metrics[m]] =
+            combineMetric(metrics[m], group_values);
+    }
+    return result;
+}
+
+OracleResult
+ZatelPredictor::runOracle() const
+{
+    OracleResult oracle;
+    WallTimer timer;
+    gpusim::SimWorkload workload = gpusim::SimWorkload::buildFullFrame(
+        tracer_, params_.width, params_.height);
+    gpusim::Gpu gpu(targetConfig_, workload);
+    oracle.stats = gpu.run();
+    oracle.wallSeconds = timer.elapsedSeconds();
+    return oracle;
+}
+
+} // namespace zatel::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ZatelPredictor: the end-to-end prediction pipeline (paper Fig. 3).
+ *
+ *   (1) profile the workload into an execution-time heatmap
+ *   (2) quantize its colors with K-Means
+ *   (3) pick the downscaling factor K and shrink the GPU configuration
+ *   (4) divide the image plane into K groups
+ *   (5) select each group's representative pixels
+ *   (6) run one downscaled simulator instance per group, concurrently
+ *   (7) extrapolate and combine the group statistics
+ *
+ * The predictor is configured once and then predict()s; an oracle run
+ * (full scene, full GPU) is provided for error evaluation.
+ */
+
+#ifndef ZATEL_ZATEL_PREDICTOR_HH
+#define ZATEL_ZATEL_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/gpu.hh"
+#include "gpusim/stats.hh"
+#include "heatmap/heatmap.hh"
+#include "heatmap/profiler.hh"
+#include "rt/bvh.hh"
+#include "rt/scene.hh"
+#include "rt/tracer.hh"
+#include "zatel/combine.hh"
+#include "zatel/extrapolate.hh"
+#include "zatel/partition.hh"
+#include "zatel/pixel_selector.hh"
+
+namespace zatel::core
+{
+
+/** Full pipeline configuration. */
+struct ZatelParams
+{
+    /** Rendered image size (the paper uses 512x512). */
+    uint32_t width = 128;
+    uint32_t height = 128;
+    /** Samples per pixel (the paper uses 2). */
+    uint32_t samplesPerPixel = 1;
+
+    /** Image-plane division (fine-grained 32x2 is the tuned choice). */
+    PartitionParams partition;
+    /** Representative-pixel selection. */
+    SelectorParams selector;
+    /** Per-group extrapolation model. */
+    ExtrapolationMethod extrapolation = ExtrapolationMethod::Linear;
+    /** Fractions simulated when extrapolation == ExponentialRegression. */
+    std::vector<double> regressionFractions = {0.2, 0.3, 0.4};
+
+    /** Downscale the GPU by K = gcd(#SM, #partitions) and split into K
+     *  groups. When false the full GPU runs one group (pure pixel
+     *  sub-sampling, the Section IV-D mode). */
+    bool downscaleGpu = true;
+    /** Override the division/downscale factor (Section IV-E sweeps). */
+    std::optional<uint32_t> forcedK;
+
+    /** Heatmap profiling source (functional vs noisy HW timers). */
+    heatmap::ProfilerParams profiler;
+    /** K-Means palette size for heatmap quantization. */
+    uint32_t quantizeColors = 8;
+    /** Seed for all randomized stages. */
+    uint64_t seed = 0x2A7E1;
+    /** Worker threads for concurrent group simulation;
+     *  0 = hardware concurrency (capped at K). */
+    uint32_t numThreads = 0;
+};
+
+/** Per-group outcome. */
+struct GroupResult
+{
+    uint32_t groupIndex = 0;
+    uint64_t pixels = 0;
+    uint64_t selectedPixels = 0;
+    double fractionTraced = 0.0;
+    /** Raw simulator counters for this group's instance. */
+    gpusim::GpuStats stats;
+    /** Extrapolated Table I metric values, allMetrics() order. */
+    std::vector<double> extrapolated;
+    /** Wall-clock seconds this instance took. */
+    double wallSeconds = 0.0;
+};
+
+/** Final prediction. */
+struct ZatelResult
+{
+    /** Predicted Table I metrics, keyed by Metric. */
+    std::map<gpusim::Metric, double> predicted;
+    std::vector<GroupResult> groups;
+    uint32_t k = 1;
+    /** Overall fraction of image pixels traced. */
+    double fractionTraced = 0.0;
+    /** Wall-clock seconds of the (concurrent) simulation phase. */
+    double simWallSeconds = 0.0;
+    /**
+     * Wall-clock seconds of the slowest single instance. On a machine
+     * with >= K cores this equals simWallSeconds; on fewer cores it
+     * models the paper's deployment of one CPU core per group
+     * (Section III-A step 6).
+     */
+    double maxGroupWallSeconds = 0.0;
+    /** Wall-clock seconds of preprocessing (heatmap + quantization). */
+    double preprocessWallSeconds = 0.0;
+
+    double metric(gpusim::Metric m) const { return predicted.at(m); }
+};
+
+/** Oracle (full-resolution, full-GPU) reference run. */
+struct OracleResult
+{
+    gpusim::GpuStats stats;
+    double wallSeconds = 0.0;
+
+    std::map<gpusim::Metric, double> metrics() const;
+};
+
+/** The Zatel pipeline bound to one scene + target GPU. */
+class ZatelPredictor
+{
+  public:
+    /**
+     * @param scene Scene to evaluate (kept by reference).
+     * @param bvh Built BVH over the scene's triangles.
+     * @param target_config The full-size GPU being evaluated.
+     */
+    ZatelPredictor(const rt::Scene &scene, const rt::Bvh &bvh,
+                   const gpusim::GpuConfig &target_config,
+                   const ZatelParams &params);
+
+    /** Run the full pipeline. */
+    ZatelResult predict();
+
+    /** Effective division/downscale factor this pipeline will use. */
+    uint32_t effectiveK() const;
+
+    /** The quantized heatmap (valid after predict()). */
+    const heatmap::QuantizedHeatmap &quantizedHeatmap() const
+    {
+        return quantized_;
+    }
+
+    /** Full simulation of the target GPU for error evaluation. */
+    OracleResult runOracle() const;
+
+    const ZatelParams &params() const { return params_; }
+
+  private:
+    /** Simulate one group at one selection; returns raw stats + time. */
+    GroupResult simulateGroup(uint32_t group_index, const PixelGroup &group,
+                              const Selection &selection,
+                              const gpusim::GpuConfig &config) const;
+
+    const rt::Scene &scene_;
+    const rt::Bvh &bvh_;
+    gpusim::GpuConfig targetConfig_;
+    ZatelParams params_;
+    rt::Tracer tracer_;
+    heatmap::QuantizedHeatmap quantized_;
+};
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_PREDICTOR_HH

@@ -1,0 +1,54 @@
+#include "zatel/section_block.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace zatel::core
+{
+
+std::vector<SectionBlock>
+buildSectionBlocks(const PixelGroup &group,
+                   const heatmap::QuantizedHeatmap &quantized,
+                   uint32_t block_width, uint32_t block_height)
+{
+    ZATEL_ASSERT(block_width > 0 && block_height > 0,
+                 "section block dimensions must be positive");
+
+    uint32_t tiles_x =
+        (quantized.width() + block_width - 1) / block_width;
+
+    // Map image-plane tile -> block index, preserving first-seen order so
+    // the result is deterministic and follows the group's pixel order.
+    std::unordered_map<uint64_t, uint32_t> tile_to_block;
+    std::vector<SectionBlock> blocks;
+
+    uint32_t clusters = quantized.paletteSize();
+    for (uint32_t i = 0; i < group.size(); ++i) {
+        const gpusim::PixelCoord &pixel = group[i];
+        uint64_t tile = static_cast<uint64_t>(pixel.y / block_height) *
+                            tiles_x +
+                        (pixel.x / block_width);
+        auto [it, inserted] =
+            tile_to_block.emplace(tile, static_cast<uint32_t>(blocks.size()));
+        if (inserted) {
+            blocks.emplace_back();
+            blocks.back().clusterCounts.assign(clusters, 0);
+        }
+        SectionBlock &block = blocks[it->second];
+        block.pixelIndices.push_back(i);
+        uint32_t cluster = quantized.clusterAt(pixel.x, pixel.y);
+        ++block.clusterCounts[cluster];
+        block.avgCoolness += quantized.coolness(cluster);
+    }
+
+    for (SectionBlock &block : blocks) {
+        if (!block.pixelIndices.empty())
+            block.avgCoolness /= static_cast<double>(
+                block.pixelIndices.size());
+    }
+    return blocks;
+}
+
+} // namespace zatel::core

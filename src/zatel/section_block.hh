@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Section blocks: the selection granules inside a group (Section III-E,
+ * Fig. 8). A block is the set of a group's pixels falling into one
+ * blockWidth x blockHeight tile of the image plane; for fine-grained
+ * groups with matching chunk/block sizes the blocks are exactly the
+ * group's chunks.
+ */
+
+#ifndef ZATEL_ZATEL_SECTION_BLOCK_HH
+#define ZATEL_ZATEL_SECTION_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "heatmap/heatmap.hh"
+#include "zatel/partition.hh"
+
+namespace zatel::core
+{
+
+/** One selection granule inside a group. */
+struct SectionBlock
+{
+    /** Indices into the group's pixel list. */
+    std::vector<uint32_t> pixelIndices;
+    /** Per-cluster pixel counts inside this block. */
+    std::vector<uint32_t> clusterCounts;
+    /** Mean coolness of the block's pixels (0 = hot). */
+    double avgCoolness = 0.0;
+};
+
+/**
+ * Partition a group's pixels into section blocks of the given tile size.
+ * Every group pixel lands in exactly one block.
+ *
+ * @param quantized Supplies the per-pixel cluster ids and coolness.
+ */
+std::vector<SectionBlock>
+buildSectionBlocks(const PixelGroup &group,
+                   const heatmap::QuantizedHeatmap &quantized,
+                   uint32_t block_width, uint32_t block_height);
+
+} // namespace zatel::core
+
+#endif // ZATEL_ZATEL_SECTION_BLOCK_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/arg_parser.hh"
+
+namespace zatel
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser parser("tool", "test tool");
+    parser.addOption("scene", "PARK", "scene name");
+    parser.addOption("res", "128", "resolution");
+    parser.addFlag("verbose", "chatty output");
+    parser.addRequired("mode", "operating mode");
+    return parser;
+}
+
+bool
+parseArgs(ArgParser &parser, std::vector<const char *> args)
+{
+    args.insert(args.begin(), "tool");
+    return parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--mode", "go"}));
+    EXPECT_EQ(parser.get("scene"), "PARK");
+    EXPECT_EQ(parser.getInt("res"), 128);
+    EXPECT_FALSE(parser.getFlag("verbose"));
+    EXPECT_FALSE(parser.has("scene"));
+}
+
+TEST(ArgParser, SpaceAndEqualsSyntax)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(
+        parseArgs(parser, {"--mode=run", "--scene", "BUNNY", "--res=64"}));
+    EXPECT_EQ(parser.get("mode"), "run");
+    EXPECT_EQ(parser.get("scene"), "BUNNY");
+    EXPECT_EQ(parser.getInt("res"), 64);
+    EXPECT_TRUE(parser.has("scene"));
+}
+
+TEST(ArgParser, FlagsAndPositionals)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(parseArgs(parser,
+                          {"predict", "--verbose", "--mode", "x", "extra"}));
+    EXPECT_TRUE(parser.getFlag("verbose"));
+    ASSERT_EQ(parser.positional().size(), 2u);
+    EXPECT_EQ(parser.positional()[0], "predict");
+    EXPECT_EQ(parser.positional()[1], "extra");
+}
+
+TEST(ArgParser, MissingRequiredFails)
+{
+    ArgParser parser = makeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--scene", "PARK"}));
+    EXPECT_NE(parser.errorMessage().find("mode"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownOptionFails)
+{
+    ArgParser parser = makeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--mode", "x", "--bogus", "1"}));
+    EXPECT_NE(parser.errorMessage().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    ArgParser parser = makeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--mode"}));
+    EXPECT_NE(parser.errorMessage().find("needs a value"),
+              std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails)
+{
+    ArgParser parser = makeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--mode", "x", "--verbose=2"}));
+}
+
+TEST(ArgParser, NumericConversions)
+{
+    ArgParser parser("t");
+    parser.addOption("count", "0", "a count");
+    parser.addOption("ratio", "0.5", "a ratio");
+    std::vector<const char *> args{"t", "--count", "42", "--ratio", "0.25"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EQ(parser.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(parser.getDouble("ratio"), 0.25);
+}
+
+TEST(ArgParser, MalformedNumberIsFatal)
+{
+    ArgParser parser("t");
+    parser.addOption("count", "0", "a count");
+    std::vector<const char *> args{"t", "--count", "abc"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EXIT(parser.getInt("count"), testing::ExitedWithCode(1),
+                "integer");
+}
+
+TEST(ArgParser, UsageMentionsEverything)
+{
+    ArgParser parser = makeParser();
+    std::string usage = parser.usage();
+    EXPECT_NE(usage.find("--scene"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("required"), std::string::npos);
+    EXPECT_NE(usage.find("default: PARK"), std::string::npos);
+}
+
+TEST(ArgParser, ReparseResetsState)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--mode", "a", "--verbose"}));
+    ASSERT_TRUE(parseArgs(parser, {"--mode", "b"}));
+    EXPECT_EQ(parser.get("mode"), "b");
+    EXPECT_FALSE(parser.getFlag("verbose"));
+    EXPECT_TRUE(parser.positional().empty());
+}
+
+} // namespace
+} // namespace zatel

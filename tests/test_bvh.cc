@@ -1,0 +1,310 @@
+/**
+ * @file
+ * BVH builder invariants and traversal-vs-brute-force equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/traversal.hh"
+#include "util/rng.hh"
+
+namespace zatel::rt
+{
+namespace
+{
+
+std::vector<Triangle>
+randomSoup(uint64_t seed, int count)
+{
+    zatel::Rng rng(seed);
+    MeshBuilder mesh;
+    mesh.addTriangleSoup(rng, {0.0f, 0.0f, 0.0f}, 10.0f, count, 1.0f, 0);
+    return mesh.takeTriangles();
+}
+
+/** Brute-force closest hit for ground truth. */
+HitRecord
+bruteForceClosest(const std::vector<Triangle> &triangles, const Ray &ray)
+{
+    HitRecord best;
+    for (uint32_t i = 0; i < triangles.size(); ++i) {
+        float t = 0.0f;
+        Ray query = ray;
+        query.tMax = std::min(ray.tMax, best.t);
+        if (triangles[i].intersect(query, t) && t < best.t) {
+            best.t = t;
+            best.primIndex = i;
+            best.materialId = triangles[i].materialId;
+        }
+    }
+    return best;
+}
+
+TEST(BvhBuild, EmptyTriangleList)
+{
+    std::vector<Triangle> none;
+    Bvh bvh;
+    bvh.build(none);
+    EXPECT_TRUE(bvh.valid());
+    EXPECT_EQ(bvh.nodeCount(), 1u);
+    Ray ray;
+    ray.origin = {0.0f, 0.0f, 0.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    EXPECT_FALSE(closestHit(bvh, ray).valid());
+}
+
+TEST(BvhBuild, SingleTriangle)
+{
+    std::vector<Triangle> tris{{{0.0f, 0.0f, 0.0f},
+                                {1.0f, 0.0f, 0.0f},
+                                {0.0f, 1.0f, 0.0f},
+                                3}};
+    Bvh bvh;
+    bvh.build(tris);
+    EXPECT_EQ(bvh.nodeCount(), 1u);
+    EXPECT_TRUE(bvh.node(0).isLeaf());
+    EXPECT_EQ(bvh.buildStats().leafCount, 1u);
+
+    Ray ray;
+    ray.origin = {0.2f, 0.2f, 5.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    HitRecord hit = closestHit(bvh, ray);
+    ASSERT_TRUE(hit.valid());
+    EXPECT_EQ(hit.primIndex, 0u);
+    EXPECT_EQ(hit.materialId, 3);
+    EXPECT_NEAR(hit.t, 5.0f, 1e-4f);
+}
+
+TEST(BvhBuild, EveryPrimitiveInExactlyOneLeaf)
+{
+    std::vector<Triangle> tris = randomSoup(1, 500);
+    Bvh bvh;
+    bvh.build(tris);
+
+    std::set<uint32_t> seen;
+    for (const BvhNode &node : bvh.nodes()) {
+        if (!node.isLeaf())
+            continue;
+        for (uint32_t i = 0; i < node.primCount; ++i) {
+            uint32_t original = bvh.primitiveIndex(node.firstPrim() + i);
+            EXPECT_TRUE(seen.insert(original).second)
+                << "primitive " << original << " appears twice";
+        }
+    }
+    EXPECT_EQ(seen.size(), tris.size());
+}
+
+TEST(BvhBuild, ParentBoundsContainChildren)
+{
+    std::vector<Triangle> tris = randomSoup(2, 300);
+    Bvh bvh;
+    bvh.build(tris);
+    for (uint32_t i = 0; i < bvh.nodeCount(); ++i) {
+        const BvhNode &node = bvh.node(i);
+        if (node.isLeaf())
+            continue;
+        const BvhNode &left = bvh.node(BvhNode::leftChildOf(i));
+        const BvhNode &right = bvh.node(node.rightChild());
+        EXPECT_TRUE(node.bounds.contains(left.bounds.lo));
+        EXPECT_TRUE(node.bounds.contains(left.bounds.hi));
+        EXPECT_TRUE(node.bounds.contains(right.bounds.lo));
+        EXPECT_TRUE(node.bounds.contains(right.bounds.hi));
+    }
+}
+
+TEST(BvhBuild, LeafBoundsContainTheirTriangles)
+{
+    std::vector<Triangle> tris = randomSoup(3, 200);
+    Bvh bvh;
+    bvh.build(tris);
+    for (const BvhNode &node : bvh.nodes()) {
+        if (!node.isLeaf())
+            continue;
+        for (uint32_t i = 0; i < node.primCount; ++i) {
+            const Triangle &tri = bvh.primitive(node.firstPrim() + i);
+            EXPECT_TRUE(node.bounds.contains(tri.v0));
+            EXPECT_TRUE(node.bounds.contains(tri.v1));
+            EXPECT_TRUE(node.bounds.contains(tri.v2));
+        }
+    }
+}
+
+TEST(BvhBuild, NodeCountBounded)
+{
+    std::vector<Triangle> tris = randomSoup(4, 400);
+    Bvh bvh;
+    bvh.build(tris);
+    EXPECT_LE(bvh.nodeCount(), 2 * tris.size());
+    EXPECT_EQ(bvh.nodeCount(), bvh.buildStats().nodeCount);
+    EXPECT_GT(bvh.buildStats().maxDepth, 1u);
+}
+
+TEST(BvhBuild, RespectsMaxLeafSize)
+{
+    std::vector<Triangle> tris = randomSoup(5, 300);
+    BvhBuildParams params;
+    params.maxLeafSize = 2;
+    Bvh bvh;
+    bvh.build(tris, params);
+    // The SAH "keep as leaf" shortcut may retain up to 2x maxLeafSize.
+    EXPECT_LE(bvh.buildStats().maxLeafSize, 2 * params.maxLeafSize);
+}
+
+TEST(BvhBuild, DuplicateCentroidsHandled)
+{
+    // 100 identical triangles: centroid extent is zero everywhere.
+    std::vector<Triangle> tris(
+        100, Triangle{{0.0f, 0.0f, 0.0f},
+                      {1.0f, 0.0f, 0.0f},
+                      {0.0f, 1.0f, 0.0f},
+                      0});
+    Bvh bvh;
+    bvh.build(tris);
+    EXPECT_TRUE(bvh.valid());
+    Ray ray;
+    ray.origin = {0.2f, 0.2f, 5.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    EXPECT_TRUE(closestHit(bvh, ray).valid());
+}
+
+/** Parameterized: traversal equals brute force on random soups. */
+class BvhEquivalence : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(BvhEquivalence, ClosestHitMatchesBruteForce)
+{
+    int count = GetParam();
+    std::vector<Triangle> tris = randomSoup(100 + count, count);
+    Bvh bvh;
+    bvh.build(tris);
+
+    zatel::Rng rng(777);
+    for (int i = 0; i < 100; ++i) {
+        Ray ray;
+        ray.origin = {static_cast<float>(rng.nextDouble(-15.0, 15.0)),
+                      static_cast<float>(rng.nextDouble(-15.0, 15.0)),
+                      20.0f};
+        Vec3 target{static_cast<float>(rng.nextDouble(-8.0, 8.0)),
+                    static_cast<float>(rng.nextDouble(-8.0, 8.0)),
+                    static_cast<float>(rng.nextDouble(-8.0, 8.0))};
+        ray.direction = normalize(target - ray.origin);
+
+        HitRecord expected = bruteForceClosest(tris, ray);
+        HitRecord actual = closestHit(bvh, ray);
+        ASSERT_EQ(expected.valid(), actual.valid()) << "ray " << i;
+        if (expected.valid()) {
+            EXPECT_NEAR(expected.t, actual.t, 1e-3f) << "ray " << i;
+            EXPECT_EQ(expected.primIndex, actual.primIndex) << "ray " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SoupSizes, BvhEquivalence,
+                         testing::Values(1, 2, 7, 33, 150, 600));
+
+TEST(BvhTraversal, AnyHitAgreesWithClosestHit)
+{
+    std::vector<Triangle> tris = randomSoup(6, 400);
+    Bvh bvh;
+    bvh.build(tris);
+    zatel::Rng rng(555);
+    for (int i = 0; i < 200; ++i) {
+        Ray ray;
+        ray.origin = {static_cast<float>(rng.nextDouble(-15.0, 15.0)),
+                      static_cast<float>(rng.nextDouble(-15.0, 15.0)),
+                      20.0f};
+        ray.direction = normalize(
+            Vec3{static_cast<float>(rng.nextDouble(-1.0, 1.0)),
+                 static_cast<float>(rng.nextDouble(-1.0, 1.0)), -1.0f});
+        EXPECT_EQ(closestHit(bvh, ray).valid(), anyHit(bvh, ray));
+    }
+}
+
+TEST(BvhTraversal, CountersAccumulate)
+{
+    std::vector<Triangle> tris = randomSoup(7, 200);
+    Bvh bvh;
+    bvh.build(tris);
+    Ray ray;
+    ray.origin = {0.0f, 0.0f, 20.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    TraversalCounters counters;
+    closestHit(bvh, ray, &counters);
+    EXPECT_GT(counters.nodesVisited, 0u);
+    uint32_t first = counters.nodesVisited;
+    closestHit(bvh, ray, &counters);
+    EXPECT_EQ(counters.nodesVisited, 2 * first);
+}
+
+TEST(BvhTraversal, StepperMatchesConvenienceFunction)
+{
+    std::vector<Triangle> tris = randomSoup(8, 300);
+    Bvh bvh;
+    bvh.build(tris);
+    Ray ray;
+    ray.origin = {1.0f, -2.0f, 20.0f};
+    ray.direction = normalize(Vec3{-0.05f, 0.1f, -1.0f});
+
+    TraversalStepper stepper;
+    stepper.init(&bvh, ray, TraversalMode::ClosestHit);
+    uint32_t steps = 0;
+    while (!stepper.finished()) {
+        uint32_t pending = stepper.pendingNode();
+        StepInfo info = stepper.step();
+        EXPECT_EQ(info.nodeIndex, pending);
+        ++steps;
+    }
+    EXPECT_EQ(steps, stepper.nodesVisited());
+
+    HitRecord direct = closestHit(bvh, ray);
+    EXPECT_EQ(direct.valid(), stepper.hasHit());
+    if (direct.valid()) {
+        EXPECT_NEAR(direct.t, stepper.hit().t, 1e-5f);
+    }
+}
+
+TEST(BvhTraversal, ShadowRayRespectsTMax)
+{
+    // A triangle at z=-10; occlusion query that ends before it.
+    std::vector<Triangle> tris{{{-5.0f, -5.0f, -10.0f},
+                                {5.0f, -5.0f, -10.0f},
+                                {0.0f, 5.0f, -10.0f},
+                                0}};
+    Bvh bvh;
+    bvh.build(tris);
+    Ray ray;
+    ray.origin = {0.0f, 0.0f, 0.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    ray.tMax = 5.0f;
+    EXPECT_FALSE(anyHit(bvh, ray));
+    ray.tMax = 15.0f;
+    EXPECT_TRUE(anyHit(bvh, ray));
+}
+
+TEST(BvhTraversal, HitRecordGeometry)
+{
+    std::vector<Triangle> tris{{{-5.0f, -5.0f, -10.0f},
+                                {5.0f, -5.0f, -10.0f},
+                                {0.0f, 5.0f, -10.0f},
+                                2}};
+    Bvh bvh;
+    bvh.build(tris);
+    Ray ray;
+    ray.origin = {0.0f, 0.0f, 0.0f};
+    ray.direction = {0.0f, 0.0f, -1.0f};
+    HitRecord hit = closestHit(bvh, ray);
+    ASSERT_TRUE(hit.valid());
+    EXPECT_EQ(hit.materialId, 2);
+    EXPECT_NEAR(hit.position.z, -10.0f, 1e-4f);
+    // Normal faces the ray origin.
+    EXPECT_GT(hit.normal.z, 0.9f);
+}
+
+} // namespace
+} // namespace zatel::rt

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the tag-array cache model (L1D / L2 slices).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+constexpr uint32_t kLine = 128;
+
+TEST(TagCache, ColdMissesThenHits)
+{
+    TagCache cache(1024, kLine, 2);
+    bool dirty = false;
+    EXPECT_FALSE(cache.access(0));
+    cache.fill(0, false, dirty);
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TagCache, LruEvictionOrder)
+{
+    // Fully associative, 4 lines.
+    TagCache cache(4 * kLine, kLine, 0);
+    bool dirty = false;
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.fill(i * kLine, false, dirty);
+    // Touch line 0 so line 1 is LRU.
+    EXPECT_TRUE(cache.access(0));
+    cache.fill(100 * kLine, false, dirty); // evicts line 1
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(kLine));
+    EXPECT_TRUE(cache.contains(2 * kLine));
+    EXPECT_TRUE(cache.contains(100 * kLine));
+}
+
+TEST(TagCache, SetMappingConflicts)
+{
+    // 4 sets x 1 way: addresses stride apart by numSets*line conflict.
+    TagCache cache(4 * kLine, kLine, 1);
+    EXPECT_EQ(cache.numSets(), 4u);
+    bool dirty = false;
+    cache.fill(0, false, dirty);
+    cache.fill(4 * kLine, false, dirty); // same set as 0
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(4 * kLine));
+    // Different set unaffected.
+    cache.fill(kLine, false, dirty);
+    EXPECT_TRUE(cache.contains(kLine));
+    EXPECT_TRUE(cache.contains(4 * kLine));
+}
+
+TEST(TagCache, FullyAssociativeNoConflicts)
+{
+    TagCache cache(8 * kLine, kLine, 0);
+    EXPECT_EQ(cache.numSets(), 1u);
+    bool dirty = false;
+    // Fill with addresses that would conflict in a set-indexed cache.
+    for (uint64_t i = 0; i < 8; ++i)
+        cache.fill(i * 8 * kLine, false, dirty);
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(cache.contains(i * 8 * kLine));
+}
+
+TEST(TagCache, DirtyEvictionReported)
+{
+    TagCache cache(2 * kLine, kLine, 0);
+    bool dirty = false;
+    cache.fill(0, true, dirty);
+    EXPECT_FALSE(dirty);
+    cache.fill(kLine, false, dirty);
+    cache.fill(2 * kLine, false, dirty); // evicts dirty line 0
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(cache.stats().dirtyEvictions, 1u);
+}
+
+TEST(TagCache, MarkDirtyOnExistingLine)
+{
+    TagCache cache(2 * kLine, kLine, 0);
+    bool dirty = false;
+    cache.fill(0, false, dirty);
+    cache.markDirty(0);
+    cache.fill(kLine, false, dirty);
+    cache.fill(2 * kLine, false, dirty);
+    EXPECT_TRUE(dirty);
+}
+
+TEST(TagCache, RefillExistingLineIsNotEviction)
+{
+    TagCache cache(2 * kLine, kLine, 0);
+    bool dirty = false;
+    cache.fill(0, false, dirty);
+    EXPECT_FALSE(cache.fill(0, false, dirty));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.residentLines(), 1u);
+}
+
+TEST(TagCache, CapacityNeverExceeded)
+{
+    TagCache cache(16 * kLine, kLine, 4);
+    bool dirty = false;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        cache.fill(i * kLine, false, dirty);
+        EXPECT_LE(cache.residentLines(), 16u);
+    }
+}
+
+TEST(TagCache, AccessUpdatesLruNotContains)
+{
+    TagCache cache(2 * kLine, kLine, 0);
+    bool dirty = false;
+    cache.fill(0, false, dirty);
+    uint64_t hits_before = cache.stats().hits;
+    EXPECT_TRUE(cache.contains(0));
+    // contains() is non-statistical.
+    EXPECT_EQ(cache.stats().hits, hits_before);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+}
+
+TEST(TagCache, TinyCacheOneLine)
+{
+    TagCache cache(kLine, kLine, 0);
+    bool dirty = false;
+    cache.fill(0, false, dirty);
+    EXPECT_TRUE(cache.contains(0));
+    cache.fill(kLine, false, dirty);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(kLine));
+}
+
+} // namespace
+} // namespace zatel::gpusim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the pinhole camera and framebuffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rt/camera.hh"
+#include "rt/framebuffer.hh"
+
+namespace zatel::rt
+{
+namespace
+{
+
+TEST(Camera, CenterRayPointsForward)
+{
+    Camera cam({0.0f, 0.0f, 10.0f}, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+               60.0f);
+    // Ray through the exact image center.
+    Ray ray = cam.generateRay(50, 50, 101, 101);
+    EXPECT_NEAR(ray.direction.x, 0.0f, 1e-4f);
+    EXPECT_NEAR(ray.direction.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(ray.direction.z, -1.0f, 1e-4f);
+    EXPECT_EQ(ray.origin, cam.position());
+}
+
+TEST(Camera, TopLeftIsUpAndLeft)
+{
+    Camera cam({0.0f, 0.0f, 10.0f}, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+               60.0f);
+    Ray ray = cam.generateRay(0, 0, 100, 100);
+    EXPECT_LT(ray.direction.x, 0.0f); // left
+    EXPECT_GT(ray.direction.y, 0.0f); // up
+}
+
+TEST(Camera, RaysAreNormalized)
+{
+    Camera cam({1.0f, 2.0f, 3.0f}, {-4.0f, 0.0f, -2.0f}, {0.0f, 1.0f, 0.0f},
+               45.0f);
+    for (uint32_t y : {0u, 31u, 63u}) {
+        for (uint32_t x : {0u, 31u, 63u}) {
+            Ray ray = cam.generateRay(x, y, 64, 64);
+            EXPECT_NEAR(length(ray.direction), 1.0f, 1e-5f);
+        }
+    }
+}
+
+TEST(Camera, JitterMovesRay)
+{
+    Camera cam({0.0f, 0.0f, 10.0f}, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+               60.0f);
+    Ray a = cam.generateRay(10, 10, 64, 64, 0.1f, 0.1f);
+    Ray b = cam.generateRay(10, 10, 64, 64, 0.9f, 0.9f);
+    EXPECT_GT(length(a.direction - b.direction), 1e-4f);
+}
+
+TEST(Camera, AspectRatioWidensX)
+{
+    Camera cam({0.0f, 0.0f, 10.0f}, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+               60.0f);
+    // On a 2:1 image, the leftmost ray leans further in x than the
+    // topmost ray leans in y.
+    Ray left = cam.generateRay(0, 50, 200, 100);
+    Ray top = cam.generateRay(100, 0, 200, 100);
+    EXPECT_GT(std::abs(left.direction.x), std::abs(top.direction.y));
+}
+
+TEST(FrameBuffer, SetGet)
+{
+    FrameBuffer fb(4, 3);
+    EXPECT_EQ(fb.width(), 4u);
+    EXPECT_EQ(fb.height(), 3u);
+    EXPECT_EQ(fb.pixelCount(), 12u);
+    fb.set(2, 1, {0.5f, 0.25f, 1.0f});
+    EXPECT_EQ(fb.at(2, 1), Vec3(0.5f, 0.25f, 1.0f));
+    EXPECT_EQ(fb.at(0, 0), Vec3(0.0f, 0.0f, 0.0f));
+}
+
+TEST(FrameBuffer, PpmWriteAndHeader)
+{
+    FrameBuffer fb(2, 2);
+    fb.set(0, 0, {1.0f, 0.0f, 0.0f});
+    std::string path = testing::TempDir() + "/zatel_fb_test.ppm";
+    ASSERT_TRUE(fb.writePpm(path));
+
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P6");
+    int w = 0, h = 0, maxval = 0;
+    in >> w >> h >> maxval;
+    EXPECT_EQ(w, 2);
+    EXPECT_EQ(h, 2);
+    EXPECT_EQ(maxval, 255);
+    in.get(); // single whitespace after header
+    char rgb[3];
+    in.read(rgb, 3);
+    EXPECT_EQ(static_cast<unsigned char>(rgb[0]), 255);
+    EXPECT_EQ(static_cast<unsigned char>(rgb[1]), 0);
+    std::remove(path.c_str());
+}
+
+TEST(FrameBuffer, PpmClampsOutOfRange)
+{
+    FrameBuffer fb(1, 1);
+    fb.set(0, 0, {5.0f, -2.0f, 0.5f});
+    std::string path = testing::TempDir() + "/zatel_fb_clamp.ppm";
+    ASSERT_TRUE(fb.writePpm(path, 1.0f));
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    std::getline(in, line); // P6
+    std::getline(in, line); // dims
+    std::getline(in, line); // maxval
+    char rgb[3];
+    in.read(rgb, 3);
+    EXPECT_EQ(static_cast<unsigned char>(rgb[0]), 255);
+    EXPECT_EQ(static_cast<unsigned char>(rgb[1]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(rgb[2]), 128);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace zatel::rt

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for cross-group combination (paper Section III-H).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zatel/combine.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+using gpusim::Metric;
+
+TEST(Combine, PaperExampleIpcSums)
+{
+    // Section III-H: group IPCs 20 and 50 -> 70 total.
+    EXPECT_DOUBLE_EQ(combineMetric(Metric::Ipc, {20.0, 50.0}), 70.0);
+}
+
+TEST(Combine, PaperExampleMissRateAverages)
+{
+    // Section III-H: L1D miss rates 0.70 and 0.60 -> 0.65.
+    EXPECT_DOUBLE_EQ(combineMetric(Metric::L1dMissRate, {0.70, 0.60}),
+                     0.65);
+}
+
+TEST(Combine, RulesPerMetric)
+{
+    EXPECT_EQ(combineRuleFor(Metric::Ipc), CombineRule::Sum);
+    for (Metric metric : {Metric::SimCycles, Metric::L1dMissRate,
+                          Metric::L2MissRate, Metric::RtEfficiency,
+                          Metric::DramEfficiency, Metric::BwUtilization}) {
+        EXPECT_EQ(combineRuleFor(metric), CombineRule::Average);
+    }
+}
+
+TEST(Combine, SingleGroupIdentity)
+{
+    for (Metric metric : gpusim::allMetrics())
+        EXPECT_DOUBLE_EQ(combineMetric(metric, {3.25}), 3.25);
+}
+
+TEST(Combine, CyclesAverageOverGroups)
+{
+    EXPECT_DOUBLE_EQ(
+        combineMetric(Metric::SimCycles, {100.0, 120.0, 80.0, 100.0}),
+        100.0);
+}
+
+} // namespace
+} // namespace zatel::core

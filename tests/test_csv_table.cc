@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the CSV writer and ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace zatel
+{
+namespace
+{
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv;
+    csv.setHeader({"a", "b"});
+    csv.addRow({"1", "2"});
+    csv.addNumericRow({3.5, 4.25});
+    EXPECT_EQ(csv.toString(), "a,b\n1,2\n3.5,4.25\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(Csv, QuotingCommasAndQuotes)
+{
+    EXPECT_EQ(CsvWriter::quoteCell("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quoteCell("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quoteCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quoteCell("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, NoHeader)
+{
+    CsvWriter csv;
+    csv.addRow({"x"});
+    EXPECT_EQ(csv.toString(), "x\n");
+}
+
+TEST(Csv, WriteToFileRoundTrip)
+{
+    CsvWriter csv;
+    csv.setHeader({"metric", "value"});
+    csv.addRow({"ipc", "17.5"});
+    std::string path = testing::TempDir() + "/zatel_csv_test.csv";
+    ASSERT_TRUE(csv.writeTo(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "metric,value");
+    std::getline(in, line);
+    EXPECT_EQ(line, "ipc,17.5");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, FormatDoubleCompact)
+{
+    EXPECT_EQ(CsvWriter::formatDouble(1.0), "1");
+    EXPECT_EQ(CsvWriter::formatDouble(0.5), "0.5");
+}
+
+TEST(AsciiTable, RendersHeaderAndCells)
+{
+    AsciiTable table({"Name", "Val"});
+    table.addRow({"alpha", "1.0"});
+    table.addRow({"beta", "22.5"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.5"), std::string::npos);
+    // Borders exist.
+    EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(AsciiTable, ShortRowsPadded)
+{
+    AsciiTable table({"A", "B", "C"});
+    table.addRow({"only"});
+    std::string out = table.toString();
+    // No crash, row rendered with empty cells; all columns present.
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(AsciiTable, RuleInsertsSeparator)
+{
+    AsciiTable table({"A"});
+    table.addRow({"x"});
+    table.addRule();
+    table.addRow({"y"});
+    std::string out = table.toString();
+    // 5 horizontal rules: top, under header, mid, bottom... count '+--'
+    size_t count = 0;
+    for (size_t pos = out.find("+-"); pos != std::string::npos;
+         pos = out.find("+-", pos + 1))
+        ++count;
+    EXPECT_GE(count, 4u);
+}
+
+TEST(AsciiTable, NumFormatting)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+    EXPECT_EQ(AsciiTable::pct(12.345, 1), "12.3%");
+}
+
+} // namespace
+} // namespace zatel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for GPU downscaling (paper Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zatel/downscale.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+using gpusim::GpuConfig;
+
+TEST(Downscale, FactorIsGcd)
+{
+    EXPECT_EQ(downscaleFactor(GpuConfig::mobileSoc()), 4u);
+    EXPECT_EQ(downscaleFactor(GpuConfig::rtx2060()), 6u);
+
+    GpuConfig paper_example = GpuConfig::rtx2060();
+    paper_example.numSms = 80;
+    paper_example.numMemPartitions = 10;
+    EXPECT_EQ(downscaleFactor(paper_example), 10u);
+}
+
+TEST(Downscale, PaperExampleEightyToEight)
+{
+    // Section III-C: 80 SMs + 10 MCs at K=10 -> 8 SMs + 1 partition.
+    GpuConfig config = GpuConfig::rtx2060();
+    config.numSms = 80;
+    config.numMemPartitions = 10;
+    GpuConfig scaled = downscaleConfig(config, 10);
+    EXPECT_EQ(scaled.numSms, 8u);
+    EXPECT_EQ(scaled.numMemPartitions, 1u);
+}
+
+TEST(Downscale, SharedResourcesScaleAutomatically)
+{
+    GpuConfig config = GpuConfig::rtx2060();
+    GpuConfig scaled = downscaleConfig(config, 6);
+    EXPECT_EQ(scaled.numSms, 5u);
+    EXPECT_EQ(scaled.numMemPartitions, 2u);
+    // L2 slice capacity is preserved, so total LLC shrinks by K.
+    EXPECT_EQ(scaled.l2SliceBytes(), config.l2SliceBytes());
+    EXPECT_EQ(scaled.l2TotalBytes, config.l2TotalBytes / 6);
+    // Peak DRAM bandwidth per channel unchanged; channel count shrank.
+    EXPECT_DOUBLE_EQ(scaled.dramBytesPerCoreCycle(),
+                     config.dramBytesPerCoreCycle());
+}
+
+TEST(Downscale, PerSmResourcesUntouched)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    GpuConfig scaled = downscaleConfig(config, 4);
+    EXPECT_EQ(scaled.l1dSizeBytes, config.l1dSizeBytes);
+    EXPECT_EQ(scaled.registersPerSm, config.registersPerSm);
+    EXPECT_EQ(scaled.rtMaxWarps, config.rtMaxWarps);
+    EXPECT_EQ(scaled.maxWarpsPerSm, config.maxWarpsPerSm);
+}
+
+TEST(Downscale, FactorOneIsIdentity)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    GpuConfig scaled = downscaleConfig(config, 1);
+    EXPECT_EQ(scaled.numSms, config.numSms);
+    EXPECT_EQ(scaled.numMemPartitions, config.numMemPartitions);
+    EXPECT_EQ(scaled.l2TotalBytes, config.l2TotalBytes);
+}
+
+TEST(Downscale, IntermediateFactorsWork)
+{
+    // Sweeping K in {2, 4} on the Mobile SoC (Section IV-E).
+    GpuConfig config = GpuConfig::mobileSoc();
+    GpuConfig k2 = downscaleConfig(config, 2);
+    EXPECT_EQ(k2.numSms, 4u);
+    EXPECT_EQ(k2.numMemPartitions, 2u);
+    GpuConfig k4 = downscaleConfig(config, 4);
+    EXPECT_EQ(k4.numSms, 2u);
+    EXPECT_EQ(k4.numMemPartitions, 1u);
+}
+
+TEST(Downscale, RejectsNonDividingFactor)
+{
+    GpuConfig config = GpuConfig::mobileSoc(); // 8 SMs, 4 partitions
+    EXPECT_EXIT(downscaleConfig(config, 3), testing::ExitedWithCode(1),
+                "does not divide");
+    EXPECT_EXIT(downscaleConfig(config, 0), testing::ExitedWithCode(1),
+                "factor");
+}
+
+TEST(Downscale, NameTracksFactor)
+{
+    GpuConfig scaled = downscaleConfig(GpuConfig::rtx2060(), 6);
+    EXPECT_NE(scaled.name.find("K6"), std::string::npos);
+}
+
+} // namespace
+} // namespace zatel::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the DRAM channel model and its efficiency counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/dram.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+GpuConfig
+testConfig()
+{
+    GpuConfig config = GpuConfig::rtx2060();
+    config.dramLatencyCycles = 10;
+    config.dramQueueSize = 4;
+    return config;
+}
+
+MemRequest
+readReq(uint64_t line)
+{
+    MemRequest req;
+    req.lineAddr = line;
+    req.isWrite = false;
+    return req;
+}
+
+TEST(Dram, RespectsAccessLatency)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+
+    std::vector<MemRequest> completed;
+    uint64_t cycle = 0;
+    // Before the latency has elapsed nothing can complete.
+    for (; cycle < config.dramLatencyCycles; ++cycle) {
+        dram.tick(cycle, completed);
+        EXPECT_TRUE(completed.empty()) << "cycle " << cycle;
+    }
+    // Burst then completes.
+    for (; cycle < 1000 && completed.empty(); ++cycle)
+        dram.tick(cycle, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_EQ(completed[0].lineAddr, 0u);
+    EXPECT_GE(completed[0].readyCycle,
+              config.dramLatencyCycles + config.dramBurstCycles() - 1);
+}
+
+TEST(Dram, BurstOccupiesChannel)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+    dram.enqueue(readReq(128), 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle < 2000 && completed.size() < 2; ++cycle)
+        dram.tick(cycle, completed);
+    ASSERT_EQ(completed.size(), 2u);
+    // Second completion at least one burst after the first.
+    EXPECT_GE(completed[1].readyCycle,
+              completed[0].readyCycle + config.dramBurstCycles());
+    EXPECT_EQ(dram.stats().busyCycles,
+              2ull * config.dramBurstCycles());
+}
+
+TEST(Dram, QueueFullRejects)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    for (uint32_t i = 0; i < config.dramQueueSize; ++i)
+        EXPECT_TRUE(dram.enqueue(readReq(i * 128), 0));
+    EXPECT_TRUE(dram.queueFull());
+    EXPECT_FALSE(dram.enqueue(readReq(9999 * 128), 0));
+}
+
+TEST(Dram, WritesCompleteSilently)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    MemRequest write = readReq(0);
+    write.isWrite = true;
+    dram.enqueue(write, 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle < 1000 && !dram.idle(); ++cycle)
+        dram.tick(cycle, completed);
+    EXPECT_TRUE(completed.empty());
+    EXPECT_EQ(dram.stats().writes, 1u);
+    EXPECT_EQ(dram.stats().bytesWritten, config.l2LineBytes);
+}
+
+TEST(Dram, ActiveVsBusyCycles)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+
+    std::vector<MemRequest> completed;
+    uint64_t cycle = 0;
+    for (; cycle < 1000 && !dram.idle(); ++cycle)
+        dram.tick(cycle, completed);
+
+    // Active includes the latency wait; busy is only the burst.
+    EXPECT_EQ(dram.stats().busyCycles, config.dramBurstCycles());
+    EXPECT_GT(dram.stats().activeCycles, dram.stats().busyCycles);
+
+    // Idle ticks afterwards add nothing.
+    uint64_t active_before = dram.stats().activeCycles;
+    for (uint64_t i = 0; i < 50; ++i)
+        dram.tick(cycle + i, completed);
+    EXPECT_EQ(dram.stats().activeCycles, active_before);
+}
+
+TEST(Dram, BytesAccounted)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+    dram.enqueue(readReq(256), 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle < 2000 && !dram.idle(); ++cycle)
+        dram.tick(cycle, completed);
+    EXPECT_EQ(dram.stats().bytesRead, 2ull * config.l2LineBytes);
+    EXPECT_EQ(dram.stats().reads, 2u);
+}
+
+TEST(Dram, BurstCyclesDeriveFromClocks)
+{
+    GpuConfig config = GpuConfig::rtx2060();
+    // 8 B/mem-clock * (3500/1365) ~ 20.5 B/core-cycle; 128B -> 7 cycles.
+    EXPECT_EQ(config.dramBurstCycles(), 7u);
+    GpuConfig mobile = GpuConfig::mobileSoc();
+    // Half the bus width -> twice the burst.
+    EXPECT_EQ(mobile.dramBurstCycles(), 13u);
+}
+
+} // namespace
+} // namespace zatel::gpusim

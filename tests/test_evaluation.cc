@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the prediction-vs-oracle comparison helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zatel/evaluation.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+using gpusim::GpuStats;
+using gpusim::Metric;
+
+GpuStats
+referenceStats()
+{
+    GpuStats stats;
+    stats.cycles = 1000;
+    stats.threadInstructions = 5000;
+    stats.l1dAccesses = 100;
+    stats.l1dMisses = 20;
+    stats.l2Accesses = 50;
+    stats.l2Misses = 25;
+    stats.rtActiveRaySum = 160;
+    stats.rtResidentWarpCycles = 10;
+    stats.dramBusyCycles = 30;
+    stats.dramActiveCycles = 60;
+    stats.dramChannelCycles = 4000;
+    return stats;
+}
+
+std::map<Metric, double>
+exactPrediction(const GpuStats &stats)
+{
+    std::map<Metric, double> predicted;
+    for (Metric metric : gpusim::allMetrics())
+        predicted[metric] = stats.metricValue(metric);
+    return predicted;
+}
+
+TEST(Evaluation, PerfectPredictionHasZeroError)
+{
+    GpuStats oracle = referenceStats();
+    auto rows = compareToOracle(exactPrediction(oracle), oracle);
+    ASSERT_EQ(rows.size(), gpusim::allMetrics().size());
+    for (const ComparisonRow &row : rows)
+        EXPECT_DOUBLE_EQ(row.errorPct, 0.0);
+    EXPECT_DOUBLE_EQ(maeOf(rows), 0.0);
+}
+
+TEST(Evaluation, ErrorComputedPerMetric)
+{
+    GpuStats oracle = referenceStats();
+    auto predicted = exactPrediction(oracle);
+    predicted[Metric::SimCycles] = 1100.0; // +10%
+    auto rows = compareToOracle(predicted, oracle);
+    EXPECT_NEAR(errorOf(rows, Metric::SimCycles), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(errorOf(rows, Metric::Ipc), 0.0);
+    EXPECT_NEAR(maeOf(rows), 10.0 / rows.size(), 1e-9);
+}
+
+TEST(Evaluation, TableRendersMetricsAndMae)
+{
+    GpuStats oracle = referenceStats();
+    auto rows = compareToOracle(exactPrediction(oracle), oracle);
+    std::string table = comparisonTable(rows, "Title");
+    EXPECT_NE(table.find("Title"), std::string::npos);
+    EXPECT_NE(table.find("GPU IPC"), std::string::npos);
+    EXPECT_NE(table.find("MAE"), std::string::npos);
+}
+
+TEST(Evaluation, StatsDerivedMetricsMatchHand)
+{
+    GpuStats stats = referenceStats();
+    EXPECT_DOUBLE_EQ(stats.ipc(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.l1dMissRate(), 0.2);
+    EXPECT_DOUBLE_EQ(stats.l2MissRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.rtEfficiency(), 16.0);
+    EXPECT_DOUBLE_EQ(stats.dramEfficiency(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.bwUtilization(), 30.0 / 4000.0);
+}
+
+TEST(Evaluation, StatsAccumulateTakesMaxCycles)
+{
+    GpuStats a = referenceStats();
+    GpuStats b = referenceStats();
+    b.cycles = 2000;
+    a += b;
+    EXPECT_EQ(a.cycles, 2000u);
+    EXPECT_EQ(a.threadInstructions, 10000u);
+}
+
+TEST(Evaluation, MetricNamesDistinct)
+{
+    std::set<std::string> names;
+    for (Metric metric : gpusim::allMetrics())
+        names.insert(gpusim::metricName(metric));
+    EXPECT_EQ(names.size(), gpusim::allMetrics().size());
+}
+
+} // namespace
+} // namespace zatel::core

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Integration tests for the full cycle-level GPU simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu.hh"
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/scene.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+struct GpuFixture : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        scene = rt::buildScene(rt::SceneId::Wknd, rt::SceneDetail{0.5f});
+        bvh.build(scene.triangles());
+        tracer = std::make_unique<rt::Tracer>(scene, bvh);
+    }
+
+    rt::Scene scene;
+    rt::Bvh bvh;
+    std::unique_ptr<rt::Tracer> tracer;
+};
+
+TEST_F(GpuFixture, TerminatesAndReportsAllMetrics)
+{
+    GpuStats stats =
+        simulateFullFrame(GpuConfig::mobileSoc(), *tracer, 32, 32);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.threadInstructions, 0u);
+    EXPECT_GT(stats.ipc(), 0.0);
+    EXPECT_GT(stats.l1dAccesses, 0u);
+    EXPECT_LE(stats.l1dMisses, stats.l1dAccesses);
+    EXPECT_LE(stats.l2Misses, stats.l2Accesses);
+    EXPECT_GT(stats.rtNodeVisits, 0u);
+    EXPECT_GE(stats.rtEfficiency(), 0.0);
+    EXPECT_LE(stats.rtEfficiency(), 32.0);
+    EXPECT_GE(stats.dramEfficiency(), 0.0);
+    EXPECT_LE(stats.dramEfficiency(), 1.0);
+    EXPECT_GE(stats.bwUtilization(), 0.0);
+    EXPECT_LE(stats.bwUtilization(), 1.0);
+    EXPECT_LE(stats.bwUtilization(), stats.dramEfficiency() + 1e-12);
+    EXPECT_EQ(stats.pixelsTraced, 32u * 32u);
+    EXPECT_EQ(stats.pixelsFiltered, 0u);
+}
+
+TEST_F(GpuFixture, TimedVisitsMatchFunctionalTracer)
+{
+    // The timed simulator replays the functional traversal exactly, so
+    // total node visits must equal the functional per-pixel sum.
+    rt::RenderResult render = tracer->render(24, 24);
+    uint64_t functional_visits = 0;
+    uint64_t functional_tests = 0;
+    for (const rt::PixelProfile &profile : render.profiles) {
+        functional_visits += profile.nodesVisited;
+        functional_tests += profile.triangleTests;
+    }
+
+    GpuStats stats =
+        simulateFullFrame(GpuConfig::mobileSoc(), *tracer, 24, 24);
+    EXPECT_EQ(stats.rtNodeVisits, functional_visits);
+    EXPECT_EQ(stats.rtTriangleTests, functional_tests);
+    EXPECT_EQ(stats.raysTraced, [&render] {
+        uint64_t rays = 0;
+        for (const rt::PixelProfile &p : render.profiles)
+            rays += p.raysCast;
+        return rays;
+    }());
+}
+
+TEST_F(GpuFixture, Deterministic)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    SimWorkload w1 = SimWorkload::buildFullFrame(*tracer, 24, 24);
+    SimWorkload w2 = SimWorkload::buildFullFrame(*tracer, 24, 24);
+    GpuStats a = Gpu(config, w1).run();
+    GpuStats b = Gpu(config, w2).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.threadInstructions, b.threadInstructions);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramBusyCycles, b.dramBusyCycles);
+}
+
+TEST_F(GpuFixture, MoreSmsFinishFaster)
+{
+    GpuConfig small = GpuConfig::mobileSoc();
+    small.numSms = 2;
+    small.numMemPartitions = 2;
+    GpuConfig big = GpuConfig::mobileSoc();
+    big.numSms = 8;
+    big.numMemPartitions = 4;
+
+    GpuStats s = simulateFullFrame(small, *tracer, 32, 32);
+    GpuStats b = simulateFullFrame(big, *tracer, 32, 32);
+    EXPECT_LT(b.cycles, s.cycles);
+}
+
+TEST_F(GpuFixture, FilteringReducesWork)
+{
+    std::vector<PixelCoord> pixels;
+    for (uint32_t y = 0; y < 32; ++y)
+        for (uint32_t x = 0; x < 32; ++x)
+            pixels.push_back({x, y});
+
+    // Zatel filters whole section blocks, so entire warps drop out:
+    // filter the second half of the launch order.
+    std::vector<bool> half(pixels.size());
+    for (size_t i = 0; i < half.size(); ++i)
+        half[i] = i < pixels.size() / 2;
+
+    // Use a small GPU so the workload is throughput-bound (many warps
+    // per SM); on an under-utilized GPU cycles are latency-bound and
+    // filtering cannot shorten the critical path.
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 2;
+    config.numMemPartitions = 2;
+    SimWorkload full = SimWorkload::build(*tracer, 32, 32, pixels);
+    SimWorkload filtered =
+        SimWorkload::build(*tracer, 32, 32, pixels, &half);
+
+    GpuStats full_stats = Gpu(config, full).run();
+    GpuStats filtered_stats = Gpu(config, filtered).run();
+
+    EXPECT_LT(filtered_stats.rtNodeVisits, full_stats.rtNodeVisits);
+    EXPECT_LT(filtered_stats.cycles, full_stats.cycles);
+    EXPECT_EQ(filtered_stats.pixelsFiltered, pixels.size() / 2);
+    // Filtered threads still launch: same warp count.
+    EXPECT_EQ(filtered_stats.warpsLaunched, full_stats.warpsLaunched);
+}
+
+TEST_F(GpuFixture, EmptySelectionStillTerminates)
+{
+    std::vector<PixelCoord> pixels;
+    for (uint32_t i = 0; i < 64; ++i)
+        pixels.push_back({i % 8, i / 8});
+    std::vector<bool> none(pixels.size(), false);
+    SimWorkload workload =
+        SimWorkload::build(*tracer, 8, 8, pixels, &none);
+    GpuStats stats = Gpu(GpuConfig::mobileSoc(), workload).run();
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.rtNodeVisits, 0u);
+    EXPECT_EQ(stats.pixelsFiltered, 64u);
+}
+
+TEST_F(GpuFixture, SingleWarpWorkload)
+{
+    std::vector<PixelCoord> pixels;
+    for (uint32_t i = 0; i < 7; ++i)
+        pixels.push_back({i, 0});
+    SimWorkload workload = SimWorkload::build(*tracer, 8, 8, pixels);
+    GpuStats stats = Gpu(GpuConfig::mobileSoc(), workload).run();
+    EXPECT_EQ(stats.warpsLaunched, 1u);
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST_F(GpuFixture, DownscaledConfigRuns)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 2;
+    config.numMemPartitions = 1;
+    config.l2TotalBytes = config.l2TotalBytes / 4;
+    GpuStats stats = simulateFullFrame(config, *tracer, 24, 24);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.ipc(), 0.0);
+}
+
+TEST_F(GpuFixture, InstructionAccountingConsistent)
+{
+    GpuStats stats =
+        simulateFullFrame(GpuConfig::mobileSoc(), *tracer, 24, 24);
+    // Thread instructions include both SIMT work (bounded by warp insts x
+    // warp size) and RT node visits.
+    EXPECT_GE(stats.threadInstructions, stats.rtNodeVisits);
+    EXPECT_LE(stats.threadInstructions,
+              stats.warpInstructions * 32 + stats.rtNodeVisits);
+}
+
+TEST(GpuEdge, TinyGpuOnTinyWorkload)
+{
+    rt::Scene scene("tiny");
+    scene.setCamera(rt::Camera({0.0f, 0.0f, 3.0f}, {0.0f, 0.0f, 0.0f},
+                               {0.0f, 1.0f, 0.0f}, 45.0f));
+    scene.setLight({{2.0f, 2.0f, 2.0f}, {1.0f, 1.0f, 1.0f}});
+    uint16_t mat = scene.addMaterial(rt::Material::diffuse({0.5f, 0.5f,
+                                                            0.5f}));
+    rt::MeshBuilder mesh;
+    mesh.addBox({-0.5f, -0.5f, -0.5f}, {0.5f, 0.5f, 0.5f}, mat);
+    scene.addTriangles(mesh.takeTriangles());
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 1;
+    config.numMemPartitions = 1;
+    config.l2TotalBytes = 256 * 1024;
+    GpuStats stats = simulateFullFrame(config, tracer, 4, 4);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.pixelsTraced, 16u);
+}
+
+} // namespace
+} // namespace zatel::gpusim

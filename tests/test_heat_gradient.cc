@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the temperature gradient and its invertible coolness value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heatmap/heat_gradient.hh"
+
+namespace zatel::heatmap
+{
+namespace
+{
+
+TEST(HeatGradient, EndpointsAreBlueAndRed)
+{
+    rt::Vec3 cold = temperatureToColor(0.0);
+    rt::Vec3 hot = temperatureToColor(1.0);
+    EXPECT_GT(cold.z, cold.x); // blue dominant
+    EXPECT_GT(hot.x, hot.z);   // red dominant
+}
+
+TEST(HeatGradient, ClampsOutOfRange)
+{
+    EXPECT_EQ(temperatureToColor(-0.5), temperatureToColor(0.0));
+    EXPECT_EQ(temperatureToColor(1.5), temperatureToColor(1.0));
+}
+
+TEST(HeatGradient, RoundTripOnGradient)
+{
+    for (double t : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        rt::Vec3 color = temperatureToColor(t);
+        EXPECT_NEAR(colorToTemperature(color), t, 0.01) << "t=" << t;
+    }
+}
+
+TEST(HeatGradient, CoolnessIsOneMinusTemperature)
+{
+    for (double t : {0.0, 0.3, 0.6, 1.0}) {
+        rt::Vec3 color = temperatureToColor(t);
+        EXPECT_NEAR(coolnessOfColor(color), 1.0 - t, 0.01);
+    }
+}
+
+TEST(HeatGradient, CoolnessInUnitInterval)
+{
+    // Arbitrary off-gradient colors still land in [0, 1].
+    for (const rt::Vec3 &c : {rt::Vec3{1.0f, 1.0f, 1.0f},
+                              rt::Vec3{0.0f, 0.0f, 0.0f},
+                              rt::Vec3{0.5f, 0.2f, 0.7f}}) {
+        double coolness = coolnessOfColor(c);
+        EXPECT_GE(coolness, 0.0);
+        EXPECT_LE(coolness, 1.0);
+    }
+}
+
+TEST(HeatGradient, MonotoneOrdering)
+{
+    // Warmer temperature never maps to a "cooler" recovered value.
+    double prev = colorToTemperature(temperatureToColor(0.0));
+    for (int i = 1; i <= 20; ++i) {
+        double t = i / 20.0;
+        double recovered = colorToTemperature(temperatureToColor(t));
+        EXPECT_GE(recovered, prev - 1e-9);
+        prev = recovered;
+    }
+}
+
+TEST(HeatGradient, DistinctStops)
+{
+    // Adjacent sampled colors differ (no flat regions).
+    for (int i = 0; i < 10; ++i) {
+        rt::Vec3 a = temperatureToColor(i / 10.0);
+        rt::Vec3 b = temperatureToColor((i + 1) / 10.0);
+        EXPECT_GT(lengthSquared(a - b), 1e-4f);
+    }
+}
+
+} // namespace
+} // namespace zatel::heatmap

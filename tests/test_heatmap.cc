@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the execution-time heatmap and its quantized form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "heatmap/heat_gradient.hh"
+#include "heatmap/heatmap.hh"
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::heatmap
+{
+namespace
+{
+
+TEST(Heatmap, NormalizesByMax)
+{
+    Heatmap map = Heatmap::fromCosts(2, 2, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(map.temperatureAt(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(map.temperatureAt(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(map.averageTemperature(), (0.25 + 0.5 + 0.75 + 1.0) / 4);
+}
+
+TEST(Heatmap, AllZeroStaysZero)
+{
+    Heatmap map = Heatmap::fromCosts(2, 2, {0.0, 0.0, 0.0, 0.0});
+    for (uint32_t y = 0; y < 2; ++y)
+        for (uint32_t x = 0; x < 2; ++x)
+            EXPECT_DOUBLE_EQ(map.temperatureAt(x, y), 0.0);
+}
+
+TEST(Heatmap, ColorFollowsGradient)
+{
+    Heatmap map = Heatmap::fromCosts(2, 1, {0.0, 10.0});
+    EXPECT_EQ(map.colorAt(0, 0), temperatureToColor(0.0));
+    EXPECT_EQ(map.colorAt(1, 0), temperatureToColor(1.0));
+}
+
+TEST(Heatmap, FromRenderUsesProfileCosts)
+{
+    // Tiny sphere scene: pixels on the sphere are hotter than sky.
+    rt::Scene scene("t");
+    scene.setCamera(rt::Camera({0.0f, 0.0f, 5.0f}, {0.0f, 0.0f, 0.0f},
+                               {0.0f, 1.0f, 0.0f}, 45.0f));
+    scene.setLight({{3.0f, 5.0f, 3.0f}, {1.0f, 1.0f, 1.0f}});
+    uint16_t mat = scene.addMaterial(rt::Material::diffuse({0.5f, 0.5f,
+                                                            0.5f}));
+    rt::MeshBuilder mesh;
+    mesh.addSphere({0.0f, 0.0f, 0.0f}, 1.0f, 12, mat);
+    scene.addTriangles(mesh.takeTriangles());
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+    rt::RenderResult render = tracer.render(33, 33);
+
+    Heatmap map = Heatmap::fromRender(render);
+    EXPECT_EQ(map.width(), 33u);
+    // Center pixel (on sphere) hotter than corner (sky).
+    EXPECT_GT(map.temperatureAt(16, 16), map.temperatureAt(0, 0));
+    // The hottest pixel lies somewhere on the sphere; normalization
+    // pins it to exactly 1.
+    double max_temp = 0.0;
+    for (uint32_t y = 0; y < 33; ++y)
+        for (uint32_t x = 0; x < 33; ++x)
+            max_temp = std::max(max_temp, map.temperatureAt(x, y));
+    EXPECT_DOUBLE_EQ(max_temp, 1.0);
+    EXPECT_GT(map.temperatureAt(16, 16), 0.4);
+}
+
+TEST(Heatmap, PpmDump)
+{
+    Heatmap map = Heatmap::fromCosts(4, 4, std::vector<double>(16, 1.0));
+    std::string path = testing::TempDir() + "/zatel_heatmap.ppm";
+    EXPECT_TRUE(map.writePpm(path));
+    std::remove(path.c_str());
+}
+
+TEST(QuantizedHeatmap, PopulationsSumToPixelCount)
+{
+    std::vector<double> costs(64);
+    for (size_t i = 0; i < costs.size(); ++i)
+        costs[i] = static_cast<double>(i % 8);
+    Heatmap map = Heatmap::fromCosts(8, 8, costs);
+    QuantizedHeatmap quantized = QuantizedHeatmap::quantize(map, 4);
+
+    size_t total = 0;
+    for (uint32_t c = 0; c < quantized.paletteSize(); ++c)
+        total += quantized.clusterPopulation(c);
+    EXPECT_EQ(total, 64u);
+}
+
+TEST(QuantizedHeatmap, CoolnessOrdering)
+{
+    // Two-tone map: half cold (cost 0), half hot (cost 10).
+    std::vector<double> costs(64, 0.0);
+    for (size_t i = 32; i < 64; ++i)
+        costs[i] = 10.0;
+    Heatmap map = Heatmap::fromCosts(8, 8, costs);
+    QuantizedHeatmap quantized = QuantizedHeatmap::quantize(map, 2);
+    ASSERT_GE(quantized.paletteSize(), 2u);
+
+    // A cold pixel's cluster must be cooler than a hot pixel's.
+    double cold = quantized.coolnessAt(0, 0);
+    double hot = quantized.coolnessAt(0, 7);
+    EXPECT_GT(cold, hot);
+    EXPECT_GT(cold, 0.8);
+    EXPECT_LT(hot, 0.2);
+}
+
+TEST(QuantizedHeatmap, QuantizationMergesNoise)
+{
+    // Costs jittered around two levels must quantize to 2 clusters that
+    // separate the levels even with k larger than 2... use k=2 and check
+    // that near-identical temperatures share a cluster.
+    std::vector<double> costs;
+    for (int i = 0; i < 32; ++i)
+        costs.push_back(1.0 + 0.01 * (i % 3));
+    for (int i = 0; i < 32; ++i)
+        costs.push_back(9.0 + 0.01 * (i % 3));
+    Heatmap map = Heatmap::fromCosts(8, 8, costs);
+    QuantizedHeatmap quantized = QuantizedHeatmap::quantize(map, 2);
+
+    uint32_t first_cold = quantized.clusterAt(0, 0);
+    for (uint32_t x = 0; x < 8; ++x)
+        EXPECT_EQ(quantized.clusterAt(x, 0), first_cold);
+    uint32_t first_hot = quantized.clusterAt(0, 7);
+    EXPECT_NE(first_cold, first_hot);
+}
+
+TEST(QuantizedHeatmap, DeterministicForSeed)
+{
+    std::vector<double> costs(256);
+    for (size_t i = 0; i < costs.size(); ++i)
+        costs[i] = (i * 37) % 11;
+    Heatmap map = Heatmap::fromCosts(16, 16, costs);
+    QuantizedHeatmap a = QuantizedHeatmap::quantize(map, 5, 77);
+    QuantizedHeatmap b = QuantizedHeatmap::quantize(map, 5, 77);
+    for (uint32_t y = 0; y < 16; ++y)
+        for (uint32_t x = 0; x < 16; ++x)
+            EXPECT_EQ(a.clusterAt(x, y), b.clusterAt(x, y));
+}
+
+TEST(QuantizedHeatmap, PpmDump)
+{
+    Heatmap map = Heatmap::fromCosts(4, 4, std::vector<double>(16, 0.5));
+    QuantizedHeatmap quantized = QuantizedHeatmap::quantize(map, 2);
+    std::string path = testing::TempDir() + "/zatel_quantized.ppm";
+    EXPECT_TRUE(quantized.writePpm(path));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace zatel::heatmap

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the K-Means color quantizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heatmap/kmeans.hh"
+
+namespace zatel::heatmap
+{
+namespace
+{
+
+using rt::Vec3;
+
+TEST(KMeans, SingleClusterIsMean)
+{
+    std::vector<Vec3> points{{0.0f, 0.0f, 0.0f},
+                             {2.0f, 0.0f, 0.0f},
+                             {1.0f, 3.0f, 0.0f}};
+    KMeansParams params;
+    params.k = 1;
+    Rng rng(1);
+    KMeansResult result = kmeans(points, params, rng);
+    ASSERT_EQ(result.centroids.size(), 1u);
+    EXPECT_NEAR(result.centroids[0].x, 1.0f, 1e-5f);
+    EXPECT_NEAR(result.centroids[0].y, 1.0f, 1e-5f);
+}
+
+TEST(KMeans, SeparatedClustersFoundExactly)
+{
+    std::vector<Vec3> points;
+    for (int i = 0; i < 20; ++i) {
+        points.push_back({0.0f + 0.01f * i, 0.0f, 0.0f});
+        points.push_back({10.0f + 0.01f * i, 0.0f, 0.0f});
+    }
+    KMeansParams params;
+    params.k = 2;
+    Rng rng(2);
+    KMeansResult result = kmeans(points, params, rng);
+    ASSERT_EQ(result.centroids.size(), 2u);
+    float lo = std::min(result.centroids[0].x, result.centroids[1].x);
+    float hi = std::max(result.centroids[0].x, result.centroids[1].x);
+    EXPECT_NEAR(lo, 0.095f, 0.05f);
+    EXPECT_NEAR(hi, 10.095f, 0.05f);
+
+    // Assignments separate the two groups.
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool is_high_point = points[i].x > 5.0f;
+        bool assigned_high =
+            result.centroids[result.assignment[i]].x > 5.0f;
+        EXPECT_EQ(is_high_point, assigned_high);
+    }
+}
+
+TEST(KMeans, KLargerThanPointsShrinks)
+{
+    std::vector<Vec3> points{{1.0f, 0.0f, 0.0f}, {2.0f, 0.0f, 0.0f}};
+    KMeansParams params;
+    params.k = 10;
+    Rng rng(3);
+    KMeansResult result = kmeans(points, params, rng);
+    EXPECT_LE(result.centroids.size(), 2u);
+    for (uint32_t a : result.assignment)
+        EXPECT_LT(a, result.centroids.size());
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    std::vector<Vec3> points;
+    Rng gen(4);
+    for (int i = 0; i < 200; ++i)
+        points.push_back({static_cast<float>(gen.nextDouble()),
+                          static_cast<float>(gen.nextDouble()),
+                          static_cast<float>(gen.nextDouble())});
+    KMeansParams params;
+    params.k = 5;
+    Rng rng_a(42), rng_b(42);
+    KMeansResult a = kmeans(points, params, rng_a);
+    KMeansResult b = kmeans(points, params, rng_b);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(KMeans, IdenticalPointsOneEffectiveCluster)
+{
+    std::vector<Vec3> points(50, Vec3{0.5f, 0.5f, 0.5f});
+    KMeansParams params;
+    params.k = 4;
+    Rng rng(5);
+    KMeansResult result = kmeans(points, params, rng);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+    for (const Vec3 &c : result.centroids)
+        EXPECT_EQ(c, Vec3(0.5f, 0.5f, 0.5f));
+}
+
+TEST(KMeans, AssignmentsAreNearest)
+{
+    std::vector<Vec3> points;
+    Rng gen(6);
+    for (int i = 0; i < 300; ++i)
+        points.push_back({static_cast<float>(gen.nextDouble()),
+                          static_cast<float>(gen.nextDouble()), 0.0f});
+    KMeansParams params;
+    params.k = 4;
+    Rng rng(7);
+    KMeansResult result = kmeans(points, params, rng);
+
+    for (size_t i = 0; i < points.size(); ++i) {
+        float assigned_d2 = lengthSquared(
+            points[i] - result.centroids[result.assignment[i]]);
+        for (const Vec3 &c : result.centroids) {
+            EXPECT_LE(assigned_d2, lengthSquared(points[i] - c) + 1e-5f);
+        }
+    }
+}
+
+TEST(KMeans, InertiaIsSumOfSquares)
+{
+    std::vector<Vec3> points{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}};
+    KMeansParams params;
+    params.k = 1;
+    Rng rng(8);
+    KMeansResult result = kmeans(points, params, rng);
+    // Centroid at 0.5: each point contributes 0.25.
+    EXPECT_NEAR(result.inertia, 0.5, 1e-5);
+}
+
+TEST(KMeans, MoreClustersNeverWorse)
+{
+    std::vector<Vec3> points;
+    Rng gen(9);
+    for (int i = 0; i < 400; ++i)
+        points.push_back({static_cast<float>(gen.nextDouble() * 3.0),
+                          static_cast<float>(gen.nextDouble()),
+                          static_cast<float>(gen.nextDouble())});
+    auto run = [&points](uint32_t k) {
+        KMeansParams params;
+        params.k = k;
+        params.maxIterations = 100;
+        Rng rng(10);
+        return kmeans(points, params, rng).inertia;
+    };
+    // Inertia decreases substantially from 1 to 8 clusters.
+    EXPECT_LT(run(8), run(1) * 0.5);
+}
+
+} // namespace
+} // namespace zatel::heatmap

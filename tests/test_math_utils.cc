@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for scalar/statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/math_utils.hh"
+
+namespace zatel
+{
+namespace
+{
+
+TEST(Gcd, Basics)
+{
+    EXPECT_EQ(gcd(12, 8), 4u);
+    EXPECT_EQ(gcd(8, 12), 4u);
+    EXPECT_EQ(gcd(7, 13), 1u);
+    EXPECT_EQ(gcd(0, 5), 5u);
+    EXPECT_EQ(gcd(5, 0), 5u);
+    EXPECT_EQ(gcd(0, 0), 0u);
+    EXPECT_EQ(gcd(30, 12), 6u);
+}
+
+TEST(Gcd, PaperExamples)
+{
+    // Section III-C: 80 SMs + 10 MCs -> K = 10.
+    EXPECT_EQ(gcd(80, 10), 10u);
+    // Table II: Mobile SoC 8 SMs + 4 MCs -> K = 4.
+    EXPECT_EQ(gcd(8, 4), 4u);
+    // RTX 2060: 30 SMs + 12 MCs -> K = 6.
+    EXPECT_EQ(gcd(30, 12), 6u);
+}
+
+TEST(GcdAll, List)
+{
+    EXPECT_EQ(gcdAll({}), 0u);
+    EXPECT_EQ(gcdAll({42}), 42u);
+    EXPECT_EQ(gcdAll({12, 18, 24}), 6u);
+    EXPECT_EQ(gcdAll({7, 13}), 1u);
+}
+
+TEST(Clamp, Bounds)
+{
+    EXPECT_DOUBLE_EQ(clampDouble(0.5, 0.3, 0.6), 0.5);
+    EXPECT_DOUBLE_EQ(clampDouble(0.1, 0.3, 0.6), 0.3);
+    EXPECT_DOUBLE_EQ(clampDouble(0.9, 0.3, 0.6), 0.6);
+    EXPECT_DOUBLE_EQ(clampDouble(0.3, 0.3, 0.6), 0.3);
+}
+
+TEST(CeilDiv, Basics)
+{
+    EXPECT_EQ(ceilDiv(10, 2), 5u);
+    EXPECT_EQ(ceilDiv(11, 2), 6u);
+    EXPECT_EQ(ceilDiv(0, 3), 0u);
+    EXPECT_EQ(ceilDiv(1, 100), 1u);
+}
+
+TEST(Mean, Values)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Stddev, Values)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Median, OddEvenEmpty)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(MinMax, Values)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(minOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
+TEST(RelativeError, Percentages)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(90.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(-50.0, -100.0), 50.0);
+}
+
+TEST(RelativeError, NearZeroOracleIsFinite)
+{
+    double e = relativeErrorPct(0.5, 0.0);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 1e6);
+}
+
+TEST(MaePct, PairedSamples)
+{
+    EXPECT_DOUBLE_EQ(maePct({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(maePct({110.0, 90.0}, {100.0, 100.0}), 10.0);
+    EXPECT_DOUBLE_EQ(maePct({100.0}, {100.0}), 0.0);
+}
+
+TEST(NearlyEqual, Tolerance)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0));
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-10));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.1));
+    EXPECT_TRUE(nearlyEqual(1.0, 1.05, 0.1));
+}
+
+} // namespace
+} // namespace zatel

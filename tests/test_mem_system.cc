@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the memory partition and device-level memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/address_map.hh"
+#include "gpusim/mem_partition.hh"
+#include "gpusim/memory_system.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 2;
+    config.numMemPartitions = 2;
+    config.nocLatencyCycles = 4;
+    config.l2LatencyCycles = 8;
+    config.dramLatencyCycles = 16;
+    return config;
+}
+
+/** Run the system until the fill for @p sm arrives; returns the cycle. */
+int64_t
+cyclesUntilFill(MemorySystem &memory, uint32_t sm, uint64_t max_cycles)
+{
+    for (uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+        memory.tick(cycle);
+        if (!memory.drainFills(sm, cycle).empty())
+            return static_cast<int64_t>(cycle);
+    }
+    return -1;
+}
+
+TEST(MemorySystem, ReadEventuallyFills)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+    memory.sendRead(0, 0x1000, 0);
+    int64_t arrival = cyclesUntilFill(memory, 0, 10000);
+    ASSERT_GE(arrival, 0);
+    // Must at least pay NoC (x2) + L2 + DRAM latency + burst.
+    EXPECT_GE(arrival,
+              2 * config.nocLatencyCycles + config.dramLatencyCycles);
+    EXPECT_TRUE(memory.idle());
+}
+
+TEST(MemorySystem, L2HitFasterThanMiss)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+
+    memory.sendRead(0, 0x1000, 0);
+    int64_t miss_arrival = cyclesUntilFill(memory, 0, 10000);
+    ASSERT_GE(miss_arrival, 0);
+
+    // Same line again: now an L2 hit.
+    uint64_t start = static_cast<uint64_t>(miss_arrival) + 1;
+    memory.sendRead(0, 0x1000, start);
+    int64_t hit_arrival = -1;
+    for (uint64_t cycle = start; cycle < start + 10000; ++cycle) {
+        memory.tick(cycle);
+        if (!memory.drainFills(0, cycle).empty()) {
+            hit_arrival = static_cast<int64_t>(cycle - start);
+            break;
+        }
+    }
+    ASSERT_GE(hit_arrival, 0);
+    EXPECT_LT(hit_arrival, miss_arrival);
+}
+
+TEST(MemorySystem, FillsRouteToRequestingSm)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+    memory.sendRead(1, 0x2000, 0);
+    for (uint64_t cycle = 0; cycle < 10000; ++cycle) {
+        memory.tick(cycle);
+        EXPECT_TRUE(memory.drainFills(0, cycle).empty());
+        const auto &fills = memory.drainFills(1, cycle);
+        if (!fills.empty()) {
+            EXPECT_EQ(fills[0], 0x2000u);
+            return;
+        }
+    }
+    FAIL() << "fill never arrived";
+}
+
+TEST(MemorySystem, LinesRouteToInterleavedPartitions)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+    // Two consecutive lines -> two different partitions.
+    memory.sendRead(0, 0 * 128, 0);
+    memory.sendRead(0, 1 * 128, 0);
+    // Tick until idle and confirm each partition saw exactly one access.
+    for (uint64_t cycle = 0; cycle < 10000 && !memory.idle(); ++cycle) {
+        memory.tick(cycle);
+        memory.drainFills(0, cycle);
+    }
+    EXPECT_EQ(memory.partition(0).l2().stats().accesses, 1u);
+    EXPECT_EQ(memory.partition(1).l2().stats().accesses, 1u);
+}
+
+TEST(MemorySystem, SharedLineMergesInL2Mshr)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+    // Both SMs want the same line at once.
+    memory.sendRead(0, 0x4000, 0);
+    memory.sendRead(1, 0x4000, 0);
+
+    bool sm0 = false, sm1 = false;
+    for (uint64_t cycle = 0; cycle < 10000 && !(sm0 && sm1); ++cycle) {
+        memory.tick(cycle);
+        sm0 |= !memory.drainFills(0, cycle).empty();
+        sm1 |= !memory.drainFills(1, cycle).empty();
+    }
+    EXPECT_TRUE(sm0);
+    EXPECT_TRUE(sm1);
+    // Only one DRAM read was issued for the shared line.
+    uint64_t total_reads = 0;
+    for (uint32_t p = 0; p < memory.numPartitions(); ++p)
+        total_reads += memory.partition(p).dram().stats().reads;
+    EXPECT_EQ(total_reads, 1u);
+}
+
+TEST(MemorySystem, WritesReachL2AndDirtyEvictionsReachDram)
+{
+    GpuConfig config = smallConfig();
+    // Shrink the L2 slice to 2 lines so dirty evictions happen fast.
+    config.l2TotalBytes = 2ull * 2 * 128;
+    MemorySystem memory(config);
+
+    // Write many distinct lines into partition 0 (stride = 2 lines).
+    for (uint64_t i = 0; i < 8; ++i)
+        memory.sendWrite(0, i * 2 * 128, i);
+    for (uint64_t cycle = 0; cycle < 10000 && !memory.idle(); ++cycle) {
+        memory.tick(cycle);
+        memory.drainFills(0, cycle);
+    }
+    EXPECT_GT(memory.partition(0).dram().stats().writes, 0u);
+}
+
+TEST(MemorySystem, StatsAccumulate)
+{
+    GpuConfig config = smallConfig();
+    MemorySystem memory(config);
+    memory.sendRead(0, 0x1000, 0);
+    for (uint64_t cycle = 0; cycle < 10000 && !memory.idle(); ++cycle) {
+        memory.tick(cycle);
+        memory.drainFills(0, cycle);
+    }
+    GpuStats stats;
+    stats.cycles = 500;
+    memory.accumulateStats(stats);
+    EXPECT_EQ(stats.l2Accesses, 1u);
+    EXPECT_EQ(stats.l2Misses, 1u);
+    EXPECT_GT(stats.dramBusyCycles, 0u);
+    EXPECT_EQ(stats.dramChannelCycles, 500u * config.numMemPartitions);
+}
+
+TEST(MemPartition, IdleWhenConstructed)
+{
+    GpuConfig config = smallConfig();
+    MemPartition partition(config, 0);
+    EXPECT_TRUE(partition.idle());
+}
+
+} // namespace
+} // namespace zatel::gpusim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the procedural mesh generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/mesh.hh"
+#include "util/rng.hh"
+
+namespace zatel::rt
+{
+namespace
+{
+
+Aabb
+boundsOf(const std::vector<Triangle> &tris)
+{
+    Aabb box;
+    for (const Triangle &tri : tris)
+        box.expand(tri.bounds());
+    return box;
+}
+
+TEST(MeshBuilder, QuadIsTwoTriangles)
+{
+    MeshBuilder mesh;
+    mesh.addQuad({0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 0.0f},
+                 {0.0f, 1.0f, 0.0f}, 5);
+    EXPECT_EQ(mesh.triangleCount(), 2u);
+    for (const Triangle &tri : mesh.triangles())
+        EXPECT_EQ(tri.materialId, 5);
+}
+
+TEST(MeshBuilder, BoxHasTwelveTriangles)
+{
+    MeshBuilder mesh;
+    mesh.addBox({0.0f, 0.0f, 0.0f}, {1.0f, 2.0f, 3.0f}, 1);
+    EXPECT_EQ(mesh.triangleCount(), 12u);
+    Aabb box = boundsOf(mesh.triangles());
+    EXPECT_EQ(box.lo, Vec3(0.0f, 0.0f, 0.0f));
+    EXPECT_EQ(box.hi, Vec3(1.0f, 2.0f, 3.0f));
+}
+
+TEST(MeshBuilder, SphereTriangleCountAndBounds)
+{
+    MeshBuilder mesh;
+    int segments = 12;
+    mesh.addSphere({1.0f, 2.0f, 3.0f}, 2.0f, segments, 0);
+    // lat_steps = 6; poles lose one triangle per quad.
+    int lat = segments / 2;
+    EXPECT_EQ(mesh.triangleCount(),
+              static_cast<size_t>(segments * (2 * lat - 2)));
+    Aabb box = boundsOf(mesh.triangles());
+    EXPECT_NEAR(box.lo.x, -1.0f, 1e-3f);
+    EXPECT_NEAR(box.hi.x, 3.0f, 1e-3f);
+    EXPECT_NEAR(box.lo.y, 0.0f, 1e-3f);
+    EXPECT_NEAR(box.hi.y, 4.0f, 1e-3f);
+}
+
+TEST(MeshBuilder, SphereVerticesOnSurface)
+{
+    MeshBuilder mesh;
+    Vec3 center{0.0f, 0.0f, 0.0f};
+    float radius = 3.0f;
+    mesh.addSphere(center, radius, 10, 0);
+    for (const Triangle &tri : mesh.triangles()) {
+        for (const Vec3 &v : {tri.v0, tri.v1, tri.v2})
+            EXPECT_NEAR(length(v - center), radius, 1e-3f);
+    }
+}
+
+TEST(MeshBuilder, ConeCount)
+{
+    MeshBuilder mesh;
+    mesh.addCone({0.0f, 0.0f, 0.0f}, 1.0f, 2.0f, 8, 0);
+    EXPECT_EQ(mesh.triangleCount(), 16u); // side + base per segment
+}
+
+TEST(MeshBuilder, GroundPlaneGrid)
+{
+    MeshBuilder mesh;
+    mesh.addGroundPlane({0.0f, 1.0f, 0.0f}, 5.0f, 4, 0);
+    EXPECT_EQ(mesh.triangleCount(), 4u * 4u * 2u);
+    for (const Triangle &tri : mesh.triangles()) {
+        EXPECT_FLOAT_EQ(tri.v0.y, 1.0f);
+        EXPECT_FLOAT_EQ(tri.v1.y, 1.0f);
+        EXPECT_FLOAT_EQ(tri.v2.y, 1.0f);
+    }
+}
+
+TEST(MeshBuilder, TriangleSoupCountAndContainment)
+{
+    zatel::Rng rng(3);
+    MeshBuilder mesh;
+    Vec3 center{1.0f, 2.0f, 3.0f};
+    float radius = 5.0f;
+    float tri_size = 0.5f;
+    mesh.addTriangleSoup(rng, center, radius, 250, tri_size, 7);
+    EXPECT_EQ(mesh.triangleCount(), 250u);
+    // All triangles within radius + jitter of the center.
+    float max_dist = radius + 2.0f * tri_size;
+    for (const Triangle &tri : mesh.triangles())
+        EXPECT_LE(length(tri.centroid() - center), max_dist);
+}
+
+TEST(MeshBuilder, TerrainCellCountAndExtent)
+{
+    zatel::Rng rng(4);
+    MeshBuilder mesh;
+    mesh.addTerrain(rng, {0.0f, 0.0f, 0.0f}, 10.0f, 8, 1.5f, 0);
+    EXPECT_EQ(mesh.triangleCount(), 8u * 8u * 2u);
+    Aabb box = boundsOf(mesh.triangles());
+    EXPECT_NEAR(box.lo.x, -10.0f, 1e-3f);
+    EXPECT_NEAR(box.hi.x, 10.0f, 1e-3f);
+    EXPECT_GE(box.lo.y, 0.0f);
+    EXPECT_LE(box.hi.y, 1.5f);
+}
+
+TEST(MeshBuilder, DeterministicForSameSeed)
+{
+    zatel::Rng rng_a(9), rng_b(9);
+    MeshBuilder a, b;
+    a.addTriangleSoup(rng_a, {0.0f, 0.0f, 0.0f}, 3.0f, 50, 0.2f, 0);
+    b.addTriangleSoup(rng_b, {0.0f, 0.0f, 0.0f}, 3.0f, 50, 0.2f, 0);
+    ASSERT_EQ(a.triangleCount(), b.triangleCount());
+    for (size_t i = 0; i < a.triangleCount(); ++i)
+        EXPECT_EQ(a.triangles()[i].v0, b.triangles()[i].v0);
+}
+
+TEST(MeshBuilder, TakeTrianglesMoves)
+{
+    MeshBuilder mesh;
+    mesh.addBox({0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f}, 0);
+    std::vector<Triangle> taken = mesh.takeTriangles();
+    EXPECT_EQ(taken.size(), 12u);
+}
+
+} // namespace
+} // namespace zatel::rt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the MSHR table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/mshr.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+TEST(Mshr, AllocateThenMerge)
+{
+    MshrTable mshr(4);
+    EXPECT_EQ(mshr.request(0x1000, 1), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.request(0x1000, 2), MshrTable::Outcome::Merged);
+    EXPECT_EQ(mshr.occupancy(), 1u);
+    EXPECT_TRUE(mshr.pending(0x1000));
+    EXPECT_FALSE(mshr.pending(0x2000));
+}
+
+TEST(Mshr, FullRejects)
+{
+    MshrTable mshr(2);
+    EXPECT_EQ(mshr.request(0x1000, 1), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.request(0x2000, 2), MshrTable::Outcome::Allocated);
+    EXPECT_TRUE(mshr.full());
+    EXPECT_EQ(mshr.request(0x3000, 3), MshrTable::Outcome::Full);
+    // Merging into an existing entry still works when full.
+    EXPECT_EQ(mshr.request(0x1000, 4), MshrTable::Outcome::Merged);
+    EXPECT_EQ(mshr.stats().fullStalls, 1u);
+}
+
+TEST(Mshr, FillReturnsWaitersInOrder)
+{
+    MshrTable mshr(4);
+    mshr.request(0x1000, 10);
+    mshr.request(0x1000, 20);
+    mshr.request(0x1000, 30);
+    std::vector<uint64_t> waiters = mshr.fill(0x1000);
+    ASSERT_EQ(waiters.size(), 3u);
+    EXPECT_EQ(waiters[0], 10u);
+    EXPECT_EQ(waiters[1], 20u);
+    EXPECT_EQ(waiters[2], 30u);
+    EXPECT_EQ(mshr.occupancy(), 0u);
+    EXPECT_FALSE(mshr.pending(0x1000));
+}
+
+TEST(Mshr, FillUnknownLineIsEmpty)
+{
+    MshrTable mshr(4);
+    EXPECT_TRUE(mshr.fill(0xDEAD).empty());
+}
+
+TEST(Mshr, ReallocAfterFill)
+{
+    MshrTable mshr(1);
+    EXPECT_EQ(mshr.request(0x1000, 1), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.request(0x2000, 2), MshrTable::Outcome::Full);
+    mshr.fill(0x1000);
+    EXPECT_EQ(mshr.request(0x2000, 2), MshrTable::Outcome::Allocated);
+}
+
+TEST(Mshr, StatsCount)
+{
+    MshrTable mshr(8);
+    mshr.request(0x100, 1);
+    mshr.request(0x100, 2);
+    mshr.request(0x200, 3);
+    EXPECT_EQ(mshr.stats().allocations, 2u);
+    EXPECT_EQ(mshr.stats().merges, 1u);
+}
+
+} // namespace
+} // namespace zatel::gpusim

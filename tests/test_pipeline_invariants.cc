@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end pipeline bookkeeping invariants: the combination step must
+ * reproduce Section III-H's arithmetic exactly from the per-group data
+ * the predictor reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "zatel/combine.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+struct PipelineFixture : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        scene = rt::buildScene(rt::SceneId::Chsnt, rt::SceneDetail{0.5f});
+        bvh.build(scene.triangles());
+        params.width = params.height = 64;
+    }
+
+    rt::Scene scene;
+    rt::Bvh bvh;
+    ZatelParams params;
+};
+
+TEST_F(PipelineFixture, PredictedIpcIsSumOfGroupIpcs)
+{
+    ZatelPredictor predictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params);
+    ZatelResult result = predictor.predict();
+
+    double sum = 0.0;
+    for (const GroupResult &group : result.groups)
+        sum += group.stats.ipc(); // ratio metrics pass through linearly
+    EXPECT_NEAR(result.metric(gpusim::Metric::Ipc), sum, 1e-9);
+}
+
+TEST_F(PipelineFixture, PredictedCyclesIsMeanOfExtrapolatedGroups)
+{
+    ZatelPredictor predictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params);
+    ZatelResult result = predictor.predict();
+
+    double acc = 0.0;
+    for (const GroupResult &group : result.groups) {
+        double fraction = std::max(group.fractionTraced, 1e-9);
+        acc += group.stats.simCycles() / fraction;
+    }
+    acc /= result.groups.size();
+    EXPECT_NEAR(result.metric(gpusim::Metric::SimCycles), acc, 1e-6);
+}
+
+TEST_F(PipelineFixture, PredictedMissRatesAreGroupAverages)
+{
+    ZatelPredictor predictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params);
+    ZatelResult result = predictor.predict();
+
+    for (gpusim::Metric metric :
+         {gpusim::Metric::L1dMissRate, gpusim::Metric::L2MissRate,
+          gpusim::Metric::RtEfficiency}) {
+        double acc = 0.0;
+        for (const GroupResult &group : result.groups)
+            acc += group.stats.metricValue(metric);
+        acc /= result.groups.size();
+        EXPECT_NEAR(result.metric(metric), acc, 1e-9)
+            << gpusim::metricName(metric);
+    }
+}
+
+TEST_F(PipelineFixture, FractionTracedIsSelectionWeightedAverage)
+{
+    ZatelPredictor predictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params);
+    ZatelResult result = predictor.predict();
+
+    uint64_t selected = 0, total = 0;
+    for (const GroupResult &group : result.groups) {
+        selected += group.selectedPixels;
+        total += group.pixels;
+    }
+    EXPECT_EQ(total, 64ull * 64ull);
+    EXPECT_NEAR(result.fractionTraced,
+                static_cast<double>(selected) / total, 1e-12);
+}
+
+TEST_F(PipelineFixture, GroupStatsAreTracedSubsetsOnly)
+{
+    params.selector.fixedFraction = 0.25;
+    ZatelPredictor predictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params);
+    ZatelResult result = predictor.predict();
+    OracleResult oracle = predictor.runOracle();
+
+    uint64_t group_visits = 0;
+    for (const GroupResult &group : result.groups)
+        group_visits += group.stats.rtNodeVisits;
+    // Tracing ~25% of pixels does roughly a quarter of the oracle's
+    // traversal work (loose bounds: heat-driven selection skews it).
+    EXPECT_LT(group_visits, oracle.stats.rtNodeVisits);
+    EXPECT_GT(group_visits, oracle.stats.rtNodeVisits / 20);
+}
+
+TEST_F(PipelineFixture, SeedChangesSelectionButNotOracle)
+{
+    params.selector.fixedFraction = 0.3;
+    ZatelPredictor a(scene, bvh, gpusim::GpuConfig::mobileSoc(), params);
+    params.seed ^= 0xDEADBEEF;
+    ZatelPredictor b(scene, bvh, gpusim::GpuConfig::mobileSoc(), params);
+
+    ZatelResult ra = a.predict();
+    ZatelResult rb = b.predict();
+    // Different seeds pick different blocks -> different raw work...
+    bool any_diff = false;
+    for (size_t g = 0; g < ra.groups.size(); ++g)
+        any_diff |= ra.groups[g].stats.rtNodeVisits !=
+                    rb.groups[g].stats.rtNodeVisits;
+    EXPECT_TRUE(any_diff);
+    // ...but the oracle is seed-independent.
+    EXPECT_EQ(a.runOracle().stats.cycles, b.runOracle().stats.cycles);
+}
+
+} // namespace
+} // namespace zatel::core

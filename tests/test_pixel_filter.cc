@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the pixel filter file round trip (Section III-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "heatmap/heatmap.hh"
+#include "zatel/pixel_filter.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+TEST(PixelFilter, WriteReadRoundTrip)
+{
+    PixelGroup group;
+    for (uint32_t y = 0; y < 8; ++y)
+        for (uint32_t x = 0; x < 8; ++x)
+            group.push_back({x, y});
+
+    Selection selection;
+    selection.mask.assign(group.size(), false);
+    for (size_t i = 0; i < group.size(); i += 3) {
+        selection.mask[i] = true;
+        ++selection.selectedCount;
+    }
+
+    std::string path = testing::TempDir() + "/zatel_filter.txt";
+    ASSERT_TRUE(writeFilterFile(path, group, selection));
+
+    Selection loaded = readFilterFile(path, group);
+    EXPECT_EQ(loaded.mask, selection.mask);
+    EXPECT_EQ(loaded.selectedCount, selection.selectedCount);
+    std::remove(path.c_str());
+}
+
+TEST(PixelFilter, EmptySelection)
+{
+    PixelGroup group{{0, 0}, {1, 0}};
+    Selection selection;
+    selection.mask.assign(group.size(), false);
+
+    std::string path = testing::TempDir() + "/zatel_filter_empty.txt";
+    ASSERT_TRUE(writeFilterFile(path, group, selection));
+    Selection loaded = readFilterFile(path, group);
+    EXPECT_EQ(loaded.selectedCount, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(PixelFilter, ForeignPixelsIgnored)
+{
+    PixelGroup group{{0, 0}, {1, 0}};
+    std::string path = testing::TempDir() + "/zatel_filter_foreign.txt";
+    {
+        std::ofstream out(path);
+        out << "1 0\n999 999\n"; // second pixel not in the group
+    }
+    Selection loaded = readFilterFile(path, group);
+    EXPECT_EQ(loaded.selectedCount, 1u);
+    EXPECT_FALSE(loaded.mask[0]);
+    EXPECT_TRUE(loaded.mask[1]);
+    std::remove(path.c_str());
+}
+
+TEST(PixelFilter, MissingFileIsEmptySelection)
+{
+    PixelGroup group{{0, 0}};
+    Selection loaded =
+        readFilterFile("/nonexistent/zatel_filter.txt", group);
+    EXPECT_EQ(loaded.selectedCount, 0u);
+}
+
+} // namespace
+} // namespace zatel::core

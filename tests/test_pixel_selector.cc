@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for representative-pixel selection (equations 1-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "heatmap/heatmap.hh"
+#include "zatel/pixel_selector.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+PixelGroup
+fullImageGroup(uint32_t width, uint32_t height)
+{
+    PixelGroup group;
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            group.push_back({x, y});
+    return group;
+}
+
+heatmap::QuantizedHeatmap
+gradientMap(uint32_t width, uint32_t height, uint32_t k = 4)
+{
+    // Temperature increases along x.
+    std::vector<double> costs(static_cast<size_t>(width) * height);
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            costs[y * width + x] = static_cast<double>(x);
+    heatmap::Heatmap map = heatmap::Heatmap::fromCosts(width, height, costs);
+    return heatmap::QuantizedHeatmap::quantize(map, k);
+}
+
+heatmap::QuantizedHeatmap
+uniformMap(uint32_t width, uint32_t height, double cost)
+{
+    std::vector<double> costs(static_cast<size_t>(width) * height, cost);
+    heatmap::Heatmap map = heatmap::Heatmap::fromCosts(width, height, costs);
+    return heatmap::QuantizedHeatmap::quantize(map, 2);
+}
+
+TEST(EquationOne, ClampsIntoPaperBounds)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    // An all-hot map has coolness ~0 -> clamp to 0.3.
+    heatmap::QuantizedHeatmap hot = uniformMap(64, 64, 10.0);
+    EXPECT_DOUBLE_EQ(equationOneFraction(group, hot, 0.3, 0.6), 0.3);
+    // An all-cold (zero-cost) map has coolness ~1 -> clamp to 0.6.
+    heatmap::QuantizedHeatmap cold = uniformMap(64, 64, 0.0);
+    EXPECT_DOUBLE_EQ(equationOneFraction(group, cold, 0.3, 0.6), 0.6);
+}
+
+TEST(EquationOne, MidTemperatureInsideBounds)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64, 6);
+    double p = equationOneFraction(group, map, 0.0, 1.0);
+    EXPECT_GT(p, 0.2);
+    EXPECT_LT(p, 0.8);
+}
+
+TEST(Selector, FixedFractionHitsTarget)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64);
+    for (double fraction : {0.1, 0.3, 0.5, 0.9}) {
+        SelectorParams params;
+        params.fixedFraction = fraction;
+        Rng rng(7);
+        Selection sel = selectRepresentativePixels(group, map, params, rng);
+        EXPECT_EQ(sel.targetFraction, fraction);
+        // Block granularity: within one block (64 px of 4096).
+        EXPECT_NEAR(sel.actualFraction, fraction, 64.0 / 4096.0 + 1e-9)
+            << "fraction " << fraction;
+        // Mask agrees with the count.
+        uint64_t set_bits = 0;
+        for (bool b : sel.mask)
+            set_bits += b;
+        EXPECT_EQ(set_bits, sel.selectedCount);
+    }
+}
+
+TEST(Selector, FullSelectionShortCircuits)
+{
+    PixelGroup group = fullImageGroup(16, 16);
+    heatmap::QuantizedHeatmap map = gradientMap(16, 16);
+    SelectorParams params;
+    params.fixedFraction = 1.0;
+    Rng rng(3);
+    Selection sel = selectRepresentativePixels(group, map, params, rng);
+    EXPECT_EQ(sel.selectedCount, group.size());
+    EXPECT_DOUBLE_EQ(sel.actualFraction, 1.0);
+}
+
+TEST(Selector, ZeroFractionSelectsNothing)
+{
+    PixelGroup group = fullImageGroup(16, 16);
+    heatmap::QuantizedHeatmap map = gradientMap(16, 16);
+    SelectorParams params;
+    params.fixedFraction = 0.0;
+    Rng rng(3);
+    Selection sel = selectRepresentativePixels(group, map, params, rng);
+    EXPECT_EQ(sel.selectedCount, 0u);
+}
+
+TEST(Selector, DeterministicPerSeed)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64);
+    SelectorParams params;
+    params.fixedFraction = 0.4;
+    Rng rng_a(11), rng_b(11), rng_c(12);
+    Selection a = selectRepresentativePixels(group, map, params, rng_a);
+    Selection b = selectRepresentativePixels(group, map, params, rng_b);
+    Selection c = selectRepresentativePixels(group, map, params, rng_c);
+    EXPECT_EQ(a.mask, b.mask);
+    EXPECT_NE(a.mask, c.mask); // different seed explores other blocks
+}
+
+TEST(Selector, SelectionComesInWholeBlocks)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64);
+    SelectorParams params;
+    params.fixedFraction = 0.25;
+    params.blockWidth = 32;
+    params.blockHeight = 2;
+    Rng rng(5);
+    Selection sel = selectRepresentativePixels(group, map, params, rng);
+
+    // Every 32x2 tile is either fully selected or fully unselected.
+    for (uint32_t ty = 0; ty < 32; ++ty) {
+        for (uint32_t tx = 0; tx < 2; ++tx) {
+            int count = 0;
+            for (uint32_t dy = 0; dy < 2; ++dy)
+                for (uint32_t dx = 0; dx < 32; ++dx) {
+                    uint32_t index =
+                        (ty * 2 + dy) * 64 + tx * 32 + dx;
+                    count += sel.mask[index];
+                }
+            EXPECT_TRUE(count == 0 || count == 64)
+                << "tile (" << tx << "," << ty << ") partially selected";
+        }
+    }
+}
+
+TEST(Selector, ExpTempPrefersHotPixels)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64, 6);
+
+    auto hot_share = [&](DistributionMethod method, uint64_t seed) {
+        SelectorParams params;
+        params.distribution = method;
+        params.fixedFraction = 0.2;
+        Rng rng(seed);
+        Selection sel = selectRepresentativePixels(group, map, params, rng);
+        uint64_t hot = 0;
+        for (size_t i = 0; i < group.size(); ++i) {
+            if (sel.mask[i] && group[i].x >= 48)
+                ++hot;
+        }
+        return static_cast<double>(hot) /
+               static_cast<double>(sel.selectedCount);
+    };
+
+    // Average over several seeds to smooth block randomness.
+    double uniform = 0.0, exptmp = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        uniform += hot_share(DistributionMethod::Uniform, seed);
+        exptmp += hot_share(DistributionMethod::ExpTemp, seed);
+    }
+    EXPECT_GT(exptmp, uniform * 1.5)
+        << "exptmp must bias selection to the hottest columns";
+}
+
+TEST(Selector, UniformMatchesColorDistribution)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64, 4);
+    SelectorParams params;
+    params.distribution = DistributionMethod::Uniform;
+    params.fixedFraction = 0.5;
+    Rng rng(21);
+    Selection sel = selectRepresentativePixels(group, map, params, rng);
+
+    // Each cluster's share among the selected pixels matches its share
+    // of the image within a loose tolerance.
+    std::vector<double> selected_share(map.paletteSize(), 0.0);
+    for (size_t i = 0; i < group.size(); ++i) {
+        if (sel.mask[i])
+            selected_share[map.clusterAt(group[i].x, group[i].y)] += 1.0;
+    }
+    for (uint32_t c = 0; c < map.paletteSize(); ++c) {
+        double image_share = static_cast<double>(map.clusterPopulation(c)) /
+                             static_cast<double>(group.size());
+        double share = selected_share[c] /
+                       static_cast<double>(sel.selectedCount);
+        EXPECT_NEAR(share, image_share, 0.15) << "cluster " << c;
+    }
+}
+
+TEST(Selector, DistributionMethodNames)
+{
+    EXPECT_STREQ(distributionMethodName(DistributionMethod::Uniform),
+                 "uniform");
+    EXPECT_STREQ(distributionMethodName(DistributionMethod::LinTemp),
+                 "lintmp");
+    EXPECT_STREQ(distributionMethodName(DistributionMethod::ExpTemp),
+                 "exptmp");
+}
+
+TEST(Selector, EquationOneDrivenSelectionWithinBounds)
+{
+    PixelGroup group = fullImageGroup(64, 64);
+    heatmap::QuantizedHeatmap map = gradientMap(64, 64);
+    SelectorParams params; // no fixedFraction: equation (1) drives
+    Rng rng(31);
+    Selection sel = selectRepresentativePixels(group, map, params, rng);
+    EXPECT_GE(sel.targetFraction, 0.3);
+    EXPECT_LE(sel.targetFraction, 0.6);
+    EXPECT_GE(sel.actualFraction, 0.25);
+    EXPECT_LE(sel.actualFraction, 0.7);
+}
+
+} // namespace
+} // namespace zatel::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the profiling-source model (functional vs hardware timers,
+ * paper Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "heatmap/profiler.hh"
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::heatmap
+{
+namespace
+{
+
+rt::RenderResult
+renderSphereScene(uint32_t res)
+{
+    static rt::Scene scene("profiled");
+    static rt::Bvh bvh;
+    static bool built = false;
+    if (!built) {
+        scene.setCamera(rt::Camera({0.0f, 0.0f, 5.0f}, {0.0f, 0.0f, 0.0f},
+                                   {0.0f, 1.0f, 0.0f}, 45.0f));
+        scene.setLight({{3.0f, 5.0f, 3.0f}, {1.0f, 1.0f, 1.0f}});
+        uint16_t mat =
+            scene.addMaterial(rt::Material::diffuse({0.5f, 0.5f, 0.5f}));
+        rt::MeshBuilder mesh;
+        mesh.addSphere({0.0f, 0.0f, 0.0f}, 1.2f, 14, mat);
+        scene.addTriangles(mesh.takeTriangles());
+        bvh.build(scene.triangles());
+        built = true;
+    }
+    rt::Tracer tracer(scene, bvh);
+    return tracer.render(res, res);
+}
+
+TEST(Profiler, FunctionalIsExact)
+{
+    rt::RenderResult render = renderSphereScene(32);
+    Heatmap exact = Heatmap::fromRender(render);
+    ProfilerParams params;
+    params.source = ProfilingSource::Functional;
+    Heatmap profiled = profileRender(render, params);
+    for (uint32_t y = 0; y < 32; ++y)
+        for (uint32_t x = 0; x < 32; ++x)
+            EXPECT_DOUBLE_EQ(profiled.temperatureAt(x, y),
+                             exact.temperatureAt(x, y));
+}
+
+TEST(Profiler, HardwareTimerIsNoisyButCorrelated)
+{
+    rt::RenderResult render = renderSphereScene(32);
+    Heatmap exact = Heatmap::fromRender(render);
+    ProfilerParams params;
+    params.source = ProfilingSource::HardwareTimer;
+    params.timerNoise = 0.15;
+    Heatmap noisy = profileRender(render, params);
+
+    int differing = 0;
+    double hot_noisy = 0.0, hot_exact = 0.0;
+    double cold_noisy = 0.0, cold_exact = 0.0;
+    for (uint32_t y = 0; y < 32; ++y) {
+        for (uint32_t x = 0; x < 32; ++x) {
+            if (std::abs(noisy.temperatureAt(x, y) -
+                         exact.temperatureAt(x, y)) > 1e-9)
+                ++differing;
+            if (exact.temperatureAt(x, y) > 0.5) {
+                hot_exact += exact.temperatureAt(x, y);
+                hot_noisy += noisy.temperatureAt(x, y);
+            } else {
+                cold_exact += exact.temperatureAt(x, y);
+                cold_noisy += noisy.temperatureAt(x, y);
+            }
+        }
+    }
+    EXPECT_GT(differing, 500); // noise actually applied
+    // Gross structure preserved: hot region stays hotter than cold.
+    EXPECT_GT(hot_noisy, cold_noisy);
+}
+
+TEST(Profiler, DeterministicPerSeed)
+{
+    rt::RenderResult render = renderSphereScene(16);
+    ProfilerParams params;
+    params.source = ProfilingSource::HardwareTimer;
+    params.seed = 99;
+    Heatmap a = profileRender(render, params);
+    Heatmap b = profileRender(render, params);
+    for (uint32_t y = 0; y < 16; ++y)
+        for (uint32_t x = 0; x < 16; ++x)
+            EXPECT_DOUBLE_EQ(a.temperatureAt(x, y), b.temperatureAt(x, y));
+}
+
+TEST(Profiler, QuantizationAbsorbsTimerNoise)
+{
+    // The paper's Fig. 4 claim: after K-Means quantization the noisy
+    // hardware heatmap and the exact heatmap mostly agree on which
+    // pixels are hot.
+    rt::RenderResult render = renderSphereScene(48);
+    Heatmap exact = Heatmap::fromRender(render);
+    ProfilerParams params;
+    params.source = ProfilingSource::HardwareTimer;
+    params.timerNoise = 0.15;
+    Heatmap noisy = profileRender(render, params);
+
+    QuantizedHeatmap q_exact = QuantizedHeatmap::quantize(exact, 4);
+    QuantizedHeatmap q_noisy = QuantizedHeatmap::quantize(noisy, 4);
+
+    // Compare binarized hotness (coolness < 0.5) between the two.
+    int agree = 0, total = 0;
+    for (uint32_t y = 0; y < 48; ++y) {
+        for (uint32_t x = 0; x < 48; ++x) {
+            bool hot_exact = q_exact.coolnessAt(x, y) < 0.5;
+            bool hot_noisy = q_noisy.coolnessAt(x, y) < 0.5;
+            agree += hot_exact == hot_noisy;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(Profiler, SourceNames)
+{
+    EXPECT_STREQ(profilingSourceName(ProfilingSource::Functional),
+                 "functional");
+    EXPECT_STREQ(profilingSourceName(ProfilingSource::HardwareTimer),
+                 "hw-timer");
+}
+
+} // namespace
+} // namespace zatel::heatmap

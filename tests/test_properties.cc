@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Cross-module property tests: parameterized sweeps asserting invariant
+ * bundles over scenes, configurations and pipeline settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu.hh"
+#include "heatmap/heatmap.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "zatel/pixel_selector.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Simulator invariants over every scene.
+// ---------------------------------------------------------------------
+
+class SimInvariants : public testing::TestWithParam<rt::SceneId>
+{
+};
+
+TEST_P(SimInvariants, StatsBundleHolds)
+{
+    rt::Scene scene = rt::buildScene(GetParam(), rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+
+    gpusim::GpuConfig config = gpusim::GpuConfig::mobileSoc();
+    config.numSms = 2;
+    config.numMemPartitions = 2;
+    gpusim::GpuStats stats =
+        gpusim::simulateFullFrame(config, tracer, 24, 24);
+
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_LE(stats.l1dMisses, stats.l1dAccesses);
+    EXPECT_LE(stats.l2Misses, stats.l2Accesses);
+    // L2 only sees L1 misses plus write-throughs.
+    EXPECT_LE(stats.l2Accesses, stats.l1dAccesses);
+    EXPECT_LE(stats.dramBusyCycles, stats.dramActiveCycles);
+    EXPECT_LE(stats.dramActiveCycles, stats.dramChannelCycles);
+    EXPECT_GE(stats.rtEfficiency(), 0.0);
+    EXPECT_LE(stats.rtEfficiency(), config.warpSize);
+    EXPECT_EQ(stats.pixelsTraced, 24u * 24u);
+    // Every selected pixel casts at least one ray.
+    EXPECT_GE(stats.raysTraced, stats.pixelsTraced);
+    // DRAM reads can't exceed L2 misses (one line fill per miss).
+    EXPECT_GT(stats.threadInstructions, stats.rtNodeVisits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SimInvariants,
+                         testing::ValuesIn(rt::allScenes()),
+                         [](const auto &info) {
+                             return std::string(rt::sceneName(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// Functional/timed agreement across scenes (the replay property).
+// ---------------------------------------------------------------------
+
+class ReplayAgreement : public testing::TestWithParam<rt::SceneId>
+{
+};
+
+TEST_P(ReplayAgreement, TimedVisitsEqualFunctionalVisits)
+{
+    rt::Scene scene = rt::buildScene(GetParam(), rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+
+    rt::RenderResult render = tracer.render(16, 16);
+    uint64_t functional = 0;
+    for (const rt::PixelProfile &profile : render.profiles)
+        functional += profile.nodesVisited;
+
+    gpusim::GpuStats stats = gpusim::simulateFullFrame(
+        gpusim::GpuConfig::mobileSoc(), tracer, 16, 16);
+    EXPECT_EQ(stats.rtNodeVisits, functional);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, ReplayAgreement,
+                         testing::ValuesIn(rt::allScenes()),
+                         [](const auto &info) {
+                             return std::string(rt::sceneName(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// Selector properties across distribution x fraction.
+// ---------------------------------------------------------------------
+
+struct SelectorCase
+{
+    core::DistributionMethod distribution;
+    double fraction;
+};
+
+class SelectorSweep : public testing::TestWithParam<SelectorCase>
+{
+  protected:
+    static heatmap::QuantizedHeatmap
+    map()
+    {
+        std::vector<double> costs(64 * 64);
+        for (uint32_t y = 0; y < 64; ++y)
+            for (uint32_t x = 0; x < 64; ++x)
+                costs[y * 64 + x] = x + 0.2 * y;
+        heatmap::Heatmap raw = heatmap::Heatmap::fromCosts(64, 64, costs);
+        return heatmap::QuantizedHeatmap::quantize(raw, 5);
+    }
+
+    static core::PixelGroup
+    group()
+    {
+        core::PixelGroup pixels;
+        for (uint32_t y = 0; y < 64; ++y)
+            for (uint32_t x = 0; x < 64; ++x)
+                pixels.push_back({x, y});
+        return pixels;
+    }
+};
+
+TEST_P(SelectorSweep, BudgetAndMaskConsistent)
+{
+    const SelectorCase &c = GetParam();
+    heatmap::QuantizedHeatmap quantized = map();
+    core::PixelGroup pixels = group();
+
+    core::SelectorParams params;
+    params.distribution = c.distribution;
+    params.fixedFraction = c.fraction;
+    Rng rng(1234);
+    core::Selection sel = core::selectRepresentativePixels(
+        pixels, quantized, params, rng);
+
+    // Mask count matches selectedCount.
+    uint64_t bits = 0;
+    for (bool b : sel.mask)
+        bits += b;
+    EXPECT_EQ(bits, sel.selectedCount);
+    // Fraction within one section block of the request.
+    EXPECT_NEAR(sel.actualFraction, c.fraction,
+                64.0 / pixels.size() + 1e-9);
+    // Never exceeds the group.
+    EXPECT_LE(sel.selectedCount, pixels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SelectorSweep,
+    testing::Values(
+        SelectorCase{core::DistributionMethod::Uniform, 0.1},
+        SelectorCase{core::DistributionMethod::Uniform, 0.5},
+        SelectorCase{core::DistributionMethod::Uniform, 0.9},
+        SelectorCase{core::DistributionMethod::LinTemp, 0.1},
+        SelectorCase{core::DistributionMethod::LinTemp, 0.5},
+        SelectorCase{core::DistributionMethod::LinTemp, 0.9},
+        SelectorCase{core::DistributionMethod::ExpTemp, 0.1},
+        SelectorCase{core::DistributionMethod::ExpTemp, 0.5},
+        SelectorCase{core::DistributionMethod::ExpTemp, 0.9}));
+
+// ---------------------------------------------------------------------
+// More pixels traced -> more simulated work, monotonically.
+// ---------------------------------------------------------------------
+
+TEST(Monotonicity, VisitsGrowWithFraction)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Bunny,
+                                     rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    core::ZatelParams params;
+    params.width = params.height = 48;
+    params.downscaleGpu = false;
+
+    uint64_t prev_visits = 0;
+    for (double fraction : {0.2, 0.5, 0.8}) {
+        params.selector.fixedFraction = fraction;
+        core::ZatelPredictor predictor(
+            scene, bvh, gpusim::GpuConfig::mobileSoc(), params);
+        core::ZatelResult result = predictor.predict();
+        uint64_t visits = result.groups[0].stats.rtNodeVisits;
+        EXPECT_GT(visits, prev_visits) << "fraction " << fraction;
+        prev_visits = visits;
+    }
+}
+
+TEST(Monotonicity, GroupCyclesNeverExceedOracleByMuch)
+{
+    // A downscaled group tracing everything should take cycles in the
+    // same ballpark as the full GPU on the full scene (weak scaling).
+    rt::Scene scene = rt::buildScene(rt::SceneId::Spnza,
+                                     rt::SceneDetail{0.5f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    core::ZatelParams params;
+    params.width = params.height = 48;
+    params.selector.fixedFraction = 1.0;
+    core::ZatelPredictor predictor(scene, bvh,
+                                   gpusim::GpuConfig::mobileSoc(), params);
+    core::OracleResult oracle = predictor.runOracle();
+    core::ZatelResult result = predictor.predict();
+    for (const core::GroupResult &group : result.groups) {
+        EXPECT_LT(group.stats.cycles, 3 * oracle.stats.cycles);
+        EXPECT_GT(group.stats.cycles, oracle.stats.cycles / 3);
+    }
+}
+
+} // namespace
+} // namespace zatel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the curve-fitting helpers used by extrapolation and the
+ * Fig. 15 speedup model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/regression.hh"
+
+namespace zatel
+{
+namespace
+{
+
+TEST(LinearFit, ExactLine)
+{
+    LinearFit fit = fitLinear({1.0, 2.0, 3.0}, {5.0, 7.0, 9.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+    EXPECT_NEAR(fit.evaluate(10.0), 23.0, 1e-9);
+}
+
+TEST(LinearFit, HorizontalLine)
+{
+    LinearFit fit = fitLinear({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+}
+
+TEST(LinearFit, IdenticalXFallsBackToMean)
+{
+    LinearFit fit = fitLinear({2.0, 2.0, 2.0}, {1.0, 3.0, 5.0});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyDataR2Below1)
+{
+    LinearFit fit = fitLinear({1.0, 2.0, 3.0, 4.0}, {2.0, 4.1, 5.9, 8.2});
+    EXPECT_GT(fit.r2, 0.98);
+    EXPECT_LT(fit.r2, 1.0);
+}
+
+TEST(PowerFit, ExactPowerLaw)
+{
+    // The paper's speedup model: 181 * perc^-1.15 (equation 4).
+    std::vector<double> xs, ys;
+    for (double x : {10.0, 20.0, 40.0, 60.0, 90.0}) {
+        xs.push_back(x);
+        ys.push_back(181.0 * std::pow(x, -1.15));
+    }
+    PowerFit fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.scale, 181.0, 1e-6);
+    EXPECT_NEAR(fit.exponent, -1.15, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(PowerFit, SkipsNonPositiveSamples)
+{
+    PowerFit fit = fitPowerLaw({0.0, 1.0, 2.0, 4.0}, {5.0, 3.0, 6.0, 12.0});
+    // Only the positive-x samples (1,3),(2,6),(4,12) participate: y = 3x.
+    EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+    EXPECT_NEAR(fit.scale, 3.0, 1e-9);
+}
+
+TEST(ExponentialFit, ExactRecovery)
+{
+    // y = 10 + 5 * 0.8^x at x = 20, 30, 40.
+    auto f = [](double x) { return 10.0 + 5.0 * std::pow(0.8, x / 10.0); };
+    ExponentialFit fit =
+        fitExponentialThreePoint({20.0, 30.0, 40.0},
+                                 {f(20.0), f(30.0), f(40.0)});
+    EXPECT_TRUE(fit.exponential);
+    EXPECT_NEAR(fit.evaluate(100.0), f(100.0), 1e-6);
+    EXPECT_NEAR(fit.evaluate(20.0), f(20.0), 1e-9);
+}
+
+TEST(ExponentialFit, GrowingSeries)
+{
+    // y = 2 * 1.5^x - 1.
+    auto f = [](double x) { return 2.0 * std::pow(1.5, x) - 1.0; };
+    ExponentialFit fit = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {f(1.0), f(2.0), f(3.0)});
+    EXPECT_TRUE(fit.exponential);
+    EXPECT_NEAR(fit.evaluate(5.0), f(5.0), 1e-6);
+}
+
+TEST(ExponentialFit, LinearSeriesFallsBack)
+{
+    // Equal differences: ratio == 1 -> line through outer points.
+    ExponentialFit fit = fitExponentialThreePoint({1.0, 2.0, 3.0},
+                                                  {10.0, 20.0, 30.0});
+    EXPECT_FALSE(fit.exponential);
+    EXPECT_NEAR(fit.evaluate(5.0), 50.0, 1e-9);
+}
+
+TEST(ExponentialFit, ConstantSeries)
+{
+    ExponentialFit fit = fitExponentialThreePoint({1.0, 2.0, 3.0},
+                                                  {7.0, 7.0, 7.0});
+    EXPECT_FALSE(fit.exponential);
+    EXPECT_NEAR(fit.evaluate(100.0), 7.0, 1e-9);
+}
+
+TEST(ExponentialFit, NonMonotonicFallsBack)
+{
+    // d2/d1 < 0: not exponential; falls back to outer-point line.
+    ExponentialFit fit = fitExponentialThreePoint({1.0, 2.0, 3.0},
+                                                  {1.0, 5.0, 2.0});
+    EXPECT_FALSE(fit.exponential);
+    EXPECT_NEAR(fit.evaluate(3.0), 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace zatel

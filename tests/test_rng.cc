@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace zatel
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    // All 7 values should appear over 2000 draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        double d = rng.nextDouble(-2.5, 4.5);
+        EXPECT_GE(d, -2.5);
+        EXPECT_LT(d, 4.5);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(19);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.nextDouble();
+    EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    const int n = 40000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> values(100);
+    for (int i = 0; i < 100; ++i)
+        values[i] = i;
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(values, shuffled);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle)
+{
+    Rng rng(31);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{5};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(37);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedUniformity)
+{
+    Rng rng(41);
+    const uint64_t k = 10;
+    std::vector<int> counts(k, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(k)];
+    for (uint64_t b = 0; b < k; ++b)
+        EXPECT_NEAR(counts[b], n / static_cast<int>(k), n / 100);
+}
+
+} // namespace
+} // namespace zatel

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for section-block construction (paper Section III-E, Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "heatmap/heatmap.hh"
+#include "zatel/section_block.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+heatmap::QuantizedHeatmap
+twoToneMap(uint32_t width, uint32_t height)
+{
+    // Left half cold, right half hot.
+    std::vector<double> costs(static_cast<size_t>(width) * height, 0.0);
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = width / 2; x < width; ++x)
+            costs[y * width + x] = 10.0;
+    heatmap::Heatmap map = heatmap::Heatmap::fromCosts(width, height, costs);
+    return heatmap::QuantizedHeatmap::quantize(map, 2);
+}
+
+PixelGroup
+fullImageGroup(uint32_t width, uint32_t height)
+{
+    PixelGroup group;
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            group.push_back({x, y});
+    return group;
+}
+
+TEST(SectionBlock, BlocksPartitionTheGroup)
+{
+    heatmap::QuantizedHeatmap quantized = twoToneMap(64, 64);
+    PixelGroup group = fullImageGroup(64, 64);
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(group, quantized, 32, 2);
+
+    EXPECT_EQ(blocks.size(), (64u / 32u) * (64u / 2u));
+    std::set<uint32_t> seen;
+    for (const SectionBlock &block : blocks) {
+        EXPECT_EQ(block.pixelIndices.size(), 64u);
+        for (uint32_t index : block.pixelIndices)
+            EXPECT_TRUE(seen.insert(index).second);
+    }
+    EXPECT_EQ(seen.size(), group.size());
+}
+
+TEST(SectionBlock, ClusterCountsSumToBlockSize)
+{
+    heatmap::QuantizedHeatmap quantized = twoToneMap(64, 64);
+    PixelGroup group = fullImageGroup(64, 64);
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(group, quantized, 32, 2);
+    for (const SectionBlock &block : blocks) {
+        uint32_t total = 0;
+        for (uint32_t count : block.clusterCounts)
+            total += count;
+        EXPECT_EQ(total, block.pixelIndices.size());
+    }
+}
+
+TEST(SectionBlock, AvgCoolnessSeparatesHotAndColdBlocks)
+{
+    heatmap::QuantizedHeatmap quantized = twoToneMap(64, 64);
+    PixelGroup group = fullImageGroup(64, 64);
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(group, quantized, 32, 2);
+
+    for (const SectionBlock &block : blocks) {
+        EXPECT_GE(block.avgCoolness, 0.0);
+        EXPECT_LE(block.avgCoolness, 1.0);
+        // 32-wide blocks at x<32 are all cold, x>=32 all hot.
+        const gpusim::PixelCoord &first = group[block.pixelIndices[0]];
+        if (first.x < 32)
+            EXPECT_GT(block.avgCoolness, 0.5);
+        else
+            EXPECT_LT(block.avgCoolness, 0.5);
+    }
+}
+
+TEST(SectionBlock, PartialEdgeBlocks)
+{
+    // 40x6 image with 32x4 blocks: right and bottom blocks are partial.
+    heatmap::QuantizedHeatmap quantized = twoToneMap(40, 6);
+    PixelGroup group = fullImageGroup(40, 6);
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(group, quantized, 32, 4);
+    ASSERT_EQ(blocks.size(), 4u); // 2x2 tiles
+    size_t total = 0;
+    for (const SectionBlock &block : blocks)
+        total += block.pixelIndices.size();
+    EXPECT_EQ(total, 240u);
+}
+
+TEST(SectionBlock, SparseGroupOnlyOwnPixels)
+{
+    heatmap::QuantizedHeatmap quantized = twoToneMap(64, 64);
+    // A group of every fourth pixel of one row.
+    PixelGroup group;
+    for (uint32_t x = 0; x < 64; x += 4)
+        group.push_back({x, 10});
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(group, quantized, 32, 2);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].pixelIndices.size(), 8u);
+    EXPECT_EQ(blocks[1].pixelIndices.size(), 8u);
+}
+
+TEST(SectionBlock, FineChunksEqualBlocks)
+{
+    // When the group is a fine-grained set of 32x2 chunks and the block
+    // size matches, each block is exactly one chunk.
+    heatmap::QuantizedHeatmap quantized = twoToneMap(64, 64);
+    PartitionParams params;
+    params.method = DivisionMethod::FineGrained;
+    params.chunkWidth = 32;
+    params.chunkHeight = 2;
+    std::vector<PixelGroup> groups = divideImagePlane(64, 64, 2, params);
+
+    std::vector<SectionBlock> blocks =
+        buildSectionBlocks(groups[0], quantized, 32, 2);
+    for (const SectionBlock &block : blocks)
+        EXPECT_EQ(block.pixelIndices.size(), 64u);
+    EXPECT_EQ(blocks.size(), groups[0].size() / 64);
+}
+
+} // namespace
+} // namespace zatel::core

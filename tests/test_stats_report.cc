@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the per-component stats report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu.hh"
+#include "gpusim/stats_report.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+TEST(StatsReport, AddAndQuery)
+{
+    StatsReport report;
+    report.add("sm0.l1d.misses", 42.0);
+    report.add("mem0.dram.busy_cycles", 7.0);
+    EXPECT_TRUE(report.has("sm0.l1d.misses"));
+    EXPECT_FALSE(report.has("sm1.l1d.misses"));
+    EXPECT_DOUBLE_EQ(report.value("sm0.l1d.misses"), 42.0);
+    EXPECT_EQ(report.lines().size(), 2u);
+}
+
+TEST(StatsReport, MissingPathIsFatal)
+{
+    StatsReport report;
+    EXPECT_EXIT(report.value("nope"), testing::ExitedWithCode(1),
+                "no counter");
+}
+
+TEST(StatsReport, ToStringFormatsIntegersAndRatios)
+{
+    StatsReport report;
+    report.add("a.count", 1000.0);
+    report.add("a.rate", 0.333333);
+    std::string out = report.toString();
+    EXPECT_NE(out.find("a.count"), std::string::npos);
+    EXPECT_NE(out.find("1000"), std::string::npos);
+    EXPECT_NE(out.find("0.333333"), std::string::npos);
+    // Integer does not pick up a decimal point.
+    EXPECT_EQ(out.find("1000."), std::string::npos);
+}
+
+TEST(StatsReport, GpuBreakdownSumsToAggregates)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Spnza,
+                                     rt::SceneDetail{0.5f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 4;
+    config.numMemPartitions = 2;
+    SimWorkload workload = SimWorkload::buildFullFrame(tracer, 24, 24);
+    Gpu gpu(config, workload);
+    GpuStats stats = gpu.run();
+    StatsReport report = gpu.statsReport();
+
+    // Per-SM counters exist and sum to device aggregates.
+    double visits = 0.0, l1_accesses = 0.0, l1_misses = 0.0;
+    for (uint32_t s = 0; s < config.numSms; ++s) {
+        std::string prefix = "sm" + std::to_string(s);
+        ASSERT_TRUE(report.has(prefix + ".rt.node_visits")) << prefix;
+        visits += report.value(prefix + ".rt.node_visits");
+        l1_accesses += report.value(prefix + ".l1d.accesses");
+        l1_misses += report.value(prefix + ".l1d.misses");
+    }
+    EXPECT_DOUBLE_EQ(visits, static_cast<double>(stats.rtNodeVisits));
+    EXPECT_DOUBLE_EQ(l1_accesses, static_cast<double>(stats.l1dAccesses));
+    EXPECT_DOUBLE_EQ(l1_misses, static_cast<double>(stats.l1dMisses));
+
+    // Per-partition counters exist and sum to device aggregates.
+    double l2_accesses = 0.0, dram_busy = 0.0;
+    for (uint32_t p = 0; p < config.numMemPartitions; ++p) {
+        std::string prefix = "mem" + std::to_string(p);
+        ASSERT_TRUE(report.has(prefix + ".l2.accesses")) << prefix;
+        l2_accesses += report.value(prefix + ".l2.accesses");
+        dram_busy += report.value(prefix + ".dram.busy_cycles");
+    }
+    EXPECT_DOUBLE_EQ(l2_accesses, static_cast<double>(stats.l2Accesses));
+    EXPECT_DOUBLE_EQ(dram_busy,
+                     static_cast<double>(stats.dramBusyCycles));
+}
+
+TEST(StatsReport, WorkSpreadsAcrossSms)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Spnza,
+                                     rt::SceneDetail{0.5f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    rt::Tracer tracer(scene, bvh);
+
+    GpuConfig config = GpuConfig::mobileSoc();
+    SimWorkload workload = SimWorkload::buildFullFrame(tracer, 32, 32);
+    Gpu gpu(config, workload);
+    gpu.run();
+    StatsReport report = gpu.statsReport();
+
+    for (uint32_t s = 0; s < config.numSms; ++s) {
+        std::string prefix = "sm" + std::to_string(s);
+        EXPECT_GT(report.value(prefix + ".warps_launched"), 0.0) << prefix;
+    }
+}
+
+} // namespace
+} // namespace zatel::gpusim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the thread pool that runs Zatel's group simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/thread_pool.hh"
+
+namespace zatel
+{
+namespace
+{
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallelFor(50, [&hits](size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, ExceptionPropagates)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [](size_t i) {
+                                      if (i == 5)
+                                          throw std::runtime_error("bad");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, WaitAllBlocksUntilDone)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitAll();
+    EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsPositive)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerSerializes)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    // One worker executes in FIFO order.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+} // namespace
+} // namespace zatel

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the functional tracer and the ray recording the timed
+ * simulator replays.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/ray_record.hh"
+#include "rt/scene.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::rt
+{
+namespace
+{
+
+/** A sphere in front of the camera over a ground plane. */
+Scene
+simpleScene()
+{
+    Scene scene("simple");
+    scene.setMaxBounces(2);
+    scene.setBackground({0.1f, 0.2f, 0.3f});
+    scene.setLight({{5.0f, 10.0f, 5.0f}, {1.0f, 1.0f, 1.0f}});
+    scene.setCamera(Camera({0.0f, 1.0f, 6.0f}, {0.0f, 1.0f, 0.0f},
+                           {0.0f, 1.0f, 0.0f}, 50.0f));
+    uint16_t ball = scene.addMaterial(Material::diffuse({0.8f, 0.3f, 0.3f}));
+    uint16_t floor = scene.addMaterial(Material::diffuse({0.4f, 0.4f, 0.4f}));
+    MeshBuilder mesh;
+    mesh.addSphere({0.0f, 1.0f, 0.0f}, 1.0f, 16, ball);
+    mesh.addGroundPlane({0.0f, 0.0f, 0.0f}, 10.0f, 4, floor);
+    scene.addTriangles(mesh.takeTriangles());
+    return scene;
+}
+
+struct TracerFixture : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        scene = simpleScene();
+        bvh.build(scene.triangles());
+    }
+
+    Scene scene;
+    Bvh bvh;
+};
+
+TEST_F(TracerFixture, CenterPixelHitsSphere)
+{
+    Tracer tracer(scene, bvh);
+    PixelProfile profile;
+    Vec3 color = tracer.tracePixel(32, 32, 64, 64, profile);
+    EXPECT_TRUE(profile.primaryHit);
+    EXPECT_GT(profile.nodesVisited, 0u);
+    EXPECT_GE(profile.raysCast, 2u); // primary + shadow
+    // Reddish sphere.
+    EXPECT_GT(color.x, color.y);
+}
+
+TEST_F(TracerFixture, SkyPixelIsBackground)
+{
+    Tracer tracer(scene, bvh);
+    PixelProfile profile;
+    Vec3 color = tracer.tracePixel(32, 0, 64, 64, profile);
+    EXPECT_FALSE(profile.primaryHit);
+    EXPECT_EQ(profile.raysCast, 1u);
+    EXPECT_FLOAT_EQ(color.x, scene.background().x);
+    EXPECT_FLOAT_EQ(color.y, scene.background().y);
+}
+
+TEST_F(TracerFixture, RenderDeterministic)
+{
+    Tracer tracer(scene, bvh);
+    RenderResult a = tracer.render(32, 32);
+    RenderResult b = tracer.render(32, 32);
+    ASSERT_EQ(a.profiles.size(), b.profiles.size());
+    for (size_t i = 0; i < a.profiles.size(); ++i) {
+        EXPECT_EQ(a.profiles[i].nodesVisited, b.profiles[i].nodesVisited);
+        EXPECT_EQ(a.image.pixels()[i], b.image.pixels()[i]);
+    }
+}
+
+TEST_F(TracerFixture, SppMultipliesRays)
+{
+    TracerParams params;
+    params.samplesPerPixel = 2;
+    Tracer tracer2(scene, bvh, params);
+    Tracer tracer1(scene, bvh);
+
+    PixelProfile p1, p2;
+    tracer1.tracePixel(32, 32, 64, 64, p1);
+    tracer2.tracePixel(32, 32, 64, 64, p2);
+    EXPECT_GE(p2.raysCast, 2 * p1.raysCast - 2);
+    EXPECT_GT(p2.nodesVisited, p1.nodesVisited);
+}
+
+TEST_F(TracerFixture, ProfileCostMonotoneInWork)
+{
+    PixelProfile cheap, expensive;
+    cheap.nodesVisited = 10;
+    expensive.nodesVisited = 100;
+    expensive.triangleTests = 50;
+    EXPECT_LT(cheap.cost(), expensive.cost());
+}
+
+TEST_F(TracerFixture, RecordMatchesProfileRayCount)
+{
+    Tracer tracer(scene, bvh);
+    for (uint32_t y : {0u, 16u, 32u, 48u}) {
+        for (uint32_t x : {0u, 16u, 32u, 48u}) {
+            PixelProfile profile;
+            tracer.tracePixel(x, y, 64, 64, profile);
+            PixelRayRecord record = recordPixelRays(tracer, x, y, 64, 64);
+            EXPECT_EQ(record.rays.size(), profile.raysCast)
+                << "pixel (" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST_F(TracerFixture, RecordReplaysToSameWork)
+{
+    Tracer tracer(scene, bvh);
+    PixelProfile profile;
+    tracer.tracePixel(32, 40, 64, 64, profile);
+    PixelRayRecord record = recordPixelRays(tracer, 32, 40, 64, 64);
+
+    // Re-traversing the recorded rays reproduces the profile's node count.
+    TraversalCounters counters;
+    for (const RayTask &task : record.rays) {
+        if (task.mode == TraversalMode::ClosestHit)
+            closestHit(bvh, task.ray, &counters);
+        else
+            anyHit(bvh, task.ray, &counters);
+    }
+    EXPECT_EQ(counters.nodesVisited, profile.nodesVisited);
+    EXPECT_EQ(counters.triangleTests, profile.triangleTests);
+}
+
+TEST_F(TracerFixture, RecordHitFlagsConsistent)
+{
+    Tracer tracer(scene, bvh);
+    PixelRayRecord record = recordPixelRays(tracer, 32, 32, 64, 64);
+    ASSERT_FALSE(record.rays.empty());
+    const RayTask &primary = record.rays.front();
+    EXPECT_EQ(primary.mode, TraversalMode::ClosestHit);
+    EXPECT_TRUE(primary.hit);
+    EXPECT_EQ(closestHit(bvh, primary.ray).valid(), primary.hit);
+    EXPECT_EQ(record.shadeCount() >= 1, true);
+}
+
+TEST_F(TracerFixture, MirrorSpawnsBounceRays)
+{
+    // Replace the sphere material with a mirror and re-trace.
+    Scene mirror_scene = simpleScene();
+    Scene replacement("mirror");
+    replacement.setMaxBounces(2);
+    replacement.setBackground(mirror_scene.background());
+    replacement.setLight(mirror_scene.light());
+    replacement.setCamera(mirror_scene.camera());
+    uint16_t ball =
+        replacement.addMaterial(Material::mirror({0.9f, 0.9f, 0.9f}, 0.8f));
+    uint16_t floor =
+        replacement.addMaterial(Material::diffuse({0.4f, 0.4f, 0.4f}));
+    MeshBuilder mesh;
+    mesh.addSphere({0.0f, 1.0f, 0.0f}, 1.0f, 16, ball);
+    mesh.addGroundPlane({0.0f, 0.0f, 0.0f}, 10.0f, 4, floor);
+    replacement.addTriangles(mesh.takeTriangles());
+
+    Bvh mirror_bvh;
+    mirror_bvh.build(replacement.triangles());
+    Tracer tracer(replacement, mirror_bvh);
+    PixelRayRecord record = recordPixelRays(tracer, 32, 32, 64, 64);
+
+    bool has_bounce = false;
+    for (const RayTask &task : record.rays)
+        has_bounce |= task.bounce > 0;
+    EXPECT_TRUE(has_bounce);
+}
+
+TEST_F(TracerFixture, EmissiveTerminatesPath)
+{
+    Scene glow("glow");
+    glow.setCamera(Camera({0.0f, 0.0f, 5.0f}, {0.0f, 0.0f, 0.0f},
+                          {0.0f, 1.0f, 0.0f}, 50.0f));
+    Vec3 radiance{2.0f, 1.5f, 1.0f};
+    uint16_t lamp = glow.addMaterial(Material::emissive(radiance));
+    MeshBuilder mesh;
+    mesh.addSphere({0.0f, 0.0f, 0.0f}, 1.0f, 12, lamp);
+    glow.addTriangles(mesh.takeTriangles());
+    Bvh glow_bvh;
+    glow_bvh.build(glow.triangles());
+
+    Tracer tracer(glow, glow_bvh);
+    PixelProfile profile;
+    Vec3 color = tracer.tracePixel(32, 32, 64, 64, profile);
+    EXPECT_FLOAT_EQ(color.x, radiance.x);
+    // Emissive hit casts no shadow ray.
+    EXPECT_EQ(profile.raysCast, 1u);
+}
+
+} // namespace
+} // namespace zatel::rt

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for Vec3, Aabb and triangle intersection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/aabb.hh"
+#include "rt/triangle.hh"
+#include "rt/vec3.hh"
+#include "util/rng.hh"
+
+namespace zatel::rt
+{
+namespace
+{
+
+TEST(Vec3, Arithmetic)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{4.0f, 5.0f, 6.0f};
+    EXPECT_EQ(a + b, Vec3(5.0f, 7.0f, 9.0f));
+    EXPECT_EQ(b - a, Vec3(3.0f, 3.0f, 3.0f));
+    EXPECT_EQ(a * 2.0f, Vec3(2.0f, 4.0f, 6.0f));
+    EXPECT_EQ(2.0f * a, Vec3(2.0f, 4.0f, 6.0f));
+    EXPECT_EQ(-a, Vec3(-1.0f, -2.0f, -3.0f));
+    EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(Vec3, CrossOrthogonality)
+{
+    Vec3 x{1.0f, 0.0f, 0.0f};
+    Vec3 y{0.0f, 1.0f, 0.0f};
+    EXPECT_EQ(cross(x, y), Vec3(0.0f, 0.0f, 1.0f));
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{-2.0f, 0.5f, 4.0f};
+    Vec3 c = cross(a, b);
+    EXPECT_NEAR(dot(c, a), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(c, b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, NormalizeLength)
+{
+    Vec3 v{3.0f, 4.0f, 0.0f};
+    EXPECT_FLOAT_EQ(length(v), 5.0f);
+    EXPECT_NEAR(length(normalize(v)), 1.0f, 1e-6f);
+    // Zero vector normalizes to zero (no NaN).
+    Vec3 z = normalize(Vec3{0.0f, 0.0f, 0.0f});
+    EXPECT_EQ(z, Vec3(0.0f, 0.0f, 0.0f));
+}
+
+TEST(Vec3, Reflect)
+{
+    Vec3 v{1.0f, -1.0f, 0.0f};
+    Vec3 n{0.0f, 1.0f, 0.0f};
+    EXPECT_EQ(reflect(v, n), Vec3(1.0f, 1.0f, 0.0f));
+}
+
+TEST(Vec3, MinMaxLerp)
+{
+    Vec3 a{1.0f, 5.0f, 3.0f};
+    Vec3 b{2.0f, 4.0f, 3.0f};
+    EXPECT_EQ(minVec(a, b), Vec3(1.0f, 4.0f, 3.0f));
+    EXPECT_EQ(maxVec(a, b), Vec3(2.0f, 5.0f, 3.0f));
+    EXPECT_EQ(lerp(a, b, 0.0f), a);
+    EXPECT_EQ(lerp(a, b, 1.0f), b);
+}
+
+TEST(Aabb, EmptyByDefault)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    EXPECT_FLOAT_EQ(box.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, ExpandPointAndBox)
+{
+    Aabb box;
+    box.expand(Vec3{1.0f, 2.0f, 3.0f});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains(Vec3{1.0f, 2.0f, 3.0f}));
+    box.expand(Vec3{-1.0f, 0.0f, 5.0f});
+    EXPECT_TRUE(box.contains(Vec3{0.0f, 1.0f, 4.0f}));
+    EXPECT_FALSE(box.contains(Vec3{2.0f, 1.0f, 4.0f}));
+
+    Aabb other;
+    other.expand(Vec3{10.0f, 10.0f, 10.0f});
+    box.expand(other);
+    EXPECT_TRUE(box.contains(Vec3{5.0f, 5.0f, 7.0f}));
+}
+
+TEST(Aabb, SurfaceAreaUnitCube)
+{
+    Aabb box;
+    box.expand(Vec3{0.0f, 0.0f, 0.0f});
+    box.expand(Vec3{1.0f, 1.0f, 1.0f});
+    EXPECT_FLOAT_EQ(box.surfaceArea(), 6.0f);
+}
+
+TEST(Aabb, LongestAxis)
+{
+    Aabb box;
+    box.expand(Vec3{0.0f, 0.0f, 0.0f});
+    box.expand(Vec3{1.0f, 5.0f, 2.0f});
+    EXPECT_EQ(box.longestAxis(), 1);
+}
+
+TEST(Aabb, Overlaps)
+{
+    Aabb a, b, c;
+    a.expand(Vec3{0.0f, 0.0f, 0.0f});
+    a.expand(Vec3{2.0f, 2.0f, 2.0f});
+    b.expand(Vec3{1.0f, 1.0f, 1.0f});
+    b.expand(Vec3{3.0f, 3.0f, 3.0f});
+    c.expand(Vec3{5.0f, 5.0f, 5.0f});
+    c.expand(Vec3{6.0f, 6.0f, 6.0f});
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_FALSE(a.overlaps(Aabb{}));
+}
+
+Ray
+makeRay(Vec3 origin, Vec3 direction)
+{
+    Ray ray;
+    ray.origin = origin;
+    ray.direction = normalize(direction);
+    return ray;
+}
+
+Vec3
+invDir(const Ray &ray)
+{
+    auto safe = [](float d) {
+        return (d > 1e-30f || d < -1e-30f) ? 1.0f / d
+                                           : (d >= 0 ? 1e30f : -1e30f);
+    };
+    return {safe(ray.direction.x), safe(ray.direction.y),
+            safe(ray.direction.z)};
+}
+
+TEST(Aabb, RayHitAndMiss)
+{
+    Aabb box;
+    box.expand(Vec3{-1.0f, -1.0f, -1.0f});
+    box.expand(Vec3{1.0f, 1.0f, 1.0f});
+
+    Ray hit = makeRay({-5.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f});
+    float t = 0.0f;
+    EXPECT_TRUE(box.intersect(hit, invDir(hit), t));
+    EXPECT_NEAR(t, 4.0f, 1e-4f);
+
+    Ray miss = makeRay({-5.0f, 3.0f, 0.0f}, {1.0f, 0.0f, 0.0f});
+    EXPECT_FALSE(box.intersect(miss, invDir(miss), t));
+
+    Ray away = makeRay({-5.0f, 0.0f, 0.0f}, {-1.0f, 0.0f, 0.0f});
+    EXPECT_FALSE(box.intersect(away, invDir(away), t));
+}
+
+TEST(Aabb, RayOriginInsideHits)
+{
+    Aabb box;
+    box.expand(Vec3{-1.0f, -1.0f, -1.0f});
+    box.expand(Vec3{1.0f, 1.0f, 1.0f});
+    Ray ray = makeRay({0.0f, 0.0f, 0.0f}, {0.3f, 0.4f, 0.5f});
+    float t = 0.0f;
+    EXPECT_TRUE(box.intersect(ray, invDir(ray), t));
+}
+
+TEST(Aabb, RayTMaxCulls)
+{
+    Aabb box;
+    box.expand(Vec3{9.0f, -1.0f, -1.0f});
+    box.expand(Vec3{11.0f, 1.0f, 1.0f});
+    Ray ray = makeRay({0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f});
+    ray.tMax = 5.0f;
+    float t = 0.0f;
+    EXPECT_FALSE(box.intersect(ray, invDir(ray), t));
+    ray.tMax = 20.0f;
+    EXPECT_TRUE(box.intersect(ray, invDir(ray), t));
+}
+
+TEST(Aabb, AxisParallelRayOnSlabBoundary)
+{
+    Aabb box;
+    box.expand(Vec3{-1.0f, -1.0f, -1.0f});
+    box.expand(Vec3{1.0f, 1.0f, 1.0f});
+    // Direction has zero y and z components; origin inside slab bounds.
+    Ray ray = makeRay({-5.0f, 0.5f, -0.5f}, {1.0f, 0.0f, 0.0f});
+    float t = 0.0f;
+    EXPECT_TRUE(box.intersect(ray, invDir(ray), t));
+}
+
+/** Property: rays aimed at random interior points always hit the box. */
+TEST(Aabb, PropertyRaysTowardInteriorHit)
+{
+    zatel::Rng rng(99);
+    Aabb box;
+    box.expand(Vec3{-2.0f, 1.0f, -3.0f});
+    box.expand(Vec3{4.0f, 5.0f, 2.0f});
+    for (int i = 0; i < 300; ++i) {
+        Vec3 inside{
+            static_cast<float>(rng.nextDouble(-2.0, 4.0)),
+            static_cast<float>(rng.nextDouble(1.0, 5.0)),
+            static_cast<float>(rng.nextDouble(-3.0, 2.0))};
+        Vec3 origin{
+            static_cast<float>(rng.nextDouble(-20.0, -10.0)),
+            static_cast<float>(rng.nextDouble(-20.0, 20.0)),
+            static_cast<float>(rng.nextDouble(-20.0, 20.0))};
+        Ray ray = makeRay(origin, inside - origin);
+        float t = 0.0f;
+        EXPECT_TRUE(box.intersect(ray, invDir(ray), t))
+            << "ray toward interior point must hit";
+    }
+}
+
+TEST(Triangle, HitFrontAndBack)
+{
+    Triangle tri{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+                 0};
+    Ray front = makeRay({0.2f, 0.2f, 5.0f}, {0.0f, 0.0f, -1.0f});
+    float t = 0.0f;
+    ASSERT_TRUE(tri.intersect(front, t));
+    EXPECT_NEAR(t, 5.0f, 1e-4f);
+
+    // Back-face hits too (no culling in the traverser).
+    Ray back = makeRay({0.2f, 0.2f, -5.0f}, {0.0f, 0.0f, 1.0f});
+    ASSERT_TRUE(tri.intersect(back, t));
+    EXPECT_NEAR(t, 5.0f, 1e-4f);
+}
+
+TEST(Triangle, MissOutsideBarycentric)
+{
+    Triangle tri{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+                 0};
+    float t = 0.0f;
+    Ray miss = makeRay({0.9f, 0.9f, 5.0f}, {0.0f, 0.0f, -1.0f});
+    EXPECT_FALSE(tri.intersect(miss, t));
+    Ray outside = makeRay({-0.5f, 0.2f, 5.0f}, {0.0f, 0.0f, -1.0f});
+    EXPECT_FALSE(tri.intersect(outside, t));
+}
+
+TEST(Triangle, ParallelRayMisses)
+{
+    Triangle tri{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+                 0};
+    Ray parallel = makeRay({0.0f, 0.0f, 1.0f}, {1.0f, 0.0f, 0.0f});
+    float t = 0.0f;
+    EXPECT_FALSE(tri.intersect(parallel, t));
+}
+
+TEST(Triangle, RespectsTMinTMax)
+{
+    Triangle tri{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f},
+                 0};
+    Ray ray = makeRay({0.2f, 0.2f, 5.0f}, {0.0f, 0.0f, -1.0f});
+    ray.tMax = 3.0f; // hit at t=5 is beyond
+    float t = 0.0f;
+    EXPECT_FALSE(tri.intersect(ray, t));
+    ray.tMax = 100.0f;
+    ray.tMin = 6.0f; // hit at t=5 is before tMin
+    EXPECT_FALSE(tri.intersect(ray, t));
+}
+
+TEST(Triangle, BoundsContainVertices)
+{
+    Triangle tri{{-1.0f, 2.0f, 0.5f}, {3.0f, -2.0f, 1.0f},
+                 {0.0f, 1.0f, -4.0f}, 0};
+    Aabb box = tri.bounds();
+    EXPECT_TRUE(box.contains(tri.v0));
+    EXPECT_TRUE(box.contains(tri.v1));
+    EXPECT_TRUE(box.contains(tri.v2));
+    EXPECT_TRUE(box.contains(tri.centroid()));
+}
+
+} // namespace
+} // namespace zatel::rt

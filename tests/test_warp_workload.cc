@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for workload construction and the warp stage machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/warp.hh"
+#include "gpusim/workload.hh"
+#include "rt/bvh.hh"
+#include "rt/mesh.hh"
+#include "rt/scene.hh"
+#include "rt/tracer.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+struct WorkloadFixture : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        scene.setCamera(rt::Camera({0.0f, 0.0f, 5.0f}, {0.0f, 0.0f, 0.0f},
+                                   {0.0f, 1.0f, 0.0f}, 50.0f));
+        scene.setLight({{3.0f, 6.0f, 3.0f}, {1.0f, 1.0f, 1.0f}});
+        uint16_t mat =
+            scene.addMaterial(rt::Material::diffuse({0.6f, 0.4f, 0.3f}));
+        rt::MeshBuilder mesh;
+        mesh.addSphere({0.0f, 0.0f, 0.0f}, 1.2f, 12, mat);
+        scene.addTriangles(mesh.takeTriangles());
+        bvh.build(scene.triangles());
+        tracer = std::make_unique<rt::Tracer>(scene, bvh);
+        config = GpuConfig::mobileSoc();
+    }
+
+    rt::Scene scene{"warp-test"};
+    rt::Bvh bvh;
+    std::unique_ptr<rt::Tracer> tracer;
+    GpuConfig config;
+};
+
+TEST_F(WorkloadFixture, FullFrameHasAllThreads)
+{
+    SimWorkload workload = SimWorkload::buildFullFrame(*tracer, 16, 16);
+    EXPECT_EQ(workload.threads.size(), 256u);
+    EXPECT_EQ(workload.selectedCount, 256u);
+    EXPECT_EQ(workload.bvh, &bvh);
+    EXPECT_GT(workload.totalRays(), 0u);
+}
+
+TEST_F(WorkloadFixture, FilterMaskSkipsRecording)
+{
+    std::vector<PixelCoord> pixels{{8, 8}, {0, 0}, {15, 15}};
+    std::vector<bool> selected{true, false, true};
+    SimWorkload workload =
+        SimWorkload::build(*tracer, 16, 16, pixels, &selected);
+    EXPECT_EQ(workload.selectedCount, 2u);
+    EXPECT_FALSE(workload.threads[1].selected);
+    EXPECT_TRUE(workload.threads[1].record.rays.empty());
+    EXPECT_FALSE(workload.threads[0].record.rays.empty());
+}
+
+TEST_F(WorkloadFixture, PixelLinearIndexing)
+{
+    std::vector<PixelCoord> pixels{{3, 2}};
+    SimWorkload workload = SimWorkload::build(*tracer, 16, 16, pixels);
+    EXPECT_EQ(workload.threads[0].pixelLinear, 2u * 16u + 3u);
+}
+
+TEST_F(WorkloadFixture, WarpRaygenStage)
+{
+    SimWorkload workload = SimWorkload::buildFullFrame(*tracer, 8, 4);
+    Warp warp(0, &config, &workload, 0, 32);
+
+    EXPECT_EQ(warp.phase(), Warp::Phase::NotStarted);
+    warp.poll(0);
+    EXPECT_EQ(warp.phase(), Warp::Phase::AluIssue);
+    EXPECT_TRUE(warp.wantsIssue());
+    EXPECT_FALSE(warp.nextIsLoad());
+
+    // Thread instructions for 32 selected threads at raygen cost.
+    uint64_t insts = warp.takePendingThreadInsts();
+    EXPECT_EQ(insts, 32ull * config.raygenInsts);
+
+    // Issue all raygen instructions.
+    for (uint32_t i = 0; i < config.raygenInsts; ++i) {
+        ASSERT_TRUE(warp.wantsIssue());
+        warp.commitAlu(i);
+    }
+    EXPECT_FALSE(warp.wantsIssue());
+    warp.poll(config.raygenInsts);
+    EXPECT_EQ(warp.phase(), Warp::Phase::AluDrain);
+
+    // After the pipeline drains the warp asks for an RT slot.
+    warp.poll(config.raygenInsts + config.aluLatency);
+    EXPECT_TRUE(warp.wantsRtSlot());
+    EXPECT_EQ(warp.currentRaySlot(), 0);
+}
+
+TEST_F(WorkloadFixture, FilteredWarpSkipsToFbAndDone)
+{
+    std::vector<PixelCoord> pixels;
+    for (uint32_t i = 0; i < 32; ++i)
+        pixels.push_back({i % 8, i / 8});
+    std::vector<bool> selected(32, false);
+    SimWorkload workload =
+        SimWorkload::build(*tracer, 8, 4, pixels, &selected);
+    Warp warp(0, &config, &workload, 0, 32);
+
+    warp.poll(0);
+    // Filter-exit cost only.
+    EXPECT_EQ(warp.takePendingThreadInsts(),
+              32ull * config.filterExitInsts);
+    uint64_t cycle = 0;
+    while (warp.wantsIssue())
+        warp.commitAlu(cycle++);
+    warp.poll(cycle + config.aluLatency);
+    // No rays and no selected threads: straight to Done (the FB stage has
+    // no stores for filtered threads).
+    EXPECT_TRUE(warp.done());
+}
+
+TEST_F(WorkloadFixture, RtRoundTripAndPostRayStage)
+{
+    SimWorkload workload = SimWorkload::buildFullFrame(*tracer, 8, 4);
+    Warp warp(0, &config, &workload, 0, 32);
+
+    uint64_t cycle = 0;
+    warp.poll(cycle);
+    while (warp.wantsIssue())
+        warp.commitAlu(cycle++);
+    cycle += config.aluLatency;
+    warp.poll(cycle);
+    ASSERT_TRUE(warp.wantsRtSlot());
+
+    // Enter the RT unit manually and run every lane to completion.
+    warp.enterRtUnit();
+    EXPECT_EQ(warp.phase(), Warp::Phase::InRt);
+    EXPECT_GT(warp.activeLaneCount(), 0u);
+    for (WarpLane &lane : warp.lanes()) {
+        if (lane.state == WarpLane::State::Inactive)
+            continue;
+        while (!lane.stepper.finished())
+            lane.stepper.step();
+        lane.state = WarpLane::State::Done;
+    }
+    EXPECT_EQ(warp.activeLaneCount(), 0u);
+    warp.exitRtUnit(cycle);
+
+    // Post-ray stage: center pixels hit (shade + material load), edge
+    // pixels miss; either way there is ALU work.
+    EXPECT_EQ(warp.phase(), Warp::Phase::AluIssue);
+    EXPECT_GT(warp.takePendingThreadInsts(), 0u);
+}
+
+TEST_F(WorkloadFixture, FbWriteStoresCoalesce)
+{
+    // 32 threads of one row: 32 consecutive pixels * 16B = 512B = 4 lines.
+    std::vector<PixelCoord> pixels;
+    for (uint32_t i = 0; i < 32; ++i)
+        pixels.push_back({i, 0});
+    SimWorkload workload = SimWorkload::build(*tracer, 32, 1, pixels);
+    Warp warp(0, &config, &workload, 0, 32);
+
+    // Drive the warp to completion, counting stores.
+    uint64_t cycle = 0;
+    uint32_t stores = 0;
+    for (int guard = 0; guard < 100000 && !warp.done(); ++guard) {
+        warp.poll(cycle);
+        if (warp.wantsRtSlot()) {
+            warp.enterRtUnit();
+            for (WarpLane &lane : warp.lanes()) {
+                if (lane.state == WarpLane::State::Inactive)
+                    continue;
+                while (!lane.stepper.finished())
+                    lane.stepper.step();
+                lane.state = WarpLane::State::Done;
+            }
+            warp.exitRtUnit(cycle);
+        } else if (warp.wantsIssue()) {
+            if (warp.nextIsLoad()) {
+                warp.commitLoad();
+                warp.onLoadComplete();
+            } else if (warp.nextIsStore()) {
+                warp.commitStore();
+                ++stores;
+            } else {
+                warp.commitAlu(cycle);
+            }
+        }
+        ++cycle;
+    }
+    EXPECT_TRUE(warp.done());
+    EXPECT_EQ(stores, 4u);
+}
+
+TEST_F(WorkloadFixture, PartialWarpFewerThreads)
+{
+    std::vector<PixelCoord> pixels{{0, 0}, {1, 0}, {2, 0}};
+    SimWorkload workload = SimWorkload::build(*tracer, 8, 4, pixels);
+    Warp warp(7, &config, &workload, 0, 3);
+    EXPECT_EQ(warp.threadCount(), 3u);
+    EXPECT_EQ(warp.id(), 7u);
+    warp.poll(0);
+    EXPECT_EQ(warp.takePendingThreadInsts(), 3ull * config.raygenInsts);
+}
+
+} // namespace
+} // namespace zatel::gpusim

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * zatel — command-line front end for the prediction pipeline.
+ *
+ * Subcommands (first positional argument):
+ *   scenes    list the available scenes
+ *   predict   run the Zatel pipeline and print the predicted metrics
+ *   oracle    run the full cycle-level simulation
+ *   compare   run both and print the error table
+ *
+ * Examples:
+ *   zatel scenes
+ *   zatel predict --scene PARK --gpu soc --res 160
+ *   zatel compare --scene BUNNY --gpu rtx2060 --fraction 0.4 --no-downscale
+ *   zatel oracle --scene SPNZA --res 96 --dump-stats
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "gpusim/gpu.hh"
+#include "rt/bvh.hh"
+#include "rt/obj_loader.hh"
+#include "rt/scene_library.hh"
+#include "util/arg_parser.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "zatel/evaluation.hh"
+#include "zatel/predictor.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+gpusim::GpuConfig
+configFromName(const std::string &name)
+{
+    if (name == "soc" || name == "mobile")
+        return gpusim::GpuConfig::mobileSoc();
+    if (name == "rtx2060" || name == "rtx")
+        return gpusim::GpuConfig::rtx2060();
+    fatal("unknown GPU config '", name, "' (use soc or rtx2060)");
+}
+
+core::ZatelParams
+paramsFromArgs(const ArgParser &args)
+{
+    core::ZatelParams params;
+    params.width = static_cast<uint32_t>(args.getInt("res"));
+    params.height = params.width;
+    params.samplesPerPixel = static_cast<uint32_t>(args.getInt("spp"));
+    params.seed = static_cast<uint64_t>(args.getInt("seed"));
+    params.downscaleGpu = !args.getFlag("no-downscale");
+
+    if (args.has("fraction"))
+        params.selector.fixedFraction = args.getDouble("fraction");
+    if (args.has("k"))
+        params.forcedK = static_cast<uint32_t>(args.getInt("k"));
+
+    const std::string &division = args.get("division");
+    if (division == "coarse")
+        params.partition.method = core::DivisionMethod::CoarseGrained;
+    else if (division != "fine")
+        fatal("unknown division '", division, "' (fine|coarse)");
+
+    const std::string &dist = args.get("distribution");
+    if (dist == "lintmp")
+        params.selector.distribution = core::DistributionMethod::LinTemp;
+    else if (dist == "exptmp")
+        params.selector.distribution = core::DistributionMethod::ExpTemp;
+    else if (dist != "uniform")
+        fatal("unknown distribution '", dist,
+              "' (uniform|lintmp|exptmp)");
+
+    if (args.getFlag("regression")) {
+        params.extrapolation =
+            core::ExtrapolationMethod::ExponentialRegression;
+    }
+    if (args.has("profile-noise")) {
+        params.profiler.source = heatmap::ProfilingSource::HardwareTimer;
+        params.profiler.timerNoise = args.getDouble("profile-noise");
+    }
+    return params;
+}
+
+void
+printPrediction(const core::ZatelResult &result)
+{
+    AsciiTable table({"Metric", "Predicted"});
+    for (gpusim::Metric metric : gpusim::allMetrics()) {
+        table.addRow({gpusim::metricName(metric),
+                      AsciiTable::num(result.metric(metric), 4)});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("K=%u, %.1f%% of pixels traced, slowest instance %.2fs\n",
+                result.k, result.fractionTraced * 100.0,
+                result.maxGroupWallSeconds);
+}
+
+void
+maybeWriteCsv(const ArgParser &args, const core::ZatelResult &result)
+{
+    if (!args.has("csv"))
+        return;
+    CsvWriter csv;
+    csv.setHeader({"metric", "predicted"});
+    for (gpusim::Metric metric : gpusim::allMetrics()) {
+        csv.addRow({gpusim::metricName(metric),
+                    CsvWriter::formatDouble(result.metric(metric))});
+    }
+    if (csv.writeTo(args.get("csv")))
+        std::printf("wrote %s\n", args.get("csv").c_str());
+    else
+        warn("could not write ", args.get("csv"));
+}
+
+/**
+ * Wrap a user OBJ mesh in a scene: a camera framing the mesh bounds and
+ * a light above it.
+ */
+rt::Scene
+sceneFromObj(const std::string &path)
+{
+    rt::Scene scene(path);
+    uint16_t mat =
+        scene.addMaterial(rt::Material::diffuse({0.7f, 0.7f, 0.7f}));
+    rt::ObjLoadResult loaded = rt::loadObjFile(path, mat);
+    if (loaded.triangles.empty())
+        fatal("OBJ file '", path, "' contains no triangles");
+    inform("loaded ", loaded.triangles.size(), " triangles from ", path);
+
+    rt::Aabb bounds;
+    for (const rt::Triangle &tri : loaded.triangles)
+        bounds.expand(tri.bounds());
+    rt::Vec3 center = bounds.center();
+    float radius = length(bounds.extent()) * 0.5f;
+    scene.addTriangles(std::move(loaded.triangles));
+    scene.setCamera(rt::Camera(
+        center + rt::Vec3{0.0f, radius * 0.4f, radius * 2.2f}, center,
+        {0.0f, 1.0f, 0.0f}, 50.0f));
+    scene.setLight({center + rt::Vec3{radius, radius * 2.0f, radius},
+                    {1.1f, 1.1f, 1.05f}});
+    return scene;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("zatel",
+                   "Sample complexity-aware scale-model simulation for "
+                   "ray tracing (commands: scenes predict oracle compare)");
+    args.addOption("scene", "PARK", "scene name");
+    args.addOption("obj", "", "load geometry from this OBJ file instead "
+                              "of a built-in scene");
+    args.addOption("gpu", "soc", "target GPU: soc | rtx2060");
+    args.addOption("res", "128", "square image resolution");
+    args.addOption("spp", "1", "samples per pixel");
+    args.addOption("seed", "173025", "pipeline seed");
+    args.addOption("division", "fine", "image division: fine | coarse");
+    args.addOption("distribution", "uniform",
+                   "selection distribution: uniform | lintmp | exptmp");
+    args.addOption("fraction", "", "fixed trace fraction (bypasses eq. 1)");
+    args.addOption("k", "", "force the division/downscale factor");
+    args.addOption("profile-noise", "",
+                   "profile with noisy HW timers at this relative sigma");
+    args.addOption("csv", "", "write predicted metrics to this CSV file");
+    args.addOption("heatmap-out", "",
+                   "write the quantized heatmap PPM here (predict only)");
+    args.addFlag("no-downscale", "run one group on the full GPU");
+    args.addFlag("regression", "use 3-point exponential extrapolation");
+    args.addFlag("dump-stats", "print the per-component stats breakdown");
+    args.addFlag("help", "show this help");
+
+    if (!args.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", args.errorMessage().c_str(),
+                     args.usage().c_str());
+        return 1;
+    }
+    if (args.getFlag("help") || args.positional().empty()) {
+        std::printf("%s", args.usage().c_str());
+        return args.getFlag("help") ? 0 : 1;
+    }
+
+    const std::string &command = args.positional().front();
+    if (command == "scenes") {
+        for (rt::SceneId id : rt::allScenes()) {
+            rt::Scene scene = rt::buildScene(id);
+            std::printf("%-6s %7zu triangles, %d bounce(s)\n",
+                        scene.name().c_str(), scene.triangleCount(),
+                        scene.maxBounces());
+        }
+        return 0;
+    }
+
+    rt::Scene scene = args.has("obj")
+                          ? sceneFromObj(args.get("obj"))
+                          : rt::buildScene(
+                                rt::sceneIdFromName(args.get("scene")));
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+    gpusim::GpuConfig config = configFromName(args.get("gpu"));
+    core::ZatelParams params = paramsFromArgs(args);
+    core::ZatelPredictor predictor(scene, bvh, config, params);
+
+    if (command == "predict") {
+        core::ZatelResult result = predictor.predict();
+        printPrediction(result);
+        maybeWriteCsv(args, result);
+        if (args.has("heatmap-out")) {
+            if (predictor.quantizedHeatmap().writePpm(
+                    args.get("heatmap-out")))
+                std::printf("wrote %s\n", args.get("heatmap-out").c_str());
+        }
+        return 0;
+    }
+
+    if (command == "oracle") {
+        gpusim::SimWorkload workload = gpusim::SimWorkload::buildFullFrame(
+            rt::Tracer(scene, bvh,
+                       rt::TracerParams{params.samplesPerPixel, 0.02f,
+                                        0.06f}),
+            params.width, params.height);
+        gpusim::Gpu gpu(config, workload);
+        gpusim::GpuStats stats = gpu.run();
+        AsciiTable table({"Metric", "Value"});
+        for (gpusim::Metric metric : gpusim::allMetrics()) {
+            table.addRow({gpusim::metricName(metric),
+                          AsciiTable::num(stats.metricValue(metric), 4)});
+        }
+        std::printf("%s", table.toString().c_str());
+        if (args.getFlag("dump-stats"))
+            std::printf("\n%s", gpu.statsReport().toString().c_str());
+        return 0;
+    }
+
+    if (command == "compare") {
+        core::OracleResult oracle = predictor.runOracle();
+        core::ZatelResult result = predictor.predict();
+        auto rows = core::compareToOracle(result.predicted, oracle.stats);
+        std::printf("%s", core::comparisonTable(
+                              rows, "Zatel vs full simulation ('" +
+                                        scene.name() + "' on " +
+                                        config.name + ")")
+                              .c_str());
+        std::printf("speedup (1 core/group): %.1fx\n",
+                    oracle.wallSeconds /
+                        (result.maxGroupWallSeconds + 1e-9));
+        maybeWriteCsv(args, result);
+        return 0;
+    }
+
+    fatal("unknown command '", command,
+          "' (use scenes, predict, oracle or compare)");
+}
