@@ -48,6 +48,8 @@ TagCache::findWay(uint64_t line_addr) const
 bool
 TagCache::access(uint64_t line_addr)
 {
+    ZATEL_ASSERT(line_addr % lineBytes_ == 0,
+                 "cache access address must be line-aligned");
     ++stats_.accesses;
     Way *way = findWay(line_addr);
     if (way) {
@@ -68,6 +70,8 @@ TagCache::contains(uint64_t line_addr) const
 bool
 TagCache::fill(uint64_t line_addr, bool dirty, bool &evicted_dirty)
 {
+    ZATEL_ASSERT(line_addr % lineBytes_ == 0,
+                 "cache fill address must be line-aligned");
     evicted_dirty = false;
     Way *existing = findWay(line_addr);
     if (existing) {

@@ -84,9 +84,9 @@ class TagCache
     /** line address -> index into ways_ (valid entries only). */
     std::unordered_map<uint64_t, uint32_t> index_;
 
-    uint32_t lineBytes_;
-    uint32_t assoc_;
-    uint32_t numSets_;
+    uint32_t lineBytes_ = 0;
+    uint32_t assoc_ = 0;
+    uint32_t numSets_ = 0;
     std::vector<Way> ways_; // numSets_ x assoc_
     uint64_t useCounter_ = 0;
     Stats stats_;

@@ -1,5 +1,7 @@
 #include "gpusim/dram.hh"
 
+#include "util/logging.hh"
+
 namespace zatel::gpusim
 {
 
@@ -14,6 +16,8 @@ DramChannel::DramChannel(const GpuConfig &config)
 bool
 DramChannel::enqueue(const MemRequest &request, uint64_t now)
 {
+    ZATEL_ASSERT(request.lineAddr % lineBytes_ == 0,
+                 "DRAM requests must be line-aligned");
     if (queue_.size() >= queueSize_)
         return false;
     queue_.push_back({request, now});
@@ -23,6 +27,8 @@ DramChannel::enqueue(const MemRequest &request, uint64_t now)
 void
 DramChannel::tick(uint64_t now, std::vector<MemRequest> &completed)
 {
+    ZATEL_ASSERT(!bursting_ || burstEnd_ > now,
+                 "in-flight burst should have retired in an earlier cycle");
     bool has_work = bursting_ || !queue_.empty();
     if (has_work)
         ++stats_.activeCycles;

@@ -60,10 +60,10 @@ class DramChannel
         uint64_t arrival = 0;
     };
 
-    uint32_t queueSize_;
-    uint32_t latencyCycles_;
-    uint32_t burstCycles_;
-    uint32_t lineBytes_;
+    uint32_t queueSize_ = 0;
+    uint32_t latencyCycles_ = 0;
+    uint32_t burstCycles_ = 0;
+    uint32_t lineBytes_ = 0;
 
     std::deque<Entry> queue_;
     bool bursting_ = false;

@@ -15,6 +15,8 @@ MemPartition::MemPartition(const GpuConfig &config, uint32_t index)
 void
 MemPartition::enqueue(const MemRequest &request)
 {
+    ZATEL_ASSERT(request.lineAddr % l2_.lineBytes() == 0,
+                 "partition requests must be line-aligned");
     incoming_.push_back(request);
 }
 
@@ -93,6 +95,8 @@ MemPartition::processRequest(const MemRequest &request, uint64_t now,
 void
 MemPartition::tick(uint64_t now, std::vector<MemResponse> &responses)
 {
+    ZATEL_ASSERT(l2Mshr_.occupancy() <= l2Mshr_.capacity(),
+                 "L2 MSHR exceeded its capacity");
     // 1. Retry queued dirty writebacks.
     while (!pendingWritebacks_.empty() && !dram_.queueFull()) {
         dram_.enqueue(pendingWritebacks_.front(), now);

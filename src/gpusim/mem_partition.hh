@@ -58,8 +58,8 @@ class MemPartition
 
     void writebackDirtyLine(uint64_t line_addr, uint64_t now);
 
-    uint32_t index_;
-    uint32_t l2Latency_;
+    uint32_t index_ = 0;
+    uint32_t l2Latency_ = 0;
     uint64_t l2ReservedHits_ = 0;
     uint32_t maxRequestsPerCycle_ = 2;
 

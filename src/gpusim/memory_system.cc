@@ -31,6 +31,7 @@ MemorySystem::sendRead(uint32_t src_sm, uint64_t line_addr, uint64_t now)
 void
 MemorySystem::sendWrite(uint32_t src_sm, uint64_t line_addr, uint64_t now)
 {
+    ZATEL_ASSERT(src_sm < fillQueues_.size(), "bad source SM");
     MemRequest request;
     request.lineAddr = line_addr;
     request.srcSm = src_sm;

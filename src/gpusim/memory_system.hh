@@ -61,8 +61,8 @@ class MemorySystem
   private:
     struct PendingFill
     {
-        uint64_t readyCycle;
-        uint64_t lineAddr;
+        uint64_t readyCycle = 0;
+        uint64_t lineAddr = 0;
 
         bool
         operator>(const PendingFill &o) const

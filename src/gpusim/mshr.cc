@@ -13,6 +13,8 @@ MshrTable::MshrTable(uint32_t capacity) : capacity_(capacity)
 MshrTable::Outcome
 MshrTable::request(uint64_t line_addr, uint64_t waiter_token)
 {
+    ZATEL_ASSERT(entries_.size() <= capacity_,
+                 "MSHR exceeded its configured capacity");
     auto it = entries_.find(line_addr);
     if (it != entries_.end()) {
         it->second.push_back(waiter_token);
@@ -41,6 +43,8 @@ MshrTable::fill(uint64_t line_addr)
     if (it == entries_.end())
         return {};
     std::vector<uint64_t> waiters = std::move(it->second);
+    ZATEL_ASSERT(!waiters.empty(),
+                 "an allocated MSHR entry must hold at least one waiter");
     entries_.erase(it);
     return waiters;
 }

@@ -61,7 +61,7 @@ class MshrTable
     const Stats &stats() const { return stats_; }
 
   private:
-    uint32_t capacity_;
+    uint32_t capacity_ = 0;
     std::unordered_map<uint64_t, std::vector<uint64_t>> entries_;
     Stats stats_;
 };

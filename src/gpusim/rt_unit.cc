@@ -31,6 +31,7 @@ RtUnit::warpAt(uint32_t warp_slot)
 bool
 RtUnit::tryAdmit(uint32_t warp_slot, Warp *warp)
 {
+    ZATEL_ASSERT(warp != nullptr, "cannot admit a null warp");
     if (resident_.size() >= config_->rtMaxWarps)
         return false;
 
@@ -148,6 +149,8 @@ RtUnit::executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats)
 void
 RtUnit::tick(uint64_t now, GpuStats &stats)
 {
+    ZATEL_ASSERT(resident_.size() <= config_->rtMaxWarps,
+                 "more resident warps than the RT unit allows");
     // Residency/efficiency sampling (Table I: RT Unit Avg Efficiency).
     // Lanes still traversing == lanesRemaining (NeedFetch/WaitMem/Ready).
     for (const Resident &resident : resident_) {

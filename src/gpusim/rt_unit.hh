@@ -49,16 +49,16 @@ class RtUnit
   private:
     struct LaneRef
     {
-        uint32_t warpSlot;
-        uint32_t lane;
+        uint32_t warpSlot = 0;
+        uint32_t lane = 0;
     };
 
     /** Resident warp bookkeeping. */
     struct Resident
     {
-        uint32_t warpSlot;
-        Warp *warp;
-        uint32_t lanesRemaining;
+        uint32_t warpSlot = 0;
+        Warp *warp = nullptr;
+        uint32_t lanesRemaining = 0;
     };
 
     Resident *findResident(uint32_t warp_slot);
@@ -68,8 +68,8 @@ class RtUnit
     void executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats);
     Warp *warpAt(uint32_t warp_slot);
 
-    const GpuConfig *config_;
-    Sm *sm_;
+    const GpuConfig *config_ = nullptr;
+    Sm *sm_ = nullptr;
     std::vector<Resident> resident_;
     /** Lanes whose node data is available. */
     std::deque<LaneRef> readyQueue_;

@@ -153,6 +153,8 @@ Sm::processHitQueue(uint64_t now)
 void
 Sm::tick(uint64_t now)
 {
+    ZATEL_ASSERT(residentWarps_ <= warpSlots_.size(),
+                 "resident warp count exceeds the slot table");
     portsUsed_ = 0;
     processFills(now);
     processHitQueue(now);

@@ -119,9 +119,9 @@ class Sm
     /** Process L1-hit delay queue. */
     void processHitQueue(uint64_t now);
 
-    uint32_t index_;
-    const GpuConfig *config_;
-    MemorySystem *memory_;
+    uint32_t index_ = 0;
+    const GpuConfig *config_ = nullptr;
+    MemorySystem *memory_ = nullptr;
 
     std::vector<std::unique_ptr<Warp>> warpSlots_;
     uint32_t residentWarps_ = 0;

@@ -151,11 +151,11 @@ class Warp
     /** Move to the next stage after an ALU stage fully drained. */
     void advanceAfterAlu();
 
-    uint32_t id_;
-    const GpuConfig *config_;
-    const SimWorkload *workload_;
-    uint32_t threadBegin_;
-    uint32_t threadEnd_;
+    uint32_t id_ = 0;
+    const GpuConfig *config_ = nullptr;
+    const SimWorkload *workload_ = nullptr;
+    uint32_t threadBegin_ = 0;
+    uint32_t threadEnd_ = 0;
 
     Phase phase_ = Phase::NotStarted;
     int currentRaySlot_ = -1;

@@ -1,10 +1,9 @@
 #include "rt/tracer.hh"
 
-#include "rt/ray_record.hh"
-
 #include <algorithm>
 #include <cmath>
 
+#include "rt/ray_record.hh"
 #include "util/logging.hh"
 
 namespace zatel::rt

@@ -1,6 +1,9 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <stdexcept>
 
 namespace zatel
 {
@@ -33,6 +36,12 @@ ThreadPool::submit(std::function<void()> task)
     std::future<void> future = packaged.get_future();
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            // Workers may already have exited; an enqueued task would
+            // never run and its future would never become ready.
+            throw std::runtime_error(
+                "ThreadPool::submit called during shutdown");
+        }
         tasks_.push(std::move(packaged));
         ++inFlight_;
     }
@@ -50,37 +59,110 @@ ThreadPool::waitAll()
 void
 ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &body)
 {
-    std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (size_t i = 0; i < count; ++i)
-        futures.push_back(submit([&body, i] { body(i); }));
-    for (auto &future : futures)
-        future.get();
+    parallelForChunked(count, 1, body);
+}
+
+void
+ThreadPool::parallelForChunked(size_t count, size_t grain,
+                               const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (grain == 0)
+        grain = std::max<size_t>(1, count / (4 * workers_.size()));
+
+    /** Join state shared between the chunk tasks and the caller. */
+    struct LoopState
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t remaining = 0;
+        std::exception_ptr firstError;
+    };
+    auto state = std::make_shared<LoopState>();
+    const size_t num_chunks = (count + grain - 1) / grain;
+    state->remaining = num_chunks;
+
+    for (size_t c = 0; c < num_chunks; ++c) {
+        const size_t begin = c * grain;
+        const size_t end = std::min(count, begin + grain);
+        // body is captured by reference: this function does not return
+        // until every chunk has completed, so the reference stays valid.
+        submit([state, begin, end, &body] {
+            std::exception_ptr error;
+            try {
+                for (size_t i = begin; i < end; ++i)
+                    body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (error && !state->firstError)
+                state->firstError = error;
+            if (--state->remaining == 0)
+                state->done.notify_all();
+        });
+    }
+
+    // Wait for completion, helping to drain the queue so that nested
+    // parallel loops issued from inside pool tasks cannot deadlock even
+    // on a single-worker pool.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            if (state->remaining == 0)
+                break;
+        }
+        if (runOneTask())
+            continue;
+        // Queue empty but chunks still running on other threads: block
+        // until the last chunk signals completion.
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done.wait(lock, [&state] { return state->remaining == 0; });
+        break;
+    }
+
+    if (state->firstError)
+        std::rethrow_exception(state->firstError);
+}
+
+bool
+ThreadPool::runOneTask()
+{
+    std::packaged_task<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --inFlight_;
+        if (inFlight_ == 0)
+            allDone_.notify_all();
+    }
+    return true;
 }
 
 void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::packaged_task<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             taskReady_.wait(lock,
                             [this] { return shutdown_ || !tasks_.empty(); });
-            if (tasks_.empty()) {
-                // shutdown_ must be set; exit.
+            if (shutdown_ && tasks_.empty()) {
+                // Drained; exit.
                 return;
             }
-            task = std::move(tasks_.front());
-            tasks_.pop();
         }
-        task();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --inFlight_;
-            if (inFlight_ == 0)
-                allDone_.notify_all();
-        }
+        // The queue may have been drained by a helping thread between
+        // the wait and here; runOneTask simply finds it empty then.
+        runOneTask();
     }
 }
 

@@ -130,7 +130,11 @@ ZatelPredictor::predict()
                 ? params_.numThreads
                 : std::max<size_t>(1, std::thread::hardware_concurrency());
         ThreadPool pool(std::min<size_t>(workers, groups.size()));
-        pool.parallelFor(groups.size(), [&](size_t g) {
+        // grain 0 = automatic: one task per group while K <= 4x workers
+        // (each instance is heavy and run in isolation), degrading to
+        // range-chunked submission when a sweep forces K far above the
+        // worker count, which cuts queue-lock contention.
+        pool.parallelForChunked(groups.size(), 0, [&](size_t g) {
             if (fractions_to_run.empty()) {
                 result.groups[g] = simulateGroup(
                     static_cast<uint32_t>(g), groups[g], selections[g],

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Determinism harness for the parallel prediction pipeline.
+ *
+ * Zatel's accuracy claim only holds if the K concurrent downscaled
+ * simulator instances are bit-deterministic: the same scene + seed must
+ * produce byte-identical per-group GpuStats and combined predictions no
+ * matter how many worker threads execute step (6). These tests run the
+ * full ZatelPredictor::predict() at threads=1 vs threads=N for two seeds
+ * x two scenes and compare results bit-for-bit (doubles compared by bit
+ * pattern, not tolerance). Wall-clock fields are the only sanctioned
+ * nondeterminism and are excluded.
+ *
+ * Run under the tsan preset this doubles as the pipeline's race detector
+ * (see docs/CORRECTNESS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/stats.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::core
+{
+namespace
+{
+
+using gpusim::GpuConfig;
+using gpusim::GpuStats;
+using gpusim::Metric;
+
+/** Bit pattern of a double; NaN-safe and distinguishes -0.0 from 0.0. */
+uint64_t
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Expect every raw counter of two GpuStats to be identical. */
+void
+expectStatsIdentical(const GpuStats &a, const GpuStats &b,
+                     const std::string &context)
+{
+#define ZATEL_EXPECT_COUNTER(field)                                         \
+    EXPECT_EQ(a.field, b.field) << context << ": counter " #field " diverged"
+    ZATEL_EXPECT_COUNTER(cycles);
+    ZATEL_EXPECT_COUNTER(threadInstructions);
+    ZATEL_EXPECT_COUNTER(warpInstructions);
+    ZATEL_EXPECT_COUNTER(l1dAccesses);
+    ZATEL_EXPECT_COUNTER(l1dMisses);
+    ZATEL_EXPECT_COUNTER(l2Accesses);
+    ZATEL_EXPECT_COUNTER(l2Misses);
+    ZATEL_EXPECT_COUNTER(rtActiveRaySum);
+    ZATEL_EXPECT_COUNTER(rtResidentWarpCycles);
+    ZATEL_EXPECT_COUNTER(rtNodeVisits);
+    ZATEL_EXPECT_COUNTER(rtTriangleTests);
+    ZATEL_EXPECT_COUNTER(dramBusyCycles);
+    ZATEL_EXPECT_COUNTER(dramActiveCycles);
+    ZATEL_EXPECT_COUNTER(dramChannelCycles);
+    ZATEL_EXPECT_COUNTER(dramBytesRead);
+    ZATEL_EXPECT_COUNTER(dramBytesWritten);
+    ZATEL_EXPECT_COUNTER(warpsLaunched);
+    ZATEL_EXPECT_COUNTER(raysTraced);
+    ZATEL_EXPECT_COUNTER(pixelsTraced);
+    ZATEL_EXPECT_COUNTER(pixelsFiltered);
+#undef ZATEL_EXPECT_COUNTER
+}
+
+/**
+ * Expect two full pipeline results to be byte-identical everywhere the
+ * determinism contract covers (everything except wall-clock seconds).
+ */
+void
+expectResultsIdentical(const ZatelResult &a, const ZatelResult &b,
+                       const std::string &context)
+{
+    EXPECT_EQ(a.k, b.k) << context;
+    EXPECT_EQ(bitsOf(a.fractionTraced), bitsOf(b.fractionTraced)) << context;
+
+    ASSERT_EQ(a.groups.size(), b.groups.size()) << context;
+    for (size_t g = 0; g < a.groups.size(); ++g) {
+        const GroupResult &ga = a.groups[g];
+        const GroupResult &gb = b.groups[g];
+        const std::string where = context + ", group " + std::to_string(g);
+        EXPECT_EQ(ga.groupIndex, gb.groupIndex) << where;
+        EXPECT_EQ(ga.pixels, gb.pixels) << where;
+        EXPECT_EQ(ga.selectedPixels, gb.selectedPixels) << where;
+        EXPECT_EQ(bitsOf(ga.fractionTraced), bitsOf(gb.fractionTraced))
+            << where;
+        expectStatsIdentical(ga.stats, gb.stats, where);
+        ASSERT_EQ(ga.extrapolated.size(), gb.extrapolated.size()) << where;
+        for (size_t m = 0; m < ga.extrapolated.size(); ++m) {
+            EXPECT_EQ(bitsOf(ga.extrapolated[m]), bitsOf(gb.extrapolated[m]))
+                << where << ", extrapolated metric " << m;
+        }
+    }
+
+    ASSERT_EQ(a.predicted.size(), b.predicted.size()) << context;
+    for (Metric metric : gpusim::allMetrics()) {
+        ASSERT_TRUE(a.predicted.count(metric)) << context;
+        ASSERT_TRUE(b.predicted.count(metric)) << context;
+        EXPECT_EQ(bitsOf(a.predicted.at(metric)),
+                  bitsOf(b.predicted.at(metric)))
+            << context << ": prediction for " << gpusim::metricName(metric)
+            << " diverged";
+    }
+}
+
+ZatelResult
+runOnce(const rt::Scene &scene, const rt::Bvh &bvh, uint64_t seed,
+        uint32_t num_threads)
+{
+    ZatelParams params;
+    params.width = 48;
+    params.height = 48;
+    params.seed = seed;
+    params.numThreads = num_threads;
+    ZatelPredictor predictor(scene, bvh, GpuConfig::mobileSoc(), params);
+    return predictor.predict();
+}
+
+struct Workload
+{
+    rt::SceneId id;
+    uint64_t seed;
+};
+
+class DeterminismTest : public testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(DeterminismTest, SingleVsMultiThreadedByteIdentical)
+{
+    const Workload workload = GetParam();
+    rt::Scene scene = rt::buildScene(workload.id, rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    ZatelResult serial = runOnce(scene, bvh, workload.seed, 1);
+    ZatelResult parallel = runOnce(scene, bvh, workload.seed, 4);
+
+    const std::string context = std::string(rt::sceneName(workload.id)) +
+                                " seed=" + std::to_string(workload.seed);
+    expectResultsIdentical(serial, parallel, context);
+}
+
+TEST_P(DeterminismTest, RepeatedParallelRunsByteIdentical)
+{
+    const Workload workload = GetParam();
+    rt::Scene scene = rt::buildScene(workload.id, rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    // Two independent multi-threaded runs must also agree: scheduling
+    // order may differ between them, results must not.
+    ZatelResult first = runOnce(scene, bvh, workload.seed, 4);
+    ZatelResult second = runOnce(scene, bvh, workload.seed, 4);
+
+    const std::string context = std::string(rt::sceneName(workload.id)) +
+                                " seed=" + std::to_string(workload.seed) +
+                                " (repeat)";
+    expectResultsIdentical(first, second, context);
+}
+
+// Two seeds x two scenes, as the determinism contract requires: one warm
+// mixed-heat scene (WKND) and one early-terminating underutilizer (SPRNG),
+// the two extremes Section IV-D contrasts.
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesScenes, DeterminismTest,
+    testing::Values(Workload{rt::SceneId::Wknd, 0x2A7E1},
+                    Workload{rt::SceneId::Wknd, 0xDECAF},
+                    Workload{rt::SceneId::Sprng, 0x2A7E1},
+                    Workload{rt::SceneId::Sprng, 0xDECAF}),
+    [](const testing::TestParamInfo<Workload> &info) {
+        return std::string(rt::sceneName(info.param.id)) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+// Regression-extrapolation mode exercises the per-fraction reselection
+// path inside the parallel region; cover it for one scene x both seeds.
+TEST(DeterminismRegressionMode, SingleVsMultiThreadedByteIdentical)
+{
+    rt::Scene scene = rt::buildScene(rt::SceneId::Wknd, rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    for (uint64_t seed : {0x2A7E1ull, 0xDECAFull}) {
+        ZatelParams params;
+        params.width = 48;
+        params.height = 48;
+        params.seed = seed;
+        params.extrapolation = ExtrapolationMethod::ExponentialRegression;
+
+        params.numThreads = 1;
+        ZatelResult serial =
+            ZatelPredictor(scene, bvh, GpuConfig::mobileSoc(), params)
+                .predict();
+        params.numThreads = 4;
+        ZatelResult parallel =
+            ZatelPredictor(scene, bvh, GpuConfig::mobileSoc(), params)
+                .predict();
+        expectResultsIdentical(serial, parallel,
+                               "regression seed=" + std::to_string(seed));
+    }
+}
+
+} // namespace
+} // namespace zatel::core

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <vector>
 
@@ -138,6 +139,100 @@ TEST(Rng, SplitProducesIndependentStream)
     for (int i = 0; i < 100; ++i)
         same += parent.next() == child.next();
     EXPECT_LT(same, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-platform stream stability: golden values for fixed seeds.
+//
+// The determinism harness (tests/test_determinism.cc) compares pipeline
+// results bit-for-bit, which is only meaningful across machines if the
+// RNG streams themselves are bit-stable everywhere. These values were
+// captured from the reference xoshiro256** + splitmix64 implementation;
+// any change here is a breaking change to the determinism contract and
+// must be called out in docs/CORRECTNESS.md.
+// ---------------------------------------------------------------------------
+
+TEST(RngGolden, RawStreamSeed0)
+{
+    Rng rng(0);
+    const uint64_t expected[] = {
+        11091344671253066420ull, 13793997310169335082ull,
+        1900383378846508768ull,  7684712102626143532ull,
+        13521403990117723737ull, 18442103541295991498ull,
+    };
+    for (uint64_t value : expected)
+        EXPECT_EQ(rng.next(), value);
+}
+
+TEST(RngGolden, RawStreamSeed42)
+{
+    Rng rng(42);
+    const uint64_t expected[] = {
+        1546998764402558742ull,  6990951692964543102ull,
+        12544586762248559009ull, 17057574109182124193ull,
+        18295552978065317476ull, 14199186830065750584ull,
+    };
+    for (uint64_t value : expected)
+        EXPECT_EQ(rng.next(), value);
+}
+
+TEST(RngGolden, RawStreamPipelineDefaultSeed)
+{
+    // 0x2A7E1 is ZatelParams::seed's default.
+    Rng rng(0x2A7E1);
+    const uint64_t expected[] = {
+        15205826629589118879ull, 10122613346909942884ull,
+        14337656323652621797ull, 4053572920900888293ull,
+        16574705408064936650ull, 1784594000294999714ull,
+    };
+    for (uint64_t value : expected)
+        EXPECT_EQ(rng.next(), value);
+}
+
+TEST(RngGolden, BoundedStream)
+{
+    Rng rng(42);
+    const uint64_t expected[] = {42, 2, 9, 93, 76, 84, 54, 7};
+    for (uint64_t value : expected)
+        EXPECT_EQ(rng.nextBounded(100), value);
+}
+
+TEST(RngGolden, DoubleStreamBitPatterns)
+{
+    // Doubles are compared via their bit patterns: (next() >> 11) * 2^-53
+    // involves only one rounding-free multiply, so results must be
+    // bit-identical on any IEEE-754 platform.
+    Rng rng(7);
+    const uint64_t expected_bits[] = {
+        0x3fe66b1f5ee9df2eull,
+        0x3fd1d70f6593d20aull,
+        0x3feade3a6932a58full,
+        0x3fef65270e63d00eull,
+    };
+    for (uint64_t bits : expected_bits) {
+        double value = rng.nextDouble();
+        uint64_t actual = 0;
+        std::memcpy(&actual, &value, sizeof(actual));
+        EXPECT_EQ(actual, bits);
+    }
+}
+
+TEST(RngGolden, SplitStreams)
+{
+    Rng parent(123);
+    Rng child_a = parent.split();
+    Rng child_b = parent.split();
+    EXPECT_EQ(child_a.next(), 13493024091370825836ull);
+    EXPECT_EQ(child_b.next(), 12106736704256847843ull);
+    EXPECT_EQ(parent.next(), 8622752019489400367ull);
+}
+
+TEST(RngGolden, RangeStream)
+{
+    Rng rng(99);
+    const int64_t expected[] = {4, -10, -2, 18, -17, -46};
+    for (int64_t value : expected)
+        EXPECT_EQ(rng.nextRange(-50, 50), value);
 }
 
 TEST(Rng, BoundedUniformity)

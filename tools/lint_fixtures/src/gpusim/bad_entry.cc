@@ -1,0 +1,21 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+#include "gpusim/stats.hh"
+#include <cstdlib> // EXPECT: include-order
+
+namespace zatel::gpusim
+{
+
+std::unordered_map<uint64_t, int> table;
+
+void
+Engine::tick(uint64_t now) // EXPECT: assert-free-entry
+{
+    int jitter = std::rand(); // EXPECT: nondet-rand
+    for (const auto &entry : table) { // EXPECT: nondet-unordered-iter
+        (void)entry;
+    }
+    (void)now;
+    (void)jitter;
+}
+
+} // namespace zatel::gpusim

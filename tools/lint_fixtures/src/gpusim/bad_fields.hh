@@ -1,0 +1,19 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+#ifndef WRONG_GUARD_HH // EXPECT: header-guard
+#define WRONG_GUARD_HH
+
+#include <cstdint>
+
+namespace zatel::gpusim
+{
+
+struct BadFields
+{
+    uint32_t counter; // EXPECT: uninit-field
+    double *buffer; // EXPECT: uninit-field
+    uint64_t good = 0;
+};
+
+} // namespace zatel::gpusim
+
+#endif // WRONG_GUARD_HH

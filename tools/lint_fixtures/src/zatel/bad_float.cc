@@ -1,0 +1,15 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+#include <ctime>
+
+namespace zatel::core
+{
+
+bool
+converged(double error)
+{
+    long stamp = time(nullptr); // EXPECT: nondet-rand
+    (void)stamp;
+    return error == 0.0; // EXPECT: float-eq
+}
+
+} // namespace zatel::core
