@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Campaign-service throughput: shared scheduler + artifact cache vs a
+ * serial `zatel predict`-style loop.
+ *
+ * The batch service exists because a parameter sweep re-pays the same
+ * preprocessing bill per configuration when driven one `zatel predict`
+ * at a time: every invocation rebuilds the scene, the BVH and the
+ * heatmap profile even though a sweep varies only cheap knobs (trace
+ * fraction, K, distribution). This bench runs the same one-scene sweep
+ * three ways and reports jobs/second:
+ *
+ *   serial      fresh scene + BVH + heatmap per job (the CLI loop)
+ *   cold cache  CampaignScheduler, empty ArtifactCache (first run)
+ *   warm cache  CampaignScheduler, cache primed by the cold run
+ *
+ * Shapes to check: cold-cache beats serial because J jobs share one
+ * scene/BVH/heatmap build (cache counters prove misses=1); warm-cache
+ * additionally skips that single build. The scheduler/serial gap also
+ * grows with core count since group units from all jobs interleave on
+ * one pool (on a single-core host the sharing win is all that remains).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+namespace
+{
+
+using namespace zatel;
+using namespace zatel::bench;
+
+std::vector<service::CampaignJob>
+makeSweep(const BenchOptions &options, size_t job_count)
+{
+    std::vector<service::CampaignJob> jobs;
+    jobs.reserve(job_count);
+    for (size_t i = 0; i < job_count; ++i) {
+        service::CampaignJob job;
+        job.scene = "PARK";
+        job.params.width = options.resolution;
+        job.params.height = options.resolution;
+        job.params.samplesPerPixel = options.samplesPerPixel;
+        job.params.seed = options.seed;
+        job.params.selector.fixedFraction =
+            0.15 + 0.05 * static_cast<double>(i);
+        jobs.push_back(std::move(job));
+    }
+    service::finalizeCampaign(jobs);
+    return jobs;
+}
+
+/** The `zatel predict` loop: every job rebuilds everything. */
+double
+runSerial(const std::vector<service::CampaignJob> &jobs)
+{
+    WallTimer timer;
+    for (const service::CampaignJob &job : jobs) {
+        rt::SceneDetail detail;
+        detail.density = job.sceneDetail;
+        rt::Scene scene = rt::buildScene(rt::sceneIdFromName(job.scene),
+                                         detail, job.sceneSeed);
+        rt::Bvh bvh;
+        bvh.build(scene.triangles(), job.bvh);
+        core::ZatelPredictor predictor(scene, bvh,
+                                       service::gpuConfigFromName(job.gpu),
+                                       job.params);
+        core::ZatelResult result = predictor.predict();
+        (void)result;
+    }
+    return timer.elapsedSeconds();
+}
+
+struct SchedulerRun
+{
+    double seconds = 0.0;
+    service::ArtifactCache::Counters counters;
+};
+
+SchedulerRun
+runScheduled(std::vector<service::CampaignJob> jobs,
+             service::ArtifactCache &cache)
+{
+    service::ResultStore store("");
+    service::SchedulerParams params;
+    const service::ArtifactCache::Counters before = cache.totals();
+
+    WallTimer timer;
+    service::CampaignScheduler scheduler(std::move(jobs), cache, store,
+                                         params);
+    service::CampaignSummary summary = scheduler.run();
+
+    SchedulerRun run;
+    run.seconds = timer.elapsedSeconds();
+    run.counters = cache.totals();
+    run.counters.hits -= before.hits;
+    run.counters.misses -= before.misses;
+    run.counters.diskHits -= before.diskHits;
+    run.counters.evictions -= before.evictions;
+    if (summary.ok != summary.totalJobs)
+        std::printf("WARNING: %zu of %zu jobs did not finish ok\n",
+                    summary.totalJobs - summary.ok, summary.totalJobs);
+    return run;
+}
+
+std::string
+jobsPerSecond(size_t jobs, double seconds)
+{
+    return AsciiTable::num(static_cast<double>(jobs) / (seconds + 1e-12),
+                           2);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchOptions options = benchOptions();
+    printHeader("Campaign service throughput: shared scheduler + artifact "
+                "cache vs serial predict loop",
+                options);
+
+    const size_t job_count = options.quick ? 4 : 8;
+    std::vector<service::CampaignJob> jobs = makeSweep(options, job_count);
+    std::printf("sweep: %zu jobs, one scene, fraction-only variation\n\n",
+                job_count);
+
+    const double serial_seconds = runSerial(jobs);
+    std::printf("[serial] done in %.2fs\n", serial_seconds);
+
+    service::ArtifactCache cache(512ull * 1024 * 1024, "");
+    SchedulerRun cold = runScheduled(jobs, cache);
+    std::printf("[cold cache] done in %.2fs\n", cold.seconds);
+    SchedulerRun warm = runScheduled(jobs, cache);
+    std::printf("[warm cache] done in %.2fs\n\n", warm.seconds);
+
+    AsciiTable table(
+        {"Mode", "Wall s", "Jobs/s", "Speedup", "Hits", "Misses"});
+    table.addRow({"serial loop", AsciiTable::num(serial_seconds, 2),
+                  jobsPerSecond(job_count, serial_seconds),
+                  AsciiTable::num(1.0, 2), "-", "-"});
+    table.addRow({"scheduler, cold cache", AsciiTable::num(cold.seconds, 2),
+                  jobsPerSecond(job_count, cold.seconds),
+                  AsciiTable::num(serial_seconds / (cold.seconds + 1e-12),
+                                  2),
+                  std::to_string(cold.counters.hits),
+                  std::to_string(cold.counters.misses)});
+    table.addRow({"scheduler, warm cache", AsciiTable::num(warm.seconds, 2),
+                  jobsPerSecond(job_count, warm.seconds),
+                  AsciiTable::num(serial_seconds / (warm.seconds + 1e-12),
+                                  2),
+                  std::to_string(warm.counters.hits),
+                  std::to_string(warm.counters.misses)});
+    std::printf("%s", table.toString().c_str());
+
+    CsvWriter csv;
+    csv.setHeader({"mode", "wall_s", "jobs_per_s", "hits", "misses"});
+    csv.addRow({"serial", CsvWriter::formatDouble(serial_seconds),
+                jobsPerSecond(job_count, serial_seconds), "0", "0"});
+    csv.addRow({"scheduler_cold", CsvWriter::formatDouble(cold.seconds),
+                jobsPerSecond(job_count, cold.seconds),
+                std::to_string(cold.counters.hits),
+                std::to_string(cold.counters.misses)});
+    csv.addRow({"scheduler_warm", CsvWriter::formatDouble(warm.seconds),
+                jobsPerSecond(job_count, warm.seconds),
+                std::to_string(warm.counters.hits),
+                std::to_string(warm.counters.misses)});
+    writeBenchCsv("service_throughput", csv);
+
+    std::printf("\nShape to check: the scheduler builds the scene/BVH and "
+                "heatmap once for the whole sweep\n(misses stay at 2 while "
+                "hits grow with the job count), so batch throughput beats "
+                "the serial\nloop even before the shared pool overlaps "
+                "different jobs' group simulations.\n");
+    return 0;
+}

@@ -151,4 +151,31 @@ QuantizedHeatmap::quantize(const Heatmap &map, uint32_t k, uint64_t seed)
     return result;
 }
 
+QuantizedHeatmap
+QuantizedHeatmap::fromParts(uint32_t width, uint32_t height,
+                            std::vector<uint32_t> cluster_of,
+                            std::vector<rt::Vec3> palette,
+                            std::vector<double> coolness,
+                            std::vector<size_t> population)
+{
+    ZATEL_ASSERT(cluster_of.size() ==
+                     static_cast<size_t>(width) * height,
+                 "cluster map size mismatch");
+    ZATEL_ASSERT(palette.size() == coolness.size() &&
+                     palette.size() == population.size(),
+                 "palette/coolness/population size mismatch");
+    for (uint32_t c : cluster_of) {
+        ZATEL_ASSERT(c < palette.size(),
+                     "cluster id out of palette range");
+    }
+    QuantizedHeatmap result;
+    result.width_ = width;
+    result.height_ = height;
+    result.clusterOf_ = std::move(cluster_of);
+    result.palette_ = std::move(palette);
+    result.coolness_ = std::move(coolness);
+    result.population_ = std::move(population);
+    return result;
+}
+
 } // namespace zatel::heatmap

@@ -107,6 +107,31 @@ class QuantizedHeatmap
     static QuantizedHeatmap quantize(const Heatmap &map, uint32_t k = 8,
                                      uint64_t seed = 0x5EED);
 
+    // ---- Raw access for artifact (de)serialization ----
+    // The campaign service's content-addressed cache persists quantized
+    // heatmaps to disk (src/service/artifact_cache.cc); these expose the
+    // exact internal state so a round-trip is byte-identical.
+
+    /** Row-major cluster id per pixel. */
+    const std::vector<uint32_t> &clusterIds() const { return clusterOf_; }
+    /** Palette colors, indexed by cluster id. */
+    const std::vector<rt::Vec3> &palette() const { return palette_; }
+    /** Coolness c_i per cluster. */
+    const std::vector<double> &coolnessValues() const { return coolness_; }
+    /** Occurrence count per cluster. */
+    const std::vector<size_t> &populations() const { return population_; }
+
+    /**
+     * Reassemble a quantized heatmap from serialized parts. Sizes must be
+     * mutually consistent (panics otherwise); the result is byte-identical
+     * to the instance the parts were read from.
+     */
+    static QuantizedHeatmap fromParts(uint32_t width, uint32_t height,
+                                      std::vector<uint32_t> cluster_of,
+                                      std::vector<rt::Vec3> palette,
+                                      std::vector<double> coolness,
+                                      std::vector<size_t> population);
+
   private:
     uint32_t width_ = 0;
     uint32_t height_ = 0;

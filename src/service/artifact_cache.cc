@@ -1,0 +1,732 @@
+#include "service/artifact_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::service
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit prime. */
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** Magic tag of on-disk artifact files ("ZART"). */
+constexpr uint32_t kDiskMagic = 0x5A415254u;
+/** Bump when any payload layout changes. */
+constexpr uint32_t kDiskVersion = 1u;
+
+/** The GpuStats counters in their fixed serialization order. */
+std::vector<uint64_t>
+statsToWords(const gpusim::GpuStats &stats)
+{
+    return {
+        stats.cycles,
+        stats.threadInstructions,
+        stats.warpInstructions,
+        stats.l1dAccesses,
+        stats.l1dMisses,
+        stats.l2Accesses,
+        stats.l2Misses,
+        stats.rtActiveRaySum,
+        stats.rtResidentWarpCycles,
+        stats.rtNodeVisits,
+        stats.rtTriangleTests,
+        stats.dramBusyCycles,
+        stats.dramActiveCycles,
+        stats.dramChannelCycles,
+        stats.dramBytesRead,
+        stats.dramBytesWritten,
+        stats.warpsLaunched,
+        stats.raysTraced,
+        stats.pixelsTraced,
+        stats.pixelsFiltered,
+    };
+}
+
+gpusim::GpuStats
+statsFromWords(const std::vector<uint64_t> &words)
+{
+    gpusim::GpuStats stats;
+    size_t i = 0;
+    stats.cycles = words[i++];
+    stats.threadInstructions = words[i++];
+    stats.warpInstructions = words[i++];
+    stats.l1dAccesses = words[i++];
+    stats.l1dMisses = words[i++];
+    stats.l2Accesses = words[i++];
+    stats.l2Misses = words[i++];
+    stats.rtActiveRaySum = words[i++];
+    stats.rtResidentWarpCycles = words[i++];
+    stats.rtNodeVisits = words[i++];
+    stats.rtTriangleTests = words[i++];
+    stats.dramBusyCycles = words[i++];
+    stats.dramActiveCycles = words[i++];
+    stats.dramChannelCycles = words[i++];
+    stats.dramBytesRead = words[i++];
+    stats.dramBytesWritten = words[i++];
+    stats.warpsLaunched = words[i++];
+    stats.raysTraced = words[i++];
+    stats.pixelsTraced = words[i++];
+    stats.pixelsFiltered = words[i++];
+    return stats;
+}
+
+/** Number of serialized GpuStats counters. */
+constexpr size_t kStatsWordCount = 20;
+
+bool
+readExact(std::ifstream &in, void *dst, size_t size)
+{
+    in.read(static_cast<char *>(dst), static_cast<std::streamsize>(size));
+    return in.good();
+}
+
+void
+writeExact(std::ofstream &out, const void *src, size_t size)
+{
+    out.write(static_cast<const char *>(src),
+              static_cast<std::streamsize>(size));
+}
+
+template <typename T>
+bool
+readPod(std::ifstream &in, T &value)
+{
+    return readExact(in, &value, sizeof(T));
+}
+
+template <typename T>
+void
+writePod(std::ofstream &out, const T &value)
+{
+    writeExact(out, &value, sizeof(T));
+}
+
+/** Approximate resident bytes of a quantized heatmap. */
+uint64_t
+heatmapBytes(const heatmap::QuantizedHeatmap &map)
+{
+    return sizeof(heatmap::QuantizedHeatmap) +
+           map.clusterIds().size() * sizeof(uint32_t) +
+           map.palette().size() * sizeof(rt::Vec3) +
+           map.coolnessValues().size() * sizeof(double) +
+           map.populations().size() * sizeof(uint64_t);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// HashStream
+// ---------------------------------------------------------------------------
+
+HashStream &
+HashStream::bytes(const void *data, size_t size)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash_ ^= p[i];
+        hash_ *= kFnvPrime;
+    }
+    return *this;
+}
+
+HashStream &
+HashStream::u8(uint8_t value)
+{
+    return bytes(&value, sizeof(value));
+}
+
+HashStream &
+HashStream::u32(uint32_t value)
+{
+    return bytes(&value, sizeof(value));
+}
+
+HashStream &
+HashStream::u64(uint64_t value)
+{
+    return bytes(&value, sizeof(value));
+}
+
+HashStream &
+HashStream::f32(float value)
+{
+    uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return u32(bits);
+}
+
+HashStream &
+HashStream::f64(double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return u64(bits);
+}
+
+HashStream &
+HashStream::boolean(bool value)
+{
+    return u8(value ? 1 : 0);
+}
+
+HashStream &
+HashStream::str(const std::string &text)
+{
+    u64(text.size());
+    return bytes(text.data(), text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Content hashes
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+void
+hashVec3(HashStream &h, const rt::Vec3 &v)
+{
+    h.f32(v.x).f32(v.y).f32(v.z);
+}
+
+} // namespace
+
+uint64_t
+hashSceneContent(const rt::Scene &scene)
+{
+    HashStream h;
+    h.str("zatel.scene.v1");
+
+    h.u64(scene.triangleCount());
+    for (const rt::Triangle &tri : scene.triangles()) {
+        hashVec3(h, tri.v0);
+        hashVec3(h, tri.v1);
+        hashVec3(h, tri.v2);
+        h.u32(tri.materialId);
+    }
+
+    h.u64(scene.materialCount());
+    for (size_t i = 0; i < scene.materialCount(); ++i) {
+        const rt::Material &mat =
+            scene.material(static_cast<uint16_t>(i));
+        h.u8(static_cast<uint8_t>(mat.type));
+        hashVec3(h, mat.albedo);
+        h.f32(mat.reflectivity);
+    }
+
+    hashVec3(h, scene.light().position);
+    hashVec3(h, scene.light().intensity);
+    hashVec3(h, scene.background());
+    hashVec3(h, scene.camera().position());
+    h.u32(static_cast<uint32_t>(scene.maxBounces()));
+    return h.digest();
+}
+
+uint64_t
+hashGpuConfig(const gpusim::GpuConfig &config)
+{
+    HashStream h;
+    h.str("zatel.gpuconfig.v1");
+    h.str(config.name);
+    h.u32(config.numSms).u32(config.numMemPartitions);
+    h.u32(config.warpSize)
+        .u32(config.maxWarpsPerSm)
+        .u32(config.registersPerSm)
+        .u32(config.registersPerThread)
+        .u32(config.issueWidth)
+        .u8(static_cast<uint8_t>(config.scheduler))
+        .u32(config.aluLatency);
+    h.u32(config.rtUnitsPerSm)
+        .u32(config.rtMaxWarps)
+        .u32(config.rtMshrSize)
+        .u32(config.rtVisitsPerCycle);
+    h.u32(config.l1dSizeBytes)
+        .u32(config.l1dLineBytes)
+        .u32(config.l1dAssoc)
+        .u32(config.l1dLatencyCycles)
+        .u32(config.l1dPortsPerCycle);
+    h.u64(config.l2TotalBytes)
+        .u32(config.l2LineBytes)
+        .u32(config.l2Assoc)
+        .u32(config.l2LatencyCycles)
+        .u32(config.l2MshrSize);
+    h.u32(config.nocLatencyCycles);
+    h.u32(config.dramLatencyCycles)
+        .u32(config.dramQueueSize)
+        .u32(config.dramBytesPerMemClock);
+    h.f64(config.coreClockMhz).f64(config.memClockMhz);
+    h.u32(config.raygenInsts)
+        .u32(config.filterExitInsts)
+        .u32(config.shadeInsts)
+        .u32(config.shadowBlendInsts)
+        .u32(config.missInsts);
+    return h.digest();
+}
+
+uint64_t
+scenePackKey(const std::string &scene_name, float detail,
+             uint64_t scene_seed, const rt::BvhBuildParams &bvh)
+{
+    HashStream h;
+    h.str("zatel.scenepack.v1");
+    h.str(scene_name);
+    h.f32(detail);
+    h.u64(scene_seed);
+    h.u32(bvh.maxLeafSize)
+        .u32(bvh.sahBins)
+        .f32(bvh.traversalCost)
+        .f32(bvh.intersectionCost);
+    return h.digest();
+}
+
+uint64_t
+heatmapKey(uint64_t scene_content_hash, const core::ZatelParams &params)
+{
+    HashStream h;
+    h.str("zatel.heatmap.v1");
+    h.u64(scene_content_hash);
+    h.u32(params.width).u32(params.height).u32(params.samplesPerPixel);
+    h.u8(static_cast<uint8_t>(params.profiler.source))
+        .f64(params.profiler.timerNoise)
+        .u64(params.profiler.seed);
+    h.u32(params.quantizeColors);
+    h.u64(params.seed);
+    return h.digest();
+}
+
+uint64_t
+oracleKey(uint64_t scene_content_hash, const gpusim::GpuConfig &config,
+          const core::ZatelParams &params)
+{
+    HashStream h;
+    h.str("zatel.oracle.v1");
+    h.u64(scene_content_hash);
+    h.u64(hashGpuConfig(config));
+    h.u32(params.width).u32(params.height).u32(params.samplesPerPixel);
+    return h.digest();
+}
+
+// ---------------------------------------------------------------------------
+// ScenePack
+// ---------------------------------------------------------------------------
+
+uint64_t
+ScenePack::approxBytes() const
+{
+    uint64_t total = sizeof(ScenePack);
+    total += scene.triangleCount() * sizeof(rt::Triangle);
+    total += scene.materialCount() * sizeof(rt::Material);
+    total += bvh.nodes().size() * sizeof(rt::BvhNode);
+    total += bvh.primIndices().size() * sizeof(uint32_t);
+    return total;
+}
+
+const char *
+artifactKindName(ArtifactKind kind)
+{
+    switch (kind) {
+    case ArtifactKind::ScenePack:
+        return "scenepack";
+    case ArtifactKind::QuantizedHeatmap:
+        return "heatmap";
+    case ArtifactKind::OracleStats:
+        return "oracle";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactCache
+// ---------------------------------------------------------------------------
+
+ArtifactCache::ArtifactCache(uint64_t byte_budget, std::string disk_dir)
+    : byteBudget_(byte_budget), diskDir_(std::move(disk_dir))
+{
+    if (!diskDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(diskDir_, ec);
+        if (ec) {
+            warn("artifact-cache: cannot create --cache-dir '", diskDir_,
+                 "': ", ec.message(), " (persistence disabled for writes)");
+        }
+    }
+}
+
+ArtifactCache::Counters &
+ArtifactCache::Counters::operator+=(const Counters &other)
+{
+    hits += other.hits;
+    misses += other.misses;
+    diskHits += other.diskHits;
+    evictions += other.evictions;
+    return *this;
+}
+
+std::shared_ptr<const void>
+ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
+                             const std::function<BuiltValue()> &build)
+{
+    const Key k{static_cast<uint8_t>(kind), key};
+    const size_t kind_index = static_cast<size_t>(kind);
+
+    std::promise<std::shared_ptr<const void>> promise;
+    std::shared_future<std::shared_ptr<const void>> wait_future;
+    bool is_builder = false;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            it->second.lastUse = ++useTick_;
+            ++perKind_[kind_index].hits;
+            return it->second.value;
+        }
+        auto fit = inflight_.find(k);
+        if (fit != inflight_.end()) {
+            wait_future = fit->second;
+        } else {
+            is_builder = true;
+            inflight_.emplace(k, promise.get_future().share());
+        }
+    }
+
+    if (!is_builder) {
+        // Another thread is building this key; its exception (if any)
+        // propagates out of get(). A successful wait counts as a hit.
+        std::shared_ptr<const void> value = wait_future.get();
+        std::lock_guard<std::mutex> guard(mutex_);
+        ++perKind_[kind_index].hits;
+        return value;
+    }
+
+    BuiltValue built{nullptr, 0};
+    bool from_disk = false;
+    try {
+        if (persistable(kind) && !diskDir_.empty()) {
+            built = tryLoadFromDisk(kind, key);
+            from_disk = built.first != nullptr;
+        }
+        if (!built.first)
+            built = build();
+        ZATEL_ASSERT(built.first != nullptr,
+                     "artifact builder returned null for ",
+                     artifactKindName(kind));
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            ++perKind_[kind_index].misses;
+            inflight_.erase(k);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (from_disk) {
+            ++perKind_[kind_index].hits;
+            ++perKind_[kind_index].diskHits;
+        } else {
+            ++perKind_[kind_index].misses;
+        }
+        insertLocked(k, built.first, built.second);
+        inflight_.erase(k);
+    }
+    promise.set_value(built.first);
+
+    if (!from_disk && persistable(kind) && !diskDir_.empty())
+        trySaveToDisk(kind, key, built.first);
+    return built.first;
+}
+
+std::shared_ptr<const void>
+ArtifactCache::peekRaw(ArtifactKind kind, uint64_t key)
+{
+    const Key k{static_cast<uint8_t>(kind), key};
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = entries_.find(k);
+    if (it == entries_.end()) {
+        ++perKind_[static_cast<size_t>(kind)].misses;
+        return nullptr;
+    }
+    it->second.lastUse = ++useTick_;
+    ++perKind_[static_cast<size_t>(kind)].hits;
+    return it->second.value;
+}
+
+void
+ArtifactCache::putRaw(ArtifactKind kind, uint64_t key,
+                      std::shared_ptr<const void> value, uint64_t bytes)
+{
+    const Key k{static_cast<uint8_t>(kind), key};
+    std::lock_guard<std::mutex> guard(mutex_);
+    insertLocked(k, std::move(value), bytes);
+}
+
+void
+ArtifactCache::insertLocked(const Key &key,
+                            std::shared_ptr<const void> value,
+                            uint64_t bytes)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytesInUse_ -= it->second.bytes;
+        entries_.erase(it);
+    }
+    Entry entry;
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    entry.lastUse = ++useTick_;
+    const uint64_t newest_tick = entry.lastUse;
+    entries_.emplace(key, std::move(entry));
+    bytesInUse_ += bytes;
+
+    // LRU eviction down to the byte budget. The just-inserted entry is
+    // never evicted, so one oversized artifact still caches (and the
+    // budget is transiently exceeded rather than the build wasted).
+    while (bytesInUse_ > byteBudget_ && entries_.size() > 1) {
+        auto lru = entries_.end();
+        for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+            if (cur->second.lastUse == newest_tick)
+                continue;
+            if (lru == entries_.end() ||
+                cur->second.lastUse < lru->second.lastUse) {
+                lru = cur;
+            }
+        }
+        if (lru == entries_.end())
+            break;
+        bytesInUse_ -= lru->second.bytes;
+        ++perKind_[lru->first.kind].evictions;
+        entries_.erase(lru);
+    }
+}
+
+ArtifactCache::Counters
+ArtifactCache::counters(ArtifactKind kind) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return perKind_[static_cast<size_t>(kind)];
+}
+
+ArtifactCache::Counters
+ArtifactCache::totals() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Counters total;
+    for (const Counters &c : perKind_)
+        total += c;
+    return total;
+}
+
+ArtifactCache::Usage
+ArtifactCache::usage() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Usage u;
+    u.bytesInUse = bytesInUse_;
+    u.entries = entries_.size();
+    return u;
+}
+
+std::string
+ArtifactCache::summary() const
+{
+    Counters total = totals();
+    Usage u = usage();
+    std::ostringstream oss;
+    oss << "artifact-cache: hits=" << total.hits
+        << " (disk=" << total.diskHits << ") misses=" << total.misses
+        << " evictions=" << total.evictions << " resident=" << u.entries
+        << " entries / " << u.bytesInUse << " of " << byteBudget_
+        << " bytes";
+    if (!diskDir_.empty())
+        oss << " dir=" << diskDir_;
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence
+// ---------------------------------------------------------------------------
+
+bool
+ArtifactCache::persistable(ArtifactKind kind)
+{
+    return kind == ArtifactKind::QuantizedHeatmap ||
+           kind == ArtifactKind::OracleStats;
+}
+
+std::string
+ArtifactCache::diskPath(ArtifactKind kind, uint64_t key) const
+{
+    if (diskDir_.empty())
+        return "";
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return diskDir_ + "/" + artifactKindName(kind) + "-" + hex + ".zart";
+}
+
+ArtifactCache::BuiltValue
+ArtifactCache::tryLoadFromDisk(ArtifactKind kind, uint64_t key) const
+{
+    const std::string path = diskPath(kind, key);
+    if (path.empty())
+        return {nullptr, 0};
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return {nullptr, 0};
+
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint8_t file_kind = 0;
+    uint64_t file_key = 0;
+    if (!readPod(in, magic) || !readPod(in, version) ||
+        !readPod(in, file_kind) || !readPod(in, file_key)) {
+        return {nullptr, 0};
+    }
+    if (magic != kDiskMagic || version != kDiskVersion ||
+        file_kind != static_cast<uint8_t>(kind) || file_key != key) {
+        warn("artifact-cache: ignoring stale/corrupt artifact ", path);
+        return {nullptr, 0};
+    }
+
+    if (kind == ArtifactKind::QuantizedHeatmap) {
+        uint32_t width = 0;
+        uint32_t height = 0;
+        uint64_t palette_count = 0;
+        if (!readPod(in, width) || !readPod(in, height) ||
+            !readPod(in, palette_count)) {
+            return {nullptr, 0};
+        }
+        const uint64_t pixel_count = static_cast<uint64_t>(width) * height;
+        // Corrupt headers must not drive huge allocations.
+        if (pixel_count == 0 || pixel_count > (1ull << 28) ||
+            palette_count == 0 || palette_count > (1u << 16)) {
+            return {nullptr, 0};
+        }
+        std::vector<uint32_t> cluster_of(pixel_count);
+        std::vector<rt::Vec3> palette(palette_count);
+        std::vector<double> coolness(palette_count);
+        std::vector<uint64_t> population_words(palette_count);
+        if (!readExact(in, cluster_of.data(),
+                       cluster_of.size() * sizeof(uint32_t)) ||
+            !readExact(in, palette.data(),
+                       palette.size() * sizeof(rt::Vec3)) ||
+            !readExact(in, coolness.data(),
+                       coolness.size() * sizeof(double)) ||
+            !readExact(in, population_words.data(),
+                       population_words.size() * sizeof(uint64_t))) {
+            return {nullptr, 0};
+        }
+        for (uint32_t c : cluster_of) {
+            if (c >= palette_count)
+                return {nullptr, 0};
+        }
+        std::vector<size_t> population(population_words.begin(),
+                                       population_words.end());
+        auto map = std::make_shared<heatmap::QuantizedHeatmap>(
+            heatmap::QuantizedHeatmap::fromParts(
+                width, height, std::move(cluster_of), std::move(palette),
+                std::move(coolness), std::move(population)));
+        const uint64_t bytes = heatmapBytes(*map);
+        return {std::static_pointer_cast<const void>(
+                    std::shared_ptr<const heatmap::QuantizedHeatmap>(map)),
+                bytes};
+    }
+
+    if (kind == ArtifactKind::OracleStats) {
+        std::vector<uint64_t> words(kStatsWordCount);
+        if (!readExact(in, words.data(),
+                       words.size() * sizeof(uint64_t))) {
+            return {nullptr, 0};
+        }
+        auto stats =
+            std::make_shared<const gpusim::GpuStats>(statsFromWords(words));
+        return {std::static_pointer_cast<const void>(stats),
+                sizeof(gpusim::GpuStats)};
+    }
+
+    return {nullptr, 0};
+}
+
+void
+ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
+                             const std::shared_ptr<const void> &value) const
+{
+    const std::string path = diskPath(kind, key);
+    if (path.empty())
+        return;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            warn("artifact-cache: cannot write ", tmp);
+            return;
+        }
+        writePod(out, kDiskMagic);
+        writePod(out, kDiskVersion);
+        const uint8_t kind_byte = static_cast<uint8_t>(kind);
+        writePod(out, kind_byte);
+        writePod(out, key);
+
+        if (kind == ArtifactKind::QuantizedHeatmap) {
+            const auto &map =
+                *static_cast<const heatmap::QuantizedHeatmap *>(value.get());
+            const uint32_t width = map.width();
+            const uint32_t height = map.height();
+            const uint64_t palette_count = map.palette().size();
+            writePod(out, width);
+            writePod(out, height);
+            writePod(out, palette_count);
+            writeExact(out, map.clusterIds().data(),
+                       map.clusterIds().size() * sizeof(uint32_t));
+            writeExact(out, map.palette().data(),
+                       map.palette().size() * sizeof(rt::Vec3));
+            writeExact(out, map.coolnessValues().data(),
+                       map.coolnessValues().size() * sizeof(double));
+            std::vector<uint64_t> population_words(
+                map.populations().begin(), map.populations().end());
+            writeExact(out, population_words.data(),
+                       population_words.size() * sizeof(uint64_t));
+        } else if (kind == ArtifactKind::OracleStats) {
+            const auto &stats =
+                *static_cast<const gpusim::GpuStats *>(value.get());
+            std::vector<uint64_t> words = statsToWords(stats);
+            writeExact(out, words.data(), words.size() * sizeof(uint64_t));
+        } else {
+            // Not persistable; nothing to write.
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+
+        out.flush();
+        if (!out.good()) {
+            warn("artifact-cache: short write to ", tmp);
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("artifact-cache: cannot publish ", path, ": ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace zatel::service

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Thread-safe content-addressed artifact cache for the campaign service.
+ *
+ * A campaign of prediction jobs (see campaign.hh) re-uses three expensive
+ * intermediates across jobs instead of rebuilding them per job:
+ *
+ *   ScenePack        a built scene + BVH (recipe-addressed: scene name,
+ *                    detail, seed and BVH build params)
+ *   QuantizedHeatmap the profiled + K-Means-quantized execution-time
+ *                    heatmap (content-addressed: stable hash of the scene
+ *                    content + the preprocessing params)
+ *   OracleStats      full-simulation reference counters for compare jobs
+ *
+ * Keys are stable 64-bit FNV-1a hashes computed by the helpers below, so
+ * they are identical across processes and runs — which is what makes the
+ * optional on-disk persistence (--cache-dir) work: a second campaign run
+ * re-loads heatmaps and oracle stats from disk instead of re-profiling.
+ *
+ * Memory residency is bounded by a byte budget with least-recently-used
+ * eviction; get/put/getOrBuild are safe to call from any pool worker and
+ * concurrent requests for the same missing key build it exactly once
+ * (single-flight), which is what lets an 8-job campaign sharing one scene
+ * build one BVH and profile one heatmap total.
+ */
+
+#ifndef ZATEL_SERVICE_ARTIFACT_CACHE_HH
+#define ZATEL_SERVICE_ARTIFACT_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "gpusim/config.hh"
+#include "gpusim/stats.hh"
+#include "heatmap/heatmap.hh"
+#include "rt/bvh.hh"
+#include "rt/scene.hh"
+
+namespace zatel::core
+{
+struct ZatelParams;
+}
+
+namespace zatel::service
+{
+
+/** Incremental stable 64-bit hasher (FNV-1a over bytes). */
+class HashStream
+{
+  public:
+    HashStream &bytes(const void *data, size_t size);
+    HashStream &u8(uint8_t value);
+    HashStream &u32(uint32_t value);
+    HashStream &u64(uint64_t value);
+    HashStream &f32(float value);
+    HashStream &f64(double value);
+    HashStream &boolean(bool value);
+    HashStream &str(const std::string &text);
+
+    uint64_t digest() const { return hash_; }
+
+  private:
+    /** FNV-1a 64-bit offset basis. */
+    uint64_t hash_ = 14695981039346656037ull;
+};
+
+/**
+ * Stable hash of a scene's content: triangle geometry, material bindings,
+ * materials, light, background, camera position and path budget —
+ * everything the functional tracer's output depends on.
+ */
+uint64_t hashSceneContent(const rt::Scene &scene);
+
+/** Stable hash of every GpuConfig field. */
+uint64_t hashGpuConfig(const gpusim::GpuConfig &config);
+
+/** Recipe key for a built scene + BVH. */
+uint64_t scenePackKey(const std::string &scene_name, float detail,
+                      uint64_t scene_seed, const rt::BvhBuildParams &bvh);
+
+/**
+ * Content key for a profiled + quantized heatmap: the scene content hash
+ * plus every preprocessing-relevant ZatelParams field (image size, spp,
+ * profiler source/noise/seed, palette size, pipeline seed).
+ */
+uint64_t heatmapKey(uint64_t scene_content_hash,
+                    const core::ZatelParams &params);
+
+/** Content key for a full-simulation (oracle) run. */
+uint64_t oracleKey(uint64_t scene_content_hash,
+                   const gpusim::GpuConfig &config,
+                   const core::ZatelParams &params);
+
+/** A scene with its BVH, built once and shared across jobs. */
+struct ScenePack
+{
+    rt::Scene scene;
+    rt::Bvh bvh;
+    /** hashSceneContent(scene), computed once at build time. */
+    uint64_t contentHash = 0;
+
+    /** Approximate resident bytes (for the cache budget). */
+    uint64_t approxBytes() const;
+};
+
+/** What kind of artifact a cache entry holds. */
+enum class ArtifactKind : uint8_t
+{
+    ScenePack = 0,
+    QuantizedHeatmap = 1,
+    OracleStats = 2,
+};
+
+const char *artifactKindName(ArtifactKind kind);
+
+/**
+ * The cache. All public methods are thread-safe.
+ *
+ * Values are held as shared_ptr<const void> keyed by (kind, hash); the
+ * kind <-> concrete type mapping is fixed (ScenePack, QuantizedHeatmap,
+ * GpuStats), so the typed getOrBuild<T> wrapper is safe.
+ */
+class ArtifactCache
+{
+  public:
+    /** Per-kind counters (aggregate via totals()). */
+    struct Counters
+    {
+        /** Served from memory, from a concurrent in-flight build, or
+         *  from disk. */
+        uint64_t hits = 0;
+        /** Required an actual build. */
+        uint64_t misses = 0;
+        /** Subset of hits that were deserialized from --cache-dir. */
+        uint64_t diskHits = 0;
+        /** Entries discarded by the LRU byte budget. */
+        uint64_t evictions = 0;
+
+        Counters &operator+=(const Counters &other);
+    };
+
+    /** Current residency. */
+    struct Usage
+    {
+        uint64_t bytesInUse = 0;
+        uint64_t entries = 0;
+    };
+
+    /**
+     * @param byte_budget Memory budget; the LRU entry is evicted while
+     *        residency exceeds it (the newest entry is always kept, so a
+     *        single oversized artifact still works).
+     * @param disk_dir Optional persistence directory; "" disables it.
+     *        Heatmaps and oracle stats are persisted (scene packs are
+     *        cheap to rebuild and hold scene-relative pointers).
+     */
+    explicit ArtifactCache(uint64_t byte_budget, std::string disk_dir = "");
+
+    ArtifactCache(const ArtifactCache &) = delete;
+    ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /** Builder result: the value and its approximate resident bytes. */
+    using BuiltValue = std::pair<std::shared_ptr<const void>, uint64_t>;
+
+    /**
+     * Return the cached value for (kind, key), or build it exactly once:
+     * concurrent callers for the same missing key wait for the first
+     * builder (and count as hits). With a disk_dir, a persistable kind is
+     * tried from disk before @p build runs. Exceptions from @p build
+     * propagate to every waiting caller and leave the key absent.
+     */
+    std::shared_ptr<const void>
+    getOrBuildRaw(ArtifactKind kind, uint64_t key,
+                  const std::function<BuiltValue()> &build);
+
+    /** Typed convenience wrapper over getOrBuildRaw. */
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrBuild(ArtifactKind kind, uint64_t key,
+               const std::function<std::pair<std::shared_ptr<const T>,
+                                             uint64_t>()> &build)
+    {
+        return std::static_pointer_cast<const T>(
+            getOrBuildRaw(kind, key, [&build]() -> BuiltValue {
+                auto [value, bytes] = build();
+                return {std::static_pointer_cast<const void>(value), bytes};
+            }));
+    }
+
+    /** Lookup without building; counts a hit or a miss. */
+    std::shared_ptr<const void> peekRaw(ArtifactKind kind, uint64_t key);
+
+    /** Insert (or replace) an entry and apply the eviction policy. */
+    void putRaw(ArtifactKind kind, uint64_t key,
+                std::shared_ptr<const void> value, uint64_t bytes);
+
+    Counters counters(ArtifactKind kind) const;
+    Counters totals() const;
+    Usage usage() const;
+    uint64_t byteBudget() const { return byteBudget_; }
+    const std::string &diskDir() const { return diskDir_; }
+
+    /** One-line "hits/misses/bytes" summary for logs. */
+    std::string summary() const;
+
+  private:
+    struct Key
+    {
+        uint8_t kind = 0;
+        uint64_t hash = 0;
+
+        bool
+        operator<(const Key &other) const
+        {
+            if (kind != other.kind)
+                return kind < other.kind;
+            return hash < other.hash;
+        }
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const void> value;
+        uint64_t bytes = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** Insert + LRU-evict; requires mutex_ held. */
+    void insertLocked(const Key &key, std::shared_ptr<const void> value,
+                      uint64_t bytes);
+
+    /** True when @p kind is persisted under diskDir_. */
+    static bool persistable(ArtifactKind kind);
+
+    /** Disk path of (kind, key); "" when persistence is off. */
+    std::string diskPath(ArtifactKind kind, uint64_t key) const;
+
+    /** Best-effort load; null on absence or corruption. */
+    BuiltValue tryLoadFromDisk(ArtifactKind kind, uint64_t key) const;
+
+    /** Best-effort atomic write (tmp + rename); warns on failure. */
+    void trySaveToDisk(ArtifactKind kind, uint64_t key,
+                       const std::shared_ptr<const void> &value) const;
+
+    const uint64_t byteBudget_;
+    const std::string diskDir_;
+
+    mutable std::mutex mutex_;
+    std::map<Key, Entry> entries_;
+    std::map<Key, std::shared_future<std::shared_ptr<const void>>> inflight_;
+    Counters perKind_[3];
+    uint64_t bytesInUse_ = 0;
+    uint64_t useTick_ = 0;
+};
+
+} // namespace zatel::service
+
+#endif // ZATEL_SERVICE_ARTIFACT_CACHE_HH

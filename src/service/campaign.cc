@@ -1,0 +1,525 @@
+#include "service/campaign.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "service/artifact_cache.hh"
+
+namespace zatel::service
+{
+
+namespace
+{
+
+std::string
+trimmed(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+isSkippableLine(const std::string &line)
+{
+    const std::string t = trimmed(line);
+    return t.empty() || t.front() == '#';
+}
+
+uint64_t
+parseU64(const std::string &value, const std::string &key)
+{
+    try {
+        size_t used = 0;
+        uint64_t parsed = std::stoull(value, &used, 0);
+        if (used != value.size())
+            throw CampaignError("trailing junk in " + key + "='" + value +
+                                "'");
+        return parsed;
+    } catch (const CampaignError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw CampaignError("cannot parse " + key + "='" + value +
+                            "' as an integer");
+    }
+}
+
+double
+parseF64(const std::string &value, const std::string &key)
+{
+    try {
+        size_t used = 0;
+        double parsed = std::stod(value, &used);
+        if (used != value.size())
+            throw CampaignError("trailing junk in " + key + "='" + value +
+                                "'");
+        return parsed;
+    } catch (const CampaignError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw CampaignError("cannot parse " + key + "='" + value +
+                            "' as a number");
+    }
+}
+
+bool
+parseBool(const std::string &value, const std::string &key)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    throw CampaignError("cannot parse " + key + "='" + value +
+                        "' as a boolean");
+}
+
+// ---- Minimal flat-object JSON parsing (strings, numbers, booleans) ----
+
+struct JsonCursor
+{
+    const std::string &text;
+    size_t pos = 0;
+    int line = 0;
+
+    explicit JsonCursor(const std::string &t, int line_number)
+        : text(t), line(line_number)
+    {
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw CampaignError("line " + std::to_string(line) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == expected) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            fail("expected a '\"'-quoted string");
+        ++pos;
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("dangling escape in string");
+                char esc = text[pos++];
+                switch (esc) {
+                case '"':
+                    out.push_back('"');
+                    break;
+                case '\\':
+                    out.push_back('\\');
+                    break;
+                case '/':
+                    out.push_back('/');
+                    break;
+                case 'n':
+                    out.push_back('\n');
+                    break;
+                case 't':
+                    out.push_back('\t');
+                    break;
+                default:
+                    fail(std::string("unsupported escape '\\") + esc + "'");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        if (pos >= text.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    /** Parse a scalar value (string, number, true/false/null) as text. */
+    std::string
+    parseScalar()
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == '"')
+            return parseString();
+        size_t begin = pos;
+        while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (pos == begin)
+            fail("expected a value");
+        return text.substr(begin, pos - begin);
+    }
+};
+
+CampaignJob
+parseJsonlLine(const std::string &line, int line_number)
+{
+    JsonCursor cursor(line, line_number);
+    if (!cursor.consume('{'))
+        cursor.fail("expected a JSON object ('{')");
+    CampaignJob job;
+    if (cursor.consume('}'))
+        return job;
+    while (true) {
+        std::string key = cursor.parseString();
+        if (!cursor.consume(':'))
+            cursor.fail("expected ':' after key '" + key + "'");
+        std::string value = cursor.parseScalar();
+        if (value == "null") {
+            // Explicit null = keep the default.
+        } else {
+            try {
+                applyJobField(job, key, value);
+            } catch (const CampaignError &err) {
+                cursor.fail(err.what());
+            }
+        }
+        if (cursor.consume('}'))
+            break;
+        if (!cursor.consume(','))
+            cursor.fail("expected ',' or '}' after value of '" + key + "'");
+    }
+    cursor.skipWs();
+    if (cursor.pos != line.size())
+        cursor.fail("trailing characters after the JSON object");
+    return job;
+}
+
+// ---- CSV parsing with '|' sweep expansion ----
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+                cell.push_back('"');
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                cell.push_back(c);
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(trimmed(cell));
+            cell.clear();
+        } else {
+            cell.push_back(c);
+        }
+    }
+    cells.push_back(trimmed(cell));
+    return cells;
+}
+
+std::vector<std::string>
+splitSweepCell(const std::string &cell)
+{
+    std::vector<std::string> values;
+    std::string value;
+    std::istringstream stream(cell);
+    while (std::getline(stream, value, '|'))
+        values.push_back(trimmed(value));
+    if (values.empty())
+        values.push_back("");
+    return values;
+}
+
+} // namespace
+
+uint64_t
+jobParamsHash(const CampaignJob &job)
+{
+    HashStream h;
+    h.str("zatel.job.v1");
+    h.str(job.scene);
+    h.f32(job.sceneDetail);
+    h.u64(job.sceneSeed);
+    h.str(job.gpu);
+
+    const core::ZatelParams &p = job.params;
+    h.u32(p.width).u32(p.height).u32(p.samplesPerPixel);
+    h.u8(static_cast<uint8_t>(p.partition.method))
+        .u32(p.partition.chunkWidth)
+        .u32(p.partition.chunkHeight);
+    h.u8(static_cast<uint8_t>(p.selector.distribution))
+        .u32(p.selector.blockWidth)
+        .u32(p.selector.blockHeight)
+        .f64(p.selector.minFraction)
+        .f64(p.selector.maxFraction);
+    h.boolean(p.selector.fixedFraction.has_value());
+    if (p.selector.fixedFraction)
+        h.f64(*p.selector.fixedFraction);
+    h.u8(static_cast<uint8_t>(p.extrapolation));
+    h.u64(p.regressionFractions.size());
+    for (double fraction : p.regressionFractions)
+        h.f64(fraction);
+    h.boolean(p.downscaleGpu);
+    h.boolean(p.forcedK.has_value());
+    if (p.forcedK)
+        h.u32(*p.forcedK);
+    h.u8(static_cast<uint8_t>(p.profiler.source))
+        .f64(p.profiler.timerNoise)
+        .u64(p.profiler.seed);
+    h.u32(p.quantizeColors);
+    h.u64(p.seed);
+
+    h.u32(job.bvh.maxLeafSize)
+        .u32(job.bvh.sahBins)
+        .f32(job.bvh.traversalCost)
+        .f32(job.bvh.intersectionCost);
+    h.boolean(job.withOracle);
+    return h.digest();
+}
+
+std::string
+autoJobId(const CampaignJob &job)
+{
+    char hex[9];
+    std::snprintf(hex, sizeof(hex), "%08llx",
+                  static_cast<unsigned long long>(jobParamsHash(job) &
+                                                  0xFFFFFFFFull));
+    std::string id = job.scene + "-" + job.gpu + "-r" +
+                     std::to_string(job.params.width);
+    if (job.withOracle)
+        id += "-cmp";
+    id += "-";
+    id += hex;
+    std::transform(id.begin(), id.end(), id.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return id;
+}
+
+gpusim::GpuConfig
+gpuConfigFromName(const std::string &name)
+{
+    if (name == "soc" || name == "mobile")
+        return gpusim::GpuConfig::mobileSoc();
+    if (name == "rtx2060" || name == "rtx")
+        return gpusim::GpuConfig::rtx2060();
+    throw CampaignError("unknown GPU config '" + name +
+                        "' (use soc or rtx2060)");
+}
+
+void
+applyJobField(CampaignJob &job, const std::string &key,
+              const std::string &value)
+{
+    if (value.empty())
+        return; // empty CSV cell = keep the default
+    if (key == "id") {
+        job.id = value;
+    } else if (key == "scene") {
+        job.scene = value;
+    } else if (key == "detail") {
+        job.sceneDetail = static_cast<float>(parseF64(value, key));
+    } else if (key == "scene_seed") {
+        job.sceneSeed = parseU64(value, key);
+    } else if (key == "gpu") {
+        job.gpu = value;
+    } else if (key == "res") {
+        uint32_t res = static_cast<uint32_t>(parseU64(value, key));
+        job.params.width = res;
+        job.params.height = res;
+    } else if (key == "width") {
+        job.params.width = static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "height") {
+        job.params.height = static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "spp") {
+        job.params.samplesPerPixel =
+            static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "seed") {
+        job.params.seed = parseU64(value, key);
+    } else if (key == "fraction") {
+        job.params.selector.fixedFraction = parseF64(value, key);
+    } else if (key == "k") {
+        job.params.forcedK = static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "division") {
+        if (value == "coarse")
+            job.params.partition.method = core::DivisionMethod::CoarseGrained;
+        else if (value == "fine")
+            job.params.partition.method = core::DivisionMethod::FineGrained;
+        else
+            throw CampaignError("unknown division '" + value +
+                                "' (fine|coarse)");
+    } else if (key == "distribution") {
+        if (value == "uniform")
+            job.params.selector.distribution =
+                core::DistributionMethod::Uniform;
+        else if (value == "lintmp")
+            job.params.selector.distribution =
+                core::DistributionMethod::LinTemp;
+        else if (value == "exptmp")
+            job.params.selector.distribution =
+                core::DistributionMethod::ExpTemp;
+        else
+            throw CampaignError("unknown distribution '" + value +
+                                "' (uniform|lintmp|exptmp)");
+    } else if (key == "regression") {
+        job.params.extrapolation =
+            parseBool(value, key)
+                ? core::ExtrapolationMethod::ExponentialRegression
+                : core::ExtrapolationMethod::Linear;
+    } else if (key == "downscale") {
+        job.params.downscaleGpu = parseBool(value, key);
+    } else if (key == "profile_noise") {
+        job.params.profiler.source = heatmap::ProfilingSource::HardwareTimer;
+        job.params.profiler.timerNoise = parseF64(value, key);
+    } else if (key == "quantize_colors") {
+        job.params.quantizeColors =
+            static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "threads") {
+        job.params.numThreads = static_cast<uint32_t>(parseU64(value, key));
+    } else if (key == "priority") {
+        job.priority = static_cast<int>(parseF64(value, key));
+    } else if (key == "oracle") {
+        job.withOracle = parseBool(value, key);
+    } else {
+        throw CampaignError("unknown job field '" + key + "'");
+    }
+}
+
+std::vector<CampaignJob>
+parseCampaignJsonl(std::istream &in)
+{
+    std::vector<CampaignJob> jobs;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (isSkippableLine(line))
+            continue;
+        jobs.push_back(parseJsonlLine(line, line_number));
+    }
+    return jobs;
+}
+
+std::vector<CampaignJob>
+parseCampaignCsv(std::istream &in)
+{
+    std::vector<CampaignJob> jobs;
+    std::vector<std::string> header;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (isSkippableLine(line))
+            continue;
+        if (header.empty()) {
+            header = splitCsvLine(line);
+            continue;
+        }
+        std::vector<std::string> cells = splitCsvLine(line);
+        if (cells.size() != header.size()) {
+            throw CampaignError(
+                "line " + std::to_string(line_number) + ": expected " +
+                std::to_string(header.size()) + " cells, got " +
+                std::to_string(cells.size()));
+        }
+        // Expand '|' sweep cells into the cartesian product of rows.
+        std::vector<std::vector<std::string>> choices(cells.size());
+        for (size_t i = 0; i < cells.size(); ++i)
+            choices[i] = splitSweepCell(cells[i]);
+        std::vector<size_t> index(cells.size(), 0);
+        while (true) {
+            CampaignJob job;
+            try {
+                for (size_t i = 0; i < header.size(); ++i)
+                    applyJobField(job, header[i], choices[i][index[i]]);
+            } catch (const CampaignError &err) {
+                throw CampaignError("line " + std::to_string(line_number) +
+                                    ": " + err.what());
+            }
+            jobs.push_back(std::move(job));
+            // Odometer increment over the sweep choices.
+            size_t column = 0;
+            while (column < index.size()) {
+                if (++index[column] < choices[column].size())
+                    break;
+                index[column] = 0;
+                ++column;
+            }
+            if (column == index.size())
+                break;
+        }
+    }
+    if (header.empty() && jobs.empty())
+        return jobs;
+    return jobs;
+}
+
+void
+finalizeCampaign(std::vector<CampaignJob> &jobs)
+{
+    if (jobs.empty())
+        throw CampaignError("campaign contains no jobs");
+    for (CampaignJob &job : jobs) {
+        if (job.id.empty())
+            job.id = autoJobId(job);
+    }
+    std::set<std::string> seen;
+    for (const CampaignJob &job : jobs) {
+        if (!seen.insert(job.id).second) {
+            throw CampaignError(
+                "duplicate job id '" + job.id +
+                "' (two jobs with identical parameters, or an explicit id "
+                "used twice)");
+        }
+    }
+}
+
+std::vector<CampaignJob>
+loadCampaignFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw CampaignError("cannot open campaign file '" + path + "'");
+    const bool is_csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::vector<CampaignJob> jobs =
+        is_csv ? parseCampaignCsv(in) : parseCampaignJsonl(in);
+    finalizeCampaign(jobs);
+    return jobs;
+}
+
+} // namespace zatel::service

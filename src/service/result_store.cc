@@ -1,0 +1,299 @@
+#include "service/result_store.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zatel::service
+{
+
+namespace
+{
+
+/** Stable snake_case key per Table I metric (serialization order). */
+const char *
+metricKey(gpusim::Metric metric)
+{
+    switch (metric) {
+    case gpusim::Metric::Ipc:
+        return "ipc";
+    case gpusim::Metric::SimCycles:
+        return "sim_cycles";
+    case gpusim::Metric::L1dMissRate:
+        return "l1d_miss_rate";
+    case gpusim::Metric::L2MissRate:
+        return "l2_miss_rate";
+    case gpusim::Metric::RtEfficiency:
+        return "rt_efficiency";
+    case gpusim::Metric::DramEfficiency:
+        return "dram_efficiency";
+    case gpusim::Metric::BwUtilization:
+        return "bw_utilization";
+    }
+    return "unknown";
+}
+
+/** %.17g: enough digits that parsing reproduces the exact double. */
+std::string
+fmtDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Lookup with 0.0 fallback so rows always carry every metric column. */
+double
+metricOrZero(const std::map<gpusim::Metric, double> &values,
+             gpusim::Metric metric)
+{
+    auto it = values.find(metric);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok:
+        return "ok";
+    case JobStatus::Failed:
+        return "failed";
+    case JobStatus::Cancelled:
+        return "cancelled";
+    case JobStatus::TimedOut:
+        return "timeout";
+    case JobStatus::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+ResultStore::ResultStore(std::string path, Options options)
+    : path_(std::move(path)), options_(options),
+      csv_(path_.size() >= 4 &&
+           path_.compare(path_.size() - 4, 4, ".csv") == 0)
+{
+    if (path_.empty())
+        return;
+    const auto mode = options_.append
+                          ? (std::ios::out | std::ios::app)
+                          : (std::ios::out | std::ios::trunc);
+    file_.open(path_, mode);
+    if (!file_.is_open())
+        fatal("result store: cannot open '", path_, "' for writing");
+    if (csv_) {
+        // Only a fresh file gets the header; an appended file has one.
+        file_.seekp(0, std::ios::end);
+        if (file_.tellp() == std::ofstream::pos_type(0))
+            file_ << csvHeader() << "\n";
+    }
+}
+
+std::string
+ResultStore::csvHeader() const
+{
+    std::ostringstream oss;
+    oss << "job,status,scene,gpu,k,fraction_traced";
+    for (gpusim::Metric metric : gpusim::allMetrics())
+        oss << "," << metricKey(metric);
+    for (gpusim::Metric metric : gpusim::allMetrics())
+        oss << ",oracle_" << metricKey(metric);
+    if (options_.includeTiming)
+        oss << ",preprocess_s,sim_s,max_group_s,oracle_s";
+    oss << ",error";
+    return oss.str();
+}
+
+std::string
+ResultStore::formatRow(const ResultRow &row) const
+{
+    std::ostringstream oss;
+    if (csv_) {
+        oss << row.jobId << "," << jobStatusName(row.status) << ","
+            << row.scene << "," << row.gpu << "," << row.k << ","
+            << fmtDouble(row.fractionTraced);
+        for (gpusim::Metric metric : gpusim::allMetrics())
+            oss << "," << fmtDouble(metricOrZero(row.predicted, metric));
+        for (gpusim::Metric metric : gpusim::allMetrics())
+            oss << "," << fmtDouble(metricOrZero(row.oracle, metric));
+        if (options_.includeTiming) {
+            oss << "," << fmtDouble(row.preprocessSeconds) << ","
+                << fmtDouble(row.simSeconds) << ","
+                << fmtDouble(row.maxGroupSeconds) << ","
+                << fmtDouble(row.oracleSeconds);
+        }
+        // The error message may hold commas/quotes; RFC-4180-quote it.
+        std::string quoted = row.error;
+        if (quoted.find_first_of(",\"\n") != std::string::npos) {
+            std::string escaped = "\"";
+            for (char c : quoted) {
+                if (c == '"')
+                    escaped += "\"\"";
+                else if (c == '\n')
+                    escaped += ' ';
+                else
+                    escaped.push_back(c);
+            }
+            escaped += "\"";
+            quoted = escaped;
+        }
+        oss << "," << quoted;
+        return oss.str();
+    }
+
+    oss << "{\"job\":\"" << jsonEscape(row.jobId) << "\""
+        << ",\"status\":\"" << jobStatusName(row.status) << "\""
+        << ",\"scene\":\"" << jsonEscape(row.scene) << "\""
+        << ",\"gpu\":\"" << jsonEscape(row.gpu) << "\"";
+    oss << ",\"k\":" << row.k;
+    oss << ",\"fraction_traced\":" << fmtDouble(row.fractionTraced);
+    if (!row.predicted.empty()) {
+        for (gpusim::Metric metric : gpusim::allMetrics()) {
+            oss << ",\"" << metricKey(metric)
+                << "\":" << fmtDouble(metricOrZero(row.predicted, metric));
+        }
+    }
+    if (!row.oracle.empty()) {
+        for (gpusim::Metric metric : gpusim::allMetrics()) {
+            oss << ",\"oracle_" << metricKey(metric)
+                << "\":" << fmtDouble(metricOrZero(row.oracle, metric));
+        }
+    }
+    if (options_.includeTiming) {
+        oss << ",\"preprocess_s\":" << fmtDouble(row.preprocessSeconds)
+            << ",\"sim_s\":" << fmtDouble(row.simSeconds)
+            << ",\"max_group_s\":" << fmtDouble(row.maxGroupSeconds)
+            << ",\"oracle_s\":" << fmtDouble(row.oracleSeconds);
+    }
+    if (!row.error.empty())
+        oss << ",\"error\":\"" << jsonEscape(row.error) << "\"";
+    oss << "}";
+    return oss.str();
+}
+
+void
+ResultStore::append(const ResultRow &row)
+{
+    const std::string line = formatRow(row);
+    std::lock_guard<std::mutex> guard(mutex_);
+    rows_.push_back(row);
+    if (file_.is_open()) {
+        file_ << line << "\n";
+        file_.flush();
+        if (!file_.good())
+            warn("result store: write to '", path_, "' failed");
+    }
+}
+
+std::vector<ResultRow>
+ResultStore::rows() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return rows_;
+}
+
+size_t
+ResultStore::rowCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return rows_.size();
+}
+
+size_t
+ResultStore::countWithStatus(JobStatus status) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t count = 0;
+    for (const ResultRow &row : rows_) {
+        if (row.status == status)
+            ++count;
+    }
+    return count;
+}
+
+std::set<std::string>
+ResultStore::completedJobIds(const std::string &path)
+{
+    std::set<std::string> completed;
+    std::ifstream in(path);
+    if (!in.is_open())
+        return completed;
+    const bool is_csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (is_csv) {
+            if (first) {
+                first = false; // header row
+                continue;
+            }
+            size_t comma1 = line.find(',');
+            if (comma1 == std::string::npos)
+                continue;
+            size_t comma2 = line.find(',', comma1 + 1);
+            if (comma2 == std::string::npos)
+                continue;
+            const std::string job = line.substr(0, comma1);
+            const std::string status =
+                line.substr(comma1 + 1, comma2 - comma1 - 1);
+            if (status == "ok" || status == "skipped")
+                completed.insert(job);
+            continue;
+        }
+        // JSONL: we only read files this store wrote, so the compact
+        // "key":"value" layout is reliable.
+        const std::string job_tag = "\"job\":\"";
+        size_t job_pos = line.find(job_tag);
+        if (job_pos == std::string::npos)
+            continue;
+        job_pos += job_tag.size();
+        size_t job_end = line.find('"', job_pos);
+        if (job_end == std::string::npos)
+            continue;
+        const bool ok =
+            line.find("\"status\":\"ok\"") != std::string::npos ||
+            line.find("\"status\":\"skipped\"") != std::string::npos;
+        if (ok)
+            completed.insert(line.substr(job_pos, job_end - job_pos));
+    }
+    return completed;
+}
+
+} // namespace zatel::service

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Thread-safe, resumable result sink for campaign runs.
+ *
+ * Every finished job appends exactly one row — predictions, optional
+ * oracle reference values, timings and a status — to an on-disk JSONL or
+ * CSV file (chosen by extension) and to an in-memory list. Appends are
+ * flushed row-by-row so a crashed or interrupted campaign leaves a valid
+ * file behind; doubles are printed with %.17g so re-reading a row
+ * reproduces the exact bit pattern.
+ *
+ * Resume support: completedJobIds() scans an existing result file and
+ * returns the ids of jobs that finished with status "ok". A resumed
+ * campaign run opens the store in append mode and skips those jobs, so
+ * only missing/failed work re-executes (job ids are deterministic, see
+ * campaign.hh).
+ *
+ * Row order across a concurrent campaign is scheduler-completion order
+ * and therefore nondeterministic; consumers that diff result files must
+ * sort rows by job id first (the CI batch smoke test does).
+ */
+
+#ifndef ZATEL_SERVICE_RESULT_STORE_HH
+#define ZATEL_SERVICE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.hh"
+
+namespace zatel::service
+{
+
+/** Terminal status of one campaign job. */
+enum class JobStatus : uint8_t
+{
+    Ok = 0,       ///< prediction (and oracle, if requested) completed
+    Failed = 1,   ///< an exception escaped the job
+    Cancelled = 2,///< campaign was cancelled before the job finished
+    TimedOut = 3, ///< per-job wall-clock timeout expired
+    Skipped = 4,  ///< already "ok" in a resumed result file; not re-run
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** One result row (one finished job). */
+struct ResultRow
+{
+    std::string jobId;
+    JobStatus status = JobStatus::Ok;
+    std::string scene;
+    std::string gpu;
+
+    uint32_t k = 0;
+    double fractionTraced = 0.0;
+
+    /** Predicted Table I metrics (empty for non-Ok rows). */
+    std::map<gpusim::Metric, double> predicted;
+    /** Oracle reference metrics (empty unless the job ran one). */
+    std::map<gpusim::Metric, double> oracle;
+
+    double preprocessSeconds = 0.0;
+    double simSeconds = 0.0;
+    double maxGroupSeconds = 0.0;
+    double oracleSeconds = 0.0;
+
+    /** Failure message for non-Ok rows. */
+    std::string error;
+};
+
+/** ResultStore construction options. */
+struct ResultStoreOptions
+{
+    /**
+     * Emit the wall-clock columns. Off for determinism checks (the
+     * CI smoke test diffs two runs' rows byte-for-byte).
+     */
+    bool includeTiming = true;
+    /** Append to an existing file instead of truncating it. */
+    bool append = false;
+};
+
+/**
+ * The sink. append() is safe to call from any scheduler worker.
+ */
+class ResultStore
+{
+  public:
+    using Options = ResultStoreOptions;
+
+    /**
+     * @param path Output file; ".csv" selects CSV, anything else JSONL.
+     *        Empty = in-memory only (tests).
+     * Calls fatal() when the file cannot be opened.
+     */
+    explicit ResultStore(std::string path, Options options = {});
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** Append one row (thread-safe; flushes the file). */
+    void append(const ResultRow &row);
+
+    /** Snapshot of all rows appended so far. */
+    std::vector<ResultRow> rows() const;
+
+    size_t rowCount() const;
+
+    /** Rows with a given status. */
+    size_t countWithStatus(JobStatus status) const;
+
+    const std::string &path() const { return path_; }
+    bool csv() const { return csv_; }
+
+    /** Serialize one row in this store's format (without newline). */
+    std::string formatRow(const ResultRow &row) const;
+
+    /**
+     * Ids of jobs recorded as "ok" in an existing result file; empty for
+     * a missing/unreadable file. Works for both formats.
+     */
+    static std::set<std::string> completedJobIds(const std::string &path);
+
+  private:
+    /** CSV header matching formatRow's column order. */
+    std::string csvHeader() const;
+
+    const std::string path_;
+    const Options options_;
+    const bool csv_;
+
+    mutable std::mutex mutex_;
+    std::ofstream file_;
+    std::vector<ResultRow> rows_;
+};
+
+} // namespace zatel::service
+
+#endif // ZATEL_SERVICE_RESULT_STORE_HH

@@ -1,0 +1,439 @@
+#include "service/scheduler.hh"
+
+#include <cctype>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "heatmap/profiler.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace zatel::service
+{
+
+namespace
+{
+
+bool
+equalsIgnoreCase(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Resolve a scene name without the library's fatal() path: a typo in one
+ * campaign job must fail that job, not the whole service process.
+ */
+rt::SceneId
+resolveSceneId(const std::string &name)
+{
+    for (rt::SceneId id : rt::allScenes()) {
+        if (equalsIgnoreCase(name, rt::sceneName(id)))
+            return id;
+    }
+    throw CampaignError("unknown scene '" + name + "'");
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::string
+CampaignSummary::toString() const
+{
+    std::ostringstream oss;
+    oss << "campaign: " << totalJobs << " job(s) in " << wallSeconds
+        << "s — ok=" << ok << " failed=" << failed
+        << " cancelled=" << cancelled << " timeout=" << timedOut
+        << " skipped=" << skipped << "\n";
+    oss << "cache hits: " << cacheTotals.hits
+        << " (disk: " << cacheTotals.diskHits
+        << "), misses: " << cacheTotals.misses
+        << ", evictions: " << cacheTotals.evictions << "\n";
+    for (int kind = 0; kind < 3; ++kind) {
+        const ArtifactCache::Counters &c = cachePerKind[kind];
+        oss << "  " << artifactKindName(static_cast<ArtifactKind>(kind))
+            << ": hits=" << c.hits << " misses=" << c.misses
+            << " diskHits=" << c.diskHits << "\n";
+    }
+    return oss.str();
+}
+
+CampaignScheduler::CampaignScheduler(std::vector<CampaignJob> jobs,
+                                     ArtifactCache &cache,
+                                     ResultStore &store,
+                                     SchedulerParams params)
+    : cache_(cache), store_(store), params_(std::move(params)),
+      pool_(params_.workers)
+{
+    for (CampaignJob &job : jobs) {
+        if (params_.alreadyCompleted.count(job.id) != 0) {
+            ++skippedJobs_;
+            continue;
+        }
+        auto state = std::make_unique<JobState>();
+        state->job = std::move(job);
+        jobs_.push_back(std::move(state));
+    }
+    jobsRemaining_.store(jobs_.size());
+}
+
+bool
+CampaignScheduler::campaignCancelled() const
+{
+    return params_.cancelled && params_.cancelled();
+}
+
+bool
+CampaignScheduler::jobShouldStop(const JobState &state) const
+{
+    if (campaignCancelled())
+        return true;
+    return state.hasDeadline &&
+           std::chrono::steady_clock::now() > state.deadline;
+}
+
+void
+CampaignScheduler::enqueueUnit(int priority, std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> guard(pumpMutex_);
+    Unit unit;
+    unit.priority = priority;
+    unit.seq = nextSeq_++;
+    unit.fn = std::move(fn);
+    ready_.insert(std::move(unit));
+    pumpCv_.notify_all();
+}
+
+void
+CampaignScheduler::pumpLocked(std::unique_lock<std::mutex> &lock)
+{
+    // Load-aware dispatch: keep the pool's FIFO queue shallow so the
+    // priority order of ready_ actually governs execution order.
+    while (!ready_.empty() && pool_.queueDepth() < pool_.workerCount()) {
+        auto node = ready_.extract(ready_.begin());
+        std::function<void()> fn = std::move(node.value().fn);
+        ++unitsInFlight_;
+        lock.unlock();
+        pool_.submit([this, unit_fn = std::move(fn)]() {
+            unit_fn();
+            std::lock_guard<std::mutex> guard(pumpMutex_);
+            --unitsInFlight_;
+            pumpCv_.notify_all();
+        });
+        lock.lock();
+    }
+}
+
+CampaignSummary
+CampaignScheduler::run()
+{
+    ZATEL_ASSERT(!ran_, "CampaignScheduler::run() may only be called once");
+    ran_ = true;
+
+    WallTimer timer;
+    for (auto &state : jobs_) {
+        JobState *s = state.get();
+        enqueueUnit(s->job.priority, [this, s]() { runStartUnit(*s); });
+    }
+
+    std::unique_lock<std::mutex> lock(pumpMutex_);
+    while (jobsRemaining_.load() > 0) {
+        pumpLocked(lock);
+        pumpCv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    lock.unlock();
+    pool_.waitAll();
+
+    CampaignSummary summary;
+    summary.totalJobs = jobs_.size() + skippedJobs_;
+    summary.skipped = skippedJobs_;
+    {
+        std::lock_guard<std::mutex> guard(pumpMutex_);
+        summary.ok = okJobs_;
+        summary.failed = failedJobs_;
+        summary.cancelled = cancelledJobs_;
+        summary.timedOut = timedOutJobs_;
+    }
+    summary.wallSeconds = timer.elapsedSeconds();
+    summary.cacheTotals = cache_.totals();
+    for (int kind = 0; kind < 3; ++kind) {
+        summary.cachePerKind[kind] =
+            cache_.counters(static_cast<ArtifactKind>(kind));
+    }
+    return summary;
+}
+
+void
+CampaignScheduler::markBroken(JobState &state, JobStatus status,
+                              const std::string &message)
+{
+    std::lock_guard<std::mutex> guard(state.errorMutex);
+    if (state.broken.load())
+        return;
+    state.terminalStatus = status;
+    state.errorMessage = message;
+    state.broken.store(true);
+}
+
+void
+CampaignScheduler::finishJob(JobState &state, ResultRow row)
+{
+    store_.append(row);
+    {
+        std::lock_guard<std::mutex> guard(pumpMutex_);
+        switch (row.status) {
+        case JobStatus::Ok:
+            ++okJobs_;
+            break;
+        case JobStatus::Failed:
+            ++failedJobs_;
+            break;
+        case JobStatus::Cancelled:
+            ++cancelledJobs_;
+            break;
+        case JobStatus::TimedOut:
+            ++timedOutJobs_;
+            break;
+        case JobStatus::Skipped:
+            break;
+        }
+    }
+    if (params_.resultHook)
+        params_.resultHook(row);
+    // Free the heavyweight state before signalling completion.
+    state.predictor.reset();
+    state.pack.reset();
+    state.tasks.clear();
+    --jobsRemaining_;
+    std::lock_guard<std::mutex> guard(pumpMutex_);
+    pumpCv_.notify_all();
+}
+
+void
+CampaignScheduler::runStartUnit(JobState &state)
+{
+    state.startTime = std::chrono::steady_clock::now();
+    if (params_.jobTimeoutSeconds > 0.0) {
+        state.hasDeadline = true;
+        state.deadline =
+            state.startTime +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(params_.jobTimeoutSeconds));
+    }
+
+    ResultRow row;
+    row.jobId = state.job.id;
+    row.scene = state.job.scene;
+    row.gpu = state.job.gpu;
+
+    try {
+        if (jobShouldStop(state))
+            throw core::PredictionCancelled();
+
+        const rt::SceneId scene_id = resolveSceneId(state.job.scene);
+        row.scene = rt::sceneName(scene_id);
+        state.config = gpuConfigFromName(state.job.gpu);
+        const CampaignJob &job = state.job;
+
+        // Stage: scene + BVH, built once per recipe across the campaign.
+        const uint64_t pack_key =
+            scenePackKey(row.scene, job.sceneDetail, job.sceneSeed,
+                         job.bvh);
+        state.pack = cache_.getOrBuild<ScenePack>(
+            ArtifactKind::ScenePack, pack_key,
+            [&]() -> std::pair<std::shared_ptr<const ScenePack>, uint64_t> {
+                // Heap-allocate and build the BVH in place: the Bvh keeps
+                // a pointer into the scene's triangle vector, so the pack
+                // must never be moved after build().
+                auto pack = std::make_shared<ScenePack>();
+                rt::SceneDetail detail;
+                detail.density = job.sceneDetail;
+                pack->scene =
+                    rt::buildScene(scene_id, detail, job.sceneSeed);
+                pack->bvh.build(pack->scene.triangles(), job.bvh);
+                pack->contentHash = hashSceneContent(pack->scene);
+                const uint64_t bytes = pack->approxBytes();
+                return {std::shared_ptr<const ScenePack>(std::move(pack)),
+                        bytes};
+            });
+
+        state.predictor = std::make_unique<core::ZatelPredictor>(
+            state.pack->scene, state.pack->bvh, state.config, job.params);
+        state.predictor->setCancelCheck(
+            [this, s = &state]() { return jobShouldStop(*s); });
+
+        // Stage: heatmap profile + quantize, once per content key.
+        const uint64_t map_key =
+            heatmapKey(state.pack->contentHash, job.params);
+        std::shared_ptr<const heatmap::QuantizedHeatmap> quantized =
+            cache_.getOrBuild<heatmap::QuantizedHeatmap>(
+                ArtifactKind::QuantizedHeatmap, map_key,
+                [&]() -> std::pair<
+                          std::shared_ptr<const heatmap::QuantizedHeatmap>,
+                          uint64_t> {
+                    // Must match ZatelPredictor::prepare() exactly so
+                    // cached and uncached runs are byte-identical.
+                    rt::TracerParams tp;
+                    tp.samplesPerPixel = job.params.samplesPerPixel;
+                    rt::Tracer tracer(state.pack->scene, state.pack->bvh,
+                                      tp);
+                    rt::RenderResult render = tracer.render(
+                        job.params.width, job.params.height);
+                    heatmap::Heatmap map = heatmap::profileRender(
+                        render, job.params.profiler);
+                    auto result =
+                        std::make_shared<heatmap::QuantizedHeatmap>(
+                            heatmap::QuantizedHeatmap::quantize(
+                                map, job.params.quantizeColors,
+                                job.params.seed));
+                    const uint64_t bytes =
+                        result->clusterIds().size() * sizeof(uint32_t) +
+                        result->palette().size() * sizeof(rt::Vec3) +
+                        result->coolnessValues().size() * sizeof(double) +
+                        result->populations().size() * sizeof(size_t) +
+                        sizeof(heatmap::QuantizedHeatmap);
+                    return {result, bytes};
+                });
+        state.predictor->setPrebuiltHeatmap(*quantized);
+        state.predictor->prepare();
+
+        // Stage: fan the K group simulations out as priority units.
+        const size_t group_count = state.predictor->groupCount();
+        state.tasks.resize(group_count);
+        state.groupsRemaining.store(group_count);
+        state.simStart = std::chrono::steady_clock::now();
+        for (size_t g = 0; g < group_count; ++g) {
+            enqueueUnit(state.job.priority, [this, s = &state, g]() {
+                runGroupUnit(*s, g);
+            });
+        }
+    } catch (const core::PredictionCancelled &) {
+        const bool timed_out =
+            state.hasDeadline &&
+            std::chrono::steady_clock::now() > state.deadline &&
+            !campaignCancelled();
+        row.status =
+            timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
+        row.error = timed_out ? "job timeout during preprocessing"
+                              : "campaign cancelled";
+        finishJob(state, std::move(row));
+    } catch (const std::exception &err) {
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+        finishJob(state, std::move(row));
+    }
+}
+
+void
+CampaignScheduler::runGroupUnit(JobState &state, size_t group_index)
+{
+    if (!state.broken.load()) {
+        try {
+            state.tasks[group_index] =
+                state.predictor->runGroupTask(group_index);
+        } catch (const core::PredictionCancelled &) {
+            const bool timed_out =
+                state.hasDeadline &&
+                std::chrono::steady_clock::now() > state.deadline &&
+                !campaignCancelled();
+            markBroken(state,
+                       timed_out ? JobStatus::TimedOut
+                                 : JobStatus::Cancelled,
+                       timed_out ? "job timeout during group simulation"
+                                 : "campaign cancelled");
+        } catch (const std::exception &err) {
+            markBroken(state, JobStatus::Failed, err.what());
+        }
+    }
+    if (state.groupsRemaining.fetch_sub(1) == 1) {
+        // Last group out schedules the finalize stage.
+        enqueueUnit(state.job.priority,
+                    [this, s = &state]() { runFinalizeUnit(*s); });
+    }
+}
+
+void
+CampaignScheduler::runFinalizeUnit(JobState &state)
+{
+    ResultRow row;
+    row.jobId = state.job.id;
+    row.scene = state.job.scene;
+    row.gpu = state.job.gpu;
+
+    if (state.broken.load()) {
+        std::lock_guard<std::mutex> guard(state.errorMutex);
+        row.status = state.terminalStatus;
+        row.error = state.errorMessage;
+        finishJob(state, std::move(row));
+        return;
+    }
+
+    try {
+        const double sim_seconds = secondsSince(state.simStart);
+        core::ZatelResult result = state.predictor->assemble(
+            std::move(state.tasks), sim_seconds);
+        state.tasks.clear();
+
+        row.scene = state.pack->scene.name();
+        row.k = result.k;
+        row.fractionTraced = result.fractionTraced;
+        row.predicted = result.predicted;
+        row.preprocessSeconds = result.preprocessWallSeconds;
+        row.simSeconds = result.simWallSeconds;
+        row.maxGroupSeconds = result.maxGroupWallSeconds;
+
+        if (state.job.withOracle) {
+            const uint64_t key = oracleKey(state.pack->contentHash,
+                                           state.config, state.job.params);
+            WallTimer oracle_timer;
+            std::shared_ptr<const gpusim::GpuStats> stats =
+                cache_.getOrBuild<gpusim::GpuStats>(
+                    ArtifactKind::OracleStats, key,
+                    [&]() -> std::pair<
+                              std::shared_ptr<const gpusim::GpuStats>,
+                              uint64_t> {
+                        core::OracleResult oracle =
+                            state.predictor->runOracle();
+                        return {std::make_shared<const gpusim::GpuStats>(
+                                    oracle.stats),
+                                sizeof(gpusim::GpuStats)};
+                    });
+            row.oracleSeconds = oracle_timer.elapsedSeconds();
+            for (gpusim::Metric metric : gpusim::allMetrics())
+                row.oracle[metric] = stats->metricValue(metric);
+        }
+        row.status = JobStatus::Ok;
+    } catch (const core::PredictionCancelled &) {
+        const bool timed_out =
+            state.hasDeadline &&
+            std::chrono::steady_clock::now() > state.deadline &&
+            !campaignCancelled();
+        row.status = timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
+        row.error = timed_out ? "job timeout during finalize"
+                              : "campaign cancelled";
+    } catch (const std::exception &err) {
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+    }
+    finishJob(state, std::move(row));
+}
+
+} // namespace zatel::service

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Campaign scheduler: runs a batch of prediction jobs on ONE shared
+ * worker pool (paper Section III-A runs each prediction's K instances on
+ * K cores; a campaign of J predictions would need J x K cores if every
+ * predictor owned its pool — the scheduler multiplexes them instead).
+ *
+ * Each job decomposes into pipeline stages:
+ *
+ *   start     resolve scene + GPU, get the ScenePack and quantized
+ *             heatmap from the artifact cache (built at most once per
+ *             campaign thanks to single-flight getOrBuild), prepare the
+ *             predictor
+ *   group g   one unit per image-plane group: the downscaled simulator
+ *             instance (the bulk of the work)
+ *   finalize  extrapolate + combine, optional cached oracle run, append
+ *             the result row
+ *
+ * Stage units go through a priority ready-queue (job priority desc,
+ * enqueue order asc) that is pumped into the shared ThreadPool only
+ * while the pool queue is shallower than its worker count. That
+ * load-aware dispatch keeps the FIFO pool from burying a late
+ * high-priority job under an earlier job's long unit backlog, which is
+ * what ThreadPool::queueDepth() exists for.
+ *
+ * Cancellation and timeouts are cooperative: every predictor polls a
+ * cancel hook between stages and before each group simulation, so a
+ * cancelled campaign or a job past its wall-clock budget stops at the
+ * next stage boundary and is recorded as Cancelled / TimedOut.
+ *
+ * Determinism: stage units compute into per-job, per-group slots and
+ * assembly happens in group order, so a scheduled prediction is
+ * byte-identical to ZatelPredictor::predict() on the same inputs (see
+ * tests/test_determinism.cc).
+ */
+
+#ifndef ZATEL_SERVICE_SCHEDULER_HH
+#define ZATEL_SERVICE_SCHEDULER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "util/thread_pool.hh"
+
+namespace zatel::service
+{
+
+/** Scheduler tuning. */
+struct SchedulerParams
+{
+    /** Shared-pool worker count; 0 = hardware concurrency. */
+    size_t workers = 0;
+    /** Per-job wall-clock budget in seconds; <= 0 disables it. */
+    double jobTimeoutSeconds = 0.0;
+    /** Job ids to skip (already "ok" in a resumed result file). */
+    std::set<std::string> alreadyCompleted;
+    /** Campaign-level cooperative cancellation (polled frequently). */
+    std::function<bool()> cancelled;
+    /**
+     * Called after each job's row is appended (from a pool worker; must
+     * be thread-safe). Tests use it to observe completion order.
+     */
+    std::function<void(const ResultRow &)> resultHook;
+};
+
+/** What a campaign run did, including the cache's effectiveness. */
+struct CampaignSummary
+{
+    size_t totalJobs = 0;
+    size_t ok = 0;
+    size_t failed = 0;
+    size_t cancelled = 0;
+    size_t timedOut = 0;
+    size_t skipped = 0;
+    double wallSeconds = 0.0;
+
+    /** Aggregate cache counters at the end of the run. */
+    ArtifactCache::Counters cacheTotals;
+    /** Per-kind counters, indexed by ArtifactKind. */
+    ArtifactCache::Counters cachePerKind[3];
+
+    /** Multi-line human-readable report (includes "cache hits: N"). */
+    std::string toString() const;
+};
+
+/**
+ * Runs one campaign to completion. Construct, then call run() once from
+ * the owning thread; run() blocks until every job reached a terminal
+ * state and returns the summary.
+ */
+class CampaignScheduler
+{
+  public:
+    /**
+     * @param jobs Finalized campaign (unique ids; see finalizeCampaign).
+     * @param cache Shared artifact cache (outlives the scheduler).
+     * @param store Result sink (outlives the scheduler).
+     */
+    CampaignScheduler(std::vector<CampaignJob> jobs, ArtifactCache &cache,
+                      ResultStore &store, SchedulerParams params = {});
+
+    CampaignScheduler(const CampaignScheduler &) = delete;
+    CampaignScheduler &operator=(const CampaignScheduler &) = delete;
+
+    /** Execute the campaign; call exactly once. */
+    CampaignSummary run();
+
+    size_t workerCount() const { return pool_.workerCount(); }
+
+  private:
+    /** One schedulable unit of work. */
+    struct Unit
+    {
+        int priority = 0;
+        uint64_t seq = 0;
+        std::function<void()> fn;
+
+        /** Higher priority first; FIFO within a priority. */
+        bool
+        operator<(const Unit &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq < other.seq;
+        }
+    };
+
+    /** Mutable per-job execution state. */
+    struct JobState
+    {
+        CampaignJob job;
+        gpusim::GpuConfig config;
+        std::shared_ptr<const ScenePack> pack;
+        std::unique_ptr<core::ZatelPredictor> predictor;
+        std::vector<core::ZatelPredictor::GroupTask> tasks;
+        std::atomic<size_t> groupsRemaining{0};
+
+        /** Set once by whichever unit fails first. */
+        std::atomic<bool> broken{false};
+        std::mutex errorMutex;
+        JobStatus terminalStatus = JobStatus::Ok;
+        std::string errorMessage;
+
+        std::chrono::steady_clock::time_point startTime;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point simStart;
+    };
+
+    void enqueueUnit(int priority, std::function<void()> fn);
+    void pumpLocked(std::unique_lock<std::mutex> &lock);
+
+    /** True when the campaign-level cancel hook fired. */
+    bool campaignCancelled() const;
+    /** Cancel-hook body for @p state (campaign cancel or job timeout). */
+    bool jobShouldStop(const JobState &state) const;
+
+    void runStartUnit(JobState &state);
+    void runGroupUnit(JobState &state, size_t group_index);
+    void runFinalizeUnit(JobState &state);
+
+    /** Record the first failure of a job (later calls are ignored). */
+    void markBroken(JobState &state, JobStatus status,
+                    const std::string &message);
+    /** Append a terminal row, fire the hook, release the job. */
+    void finishJob(JobState &state, ResultRow row);
+
+    ArtifactCache &cache_;
+    ResultStore &store_;
+    SchedulerParams params_;
+    ThreadPool pool_;
+
+    std::vector<std::unique_ptr<JobState>> jobs_;
+    size_t skippedJobs_ = 0;
+
+    std::mutex pumpMutex_;
+    std::condition_variable pumpCv_;
+    std::set<Unit> ready_;
+    uint64_t nextSeq_ = 0;
+    size_t unitsInFlight_ = 0;
+    std::atomic<size_t> jobsRemaining_{0};
+
+    // Terminal-status tallies (guarded by pumpMutex_).
+    size_t okJobs_ = 0;
+    size_t failedJobs_ = 0;
+    size_t cancelledJobs_ = 0;
+    size_t timedOutJobs_ = 0;
+
+    bool ran_ = false;
+};
+
+} // namespace zatel::service
+
+#endif // ZATEL_SERVICE_SCHEDULER_HH

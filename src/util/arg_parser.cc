@@ -85,7 +85,7 @@ ArgParser::parse(int argc, const char *const *argv)
                 error_ = "flag --" + name + " takes no value";
                 return false;
             }
-            values_[name] = "1";
+            values_[name].push_back("1");
             continue;
         }
         if (!has_inline_value) {
@@ -95,7 +95,7 @@ ArgParser::parse(int argc, const char *const *argv)
             }
             value = argv[++i];
         }
-        values_[name] = value;
+        values_[name].push_back(value);
     }
 
     for (const auto &[name, spec] : specs_) {
@@ -118,10 +118,23 @@ ArgParser::get(const std::string &name) const
 {
     auto it = values_.find(name);
     if (it != values_.end())
-        return it->second;
+        return it->second.back();
     const Spec *spec = specOf(name);
     ZATEL_ASSERT(spec != nullptr, "unregistered option '", name, "'");
     return spec->fallback;
+}
+
+std::vector<std::string>
+ArgParser::getList(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it != values_.end())
+        return it->second;
+    const Spec *spec = specOf(name);
+    ZATEL_ASSERT(spec != nullptr, "unregistered option '", name, "'");
+    if (spec->fallback.empty())
+        return {};
+    return {spec->fallback};
 }
 
 int64_t

@@ -44,8 +44,20 @@ class ArgParser
     /** True when the flag/option was explicitly supplied. */
     bool has(const std::string &name) const;
 
-    /** Value of an option (the default when not supplied). */
+    /**
+     * Value of an option (the default when not supplied). For repeated
+     * options ("--scene A --scene B") the last occurrence wins.
+     */
     const std::string &get(const std::string &name) const;
+
+    /**
+     * All supplied occurrences of an option in command-line order
+     * ("--scene PARK --scene BUNNY" -> {"PARK", "BUNNY"}), used by the
+     * zatel-batch sweep shorthand. Falls back to {fallback} when the
+     * option was not supplied and has a non-empty default, and to {}
+     * otherwise.
+     */
+    std::vector<std::string> getList(const std::string &name) const;
 
     /** Convenience conversions (fatal on malformed numbers). */
     int64_t getInt(const std::string &name) const;
@@ -77,7 +89,8 @@ class ArgParser
     std::string program_;
     std::string description_;
     std::vector<std::pair<std::string, Spec>> specs_;
-    std::map<std::string, std::string> values_;
+    /** Every supplied occurrence per option, in command-line order. */
+    std::map<std::string, std::vector<std::string>> values_;
     std::vector<std::string> positional_;
     std::string error_;
 };

@@ -56,6 +56,20 @@ ThreadPool::waitAll()
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+}
+
+size_t
+ThreadPool::activeWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
 void
 ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &body)
 {
@@ -136,10 +150,12 @@ ThreadPool::runOneTask()
             return false;
         task = std::move(tasks_.front());
         tasks_.pop();
+        ++active_;
     }
     task();
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
         --inFlight_;
         if (inFlight_ == 0)
             allDone_.notify_all();

@@ -62,6 +62,18 @@ class ThreadPool
     size_t workerCount() const { return workers_.size(); }
 
     /**
+     * Number of tasks queued but not yet started. The campaign scheduler
+     * uses this for load-aware dispatch: it keeps the pool queue shallow
+     * so a late-arriving high-priority job is not buried behind a deep
+     * FIFO backlog (see src/service/scheduler.cc).
+     */
+    size_t queueDepth() const;
+
+    /** Number of tasks currently executing on a worker (or a helping
+     *  caller inside parallelForChunked). */
+    size_t activeWorkers() const;
+
+    /**
      * Run @p body(i) for i in [0, count) across the pool and wait.
      * Exceptions from tasks propagate out of the call. Equivalent to
      * parallelForChunked(count, 1, body).
@@ -95,10 +107,11 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::queue<std::packaged_task<void()>> tasks_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
     size_t inFlight_ = 0;
+    size_t active_ = 0;
     bool shutdown_ = false;
 };
 

@@ -54,112 +54,132 @@ ZatelPredictor::effectiveK() const
     return downscaleFactor(targetConfig_);
 }
 
-GroupResult
-ZatelPredictor::simulateGroup(uint32_t group_index, const PixelGroup &group,
-                              const Selection &selection,
-                              const gpusim::GpuConfig &config) const
+void
+ZatelPredictor::setPrebuiltHeatmap(heatmap::QuantizedHeatmap quantized)
 {
-    GroupResult result;
-    result.groupIndex = group_index;
-    result.pixels = group.size();
-    result.selectedPixels = selection.selectedCount;
-    result.fractionTraced = selection.actualFraction;
-
-    WallTimer timer;
-    gpusim::SimWorkload workload = gpusim::SimWorkload::build(
-        tracer_, params_.width, params_.height, group, &selection.mask);
-    gpusim::Gpu gpu(config, workload);
-    result.stats = gpu.run();
-    result.wallSeconds = timer.elapsedSeconds();
-    return result;
+    ZATEL_ASSERT(!prepared_,
+                 "cannot inject a heatmap after prepare() has run");
+    ZATEL_ASSERT(quantized.width() == params_.width &&
+                     quantized.height() == params_.height,
+                 "injected heatmap size does not match the image plane");
+    quantized_ = std::move(quantized);
+    hasPrebuiltHeatmap_ = true;
 }
 
-ZatelResult
-ZatelPredictor::predict()
+void
+ZatelPredictor::throwIfCancelled() const
 {
-    ZatelResult result;
+    if (cancelCheck_ && cancelCheck_())
+        throw PredictionCancelled();
+}
+
+void
+ZatelPredictor::prepare()
+{
+    if (prepared_)
+        return;
+    throwIfCancelled();
+
     WallTimer preprocess_timer;
 
-    // Steps (1) + (2): heatmap + color quantization.
-    rt::RenderResult render =
-        tracer_.render(params_.width, params_.height);
-    heatmap::Heatmap map = heatmap::profileRender(render, params_.profiler);
-    quantized_ = heatmap::QuantizedHeatmap::quantize(
-        map, params_.quantizeColors, params_.seed);
-    result.preprocessWallSeconds = preprocess_timer.elapsedSeconds();
+    // Steps (1) + (2): heatmap + color quantization (skipped when a
+    // cached artifact was injected).
+    if (!hasPrebuiltHeatmap_) {
+        rt::RenderResult render =
+            tracer_.render(params_.width, params_.height);
+        heatmap::Heatmap map =
+            heatmap::profileRender(render, params_.profiler);
+        quantized_ = heatmap::QuantizedHeatmap::quantize(
+            map, params_.quantizeColors, params_.seed);
+    }
+    throwIfCancelled();
 
     // Step (3): downscaling factor + config.
-    uint32_t k = effectiveK();
-    result.k = k;
-    gpusim::GpuConfig group_config =
-        (params_.downscaleGpu && k > 1) ? downscaleConfig(targetConfig_, k)
-                                        : targetConfig_;
+    k_ = effectiveK();
+    groupConfig_ = (params_.downscaleGpu && k_ > 1)
+                       ? downscaleConfig(targetConfig_, k_)
+                       : targetConfig_;
 
     // Step (4): image-plane division.
-    std::vector<PixelGroup> groups = divideImagePlane(
-        params_.width, params_.height, k, params_.partition);
+    groups_ = divideImagePlane(params_.width, params_.height, k_,
+                               params_.partition);
 
     // Step (5): representative pixels per group.
     Rng rng(params_.seed);
-    std::vector<Selection> selections;
-    selections.reserve(groups.size());
-    for (const PixelGroup &group : groups) {
+    selections_.clear();
+    selections_.reserve(groups_.size());
+    for (const PixelGroup &group : groups_) {
         Rng group_rng = rng.split();
-        selections.push_back(selectRepresentativePixels(
+        selections_.push_back(selectRepresentativePixels(
             group, quantized_, params_.selector, group_rng));
     }
 
-    // Step (6): concurrent simulation of the K groups. With regression
-    // extrapolation each group is simulated at each regression fraction.
-    std::vector<double> fractions_to_run;
+    // With regression extrapolation each group is simulated at each
+    // regression fraction.
+    fractionsToRun_.clear();
     if (params_.extrapolation == ExtrapolationMethod::ExponentialRegression)
-        fractions_to_run = params_.regressionFractions;
+        fractionsToRun_ = params_.regressionFractions;
 
-    result.groups.resize(groups.size());
-    std::vector<std::vector<GroupResult>> regression_runs(groups.size());
+    preprocessSeconds_ = preprocess_timer.elapsedSeconds();
+    prepared_ = true;
+}
 
-    WallTimer sim_timer;
-    {
-        // Default the worker count to the hardware so instances are not
-        // time-sliced against each other: per-instance wallSeconds then
-        // measures each instance in isolation, and maxGroupWallSeconds
-        // models the paper's one-core-per-group deployment even on
-        // machines with fewer cores than K.
-        size_t workers =
-            params_.numThreads != 0
-                ? params_.numThreads
-                : std::max<size_t>(1, std::thread::hardware_concurrency());
-        ThreadPool pool(std::min<size_t>(workers, groups.size()));
-        // grain 0 = automatic: one task per group while K <= 4x workers
-        // (each instance is heavy and run in isolation), degrading to
-        // range-chunked submission when a sweep forces K far above the
-        // worker count, which cuts queue-lock contention.
-        pool.parallelForChunked(groups.size(), 0, [&](size_t g) {
-            if (fractions_to_run.empty()) {
-                result.groups[g] = simulateGroup(
-                    static_cast<uint32_t>(g), groups[g], selections[g],
-                    group_config);
-            } else {
-                // Regression mode: re-select at each fraction with a
-                // fixed budget, simulate, and keep all runs.
-                for (double fraction : fractions_to_run) {
-                    SelectorParams sel = params_.selector;
-                    sel.fixedFraction = fraction;
-                    Rng frac_rng(params_.seed ^
-                                 (static_cast<uint64_t>(g) << 20) ^
-                                 static_cast<uint64_t>(fraction * 1e6));
-                    Selection selection = selectRepresentativePixels(
-                        groups[g], quantized_, sel, frac_rng);
-                    regression_runs[g].push_back(simulateGroup(
-                        static_cast<uint32_t>(g), groups[g], selection,
-                        group_config));
-                }
-                // Expose the largest-fraction run as the group result.
-                result.groups[g] = regression_runs[g].back();
-            }
-        });
+size_t
+ZatelPredictor::groupCount() const
+{
+    ZATEL_ASSERT(prepared_, "groupCount() requires prepare()");
+    return groups_.size();
+}
+
+ZatelPredictor::GroupTask
+ZatelPredictor::runGroupTask(size_t group_index) const
+{
+    ZATEL_ASSERT(prepared_, "runGroupTask() requires prepare()");
+    ZATEL_ASSERT(group_index < groups_.size(), "group index out of range");
+    throwIfCancelled();
+
+    GroupTask task;
+    const size_t g = group_index;
+    if (fractionsToRun_.empty()) {
+        task.primary = simulateGroup(static_cast<uint32_t>(g), groups_[g],
+                                     selections_[g], groupConfig_);
+        return task;
     }
-    result.simWallSeconds = sim_timer.elapsedSeconds();
+    // Regression mode: re-select at each fraction with a fixed budget,
+    // simulate, and keep all runs.
+    for (double fraction : fractionsToRun_) {
+        throwIfCancelled();
+        SelectorParams sel = params_.selector;
+        sel.fixedFraction = fraction;
+        Rng frac_rng(params_.seed ^ (static_cast<uint64_t>(g) << 20) ^
+                     static_cast<uint64_t>(fraction * 1e6));
+        Selection selection = selectRepresentativePixels(
+            groups_[g], quantized_, sel, frac_rng);
+        task.regressionRuns.push_back(simulateGroup(
+            static_cast<uint32_t>(g), groups_[g], selection, groupConfig_));
+    }
+    // Expose the largest-fraction run as the group result.
+    task.primary = task.regressionRuns.back();
+    return task;
+}
+
+ZatelResult
+ZatelPredictor::assemble(std::vector<GroupTask> tasks,
+                         double sim_wall_seconds) const
+{
+    ZATEL_ASSERT(prepared_, "assemble() requires prepare()");
+    ZATEL_ASSERT(tasks.size() == groups_.size(),
+                 "assemble() needs one task result per group");
+    throwIfCancelled();
+
+    ZatelResult result;
+    result.preprocessWallSeconds = preprocessSeconds_;
+    result.simWallSeconds = sim_wall_seconds;
+    result.k = k_;
+
+    result.groups.reserve(tasks.size());
+    for (GroupTask &task : tasks)
+        result.groups.push_back(std::move(task.primary));
     for (const GroupResult &group : result.groups) {
         result.maxGroupWallSeconds =
             std::max(result.maxGroupWallSeconds, group.wallSeconds);
@@ -169,7 +189,7 @@ ZatelPredictor::predict()
     const std::vector<gpusim::Metric> &metrics = gpusim::allMetrics();
     for (size_t g = 0; g < result.groups.size(); ++g) {
         GroupResult &group = result.groups[g];
-        if (fractions_to_run.empty()) {
+        if (fractionsToRun_.empty()) {
             double fraction = std::max(group.fractionTraced, 1e-9);
             group.extrapolated =
                 extrapolateAllLinear(group.stats, fraction);
@@ -177,10 +197,10 @@ ZatelPredictor::predict()
             group.extrapolated.clear();
             for (gpusim::Metric metric : metrics) {
                 std::vector<double> xs, ys;
-                for (size_t r = 0; r < fractions_to_run.size(); ++r) {
-                    xs.push_back(fractions_to_run[r]);
-                    ys.push_back(
-                        regression_runs[g][r].stats.metricValue(metric));
+                for (size_t r = 0; r < fractionsToRun_.size(); ++r) {
+                    xs.push_back(fractionsToRun_[r]);
+                    ys.push_back(tasks[g].regressionRuns[r].stats.metricValue(
+                        metric));
                 }
                 group.extrapolated.push_back(
                     extrapolateRegression(xs, ys));
@@ -208,6 +228,66 @@ ZatelPredictor::predict()
             combineMetric(metrics[m], group_values);
     }
     return result;
+}
+
+GroupResult
+ZatelPredictor::simulateGroup(uint32_t group_index, const PixelGroup &group,
+                              const Selection &selection,
+                              const gpusim::GpuConfig &config) const
+{
+    GroupResult result;
+    result.groupIndex = group_index;
+    result.pixels = group.size();
+    result.selectedPixels = selection.selectedCount;
+    result.fractionTraced = selection.actualFraction;
+
+    WallTimer timer;
+    gpusim::SimWorkload workload = gpusim::SimWorkload::build(
+        tracer_, params_.width, params_.height, group, &selection.mask);
+    gpusim::Gpu gpu(config, workload);
+    result.stats = gpu.run();
+    result.wallSeconds = timer.elapsedSeconds();
+    return result;
+}
+
+ZatelResult
+ZatelPredictor::predict()
+{
+    // Steps (1)-(5).
+    prepare();
+
+    // Step (6): concurrent simulation of the K groups, on the injected
+    // shared pool when one was provided, else on an owned pool.
+    std::vector<GroupTask> tasks(groups_.size());
+    const auto body = [&](size_t g) { tasks[g] = runGroupTask(g); };
+
+    WallTimer sim_timer;
+    if (executor_ != nullptr) {
+        // Shared-pool mode (campaign service): the caller sizes the pool
+        // for the whole batch; the helping-caller design of
+        // parallelForChunked means this thread drains other jobs' tasks
+        // while it waits, so batched predictions never idle a core.
+        executor_->parallelForChunked(groups_.size(), 0, body);
+    } else {
+        // Default the worker count to the hardware so instances are not
+        // time-sliced against each other: per-instance wallSeconds then
+        // measures each instance in isolation, and maxGroupWallSeconds
+        // models the paper's one-core-per-group deployment even on
+        // machines with fewer cores than K.
+        size_t workers =
+            params_.numThreads != 0
+                ? params_.numThreads
+                : std::max<size_t>(1, std::thread::hardware_concurrency());
+        ThreadPool pool(std::min<size_t>(workers, groups_.size()));
+        // grain 0 = automatic: one task per group while K <= 4x workers
+        // (each instance is heavy and run in isolation), degrading to
+        // range-chunked submission when a sweep forces K far above the
+        // worker count, which cuts queue-lock contention.
+        pool.parallelForChunked(groups_.size(), 0, body);
+    }
+
+    // Step (7).
+    return assemble(std::move(tasks), sim_timer.elapsedSeconds());
 }
 
 OracleResult

@@ -18,7 +18,9 @@
 #define ZATEL_ZATEL_PREDICTOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "gpusim/config.hh"
@@ -34,8 +36,26 @@
 #include "zatel/partition.hh"
 #include "zatel/pixel_selector.hh"
 
+namespace zatel
+{
+class ThreadPool;
+}
+
 namespace zatel::core
 {
+
+/**
+ * Thrown when a cancellation hook (setCancelCheck) aborts a prediction
+ * between pipeline stages; the campaign scheduler uses it for cooperative
+ * per-job cancellation and wall-clock timeouts.
+ */
+class PredictionCancelled : public std::runtime_error
+{
+  public:
+    PredictionCancelled() : std::runtime_error("zatel: prediction cancelled")
+    {
+    }
+};
 
 /** Full pipeline configuration. */
 struct ZatelParams
@@ -140,7 +160,7 @@ class ZatelPredictor
     /** Effective division/downscale factor this pipeline will use. */
     uint32_t effectiveK() const;
 
-    /** The quantized heatmap (valid after predict()). */
+    /** The quantized heatmap (valid after prepare() / predict()). */
     const heatmap::QuantizedHeatmap &quantizedHeatmap() const
     {
         return quantized_;
@@ -151,7 +171,79 @@ class ZatelPredictor
 
     const ZatelParams &params() const { return params_; }
 
+    // ---- Injection points (campaign service, src/service/) ----
+
+    /**
+     * Execute step (6) on an injected shared pool instead of a
+     * predictor-owned one, so a batch of predictions shares one set of
+     * workers (non-owning; @p pool must outlive the predictor). Null
+     * restores the default owned-pool behaviour. Results are
+     * byte-identical either way (see tests/test_determinism.cc).
+     */
+    void setExecutor(ThreadPool *pool) { executor_ = pool; }
+
+    /**
+     * Inject a pre-built quantized heatmap (e.g. from the artifact
+     * cache), skipping the profile + quantize stages. Must match the
+     * configured image size and must equal what profileRender + quantize
+     * would produce for these params if byte-identical results with and
+     * without the cache are required.
+     */
+    void setPrebuiltHeatmap(heatmap::QuantizedHeatmap quantized);
+
+    /**
+     * Cooperative cancellation: @p cancelled is polled between pipeline
+     * stages and before each group simulation; returning true makes the
+     * pipeline throw PredictionCancelled.
+     */
+    void setCancelCheck(std::function<bool()> cancelled)
+    {
+        cancelCheck_ = std::move(cancelled);
+    }
+
+    // ---- Stage-level API ----
+    // predict() is composed of these; the campaign scheduler calls them
+    // directly so it can feed every job's group simulations into one
+    // shared pool with per-job priority (src/service/scheduler.cc).
+
+    /**
+     * Steps (1)-(5): heatmap (unless injected), downscale factor,
+     * image-plane division and representative-pixel selection.
+     * Idempotent; cheap when a pre-built heatmap was injected.
+     */
+    void prepare();
+
+    bool prepared() const { return prepared_; }
+
+    /** Number of group-simulation tasks (valid after prepare()). */
+    size_t groupCount() const;
+
+    /** One unit of step (6): a group's simulation(s). */
+    struct GroupTask
+    {
+        GroupResult primary;
+        /** One run per regression fraction (regression mode only). */
+        std::vector<GroupResult> regressionRuns;
+    };
+
+    /**
+     * Run group @p group_index's simulation(s). Thread-safe after
+     * prepare(): may be called concurrently for distinct groups, and is
+     * deterministic regardless of execution order.
+     */
+    GroupTask runGroupTask(size_t group_index) const;
+
+    /**
+     * Step (7): extrapolate and combine @p tasks (one entry per group,
+     * in group order) into the final prediction.
+     * @param sim_wall_seconds Wall-clock of the whole simulation phase.
+     */
+    ZatelResult assemble(std::vector<GroupTask> tasks,
+                         double sim_wall_seconds) const;
+
   private:
+    /** Throw PredictionCancelled when the cancellation hook fires. */
+    void throwIfCancelled() const;
     /** Simulate one group at one selection; returns raw stats + time. */
     GroupResult simulateGroup(uint32_t group_index, const PixelGroup &group,
                               const Selection &selection,
@@ -163,6 +255,20 @@ class ZatelPredictor
     ZatelParams params_;
     rt::Tracer tracer_;
     heatmap::QuantizedHeatmap quantized_;
+
+    // Injection state.
+    ThreadPool *executor_ = nullptr;
+    std::function<bool()> cancelCheck_;
+    bool hasPrebuiltHeatmap_ = false;
+
+    // Prepared-pipeline state (steps 1-5), immutable once prepared_.
+    bool prepared_ = false;
+    uint32_t k_ = 1;
+    gpusim::GpuConfig groupConfig_;
+    std::vector<PixelGroup> groups_;
+    std::vector<Selection> selections_;
+    std::vector<double> fractionsToRun_;
+    double preprocessSeconds_ = 0.0;
 };
 
 } // namespace zatel::core

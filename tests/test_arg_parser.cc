@@ -121,6 +121,35 @@ TEST(ArgParser, UsageMentionsEverything)
     EXPECT_NE(usage.find("default: PARK"), std::string::npos);
 }
 
+TEST(ArgParser, RepeatedOptionsCollectInOrder)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--mode", "x", "--scene", "PARK",
+                                   "--scene=BUNNY", "--scene", "SPNZA"}));
+    // get() keeps its last-one-wins contract...
+    EXPECT_EQ(parser.get("scene"), "SPNZA");
+    // ...while getList() exposes every occurrence in order.
+    EXPECT_EQ(parser.getList("scene"),
+              (std::vector<std::string>{"PARK", "BUNNY", "SPNZA"}));
+}
+
+TEST(ArgParser, GetListFallsBackToDefault)
+{
+    ArgParser parser = makeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--mode", "x"}));
+    // Unsupplied option with a non-empty default -> {default}.
+    EXPECT_EQ(parser.getList("scene"),
+              (std::vector<std::string>{"PARK"}));
+
+    ArgParser empty_default("t");
+    empty_default.addOption("csv", "", "output file");
+    std::vector<const char *> args{"t"};
+    ASSERT_TRUE(empty_default.parse(static_cast<int>(args.size()),
+                                    args.data()));
+    // Unsupplied option with an empty default -> {}.
+    EXPECT_TRUE(empty_default.getList("csv").empty());
+}
+
 TEST(ArgParser, ReparseResetsState)
 {
     ArgParser parser = makeParser();

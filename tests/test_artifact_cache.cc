@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the campaign service's content-addressed artifact cache:
+ * stable hashing, single-flight builds, LRU byte-budget eviction,
+ * counters, and on-disk persistence round trips.
+ *
+ * The ArtifactCache* suites are part of the tsan-determinism CI subset
+ * (see CMakePresets.json): the concurrency tests double as the cache's
+ * race detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/config.hh"
+#include "gpusim/stats.hh"
+#include "heatmap/heatmap.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "service/artifact_cache.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::service
+{
+namespace
+{
+
+/** Fresh scratch directory under the build tree. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / ("zatel-test-" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+std::shared_ptr<const int>
+boxedInt(int value)
+{
+    return std::make_shared<const int>(value);
+}
+
+// ---------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheHash, FnvKnownAnswer)
+{
+    // FNV-1a 64-bit of "abc" (published test vector).
+    HashStream h;
+    h.bytes("abc", 3);
+    EXPECT_EQ(h.digest(), 0xe71fa2190541574bull);
+}
+
+TEST(ArtifactCacheHash, StreamIsOrderSensitive)
+{
+    HashStream a;
+    a.u32(1).u32(2);
+    HashStream b;
+    b.u32(2).u32(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ArtifactCacheHash, SceneContentHashIsStableAcrossRebuilds)
+{
+    rt::Scene first =
+        rt::buildScene(rt::SceneId::Bunny, rt::SceneDetail{0.3f}, 7);
+    rt::Scene second =
+        rt::buildScene(rt::SceneId::Bunny, rt::SceneDetail{0.3f}, 7);
+    EXPECT_EQ(hashSceneContent(first), hashSceneContent(second));
+
+    rt::Scene other_seed =
+        rt::buildScene(rt::SceneId::Bunny, rt::SceneDetail{0.3f}, 8);
+    EXPECT_NE(hashSceneContent(first), hashSceneContent(other_seed));
+
+    rt::Scene other_scene =
+        rt::buildScene(rt::SceneId::Ship, rt::SceneDetail{0.3f}, 7);
+    EXPECT_NE(hashSceneContent(first), hashSceneContent(other_scene));
+}
+
+TEST(ArtifactCacheHash, GpuConfigHashCoversFields)
+{
+    gpusim::GpuConfig base = gpusim::GpuConfig::mobileSoc();
+    gpusim::GpuConfig changed = base;
+    EXPECT_EQ(hashGpuConfig(base), hashGpuConfig(changed));
+    changed.numSms += 1;
+    EXPECT_NE(hashGpuConfig(base), hashGpuConfig(changed));
+
+    gpusim::GpuConfig clocks = base;
+    clocks.memClockMhz += 1.0;
+    EXPECT_NE(hashGpuConfig(base), hashGpuConfig(clocks));
+}
+
+TEST(ArtifactCacheHash, HeatmapKeyTracksPreprocessingParams)
+{
+    core::ZatelParams params;
+    const uint64_t scene_hash = 0xABCDEF0123456789ull;
+    const uint64_t base = heatmapKey(scene_hash, params);
+    EXPECT_EQ(base, heatmapKey(scene_hash, params));
+
+    core::ZatelParams resized = params;
+    resized.width = 99;
+    EXPECT_NE(base, heatmapKey(scene_hash, resized));
+
+    core::ZatelParams reseeded = params;
+    reseeded.seed ^= 1;
+    EXPECT_NE(base, heatmapKey(scene_hash, reseeded));
+
+    core::ZatelParams noisy = params;
+    noisy.profiler.source = heatmap::ProfilingSource::HardwareTimer;
+    EXPECT_NE(base, heatmapKey(scene_hash, noisy));
+
+    // Selection parameters do NOT change the heatmap: jobs that differ
+    // only in trace fraction share the profiled artifact.
+    core::ZatelParams refractioned = params;
+    refractioned.selector.fixedFraction = 0.42;
+    EXPECT_EQ(base, heatmapKey(scene_hash, refractioned));
+}
+
+TEST(ArtifactCacheHash, ScenePackKeyTracksRecipe)
+{
+    rt::BvhBuildParams bvh;
+    const uint64_t base = scenePackKey("PARK", 0.5f, 7, bvh);
+    EXPECT_EQ(base, scenePackKey("PARK", 0.5f, 7, bvh));
+    EXPECT_NE(base, scenePackKey("BUNNY", 0.5f, 7, bvh));
+    EXPECT_NE(base, scenePackKey("PARK", 0.6f, 7, bvh));
+    EXPECT_NE(base, scenePackKey("PARK", 0.5f, 8, bvh));
+    rt::BvhBuildParams fat_leaves = bvh;
+    fat_leaves.maxLeafSize = 16;
+    EXPECT_NE(base, scenePackKey("PARK", 0.5f, 7, fat_leaves));
+}
+
+// ---------------------------------------------------------------------
+// getOrBuild / counters / eviction
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCache, BuildsOnceThenHits)
+{
+    ArtifactCache cache(1 << 20);
+    int builds = 0;
+    auto build = [&]() -> ArtifactCache::BuiltValue {
+        ++builds;
+        return {boxedInt(42), 8};
+    };
+    auto first = cache.getOrBuildRaw(ArtifactKind::ScenePack, 1, build);
+    auto second = cache.getOrBuildRaw(ArtifactKind::ScenePack, 1, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), second.get());
+    ArtifactCache::Counters c = cache.counters(ArtifactKind::ScenePack);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.diskHits, 0u);
+}
+
+TEST(ArtifactCache, KindsDoNotCollide)
+{
+    ArtifactCache cache(1 << 20);
+    auto a = cache.getOrBuildRaw(ArtifactKind::ScenePack, 5,
+                                 [&]() -> ArtifactCache::BuiltValue {
+                                     return {boxedInt(1), 8};
+                                 });
+    auto b = cache.getOrBuildRaw(ArtifactKind::OracleStats, 5,
+                                 [&]() -> ArtifactCache::BuiltValue {
+                                     return {boxedInt(2), 8};
+                                 });
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.usage().entries, 2u);
+}
+
+TEST(ArtifactCache, LruEvictionRespectsByteBudget)
+{
+    ArtifactCache cache(100);
+    auto put = [&](uint64_t key, int value) {
+        cache.putRaw(ArtifactKind::ScenePack, key, boxedInt(value), 40);
+    };
+    put(1, 1);
+    put(2, 2);
+    EXPECT_EQ(cache.usage().bytesInUse, 80u);
+
+    // Touch key 1 so key 2 becomes the LRU victim.
+    EXPECT_NE(cache.peekRaw(ArtifactKind::ScenePack, 1), nullptr);
+    put(3, 3);
+    EXPECT_EQ(cache.usage().bytesInUse, 80u);
+    EXPECT_EQ(cache.counters(ArtifactKind::ScenePack).evictions, 1u);
+    EXPECT_NE(cache.peekRaw(ArtifactKind::ScenePack, 1), nullptr);
+    EXPECT_EQ(cache.peekRaw(ArtifactKind::ScenePack, 2), nullptr);
+    EXPECT_NE(cache.peekRaw(ArtifactKind::ScenePack, 3), nullptr);
+}
+
+TEST(ArtifactCache, OversizedNewestEntryIsKept)
+{
+    ArtifactCache cache(100);
+    cache.putRaw(ArtifactKind::ScenePack, 1, boxedInt(1), 40);
+    cache.putRaw(ArtifactKind::ScenePack, 2, boxedInt(2), 400);
+    // The oversized newcomer evicts everything else but stays resident.
+    EXPECT_EQ(cache.usage().entries, 1u);
+    EXPECT_NE(cache.peekRaw(ArtifactKind::ScenePack, 2), nullptr);
+}
+
+TEST(ArtifactCache, BuilderExceptionLeavesKeyAbsent)
+{
+    ArtifactCache cache(1 << 20);
+    EXPECT_THROW(
+        cache.getOrBuildRaw(ArtifactKind::ScenePack, 9,
+                            [&]() -> ArtifactCache::BuiltValue {
+                                throw std::runtime_error("boom");
+                            }),
+        std::runtime_error);
+    // The failed key is absent, and a later build succeeds.
+    int builds = 0;
+    auto value = cache.getOrBuildRaw(ArtifactKind::ScenePack, 9,
+                                     [&]() -> ArtifactCache::BuiltValue {
+                                         ++builds;
+                                         return {boxedInt(7), 8};
+                                     });
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(*std::static_pointer_cast<const int>(value), 7);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency (runs under the tsan preset)
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheConcurrency, SingleFlightBuildsExactlyOnce)
+{
+    ArtifactCache cache(1 << 20);
+    std::atomic<int> builds{0};
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const void>> seen(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            seen[t] = cache.getOrBuildRaw(
+                ArtifactKind::QuantizedHeatmap, 77,
+                [&]() -> ArtifactCache::BuiltValue {
+                    ++builds;
+                    // Let other threads pile onto the in-flight future.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    return {boxedInt(123), 16};
+                });
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(builds.load(), 1);
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t].get(), seen[0].get());
+    ArtifactCache::Counters c =
+        cache.counters(ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(ArtifactCacheConcurrency, ConcurrentGetPutMixIsRaceFree)
+{
+    ArtifactCache cache(4096);
+    constexpr int kThreads = 6;
+    constexpr int kIters = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int i = 0; i < kIters; ++i) {
+                const uint64_t key = static_cast<uint64_t>((t + i) % 16);
+                if (i % 3 == 0) {
+                    cache.putRaw(ArtifactKind::OracleStats, key,
+                                 boxedInt(i), 64);
+                } else if (i % 3 == 1) {
+                    cache.peekRaw(ArtifactKind::OracleStats, key);
+                } else {
+                    cache.getOrBuildRaw(
+                        ArtifactKind::OracleStats, key,
+                        [&]() -> ArtifactCache::BuiltValue {
+                            return {boxedInt(i), 64};
+                        });
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    // Residency invariant: within budget (single entries are small).
+    EXPECT_LE(cache.usage().bytesInUse, 4096u);
+    ArtifactCache::Counters totals = cache.totals();
+    EXPECT_GT(totals.hits + totals.misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Disk persistence
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheDisk, HeatmapRoundTripsByteIdentical)
+{
+    const std::string dir = scratchDir("cache-heatmap");
+    const std::vector<double> costs = {0.1, 0.9, 0.4, 0.7,
+                                       0.2, 0.3, 1.0, 0.6};
+    heatmap::Heatmap map = heatmap::Heatmap::fromCosts(4, 2, costs);
+    auto quantized = std::make_shared<heatmap::QuantizedHeatmap>(
+        heatmap::QuantizedHeatmap::quantize(map, 3, 0x5EED));
+
+    const uint64_t key = 0x1122334455667788ull;
+    {
+        ArtifactCache writer(1 << 20, dir);
+        writer.getOrBuildRaw(
+            ArtifactKind::QuantizedHeatmap, key,
+            [&]() -> ArtifactCache::BuiltValue {
+                return {quantized, 256};
+            });
+        EXPECT_EQ(writer.counters(ArtifactKind::QuantizedHeatmap).misses,
+                  1u);
+    }
+
+    // A second cache (fresh process, conceptually) loads from disk.
+    ArtifactCache reader(1 << 20, dir);
+    int builds = 0;
+    auto loaded_raw = reader.getOrBuildRaw(
+        ArtifactKind::QuantizedHeatmap, key,
+        [&]() -> ArtifactCache::BuiltValue {
+            ++builds;
+            return {quantized, 256};
+        });
+    EXPECT_EQ(builds, 0) << "should have come from disk";
+    ArtifactCache::Counters c =
+        reader.counters(ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.diskHits, 1u);
+    EXPECT_EQ(c.misses, 0u);
+
+    auto loaded = std::static_pointer_cast<const heatmap::QuantizedHeatmap>(
+        loaded_raw);
+    ASSERT_EQ(loaded->width(), quantized->width());
+    ASSERT_EQ(loaded->height(), quantized->height());
+    EXPECT_EQ(loaded->clusterIds(), quantized->clusterIds());
+    EXPECT_EQ(loaded->coolnessValues(), quantized->coolnessValues());
+    EXPECT_EQ(loaded->populations(), quantized->populations());
+    ASSERT_EQ(loaded->paletteSize(), quantized->paletteSize());
+    for (uint32_t i = 0; i < quantized->paletteSize(); ++i) {
+        EXPECT_EQ(loaded->paletteColor(i).x, quantized->paletteColor(i).x);
+        EXPECT_EQ(loaded->paletteColor(i).y, quantized->paletteColor(i).y);
+        EXPECT_EQ(loaded->paletteColor(i).z, quantized->paletteColor(i).z);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheDisk, OracleStatsRoundTrip)
+{
+    const std::string dir = scratchDir("cache-oracle");
+    gpusim::GpuStats stats;
+    stats.cycles = 123456;
+    stats.threadInstructions = 777;
+    stats.l2Misses = 42;
+    stats.pixelsFiltered = 9;
+
+    const uint64_t key = 0xFEEDF00Dull;
+    {
+        ArtifactCache writer(1 << 20, dir);
+        writer.getOrBuildRaw(
+            ArtifactKind::OracleStats, key,
+            [&]() -> ArtifactCache::BuiltValue {
+                return {std::make_shared<const gpusim::GpuStats>(stats),
+                        sizeof(gpusim::GpuStats)};
+            });
+    }
+    ArtifactCache reader(1 << 20, dir);
+    auto loaded = std::static_pointer_cast<const gpusim::GpuStats>(
+        reader.getOrBuildRaw(ArtifactKind::OracleStats, key,
+                             [&]() -> ArtifactCache::BuiltValue {
+                                 ADD_FAILURE() << "should load from disk";
+                                 return {nullptr, 0};
+                             }));
+    EXPECT_EQ(loaded->cycles, stats.cycles);
+    EXPECT_EQ(loaded->threadInstructions, stats.threadInstructions);
+    EXPECT_EQ(loaded->l2Misses, stats.l2Misses);
+    EXPECT_EQ(loaded->pixelsFiltered, stats.pixelsFiltered);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheDisk, CorruptArtifactFallsBackToBuild)
+{
+    const std::string dir = scratchDir("cache-corrupt");
+    const uint64_t key = 0xBADC0DEull;
+    {
+        // Write garbage where the artifact would live.
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(key));
+        std::ofstream out(dir + "/oracle-" + std::string(hex) + ".zart",
+                          std::ios::binary);
+        out << "this is not an artifact";
+    }
+    ArtifactCache cache(1 << 20, dir);
+    int builds = 0;
+    cache.getOrBuildRaw(ArtifactKind::OracleStats, key,
+                        [&]() -> ArtifactCache::BuiltValue {
+                            ++builds;
+                            return {std::make_shared<const gpusim::GpuStats>(
+                                        gpusim::GpuStats{}),
+                                    64};
+                        });
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(cache.counters(ArtifactKind::OracleStats).diskHits, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheDisk, ScenePacksAreNotPersisted)
+{
+    const std::string dir = scratchDir("cache-nopersist");
+    {
+        ArtifactCache cache(1 << 20, dir);
+        cache.getOrBuildRaw(ArtifactKind::ScenePack, 3,
+                            [&]() -> ArtifactCache::BuiltValue {
+                                return {boxedInt(3), 8};
+                            });
+    }
+    size_t files = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace zatel::service

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Campaign scheduler tests (src/service/scheduler.*).
+ *
+ * The headline contracts from the batch-service design:
+ *  - a one-scene campaign builds the scene/BVH and the quantized heatmap
+ *    exactly ONCE no matter how many jobs share them (the cache counters
+ *    prove it — 8 jobs must show misses=1, hits=7 per artifact kind);
+ *  - --resume skips already-completed job ids and re-runs only the rest;
+ *  - per-job wall-clock timeouts and campaign-level cancellation land
+ *    jobs in the TimedOut / Cancelled terminal states;
+ *  - a scheduled prediction is byte-identical to a direct
+ *    ZatelPredictor::predict() on the same inputs, with a cold AND a
+ *    warm artifact cache (the SchedulerDeterminism suite name keeps
+ *    these running under the tsan determinism preset).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/stats.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::service
+{
+namespace
+{
+
+constexpr uint64_t kCacheBudget = 256ull * 1024 * 1024;
+
+/** Bit pattern of a double; NaN-safe, distinguishes -0.0 from 0.0. */
+uint64_t
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** A small, fast job: 32x32 PARK at reduced procedural density. */
+CampaignJob
+makeJob(double fraction)
+{
+    CampaignJob job;
+    job.scene = "PARK";
+    job.sceneDetail = 0.3f;
+    job.params.width = 32;
+    job.params.height = 32;
+    job.params.selector.fixedFraction = fraction;
+    return job;
+}
+
+std::vector<CampaignJob>
+makeCampaign(size_t count)
+{
+    std::vector<CampaignJob> jobs;
+    jobs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        jobs.push_back(makeJob(0.15 + 0.05 * static_cast<double>(i)));
+    finalizeCampaign(jobs);
+    return jobs;
+}
+
+void
+expectRowMatchesResult(const ResultRow &row,
+                       const core::ZatelResult &expected,
+                       const std::string &context)
+{
+    EXPECT_EQ(row.status, JobStatus::Ok) << context << ": " << row.error;
+    EXPECT_EQ(row.k, expected.k) << context;
+    EXPECT_EQ(bitsOf(row.fractionTraced), bitsOf(expected.fractionTraced))
+        << context;
+    for (gpusim::Metric metric : gpusim::allMetrics()) {
+        const auto it = row.predicted.find(metric);
+        ASSERT_NE(it, row.predicted.end())
+            << context << ": missing metric " << gpusim::metricName(metric);
+        EXPECT_EQ(bitsOf(it->second), bitsOf(expected.metric(metric)))
+            << context << ": metric " << gpusim::metricName(metric)
+            << " is not byte-identical";
+    }
+}
+
+TEST(ServiceScheduler, EightJobsOneSceneBuildArtifactsOnce)
+{
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 4;
+
+    CampaignScheduler scheduler(makeCampaign(8), cache, store, params);
+    EXPECT_EQ(scheduler.workerCount(), 4u);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.totalJobs, 8u);
+    EXPECT_EQ(summary.ok, 8u);
+    EXPECT_EQ(summary.failed, 0u);
+    EXPECT_EQ(store.countWithStatus(JobStatus::Ok), 8u);
+
+    // The acceptance contract: one BVH build and one heatmap profile
+    // for the whole campaign, everything else served from the cache.
+    const ArtifactCache::Counters pack =
+        cache.counters(ArtifactKind::ScenePack);
+    EXPECT_EQ(pack.misses, 1u) << "scene/BVH was rebuilt";
+    EXPECT_EQ(pack.hits, 7u);
+    const ArtifactCache::Counters map =
+        cache.counters(ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(map.misses, 1u)
+        << "heatmap was re-profiled (fraction must not be in its key)";
+    EXPECT_EQ(map.hits, 7u);
+    EXPECT_EQ(cache.counters(ArtifactKind::OracleStats).misses, 0u);
+
+    // The summary embeds the same counters (the CLI prints these).
+    EXPECT_EQ(summary.cacheTotals.misses, 2u);
+    EXPECT_EQ(summary.cacheTotals.hits, 14u);
+    const std::string report = summary.toString();
+    EXPECT_NE(report.find("cache hits: 14"), std::string::npos) << report;
+}
+
+TEST(ServiceScheduler, ResumeSkipsCompletedJobs)
+{
+    std::vector<CampaignJob> jobs = makeCampaign(3);
+    const std::string middle_id = jobs[1].id;
+
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 2;
+    params.alreadyCompleted = {jobs[0].id, jobs[2].id};
+
+    CampaignScheduler scheduler(std::move(jobs), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.totalJobs, 3u);
+    EXPECT_EQ(summary.skipped, 2u);
+    EXPECT_EQ(summary.ok, 1u);
+    ASSERT_EQ(store.rowCount(), 1u)
+        << "skipped jobs must not append result rows";
+    EXPECT_EQ(store.rows()[0].jobId, middle_id);
+}
+
+TEST(ServiceScheduler, JobTimeoutLandsInTimedOut)
+{
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 2;
+    params.jobTimeoutSeconds = 1e-6; // expires before any stage finishes
+
+    CampaignScheduler scheduler(makeCampaign(1), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.timedOut, 1u);
+    EXPECT_EQ(summary.ok, 0u);
+    ASSERT_EQ(store.rowCount(), 1u);
+    // rows() returns by value; take a copy, not a dangling reference.
+    const ResultRow row = store.rows()[0];
+    EXPECT_EQ(row.status, JobStatus::TimedOut);
+    EXPECT_NE(row.error.find("timeout"), std::string::npos) << row.error;
+    EXPECT_TRUE(row.predicted.empty());
+}
+
+TEST(ServiceScheduler, CancelHookCancelsEveryJob)
+{
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 2;
+    params.cancelled = []() { return true; };
+
+    CampaignScheduler scheduler(makeCampaign(2), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.cancelled, 2u);
+    EXPECT_EQ(summary.ok, 0u);
+    EXPECT_EQ(store.countWithStatus(JobStatus::Cancelled), 2u);
+}
+
+TEST(ServiceScheduler, BadJobFailsWithoutAbortingTheCampaign)
+{
+    std::vector<CampaignJob> jobs = makeCampaign(1);
+    CampaignJob bad = makeJob(0.5);
+    bad.scene = "NOPE";
+    bad.id = "bad-scene";
+    jobs.push_back(std::move(bad));
+
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 2;
+
+    std::mutex hook_mutex;
+    std::set<std::string> seen;
+    params.resultHook = [&](const ResultRow &row) {
+        std::lock_guard<std::mutex> guard(hook_mutex);
+        seen.insert(row.jobId);
+    };
+
+    CampaignScheduler scheduler(std::move(jobs), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.ok, 1u);
+    EXPECT_EQ(summary.failed, 1u);
+    EXPECT_EQ(seen.size(), 2u)
+        << "the result hook must observe every terminal row";
+    ASSERT_EQ(store.countWithStatus(JobStatus::Failed), 1u);
+    for (const ResultRow &row : store.rows()) {
+        if (row.status == JobStatus::Failed) {
+            EXPECT_EQ(row.jobId, "bad-scene");
+            EXPECT_NE(row.error.find("unknown scene"), std::string::npos)
+                << row.error;
+        }
+    }
+}
+
+TEST(SchedulerDeterminism, MatchesDirectPredictorByteForByte)
+{
+    const CampaignJob job = makeJob(0.4);
+
+    // Direct path: exactly what `zatel predict` does.
+    rt::SceneDetail detail;
+    detail.density = job.sceneDetail;
+    rt::Scene scene = rt::buildScene(rt::sceneIdFromName(job.scene),
+                                     detail, job.sceneSeed);
+    rt::Bvh bvh;
+    bvh.build(scene.triangles(), job.bvh);
+    core::ZatelPredictor predictor(scene, bvh, gpuConfigFromName(job.gpu),
+                                   job.params);
+    const core::ZatelResult direct = predictor.predict();
+
+    // Scheduler path: shared pool + artifact cache, cold.
+    std::vector<CampaignJob> jobs{job};
+    finalizeCampaign(jobs);
+    ArtifactCache cache(kCacheBudget, "");
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 3;
+    CampaignScheduler scheduler(std::move(jobs), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    EXPECT_EQ(summary.ok, 1u);
+    ASSERT_EQ(store.rowCount(), 1u);
+    expectRowMatchesResult(store.rows()[0], direct, "cold cache");
+}
+
+TEST(SchedulerDeterminism, WarmCacheRunIsByteIdentical)
+{
+    ArtifactCache cache(kCacheBudget, "");
+
+    ResultStore first_store("");
+    {
+        SchedulerParams params;
+        params.workers = 2;
+        CampaignScheduler scheduler(makeCampaign(2), cache, first_store,
+                                    params);
+        EXPECT_EQ(scheduler.run().ok, 2u);
+    }
+    const ArtifactCache::Counters cold =
+        cache.counters(ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(cold.misses, 1u);
+
+    ResultStore second_store("");
+    {
+        SchedulerParams params;
+        params.workers = 2;
+        CampaignScheduler scheduler(makeCampaign(2), cache, second_store,
+                                    params);
+        EXPECT_EQ(scheduler.run().ok, 2u);
+    }
+    const ArtifactCache::Counters warm =
+        cache.counters(ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(warm.misses, 1u)
+        << "the second campaign must be served entirely from the cache";
+    EXPECT_EQ(warm.hits, cold.hits + 2);
+
+    // Same job id -> byte-identical prediction, cold or warm.
+    std::map<std::string, ResultRow> first_rows;
+    for (const ResultRow &row : first_store.rows())
+        first_rows[row.jobId] = row;
+    for (const ResultRow &row : second_store.rows()) {
+        const auto it = first_rows.find(row.jobId);
+        ASSERT_NE(it, first_rows.end()) << row.jobId;
+        EXPECT_EQ(row.k, it->second.k);
+        EXPECT_EQ(bitsOf(row.fractionTraced),
+                  bitsOf(it->second.fractionTraced));
+        for (gpusim::Metric metric : gpusim::allMetrics()) {
+            EXPECT_EQ(bitsOf(row.predicted.at(metric)),
+                      bitsOf(it->second.predicted.at(metric)))
+                << row.jobId << ": " << gpusim::metricName(metric);
+        }
+    }
+}
+
+} // namespace
+} // namespace zatel::service

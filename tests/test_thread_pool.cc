@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "util/thread_pool.hh"
 
@@ -74,6 +77,46 @@ TEST(ThreadPool, WorkerCountDefaultsPositive)
 {
     ThreadPool pool;
     EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPool, QueueDepthAndActiveWorkersTrackLoad)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+    EXPECT_EQ(pool.activeWorkers(), 0u);
+
+    // Park both workers on a gate, then pile three tasks behind them.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<int> started{0};
+    auto blocker = [&] {
+        ++started;
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+    };
+    std::vector<std::future<void>> futures;
+    futures.push_back(pool.submit(blocker));
+    futures.push_back(pool.submit(blocker));
+    while (started.load() < 2)
+        std::this_thread::yield();
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(pool.submit([] {}));
+
+    EXPECT_EQ(pool.activeWorkers(), 2u);
+    EXPECT_EQ(pool.queueDepth(), 3u)
+        << "tasks queued but not started behind two busy workers";
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (auto &f : futures)
+        f.get();
+    pool.waitAll();
+    EXPECT_EQ(pool.queueDepth(), 0u);
+    EXPECT_EQ(pool.activeWorkers(), 0u);
 }
 
 TEST(ThreadPool, SingleWorkerSerializes)

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * zatel-batch — campaign front end for the batch prediction service.
+ *
+ * Runs a whole campaign of predictions on one shared worker pool with a
+ * content-addressed artifact cache (src/service/), instead of invoking
+ * `zatel predict` once per configuration:
+ *
+ *   zatel-batch --campaign sweep.jsonl --jobs 8 --out results.jsonl
+ *   zatel-batch --campaign sweep.csv --cache-dir .zatel-cache --resume
+ *
+ * Without --campaign, a sweep shorthand builds the cartesian product of
+ * every repeated --scene / --gpu / --res / --fraction occurrence:
+ *
+ *   zatel-batch --scene PARK --scene BUNNY --gpu soc --res 64 --res 96
+ *
+ * expands to four jobs. Job ids are deterministic, so a re-run with
+ * --resume skips every job already recorded as "ok" in --out.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
+#include "util/arg_parser.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+/** Build the sweep-shorthand campaign from repeated options. */
+std::vector<service::CampaignJob>
+campaignFromSweep(const ArgParser &args)
+{
+    std::vector<std::string> scenes = args.getList("scene");
+    std::vector<std::string> gpus = args.getList("gpu");
+    std::vector<std::string> resolutions = args.getList("res");
+    std::vector<std::string> fractions = args.getList("fraction");
+    if (fractions.empty())
+        fractions.push_back(""); // equation-(1) fraction
+
+    std::vector<service::CampaignJob> jobs;
+    for (const std::string &scene : scenes) {
+        for (const std::string &gpu : gpus) {
+            for (const std::string &res : resolutions) {
+                for (const std::string &fraction : fractions) {
+                    service::CampaignJob job;
+                    service::applyJobField(job, "scene", scene);
+                    service::applyJobField(job, "gpu", gpu);
+                    service::applyJobField(job, "res", res);
+                    service::applyJobField(job, "fraction", fraction);
+                    service::applyJobField(job, "spp", args.get("spp"));
+                    service::applyJobField(job, "seed", args.get("seed"));
+                    service::applyJobField(job, "detail",
+                                           args.get("detail"));
+                    if (args.has("k"))
+                        service::applyJobField(job, "k", args.get("k"));
+                    if (args.getFlag("oracle"))
+                        service::applyJobField(job, "oracle", "true");
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    service::finalizeCampaign(jobs);
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("zatel-batch",
+                   "Batch campaign runner: shared-pool scheduling, "
+                   "content-addressed artifact cache, resumable results");
+    args.addOption("campaign", "",
+                   "campaign file (.csv -> CSV with '|' sweeps, anything "
+                   "else -> JSONL); omit to use the sweep shorthand");
+    args.addOption("out", "zatel-results.jsonl",
+                   "result file (.csv -> CSV, anything else -> JSONL)");
+    args.addOption("jobs", "0",
+                   "shared-pool worker count (0 = hardware concurrency)");
+    args.addOption("cache-dir", "",
+                   "persist heatmaps/oracle stats here across runs");
+    args.addOption("cache-mb", "512",
+                   "in-memory artifact cache budget in MiB");
+    args.addOption("timeout", "0",
+                   "per-job wall-clock budget in seconds (0 = none)");
+    // Sweep shorthand (each may repeat to form a cartesian product).
+    args.addOption("scene", "PARK", "scene name (repeatable)");
+    args.addOption("gpu", "soc", "target GPU: soc | rtx2060 (repeatable)");
+    args.addOption("res", "64", "square image resolution (repeatable)");
+    args.addOption("fraction", "",
+                   "fixed trace fraction (repeatable; bypasses eq. 1)");
+    args.addOption("spp", "1", "samples per pixel");
+    args.addOption("seed", "173025", "pipeline seed");
+    args.addOption("detail", "1.0", "procedural scene density multiplier");
+    args.addOption("k", "", "force the division/downscale factor");
+    args.addFlag("oracle", "also run the (cached) full simulation");
+    args.addFlag("resume", "skip jobs already 'ok' in --out; append");
+    args.addFlag("no-timing",
+                 "omit wall-clock fields from result rows (for "
+                 "byte-identical run-to-run diffs)");
+    args.addFlag("quiet", "suppress the per-job progress lines");
+    args.addFlag("help", "show this help");
+
+    if (!args.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", args.errorMessage().c_str(),
+                     args.usage().c_str());
+        return 1;
+    }
+    if (args.getFlag("help")) {
+        std::printf("%s", args.usage().c_str());
+        return 0;
+    }
+
+    std::vector<service::CampaignJob> jobs;
+    try {
+        jobs = args.has("campaign")
+                   ? service::loadCampaignFile(args.get("campaign"))
+                   : campaignFromSweep(args);
+    } catch (const service::CampaignError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+
+    const std::string out_path = args.get("out");
+    service::SchedulerParams sched;
+    sched.workers = static_cast<size_t>(args.getInt("jobs"));
+    sched.jobTimeoutSeconds = args.getDouble("timeout");
+    if (args.getFlag("resume")) {
+        sched.alreadyCompleted =
+            service::ResultStore::completedJobIds(out_path);
+    }
+
+    service::ResultStoreOptions store_options;
+    store_options.includeTiming = !args.getFlag("no-timing");
+    store_options.append = args.getFlag("resume");
+    service::ResultStore store(out_path, store_options);
+
+    const uint64_t budget =
+        static_cast<uint64_t>(args.getInt("cache-mb")) * 1024 * 1024;
+    service::ArtifactCache cache(budget, args.get("cache-dir"));
+
+    const bool quiet = args.getFlag("quiet");
+    sched.resultHook = [quiet](const service::ResultRow &row) {
+        if (quiet)
+            return;
+        if (row.status == service::JobStatus::Ok) {
+            std::printf("[%-9s] %s (K=%u, %.1f%% traced)\n",
+                        service::jobStatusName(row.status),
+                        row.jobId.c_str(), row.k,
+                        row.fractionTraced * 100.0);
+        } else {
+            std::printf("[%-9s] %s: %s\n",
+                        service::jobStatusName(row.status),
+                        row.jobId.c_str(), row.error.c_str());
+        }
+    };
+
+    const size_t job_count = jobs.size();
+    service::CampaignScheduler scheduler(std::move(jobs), cache, store,
+                                         std::move(sched));
+    if (!quiet) {
+        std::printf("running %zu job(s) on %zu worker(s)\n", job_count,
+                    scheduler.workerCount());
+    }
+    service::CampaignSummary summary = scheduler.run();
+
+    std::printf("%s", summary.toString().c_str());
+    std::printf("results: %s (%zu row(s))\n", out_path.c_str(),
+                store.rowCount());
+    if (!args.get("cache-dir").empty())
+        std::printf("%s\n", cache.summary().c_str());
+
+    const bool all_good =
+        summary.failed == 0 && summary.cancelled == 0 &&
+        summary.timedOut == 0;
+    return all_good ? 0 : 1;
+}

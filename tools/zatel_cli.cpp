@@ -52,6 +52,7 @@ paramsFromArgs(const ArgParser &args)
     params.height = params.width;
     params.samplesPerPixel = static_cast<uint32_t>(args.getInt("spp"));
     params.seed = static_cast<uint64_t>(args.getInt("seed"));
+    params.numThreads = static_cast<uint32_t>(args.getInt("threads"));
     params.downscaleGpu = !args.getFlag("no-downscale");
 
     if (args.has("fraction"))
@@ -160,6 +161,9 @@ main(int argc, char **argv)
     args.addOption("res", "128", "square image resolution");
     args.addOption("spp", "1", "samples per pixel");
     args.addOption("seed", "173025", "pipeline seed");
+    args.addOption("threads", "0",
+                   "worker threads for group simulation (0 = hardware "
+                   "concurrency, capped at K)");
     args.addOption("division", "fine", "image division: fine | coarse");
     args.addOption("distribution", "uniform",
                    "selection distribution: uniform | lintmp | exptmp");
@@ -194,6 +198,18 @@ main(int argc, char **argv)
                         scene.maxBounces());
         }
         return 0;
+    }
+
+    if (command != "predict" && command != "oracle" &&
+        command != "compare") {
+        // Unknown subcommand: print the usage text on stderr and exit
+        // nonzero so scripts notice the typo instead of parsing no
+        // output (and before any expensive scene building).
+        std::fprintf(stderr,
+                     "error: unknown command '%s' (use scenes, predict, "
+                     "oracle or compare)\n%s",
+                     command.c_str(), args.usage().c_str());
+        return 1;
     }
 
     rt::Scene scene = args.has("obj")
@@ -253,6 +269,5 @@ main(int argc, char **argv)
         return 0;
     }
 
-    fatal("unknown command '", command,
-          "' (use scenes, predict, oracle or compare)");
+    return 0;
 }
