@@ -2,10 +2,63 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 #include "util/logging.hh"
 
 namespace zatel::gpusim
 {
+
+namespace
+{
+
+/** Lazily-registered whole-process simulator counters; every inc() is
+ *  a no-op while the global MetricsRegistry is disabled. */
+struct GpuMetrics
+{
+    obs::Counter *runs;
+    obs::Counter *cycles;
+    obs::Counter *warpsLaunched;
+    obs::Counter *raysTraced;
+    obs::Counter *l2Accesses;
+    obs::Counter *l2Misses;
+    obs::Counter *dramBytesRead;
+    obs::Counter *dramBytesWritten;
+};
+
+GpuMetrics &
+gpuMetrics()
+{
+    static GpuMetrics metrics = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        GpuMetrics m;
+        m.runs = reg.counter("zatel_gpu_runs_total",
+                             "Completed Gpu::run() invocations");
+        m.cycles = reg.counter("zatel_gpu_cycles_total",
+                               "Cycles simulated across all runs");
+        m.warpsLaunched =
+            reg.counter("zatel_gpu_warps_launched_total",
+                        "Warps launched (== retired: runs drain)");
+        m.raysTraced = reg.counter("zatel_gpu_rays_traced_total",
+                                   "Rays traced across all runs");
+        m.l2Accesses = reg.counter("zatel_gpu_l2_accesses_total",
+                                   "L2 cache accesses");
+        m.l2Misses =
+            reg.counter("zatel_gpu_l2_misses_total", "L2 cache misses");
+        m.dramBytesRead =
+            reg.counter("zatel_gpu_dram_bytes_total",
+                        "DRAM traffic in bytes by direction",
+                        {{"dir", "read"}});
+        m.dramBytesWritten =
+            reg.counter("zatel_gpu_dram_bytes_total",
+                        "DRAM traffic in bytes by direction",
+                        {{"dir", "write"}});
+        return m;
+    }();
+    return metrics;
+}
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &config, const SimWorkload &workload)
     : config_(config), workload_(workload), memory_(config)
@@ -57,6 +110,7 @@ Gpu::run(uint64_t max_cycles)
 {
     ZATEL_ASSERT(!ran_, "Gpu::run() is single-use");
     ran_ = true;
+    ZATEL_TRACE_SCOPE("gpu.run");
 
     uint64_t cycle = 0;
     for (; cycle < max_cycles; ++cycle) {
@@ -120,6 +174,22 @@ Gpu::run(uint64_t max_cycles)
         else
             ++stats.pixelsFiltered;
         stats.raysTraced += thread.record.rays.size();
+    }
+
+    // Surface the run's headline counters into the metrics registry
+    // (docs/OBSERVABILITY.md). Counters self-gate on the registry's
+    // enabled flag, so this is a handful of relaxed loads when off;
+    // crucially it reads `stats` only, never perturbing the sim.
+    if (obs::metricsEnabled()) {
+        GpuMetrics &m = gpuMetrics();
+        m.runs->inc();
+        m.cycles->inc(stats.cycles);
+        m.warpsLaunched->inc(stats.warpsLaunched);
+        m.raysTraced->inc(stats.raysTraced);
+        m.l2Accesses->inc(stats.l2Accesses);
+        m.l2Misses->inc(stats.l2Misses);
+        m.dramBytesRead->inc(stats.dramBytesRead);
+        m.dramBytesWritten->inc(stats.dramBytesWritten);
     }
     return stats;
 }

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser used to validate the
+ * observability exports (Chrome trace JSON, metrics JSON dump) in
+ * tests and in tools/zatel-trace-check. Not a general-purpose JSON
+ * library: no streaming, whole document in memory, doubles only.
+ */
+
+#ifndef ZATEL_OBS_JSON_HH
+#define ZATEL_OBS_JSON_HH
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zatel::obs
+{
+
+/** Raised by parseJson() on malformed input (message has offset). */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> arrayValue;
+    /** std::map: deterministic iteration for error messages/tests. */
+    std::map<std::string, JsonValue> objectValue;
+
+    bool
+    isNull() const
+    {
+        return type == Type::Null;
+    }
+    bool
+    isBool() const
+    {
+        return type == Type::Bool;
+    }
+    bool
+    isNumber() const
+    {
+        return type == Type::Number;
+    }
+    bool
+    isString() const
+    {
+        return type == Type::String;
+    }
+    bool
+    isArray() const
+    {
+        return type == Type::Array;
+    }
+    bool
+    isObject() const
+    {
+        return type == Type::Object;
+    }
+
+    /** True when this is an object with member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Member lookup; throws JsonError when absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/** Parse a complete JSON document; throws JsonError on any syntax
+ *  error or trailing garbage. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace zatel::obs
+
+#endif // ZATEL_OBS_JSON_HH

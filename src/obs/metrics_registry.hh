@@ -1,0 +1,282 @@
+/**
+ * @file
+ * MetricsRegistry: named counters / gauges / histograms with
+ * Prometheus-text and JSON export.
+ *
+ * Design goals (docs/OBSERVABILITY.md):
+ *  - Hot-path increments are lock-free: Counter::inc() is one relaxed
+ *    atomic load (the registry's enabled flag) plus one relaxed
+ *    fetch_add. Disabled registries cost the load + branch only.
+ *  - Instrumentation sites hold Counter / Gauge / Histogram pointers
+ *    resolved once (function-local static or member); handles stay
+ *    valid for the registry's lifetime — resetValues() zeroes values
+ *    but never removes series.
+ *  - Registration (counter()/gauge()/histogram()) takes the registry
+ *    mutex and may allocate; do it at setup time, not per event.
+ *
+ * Metric names follow Prometheus conventions: snake_case, `_total`
+ * suffix for counters, base-unit suffixes (`_seconds`, `_bytes`).
+ * Labels are ordered key/value pairs; one family (name) may carry many
+ * label sets, each its own independently-updated series.
+ *
+ * Usage:
+ *
+ *   auto &reg = obs::MetricsRegistry::global();
+ *   reg.setEnabled(true);
+ *   obs::Counter *hits =
+ *       reg.counter("zatel_cache_hits_total", "Cache hits",
+ *                   {{"kind", "scene_pack"}});
+ *   hits->inc();
+ *   obs::Histogram *lat = reg.histogram(
+ *       "zatel_stage_seconds", "Stage latency",
+ *       obs::Histogram::timeBuckets(), {{"stage", "profile"}});
+ *   lat->observe(0.0123);
+ *   reg.writeTo("metrics.prom");   // or .json
+ */
+
+#ifndef ZATEL_OBS_METRICS_REGISTRY_HH
+#define ZATEL_OBS_METRICS_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zatel::obs
+{
+
+/** Raised on registration misuse (duplicate name with different kind
+ *  or buckets, invalid metric name, bad bucket layout). */
+class MetricsError : public std::runtime_error
+{
+  public:
+    explicit MetricsError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Ordered label key/value pairs ({{"kind","scene_pack"}, ...}). */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Monotonically increasing event count. inc()/add() are lock-free and
+ * no-ops while the owning registry is disabled.
+ */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t delta = 1)
+    {
+        if (!enabled_->load(std::memory_order_relaxed))
+            return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(const std::atomic<bool> *enabled) : enabled_(enabled)
+    {
+    }
+
+    const std::atomic<bool> *enabled_;
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * A value that can go up and down (queue depth, bytes resident).
+ * set()/add() are lock-free and no-ops while the registry is disabled.
+ */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        if (!enabled_->load(std::memory_order_relaxed))
+            return;
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    /** Atomic add (CAS loop; contended adds all land). */
+    void add(double delta);
+
+    void
+    sub(double delta)
+    {
+        add(-delta);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(const std::atomic<bool> *enabled) : enabled_(enabled)
+    {
+    }
+
+    const std::atomic<bool> *enabled_;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram with Prometheus `le` (less-or-equal)
+ * semantics: bucket[i] counts observations <= upperBounds[i]; an
+ * implicit +Inf bucket catches the rest. observe() is lock-free.
+ */
+class Histogram
+{
+  public:
+    /** Strictly increasing finite upper bounds (the +Inf bucket is
+     *  implicit; do not include it). */
+    void observe(double value);
+
+    /** Non-cumulative per-bucket counts; last entry is the implicit
+     *  +Inf bucket (observations above every bound). */
+    std::vector<uint64_t> bucketCounts() const;
+
+    const std::vector<double> &
+    upperBounds() const
+    {
+        return bounds_;
+    }
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Latency buckets: 100us .. 100s, roughly 1-2.5-5 per decade. */
+    static std::vector<double> timeBuckets();
+    /** Cycle-count buckets: 1k .. 1e9, powers of ten with midpoints. */
+    static std::vector<double> cycleBuckets();
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(const std::atomic<bool> *enabled,
+              std::vector<double> bounds);
+
+    const std::atomic<bool> *enabled_;
+    std::vector<double> bounds_;
+    /** One atomic per finite bound plus the +Inf bucket. */
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Owner of all metric series. Thread-safe. Most callers use the
+ * process-wide global() instance; tests construct their own.
+ *
+ * counter()/gauge()/histogram() find-or-register: the first call for a
+ * (name, labels) pair creates the series, later calls return the same
+ * pointer. Re-registering a name as a different kind (or a histogram
+ * with different buckets) throws MetricsError. Returned pointers stay
+ * valid until the registry is destroyed.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry used by the built-in instrumentation. */
+    static MetricsRegistry &global();
+
+    /** Turn recording on/off. Disabled (the default) makes every
+     *  inc/set/observe a load + branch; series stay registered. */
+    void setEnabled(bool enabled);
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** The flag counters test; exposed for instrumentation that wants
+     *  to gate extra work (e.g. reading the clock) on metrics. */
+    const std::atomic<bool> *
+    enabledFlag() const
+    {
+        return &enabled_;
+    }
+
+    Counter *counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+    Gauge *gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+    Histogram *histogram(const std::string &name, const std::string &help,
+                         std::vector<double> upperBounds,
+                         const Labels &labels = {});
+
+    /** Zero every series' value without unregistering anything:
+     *  handles held by instrumentation sites remain valid. */
+    void resetValues();
+
+    /** Number of registered series (label sets, not families). */
+    size_t seriesCount() const;
+
+    /** Prometheus text exposition format (HELP/TYPE + samples;
+     *  histograms emit cumulative _bucket/_sum/_count). */
+    std::string prometheusText() const;
+
+    /** JSON dump: {"metrics":[{name,kind,labels,...}]} sorted by
+     *  (name, labels) for stable diffs. */
+    std::string jsonText() const;
+
+    /** Dump to @p path: ".json" writes jsonText(), anything else
+     *  prometheusText(). False on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Series;
+    struct Family;
+
+    Family &familyLocked(const std::string &name, const std::string &help,
+                         Kind kind);
+    Series &seriesLocked(Family &family, const Labels &labels);
+
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex mutex_;
+    /** Families in registration order (export sorts by name). */
+    std::vector<std::unique_ptr<Family>> families_;
+};
+
+/** True when the global registry is recording. */
+inline bool
+metricsEnabled()
+{
+    return MetricsRegistry::global().enabled();
+}
+
+} // namespace zatel::obs
+
+#endif // ZATEL_OBS_METRICS_REGISTRY_HH

@@ -1,0 +1,383 @@
+#include "obs/validate.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace zatel::obs
+{
+
+namespace
+{
+
+void
+checkTraceEvent(const JsonValue &event, size_t index,
+                std::vector<std::string> &problems)
+{
+    auto complain = [&problems, index](const std::string &what) {
+        problems.push_back("traceEvents[" + std::to_string(index) +
+                           "]: " + what);
+    };
+    if (!event.isObject()) {
+        complain("not an object");
+        return;
+    }
+    if (!event.has("ph") || !event.at("ph").isString()) {
+        complain("missing string 'ph'");
+        return;
+    }
+    const std::string &ph = event.at("ph").stringValue;
+    for (const char *field : {"pid", "tid"}) {
+        if (!event.has(field) || !event.at(field).isNumber())
+            complain(std::string("missing numeric '") + field + "'");
+    }
+    if (!event.has("name") || !event.at("name").isString())
+        complain("missing string 'name'");
+    if (ph == "X") {
+        if (!event.has("ts") || !event.at("ts").isNumber())
+            complain("X event missing numeric 'ts'");
+        if (!event.has("dur") || !event.at("dur").isNumber())
+            complain("X event missing numeric 'dur'");
+        else if (event.at("dur").numberValue < 0.0)
+            complain("X event has negative 'dur'");
+    } else if (ph == "M") {
+        if (!event.has("args") || !event.at("args").isObject())
+            complain("M event missing object 'args'");
+    } else {
+        complain("unexpected phase '" + ph + "'");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateChromeTrace(const std::string &text)
+{
+    std::vector<std::string> problems;
+    JsonValue root;
+    try {
+        root = parseJson(text);
+    } catch (const JsonError &error) {
+        problems.push_back(std::string("parse error: ") + error.what());
+        return problems;
+    }
+    if (!root.isObject()) {
+        problems.push_back("top-level value is not an object");
+        return problems;
+    }
+    if (!root.has("traceEvents") || !root.at("traceEvents").isArray()) {
+        problems.push_back("missing 'traceEvents' array");
+        return problems;
+    }
+    const auto &events = root.at("traceEvents").arrayValue;
+    for (size_t i = 0; i < events.size(); ++i)
+        checkTraceEvent(events[i], i, problems);
+    return problems;
+}
+
+namespace
+{
+
+struct PromSample
+{
+    std::string name;
+    std::string labels; ///< Raw text between '{' and '}', may be empty.
+    double value = 0.0;
+    size_t line = 0;
+};
+
+bool
+parsePromSample(const std::string &line, size_t lineNo,
+                PromSample &sample, std::string &problem)
+{
+    size_t pos = 0;
+    auto nameChar = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == ':';
+    };
+    while (pos < line.size() && nameChar(line[pos]))
+        ++pos;
+    if (pos == 0) {
+        problem = "line " + std::to_string(lineNo) +
+                  ": sample does not start with a metric name";
+        return false;
+    }
+    sample.name = line.substr(0, pos);
+    sample.line = lineNo;
+    if (pos < line.size() && line[pos] == '{') {
+        size_t close = line.find('}', pos);
+        if (close == std::string::npos) {
+            problem = "line " + std::to_string(lineNo) +
+                      ": unterminated label set";
+            return false;
+        }
+        sample.labels = line.substr(pos + 1, close - pos - 1);
+        pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+        problem = "line " + std::to_string(lineNo) +
+                  ": expected ' ' before sample value";
+        return false;
+    }
+    ++pos;
+    const std::string valueText = line.substr(pos);
+    if (valueText == "+Inf") {
+        sample.value = 0.0;
+        return true;
+    }
+    char *end = nullptr;
+    sample.value = std::strtod(valueText.c_str(), &end);
+    if (end == nullptr || *end != '\0' || valueText.empty()) {
+        problem = "line " + std::to_string(lineNo) +
+                  ": unparseable sample value '" + valueText + "'";
+        return false;
+    }
+    return true;
+}
+
+/** Family a sample belongs to: strip histogram sample suffixes. */
+std::string
+familyOf(const std::string &name)
+{
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s(suffix);
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0)
+            return name.substr(0, name.size() - s.size());
+    }
+    return name;
+}
+
+/** The `le` value in a rendered label string, or "" when absent. */
+std::string
+leOf(const std::string &labels)
+{
+    size_t pos = 0;
+    while (pos < labels.size()) {
+        size_t eq = labels.find("=\"", pos);
+        if (eq == std::string::npos)
+            return "";
+        std::string key = labels.substr(pos, eq - pos);
+        size_t close = labels.find('"', eq + 2);
+        if (close == std::string::npos)
+            return "";
+        if (key == "le")
+            return labels.substr(eq + 2, close - eq - 2);
+        pos = close + 1;
+        if (pos < labels.size() && labels[pos] == ',')
+            ++pos;
+    }
+    return "";
+}
+
+/** Label string with the `le` pair removed: histogram series key. */
+std::string
+stripLe(const std::string &labels)
+{
+    std::string out;
+    size_t pos = 0;
+    while (pos < labels.size()) {
+        size_t eq = labels.find("=\"", pos);
+        if (eq == std::string::npos)
+            break;
+        size_t close = labels.find('"', eq + 2);
+        if (close == std::string::npos)
+            break;
+        std::string pair = labels.substr(pos, close + 1 - pos);
+        if (labels.compare(pos, eq - pos, "le") != 0) {
+            if (!out.empty())
+                out += ",";
+            out += pair;
+        }
+        pos = close + 1;
+        if (pos < labels.size() && labels[pos] == ',')
+            ++pos;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+validatePrometheusText(const std::string &text)
+{
+    std::vector<std::string> problems;
+    std::map<std::string, std::string> familyType; ///< name -> TYPE
+    std::set<std::string> familyHelp;
+    std::vector<PromSample> samples;
+
+    std::istringstream in(text);
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (line.rfind("# HELP ", 0) == 0) {
+            std::istringstream comment(line.substr(7));
+            std::string name;
+            comment >> name;
+            familyHelp.insert(name);
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream comment(line.substr(7));
+            std::string name;
+            std::string type;
+            comment >> name >> type;
+            if (type != "counter" && type != "gauge" &&
+                type != "histogram")
+                problems.push_back("line " + std::to_string(lineNo) +
+                                   ": unknown TYPE '" + type + "'");
+            if (familyType.count(name) != 0)
+                problems.push_back("line " + std::to_string(lineNo) +
+                                   ": duplicate TYPE for '" + name +
+                                   "'");
+            familyType[name] = type;
+            continue;
+        }
+        if (line[0] == '#')
+            continue;
+        PromSample sample;
+        std::string problem;
+        if (!parsePromSample(line, lineNo, sample, problem)) {
+            problems.push_back(problem);
+            continue;
+        }
+        samples.push_back(std::move(sample));
+    }
+
+    // Every sample's family must have TYPE and HELP comments.
+    // Histogram invariants: cumulative buckets, +Inf == _count.
+    std::map<std::string, uint64_t> lastBucket; ///< series -> last value
+    std::map<std::string, bool> sawInf;
+    std::map<std::string, double> infValue;
+    std::map<std::string, double> countValue;
+    for (const PromSample &sample : samples) {
+        const std::string family = familyOf(sample.name);
+        auto typeIt = familyType.find(family);
+        // A metric name like foo_count could also be a plain counter;
+        // accept either its own TYPE or its histogram family's.
+        if (typeIt == familyType.end() &&
+            familyType.count(sample.name) != 0)
+            typeIt = familyType.find(sample.name);
+        if (typeIt == familyType.end()) {
+            problems.push_back("line " + std::to_string(sample.line) +
+                               ": sample '" + sample.name +
+                               "' has no TYPE comment");
+            continue;
+        }
+        if (familyHelp.count(typeIt->first) == 0)
+            problems.push_back("line " + std::to_string(sample.line) +
+                               ": family '" + typeIt->first +
+                               "' has no HELP comment");
+        if (typeIt->second != "histogram")
+            continue;
+
+        const std::string seriesKey =
+            family + "|" + stripLe(sample.labels);
+        if (sample.name == family + "_bucket") {
+            const std::string le = leOf(sample.labels);
+            if (le.empty()) {
+                problems.push_back("line " +
+                                   std::to_string(sample.line) +
+                                   ": _bucket sample missing 'le'");
+                continue;
+            }
+            auto last = lastBucket.find(seriesKey);
+            if (last != lastBucket.end() &&
+                sample.value < static_cast<double>(last->second))
+                problems.push_back("line " +
+                                   std::to_string(sample.line) +
+                                   ": non-monotonic _bucket series '" +
+                                   family + "'");
+            lastBucket[seriesKey] =
+                static_cast<uint64_t>(sample.value);
+            if (le == "+Inf") {
+                sawInf[seriesKey] = true;
+                infValue[seriesKey] = sample.value;
+            }
+        } else if (sample.name == family + "_count") {
+            countValue[seriesKey] = sample.value;
+        }
+    }
+    for (const auto &[seriesKey, count] : countValue) {
+        auto inf = infValue.find(seriesKey);
+        if (sawInf.find(seriesKey) == sawInf.end()) {
+            problems.push_back("histogram series '" + seriesKey +
+                               "' lacks a +Inf bucket");
+        } else if (inf != infValue.end() && inf->second < count) {
+            problems.push_back("histogram series '" + seriesKey +
+                               "' +Inf bucket below _count");
+        }
+    }
+    return problems;
+}
+
+std::vector<std::string>
+validateMetricsJson(const std::string &text)
+{
+    std::vector<std::string> problems;
+    JsonValue root;
+    try {
+        root = parseJson(text);
+    } catch (const JsonError &error) {
+        problems.push_back(std::string("parse error: ") + error.what());
+        return problems;
+    }
+    if (!root.isObject() || !root.has("metrics") ||
+        !root.at("metrics").isArray()) {
+        problems.push_back("missing top-level 'metrics' array");
+        return problems;
+    }
+    const auto &metrics = root.at("metrics").arrayValue;
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        auto complain = [&problems, i](const std::string &what) {
+            problems.push_back("metrics[" + std::to_string(i) +
+                               "]: " + what);
+        };
+        const JsonValue &entry = metrics[i];
+        if (!entry.isObject()) {
+            complain("not an object");
+            continue;
+        }
+        if (!entry.has("name") || !entry.at("name").isString()) {
+            complain("missing string 'name'");
+            continue;
+        }
+        if (!entry.has("kind") || !entry.at("kind").isString()) {
+            complain("missing string 'kind'");
+            continue;
+        }
+        if (!entry.has("labels") || !entry.at("labels").isObject())
+            complain("missing object 'labels'");
+        const std::string &kind = entry.at("kind").stringValue;
+        if (kind == "counter" || kind == "gauge") {
+            if (!entry.has("value") || !entry.at("value").isNumber())
+                complain(kind + " missing numeric 'value'");
+        } else if (kind == "histogram") {
+            for (const char *field : {"count", "sum"}) {
+                if (!entry.has(field) || !entry.at(field).isNumber())
+                    complain(std::string("histogram missing numeric '") +
+                             field + "'");
+            }
+            if (!entry.has("bounds") || !entry.at("bounds").isArray() ||
+                !entry.has("buckets") ||
+                !entry.at("buckets").isArray()) {
+                complain("histogram missing bounds/buckets arrays");
+            } else if (entry.at("buckets").arrayValue.size() !=
+                       entry.at("bounds").arrayValue.size() + 1) {
+                complain("histogram buckets must be bounds+1 long");
+            }
+        } else {
+            complain("unknown kind '" + kind + "'");
+        }
+    }
+    return problems;
+}
+
+} // namespace zatel::obs

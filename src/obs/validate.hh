@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Schema validators for the observability exports. Shared by
+ * tests/test_trace_recorder.cc, tests/test_obs_integration.cc and the
+ * tools/zatel-trace-check CLI (which CI runs against real exports).
+ *
+ * Each validator returns a list of human-readable problems; an empty
+ * list means the document is well-formed. Validators never throw on
+ * schema violations — only report — but parse failures of the outer
+ * JSON surface as a single "parse error" entry.
+ */
+
+#ifndef ZATEL_OBS_VALIDATE_HH
+#define ZATEL_OBS_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+namespace zatel::obs
+{
+
+/**
+ * Validate Chrome trace_event JSON as produced by
+ * TraceRecorder::exportChromeTrace(): top-level object with a
+ * "traceEvents" array; every event has ph/pid/tid/name; "X" events
+ * additionally carry numeric ts and dur >= 0.
+ */
+std::vector<std::string> validateChromeTrace(const std::string &text);
+
+/**
+ * Validate Prometheus text exposition as produced by
+ * MetricsRegistry::prometheusText(): every sample line parses as
+ * `name[{labels}] value`, every sample's family has HELP/TYPE
+ * comments above it, histogram series end with a `+Inf` bucket whose
+ * value equals `_count`, and bucket values are monotonic.
+ */
+std::vector<std::string>
+validatePrometheusText(const std::string &text);
+
+/** Validate MetricsRegistry::jsonText(): {"metrics":[...]} with
+ *  name/kind/labels per entry and kind-appropriate value fields. */
+std::vector<std::string> validateMetricsJson(const std::string &text);
+
+} // namespace zatel::obs
+
+#endif // ZATEL_OBS_VALIDATE_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics_registry.hh"
 #include "util/logging.hh"
 #include "zatel/predictor.hh"
 
@@ -346,6 +347,68 @@ artifactKindName(ArtifactKind kind)
     return "unknown";
 }
 
+namespace
+{
+
+/** Mirror of the per-kind Counters into the global MetricsRegistry:
+ *  one zatel_cache_events_total{kind=...,event=...} series per pair,
+ *  registered lazily, incremented in lockstep with the internal
+ *  counters (tests/test_obs_integration.cc asserts they agree). */
+enum CacheEvent
+{
+    EventHit = 0,
+    EventMiss,
+    EventDiskHit,
+    EventEviction,
+    EventCount
+};
+
+obs::Counter *
+cacheEventCounter(size_t kind_index, CacheEvent event)
+{
+    struct Table
+    {
+        obs::Counter *cells[3][EventCount];
+    };
+    static const Table table = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        const char *events[EventCount] = {"hit", "miss", "disk_hit",
+                                          "eviction"};
+        Table t;
+        for (size_t k = 0; k < 3; ++k) {
+            const char *kind =
+                artifactKindName(static_cast<ArtifactKind>(k));
+            for (size_t e = 0; e < EventCount; ++e) {
+                t.cells[k][e] = reg.counter(
+                    "zatel_cache_events_total",
+                    "ArtifactCache events by kind and outcome",
+                    {{"kind", kind},
+                     {"event", events[e]}});
+            }
+        }
+        return t;
+    }();
+    return table.cells[kind_index][event];
+}
+
+obs::Gauge *
+cacheBytesGauge()
+{
+    static obs::Gauge *gauge = obs::MetricsRegistry::global().gauge(
+        "zatel_cache_bytes_in_use", "Bytes resident in ArtifactCache");
+    return gauge;
+}
+
+obs::Gauge *
+cacheEntriesGauge()
+{
+    static obs::Gauge *gauge = obs::MetricsRegistry::global().gauge(
+        "zatel_cache_entries", "Artifacts resident in ArtifactCache");
+    return gauge;
+}
+
+} // namespace
+
 // ---------------------------------------------------------------------------
 // ArtifactCache
 // ---------------------------------------------------------------------------
@@ -389,6 +452,7 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
         if (it != entries_.end()) {
             it->second.lastUse = ++useTick_;
             ++perKind_[kind_index].hits;
+            cacheEventCounter(kind_index, EventHit)->inc();
             return it->second.value;
         }
         auto fit = inflight_.find(k);
@@ -406,6 +470,7 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
         std::shared_ptr<const void> value = wait_future.get();
         std::lock_guard<std::mutex> guard(mutex_);
         ++perKind_[kind_index].hits;
+        cacheEventCounter(kind_index, EventHit)->inc();
         return value;
     }
 
@@ -425,6 +490,7 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
         {
             std::lock_guard<std::mutex> guard(mutex_);
             ++perKind_[kind_index].misses;
+            cacheEventCounter(kind_index, EventMiss)->inc();
             inflight_.erase(k);
         }
         promise.set_exception(std::current_exception());
@@ -436,8 +502,11 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
         if (from_disk) {
             ++perKind_[kind_index].hits;
             ++perKind_[kind_index].diskHits;
+            cacheEventCounter(kind_index, EventHit)->inc();
+            cacheEventCounter(kind_index, EventDiskHit)->inc();
         } else {
             ++perKind_[kind_index].misses;
+            cacheEventCounter(kind_index, EventMiss)->inc();
         }
         insertLocked(k, built.first, built.second);
         inflight_.erase(k);
@@ -457,10 +526,12 @@ ArtifactCache::peekRaw(ArtifactKind kind, uint64_t key)
     auto it = entries_.find(k);
     if (it == entries_.end()) {
         ++perKind_[static_cast<size_t>(kind)].misses;
+        cacheEventCounter(static_cast<size_t>(kind), EventMiss)->inc();
         return nullptr;
     }
     it->second.lastUse = ++useTick_;
     ++perKind_[static_cast<size_t>(kind)].hits;
+    cacheEventCounter(static_cast<size_t>(kind), EventHit)->inc();
     return it->second.value;
 }
 
@@ -508,8 +579,11 @@ ArtifactCache::insertLocked(const Key &key,
             break;
         bytesInUse_ -= lru->second.bytes;
         ++perKind_[lru->first.kind].evictions;
+        cacheEventCounter(lru->first.kind, EventEviction)->inc();
         entries_.erase(lru);
     }
+    cacheBytesGauge()->set(static_cast<double>(bytesInUse_));
+    cacheEntriesGauge()->set(static_cast<double>(entries_.size()));
 }
 
 ArtifactCache::Counters

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "heatmap/profiler.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 #include "rt/scene_library.hh"
 #include "rt/tracer.hh"
 #include "util/logging.hh"
@@ -16,6 +18,56 @@ namespace zatel::service
 
 namespace
 {
+
+/** Lazily-registered campaign metrics (docs/OBSERVABILITY.md). The
+ *  group_units_skipped counter doubles as the cancellation witness for
+ *  SchedulerTimeout.CancelsPendingStages: a timed-out job's pending
+ *  group units must land here instead of simulating. */
+struct SchedulerMetrics
+{
+    obs::Counter *unitsStart;
+    obs::Counter *unitsGroup;
+    obs::Counter *unitsFinalize;
+    obs::Counter *groupUnitsSkipped;
+    obs::Counter *jobsOk;
+    obs::Counter *jobsFailed;
+    obs::Counter *jobsCancelled;
+    obs::Counter *jobsTimedOut;
+};
+
+SchedulerMetrics &
+schedulerMetrics()
+{
+    static SchedulerMetrics metrics = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        SchedulerMetrics m;
+        const std::string unitName = "zatel_campaign_units_total";
+        const std::string unitHelp =
+            "Campaign scheduler stage units executed";
+        m.unitsStart =
+            reg.counter(unitName, unitHelp, {{"stage", "start"}});
+        m.unitsGroup =
+            reg.counter(unitName, unitHelp, {{"stage", "group"}});
+        m.unitsFinalize =
+            reg.counter(unitName, unitHelp, {{"stage", "finalize"}});
+        m.groupUnitsSkipped = reg.counter(
+            "zatel_campaign_group_units_skipped_total",
+            "Group units skipped because their job was already "
+            "broken (failed / cancelled / timed out)");
+        const std::string jobName = "zatel_campaign_jobs_total";
+        const std::string jobHelp =
+            "Campaign jobs finished, by terminal status";
+        m.jobsOk = reg.counter(jobName, jobHelp, {{"status", "ok"}});
+        m.jobsFailed =
+            reg.counter(jobName, jobHelp, {{"status", "failed"}});
+        m.jobsCancelled =
+            reg.counter(jobName, jobHelp, {{"status", "cancelled"}});
+        m.jobsTimedOut =
+            reg.counter(jobName, jobHelp, {{"status", "timed_out"}});
+        return m;
+    }();
+    return metrics;
+}
 
 bool
 equalsIgnoreCase(const std::string &a, const std::string &b)
@@ -202,15 +254,19 @@ CampaignScheduler::finishJob(JobState &state, ResultRow row)
         switch (row.status) {
         case JobStatus::Ok:
             ++okJobs_;
+            schedulerMetrics().jobsOk->inc();
             break;
         case JobStatus::Failed:
             ++failedJobs_;
+            schedulerMetrics().jobsFailed->inc();
             break;
         case JobStatus::Cancelled:
             ++cancelledJobs_;
+            schedulerMetrics().jobsCancelled->inc();
             break;
         case JobStatus::TimedOut:
             ++timedOutJobs_;
+            schedulerMetrics().jobsTimedOut->inc();
             break;
         case JobStatus::Skipped:
             break;
@@ -230,6 +286,8 @@ CampaignScheduler::finishJob(JobState &state, ResultRow row)
 void
 CampaignScheduler::runStartUnit(JobState &state)
 {
+    ZATEL_TRACE_SCOPE("job.start");
+    schedulerMetrics().unitsStart->inc();
     state.startTime = std::chrono::steady_clock::now();
     if (params_.jobTimeoutSeconds > 0.0) {
         state.hasDeadline = true;
@@ -345,7 +403,14 @@ CampaignScheduler::runStartUnit(JobState &state)
 void
 CampaignScheduler::runGroupUnit(JobState &state, size_t group_index)
 {
-    if (!state.broken.load()) {
+    ZATEL_TRACE_SCOPE("job.group", static_cast<int64_t>(group_index));
+    schedulerMetrics().unitsGroup->inc();
+    if (state.broken.load()) {
+        // The job already failed / timed out / was cancelled: this
+        // pending unit is dropped without simulating so the pool
+        // drains quickly (SchedulerTimeout.CancelsPendingStages).
+        schedulerMetrics().groupUnitsSkipped->inc();
+    } else {
         try {
             state.tasks[group_index] =
                 state.predictor->runGroupTask(group_index);
@@ -373,6 +438,8 @@ CampaignScheduler::runGroupUnit(JobState &state, size_t group_index)
 void
 CampaignScheduler::runFinalizeUnit(JobState &state)
 {
+    ZATEL_TRACE_SCOPE("job.finalize");
+    schedulerMetrics().unitsFinalize->inc();
     ResultRow row;
     row.jobId = state.job.id;
     row.scene = state.job.scene;

@@ -1,21 +1,78 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 
 namespace zatel
 {
+
+namespace
+{
+
+/** Lazily-registered pool metrics (docs/OBSERVABILITY.md catalogue).
+ *  Registration happens once; the handles stay valid forever and every
+ *  update is a no-op while the global registry is disabled. */
+struct PoolMetrics
+{
+    obs::Counter *tasksTotal;
+    obs::Gauge *queueDepth;
+    obs::Histogram *waitSeconds;
+    obs::Histogram *runSeconds;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        PoolMetrics m;
+        m.tasksTotal =
+            reg.counter("zatel_pool_tasks_total",
+                        "Tasks executed by ThreadPool workers");
+        m.queueDepth = reg.gauge("zatel_pool_queue_depth",
+                                 "Tasks queued but not yet started");
+        m.waitSeconds = reg.histogram(
+            "zatel_pool_task_wait_seconds",
+            "Time a task spent queued before a worker picked it up",
+            obs::Histogram::timeBuckets());
+        m.runSeconds =
+            reg.histogram("zatel_pool_task_run_seconds",
+                          "Execution wall-time per pool task",
+                          obs::Histogram::timeBuckets());
+        return m;
+    }();
+    return metrics;
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         since)
+        .count();
+}
+
+/** Process-wide pool id source ("pool<id>-w<i>" trace thread names). */
+std::atomic<uint32_t> g_nextPoolId{0};
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t num_threads)
 {
     if (num_threads == 0) {
         num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
     }
+    poolId_ = g_nextPoolId.fetch_add(1, std::memory_order_relaxed);
     workers_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -32,8 +89,13 @@ ThreadPool::~ThreadPool()
 std::future<void>
 ThreadPool::submit(std::function<void()> task)
 {
-    std::packaged_task<void()> packaged(std::move(task));
-    std::future<void> future = packaged.get_future();
+    QueuedTask queued;
+    queued.work = std::packaged_task<void()>(std::move(task));
+    std::future<void> future = queued.work.get_future();
+    if (obs::metricsEnabled()) {
+        queued.enqueued = std::chrono::steady_clock::now();
+        queued.timed = true;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (shutdown_) {
@@ -42,8 +104,10 @@ ThreadPool::submit(std::function<void()> task)
             throw std::runtime_error(
                 "ThreadPool::submit called during shutdown");
         }
-        tasks_.push(std::move(packaged));
+        tasks_.push(std::move(queued));
         ++inFlight_;
+        poolMetrics().queueDepth->set(
+            static_cast<double>(tasks_.size()));
     }
     taskReady_.notify_one();
     return future;
@@ -143,7 +207,7 @@ ThreadPool::parallelForChunked(size_t count, size_t grain,
 bool
 ThreadPool::runOneTask()
 {
-    std::packaged_task<void()> task;
+    QueuedTask task;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (tasks_.empty())
@@ -151,8 +215,19 @@ ThreadPool::runOneTask()
         task = std::move(tasks_.front());
         tasks_.pop();
         ++active_;
+        poolMetrics().queueDepth->set(
+            static_cast<double>(tasks_.size()));
     }
-    task();
+    // Task timing is sampled only when metrics were enabled at submit
+    // time; otherwise the clock is never read on this path.
+    if (task.timed)
+        poolMetrics().waitSeconds->observe(elapsedSeconds(task.enqueued));
+    const auto started = task.timed ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+    task.work();
+    if (task.timed)
+        poolMetrics().runSeconds->observe(elapsedSeconds(started));
+    poolMetrics().tasksTotal->inc();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --active_;
@@ -164,8 +239,13 @@ ThreadPool::runOneTask()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t worker_index)
 {
+    if (obs::tracingEnabled()) {
+        obs::TraceRecorder::global().setThreadName(
+            "pool" + std::to_string(poolId_) + "-w" +
+            std::to_string(worker_index));
+    }
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(mutex_);

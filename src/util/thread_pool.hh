@@ -18,8 +18,10 @@
 #ifndef ZATEL_UTIL_THREAD_POOL_HH
 #define ZATEL_UTIL_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -96,8 +98,21 @@ class ThreadPool
     void parallelForChunked(size_t count, size_t grain,
                             const std::function<void(size_t)> &body);
 
+    /** Process-unique id of this pool; names its workers in traces
+     *  ("pool<id>-w<i>", see docs/OBSERVABILITY.md). */
+    uint32_t poolId() const { return poolId_; }
+
   private:
-    void workerLoop();
+    /** A queued task plus its enqueue timestamp (only sampled while
+     *  metrics are enabled; `timed` false otherwise). */
+    struct QueuedTask
+    {
+        std::packaged_task<void()> work;
+        std::chrono::steady_clock::time_point enqueued{};
+        bool timed = false;
+    };
+
+    void workerLoop(size_t worker_index);
 
     /**
      * Pop and execute one queued task on the calling thread.
@@ -106,13 +121,14 @@ class ThreadPool
     bool runOneTask();
 
     std::vector<std::thread> workers_;
-    std::queue<std::packaged_task<void()>> tasks_;
+    std::queue<QueuedTask> tasks_;
     mutable std::mutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
     size_t inFlight_ = 0;
     size_t active_ = 0;
     bool shutdown_ = false;
+    uint32_t poolId_ = 0;
 };
 
 } // namespace zatel

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
@@ -20,6 +22,60 @@ tracerParamsFor(const ZatelParams &params)
     rt::TracerParams tp;
     tp.samplesPerPixel = params.samplesPerPixel;
     return tp;
+}
+
+/** Lazily-registered pipeline metrics (docs/OBSERVABILITY.md). All
+ *  updates are no-ops while the global registry is disabled, and none
+ *  of them feeds back into prediction state (the "observability must
+ *  not change results" invariant, docs/CORRECTNESS.md). */
+struct PredictorMetrics
+{
+    obs::Counter *predictions;
+    obs::Counter *groupsSimulated;
+    obs::Histogram *prepareSeconds;
+    obs::Histogram *simulateSeconds;
+    obs::Histogram *assembleSeconds;
+    obs::Histogram *groupSeconds;
+    obs::Histogram *groupCycles;
+};
+
+PredictorMetrics &
+predictorMetrics()
+{
+    static PredictorMetrics metrics = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        PredictorMetrics m;
+        m.predictions = reg.counter("zatel_predictions_total",
+                                    "Completed predict() pipelines");
+        m.groupsSimulated =
+            reg.counter("zatel_groups_simulated_total",
+                        "Scale-model group simulations executed");
+        const std::string stageName = "zatel_stage_seconds";
+        const std::string stageHelp =
+            "Wall-time of one predictor pipeline stage";
+        m.prepareSeconds =
+            reg.histogram(stageName, stageHelp,
+                          obs::Histogram::timeBuckets(),
+                          {{"stage", "prepare"}});
+        m.simulateSeconds =
+            reg.histogram(stageName, stageHelp,
+                          obs::Histogram::timeBuckets(),
+                          {{"stage", "simulate"}});
+        m.assembleSeconds =
+            reg.histogram(stageName, stageHelp,
+                          obs::Histogram::timeBuckets(),
+                          {{"stage", "assemble"}});
+        m.groupSeconds = reg.histogram(
+            "zatel_group_sim_seconds",
+            "Wall-time per scale-model group simulation",
+            obs::Histogram::timeBuckets());
+        m.groupCycles = reg.histogram(
+            "zatel_group_sim_cycles",
+            "Simulated cycles per scale-model group run",
+            obs::Histogram::cycleBuckets());
+        return m;
+    }();
+    return metrics;
 }
 
 } // namespace
@@ -80,17 +136,25 @@ ZatelPredictor::prepare()
         return;
     throwIfCancelled();
 
+    ZATEL_TRACE_SCOPE("predict.prepare");
     WallTimer preprocess_timer;
 
     // Steps (1) + (2): heatmap + color quantization (skipped when a
     // cached artifact was injected).
     if (!hasPrebuiltHeatmap_) {
-        rt::RenderResult render =
-            tracer_.render(params_.width, params_.height);
-        heatmap::Heatmap map =
-            heatmap::profileRender(render, params_.profiler);
-        quantized_ = heatmap::QuantizedHeatmap::quantize(
-            map, params_.quantizeColors, params_.seed);
+        rt::RenderResult render = [this] {
+            ZATEL_TRACE_SCOPE("prepare.render");
+            return tracer_.render(params_.width, params_.height);
+        }();
+        heatmap::Heatmap map = [this, &render] {
+            ZATEL_TRACE_SCOPE("prepare.profile");
+            return heatmap::profileRender(render, params_.profiler);
+        }();
+        {
+            ZATEL_TRACE_SCOPE("prepare.quantize");
+            quantized_ = heatmap::QuantizedHeatmap::quantize(
+                map, params_.quantizeColors, params_.seed);
+        }
     }
     throwIfCancelled();
 
@@ -101,10 +165,14 @@ ZatelPredictor::prepare()
                        : targetConfig_;
 
     // Step (4): image-plane division.
-    groups_ = divideImagePlane(params_.width, params_.height, k_,
-                               params_.partition);
+    {
+        ZATEL_TRACE_SCOPE("prepare.partition");
+        groups_ = divideImagePlane(params_.width, params_.height, k_,
+                                   params_.partition);
+    }
 
     // Step (5): representative pixels per group.
+    ZATEL_TRACE_SCOPE("prepare.select");
     Rng rng(params_.seed);
     selections_.clear();
     selections_.reserve(groups_.size());
@@ -121,6 +189,7 @@ ZatelPredictor::prepare()
         fractionsToRun_ = params_.regressionFractions;
 
     preprocessSeconds_ = preprocess_timer.elapsedSeconds();
+    predictorMetrics().prepareSeconds->observe(preprocessSeconds_);
     prepared_ = true;
 }
 
@@ -172,6 +241,8 @@ ZatelPredictor::assemble(std::vector<GroupTask> tasks,
                  "assemble() needs one task result per group");
     throwIfCancelled();
 
+    ZATEL_TRACE_SCOPE("predict.assemble");
+    WallTimer assemble_timer;
     ZatelResult result;
     result.preprocessWallSeconds = preprocessSeconds_;
     result.simWallSeconds = sim_wall_seconds;
@@ -227,6 +298,8 @@ ZatelPredictor::assemble(std::vector<GroupTask> tasks,
         result.predicted[metrics[m]] =
             combineMetric(metrics[m], group_values);
     }
+    predictorMetrics().assembleSeconds->observe(
+        assemble_timer.elapsedSeconds());
     return result;
 }
 
@@ -241,18 +314,27 @@ ZatelPredictor::simulateGroup(uint32_t group_index, const PixelGroup &group,
     result.selectedPixels = selection.selectedCount;
     result.fractionTraced = selection.actualFraction;
 
+    ZATEL_TRACE_SCOPE("sim.group", static_cast<int64_t>(group_index));
     WallTimer timer;
     gpusim::SimWorkload workload = gpusim::SimWorkload::build(
         tracer_, params_.width, params_.height, group, &selection.mask);
     gpusim::Gpu gpu(config, workload);
     result.stats = gpu.run();
     result.wallSeconds = timer.elapsedSeconds();
+
+    PredictorMetrics &metrics = predictorMetrics();
+    metrics.groupsSimulated->inc();
+    metrics.groupSeconds->observe(result.wallSeconds);
+    metrics.groupCycles->observe(
+        static_cast<double>(result.stats.cycles));
     return result;
 }
 
 ZatelResult
 ZatelPredictor::predict()
 {
+    ZATEL_TRACE_SCOPE("predict");
+
     // Steps (1)-(5).
     prepare();
 
@@ -262,38 +344,49 @@ ZatelPredictor::predict()
     const auto body = [&](size_t g) { tasks[g] = runGroupTask(g); };
 
     WallTimer sim_timer;
-    if (executor_ != nullptr) {
-        // Shared-pool mode (campaign service): the caller sizes the pool
-        // for the whole batch; the helping-caller design of
-        // parallelForChunked means this thread drains other jobs' tasks
-        // while it waits, so batched predictions never idle a core.
-        executor_->parallelForChunked(groups_.size(), 0, body);
-    } else {
+    {
+        ZATEL_TRACE_SCOPE("predict.simulate",
+                          static_cast<int64_t>(groups_.size()));
+        if (executor_ != nullptr) {
+            // Shared-pool mode (campaign service): the caller sizes the
+            // pool for the whole batch; the helping-caller design of
+            // parallelForChunked means this thread drains other jobs'
+            // tasks while it waits, so batched predictions never idle a
+            // core.
+            executor_->parallelForChunked(groups_.size(), 0, body);
+        } else {
         // Default the worker count to the hardware so instances are not
         // time-sliced against each other: per-instance wallSeconds then
         // measures each instance in isolation, and maxGroupWallSeconds
         // models the paper's one-core-per-group deployment even on
         // machines with fewer cores than K.
-        size_t workers =
-            params_.numThreads != 0
-                ? params_.numThreads
-                : std::max<size_t>(1, std::thread::hardware_concurrency());
-        ThreadPool pool(std::min<size_t>(workers, groups_.size()));
-        // grain 0 = automatic: one task per group while K <= 4x workers
-        // (each instance is heavy and run in isolation), degrading to
-        // range-chunked submission when a sweep forces K far above the
-        // worker count, which cuts queue-lock contention.
-        pool.parallelForChunked(groups_.size(), 0, body);
+            size_t workers =
+                params_.numThreads != 0
+                    ? params_.numThreads
+                    : std::max<size_t>(
+                          1, std::thread::hardware_concurrency());
+            ThreadPool pool(std::min<size_t>(workers, groups_.size()));
+            // grain 0 = automatic: one task per group while K <= 4x
+            // workers (each instance is heavy and run in isolation),
+            // degrading to range-chunked submission when a sweep forces
+            // K far above the worker count, which cuts queue-lock
+            // contention.
+            pool.parallelForChunked(groups_.size(), 0, body);
+        }
     }
+    const double sim_seconds = sim_timer.elapsedSeconds();
+    predictorMetrics().simulateSeconds->observe(sim_seconds);
+    predictorMetrics().predictions->inc();
 
     // Step (7).
-    return assemble(std::move(tasks), sim_timer.elapsedSeconds());
+    return assemble(std::move(tasks), sim_seconds);
 }
 
 OracleResult
 ZatelPredictor::runOracle() const
 {
     OracleResult oracle;
+    ZATEL_TRACE_SCOPE("oracle.run");
     WallTimer timer;
     gpusim::SimWorkload workload = gpusim::SimWorkload::buildFullFrame(
         tracer_, params_.width, params_.height);

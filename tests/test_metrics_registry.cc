@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for obs::MetricsRegistry: counter/gauge/histogram
+ * semantics, bucket boundary edges, Prometheus / JSON export golden
+ * checks, registration misuse, and a multithreaded exact-total test.
+ *
+ * Suite names start with "MetricsRegistry" so the tsan-determinism
+ * ctest preset picks them up (see CMakePresets.json).
+ */
+
+#include "obs/metrics_registry.hh"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/validate.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+TEST(MetricsRegistryCounter, DisabledRegistryIgnoresIncrements)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter *counter =
+        registry.counter("zatel_test_total", "test counter");
+    counter->inc();
+    counter->inc(10);
+    EXPECT_EQ(counter->value(), 0u);
+
+    registry.setEnabled(true);
+    counter->inc(3);
+    EXPECT_EQ(counter->value(), 3u);
+
+    registry.setEnabled(false);
+    counter->inc(100);
+    EXPECT_EQ(counter->value(), 3u);
+}
+
+TEST(MetricsRegistryCounter, FindOrRegisterReturnsSameSeries)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Counter *a =
+        registry.counter("zatel_hits_total", "hits", {{"kind", "x"}});
+    obs::Counter *b =
+        registry.counter("zatel_hits_total", "hits", {{"kind", "x"}});
+    obs::Counter *c =
+        registry.counter("zatel_hits_total", "hits", {{"kind", "y"}});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    a->inc();
+    EXPECT_EQ(b->value(), 1u);
+    EXPECT_EQ(c->value(), 0u);
+    EXPECT_EQ(registry.seriesCount(), 2u);
+}
+
+TEST(MetricsRegistryCounter, MultithreadedIncrementsAllLand)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Counter *counter =
+        registry.counter("zatel_mt_total", "contended counter");
+    obs::Gauge *gauge = registry.gauge("zatel_mt_gauge", "contended");
+    obs::Histogram *histogram = registry.histogram(
+        "zatel_mt_seconds", "contended", obs::Histogram::timeBuckets());
+
+    constexpr int kThreads = 8;
+    constexpr int kIncsPerThread = 2000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) {
+                // wait for the starting gun
+            }
+            for (int i = 0; i < kIncsPerThread; ++i) {
+                counter->inc();
+                gauge->add(1.0);
+                histogram->observe(0.001);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const uint64_t expected =
+        static_cast<uint64_t>(kThreads) * kIncsPerThread;
+    EXPECT_EQ(counter->value(), expected);
+    EXPECT_EQ(gauge->value(), static_cast<double>(expected));
+    EXPECT_EQ(histogram->count(), expected);
+    EXPECT_NEAR(histogram->sum(), 0.001 * expected, 1e-6 * expected);
+}
+
+TEST(MetricsRegistryGauge, SetAddSub)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Gauge *gauge = registry.gauge("zatel_depth", "queue depth");
+    gauge->set(5.0);
+    EXPECT_EQ(gauge->value(), 5.0);
+    gauge->add(2.5);
+    EXPECT_EQ(gauge->value(), 7.5);
+    gauge->sub(7.5);
+    EXPECT_EQ(gauge->value(), 0.0);
+}
+
+TEST(MetricsRegistryHistogram, BucketBoundariesAreLessOrEqual)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Histogram *histogram = registry.histogram(
+        "zatel_edge_seconds", "boundary semantics", {1.0, 2.0, 4.0});
+
+    histogram->observe(1.0); // == bound: lands in bucket 0 (le="1")
+    histogram->observe(1.0000001);
+    histogram->observe(2.0); // == bound: bucket 1
+    histogram->observe(4.0); // == last finite bound: bucket 2
+    histogram->observe(4.5); // above every bound: +Inf bucket
+    histogram->observe(0.0); // below everything: bucket 0
+
+    std::vector<uint64_t> counts = histogram->bucketCounts();
+    ASSERT_EQ(counts.size(), 4u); // 3 finite + implicit +Inf
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(histogram->count(), 6u);
+}
+
+TEST(MetricsRegistryHistogram, BadBucketLayoutThrows)
+{
+    obs::MetricsRegistry registry;
+    EXPECT_THROW(registry.histogram("zatel_bad_a", "empty", {}),
+                 obs::MetricsError);
+    EXPECT_THROW(
+        registry.histogram("zatel_bad_b", "nonmonotonic", {1.0, 1.0}),
+        obs::MetricsError);
+    EXPECT_THROW(
+        registry.histogram("zatel_bad_c", "descending", {2.0, 1.0}),
+        obs::MetricsError);
+}
+
+TEST(MetricsRegistryRegistration, DuplicateNameDifferentKindThrows)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("zatel_thing_total", "a counter");
+    EXPECT_THROW(registry.gauge("zatel_thing_total", "now a gauge"),
+                 obs::MetricsError);
+    EXPECT_THROW(registry.histogram("zatel_thing_total", "now a histo",
+                                    {1.0}),
+                 obs::MetricsError);
+
+    registry.histogram("zatel_lat_seconds", "latency", {1.0, 2.0});
+    // Same name with different buckets is also a conflict.
+    EXPECT_THROW(
+        registry.histogram("zatel_lat_seconds", "latency", {1.0, 3.0}),
+        obs::MetricsError);
+}
+
+TEST(MetricsRegistryRegistration, InvalidNamesRejected)
+{
+    obs::MetricsRegistry registry;
+    EXPECT_THROW(registry.counter("0starts_with_digit", "bad"),
+                 obs::MetricsError);
+    EXPECT_THROW(registry.counter("has-dash_total", "bad"),
+                 obs::MetricsError);
+    EXPECT_THROW(registry.counter("", "bad"), obs::MetricsError);
+    EXPECT_THROW(
+        registry.counter("zatel_ok_total", "bad label",
+                         {{"0bad", "v"}}),
+        obs::MetricsError);
+}
+
+TEST(MetricsRegistryRegistration, ResetValuesKeepsHandlesValid)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Counter *counter = registry.counter("zatel_r_total", "r");
+    obs::Gauge *gauge = registry.gauge("zatel_r_gauge", "r");
+    obs::Histogram *histogram =
+        registry.histogram("zatel_r_seconds", "r", {1.0});
+    counter->inc(7);
+    gauge->set(3.0);
+    histogram->observe(0.5);
+
+    registry.resetValues();
+    EXPECT_EQ(registry.seriesCount(), 3u);
+    EXPECT_EQ(counter->value(), 0u);
+    EXPECT_EQ(gauge->value(), 0.0);
+    EXPECT_EQ(histogram->count(), 0u);
+    EXPECT_EQ(histogram->sum(), 0.0);
+
+    counter->inc(); // handle still live after reset
+    EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(MetricsRegistryExport, PrometheusTextGolden)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    registry.counter("zatel_hits_total", "Cache hits",
+                     {{"kind", "heatmap"}})
+        ->inc(4);
+    registry.gauge("zatel_bytes_in_use", "Bytes resident")->set(2048);
+
+    std::string text = registry.prometheusText();
+    std::vector<std::string> problems =
+        obs::validatePrometheusText(text);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+
+    EXPECT_NE(text.find("# HELP zatel_bytes_in_use Bytes resident"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE zatel_bytes_in_use gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("zatel_bytes_in_use 2048"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE zatel_hits_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("zatel_hits_total{kind=\"heatmap\"} 4"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistryExport, PrometheusHistogramIsCumulative)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    obs::Histogram *histogram = registry.histogram(
+        "zatel_h_seconds", "latency", {1.0, 2.0});
+    histogram->observe(0.5);
+    histogram->observe(1.5);
+    histogram->observe(9.0);
+
+    std::string text = registry.prometheusText();
+    EXPECT_TRUE(obs::validatePrometheusText(text).empty());
+    EXPECT_NE(text.find("zatel_h_seconds_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("zatel_h_seconds_bucket{le=\"2\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("zatel_h_seconds_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("zatel_h_seconds_count 3"), std::string::npos);
+    EXPECT_NE(text.find("zatel_h_seconds_sum 11"), std::string::npos);
+}
+
+TEST(MetricsRegistryExport, JsonDumpValidatesAndRoundTrips)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    registry.counter("zatel_j_total", "j", {{"kind", "a"}})->inc(2);
+    registry.gauge("zatel_j_gauge", "j")->set(1.5);
+    registry.histogram("zatel_j_seconds", "j", {1.0})->observe(0.25);
+
+    std::string text = registry.jsonText();
+    std::vector<std::string> problems = obs::validateMetricsJson(text);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+
+    obs::JsonValue root = obs::parseJson(text);
+    const obs::JsonValue &metrics = root.at("metrics");
+    ASSERT_TRUE(metrics.isArray());
+    ASSERT_EQ(metrics.arrayValue.size(), 3u);
+
+    bool saw_counter = false;
+    bool saw_histogram = false;
+    for (const obs::JsonValue &entry : metrics.arrayValue) {
+        const std::string &name = entry.at("name").stringValue;
+        if (name == "zatel_j_total") {
+            saw_counter = true;
+            EXPECT_EQ(entry.at("kind").stringValue, "counter");
+            EXPECT_EQ(entry.at("value").numberValue, 2.0);
+            EXPECT_EQ(entry.at("labels").at("kind").stringValue, "a");
+        } else if (name == "zatel_j_seconds") {
+            saw_histogram = true;
+            EXPECT_EQ(entry.at("kind").stringValue, "histogram");
+            EXPECT_EQ(entry.at("count").numberValue, 1.0);
+            // buckets = one finite bound + implicit +Inf.
+            EXPECT_EQ(entry.at("buckets").arrayValue.size(), 2u);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_histogram);
+}
+
+TEST(MetricsRegistryExport, ExportIsSortedAndStable)
+{
+    obs::MetricsRegistry registry;
+    registry.setEnabled(true);
+    // Register out of order; export must sort by (name, labels).
+    registry.counter("zatel_zz_total", "z");
+    registry.counter("zatel_aa_total", "a");
+    registry.counter("zatel_mm_total", "m", {{"k", "b"}});
+    registry.counter("zatel_mm_total", "m", {{"k", "a"}});
+
+    std::string first = registry.prometheusText();
+    std::string second = registry.prometheusText();
+    EXPECT_EQ(first, second);
+    EXPECT_LT(first.find("zatel_aa_total"), first.find("zatel_mm_total"));
+    EXPECT_LT(first.find("zatel_mm_total{k=\"a\"}"),
+              first.find("zatel_mm_total{k=\"b\"}"));
+    EXPECT_LT(first.find("zatel_mm_total{k=\"b\"}"),
+              first.find("zatel_zz_total"));
+}
+
+} // namespace

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Observability integration tests: turning the tracing + metrics layer
+ * ON must not change a single bit of any pipeline result.
+ *
+ * This is the "observability must not change results" invariant from
+ * docs/CORRECTNESS.md: the recorder reads the wall clock and writes its
+ * own buffers, nothing else. The tests here prove it the same way the
+ * determinism harness (tests/test_determinism.cc) proves thread-count
+ * independence — doubles compared by bit pattern, not tolerance — for
+ * both the direct ZatelPredictor path and an 8-job campaign through the
+ * scheduler. They also pin down the instrumentation contract: the spans
+ * and metric series the docs promise actually appear, and the cache
+ * metrics agree exactly with ArtifactCache's own counters.
+ *
+ * Tests use the GLOBAL recorder/registry (that is what the built-in
+ * instrumentation writes to), so every assertion on counters is a
+ * before/after delta and the fixture always disables both on teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
+#include "obs/validate.hh"
+#include "rt/bvh.hh"
+#include "rt/scene_library.hh"
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel
+{
+namespace
+{
+
+/** Bit pattern of a double; NaN-safe, distinguishes -0.0 from 0.0. */
+uint64_t
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Expect every raw counter of two GpuStats to be identical. */
+void
+expectStatsIdentical(const gpusim::GpuStats &a, const gpusim::GpuStats &b,
+                     const std::string &context)
+{
+#define ZATEL_EXPECT_COUNTER(field)                                         \
+    EXPECT_EQ(a.field, b.field) << context << ": counter " #field " diverged"
+    ZATEL_EXPECT_COUNTER(cycles);
+    ZATEL_EXPECT_COUNTER(threadInstructions);
+    ZATEL_EXPECT_COUNTER(warpInstructions);
+    ZATEL_EXPECT_COUNTER(l1dAccesses);
+    ZATEL_EXPECT_COUNTER(l1dMisses);
+    ZATEL_EXPECT_COUNTER(l2Accesses);
+    ZATEL_EXPECT_COUNTER(l2Misses);
+    ZATEL_EXPECT_COUNTER(rtActiveRaySum);
+    ZATEL_EXPECT_COUNTER(rtResidentWarpCycles);
+    ZATEL_EXPECT_COUNTER(rtNodeVisits);
+    ZATEL_EXPECT_COUNTER(rtTriangleTests);
+    ZATEL_EXPECT_COUNTER(dramBusyCycles);
+    ZATEL_EXPECT_COUNTER(dramActiveCycles);
+    ZATEL_EXPECT_COUNTER(dramChannelCycles);
+    ZATEL_EXPECT_COUNTER(dramBytesRead);
+    ZATEL_EXPECT_COUNTER(dramBytesWritten);
+    ZATEL_EXPECT_COUNTER(warpsLaunched);
+    ZATEL_EXPECT_COUNTER(raysTraced);
+    ZATEL_EXPECT_COUNTER(pixelsTraced);
+    ZATEL_EXPECT_COUNTER(pixelsFiltered);
+#undef ZATEL_EXPECT_COUNTER
+}
+
+/** Byte-identical everywhere except wall-clock fields. */
+void
+expectResultsIdentical(const core::ZatelResult &a,
+                       const core::ZatelResult &b,
+                       const std::string &context)
+{
+    EXPECT_EQ(a.k, b.k) << context;
+    EXPECT_EQ(bitsOf(a.fractionTraced), bitsOf(b.fractionTraced))
+        << context;
+    ASSERT_EQ(a.groups.size(), b.groups.size()) << context;
+    for (size_t g = 0; g < a.groups.size(); ++g) {
+        const std::string where = context + ", group " + std::to_string(g);
+        EXPECT_EQ(a.groups[g].groupIndex, b.groups[g].groupIndex) << where;
+        EXPECT_EQ(a.groups[g].selectedPixels, b.groups[g].selectedPixels)
+            << where;
+        expectStatsIdentical(a.groups[g].stats, b.groups[g].stats, where);
+    }
+    for (gpusim::Metric metric : gpusim::allMetrics()) {
+        ASSERT_TRUE(a.predicted.count(metric)) << context;
+        ASSERT_TRUE(b.predicted.count(metric)) << context;
+        EXPECT_EQ(bitsOf(a.predicted.at(metric)),
+                  bitsOf(b.predicted.at(metric)))
+            << context << ": prediction for "
+            << gpusim::metricName(metric) << " diverged";
+    }
+}
+
+/** Current value of a global-registry counter (registers on miss). */
+uint64_t
+globalCounter(const std::string &name, const obs::Labels &labels = {})
+{
+    return obs::MetricsRegistry::global()
+        .counter(name, "test probe", labels)
+        ->value();
+}
+
+/** Count spans named @p name in @p events. */
+size_t
+countSpans(const std::vector<obs::TraceEvent> &events,
+           const std::string &name)
+{
+    size_t count = 0;
+    for (const obs::TraceEvent &event : events) {
+        if (event.name == name)
+            ++count;
+    }
+    return count;
+}
+
+/** Always leave the process-wide observability switched off. */
+class ObsIntegrationTest : public testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        obs::TraceRecorder::global().disable();
+        obs::MetricsRegistry::global().setEnabled(false);
+    }
+};
+
+using ObsIntegration = ObsIntegrationTest;
+
+TEST_F(ObsIntegration, PredictIsByteIdenticalWithObservabilityOn)
+{
+    rt::Scene scene =
+        rt::buildScene(rt::SceneId::Wknd, rt::SceneDetail{0.4f});
+    rt::Bvh bvh;
+    bvh.build(scene.triangles());
+
+    core::ZatelParams params;
+    params.width = 48;
+    params.height = 48;
+    params.seed = 0x2A7E1;
+    params.numThreads = 4;
+
+    // Baseline: observability fully off (the library default).
+    core::ZatelResult baseline =
+        core::ZatelPredictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params)
+            .predict();
+
+    // Instrumented run: tracing + metrics on.
+    const uint64_t predictions_before =
+        globalCounter("zatel_predictions_total");
+    const uint64_t groups_before =
+        globalCounter("zatel_groups_simulated_total");
+    const uint64_t gpu_runs_before = globalCounter("zatel_gpu_runs_total");
+
+    obs::TraceRecorder::global().enable();
+    obs::MetricsRegistry::global().setEnabled(true);
+    core::ZatelResult traced =
+        core::ZatelPredictor(scene, bvh, gpusim::GpuConfig::mobileSoc(),
+                             params)
+            .predict();
+    obs::TraceRecorder::global().disable();
+    obs::MetricsRegistry::global().setEnabled(false);
+
+    expectResultsIdentical(baseline, traced, "obs on vs off");
+
+    // The promised spans exist: one pipeline, one prepare/simulate/
+    // assemble, one sim.group per image-plane group.
+    std::vector<obs::TraceEvent> events =
+        obs::TraceRecorder::global().snapshot();
+    EXPECT_EQ(countSpans(events, "predict"), 1u);
+    EXPECT_EQ(countSpans(events, "predict.prepare"), 1u);
+    EXPECT_EQ(countSpans(events, "predict.simulate"), 1u);
+    EXPECT_EQ(countSpans(events, "predict.assemble"), 1u);
+    EXPECT_EQ(countSpans(events, "sim.group"), traced.groups.size());
+    EXPECT_GE(countSpans(events, "gpu.run"), traced.groups.size());
+
+    // And the exported trace is schema-valid Chrome JSON.
+    EXPECT_TRUE(obs::validateChromeTrace(
+                    obs::TraceRecorder::global().exportChromeTrace())
+                    .empty());
+
+    // The promised metric series moved by exactly what the run did.
+    EXPECT_EQ(globalCounter("zatel_predictions_total"),
+              predictions_before + 1);
+    EXPECT_EQ(globalCounter("zatel_groups_simulated_total"),
+              groups_before + traced.groups.size());
+    EXPECT_GE(globalCounter("zatel_gpu_runs_total"),
+              gpu_runs_before + traced.groups.size());
+    EXPECT_TRUE(obs::validatePrometheusText(
+                    obs::MetricsRegistry::global().prometheusText())
+                    .empty());
+    EXPECT_TRUE(obs::validateMetricsJson(
+                    obs::MetricsRegistry::global().jsonText())
+                    .empty());
+}
+
+/** A small, fast campaign job: 32x32 PARK at reduced density. */
+service::CampaignJob
+makeJob(double fraction)
+{
+    service::CampaignJob job;
+    job.scene = "PARK";
+    job.sceneDetail = 0.3f;
+    job.params.width = 32;
+    job.params.height = 32;
+    job.params.selector.fixedFraction = fraction;
+    return job;
+}
+
+std::vector<service::CampaignJob>
+makeCampaign(size_t count)
+{
+    std::vector<service::CampaignJob> jobs;
+    jobs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        jobs.push_back(makeJob(0.15 + 0.05 * static_cast<double>(i)));
+    service::finalizeCampaign(jobs);
+    return jobs;
+}
+
+TEST_F(ObsIntegration, CampaignByteIdenticalAndCacheMetricsMatch)
+{
+    constexpr uint64_t kBudget = 256ull * 1024 * 1024;
+    constexpr size_t kJobs = 8;
+
+    // Baseline campaign, observability off.
+    service::ArtifactCache baseline_cache(kBudget, "");
+    service::ResultStore baseline_store("");
+    {
+        service::SchedulerParams params;
+        params.workers = 4;
+        service::CampaignScheduler scheduler(
+            makeCampaign(kJobs), baseline_cache, baseline_store, params);
+        ASSERT_EQ(scheduler.run().ok, kJobs);
+    }
+
+    // Instrumented campaign on a fresh cache.
+    const obs::Labels pack_hit = {{"kind", "scenepack"}, {"event", "hit"}};
+    const obs::Labels pack_miss = {{"kind", "scenepack"},
+                                   {"event", "miss"}};
+    const obs::Labels map_hit = {{"kind", "heatmap"}, {"event", "hit"}};
+    const obs::Labels map_miss = {{"kind", "heatmap"}, {"event", "miss"}};
+    const std::string cache_total = "zatel_cache_events_total";
+    const std::string units_total = "zatel_campaign_units_total";
+    const uint64_t pack_hit_before = globalCounter(cache_total, pack_hit);
+    const uint64_t pack_miss_before =
+        globalCounter(cache_total, pack_miss);
+    const uint64_t map_hit_before = globalCounter(cache_total, map_hit);
+    const uint64_t map_miss_before = globalCounter(cache_total, map_miss);
+    const uint64_t start_units_before =
+        globalCounter(units_total, {{"stage", "start"}});
+    const uint64_t finalize_units_before =
+        globalCounter(units_total, {{"stage", "finalize"}});
+    const uint64_t ok_jobs_before =
+        globalCounter("zatel_campaign_jobs_total", {{"status", "ok"}});
+
+    obs::TraceRecorder::global().enable();
+    obs::MetricsRegistry::global().setEnabled(true);
+    service::ArtifactCache traced_cache(kBudget, "");
+    service::ResultStore traced_store("");
+    {
+        service::SchedulerParams params;
+        params.workers = 4;
+        service::CampaignScheduler scheduler(makeCampaign(kJobs),
+                                             traced_cache, traced_store,
+                                             params);
+        ASSERT_EQ(scheduler.run().ok, kJobs);
+    }
+    obs::TraceRecorder::global().disable();
+    obs::MetricsRegistry::global().setEnabled(false);
+
+    // Byte-identical rows per job id (timing fields excluded by
+    // comparing only the determinism-covered columns).
+    std::map<std::string, service::ResultRow> baseline_rows;
+    for (const service::ResultRow &row : baseline_store.rows())
+        baseline_rows[row.jobId] = row;
+    ASSERT_EQ(baseline_rows.size(), kJobs);
+    for (const service::ResultRow &row : traced_store.rows()) {
+        const auto it = baseline_rows.find(row.jobId);
+        ASSERT_NE(it, baseline_rows.end()) << row.jobId;
+        EXPECT_EQ(row.k, it->second.k) << row.jobId;
+        EXPECT_EQ(bitsOf(row.fractionTraced),
+                  bitsOf(it->second.fractionTraced))
+            << row.jobId;
+        for (gpusim::Metric metric : gpusim::allMetrics()) {
+            EXPECT_EQ(bitsOf(row.predicted.at(metric)),
+                      bitsOf(it->second.predicted.at(metric)))
+                << row.jobId << ": " << gpusim::metricName(metric)
+                << " changed when observability was enabled";
+        }
+    }
+
+    // zatel_cache_events_total deltas agree EXACTLY with the cache's
+    // own counters for the instrumented run.
+    const service::ArtifactCache::Counters pack =
+        traced_cache.counters(service::ArtifactKind::ScenePack);
+    const service::ArtifactCache::Counters map =
+        traced_cache.counters(service::ArtifactKind::QuantizedHeatmap);
+    EXPECT_EQ(globalCounter(cache_total, pack_hit) - pack_hit_before,
+              pack.hits);
+    EXPECT_EQ(globalCounter(cache_total, pack_miss) - pack_miss_before,
+              pack.misses);
+    EXPECT_EQ(globalCounter(cache_total, map_hit) - map_hit_before,
+              map.hits);
+    EXPECT_EQ(globalCounter(cache_total, map_miss) - map_miss_before,
+              map.misses);
+    // And the cache really did its job: one build per artifact kind.
+    EXPECT_EQ(pack.misses, 1u);
+    EXPECT_EQ(pack.hits, kJobs - 1);
+    EXPECT_EQ(map.misses, 1u);
+    EXPECT_EQ(map.hits, kJobs - 1);
+
+    // Scheduler stage units: one start + one finalize per job.
+    EXPECT_EQ(globalCounter(units_total, {{"stage", "start"}}) -
+                  start_units_before,
+              kJobs);
+    EXPECT_EQ(globalCounter(units_total, {{"stage", "finalize"}}) -
+                  finalize_units_before,
+              kJobs);
+    EXPECT_EQ(globalCounter("zatel_campaign_jobs_total",
+                            {{"status", "ok"}}) -
+                  ok_jobs_before,
+              kJobs);
+
+    // Scheduler spans exist and pool workers got stable trace names.
+    std::vector<obs::TraceEvent> events =
+        obs::TraceRecorder::global().snapshot();
+    EXPECT_EQ(countSpans(events, "job.start"), kJobs);
+    EXPECT_EQ(countSpans(events, "job.finalize"), kJobs);
+    EXPECT_GE(countSpans(events, "job.group"), kJobs);
+    size_t pool_threads = 0;
+    for (const auto &entry : obs::TraceRecorder::global().threadNames()) {
+        if (entry.second.rfind("pool", 0) == 0)
+            ++pool_threads;
+    }
+    EXPECT_GE(pool_threads, 4u);
+}
+
+} // namespace
+} // namespace zatel

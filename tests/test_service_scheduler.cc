@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "gpusim/stats.hh"
+#include "obs/metrics_registry.hh"
 #include "rt/bvh.hh"
 #include "rt/scene_library.hh"
 #include "service/artifact_cache.hh"
@@ -303,6 +305,86 @@ TEST(SchedulerDeterminism, WarmCacheRunIsByteIdentical)
                 << row.jobId << ": " << gpusim::metricName(metric);
         }
     }
+}
+
+// Deliberately NOT part of the tsan determinism filter: the test is
+// timing-based (it arms a real wall-clock timeout mid-campaign).
+TEST(SchedulerTimeout, CancelsPendingStages)
+{
+    // A job whose group-simulation phase dwarfs its (cache-warm)
+    // preprocessing: 160x160, every pixel traced, 4 spp.
+    CampaignJob heavy;
+    heavy.scene = "PARK";
+    heavy.params.width = 160;
+    heavy.params.height = 160;
+    heavy.params.samplesPerPixel = 4;
+    heavy.params.selector.fixedFraction = 1.0;
+
+    ArtifactCache cache(kCacheBudget, "");
+
+    // Calibration pass (no timeout): measures this machine's group
+    // phase and leaves the scene pack + heatmap in the cache, so the
+    // timed pass spends its whole budget inside group units.
+    double sim_seconds = 0.0;
+    size_t group_count = 0;
+    {
+        std::vector<CampaignJob> jobs{heavy};
+        finalizeCampaign(jobs);
+        ResultStore store("");
+        SchedulerParams params;
+        params.workers = 1;
+        CampaignScheduler scheduler(std::move(jobs), cache, store,
+                                    params);
+        ASSERT_EQ(scheduler.run().ok, 1u);
+        const ResultRow row = store.rows()[0];
+        sim_seconds = row.simSeconds;
+        group_count = row.k;
+    }
+    ASSERT_GE(group_count, 3u) << "need several group units to skip";
+    ASSERT_GT(sim_seconds, 0.0);
+
+    // Timed pass: the budget covers warm preprocessing plus roughly one
+    // group simulation, so the deadline expires while group units are
+    // still pending. Those pending units must be dropped (not
+    // simulated) and the pool must still drain to a terminal row.
+    const uint64_t skipped_before =
+        obs::MetricsRegistry::global()
+            .counter("zatel_campaign_group_units_skipped_total", "probe")
+            ->value();
+    obs::MetricsRegistry::global().setEnabled(true);
+
+    std::vector<CampaignJob> jobs{heavy};
+    finalizeCampaign(jobs);
+    ResultStore store("");
+    SchedulerParams params;
+    params.workers = 1;
+    params.jobTimeoutSeconds = std::max(0.05, 0.35 * sim_seconds);
+    CampaignScheduler scheduler(std::move(jobs), cache, store, params);
+    CampaignSummary summary = scheduler.run();
+
+    obs::MetricsRegistry::global().setEnabled(false);
+    const uint64_t skipped_after =
+        obs::MetricsRegistry::global()
+            .counter("zatel_campaign_group_units_skipped_total", "probe")
+            ->value();
+
+    // The job timed out during group simulation, not preprocessing.
+    EXPECT_EQ(summary.timedOut, 1u);
+    EXPECT_EQ(summary.ok, 0u);
+    ASSERT_EQ(store.rowCount(), 1u) << "scheduler failed to drain";
+    const ResultRow row = store.rows()[0];
+    EXPECT_EQ(row.status, JobStatus::TimedOut);
+    EXPECT_NE(row.error.find("group simulation"), std::string::npos)
+        << row.error;
+    EXPECT_TRUE(row.predicted.empty());
+
+    // The cancellation witness: at least one already-enqueued group
+    // unit executed the skip path instead of simulating.
+    EXPECT_GE(skipped_after - skipped_before, 1u)
+        << "pending group units were simulated after the timeout";
+    // And the timed run must have finished well before a full group
+    // phase would have (it skipped most of the work).
+    EXPECT_LT(summary.wallSeconds, sim_seconds);
 }
 
 } // namespace

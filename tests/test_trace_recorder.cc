@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit tests for obs::TraceRecorder: span nesting/ordering, per-thread
+ * buffer merge, Chrome trace_event JSON schema round-trip, disabled
+ * no-op behaviour and a TSan-sized concurrent-writer test.
+ *
+ * Suite names start with "TraceRecorder" so the tsan-determinism ctest
+ * preset picks them up (see CMakePresets.json).
+ */
+
+#include "obs/trace_recorder.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/validate.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+/** Spin for roughly @p micros so spans get a nonzero duration. */
+void
+spinFor(uint64_t micros)
+{
+    auto end = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(micros);
+    while (std::chrono::steady_clock::now() < end) {
+        // busy wait
+    }
+}
+
+TEST(TraceRecorderBasics, DisabledRecorderRecordsNothing)
+{
+    obs::TraceRecorder recorder;
+    EXPECT_FALSE(recorder.enabled());
+
+    recorder.beginSpan("never");
+    recorder.endSpan();
+    recorder.setThreadName("ghost");
+
+    EXPECT_EQ(recorder.eventCount(), 0u);
+    EXPECT_TRUE(recorder.snapshot().empty());
+    EXPECT_TRUE(recorder.threadNames().empty());
+    EXPECT_EQ(recorder.nowMicros(), 0.0);
+}
+
+TEST(TraceRecorderBasics, RecordsSimpleSpan)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    EXPECT_TRUE(recorder.enabled());
+
+    recorder.beginSpan("alpha");
+    spinFor(200);
+    recorder.endSpan();
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "alpha");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_GE(events[0].tsMicros, 0.0);
+    EXPECT_GT(events[0].durMicros, 0.0);
+    EXPECT_FALSE(events[0].hasArg);
+}
+
+TEST(TraceRecorderBasics, SpanArgumentRoundTrips)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan("group", static_cast<int64_t>(17));
+    recorder.endSpan();
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].hasArg);
+    EXPECT_EQ(events[0].arg, 17);
+}
+
+TEST(TraceRecorderBasics, DynamicNameOnlyCopiedWhenEnabled)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan(std::string("dyn.") + std::to_string(42));
+    recorder.endSpan();
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "dyn.42");
+}
+
+TEST(TraceRecorderNesting, DepthTracksStackAndTimesNest)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+
+    recorder.beginSpan("outer");
+    spinFor(100);
+    recorder.beginSpan("inner");
+    spinFor(100);
+    recorder.endSpan(); // inner
+    spinFor(100);
+    recorder.endSpan(); // outer
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    // snapshot() sorts by start time: outer opened first.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].depth, 1u);
+
+    // The inner span must be strictly contained in the outer one.
+    EXPECT_GE(events[1].tsMicros, events[0].tsMicros);
+    EXPECT_LE(events[1].tsMicros + events[1].durMicros,
+              events[0].tsMicros + events[0].durMicros);
+}
+
+TEST(TraceRecorderNesting, SiblingsAreOrderedByStartTime)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    for (int i = 0; i < 4; ++i) {
+        recorder.beginSpan("step", i);
+        spinFor(50);
+        recorder.endSpan();
+    }
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].arg, static_cast<int64_t>(i));
+        if (i > 0) {
+            EXPECT_GE(events[i].tsMicros, events[i - 1].tsMicros);
+        }
+    }
+}
+
+TEST(TraceRecorderNesting, SpanBegunBeforeDisableStillCloses)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan("straddler");
+    recorder.disable();
+    // The RAII dtor path must still be balanced after a disable().
+    recorder.endSpan();
+    EXPECT_EQ(recorder.eventCount(), 1u);
+}
+
+TEST(TraceRecorderNesting, EnableClearsPreviousRecording)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan("old");
+    recorder.endSpan();
+    recorder.disable();
+    ASSERT_EQ(recorder.eventCount(), 1u);
+
+    recorder.enable(); // new generation: previous spans dropped
+    recorder.beginSpan("new");
+    recorder.endSpan();
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "new");
+}
+
+TEST(TraceRecorderThreads, PerThreadBuffersMergeWithStableTids)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.setThreadName("driver");
+
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&recorder, t] {
+            recorder.setThreadName("worker-" + std::to_string(t));
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                recorder.beginSpan("work", t * kSpansPerThread + i);
+                recorder.endSpan();
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    recorder.disable();
+
+    std::vector<obs::TraceEvent> events = recorder.snapshot();
+    ASSERT_EQ(events.size(),
+              static_cast<size_t>(kThreads * kSpansPerThread));
+
+    // Every span arg appears exactly once (no merge loss/duplication).
+    std::set<int64_t> args;
+    std::set<uint32_t> tids;
+    for (const obs::TraceEvent &event : events) {
+        args.insert(event.arg);
+        tids.insert(event.tid);
+    }
+    EXPECT_EQ(args.size(), events.size());
+    EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+
+    // 4 worker names + the driver thread's name.
+    auto names = recorder.threadNames();
+    EXPECT_EQ(names.size(), static_cast<size_t>(kThreads) + 1);
+    std::set<std::string> name_set;
+    for (const auto &entry : names)
+        name_set.insert(entry.second);
+    EXPECT_EQ(name_set.count("driver"), 1u);
+    EXPECT_EQ(name_set.count("worker-0"), 1u);
+    EXPECT_EQ(name_set.count("worker-3"), 1u);
+}
+
+TEST(TraceRecorderThreads, ConcurrentWritersProduceExactSpanCount)
+{
+    // TSan-sized stress: many threads hammering begin/end while the
+    // main thread snapshots concurrently. Run under the tsan preset.
+    obs::TraceRecorder recorder;
+    recorder.enable();
+
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 500;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&recorder, &go] {
+            while (!go.load(std::memory_order_acquire)) {
+                // wait for the starting gun
+            }
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                recorder.beginSpan("stress");
+                recorder.beginSpan("stress.inner", i);
+                recorder.endSpan();
+                recorder.endSpan();
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+
+    // Concurrent reader: snapshot() must be safe mid-recording.
+    for (int i = 0; i < 10; ++i) {
+        std::vector<obs::TraceEvent> partial = recorder.snapshot();
+        EXPECT_LE(partial.size(),
+                  static_cast<size_t>(2 * kThreads * kSpansPerThread));
+        std::this_thread::yield();
+    }
+
+    for (std::thread &thread : threads)
+        thread.join();
+    recorder.disable();
+
+    EXPECT_EQ(recorder.eventCount(),
+              static_cast<size_t>(2 * kThreads * kSpansPerThread));
+}
+
+TEST(TraceRecorderExport, ChromeTraceParsesAndValidates)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.setThreadName("main");
+    recorder.beginSpan("outer");
+    recorder.beginSpan("inner", 3);
+    spinFor(100);
+    recorder.endSpan();
+    recorder.endSpan();
+    recorder.disable();
+
+    std::string json = recorder.exportChromeTrace();
+    std::vector<std::string> problems = obs::validateChromeTrace(json);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+
+    obs::JsonValue root = obs::parseJson(json);
+    const obs::JsonValue &events = root.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    size_t complete = 0;
+    size_t metadata = 0;
+    bool saw_inner_arg = false;
+    for (const obs::JsonValue &event : events.arrayValue) {
+        const std::string &ph = event.at("ph").stringValue;
+        if (ph == "X") {
+            ++complete;
+            EXPECT_TRUE(event.at("ts").isNumber());
+            EXPECT_GE(event.at("dur").numberValue, 0.0);
+            EXPECT_TRUE(event.at("tid").isNumber());
+            if (event.at("name").stringValue == "inner") {
+                saw_inner_arg =
+                    event.has("args") &&
+                    event.at("args").has("i") &&
+                    event.at("args").at("i").numberValue == 3.0;
+            }
+        } else if (ph == "M") {
+            ++metadata;
+        }
+    }
+    EXPECT_EQ(complete, 2u);
+    EXPECT_GE(metadata, 2u); // process_name + thread_name("main")
+    EXPECT_TRUE(saw_inner_arg);
+}
+
+TEST(TraceRecorderExport, EmptyTraceIsStillValidJson)
+{
+    obs::TraceRecorder recorder;
+    std::string json = recorder.exportChromeTrace();
+    EXPECT_TRUE(obs::validateChromeTrace(json).empty());
+    // Only the process_name metadata event; no "X" span events.
+    obs::JsonValue root = obs::parseJson(json);
+    for (const obs::JsonValue &event :
+         root.at("traceEvents").arrayValue) {
+        EXPECT_EQ(event.at("ph").stringValue, "M");
+    }
+}
+
+TEST(TraceRecorderExport, SpanNamesAreJsonEscaped)
+{
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    recorder.beginSpan(std::string("odd \"name\"\\with\nnewline"));
+    recorder.endSpan();
+    recorder.disable();
+
+    // Must parse cleanly and round-trip the name.
+    obs::JsonValue root = obs::parseJson(recorder.exportChromeTrace());
+    ASSERT_FALSE(root.at("traceEvents").arrayValue.empty());
+    bool found = false;
+    for (const obs::JsonValue &event :
+         root.at("traceEvents").arrayValue) {
+        if (event.at("ph").stringValue == "X" &&
+            event.at("name").stringValue ==
+                "odd \"name\"\\with\nnewline") {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TraceRecorderScope, TraceScopeIsDisarmedWhenGlobalDisabled)
+{
+    // The global recorder is disabled in unit tests; the RAII scope
+    // must be a no-op (and must not abort on destruction).
+    ASSERT_FALSE(obs::tracingEnabled());
+    size_t before = obs::TraceRecorder::global().eventCount();
+    {
+        ZATEL_TRACE_SCOPE("test.noop");
+        ZATEL_TRACE_SCOPE("test.noop.arg", 7);
+    }
+    EXPECT_EQ(obs::TraceRecorder::global().eventCount(), before);
+}
+
+} // namespace

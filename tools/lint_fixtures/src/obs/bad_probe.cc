@@ -1,0 +1,19 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+#include "obs/trace_recorder.hh"
+
+namespace zatel::obs
+{
+
+void
+TraceRecorder::beginSpan(const char *name) // EXPECT: assert-free-entry
+{
+    (void)name;
+}
+
+void
+Histogram::observe(double value) // EXPECT: assert-free-entry
+{
+    (void)value;
+}
+
+} // namespace zatel::obs

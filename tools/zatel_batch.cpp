@@ -18,10 +18,17 @@
  * --resume skips every job already recorded as "ok" in --out.
  */
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 #include "service/artifact_cache.hh"
 #include "service/campaign.hh"
 #include "service/result_store.hh"
@@ -103,6 +110,15 @@ main(int argc, char **argv)
     args.addOption("seed", "173025", "pipeline seed");
     args.addOption("detail", "1.0", "procedural scene density multiplier");
     args.addOption("k", "", "force the division/downscale factor");
+    args.addOption("trace-out", "",
+                   "write a Chrome trace_event JSON of the campaign here "
+                   "(open in chrome://tracing or Perfetto)");
+    args.addOption("metrics-out", "",
+                   "write the metrics registry here (.json = JSON, "
+                   "anything else = Prometheus text)");
+    args.addOption("progress-seconds", "10",
+                   "interval of the periodic progress line for long "
+                   "campaigns (0 disables it)");
     args.addFlag("oracle", "also run the (cached) full simulation");
     args.addFlag("resume", "skip jobs already 'ok' in --out; append");
     args.addFlag("no-timing",
@@ -149,8 +165,19 @@ main(int argc, char **argv)
         static_cast<uint64_t>(args.getInt("cache-mb")) * 1024 * 1024;
     service::ArtifactCache cache(budget, args.get("cache-dir"));
 
+    // Observability must be switched on BEFORE the scheduler exists:
+    // its shared ThreadPool registers worker trace names at startup.
+    if (args.has("trace-out")) {
+        obs::TraceRecorder::global().enable();
+        obs::TraceRecorder::global().setThreadName("main");
+    }
+    if (args.has("metrics-out"))
+        obs::MetricsRegistry::global().setEnabled(true);
+
     const bool quiet = args.getFlag("quiet");
-    sched.resultHook = [quiet](const service::ResultRow &row) {
+    std::atomic<size_t> jobs_done{0};
+    sched.resultHook = [quiet, &jobs_done](const service::ResultRow &row) {
+        jobs_done.fetch_add(1, std::memory_order_relaxed);
         if (quiet)
             return;
         if (row.status == service::JobStatus::Ok) {
@@ -172,7 +199,39 @@ main(int argc, char **argv)
         std::printf("running %zu job(s) on %zu worker(s)\n", job_count,
                     scheduler.workerCount());
     }
+
+    // Periodic progress line for long campaigns: a side thread wakes
+    // every --progress-seconds and reports jobs done so far; it exits
+    // promptly (condition variable, not a sleep) when run() returns.
+    std::mutex progress_mutex;
+    std::condition_variable progress_cv;
+    bool progress_stop = false;
+    std::thread progress_thread;
+    const double progress_interval = args.getDouble("progress-seconds");
+    if (!quiet && progress_interval > 0) {
+        progress_thread = std::thread([&] {
+            std::unique_lock<std::mutex> lock(progress_mutex);
+            while (!progress_cv.wait_for(
+                lock, std::chrono::duration<double>(progress_interval),
+                [&] { return progress_stop; })) {
+                std::printf("progress: %zu/%zu job(s) done\n",
+                            jobs_done.load(std::memory_order_relaxed),
+                            job_count);
+                std::fflush(stdout);
+            }
+        });
+    }
+
     service::CampaignSummary summary = scheduler.run();
+
+    if (progress_thread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_stop = true;
+        }
+        progress_cv.notify_all();
+        progress_thread.join();
+    }
 
     std::printf("%s", summary.toString().c_str());
     std::printf("results: %s (%zu row(s))\n", out_path.c_str(),
@@ -180,8 +239,29 @@ main(int argc, char **argv)
     if (!args.get("cache-dir").empty())
         std::printf("%s\n", cache.summary().c_str());
 
+    bool io_ok = true;
+    if (args.has("trace-out")) {
+        obs::TraceRecorder::global().disable();
+        const std::string &path = args.get("trace-out");
+        if (obs::TraceRecorder::global().writeChromeTrace(path)) {
+            std::printf("wrote %s (chrome://tracing)\n", path.c_str());
+        } else {
+            warn("could not write trace to ", path);
+            io_ok = false;
+        }
+    }
+    if (args.has("metrics-out")) {
+        const std::string &path = args.get("metrics-out");
+        if (obs::MetricsRegistry::global().writeTo(path)) {
+            std::printf("wrote %s\n", path.c_str());
+        } else {
+            warn("could not write metrics to ", path);
+            io_ok = false;
+        }
+    }
+
     const bool all_good =
         summary.failed == 0 && summary.cancelled == 0 &&
-        summary.timedOut == 0;
+        summary.timedOut == 0 && io_ok;
     return all_good ? 0 : 1;
 }

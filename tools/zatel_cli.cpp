@@ -19,6 +19,8 @@
 #include <string>
 
 #include "gpusim/gpu.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
 #include "rt/bvh.hh"
 #include "rt/obj_loader.hh"
 #include "rt/scene_library.hh"
@@ -146,6 +148,49 @@ sceneFromObj(const std::string &path)
     return scene;
 }
 
+/**
+ * Turn on the observability layer when --trace-out / --metrics-out was
+ * given. Must run BEFORE any thread pool is created so workers can
+ * register their trace names (docs/OBSERVABILITY.md).
+ */
+void
+setupObservability(const ArgParser &args)
+{
+    if (args.has("trace-out")) {
+        obs::TraceRecorder::global().enable();
+        obs::TraceRecorder::global().setThreadName("main");
+    }
+    if (args.has("metrics-out"))
+        obs::MetricsRegistry::global().setEnabled(true);
+}
+
+/** Flush --trace-out / --metrics-out files; returns 0 on success. */
+int
+writeObsOutputs(const ArgParser &args)
+{
+    int status = 0;
+    if (args.has("trace-out")) {
+        obs::TraceRecorder::global().disable();
+        const std::string &path = args.get("trace-out");
+        if (obs::TraceRecorder::global().writeChromeTrace(path))
+            std::printf("wrote %s (chrome://tracing)\n", path.c_str());
+        else {
+            warn("could not write trace to ", path);
+            status = 1;
+        }
+    }
+    if (args.has("metrics-out")) {
+        const std::string &path = args.get("metrics-out");
+        if (obs::MetricsRegistry::global().writeTo(path))
+            std::printf("wrote %s\n", path.c_str());
+        else {
+            warn("could not write metrics to ", path);
+            status = 1;
+        }
+    }
+    return status;
+}
+
 } // namespace
 
 int
@@ -172,6 +217,12 @@ main(int argc, char **argv)
     args.addOption("profile-noise", "",
                    "profile with noisy HW timers at this relative sigma");
     args.addOption("csv", "", "write predicted metrics to this CSV file");
+    args.addOption("trace-out", "",
+                   "write a Chrome trace_event JSON of the run here "
+                   "(open in chrome://tracing or Perfetto)");
+    args.addOption("metrics-out", "",
+                   "write the metrics registry here (.json = JSON, "
+                   "anything else = Prometheus text)");
     args.addOption("heatmap-out", "",
                    "write the quantized heatmap PPM here (predict only)");
     args.addFlag("no-downscale", "run one group on the full GPU");
@@ -212,6 +263,7 @@ main(int argc, char **argv)
         return 1;
     }
 
+    setupObservability(args);
     rt::Scene scene = args.has("obj")
                           ? sceneFromObj(args.get("obj"))
                           : rt::buildScene(
@@ -231,7 +283,7 @@ main(int argc, char **argv)
                     args.get("heatmap-out")))
                 std::printf("wrote %s\n", args.get("heatmap-out").c_str());
         }
-        return 0;
+        return writeObsOutputs(args);
     }
 
     if (command == "oracle") {
@@ -250,7 +302,7 @@ main(int argc, char **argv)
         std::printf("%s", table.toString().c_str());
         if (args.getFlag("dump-stats"))
             std::printf("\n%s", gpu.statsReport().toString().c_str());
-        return 0;
+        return writeObsOutputs(args);
     }
 
     if (command == "compare") {
@@ -266,7 +318,7 @@ main(int argc, char **argv)
                     oracle.wallSeconds /
                         (result.maxGroupWallSeconds + 1e-9));
         maybeWriteCsv(args, result);
-        return 0;
+        return writeObsOutputs(args);
     }
 
     return 0;

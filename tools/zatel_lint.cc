@@ -19,9 +19,10 @@
  *                         initializer in a src/gpusim header.
  *   float-eq              == / != against a floating-point literal outside
  *                         test files.
- *   assert-free-entry     public mutating entry point (run/tick/access/...)
- *                         in a src/gpusim translation unit whose body
- *                         contains no ZATEL_ASSERT.
+ *   assert-free-entry     public mutating entry point (run/tick/access/...,
+ *                         plus beginSpan/endSpan/observe) in a src/gpusim
+ *                         or src/obs translation unit whose body contains
+ *                         no ZATEL_ASSERT.
  *   header-guard          #ifndef guard not derived from the header path
  *                         (src/a/b.hh -> ZATEL_A_B_HH).
  *   include-order         .cc does not include its own header first, or
@@ -256,15 +257,19 @@ checkFloatEquality(const FileUnit &unit, std::vector<Finding> &findings)
 void
 checkAssertFreeEntries(const FileUnit &unit, std::vector<Finding> &findings)
 {
-    if (unit.relPath.find("src/gpusim/") == std::string::npos ||
+    if ((unit.relPath.find("src/gpusim/") == std::string::npos &&
+         unit.relPath.find("src/obs/") == std::string::npos) ||
         !endsWith(unit.relPath, ".cc"))
         return;
-    // Public mutating entry points of the simulator; each must carry at
-    // least one ZATEL_ASSERT so invariant violations abort instead of
-    // silently skewing statistics.
+    // Public mutating entry points of the simulator (and of the
+    // observability hot path, whose misuse -- unbalanced spans, NaN
+    // observations -- must abort rather than corrupt an export); each
+    // must carry at least one ZATEL_ASSERT so invariant violations
+    // abort instead of silently skewing statistics.
     static const std::set<std::string> entryVerbs = {
-        "run",     "tick",      "access",   "fill",    "enqueue",
-        "request", "launchWarp", "tryAdmit", "sendRead", "sendWrite",
+        "run",      "tick",       "access",   "fill",     "enqueue",
+        "request",  "launchWarp", "tryAdmit", "sendRead", "sendWrite",
+        "beginSpan", "endSpan",   "observe",
     };
     // House style puts the return type on its own line, so a definition's
     // "Class::method(...)" starts in column 0.

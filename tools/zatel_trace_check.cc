@@ -1,0 +1,146 @@
+/**
+ * @file
+ * zatel-trace-check: validate observability export files.
+ *
+ * CI's release leg runs a real campaign with --trace-out / --metrics-out
+ * and then points this tool at the outputs, so a schema regression in
+ * the Chrome-trace or metrics exporters fails the build instead of
+ * silently producing files Perfetto or Prometheus would reject. The
+ * validators themselves live in src/obs/validate.{hh,cc} and are shared
+ * with the unit tests (docs/OBSERVABILITY.md).
+ *
+ * Usage:
+ *   zatel-trace-check [--trace FILE] [--metrics FILE]
+ *
+ * --metrics files ending in ".json" are checked against the JSON dump
+ * schema, anything else against the Prometheus text exposition format.
+ * Exit status is 0 iff every given file validates cleanly.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/validate.hh"
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** Validate one file; print findings and return true on success. */
+bool
+checkFile(const std::string &what, const std::string &path,
+          const std::vector<std::string> &problems)
+{
+    if (problems.empty()) {
+        std::cout << "ok: " << what << " " << path << "\n";
+        return true;
+    }
+    for (const std::string &p : problems) {
+        std::cerr << path << ": " << p << "\n";
+    }
+    std::cerr << "FAIL: " << what << " " << path << " ("
+              << problems.size() << " problem(s))\n";
+    return false;
+}
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: zatel-trace-check [--trace FILE] [--metrics FILE]\n"
+        << "\n"
+        << "Validates observability exports (docs/OBSERVABILITY.md):\n"
+        << "  --trace FILE    Chrome trace_event JSON from --trace-out\n"
+        << "  --metrics FILE  metrics dump from --metrics-out; files\n"
+        << "                  ending in .json use the JSON schema, any\n"
+        << "                  other extension the Prometheus text format\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> tracePaths;
+    std::vector<std::string> metricsPaths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--trace" || arg == "--metrics") {
+            if (i + 1 >= argc) {
+                std::cerr << "zatel-trace-check: " << arg
+                          << " requires a file argument\n";
+                return 2;
+            }
+            if (arg == "--trace") {
+                tracePaths.emplace_back(argv[++i]);
+            } else {
+                metricsPaths.emplace_back(argv[++i]);
+            }
+            continue;
+        }
+        std::cerr << "zatel-trace-check: unknown argument '" << arg
+                  << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    if (tracePaths.empty() && metricsPaths.empty()) {
+        std::cerr << "zatel-trace-check: nothing to validate\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    bool ok = true;
+    for (const std::string &path : tracePaths) {
+        std::string text;
+        if (!readFile(path, text)) {
+            std::cerr << "zatel-trace-check: cannot read " << path
+                      << "\n";
+            ok = false;
+            continue;
+        }
+        ok &= checkFile("trace", path,
+                        zatel::obs::validateChromeTrace(text));
+    }
+    for (const std::string &path : metricsPaths) {
+        std::string text;
+        if (!readFile(path, text)) {
+            std::cerr << "zatel-trace-check: cannot read " << path
+                      << "\n";
+            ok = false;
+            continue;
+        }
+        const auto problems =
+            hasSuffix(path, ".json")
+                ? zatel::obs::validateMetricsJson(text)
+                : zatel::obs::validatePrometheusText(text);
+        ok &= checkFile("metrics", path, problems);
+    }
+    return ok ? 0 : 1;
+}
