@@ -1,5 +1,7 @@
 #include "gpusim/dram.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace zatel::gpusim
@@ -22,6 +24,37 @@ DramChannel::enqueue(const MemRequest &request, uint64_t now)
         return false;
     queue_.push_back({request, now});
     return true;
+}
+
+uint64_t
+DramChannel::nextEventCycle(uint64_t now) const
+{
+    if (bursting_) {
+        // The burst retires during the tick at burstEnd_ - 1 (the tick
+        // body checks now + 1 >= burstEnd_). tick() keeps the invariant
+        // burstEnd_ > now + 1 while bursting, so this is always > now.
+        return burstEnd_ - 1;
+    }
+    if (queue_.empty())
+        return kNoEventCycle;
+    // Head request starts its burst once its access latency has elapsed;
+    // until then every tick only accrues activeCycles.
+    return std::max<uint64_t>(queue_.front().arrival + latencyCycles_,
+                              now + 1);
+}
+
+void
+DramChannel::fastForward(uint64_t cycles)
+{
+    ZATEL_ASSERT(cycles > 0, "fast-forward must skip at least one cycle");
+    if (bursting_) {
+        // Mid-burst cycles are both busy and active.
+        stats_.busyCycles += cycles;
+        stats_.activeCycles += cycles;
+    } else if (!queue_.empty()) {
+        // Waiting out the access latency: active but not busy.
+        stats_.activeCycles += cycles;
+    }
 }
 
 void

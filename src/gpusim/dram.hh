@@ -16,6 +16,7 @@
 
 #include "gpusim/config.hh"
 #include "gpusim/mem_types.hh"
+#include "gpusim/sim_clock.hh"
 
 namespace zatel::gpusim
 {
@@ -49,6 +50,25 @@ class DramChannel
     void tick(uint64_t now, std::vector<MemRequest> &completed);
 
     bool idle() const { return queue_.empty() && !bursting_; }
+
+    /**
+     * Earliest cycle > @p now at which tick() is anything but per-cycle
+     * counter accrual: the retiring tick of the in-flight burst, or the
+     * cycle the head request's access latency elapses. kNoEventCycle when
+     * idle. See sim_clock.hh for the activity-driven loop contract.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /**
+     * Account for @p cycles skipped ticks in closed form: a bursting
+     * channel accrues busy+active, a waiting channel accrues active
+     * only, an idle channel accrues nothing — exactly what @p cycles
+     * consecutive tick() calls short of nextEventCycle() would have
+     * counted. @pre cycles > 0 and now + cycles stays short of the next
+     * event (the caller, Gpu::run's fast-forward, guarantees both).
+     */
+    void fastForward(uint64_t cycles);
+
     size_t queueOccupancy() const { return queue_.size(); }
     bool queueFull() const { return queue_.size() >= queueSize_; }
     const Stats &stats() const { return stats_; }

@@ -1,7 +1,11 @@
 #include "gpusim/gpu.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
+#include "gpusim/sim_clock.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/trace_recorder.hh"
 #include "util/logging.hh"
@@ -24,6 +28,8 @@ struct GpuMetrics
     obs::Counter *l2Misses;
     obs::Counter *dramBytesRead;
     obs::Counter *dramBytesWritten;
+    obs::Counter *fastForwardedCycles;
+    obs::Counter *smTicksSkipped;
 };
 
 GpuMetrics &
@@ -53,12 +59,71 @@ gpuMetrics()
             reg.counter("zatel_gpu_dram_bytes_total",
                         "DRAM traffic in bytes by direction",
                         {{"dir", "write"}});
+        m.fastForwardedCycles =
+            reg.counter("zatel_gpu_fast_forwarded_cycles_total",
+                        "Cycles skipped by quiescence fast-forward");
+        m.smTicksSkipped =
+            reg.counter("zatel_gpu_sm_ticks_skipped_total",
+                        "Per-SM tick() calls skipped as provably idle");
         return m;
     }();
     return metrics;
 }
 
+/** Process-wide tick mode backing setGlobalTickMode()/globalTickMode(). */
+std::atomic<uint8_t> &
+globalTickModeSlot()
+{
+    static std::atomic<uint8_t> slot{
+        static_cast<uint8_t>(TickMode::Auto)};
+    return slot;
+}
+
+/** Env fallback: ZATEL_GPU_SLOW_TICK set to anything but "" / "0"
+ *  selects the reference loop; otherwise the fast path. Read once —
+ *  tests that need to flip at runtime use setGlobalTickMode(). */
+TickMode
+envTickMode()
+{
+    static const TickMode mode = [] {
+        const char *value = std::getenv("ZATEL_GPU_SLOW_TICK");
+        if (value != nullptr && *value != '\0' &&
+            std::strcmp(value, "0") != 0) {
+            return TickMode::Slow;
+        }
+        return TickMode::Fast;
+    }();
+    return mode;
+}
+
+/** Collapse instance > global > environment into Fast or Slow. */
+TickMode
+resolveTickMode(TickMode instance_mode)
+{
+    if (instance_mode != TickMode::Auto)
+        return instance_mode;
+    TickMode global = static_cast<TickMode>(
+        globalTickModeSlot().load(std::memory_order_relaxed));
+    if (global != TickMode::Auto)
+        return global;
+    return envTickMode();
+}
+
 } // namespace
+
+void
+setGlobalTickMode(TickMode mode)
+{
+    globalTickModeSlot().store(static_cast<uint8_t>(mode),
+                               std::memory_order_relaxed);
+}
+
+TickMode
+globalTickMode()
+{
+    return static_cast<TickMode>(
+        globalTickModeSlot().load(std::memory_order_relaxed));
+}
 
 Gpu::Gpu(const GpuConfig &config, const SimWorkload &workload)
     : config_(config), workload_(workload), memory_(config)
@@ -112,13 +177,42 @@ Gpu::run(uint64_t max_cycles)
     ran_ = true;
     ZATEL_TRACE_SCOPE("gpu.run");
 
+    const bool fast = resolveTickMode(tickMode_) == TickMode::Fast;
+    const size_t num_sms = sms_.size();
+
+    // Per-SM sleep state (fast path only). An SM sleeps until its own
+    // next event (smWakeAt), a ready fill, or a warp launch; skipped
+    // ticks accrue in smSkipped and are applied in closed form by
+    // Sm::fastForward before the SM state is next observed. See
+    // sim_clock.hh for the contract that makes this stat-exact.
+    std::vector<uint64_t> smWakeAt(num_sms, 0);
+    std::vector<uint64_t> smSkipped(num_sms, 0);
+    auto flushSkipped = [&] {
+        for (size_t i = 0; i < num_sms; ++i) {
+            if (smSkipped[i] != 0) {
+                sms_[i]->fastForward(smSkipped[i]);
+                smSkipped[i] = 0;
+            }
+        }
+    };
+
+    // Explicit probe schedule (never `cycle % interval`: fast-forward
+    // clamps to nextProbeCycle_, so a probe can never be jumped over).
+    // The first probe fires at cycle == interval, matching the
+    // reference loop's `cycle > 0 && cycle % interval == 0`.
+    if (progressCallback_)
+        nextProbeCycle_ = progressInterval_;
+
+    bool completed = false;
     uint64_t cycle = 0;
-    for (; cycle < max_cycles; ++cycle) {
+    while (cycle < max_cycles) {
         // Early-stop probe for sampled-simulation baselines.
-        if (progressCallback_ && cycle > 0 &&
-            cycle % progressInterval_ == 0) {
+        if (progressCallback_ && cycle == nextProbeCycle_) {
+            nextProbeCycle_ += progressInterval_;
+            flushSkipped(); // snapshots must observe accrued stats
             if (progressCallback_(cycle, snapshotStats(cycle))) {
                 stoppedEarly_ = true;
+                completed = true;
                 break;
             }
         }
@@ -134,6 +228,7 @@ Gpu::run(uint64_t max_cycles)
                     pendingWarps_.pop_front();
                     ++launchedWarps_;
                     nextLaunchSm_ = (s + 1) % config_.numSms;
+                    smWakeAt[s] = 0; // wake the SM for its new warp
                     placed = true;
                 }
             }
@@ -141,10 +236,43 @@ Gpu::run(uint64_t max_cycles)
                 break;
         }
 
-        // 2. Advance the memory system, then the SMs.
-        memory_.tick(cycle);
-        for (auto &sm : sms_)
-            sm->tick(cycle);
+        // 2. Advance the memory system, then the SMs. The fast path
+        // skips components whose tick is provably linear-accrual-only;
+        // both paths produce byte-identical GpuStats
+        // (tests/test_gpu_fastpath.cc). min_wake tracks the earliest
+        // SM wake-up so step 4 can tell "someone is due next cycle"
+        // (the overwhelmingly common case) from "a jump is plausible"
+        // without re-scanning anything.
+        uint64_t min_wake = kNoEventCycle;
+        if (fast) {
+            memory_.tickActive(cycle);
+            for (size_t i = 0; i < num_sms; ++i) {
+                if (cycle < smWakeAt[i] &&
+                    !memory_.hasReadyFill(static_cast<uint32_t>(i), cycle)) {
+                    ++smSkipped[i];
+                    ++skippedSmTicks_;
+                    min_wake = std::min(min_wake, smWakeAt[i]);
+                    continue;
+                }
+                if (smSkipped[i] != 0) {
+                    sms_[i]->fastForward(smSkipped[i]);
+                    smSkipped[i] = 0;
+                }
+                sms_[i]->tickFast(cycle);
+                // A visibly busy SM is due again next cycle: skip the
+                // nextEventCycle() scan for it (early wake is
+                // stat-safe). The scan runs once per sleep transition.
+                uint64_t wake = sms_[i]->likelyBusy()
+                                    ? cycle + 1
+                                    : sms_[i]->nextEventCycle(cycle);
+                smWakeAt[i] = wake;
+                min_wake = std::min(min_wake, wake);
+            }
+        } else {
+            memory_.tick(cycle);
+            for (auto &sm : sms_)
+                sm->tick(cycle);
+        }
 
         // 3. Termination check (cheap: counters only).
         if (pendingWarps_.empty() && memory_.idle()) {
@@ -157,14 +285,62 @@ Gpu::run(uint64_t max_cycles)
             }
             if (all_idle) {
                 ++cycle; // count this final cycle
+                completed = true;
                 break;
             }
         }
+
+        // 4. Advance the clock; when every SM sleeps past cycle + 1 and
+        // the memory system is event-free, fast-forward straight to the
+        // earliest known event (sim_clock.hh contract). Guarded by
+        // min_wake so the common busy cycle pays one comparison here,
+        // not a component scan.
+        uint64_t next = cycle + 1;
+        if (fast && min_wake > cycle + 1) {
+            uint64_t event = min_wake;
+            bool launch_due = false;
+            if (!pendingWarps_.empty()) {
+                // A pending warp with somewhere to land makes the very
+                // next dispatch pass meaningful.
+                for (const auto &sm : sms_) {
+                    if (sm->hasFreeSlot()) {
+                        launch_due = true;
+                        break;
+                    }
+                }
+            }
+            if (!launch_due) {
+                for (size_t i = 0; i < num_sms && event > cycle + 1; ++i) {
+                    // smWakeAt covers fills known when it was computed;
+                    // nextFillCycle covers fills enqueued since.
+                    event = std::min(
+                        event,
+                        memory_.nextFillCycle(static_cast<uint32_t>(i)));
+                }
+                if (event > cycle + 1) {
+                    event = std::min(event, memory_.nextEventCycle(cycle));
+                    if (progressCallback_)
+                        event = std::min(event, nextProbeCycle_);
+                    event = std::min(event, max_cycles);
+                    if (event > next) {
+                        uint64_t jump = event - next;
+                        memory_.fastForward(jump);
+                        for (size_t i = 0; i < num_sms; ++i)
+                            smSkipped[i] += jump; // applied lazily on wake
+                        fastForwardedCycles_ += jump;
+                        next = event;
+                    }
+                }
+            }
+        }
+        cycle = next;
     }
 
-    if (cycle >= max_cycles)
+    if (!completed)
         panic("simulation exceeded ", max_cycles,
               " cycles; likely a deadlock");
+
+    flushSkipped(); // final stats must observe accrued RT residency
 
     GpuStats stats = snapshotStats(cycle);
 
@@ -190,6 +366,8 @@ Gpu::run(uint64_t max_cycles)
         m.l2Misses->inc(stats.l2Misses);
         m.dramBytesRead->inc(stats.dramBytesRead);
         m.dramBytesWritten->inc(stats.dramBytesWritten);
+        m.fastForwardedCycles->inc(fastForwardedCycles_);
+        m.smTicksSkipped->inc(skippedSmTicks_);
     }
     return stats;
 }

@@ -27,6 +27,34 @@
 namespace zatel::gpusim
 {
 
+/**
+ * Cycle-loop strategy (docs/SIMULATOR.md, "The activity-driven cycle
+ * loop"). Fast and Slow must produce byte-identical GpuStats — the
+ * differential suite (tests/test_gpu_fastpath.cc) and the CI hotpath
+ * bench enforce the contract.
+ */
+enum class TickMode : uint8_t
+{
+    /** Per-instance default: defer to the process-wide mode. */
+    Auto,
+    /** Activity-driven loop: idle-unit skipping + quiescence
+     *  fast-forward. The production path. */
+    Fast,
+    /** Reference loop: tick every component every cycle. The escape
+     *  hatch (ZATEL_GPU_SLOW_TICK=1) and differential baseline. */
+    Slow,
+};
+
+/**
+ * Process-wide tick mode used by instances left at TickMode::Auto.
+ * TickMode::Auto here means "consult the ZATEL_GPU_SLOW_TICK
+ * environment variable, default Fast". Thread-safe (relaxed atomic);
+ * intended for tests and benches that flip the mode between runs —
+ * flip only while no simulation is in flight.
+ */
+void setGlobalTickMode(TickMode mode);
+TickMode globalTickMode();
+
 /** One simulator instance. Single-use: construct, run(), read stats. */
 class Gpu
 {
@@ -51,14 +79,31 @@ class Gpu
     /**
      * Simulate until every warp retires (or the progress callback asks
      * to stop).
-     * @param max_cycles Safety limit; exceeding it is a fatal error
-     *        (indicates a deadlock bug, not a user mistake).
+     * @param max_cycles Safety limit; a run that exhausts it without
+     *        draining panics (indicates a deadlock bug, not a user
+     *        mistake). A run that completes exactly at max_cycles is a
+     *        normal completion.
      * @return final statistics including all Table I metrics.
      */
     GpuStats run(uint64_t max_cycles = 4'000'000'000ull);
 
     /** True when the last run() was cut short by the callback. */
     bool stoppedEarly() const { return stoppedEarly_; }
+
+    /**
+     * Select the cycle-loop strategy for this instance. Auto (the
+     * default) defers to setGlobalTickMode() / ZATEL_GPU_SLOW_TICK.
+     * Must be called before run().
+     */
+    void setTickMode(TickMode mode) { tickMode_ = mode; }
+
+    // ---- Fast-path introspection (identical-stats contract means the
+    // ---- skip counters live outside GpuStats) ----
+    /** Cycles the last run() skipped via whole-GPU fast-forward. */
+    uint64_t fastForwardedCycles() const { return fastForwardedCycles_; }
+    /** Per-SM tick() calls the last run() skipped as provably
+     *  event-free (the SM slept past them; accrual-only). */
+    uint64_t skippedSmTicks() const { return skippedSmTicks_; }
 
     const GpuConfig &config() const { return config_; }
 
@@ -91,6 +136,13 @@ class Gpu
     bool stoppedEarly_ = false;
     uint64_t progressInterval_ = 0;
     ProgressCallback progressCallback_;
+    TickMode tickMode_ = TickMode::Auto;
+    /** Next cycle at which the progress callback fires (explicit
+     *  schedule, not `cycle % interval`, so fast-forward can clamp to
+     *  it and never skip a probe). */
+    uint64_t nextProbeCycle_ = 0;
+    uint64_t fastForwardedCycles_ = 0;
+    uint64_t skippedSmTicks_ = 0;
 };
 
 /**

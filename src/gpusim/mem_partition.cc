@@ -1,5 +1,7 @@
 #include "gpusim/mem_partition.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace zatel::gpusim
@@ -25,6 +27,45 @@ MemPartition::idle() const
 {
     return incoming_.empty() && dram_.idle() && l2Mshr_.occupancy() == 0 &&
            pendingWritebacks_.empty();
+}
+
+bool
+MemPartition::quiescentAt(uint64_t now) const
+{
+    // A tick does three things: retry writebacks, service ready incoming
+    // requests, advance DRAM. With no writebacks, an idle DRAM channel
+    // (which also accrues no active/busy cycles) and no request past its
+    // NoC arrival cycle, all three are no-ops.
+    if (!dram_.idle() || !pendingWritebacks_.empty())
+        return false;
+    return incoming_.empty() || incoming_.front().readyCycle > now;
+}
+
+uint64_t
+MemPartition::nextEventCycle(uint64_t now) const
+{
+    // Queued writebacks are retried every tick (they only exist while
+    // the DRAM queue is full, so the channel is active anyway).
+    if (!pendingWritebacks_.empty())
+        return now + 1;
+    uint64_t next = dram_.nextEventCycle(now);
+    if (!incoming_.empty()) {
+        // An already-arrived head (resource-blocked or past the per-cycle
+        // service budget) is retried next cycle; otherwise wake when the
+        // oldest in-flight request crosses the NoC. enqueue() order is
+        // arrival order, so the front is the earliest.
+        next = std::min(next, std::max<uint64_t>(
+                                  incoming_.front().readyCycle, now + 1));
+    }
+    return next;
+}
+
+void
+MemPartition::fastForward(uint64_t cycles)
+{
+    // The L2 slice and MSHR table accrue nothing per cycle; only the
+    // DRAM channel's active/busy counters are time-linear.
+    dram_.fastForward(cycles);
 }
 
 void

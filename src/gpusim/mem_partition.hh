@@ -41,6 +41,27 @@ class MemPartition
 
     bool idle() const;
 
+    /**
+     * True when tick(@p now) would provably be a no-op: the DRAM channel
+     * is idle, no writebacks are queued, and no incoming request has
+     * crossed the NoC yet. Skipping such a tick changes neither state
+     * nor statistics (the fast path in Gpu::run relies on this; the
+     * ZATEL_GPU_SLOW_TICK reference loop never skips).
+     */
+    bool quiescentAt(uint64_t now) const;
+
+    /**
+     * Earliest cycle > @p now whose tick could change partition state:
+     * the DRAM channel's next event or the arrival of the oldest
+     * in-flight NoC request. Conservatively now + 1 whenever a retry is
+     * pending (blocked head request, queued writebacks). kNoEventCycle
+     * when fully drained. See sim_clock.hh.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /** Apply @p cycles of skipped-tick counter accrual (DRAM only). */
+    void fastForward(uint64_t cycles);
+
     const TagCache &l2() const { return l2_; }
 
     /** Append this partition's counters to @p report under @p prefix. */

@@ -1,6 +1,9 @@
 #include "gpusim/memory_system.hh"
 
+#include <algorithm>
+
 #include "gpusim/address_map.hh"
+#include "gpusim/sim_clock.hh"
 #include "util/logging.hh"
 
 namespace zatel::gpusim
@@ -45,10 +48,28 @@ MemorySystem::sendWrite(uint32_t src_sm, uint64_t line_addr, uint64_t now)
 void
 MemorySystem::tick(uint64_t now)
 {
+    ZATEL_ASSERT(!partitions_.empty(), "memory system has no partitions");
     responseScratch_.clear();
     for (MemPartition &partition : partitions_)
         partition.tick(now, responseScratch_);
+    deliverResponses();
+}
 
+void
+MemorySystem::tickActive(uint64_t now)
+{
+    ZATEL_ASSERT(!partitions_.empty(), "memory system has no partitions");
+    responseScratch_.clear();
+    for (MemPartition &partition : partitions_) {
+        if (!partition.quiescentAt(now))
+            partition.tick(now, responseScratch_);
+    }
+    deliverResponses();
+}
+
+void
+MemorySystem::deliverResponses()
+{
     for (const MemResponse &response : responseScratch_) {
         ZATEL_ASSERT(response.dstSm < fillQueues_.size(),
                      "response to unknown SM");
@@ -57,6 +78,25 @@ MemorySystem::tick(uint64_t now)
              response.lineAddr});
         ++inFlightResponses_;
     }
+}
+
+uint64_t
+MemorySystem::nextEventCycle(uint64_t now) const
+{
+    uint64_t next = kNoEventCycle;
+    for (const MemPartition &partition : partitions_) {
+        next = std::min(next, partition.nextEventCycle(now));
+        if (next <= now + 1)
+            return next;
+    }
+    return next;
+}
+
+void
+MemorySystem::fastForward(uint64_t cycles)
+{
+    for (MemPartition &partition : partitions_)
+        partition.fastForward(cycles);
 }
 
 const std::vector<uint64_t> &

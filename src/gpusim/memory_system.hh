@@ -16,6 +16,7 @@
 #include "gpusim/config.hh"
 #include "gpusim/mem_partition.hh"
 #include "gpusim/mem_types.hh"
+#include "gpusim/sim_clock.hh"
 #include "gpusim/stats.hh"
 
 namespace zatel::gpusim
@@ -35,6 +36,46 @@ class MemorySystem
 
     /** Advance partitions and response delivery one cycle. */
     void tick(uint64_t now);
+
+    /**
+     * Fast-path variant of tick(): partitions whose tick would provably
+     * be a no-op (MemPartition::quiescentAt) are skipped. Byte-identical
+     * statistics to tick() — the reference slow loop keeps using tick()
+     * so the equivalence stays testable (tests/test_gpu_fastpath.cc).
+     */
+    void tickActive(uint64_t now);
+
+    /**
+     * Earliest cycle > @p now at which any partition needs its tick
+     * (sim_clock.hh). Pending fills are *not* folded in: they wake the
+     * destination SM (nextFillCycle), not the partitions.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /** Apply @p cycles of skipped-tick accrual to every partition. */
+    void fastForward(uint64_t cycles);
+
+    /**
+     * Ready cycle of the earliest pending fill for @p sm, kNoEventCycle
+     * when none is in flight past its partition. Inline heap peek: the
+     * fast cycle loop consults this once per SM per jump attempt.
+     */
+    uint64_t nextFillCycle(uint32_t sm) const
+    {
+        const auto &queue = fillQueues_[sm];
+        return queue.empty() ? kNoEventCycle : queue.top().readyCycle;
+    }
+
+    /**
+     * True when drainFills(@p sm, @p now) would deliver something.
+     * Inline: the fast cycle loop polls this for every sleeping SM every
+     * cycle, so it must cost two loads, not a call.
+     */
+    bool hasReadyFill(uint32_t sm, uint64_t now) const
+    {
+        const auto &queue = fillQueues_[sm];
+        return !queue.empty() && queue.top().readyCycle <= now;
+    }
 
     /**
      * Drain fills that are ready for @p sm at cycle @p now.
@@ -59,6 +100,9 @@ class MemorySystem
     }
 
   private:
+    /** Push this tick's partition responses into the per-SM fill queues. */
+    void deliverResponses();
+
     struct PendingFill
     {
         uint64_t readyCycle = 0;

@@ -138,12 +138,24 @@ RtUnit::executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats)
                 }
             }
             done_warp->exitRtUnit(now);
+            // Tell the SM's lean scan the warp is scannable again.
+            sm_->onWarpLeftRtUnit(ref.warpSlot);
         }
         return;
     }
 
     lane.state = WarpLane::State::NeedFetch;
     fetchQueue_.push_back(ref);
+}
+
+void
+RtUnit::fastForward(uint64_t cycles, GpuStats &stats) const
+{
+    ZATEL_ASSERT(quiet(), "fast-forward across a unit with pending work");
+    for (const Resident &resident : resident_) {
+        stats.rtResidentWarpCycles += cycles;
+        stats.rtActiveRaySum += cycles * resident.lanesRemaining;
+    }
 }
 
 void

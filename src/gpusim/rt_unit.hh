@@ -46,6 +46,26 @@ class RtUnit
     bool idle() const { return resident_.empty(); }
     size_t residentWarps() const { return resident_.size(); }
 
+    /** Another warp can be admitted (used by the SM's event predicate). */
+    bool hasFreeSlot() const { return resident_.size() < config_->rtMaxWarps; }
+
+    /**
+     * True when the unit has no lane ready to visit and no fetch to
+     * (re)issue — every resident lane is waiting on memory, so the next
+     * tick that matters is fill-driven (the SM's fill queue schedules
+     * it). A quiet tick still samples residency; fastForward() applies
+     * that accrual in closed form for skipped cycles (sim_clock.hh).
+     */
+    bool quiet() const { return readyQueue_.empty() && fetchQueue_.empty(); }
+
+    /**
+     * Apply @p cycles of skipped-tick residency sampling: each resident
+     * warp contributes one rtResidentWarpCycle and lanesRemaining active
+     * rays per skipped cycle, exactly as @p cycles quiet tick()s would.
+     * @pre the unit is quiet() and stays untouched across the skip.
+     */
+    void fastForward(uint64_t cycles, GpuStats &stats) const;
+
   private:
     struct LaneRef
     {

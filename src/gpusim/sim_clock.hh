@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared vocabulary for the activity-driven cycle loop
+ * (docs/SIMULATOR.md, "The activity-driven cycle loop").
+ *
+ * Every timed component (DramChannel, MemPartition, MemorySystem, RtUnit,
+ * Warp, Sm) exposes a `nextEventCycle(now)` predicate: the earliest cycle
+ * strictly greater than `now` at which ticking the component could change
+ * state or accrue statistics *non-linearly*. Returning `kNoEventCycle`
+ * means "nothing self-scheduled": the component only wakes up through an
+ * input produced by some other component's event (e.g. a memory fill).
+ *
+ * The contract that makes quiescence fast-forward sound:
+ *
+ *   1. For every cycle c with nextEventCycle(now) > c > now, tick(c) must
+ *      be a no-op except for per-cycle counter accrual that is *linear*
+ *      in the number of cycles (DRAM active/busy cycles, RT residency
+ *      sampling).
+ *   2. `fastForward(cycles)` must apply exactly that linear accrual for
+ *      `cycles` skipped ticks, so a fast-forwarded run produces
+ *      byte-identical GpuStats to a cycle-by-cycle run
+ *      (tests/test_gpu_fastpath.cc pins this differentially).
+ */
+
+#ifndef ZATEL_GPUSIM_SIM_CLOCK_HH
+#define ZATEL_GPUSIM_SIM_CLOCK_HH
+
+#include <cstdint>
+
+namespace zatel::gpusim
+{
+
+/** Sentinel for "no self-scheduled future event". */
+inline constexpr uint64_t kNoEventCycle = ~0ull;
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_SIM_CLOCK_HH

@@ -1,6 +1,7 @@
 #include "gpusim/sm.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -13,6 +14,8 @@ Sm::Sm(uint32_t index, const GpuConfig *config, MemorySystem *memory)
       mshr_(config->rtMshrSize)
 {
     warpSlots_.resize(config->maxResidentWarps());
+    ZATEL_ASSERT(warpSlots_.size() <= 64,
+                 "lean-scan slot masks hold at most 64 warp slots");
     rtUnitOf_.assign(warpSlots_.size(), -1);
     rtUnits_.reserve(std::max(1u, config->rtUnitsPerSm));
     for (uint32_t u = 0; u < std::max(1u, config->rtUnitsPerSm); ++u)
@@ -20,21 +23,18 @@ Sm::Sm(uint32_t index, const GpuConfig *config, MemorySystem *memory)
     hitRing_.resize(config->l1dLatencyCycles + 1);
 }
 
-bool
-Sm::hasFreeSlot() const
-{
-    return residentWarps_ < warpSlots_.size();
-}
-
 void
 Sm::launchWarp(std::unique_ptr<Warp> warp)
 {
     ZATEL_ASSERT(hasFreeSlot(), "launch into a full SM");
-    for (auto &slot : warpSlots_) {
-        if (!slot) {
-            slot = std::move(warp);
+    for (uint32_t slot = 0; slot < warpSlots_.size(); ++slot) {
+        if (!warpSlots_[slot]) {
+            warpSlots_[slot] = std::move(warp);
             ++residentWarps_;
             ++stats_.warpsLaunched;
+            // Fresh warps start outside the RT unit and outside RtWait.
+            scannableSlots_ |= uint64_t{1} << slot;
+            rtWaitSlots_ &= ~(uint64_t{1} << slot);
             return;
         }
     }
@@ -151,11 +151,98 @@ Sm::processHitQueue(uint64_t now)
 }
 
 void
-Sm::tick(uint64_t now)
+Sm::scanWarpSlot(uint32_t slot, uint64_t now, uint32_t &issued,
+                 bool &rt_units_full)
+{
+    Warp *warp = warpSlots_[slot].get();
+    uint64_t bit = uint64_t{1} << slot;
+    if (!warp) {
+        scannableSlots_ &= ~bit;
+        rtWaitSlots_ &= ~bit;
+        return;
+    }
+
+    // Every exit path below falls through to the mask reclassification
+    // at the bottom, which re-derives the slot's lean-scan class from
+    // its actual post-visit phase.
+    do {
+        if (warp->pollable())
+            warp->poll(now);
+        if (warp->hasPendingThreadInsts())
+            stats_.threadInstructions += warp->takePendingThreadInsts();
+        if (warp->done()) {
+            warpSlots_[slot].reset();
+            rtUnitOf_[slot] = -1;
+            --residentWarps_;
+            scannableSlots_ &= ~bit;
+            rtWaitSlots_ &= ~bit;
+            return;
+        }
+
+        if (warp->wantsRtSlot() && !rt_units_full) {
+            bool admitted = false;
+            for (size_t u = 0; u < rtUnits_.size(); ++u) {
+                if (rtUnits_[u].tryAdmit(slot, warp)) {
+                    rtUnitOf_[slot] = static_cast<int8_t>(u);
+                    admitted = true;
+                    break;
+                }
+            }
+            if (admitted) {
+                // A degenerate admit can complete instantly and leave
+                // the warp with a fresh (post-ray) stage.
+                if (warp->hasPendingThreadInsts()) {
+                    stats_.threadInstructions +=
+                        warp->takePendingThreadInsts();
+                }
+            } else {
+                rt_units_full = true;
+            }
+            break;
+        }
+
+        if (issued >= config_->issueWidth || !warp->wantsIssue())
+            break;
+
+        if (warp->nextIsLoad()) {
+            uint64_t line = warp->pendingMemLine();
+            uint64_t token =
+                WaiterToken::pack(WaiterToken::WarpLoad, slot, 0);
+            L1Outcome outcome = l1Load(line, token, now);
+            if (outcome == L1Outcome::Stall)
+                break; // retry next cycle
+            warp->commitLoad();
+        } else if (warp->nextIsStore()) {
+            uint64_t line = warp->pendingMemLine();
+            if (!l1Store(line, now))
+                break;
+            warp->commitStore();
+        } else {
+            warp->commitAlu(now);
+        }
+        ++stats_.warpInstructions;
+        lastIssuedSlot_ = slot;
+        ++issued;
+    } while (false);
+
+    // Reclassify for the lean scan from the warp's actual phase.
+    if (warp->phase() == Warp::Phase::InRt)
+        scannableSlots_ &= ~bit;
+    else
+        scannableSlots_ |= bit;
+    if (warp->phase() == Warp::Phase::RtWait)
+        rtWaitSlots_ |= bit;
+    else
+        rtWaitSlots_ &= ~bit;
+}
+
+void
+Sm::tickImpl(uint64_t now, bool lean_scan)
 {
     ZATEL_ASSERT(residentWarps_ <= warpSlots_.size(),
                  "resident warp count exceeds the slot table");
     portsUsed_ = 0;
+    lastTickIssued_ = false;
     processFills(now);
     processHitQueue(now);
     for (RtUnit &unit : rtUnits_)
@@ -179,68 +266,121 @@ Sm::tick(uint64_t now)
             ? lastIssuedSlot_
             : static_cast<uint32_t>((lastIssuedSlot_ + 1) % num_slots);
 
-    for (uint32_t i = 0; i < num_slots; ++i) {
-        uint32_t slot = (start + i) % num_slots;
-        Warp *warp = warpSlots_[slot].get();
-        if (!warp)
-            continue;
-
-        if (warp->pollable())
-            warp->poll(now);
-        if (warp->hasPendingThreadInsts())
-            stats_.threadInstructions += warp->takePendingThreadInsts();
-        if (warp->done()) {
-            warpSlots_[slot].reset();
-            rtUnitOf_[slot] = -1;
-            --residentWarps_;
-            continue;
+    if (!lean_scan) {
+        // Reference path: walk every slot (the loop the differential
+        // suite pins the lean path against).
+        for (uint32_t i = 0; i < num_slots; ++i) {
+            scanWarpSlot((start + i) % num_slots, now, issued,
+                         rt_units_full);
         }
-
-        if (warp->wantsRtSlot() && !rt_units_full) {
-            bool admitted = false;
-            for (size_t u = 0; u < rtUnits_.size(); ++u) {
-                if (rtUnits_[u].tryAdmit(slot, warp)) {
-                    rtUnitOf_[slot] = static_cast<int8_t>(u);
-                    admitted = true;
-                    break;
-                }
-            }
-            if (admitted) {
-                // A degenerate admit can complete instantly and leave
-                // the warp with a fresh (post-ray) stage.
-                if (warp->hasPendingThreadInsts()) {
-                    stats_.threadInstructions +=
-                        warp->takePendingThreadInsts();
-                }
-            } else {
-                rt_units_full = true;
-            }
-            continue;
-        }
-
-        if (issued >= config_->issueWidth || !warp->wantsIssue())
-            continue;
-
-        if (warp->nextIsLoad()) {
-            uint64_t line = warp->pendingMemLine();
-            uint64_t token =
-                WaiterToken::pack(WaiterToken::WarpLoad, slot, 0);
-            L1Outcome outcome = l1Load(line, token, now);
-            if (outcome == L1Outcome::Stall)
-                continue; // retry next cycle
-            warp->commitLoad();
-        } else if (warp->nextIsStore()) {
-            uint64_t line = warp->pendingMemLine();
-            if (!l1Store(line, now))
-                continue;
-            warp->commitStore();
-        } else {
-            warp->commitAlu(now);
-        }
-        ++stats_.warpInstructions;
-        lastIssuedSlot_ = slot;
-        ++issued;
+        lastTickIssued_ = issued > 0;
+        return;
     }
+
+    // Lean path: visit only slots that can observably act, in the same
+    // circular order the reference path uses. InRt warps are inert
+    // (masked out of scannableSlots_); RtWait warps are additionally
+    // inert when every RT unit is full at scan start — tryAdmit on a
+    // full unit is side-effect-free and no unit can free mid-scan (unit
+    // exits happen in the unit-tick pass above). Snapshot the mask:
+    // scanWarpSlot keeps the live masks fresh for the *next* tick, while
+    // this tick's visit set stays the reference set.
+    uint64_t snapshot = scannableSlots_;
+    bool all_units_full = true;
+    for (const RtUnit &unit : rtUnits_) {
+        if (unit.hasFreeSlot()) {
+            all_units_full = false;
+            break;
+        }
+    }
+    if (all_units_full) {
+        rt_units_full = true;
+        snapshot &= ~rtWaitSlots_;
+    }
+
+    // Circular order from `start`: bits >= start first, then the rest.
+    uint64_t start_mask = (uint64_t{1} << start) - 1;
+    uint64_t hi = snapshot & ~start_mask;
+    uint64_t lo = snapshot & start_mask;
+    while (hi != 0) {
+        uint32_t slot = static_cast<uint32_t>(std::countr_zero(hi));
+        hi &= hi - 1;
+        scanWarpSlot(slot, now, issued, rt_units_full);
+    }
+    while (lo != 0) {
+        uint32_t slot = static_cast<uint32_t>(std::countr_zero(lo));
+        lo &= lo - 1;
+        scanWarpSlot(slot, now, issued, rt_units_full);
+    }
+    lastTickIssued_ = issued > 0;
+}
+
+bool
+Sm::quiescentAt(uint64_t now) const
+{
+    // residentWarps_ == 0 implies the RT units and hit ring are empty
+    // (their tokens all reference resident warps) and that the warp
+    // scheduler pass has nothing to scan; the checks stay explicit
+    // because they are one load each and guard the contract anyway.
+    if (residentWarps_ != 0 || pendingHitTokens_ != 0)
+        return false;
+    return !memory_->hasReadyFill(index_, now);
+}
+
+uint64_t
+Sm::nextEventCycle(uint64_t now) const
+{
+    // 1. RT units with a ready visit or a pending (possibly stalled)
+    //    fetch act every cycle; also learn whether a waiting warp could
+    //    be admitted next cycle.
+    bool rt_has_free_slot = false;
+    for (const RtUnit &unit : rtUnits_) {
+        if (!unit.quiet())
+            return now + 1;
+        if (unit.hasFreeSlot())
+            rt_has_free_slot = true;
+    }
+
+    // 2. Warps: any issuable warp (or one that could enter a free RT
+    //    unit) acts next cycle; draining warps contribute their wake-up
+    //    cycle; memory-blocked warps wake through the fill queue below.
+    uint64_t next = memory_->nextFillCycle(index_);
+    if (residentWarps_ != 0) {
+        for (const auto &slot : warpSlots_) {
+            if (!slot)
+                continue;
+            if (slot->wantsRtSlot()) {
+                if (rt_has_free_slot)
+                    return now + 1;
+                continue; // unit frees via a fill-driven visit
+            }
+            uint64_t warp_next = slot->nextEventCycle(now);
+            if (warp_next <= now + 1)
+                return now + 1;
+            next = std::min(next, warp_next);
+        }
+    }
+
+    // 3. Delayed L1 hits: earliest non-empty ring bucket. The ring spans
+    //    l1dLatencyCycles + 1 slots, so scanning one lap finds any
+    //    scheduled token.
+    if (pendingHitTokens_ != 0) {
+        for (uint64_t off = 1; off <= hitRing_.size(); ++off) {
+            if (!hitRing_[(now + off) % hitRing_.size()].empty()) {
+                next = std::min(next, now + off);
+                break;
+            }
+        }
+    }
+    return next;
+}
+
+void
+Sm::fastForward(uint64_t cycles)
+{
+    ZATEL_ASSERT(cycles > 0, "fast-forward must skip at least one cycle");
+    for (const RtUnit &unit : rtUnits_)
+        unit.fastForward(cycles, stats_);
 }
 
 bool

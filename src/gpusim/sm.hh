@@ -74,17 +74,82 @@ class Sm
 
     uint32_t index() const { return index_; }
 
-    /** True when another warp can be launched here. */
-    bool hasFreeSlot() const;
+    /** True when another warp can be launched here. Inline: the fast
+     *  cycle loop's jump check polls it for every SM. */
+    bool hasFreeSlot() const { return residentWarps_ < warpSlots_.size(); }
 
     /** Install @p warp into a free slot. @pre hasFreeSlot(). */
     void launchWarp(std::unique_ptr<Warp> warp);
 
-    /** Advance one cycle. */
-    void tick(uint64_t now);
+    /**
+     * Advance one cycle (reference path): the scheduler pass walks every
+     * warp slot. Kept deliberately naive — this is the loop the fast
+     * path is differentially tested against.
+     */
+    void tick(uint64_t now) { tickImpl(now, /*lean_scan=*/false); }
+
+    /**
+     * Advance one cycle (fast path): identical semantics to tick(), but
+     * the scheduler pass only visits slots that can observably act —
+     * warps resident in an RT unit are inert to the scheduler (not
+     * pollable, nothing to issue, no uncollected instructions), and
+     * RT-waiting warps are inert whenever every RT unit is full at scan
+     * start (no unit can free mid-scan). Byte-identical GpuStats to
+     * tick() (tests/test_gpu_fastpath.cc).
+     */
+    void tickFast(uint64_t now) { tickImpl(now, /*lean_scan=*/true); }
 
     /** All warps retired and no local activity pending. */
     bool idle() const;
+
+    /**
+     * True when tick(@p now) would provably be a no-op: no resident
+     * warps (which implies idle RT units — an RT-resident warp still
+     * owns its slot), no delayed L1 hits, and no fill ready to drain.
+     * Outstanding prefetch MSHR entries alone don't block skipping;
+     * their fills wake the SM through the fill queue. Slow-tick mode
+     * (docs/SIMULATOR.md) never skips, keeping this testable.
+     */
+    bool quiescentAt(uint64_t now) const;
+
+    /**
+     * Earliest cycle > @p now at which this SM's tick could do more
+     * than linear residency sampling (sim_clock.hh): pending RT
+     * visits/fetches and issuable warps say now + 1, delayed L1 hits
+     * wake at their ring bucket, draining warps at drainReadyAt_, and
+     * memory waits at the fill queue's earliest ready cycle.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /**
+     * Apply @p cycles of skipped-tick accrual: RT residency sampling is
+     * the only per-cycle statistic an otherwise event-free tick adds.
+     * @pre every local event is at least @p cycles + 1 away (Gpu::run's
+     * fast-forward checks via nextEventCycle()).
+     */
+    void fastForward(uint64_t cycles);
+
+    /**
+     * Cheap wake heuristic for the fast cycle loop: true when the SM is
+     * visibly busy — the last tick() issued a warp instruction, or an RT
+     * unit has a ready visit or pending fetch. A busy SM is due again at
+     * now + 1, so Gpu::run skips the full nextEventCycle() scan for it
+     * (waking early is always stat-safe; an event-free tick is a no-op
+     * plus accrual). Delayed L1 hits are deliberately *not* a busy
+     * signal: their tokens sit up to l1dLatencyCycles in the future, and
+     * nextEventCycle()'s ring scan finds the exact bucket instead of
+     * burning a tick per intervening cycle.
+     */
+    bool likelyBusy() const
+    {
+        if (lastTickIssued_)
+            return true;
+        for (const RtUnit &unit : rtUnits_) {
+            if (!unit.quiet())
+                return true;
+        }
+        return false;
+    }
 
     /** Fold local counters (L1, RT, instructions) into @p stats. */
     void accumulateStats(GpuStats &stats) const;
@@ -109,6 +174,31 @@ class Sm
 
   private:
     friend class RtUnit;
+
+    /** Shared body of tick()/tickFast(); @p lean_scan selects the
+     *  mask-driven scheduler scan. */
+    void tickImpl(uint64_t now, bool lean_scan);
+
+    /**
+     * One scheduler visit to @p slot: poll, collect instruction counts,
+     * retire, admit to an RT unit, or issue. Ends by reclassifying the
+     * slot in the lean-scan masks from its actual post-visit phase, so
+     * the masks never go stale regardless of which path mutated it.
+     */
+    void scanWarpSlot(uint32_t slot, uint64_t now, uint32_t &issued,
+                      bool &rt_units_full);
+
+    /**
+     * RT-unit callback: @p slot 's warp just left InRt (ray batch done),
+     * so it is scannable again. Mid-tick exits happen only in the RT
+     * unit pass, which runs before the scheduler scan snapshots the
+     * masks — the lean scan therefore never misses a freshly-woken warp.
+     */
+    void onWarpLeftRtUnit(uint32_t slot)
+    {
+        scannableSlots_ |= uint64_t{1} << slot;
+        rtWaitSlots_ &= ~(uint64_t{1} << slot);
+    }
 
     /** Deliver a completion token to its waiter. */
     void deliverToken(uint64_t token, uint64_t now);
@@ -139,8 +229,20 @@ class Sm
      * bucket is fully drained when its cycle comes around.
      */
     std::vector<std::vector<uint64_t>> hitRing_;
+    /**
+     * Lean-scan masks (tickFast): bit i set in scannableSlots_ when slot
+     * i holds a warp whose phase is anything but InRt — InRt warps are
+     * provably inert to the scheduler pass (not pollable, nothing to
+     * issue, no RT-slot wish, no uncollected instruction counts).
+     * rtWaitSlots_ is the subset currently in RtWait; those are also
+     * inert whenever every RT unit is full at scan start. Maintained at
+     * launch, at every scanWarpSlot() exit, and by onWarpLeftRtUnit().
+     */
+    uint64_t scannableSlots_ = 0;
+    uint64_t rtWaitSlots_ = 0;
     uint64_t pendingHitTokens_ = 0;
     uint32_t portsUsed_ = 0;
+    bool lastTickIssued_ = false;
 
     GpuStats stats_;
 };

@@ -157,6 +157,28 @@ Warp::poll(uint64_t now)
     }
 }
 
+uint64_t
+Warp::nextEventCycle(uint64_t now) const
+{
+    switch (phase_) {
+      case Phase::NotStarted:
+      case Phase::AluIssue:
+        // Compiling / issuing: the next scheduler pass matters.
+        return now + 1;
+      case Phase::AluDrain:
+        if (outstandingLoads_ > 0)
+            return kNoEventCycle; // woken by a fill delivery
+        // Post-tick this is > now (poll() would have advanced the stage
+        // otherwise); max() keeps the contract under direct unit tests.
+        return std::max<uint64_t>(drainReadyAt_, now + 1);
+      case Phase::RtWait: // admission chances are the SM's to evaluate
+      case Phase::InRt:   // driven by the RT unit / fills
+      case Phase::Done:
+        return kNoEventCycle;
+    }
+    return now + 1; // unreachable; keeps -Werror=return-type happy
+}
+
 bool
 Warp::wantsIssue() const
 {

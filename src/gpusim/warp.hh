@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gpusim/config.hh"
+#include "gpusim/sim_clock.hh"
 #include "gpusim/workload.hh"
 #include "rt/traversal.hh"
 
@@ -134,6 +135,17 @@ class Warp
 
     /** True when there are uncollected stage instructions. */
     bool hasPendingThreadInsts() const { return pendingThreadInsts_ != 0; }
+
+    /**
+     * Earliest cycle > @p now at which the warp could make progress on
+     * its own clock (sim_clock.hh): issuing warps advance every cycle, a
+     * draining pipeline wakes at drainReadyAt_, and everything waiting
+     * on external input — outstanding loads, an RT-unit slot, RT
+     * traversal itself — reports kNoEventCycle (the SM folds in the
+     * fill-queue and RT-unit events that wake those). Only meaningful
+     * between ticks, i.e. after the SM's scheduler pass polled the warp.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
 
     /** Threads covered by this warp. */
     uint32_t threadCount() const { return threadEnd_ - threadBegin_; }

@@ -132,6 +132,146 @@ TEST(Dram, BytesAccounted)
     EXPECT_EQ(dram.stats().reads, 2u);
 }
 
+// ---------------------------------------------------------------------
+// Tick-boundary behaviour the activity-driven loop leans on
+// (docs/SIMULATOR.md): single-cycle bursts retiring in the tick that
+// starts them, queue-full backpressure, write retirement accounting and
+// the exact active/busy split — plus the tick-vs-fastForward stat
+// equivalence contract (sim_clock.hh).
+// ---------------------------------------------------------------------
+
+/** Bus exactly one line wide per core cycle: dramBurstCycles() == 1. */
+GpuConfig
+singleCycleBurstConfig()
+{
+    GpuConfig config = testConfig();
+    config.dramBytesPerMemClock = config.l2LineBytes;
+    config.memClockMhz = config.coreClockMhz;
+    return config;
+}
+
+TEST(Dram, SingleCycleBurstRetiresInStartTick)
+{
+    GpuConfig config = singleCycleBurstConfig();
+    ASSERT_EQ(config.dramBurstCycles(), 1u);
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle < config.dramLatencyCycles; ++cycle) {
+        dram.tick(cycle, completed);
+        EXPECT_TRUE(completed.empty()) << "cycle " << cycle;
+    }
+    // The tick at arrival + latency both starts and retires the burst.
+    dram.tick(config.dramLatencyCycles, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_EQ(completed[0].readyCycle, config.dramLatencyCycles + 1);
+    EXPECT_TRUE(dram.idle());
+    EXPECT_EQ(dram.stats().busyCycles, 1u);
+    EXPECT_EQ(dram.stats().activeCycles, config.dramLatencyCycles + 1);
+}
+
+TEST(Dram, QueueFullBackpressureAcceptsRetryAfterDrain)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    for (uint32_t i = 0; i < config.dramQueueSize; ++i)
+        ASSERT_TRUE(dram.enqueue(readReq(i * 128ull), 0));
+    ASSERT_TRUE(dram.queueFull());
+
+    std::vector<MemRequest> completed;
+    uint64_t cycle = 0;
+    // Retries during the head's access-latency window keep failing:
+    // nothing leaves the queue until a burst starts.
+    for (; cycle < config.dramLatencyCycles; ++cycle) {
+        EXPECT_FALSE(dram.enqueue(readReq(9999 * 128ull), cycle))
+            << "cycle " << cycle;
+        dram.tick(cycle, completed);
+    }
+    // The tick at arrival + latency pops the head into the burst
+    // engine; the very next retry must be accepted.
+    dram.tick(cycle, completed);
+    ++cycle;
+    EXPECT_FALSE(dram.queueFull());
+    EXPECT_TRUE(dram.enqueue(readReq(9999 * 128ull), cycle));
+
+    for (; cycle < 5000 && !dram.idle(); ++cycle)
+        dram.tick(cycle, completed);
+    ASSERT_TRUE(dram.idle());
+    EXPECT_EQ(dram.stats().reads, config.dramQueueSize + 1u);
+    EXPECT_EQ(completed.size(), config.dramQueueSize + 1u);
+}
+
+TEST(Dram, WriteRetirementAccountsBytesWithoutCompletion)
+{
+    GpuConfig config = singleCycleBurstConfig();
+    DramChannel dram(config);
+    MemRequest write = readReq(128);
+    write.isWrite = true;
+    dram.enqueue(write, 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle <= config.dramLatencyCycles; ++cycle)
+        dram.tick(cycle, completed);
+    // Writes retire silently in the single-cycle-burst start tick: byte
+    // and op counters move, no response is emitted.
+    EXPECT_TRUE(dram.idle());
+    EXPECT_TRUE(completed.empty());
+    EXPECT_EQ(dram.stats().writes, 1u);
+    EXPECT_EQ(dram.stats().bytesWritten, config.l2LineBytes);
+    EXPECT_EQ(dram.stats().bytesRead, 0u);
+    EXPECT_EQ(dram.stats().busyCycles, 1u);
+}
+
+TEST(Dram, ActiveBusySplitIsExact)
+{
+    GpuConfig config = testConfig();
+    DramChannel dram(config);
+    dram.enqueue(readReq(0), 0);
+
+    std::vector<MemRequest> completed;
+    for (uint64_t cycle = 0; cycle < 1000 && !dram.idle(); ++cycle)
+        dram.tick(cycle, completed);
+    ASSERT_TRUE(dram.idle());
+    // Cycles 0 .. latency-1 wait (active only); the burst then holds
+    // the channel for exactly dramBurstCycles() (active + busy).
+    EXPECT_EQ(dram.stats().busyCycles, config.dramBurstCycles());
+    EXPECT_EQ(dram.stats().activeCycles,
+              config.dramLatencyCycles + config.dramBurstCycles());
+}
+
+TEST(Dram, FastForwardMatchesTickedLatencyWait)
+{
+    GpuConfig config = testConfig();
+    DramChannel ticked(config);
+    DramChannel skipped(config);
+    ticked.enqueue(readReq(0), 0);
+    skipped.enqueue(readReq(0), 0);
+
+    std::vector<MemRequest> a;
+    std::vector<MemRequest> b;
+    uint64_t cycle = 0;
+    for (; cycle < 1000 && !ticked.idle(); ++cycle)
+        ticked.tick(cycle, a);
+
+    // Skipper: one real tick, then jump the latency window in closed
+    // form exactly as Gpu::run's quiescence fast-forward would.
+    skipped.tick(0, b);
+    uint64_t resume = skipped.nextEventCycle(0);
+    ASSERT_EQ(resume, config.dramLatencyCycles);
+    skipped.fastForward(resume - 1); // cycles 1 .. resume-1 skipped
+    for (uint64_t now = resume; now < 1000 && !skipped.idle(); ++now)
+        skipped.tick(now, b);
+
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].readyCycle, b[0].readyCycle);
+    EXPECT_EQ(ticked.stats().activeCycles, skipped.stats().activeCycles);
+    EXPECT_EQ(ticked.stats().busyCycles, skipped.stats().busyCycles);
+    EXPECT_EQ(ticked.stats().bytesRead, skipped.stats().bytesRead);
+    EXPECT_EQ(ticked.stats().reads, skipped.stats().reads);
+}
+
 TEST(Dram, BurstCyclesDeriveFromClocks)
 {
     GpuConfig config = GpuConfig::rtx2060();

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Slow-vs-fast differential suite for the activity-driven cycle loop
+ * (docs/SIMULATOR.md, "The activity-driven cycle loop").
+ *
+ * TickMode::Fast (idle-unit skipping + quiescence fast-forward) must be
+ * observationally identical to TickMode::Slow (tick everything, every
+ * cycle): byte-identical GpuStats, identical per-component StatsReport,
+ * identical progress-probe cycle sequences and snapshots, and identical
+ * predictor output. The suite also pins the two latent cycle-loop bugs
+ * the fast-path work flushed out: progress probes scheduled by modulo
+ * (skippable under fast-forward) and a run that completes exactly at
+ * max_cycles being misreported as a deadlock.
+ *
+ * Suites are named GpuFastpath* so the tsan-determinism preset's test
+ * filter picks them up (CMakePresets.json).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/gpu.hh"
+#include "gpusim/stats_report.hh"
+#include "rt/bvh.hh"
+#include "rt/scene.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+/** Bit pattern of a double; NaN-safe and distinguishes -0.0 from 0.0. */
+uint64_t
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Expect every raw counter of two GpuStats to be identical. */
+void
+expectStatsIdentical(const GpuStats &a, const GpuStats &b,
+                     const std::string &context)
+{
+#define ZATEL_EXPECT_COUNTER(field)                                         \
+    EXPECT_EQ(a.field, b.field) << context << ": counter " #field " diverged"
+    ZATEL_EXPECT_COUNTER(cycles);
+    ZATEL_EXPECT_COUNTER(threadInstructions);
+    ZATEL_EXPECT_COUNTER(warpInstructions);
+    ZATEL_EXPECT_COUNTER(l1dAccesses);
+    ZATEL_EXPECT_COUNTER(l1dMisses);
+    ZATEL_EXPECT_COUNTER(l2Accesses);
+    ZATEL_EXPECT_COUNTER(l2Misses);
+    ZATEL_EXPECT_COUNTER(rtActiveRaySum);
+    ZATEL_EXPECT_COUNTER(rtResidentWarpCycles);
+    ZATEL_EXPECT_COUNTER(rtNodeVisits);
+    ZATEL_EXPECT_COUNTER(rtTriangleTests);
+    ZATEL_EXPECT_COUNTER(dramBusyCycles);
+    ZATEL_EXPECT_COUNTER(dramActiveCycles);
+    ZATEL_EXPECT_COUNTER(dramChannelCycles);
+    ZATEL_EXPECT_COUNTER(dramBytesRead);
+    ZATEL_EXPECT_COUNTER(dramBytesWritten);
+    ZATEL_EXPECT_COUNTER(warpsLaunched);
+    ZATEL_EXPECT_COUNTER(raysTraced);
+    ZATEL_EXPECT_COUNTER(pixelsTraced);
+    ZATEL_EXPECT_COUNTER(pixelsFiltered);
+#undef ZATEL_EXPECT_COUNTER
+}
+
+struct SceneBundle
+{
+    rt::Scene scene;
+    rt::Bvh bvh;
+    std::unique_ptr<rt::Tracer> tracer;
+};
+
+/** Heap-allocated so the tracer's scene/BVH references stay stable. */
+std::unique_ptr<SceneBundle>
+makeScene(rt::SceneId id)
+{
+    auto bundle = std::make_unique<SceneBundle>();
+    bundle->scene = rt::buildScene(id, rt::SceneDetail{0.4f});
+    bundle->bvh.build(bundle->scene.triangles());
+    bundle->tracer =
+        std::make_unique<rt::Tracer>(bundle->scene, bundle->bvh);
+    return bundle;
+}
+
+/** One run in mode @p mode; returns final stats + the Gpu for probes. */
+struct RunOutcome
+{
+    GpuStats stats;
+    StatsReport report;
+    uint64_t fastForwarded = 0;
+    uint64_t skippedSmTicks = 0;
+    bool stoppedEarly = false;
+    std::vector<uint64_t> probeCycles;
+    std::vector<GpuStats> probeSnapshots;
+};
+
+RunOutcome
+runMode(const rt::Tracer &tracer, const GpuConfig &config, TickMode mode,
+        uint32_t frame, uint64_t probe_interval = 0,
+        uint64_t stop_after_probes = 0)
+{
+    SimWorkload workload = SimWorkload::buildFullFrame(tracer, frame, frame);
+    Gpu gpu(config, workload);
+    gpu.setTickMode(mode);
+    RunOutcome out;
+    if (probe_interval > 0) {
+        gpu.setProgressCallback(
+            probe_interval,
+            [&out, stop_after_probes](uint64_t cycle, const GpuStats &snap) {
+                out.probeCycles.push_back(cycle);
+                out.probeSnapshots.push_back(snap);
+                return stop_after_probes != 0 &&
+                       out.probeCycles.size() >= stop_after_probes;
+            });
+    }
+    out.stats = gpu.run();
+    out.report = gpu.statsReport();
+    out.fastForwarded = gpu.fastForwardedCycles();
+    out.skippedSmTicks = gpu.skippedSmTicks();
+    out.stoppedEarly = gpu.stoppedEarly();
+    return out;
+}
+
+/** Full differential comparison of one scene x config x probe setup. */
+void
+expectModesIdentical(const rt::Tracer &tracer, const GpuConfig &config,
+                     const std::string &context, uint32_t frame,
+                     uint64_t probe_interval = 0,
+                     uint64_t stop_after_probes = 0)
+{
+    RunOutcome slow = runMode(tracer, config, TickMode::Slow, frame,
+                              probe_interval, stop_after_probes);
+    RunOutcome fast = runMode(tracer, config, TickMode::Fast, frame,
+                              probe_interval, stop_after_probes);
+
+    expectStatsIdentical(slow.stats, fast.stats, context);
+    EXPECT_EQ(slow.stoppedEarly, fast.stoppedEarly) << context;
+
+    // Per-component counters (gem5-style dump) must match too — a
+    // mis-skipped SM would shift work between components even if the
+    // totals happened to line up.
+    EXPECT_EQ(slow.report.lines().size(), fast.report.lines().size())
+        << context;
+    for (size_t i = 0;
+         i < slow.report.lines().size() && i < fast.report.lines().size();
+         ++i) {
+        EXPECT_EQ(slow.report.lines()[i].path, fast.report.lines()[i].path)
+            << context << ": report row " << i;
+        EXPECT_EQ(bitsOf(slow.report.lines()[i].value),
+                  bitsOf(fast.report.lines()[i].value))
+            << context << ": report counter " << slow.report.lines()[i].path;
+    }
+
+    // Identical probe-cycle sequences and byte-identical snapshots.
+    EXPECT_EQ(slow.probeCycles, fast.probeCycles) << context;
+    ASSERT_EQ(slow.probeSnapshots.size(), fast.probeSnapshots.size())
+        << context;
+    for (size_t i = 0; i < slow.probeSnapshots.size(); ++i) {
+        expectStatsIdentical(slow.probeSnapshots[i], fast.probeSnapshots[i],
+                             context + ": probe " + std::to_string(i));
+    }
+
+    // The reference loop must never skip; the fast loop must actually
+    // engage on these workloads or the differential proves nothing.
+    EXPECT_EQ(slow.fastForwarded, 0u) << context;
+    EXPECT_EQ(slow.skippedSmTicks, 0u) << context;
+    EXPECT_GT(fast.fastForwarded + fast.skippedSmTicks, 0u) << context;
+}
+
+TEST(GpuFastpathDifferential, WkndMobileSoc)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectModesIdentical(*s->tracer, GpuConfig::mobileSoc(), "wknd/mobile",
+                         32);
+}
+
+TEST(GpuFastpathDifferential, WkndRtx2060)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectModesIdentical(*s->tracer, GpuConfig::rtx2060(), "wknd/rtx2060",
+                         32);
+}
+
+TEST(GpuFastpathDifferential, SprngMobileSoc)
+{
+    auto s = makeScene(rt::SceneId::Sprng);
+    expectModesIdentical(*s->tracer, GpuConfig::mobileSoc(), "sprng/mobile",
+                         32);
+}
+
+TEST(GpuFastpathDifferential, SprngRtx2060)
+{
+    auto s = makeScene(rt::SceneId::Sprng);
+    expectModesIdentical(*s->tracer, GpuConfig::rtx2060(), "sprng/rtx2060",
+                         32);
+}
+
+TEST(GpuFastpathDifferential, ProgressProbesObserved)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectModesIdentical(*s->tracer, GpuConfig::mobileSoc(),
+                         "wknd/mobile/probes", 32, /*probe_interval=*/512);
+}
+
+TEST(GpuFastpathDifferential, EarlyStopViaProbe)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectModesIdentical(*s->tracer, GpuConfig::mobileSoc(),
+                         "wknd/mobile/early-stop", 32,
+                         /*probe_interval=*/256, /*stop_after_probes=*/3);
+}
+
+// ---------------------------------------------------------------------
+// Progress-probe scheduling regression (the modulo-probe latent bug):
+// probes must fire at exactly interval, 2*interval, ... even when
+// fast-forward jumps the clock across multiples of the interval.
+// ---------------------------------------------------------------------
+
+TEST(GpuFastpathProbeSchedule, ProbesNeverSkippedUnderFastForward)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    const uint64_t interval = 100;
+    RunOutcome fast = runMode(*s->tracer, GpuConfig::mobileSoc(),
+                              TickMode::Fast, 24, interval);
+    ASSERT_FALSE(fast.probeCycles.empty());
+    EXPECT_GT(fast.fastForwarded, 0u)
+        << "fast-forward never engaged; the regression is not exercised";
+    for (size_t i = 0; i < fast.probeCycles.size(); ++i) {
+        EXPECT_EQ(fast.probeCycles[i], (i + 1) * interval)
+            << "probe " << i << " fired off-schedule";
+    }
+    // A dense schedule relative to the run length must have visited
+    // every multiple of the interval below the final cycle.
+    EXPECT_EQ(fast.probeCycles.size(), (fast.stats.cycles - 1) / interval);
+}
+
+TEST(GpuFastpathProbeSchedule, SnapshotCyclesMatchProbeCycles)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    RunOutcome fast = runMode(*s->tracer, GpuConfig::mobileSoc(),
+                              TickMode::Fast, 24, 300);
+    ASSERT_EQ(fast.probeCycles.size(), fast.probeSnapshots.size());
+    for (size_t i = 0; i < fast.probeCycles.size(); ++i)
+        EXPECT_EQ(fast.probeSnapshots[i].cycles, fast.probeCycles[i]);
+}
+
+// ---------------------------------------------------------------------
+// max_cycles boundary semantics (the exactly-at-the-limit latent bug):
+// exhausting the budget without draining panics; completing exactly at
+// max_cycles is a normal completion.
+// ---------------------------------------------------------------------
+
+struct GpuFastpathMaxCycles : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        bundle = makeScene(rt::SceneId::Wknd);
+    }
+
+    SimWorkload
+    freshWorkload() const
+    {
+        return SimWorkload::buildFullFrame(*bundle->tracer, 16, 16);
+    }
+
+    std::unique_ptr<SceneBundle> bundle;
+};
+
+TEST_F(GpuFastpathMaxCycles, CompletionExactlyAtLimitIsNotADeadlock)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    SimWorkload reference_workload = freshWorkload();
+    GpuStats reference = Gpu(config, reference_workload).run();
+    ASSERT_GT(reference.cycles, 0u);
+
+    // Re-running with max_cycles == the natural completion cycle must
+    // not panic and must produce byte-identical stats (both modes).
+    for (TickMode mode : {TickMode::Slow, TickMode::Fast}) {
+        SimWorkload fresh = freshWorkload();
+        Gpu gpu(config, fresh);
+        gpu.setTickMode(mode);
+        GpuStats bounded = gpu.run(reference.cycles);
+        expectStatsIdentical(reference, bounded,
+                             mode == TickMode::Slow ? "boundary/slow"
+                                                    : "boundary/fast");
+    }
+}
+
+TEST_F(GpuFastpathMaxCycles, ExhaustionPanicsInBothModes)
+{
+    GpuConfig config = GpuConfig::mobileSoc();
+    for (TickMode mode : {TickMode::Slow, TickMode::Fast}) {
+        SimWorkload fresh = freshWorkload();
+        Gpu gpu(config, fresh);
+        gpu.setTickMode(mode);
+        EXPECT_DEATH(gpu.run(/*max_cycles=*/8), "exceeded");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mode resolution: instance > global > environment.
+// ---------------------------------------------------------------------
+
+TEST(GpuFastpathModeResolution, GlobalSlowDisablesSkipping)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    setGlobalTickMode(TickMode::Slow);
+    RunOutcome byGlobal = runMode(*s->tracer, GpuConfig::mobileSoc(),
+                                  TickMode::Auto, 16);
+    EXPECT_EQ(byGlobal.fastForwarded, 0u);
+    EXPECT_EQ(byGlobal.skippedSmTicks, 0u);
+
+    // An explicit per-instance mode overrides the global one.
+    RunOutcome byInstance = runMode(*s->tracer, GpuConfig::mobileSoc(),
+                                    TickMode::Fast, 16);
+    EXPECT_GT(byInstance.fastForwarded + byInstance.skippedSmTicks, 0u);
+
+    setGlobalTickMode(TickMode::Auto);
+    EXPECT_EQ(globalTickMode(), TickMode::Auto);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-level differential: the whole predictor (profiling, K-Means,
+// group simulation, extrapolation) must produce bit-identical metric
+// values under either loop.
+// ---------------------------------------------------------------------
+
+TEST(GpuFastpathPredictor, PredictionBitIdenticalSlowVsFast)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    core::ZatelParams params;
+    params.width = 48;
+    params.height = 48;
+    params.numThreads = 1;
+
+    setGlobalTickMode(TickMode::Slow);
+    core::ZatelResult slow =
+        core::ZatelPredictor(s->scene, s->bvh, GpuConfig::mobileSoc(), params)
+            .predict();
+    setGlobalTickMode(TickMode::Fast);
+    core::ZatelResult fast =
+        core::ZatelPredictor(s->scene, s->bvh, GpuConfig::mobileSoc(), params)
+            .predict();
+    setGlobalTickMode(TickMode::Auto);
+
+    EXPECT_EQ(slow.k, fast.k);
+    EXPECT_EQ(bitsOf(slow.fractionTraced), bitsOf(fast.fractionTraced));
+    ASSERT_EQ(slow.predicted.size(), fast.predicted.size());
+    for (const auto &[metric, value] : slow.predicted) {
+        ASSERT_TRUE(fast.predicted.count(metric));
+        EXPECT_EQ(bitsOf(value), bitsOf(fast.predicted.at(metric)))
+            << "metric " << metricName(metric) << " diverged";
+    }
+    ASSERT_EQ(slow.groups.size(), fast.groups.size());
+    for (size_t g = 0; g < slow.groups.size(); ++g) {
+        expectStatsIdentical(slow.groups[g].stats, fast.groups[g].stats,
+                             "group " + std::to_string(g));
+    }
+}
+
+} // namespace
+} // namespace zatel::gpusim
