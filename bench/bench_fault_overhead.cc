@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Disarmed fault-probe overhead benchmark (docs/ROBUSTNESS.md).
+ *
+ * The fault-injection framework's contract is that leaving the probes
+ * compiled into the predictor hot path is free enough to ship: with
+ * nothing armed, FaultSite::shouldFire() is one relaxed atomic load of
+ * the registry-wide anyArmed flag plus a branch. This benchmark pins
+ * the claim the same way bench_obs_overhead does for the observability
+ * probes:
+ *
+ *   1. the absolute per-probe cost of the disarmed fast path, and
+ *   2. that cost relative to a simulator-shaped work unit — at a
+ *      density of one probe per step, far above the real pipeline's
+ *      (one probe per GROUP simulation, not per cycle).
+ *
+ * The process exits nonzero if the probe-derived relative overhead
+ * exceeds 1% (docs/ROBUSTNESS.md: disarmed probes must cost < 1% on
+ * the predictor hot path). The gate divides the directly measured probe cost by the
+ * work-unit cost rather than differencing two nearly equal loop
+ * timings, for the reasons documented in bench_obs_overhead.cc.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/fault_injection.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+constexpr double kMaxOverheadFraction = 0.01; // the documented 1% budget
+constexpr int kTrials = 9;
+constexpr uint64_t kItersPerTrial = 100'000;
+
+/** Keep `value` alive without a store the optimizer can sink. */
+inline void
+doNotOptimize(uint64_t value)
+{
+    asm volatile("" : : "r"(value) : "memory");
+}
+
+/**
+ * One unit of "real work": a burst of xoshiro draws and integer mixing
+ * sized to roughly one simulator step (~0.5us). The real pipeline
+ * probes once per group simulation — millions of steps — so one probe
+ * per work unit here is already orders of magnitude denser than any
+ * path the probes actually sit on.
+ */
+constexpr int kMixesPerUnit = 256;
+
+inline uint64_t
+workUnit(zatel::Rng &rng, uint64_t acc)
+{
+    for (int m = 0; m < kMixesPerUnit; ++m) {
+        const uint64_t draw = rng.next();
+        acc ^= draw + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
+    }
+    return acc;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** The bare loop: no probes at all. */
+double
+runBaseline(uint64_t iters)
+{
+    zatel::Rng rng(0x0B5E55ull);
+    uint64_t acc = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; ++i) {
+        acc = workUnit(rng, acc);
+    }
+    const double s = secondsSince(start);
+    doNotOptimize(acc);
+    return s;
+}
+
+/** The same loop with one disarmed keyed probe per step. */
+double
+runInstrumented(uint64_t iters)
+{
+    zatel::Rng rng(0x0B5E55ull);
+    uint64_t acc = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; ++i) {
+        if (ZATEL_FAULT_SITE("bench.fault.step")->shouldFire(i))
+            return -1.0; // never taken: nothing is armed
+        acc = workUnit(rng, acc);
+    }
+    const double s = secondsSince(start);
+    doNotOptimize(acc);
+    return s;
+}
+
+/** Absolute cost of one disarmed probe, in nanoseconds. */
+double
+probeOnlyNanos(uint64_t iters)
+{
+    uint64_t fired = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; ++i) {
+        if (ZATEL_FAULT_SITE("bench.fault.probe")->shouldFire(i))
+            ++fired;
+    }
+    const double s = secondsSince(start);
+    doNotOptimize(fired);
+    return s * 1e9 / static_cast<double>(iters);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Nothing armed: this benchmark measures the cost of
+    // compiled-in-but-disarmed probes, the configuration every default
+    // run ships with. (ZATEL_FAULTS in the environment would arm the
+    // registry and invalidate the measurement — fail loudly instead.)
+    if (zatel::FaultRegistry::global().anyArmed()) {
+        std::printf(
+            "bench_fault_overhead: refusing to run with faults armed "
+            "(unset ZATEL_FAULTS)\n");
+        return 1;
+    }
+
+    std::printf("bench_fault_overhead: %d trials x %llu iters\n", kTrials,
+                static_cast<unsigned long long>(kItersPerTrial));
+
+    // Warm-up, then interleave baseline/instrumented trials so slow
+    // drift (frequency scaling, a noisy neighbour) hits both sides.
+    (void)runBaseline(kItersPerTrial / 4);
+    (void)runInstrumented(kItersPerTrial / 4);
+
+    double bestBaseline = 1e300;
+    double bestInstrumented = 1e300;
+    double bestProbeNs = 1e300;
+    for (int t = 0; t < kTrials; ++t) {
+        bestBaseline = std::min(bestBaseline, runBaseline(kItersPerTrial));
+        bestInstrumented =
+            std::min(bestInstrumented, runInstrumented(kItersPerTrial));
+        bestProbeNs =
+            std::min(bestProbeNs, probeOnlyNanos(kItersPerTrial * 10));
+    }
+
+    const double baseNs =
+        bestBaseline * 1e9 / static_cast<double>(kItersPerTrial);
+    const double instNs =
+        bestInstrumented * 1e9 / static_cast<double>(kItersPerTrial);
+    const double overhead = bestProbeNs / baseNs;
+
+    std::printf("  work unit (no probes):   %8.3f ns/iter\n", baseNs);
+    std::printf("  work unit (off probes):  %8.3f ns/iter  (delta %+.3f, "
+                "informational)\n",
+                instNs, instNs - baseNs);
+    std::printf("  disarmed fault probe:    %8.3f ns\n", bestProbeNs);
+    std::printf("  relative overhead:       %8.3f %%  (budget %.1f %%, "
+                "probe / work unit)\n",
+                overhead * 100.0, kMaxOverheadFraction * 100.0);
+
+    if (overhead > kMaxOverheadFraction) {
+        std::printf("FAIL: disarmed fault-probe overhead above budget\n");
+        return 1;
+    }
+    std::printf("ok: disarmed fault probes are within budget\n");
+    return 0;
+}

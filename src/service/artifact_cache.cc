@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics_registry.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 #include "zatel/predictor.hh"
 
@@ -360,6 +361,7 @@ enum CacheEvent
     EventMiss,
     EventDiskHit,
     EventEviction,
+    EventDiskError,
     EventCount
 };
 
@@ -373,7 +375,7 @@ cacheEventCounter(size_t kind_index, CacheEvent event)
     static const Table table = [] {
         auto &reg = obs::MetricsRegistry::global();
         const char *events[EventCount] = {"hit", "miss", "disk_hit",
-                                          "eviction"};
+                                          "eviction", "disk_error"};
         Table t;
         for (size_t k = 0; k < 3; ++k) {
             const char *kind =
@@ -433,6 +435,7 @@ ArtifactCache::Counters::operator+=(const Counters &other)
     misses += other.misses;
     diskHits += other.diskHits;
     evictions += other.evictions;
+    diskErrors += other.diskErrors;
     return *this;
 }
 
@@ -626,7 +629,29 @@ ArtifactCache::summary() const
         << " bytes";
     if (!diskDir_.empty())
         oss << " dir=" << diskDir_;
+    if (diskDegraded()) {
+        // The CI fault smoke greps for "disk=degraded" — keep the token.
+        oss << " disk=degraded (errors=" << total.diskErrors << ")";
+    }
     return oss.str();
+}
+
+void
+ArtifactCache::degradeDiskTier(ArtifactKind kind,
+                               const std::string &reason) const
+{
+    const bool first = !diskDegraded_.exchange(true,
+                                               std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        ++perKind_[static_cast<size_t>(kind)].diskErrors;
+    }
+    cacheEventCounter(static_cast<size_t>(kind), EventDiskError)->inc();
+    if (first) {
+        warn("artifact-cache: disk tier degraded to memory-only (",
+             artifactKindName(kind), ": ", reason,
+             "); artifacts will be rebuilt instead of persisted");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -654,6 +679,14 @@ ArtifactCache::diskPath(ArtifactKind kind, uint64_t key) const
 ArtifactCache::BuiltValue
 ArtifactCache::tryLoadFromDisk(ArtifactKind kind, uint64_t key) const
 {
+    if (diskDegraded())
+        return {nullptr, 0};
+    // Injected disk-read failure: degrade exactly like a real one. The
+    // caller falls through to build(), so no exception ever escapes.
+    if (ZATEL_FAULT_SITE("cache.disk.read")->shouldFire(key)) {
+        degradeDiskTier(kind, "injected read fault");
+        return {nullptr, 0};
+    }
     const std::string path = diskPath(kind, key);
     if (path.empty())
         return {nullptr, 0};
@@ -738,6 +771,14 @@ void
 ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
                              const std::shared_ptr<const void> &value) const
 {
+    if (diskDegraded())
+        return;
+    // Injected disk-write failure: the artifact stays memory-resident
+    // and the campaign carries on — same route as a full disk.
+    if (ZATEL_FAULT_SITE("cache.disk.write")->shouldFire(key)) {
+        degradeDiskTier(kind, "injected write fault");
+        return;
+    }
     const std::string path = diskPath(kind, key);
     if (path.empty())
         return;
@@ -745,7 +786,7 @@ ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out.is_open()) {
-            warn("artifact-cache: cannot write ", tmp);
+            degradeDiskTier(kind, "cannot write " + tmp);
             return;
         }
         writePod(out, kDiskMagic);
@@ -788,7 +829,7 @@ ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
 
         out.flush();
         if (!out.good()) {
-            warn("artifact-cache: short write to ", tmp);
+            degradeDiskTier(kind, "short write to " + tmp);
             out.close();
             std::error_code ec;
             std::filesystem::remove(tmp, ec);
@@ -798,7 +839,8 @@ ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-        warn("artifact-cache: cannot publish ", path, ": ", ec.message());
+        degradeDiskTier(kind,
+                        "cannot publish " + path + ": " + ec.message());
         std::filesystem::remove(tmp, ec);
     }
 }

@@ -22,11 +22,20 @@
  * concurrent requests for the same missing key build it exactly once
  * (single-flight), which is what lets an 8-job campaign sharing one scene
  * build one BVH and profile one heatmap total.
+ *
+ * Disk-tier resilience (docs/ROBUSTNESS.md): any disk I/O failure — a
+ * file that cannot be written, a short write, a failed rename, or an
+ * injected cache.disk.read / cache.disk.write fault — permanently
+ * degrades the cache to memory-only operation for the rest of the run.
+ * The failure is warned about once and counted (Counters::diskErrors),
+ * and no disk problem ever surfaces as an exception from getOrBuild:
+ * the artifact is simply rebuilt / kept in memory.
  */
 
 #ifndef ZATEL_SERVICE_ARTIFACT_CACHE_HH
 #define ZATEL_SERVICE_ARTIFACT_CACHE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -142,6 +151,9 @@ class ArtifactCache
         uint64_t diskHits = 0;
         /** Entries discarded by the LRU byte budget. */
         uint64_t evictions = 0;
+        /** Disk-tier I/O failures (real or injected); nonzero means the
+         *  disk tier has degraded to memory-only (docs/ROBUSTNESS.md). */
+        uint64_t diskErrors = 0;
 
         Counters &operator+=(const Counters &other);
     };
@@ -207,6 +219,17 @@ class ArtifactCache
     uint64_t byteBudget() const { return byteBudget_; }
     const std::string &diskDir() const { return diskDir_; }
 
+    /**
+     * True once a disk-tier I/O failure (real or injected) has switched
+     * the cache to memory-only operation: loads and saves are skipped,
+     * builds proceed normally. Never resets for the cache's lifetime —
+     * a flaky disk must not flap between tiers mid-campaign.
+     */
+    bool diskDegraded() const
+    {
+        return diskDegraded_.load(std::memory_order_relaxed);
+    }
+
     /** One-line "hits/misses/bytes" summary for logs. */
     std::string summary() const;
 
@@ -242,20 +265,31 @@ class ArtifactCache
     /** Disk path of (kind, key); "" when persistence is off. */
     std::string diskPath(ArtifactKind kind, uint64_t key) const;
 
-    /** Best-effort load; null on absence or corruption. */
+    /** Best-effort load; null on absence, corruption or degradation. */
     BuiltValue tryLoadFromDisk(ArtifactKind kind, uint64_t key) const;
 
-    /** Best-effort atomic write (tmp + rename); warns on failure. */
+    /** Best-effort atomic write (tmp + rename); degrades on failure. */
     void trySaveToDisk(ArtifactKind kind, uint64_t key,
                        const std::shared_ptr<const void> &value) const;
+
+    /**
+     * Record a disk-tier failure for @p kind and permanently switch to
+     * memory-only operation (warns once). Safe from any thread; callers
+     * must NOT hold mutex_ (trySaveToDisk runs outside the lock).
+     */
+    void degradeDiskTier(ArtifactKind kind, const std::string &reason) const;
 
     const uint64_t byteBudget_;
     const std::string diskDir_;
 
+    /** One-way latch: disk tier has failed, operate memory-only. */
+    mutable std::atomic<bool> diskDegraded_{false};
+
     mutable std::mutex mutex_;
     std::map<Key, Entry> entries_;
     std::map<Key, std::shared_future<std::shared_ptr<const void>>> inflight_;
-    Counters perKind_[3];
+    /** mutable: degradeDiskTier() counts failures from const load/save. */
+    mutable Counters perKind_[3];
     uint64_t bytesInUse_ = 0;
     uint64_t useTick_ = 0;
 };

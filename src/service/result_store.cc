@@ -1,8 +1,15 @@
 #include "service/result_store.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace zatel::service
@@ -97,6 +104,8 @@ jobStatusName(JobStatus status)
         return "timeout";
     case JobStatus::Skipped:
         return "skipped";
+    case JobStatus::Degraded:
+        return "degraded";
     }
     return "unknown";
 }
@@ -200,6 +209,13 @@ ResultStore::formatRow(const ResultRow &row) const
     }
     if (!row.error.empty())
         oss << ",\"error\":\"" << jsonEscape(row.error) << "\"";
+    // Degraded-only keys: Ok rows keep their pre-resilience byte
+    // layout (the CI batch smoke diffs runs byte-for-byte).
+    if (row.status == JobStatus::Degraded) {
+        oss << ",\"failed_groups\":" << row.failedGroups
+            << ",\"survivor_extrapolation\":"
+            << fmtDouble(row.survivorExtrapolation);
+    }
     oss << "}";
     return oss.str();
 }
@@ -208,14 +224,58 @@ void
 ResultStore::append(const ResultRow &row)
 {
     const std::string line = formatRow(row);
+    // Fault site: the row-append I/O path. Evaluated outside the try
+    // below so the simulated failure takes the same recovery route a
+    // real one would (counted + warned, row kept in memory, no throw).
+    const bool injected =
+        ZATEL_FAULT_SITE("result.store.append")->shouldFire();
     std::lock_guard<std::mutex> guard(mutex_);
     rows_.push_back(row);
-    if (file_.is_open()) {
+    if (!file_.is_open())
+        return;
+    bool wrote = false;
+    if (!injected) {
         file_ << line << "\n";
         file_.flush();
-        if (!file_.good())
-            warn("result store: write to '", path_, "' failed");
+        wrote = file_.good();
+        if (!wrote) {
+            // One poisoned stream must not hide every later failure:
+            // clear the error state and let the next append try again.
+            file_.clear();
+        }
     }
+    if (!wrote) {
+        ++writeFailures_;
+        warn("result store: write to '", path_, "' failed",
+             injected ? " (injected fault)" : "",
+             "; row for job '", row.jobId, "' retained in memory only");
+    }
+}
+
+void
+ResultStore::finalize()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!file_.is_open())
+        return;
+    file_.flush();
+#ifdef __unix__
+    // fsync through a second descriptor: the data already left the
+    // ofstream buffer on flush(); fsync pushes the OS page cache to
+    // stable storage so kill -9 right after a campaign cannot eat rows.
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#endif
+}
+
+uint64_t
+ResultStore::writeFailures() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return writeFailures_;
 }
 
 std::vector<ResultRow>
@@ -256,14 +316,25 @@ ResultStore::completedJobIds(const std::string &path)
 
     std::string line;
     bool first = true;
+    size_t header_commas = 0;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
         if (is_csv) {
             if (first) {
                 first = false; // header row
+                header_commas = static_cast<size_t>(
+                    std::count(line.begin(), line.end(), ','));
                 continue;
             }
+            // Truncation guard: a row the writer died in the middle of
+            // is short of the header's column count — ignore it so the
+            // job re-executes on resume. (Quoted error cells can only
+            // ADD commas, so a complete row never has fewer.)
+            const size_t commas = static_cast<size_t>(
+                std::count(line.begin(), line.end(), ','));
+            if (commas < header_commas)
+                continue;
             size_t comma1 = line.find(',');
             if (comma1 == std::string::npos)
                 continue;
@@ -277,6 +348,11 @@ ResultStore::completedJobIds(const std::string &path)
                 completed.insert(job);
             continue;
         }
+        // Truncation guard (JSONL): every complete row closes its
+        // object; a line cut mid-append cannot be trusted even if the
+        // status substring happens to survive.
+        if (line.back() != '}')
+            continue;
         // JSONL: we only read files this store wrote, so the compact
         // "key":"value" layout is reliable.
         const std::string job_tag = "\"job\":\"";

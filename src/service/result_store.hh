@@ -44,6 +44,11 @@ enum class JobStatus : uint8_t
     Cancelled = 2,///< campaign was cancelled before the job finished
     TimedOut = 3, ///< per-job wall-clock timeout expired
     Skipped = 4,  ///< already "ok" in a resumed result file; not re-run
+    /** Prediction assembled from surviving groups after some failed
+     *  every retry, or the optional oracle run failed while the
+     *  prediction itself succeeded (docs/ROBUSTNESS.md). The predicted
+     *  metrics are present but carry widened sampling error. */
+    Degraded = 5,
 };
 
 const char *jobStatusName(JobStatus status);
@@ -71,6 +76,14 @@ struct ResultRow
 
     /** Failure message for non-Ok rows. */
     std::string error;
+
+    // ---- Degraded-row detail (docs/ROBUSTNESS.md). Serialized only
+    // ---- for Degraded rows so Ok rows stay byte-identical to
+    // ---- pre-resilience output. ----
+    /** Groups excluded from the combine step. */
+    uint32_t failedGroups = 0;
+    /** Sum-rule re-weighting factor applied to the survivors. */
+    double survivorExtrapolation = 1.0;
 };
 
 /** ResultStore construction options. */
@@ -103,8 +116,24 @@ class ResultStore
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
 
-    /** Append one row (thread-safe; flushes the file). */
+    /**
+     * Append one row (thread-safe; flushes the file). Never throws on
+     * I/O problems: the row is always retained in memory, a failed
+     * file write is warned about and counted (writeFailures()), and
+     * the campaign carries on — losing one row's persistence must not
+     * take down the batch (docs/ROBUSTNESS.md).
+     */
     void append(const ResultRow &row);
+
+    /**
+     * Flush and fsync the underlying file (when one is open). Called
+     * once after a campaign completes so a machine crash immediately
+     * after the run cannot lose acknowledged rows.
+     */
+    void finalize();
+
+    /** File writes that failed (I/O error or injected fault). */
+    uint64_t writeFailures() const;
 
     /** Snapshot of all rows appended so far. */
     std::vector<ResultRow> rows() const;
@@ -123,6 +152,12 @@ class ResultStore
     /**
      * Ids of jobs recorded as "ok" in an existing result file; empty for
      * a missing/unreadable file. Works for both formats.
+     *
+     * Crash tolerance: a final line truncated mid-append (the writer
+     * died between write and flush, e.g. kill -9) is ignored — JSONL
+     * rows must close their '}', CSV rows must carry the header's
+     * column count — so --resume re-executes that job instead of
+     * trusting half a row.
      */
     static std::set<std::string> completedJobIds(const std::string &path);
 
@@ -137,6 +172,7 @@ class ResultStore
     mutable std::mutex mutex_;
     std::ofstream file_;
     std::vector<ResultRow> rows_;
+    uint64_t writeFailures_ = 0; ///< Guarded by mutex_.
 };
 
 } // namespace zatel::service

@@ -1,8 +1,10 @@
 #include "service/scheduler.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <exception>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "heatmap/profiler.hh"
@@ -10,6 +12,7 @@
 #include "obs/trace_recorder.hh"
 #include "rt/scene_library.hh"
 #include "rt/tracer.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -30,9 +33,11 @@ struct SchedulerMetrics
     obs::Counter *unitsFinalize;
     obs::Counter *groupUnitsSkipped;
     obs::Counter *jobsOk;
+    obs::Counter *jobsDegraded;
     obs::Counter *jobsFailed;
     obs::Counter *jobsCancelled;
     obs::Counter *jobsTimedOut;
+    obs::Counter *stallCancellations;
 };
 
 SchedulerMetrics &
@@ -58,12 +63,18 @@ schedulerMetrics()
         const std::string jobHelp =
             "Campaign jobs finished, by terminal status";
         m.jobsOk = reg.counter(jobName, jobHelp, {{"status", "ok"}});
+        m.jobsDegraded =
+            reg.counter(jobName, jobHelp, {{"status", "degraded"}});
         m.jobsFailed =
             reg.counter(jobName, jobHelp, {{"status", "failed"}});
         m.jobsCancelled =
             reg.counter(jobName, jobHelp, {{"status", "cancelled"}});
         m.jobsTimedOut =
             reg.counter(jobName, jobHelp, {{"status", "timed_out"}});
+        m.stallCancellations = reg.counter(
+            "zatel_campaign_stall_cancellations_total",
+            "Watchdog cancellations of simulations that stopped "
+            "making simulated-cycle progress");
         return m;
     }();
     return metrics;
@@ -105,6 +116,16 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Monotonic now in nanoseconds (watchdog heartbeat timestamps). */
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 std::string
@@ -112,13 +133,18 @@ CampaignSummary::toString() const
 {
     std::ostringstream oss;
     oss << "campaign: " << totalJobs << " job(s) in " << wallSeconds
-        << "s — ok=" << ok << " failed=" << failed
-        << " cancelled=" << cancelled << " timeout=" << timedOut
-        << " skipped=" << skipped << "\n";
+        << "s — ok=" << ok << " degraded=" << degraded
+        << " failed=" << failed << " cancelled=" << cancelled
+        << " timeout=" << timedOut << " skipped=" << skipped << "\n";
     oss << "cache hits: " << cacheTotals.hits
         << " (disk: " << cacheTotals.diskHits
         << "), misses: " << cacheTotals.misses
-        << ", evictions: " << cacheTotals.evictions << "\n";
+        << ", evictions: " << cacheTotals.evictions;
+    if (cacheDiskDegraded) {
+        // The CI fault smoke greps for this token (docs/ROBUSTNESS.md).
+        oss << ", disk=degraded";
+    }
+    oss << "\n";
     for (int kind = 0; kind < 3; ++kind) {
         const ArtifactCache::Counters &c = cachePerKind[kind];
         oss << "  " << artifactKindName(static_cast<ArtifactKind>(kind))
@@ -154,12 +180,82 @@ CampaignScheduler::campaignCancelled() const
 }
 
 bool
-CampaignScheduler::jobShouldStop(const JobState &state) const
+CampaignScheduler::deadlineExceeded(const JobState &state)
 {
-    if (campaignCancelled())
-        return true;
     return state.hasDeadline &&
            std::chrono::steady_clock::now() > state.deadline;
+}
+
+bool
+CampaignScheduler::jobShouldStop(const JobState &state) const
+{
+    if (state.stallCancelled.load(std::memory_order_relaxed))
+        return true;
+    if (campaignCancelled())
+        return true;
+    return deadlineExceeded(state);
+}
+
+void
+CampaignScheduler::simEnter(JobState &state, size_t slot)
+{
+    state.groupProgressNs[slot].store(nowNs(), std::memory_order_relaxed);
+    state.activeSimUnits.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+CampaignScheduler::simExit(JobState &state, size_t slot)
+{
+    state.groupProgressNs[slot].store(0, std::memory_order_relaxed);
+    if (state.activeSimUnits.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last active simulation out: a stall cancellation has fully
+        // drained, clear the flag so retried units can run. Deferred
+        // to here so siblings still inside the GPU loop observe it.
+        state.stallCancelled.store(false, std::memory_order_relaxed);
+    }
+}
+
+void
+CampaignScheduler::watchdogLoop(const std::atomic<bool> &stop)
+{
+    const uint64_t timeout_ns = static_cast<uint64_t>(
+        params_.stallTimeoutSeconds * 1e9);
+    const auto tick = std::chrono::milliseconds(std::max<int64_t>(
+        1, std::min<int64_t>(
+               50, static_cast<int64_t>(
+                       params_.stallTimeoutSeconds * 1000.0 / 4.0))));
+    while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(tick);
+        const uint64_t now = nowNs();
+        for (const auto &job : jobs_) {
+            JobState &state = *job;
+            if (state.broken.load(std::memory_order_relaxed))
+                continue;
+            if (state.stallCancelled.load(std::memory_order_relaxed))
+                continue;
+            // progressSlots (release-stored after the array alloc)
+            // publishes groupProgressNs to this thread.
+            const size_t slots =
+                state.progressSlots.load(std::memory_order_acquire);
+            for (size_t i = 0; i < slots; ++i) {
+                const uint64_t ts = state.groupProgressNs[i].load(
+                    std::memory_order_relaxed);
+                if (ts == 0 || now <= ts || now - ts <= timeout_ns)
+                    continue;
+                state.stallCancelled.store(true,
+                                           std::memory_order_relaxed);
+                schedulerMetrics().stallCancellations->inc();
+                warn("campaign job '", state.job.id,
+                     "': watchdog: no simulated-cycle progress in ",
+                     i + 1 == slots ? std::string("the oracle run")
+                                    : "group " + std::to_string(i),
+                     " for over ", params_.stallTimeoutSeconds,
+                     "s; cancelling this job's in-flight simulations "
+                     "for retry");
+                break;
+            }
+        }
+    }
 }
 
 void
@@ -185,7 +281,27 @@ CampaignScheduler::pumpLocked(std::unique_lock<std::mutex> &lock)
         ++unitsInFlight_;
         lock.unlock();
         pool_.submit([this, unit_fn = std::move(fn)]() {
-            unit_fn();
+            // "pool.task" fault site: models a worker that failed to
+            // pick up a unit. A lost unit would strand the campaign
+            // (groupsRemaining never reaches zero), so the recovery is
+            // bounded backoff and then running the unit regardless.
+            for (uint32_t attempt = 1; attempt <= 3; ++attempt) {
+                if (!ZATEL_FAULT_SITE("pool.task")->shouldFire())
+                    break;
+                if (attempt == 3)
+                    break;
+                retryBackoffSleep(attempt);
+            }
+            try {
+                unit_fn();
+            } catch (const std::exception &err) {
+                // Units handle their own failures; an escape here is a
+                // bug, but eating it beats terminating the pool worker.
+                warn("campaign: stage unit leaked an exception: ",
+                     err.what());
+            } catch (...) {
+                warn("campaign: stage unit leaked an unknown exception");
+            }
             std::lock_guard<std::mutex> guard(pumpMutex_);
             --unitsInFlight_;
             pumpCv_.notify_all();
@@ -201,6 +317,13 @@ CampaignScheduler::run()
     ran_ = true;
 
     WallTimer timer;
+    std::atomic<bool> watchdog_stop{false};
+    std::thread watchdog;
+    if (params_.stallTimeoutSeconds > 0.0) {
+        watchdog = std::thread(
+            [this, &watchdog_stop]() { watchdogLoop(watchdog_stop); });
+    }
+
     for (auto &state : jobs_) {
         JobState *s = state.get();
         enqueueUnit(s->job.priority, [this, s]() { runStartUnit(*s); });
@@ -213,6 +336,10 @@ CampaignScheduler::run()
     }
     lock.unlock();
     pool_.waitAll();
+    if (watchdog.joinable()) {
+        watchdog_stop.store(true);
+        watchdog.join();
+    }
 
     CampaignSummary summary;
     summary.totalJobs = jobs_.size() + skippedJobs_;
@@ -220,6 +347,7 @@ CampaignScheduler::run()
     {
         std::lock_guard<std::mutex> guard(pumpMutex_);
         summary.ok = okJobs_;
+        summary.degraded = degradedJobs_;
         summary.failed = failedJobs_;
         summary.cancelled = cancelledJobs_;
         summary.timedOut = timedOutJobs_;
@@ -230,6 +358,7 @@ CampaignScheduler::run()
         summary.cachePerKind[kind] =
             cache_.counters(static_cast<ArtifactKind>(kind));
     }
+    summary.cacheDiskDegraded = cache_.diskDegraded();
     return summary;
 }
 
@@ -255,6 +384,10 @@ CampaignScheduler::finishJob(JobState &state, ResultRow row)
         case JobStatus::Ok:
             ++okJobs_;
             schedulerMetrics().jobsOk->inc();
+            break;
+        case JobStatus::Degraded:
+            ++degradedJobs_;
+            schedulerMetrics().jobsDegraded->inc();
             break;
         case JobStatus::Failed:
             ++failedJobs_;
@@ -288,13 +421,19 @@ CampaignScheduler::runStartUnit(JobState &state)
 {
     ZATEL_TRACE_SCOPE("job.start");
     schedulerMetrics().unitsStart->inc();
-    state.startTime = std::chrono::steady_clock::now();
-    if (params_.jobTimeoutSeconds > 0.0) {
-        state.hasDeadline = true;
-        state.deadline =
-            state.startTime +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(params_.jobTimeoutSeconds));
+    if (state.startAttempts == 0) {
+        // First attempt only: a retried start stage must not extend
+        // the job's wall-clock budget.
+        state.startTime = std::chrono::steady_clock::now();
+        if (params_.jobTimeoutSeconds > 0.0) {
+            state.hasDeadline = true;
+            state.deadline =
+                state.startTime +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        params_.jobTimeoutSeconds));
+        }
     }
 
     ResultRow row;
@@ -318,6 +457,7 @@ CampaignScheduler::runStartUnit(JobState &state)
         state.pack = cache_.getOrBuild<ScenePack>(
             ArtifactKind::ScenePack, pack_key,
             [&]() -> std::pair<std::shared_ptr<const ScenePack>, uint64_t> {
+                ZATEL_INJECT_FAULT("scene.pack.build");
                 // Heap-allocate and build the BVH in place: the Bvh keeps
                 // a pointer into the scene's triangle vector, so the pack
                 // must never be moved after build().
@@ -347,6 +487,7 @@ CampaignScheduler::runStartUnit(JobState &state)
                 [&]() -> std::pair<
                           std::shared_ptr<const heatmap::QuantizedHeatmap>,
                           uint64_t> {
+                    ZATEL_INJECT_FAULT("heatmap.build");
                     // Must match ZatelPredictor::prepare() exactly so
                     // cached and uncached runs are byte-identical.
                     rt::TracerParams tp;
@@ -376,6 +517,28 @@ CampaignScheduler::runStartUnit(JobState &state)
         // Stage: fan the K group simulations out as priority units.
         const size_t group_count = state.predictor->groupCount();
         state.tasks.resize(group_count);
+        state.groupAttempts.assign(group_count, 0);
+        if (params_.stallTimeoutSeconds > 0.0) {
+            // One heartbeat slot per group plus one for the oracle;
+            // the release store on progressSlots publishes the array
+            // to the watchdog thread.
+            const size_t slots = group_count + 1;
+            state.groupProgressNs =
+                std::make_unique<std::atomic<uint64_t>[]>(slots);
+            for (size_t i = 0; i < slots; ++i)
+                state.groupProgressNs[i].store(
+                    0, std::memory_order_relaxed);
+            state.progressSlots.store(slots, std::memory_order_release);
+            state.predictor->setSimulationProbe(
+                params_.probeIntervalCycles,
+                [s = &state, group_count](size_t group_index, uint64_t) {
+                    const size_t slot = group_index == SIZE_MAX
+                                            ? group_count
+                                            : group_index;
+                    s->groupProgressNs[slot].store(
+                        nowNs(), std::memory_order_relaxed);
+                });
+        }
         state.groupsRemaining.store(group_count);
         state.simStart = std::chrono::steady_clock::now();
         for (size_t g = 0; g < group_count; ++g) {
@@ -384,16 +547,32 @@ CampaignScheduler::runStartUnit(JobState &state)
             });
         }
     } catch (const core::PredictionCancelled &) {
-        const bool timed_out =
-            state.hasDeadline &&
-            std::chrono::steady_clock::now() > state.deadline &&
-            !campaignCancelled();
+        const bool timed_out = deadlineExceeded(state) &&
+                               !campaignCancelled();
         row.status =
             timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
         row.error = timed_out ? "job timeout during preprocessing"
                               : "campaign cancelled";
         finishJob(state, std::move(row));
+    } catch (const CampaignError &err) {
+        // Configuration problems (unknown scene/GPU) are permanent:
+        // retrying cannot fix a typo.
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+        finishJob(state, std::move(row));
     } catch (const std::exception &err) {
+        // Possibly-transient failure (I/O, injected fault): retry the
+        // whole start stage with deterministic backoff.
+        if (state.startAttempts < params_.stageRetries) {
+            const uint32_t attempt = ++state.startAttempts;
+            warn("campaign job '", state.job.id,
+                 "': start stage failed (", err.what(), "); retry ",
+                 attempt, "/", params_.stageRetries);
+            retryBackoffSleep(attempt);
+            enqueueUnit(state.job.priority,
+                        [this, s = &state]() { runStartUnit(*s); });
+            return;
+        }
         row.status = JobStatus::Failed;
         row.error = err.what();
         finishJob(state, std::move(row));
@@ -405,27 +584,102 @@ CampaignScheduler::runGroupUnit(JobState &state, size_t group_index)
 {
     ZATEL_TRACE_SCOPE("job.group", static_cast<int64_t>(group_index));
     schedulerMetrics().unitsGroup->inc();
+    const bool watchdog_on = params_.stallTimeoutSeconds > 0.0;
     if (state.broken.load()) {
         // The job already failed / timed out / was cancelled: this
         // pending unit is dropped without simulating so the pool
         // drains quickly (SchedulerTimeout.CancelsPendingStages).
         schedulerMetrics().groupUnitsSkipped->inc();
     } else {
+        if (watchdog_on &&
+            state.stallCancelled.load(std::memory_order_relaxed)) {
+            if (state.activeSimUnits.load(std::memory_order_acquire) ==
+                0) {
+                // No simulation left to cancel: the flag is stale
+                // (set after the last unit drained); clear it and run.
+                state.stallCancelled.store(false,
+                                           std::memory_order_relaxed);
+            } else {
+                // A stall cancellation is still draining this job's
+                // sim units; starting a fresh simulation now would be
+                // instantly cancelled. Requeue without burning a
+                // retry attempt.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                enqueueUnit(state.job.priority,
+                            [this, s = &state, group_index]() {
+                                runGroupUnit(*s, group_index);
+                            });
+                return;
+            }
+        }
+        if (watchdog_on)
+            simEnter(state, group_index);
+        bool requeue = false;
         try {
             state.tasks[group_index] =
-                state.predictor->runGroupTask(group_index);
+                state.predictor->runGroupTaskResilient(group_index);
         } catch (const core::PredictionCancelled &) {
-            const bool timed_out =
-                state.hasDeadline &&
-                std::chrono::steady_clock::now() > state.deadline &&
-                !campaignCancelled();
-            markBroken(state,
-                       timed_out ? JobStatus::TimedOut
-                                 : JobStatus::Cancelled,
-                       timed_out ? "job timeout during group simulation"
-                                 : "campaign cancelled");
+            if (campaignCancelled()) {
+                markBroken(state, JobStatus::Cancelled,
+                           "campaign cancelled");
+            } else if (deadlineExceeded(state)) {
+                markBroken(state, JobStatus::TimedOut,
+                           "job timeout during group simulation");
+            } else if (watchdog_on) {
+                // Stall cancellation. Only the unit whose heartbeat
+                // actually went stale burns a retry; siblings taken
+                // down with it requeue for free.
+                const uint64_t timeout_ns = static_cast<uint64_t>(
+                    params_.stallTimeoutSeconds * 1e9);
+                const uint64_t ts = state.groupProgressNs[group_index]
+                                        .load(std::memory_order_relaxed);
+                const uint64_t now = nowNs();
+                const bool self_stalled =
+                    ts != 0 && now > ts && now - ts > timeout_ns;
+                if (!self_stalled) {
+                    requeue = true;
+                } else {
+                    const uint32_t attempt =
+                        ++state.groupAttempts[group_index];
+                    if (attempt <=
+                        state.job.params.groupRetries) {
+                        warn("campaign job '", state.job.id,
+                             "': group ", group_index,
+                             " stalled; retry ", attempt, "/",
+                             state.job.params.groupRetries);
+                        requeue = true;
+                    } else {
+                        state.tasks[group_index] =
+                            state.predictor->failedGroupTask(
+                                group_index,
+                                "stalled: no simulated-cycle progress "
+                                "within " +
+                                    std::to_string(
+                                        params_.stallTimeoutSeconds) +
+                                    "s (retries exhausted)");
+                    }
+                }
+            } else {
+                // No watchdog, so the cancel hook fired for a reason
+                // that has since cleared; treat it as cancellation.
+                markBroken(state, JobStatus::Cancelled,
+                           "campaign cancelled");
+            }
         } catch (const std::exception &err) {
+            // runGroupTaskResilient converts failures into failed
+            // tasks; anything escaping is unexpected but must not
+            // wedge the campaign.
             markBroken(state, JobStatus::Failed, err.what());
+        }
+        if (watchdog_on)
+            simExit(state, group_index);
+        if (requeue) {
+            enqueueUnit(state.job.priority,
+                        [this, s = &state, group_index]() {
+                            runGroupUnit(*s, group_index);
+                        });
+            return; // groupsRemaining stays owed to the retry.
         }
     }
     if (state.groupsRemaining.fetch_sub(1) == 1) {
@@ -466,36 +720,102 @@ CampaignScheduler::runFinalizeUnit(JobState &state)
         row.preprocessSeconds = result.preprocessWallSeconds;
         row.simSeconds = result.simWallSeconds;
         row.maxGroupSeconds = result.maxGroupWallSeconds;
+        row.status = JobStatus::Ok;
+        if (result.degraded) {
+            // Survivors-only prediction (docs/ROBUSTNESS.md): valid
+            // numbers with widened sampling error.
+            row.status = JobStatus::Degraded;
+            row.failedGroups =
+                static_cast<uint32_t>(result.failedGroups.size());
+            row.survivorExtrapolation = result.survivorExtrapolation;
+            row.error = std::to_string(result.failedGroups.size()) +
+                        " group(s) failed; prediction assembled from "
+                        "survivors";
+        }
 
         if (state.job.withOracle) {
             const uint64_t key = oracleKey(state.pack->contentHash,
                                            state.config, state.job.params);
+            const size_t oracle_slot = state.predictor->groupCount();
+            const bool watchdog_on = params_.stallTimeoutSeconds > 0.0;
             WallTimer oracle_timer;
-            std::shared_ptr<const gpusim::GpuStats> stats =
-                cache_.getOrBuild<gpusim::GpuStats>(
-                    ArtifactKind::OracleStats, key,
-                    [&]() -> std::pair<
-                              std::shared_ptr<const gpusim::GpuStats>,
-                              uint64_t> {
-                        core::OracleResult oracle =
-                            state.predictor->runOracle();
-                        return {std::make_shared<const gpusim::GpuStats>(
+            std::shared_ptr<const gpusim::GpuStats> stats;
+            std::string oracle_error;
+            const uint32_t max_attempts = params_.stageRetries + 1;
+            for (uint32_t attempt = 1; attempt <= max_attempts;
+                 ++attempt) {
+                try {
+                    stats = cache_.getOrBuild<gpusim::GpuStats>(
+                        ArtifactKind::OracleStats, key,
+                        [&]() -> std::pair<
+                                  std::shared_ptr<const gpusim::GpuStats>,
+                                  uint64_t> {
+                            ZATEL_INJECT_FAULT("oracle.run");
+                            if (watchdog_on)
+                                simEnter(state, oracle_slot);
+                            core::OracleResult oracle;
+                            try {
+                                oracle = state.predictor->runOracle();
+                            } catch (...) {
+                                if (watchdog_on)
+                                    simExit(state, oracle_slot);
+                                throw;
+                            }
+                            if (watchdog_on)
+                                simExit(state, oracle_slot);
+                            return {
+                                std::make_shared<const gpusim::GpuStats>(
                                     oracle.stats),
                                 sizeof(gpusim::GpuStats)};
-                    });
-            row.oracleSeconds = oracle_timer.elapsedSeconds();
-            for (gpusim::Metric metric : gpusim::allMetrics())
-                row.oracle[metric] = stats->metricValue(metric);
+                        });
+                    oracle_error.clear();
+                    break;
+                } catch (const core::PredictionCancelled &) {
+                    // Campaign cancellation / timeout end the job;
+                    // a watchdog stall is retried like any other
+                    // transient oracle failure (the oracle is this
+                    // job's only active simulation here, so its
+                    // simExit already cleared the stall flag).
+                    if (campaignCancelled() || deadlineExceeded(state))
+                        throw;
+                    oracle_error =
+                        "stalled: no simulated-cycle progress within " +
+                        std::to_string(params_.stallTimeoutSeconds) +
+                        "s";
+                } catch (const std::exception &err) {
+                    oracle_error = err.what();
+                }
+                if (attempt < max_attempts) {
+                    warn("campaign job '", state.job.id,
+                         "': oracle run failed (", oracle_error,
+                         "); retry ", attempt, "/",
+                         params_.stageRetries);
+                    retryBackoffSleep(attempt);
+                }
+            }
+            if (stats) {
+                row.oracleSeconds = oracle_timer.elapsedSeconds();
+                for (gpusim::Metric metric : gpusim::allMetrics())
+                    row.oracle[metric] = stats->metricValue(metric);
+            } else {
+                // The prediction itself is fine — deliver it, flagged
+                // Degraded because the requested reference is missing.
+                row.status = JobStatus::Degraded;
+                if (!row.error.empty())
+                    row.error += "; ";
+                row.error += "oracle failed: " + oracle_error;
+            }
         }
-        row.status = JobStatus::Ok;
     } catch (const core::PredictionCancelled &) {
-        const bool timed_out =
-            state.hasDeadline &&
-            std::chrono::steady_clock::now() > state.deadline &&
-            !campaignCancelled();
+        const bool timed_out = deadlineExceeded(state) &&
+                               !campaignCancelled();
         row.status = timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
         row.error = timed_out ? "job timeout during finalize"
                               : "campaign cancelled";
+    } catch (const core::GroupFailureError &err) {
+        // Too many failed groups (or fail-fast): no usable prediction.
+        row.status = JobStatus::Failed;
+        row.error = err.what();
     } catch (const std::exception &err) {
         row.status = JobStatus::Failed;
         row.error = err.what();

@@ -28,6 +28,16 @@
  * cancelled campaign or a job past its wall-clock budget stops at the
  * next stage boundary and is recorded as Cancelled / TimedOut.
  *
+ * Resilience (docs/ROBUSTNESS.md): transient start-stage failures are
+ * retried (stageRetries) with deterministic backoff, group simulations
+ * retry inside ZatelPredictor::runGroupTaskResilient, and a progress
+ * watchdog thread cancels simulations that stop making simulated-cycle
+ * progress for stallTimeoutSeconds so a hung instance is retried or
+ * recorded as a failed group instead of wedging the campaign. Jobs
+ * whose prediction was assembled from a surviving subset of groups —
+ * or whose optional oracle run failed while the prediction itself
+ * succeeded — finish with JobStatus::Degraded.
+ *
  * Determinism: stage units compute into per-job, per-group slots and
  * assembly happens in group order, so a scheduled prediction is
  * byte-identical to ZatelPredictor::predict() on the same inputs (see
@@ -63,6 +73,18 @@ struct SchedulerParams
     size_t workers = 0;
     /** Per-job wall-clock budget in seconds; <= 0 disables it. */
     double jobTimeoutSeconds = 0.0;
+    /**
+     * Hang watchdog (docs/ROBUSTNESS.md): a group/oracle simulation
+     * that reports no simulated-cycle progress for this many seconds
+     * is cooperatively cancelled and retried (or recorded as a failed
+     * group once retries are exhausted). <= 0 disables the watchdog
+     * (and the mid-run progress probe entirely).
+     */
+    double stallTimeoutSeconds = 0.0;
+    /** Retries for transient start-stage and oracle failures. */
+    uint32_t stageRetries = 1;
+    /** Simulated cycles between watchdog heartbeats. */
+    uint64_t probeIntervalCycles = 250000;
     /** Job ids to skip (already "ok" in a resumed result file). */
     std::set<std::string> alreadyCompleted;
     /** Campaign-level cooperative cancellation (polled frequently). */
@@ -79,6 +101,9 @@ struct CampaignSummary
 {
     size_t totalJobs = 0;
     size_t ok = 0;
+    /** Jobs that finished with a survivors-only or oracle-less
+     *  prediction (JobStatus::Degraded, docs/ROBUSTNESS.md). */
+    size_t degraded = 0;
     size_t failed = 0;
     size_t cancelled = 0;
     size_t timedOut = 0;
@@ -89,6 +114,8 @@ struct CampaignSummary
     ArtifactCache::Counters cacheTotals;
     /** Per-kind counters, indexed by ArtifactKind. */
     ArtifactCache::Counters cachePerKind[3];
+    /** True when the cache's disk tier degraded to memory-only. */
+    bool cacheDiskDegraded = false;
 
     /** Multi-line human-readable report (includes "cache hits: N"). */
     std::string toString() const;
@@ -156,6 +183,27 @@ class CampaignScheduler
         std::chrono::steady_clock::time_point deadline;
         bool hasDeadline = false;
         std::chrono::steady_clock::time_point simStart;
+
+        // ---- Hang-watchdog state (docs/ROBUSTNESS.md) ----
+        /**
+         * Per-slot last-heartbeat timestamps (monotonic ns): one slot
+         * per group plus a final slot for the oracle run. 0 means "no
+         * simulation active in this slot". Allocated by the start unit;
+         * progressSlots (released after the allocation) publishes the
+         * array to the watchdog thread.
+         */
+        std::unique_ptr<std::atomic<uint64_t>[]> groupProgressNs;
+        std::atomic<size_t> progressSlots{0};
+        /** Simulations of this job currently inside the GPU loop. */
+        std::atomic<size_t> activeSimUnits{0};
+        /** Set by the watchdog; cleared by the last sim unit out (or
+         *  by an arriving unit when none is active). */
+        std::atomic<bool> stallCancelled{false};
+        /** Stall retries consumed per group. Element g is only touched
+         *  by group g's unit (requeues serialize it). */
+        std::vector<uint32_t> groupAttempts;
+        /** Start-stage retries consumed (start units serialize). */
+        uint32_t startAttempts = 0;
     };
 
     void enqueueUnit(int priority, std::function<void()> fn);
@@ -169,6 +217,15 @@ class CampaignScheduler
     void runStartUnit(JobState &state);
     void runGroupUnit(JobState &state, size_t group_index);
     void runFinalizeUnit(JobState &state);
+
+    /** Mark @p slot's simulation active (heartbeat baseline = now). */
+    void simEnter(JobState &state, size_t slot);
+    /** Clear @p slot; the last unit out clears a pending stall flag. */
+    void simExit(JobState &state, size_t slot);
+    /** True when @p state's deadline exists and has passed. */
+    static bool deadlineExceeded(const JobState &state);
+    /** Watchdog thread body: flags jobs with stale progress slots. */
+    void watchdogLoop(const std::atomic<bool> &stop);
 
     /** Record the first failure of a job (later calls are ignored). */
     void markBroken(JobState &state, JobStatus status,
@@ -193,6 +250,7 @@ class CampaignScheduler
 
     // Terminal-status tallies (guarded by pumpMutex_).
     size_t okJobs_ = 0;
+    size_t degradedJobs_ = 0;
     size_t failedJobs_ = 0;
     size_t cancelledJobs_ = 0;
     size_t timedOutJobs_ = 0;

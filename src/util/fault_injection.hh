@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Deterministic fault-injection framework (docs/ROBUSTNESS.md).
+ *
+ * Production code marks the places where the outside world can fail
+ * (disk I/O, a simulator instance, a pool task) with named probe
+ * macros. With no faults armed the probe is one relaxed atomic load
+ * plus a branch — cheap enough to leave compiled into release builds
+ * (bench/bench_fault_overhead.cc gates the cost below 1% of the
+ * predictor hot path). Tests and CI arm sites via the ZATEL_FAULTS
+ * environment variable or the programmatic API and prove that every
+ * failure yields a correct degraded result instead of a crash, a hang,
+ * or a silently wrong number.
+ *
+ * Policies (FaultPolicy::parse accepts the same spellings as
+ * ZATEL_FAULTS):
+ *  - "always"        every probe evaluation fires.
+ *  - "nth:N"         the N-th evaluation (1-based, process-wide per
+ *                    site) fires exactly once — models a transient
+ *                    fault a retry recovers from. Which logical
+ *                    operation is the N-th depends on thread timing;
+ *                    use a keyed probability policy when the failing
+ *                    set must be deterministic.
+ *  - "prob:P[:SEED]" fires iff hash(SEED, site, key) < P. A pure
+ *                    function of its inputs: the same keys fail no
+ *                    matter how many threads race the probes, which is
+ *                    what keeps degraded predictions byte-identical
+ *                    between --threads 1 and --threads 4.
+ *  - "never"         disarmed (the default).
+ *
+ * ZATEL_FAULTS syntax: comma- or semicolon-separated
+ * `site=policy` entries, e.g.
+ *
+ *   ZATEL_FAULTS='cache.disk.write=always,group.sim=nth:2'
+ *
+ * Site names must match the compile-time catalog (knownSiteNames());
+ * a typo is a fatal() at startup, not a silently ignored fault plan.
+ */
+
+#ifndef ZATEL_UTIL_FAULT_INJECTION_HH
+#define ZATEL_UTIL_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zatel
+{
+
+namespace obs
+{
+class Counter;
+} // namespace obs
+
+/** Thrown by an armed probe. Carries the site name so resilience
+ *  layers and tests can tell injected faults from organic ones. */
+class FaultInjectedError : public std::runtime_error
+{
+  public:
+    explicit FaultInjectedError(const std::string &site)
+        : std::runtime_error("injected fault at site '" + site + "'"),
+          site_(site)
+    {
+    }
+
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** When (if ever) a probe evaluation at a site fires. */
+struct FaultPolicy
+{
+    enum class Kind : uint8_t
+    {
+        Never,
+        Always,
+        /** Fire on the nth evaluation exactly once (transient fault). */
+        Nth,
+        /** Fire iff hash(seed, site, key) < probability (sticky per
+         *  key, thread-order independent). */
+        Probability,
+    };
+
+    Kind kind = Kind::Never;
+    /** Nth: the 1-based evaluation index that fires. */
+    uint64_t nth = 0;
+    /** Probability: per-key fire chance in [0, 1]. */
+    double probability = 0.0;
+    /** Probability: stream selector (different seeds fail different
+     *  key subsets). */
+    uint64_t seed = 0;
+
+    bool armed() const { return kind != Kind::Never; }
+
+    static FaultPolicy never() { return {}; }
+
+    static FaultPolicy
+    always()
+    {
+        FaultPolicy p;
+        p.kind = Kind::Always;
+        return p;
+    }
+
+    /** @pre n >= 1. */
+    static FaultPolicy nthHit(uint64_t n);
+
+    /** @pre 0 <= p <= 1. */
+    static FaultPolicy withProbability(double p, uint64_t seed = 0);
+
+    /**
+     * Parse "never" / "always" / "nth:N" / "prob:P[:SEED]".
+     * @throws std::invalid_argument with a human-readable reason.
+     */
+    static FaultPolicy parse(const std::string &text);
+
+    /** Inverse of parse() (for logs and error messages). */
+    std::string toString() const;
+};
+
+/**
+ * One named injection point. Instances are owned by a FaultRegistry
+ * and live for its lifetime; probe macros cache the pointer in a
+ * function-local static.
+ */
+class FaultSite
+{
+  public:
+    const std::string &name() const { return name_; }
+
+    /**
+     * The probe. With nothing armed registry-wide this is one relaxed
+     * load and a branch; otherwise the slow path applies this site's
+     * policy. @p key identifies the logical operation (group index,
+     * job hash) so Probability policies fail a deterministic subset.
+     */
+    bool
+    shouldFire(uint64_t key = 0)
+    {
+        if (!anyArmed_->load(std::memory_order_relaxed))
+            return false;
+        return shouldFireSlow(key);
+    }
+
+    /** Probe evaluations while any fault was armed registry-wide. */
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+    /** Evaluations that fired. */
+    uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+    FaultPolicy policy() const;
+
+  private:
+    friend class FaultRegistry;
+    FaultSite(std::string name, const std::atomic<bool> *any_armed);
+
+    bool shouldFireSlow(uint64_t key);
+    void setPolicy(const FaultPolicy &policy);
+    void resetCounts();
+
+    std::string name_;
+    uint64_t nameHash_ = 0;
+    const std::atomic<bool> *anyArmed_;
+    /** Exported through the global MetricsRegistry
+     *  (zatel_fault_site_{hits,fires}_total{site=...}). */
+    obs::Counter *hitsCounter_ = nullptr;
+    obs::Counter *firesCounter_ = nullptr;
+    mutable std::mutex mutex_;
+    FaultPolicy policy_; ///< Guarded by mutex_.
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> fires_{0};
+};
+
+/**
+ * Owner of all fault sites. Probe macros use the process-wide
+ * global() instance, whose constructor pre-registers the compile-time
+ * site catalog and applies the ZATEL_FAULTS environment variable
+ * (fatal() on a malformed spec or unknown site name). Tests may
+ * construct private registries for parser/policy unit tests, but the
+ * production probes always consult global().
+ */
+class FaultRegistry
+{
+  public:
+    /** A registry with the known-site catalog registered and nothing
+     *  armed. Does NOT read ZATEL_FAULTS (only global() does). */
+    FaultRegistry();
+
+    FaultRegistry(const FaultRegistry &) = delete;
+    FaultRegistry &operator=(const FaultRegistry &) = delete;
+
+    /** The process-wide registry behind ZATEL_INJECT_FAULT. */
+    static FaultRegistry &global();
+
+    /**
+     * The compile-time catalog of production injection sites
+     * (docs/ROBUSTNESS.md keeps the prose catalog in sync; the
+     * fault-matrix test iterates this list).
+     */
+    static const std::vector<std::string> &knownSiteNames();
+
+    /** Find-or-register a site. Pointers stay valid for the registry's
+     *  lifetime. Ad-hoc (non-catalog) names are allowed here so tests
+     *  can probe the framework itself. */
+    FaultSite *site(const std::string &name);
+
+    /** Arm/disarm one site. Registers the site if needed. */
+    void setPolicy(const std::string &name, const FaultPolicy &policy);
+
+    /**
+     * Apply a ZATEL_FAULTS-syntax spec ("a=always,b=nth:3").
+     * @throws std::invalid_argument on syntax errors or site names
+     *         outside knownSiteNames() (typo protection).
+     */
+    void configure(const std::string &spec);
+
+    /** Set every site's policy to Never. */
+    void disarmAll();
+
+    /** disarmAll() plus zeroed hit/fire counts — restores the
+     *  pristine state between tests. */
+    void resetForTest();
+
+    /** True when at least one site has an armed policy. */
+    bool
+    anyArmed() const
+    {
+        return anyArmed_.load(std::memory_order_relaxed);
+    }
+
+    /** Names of every registered site (catalog + ad-hoc), sorted. */
+    std::vector<std::string> siteNames() const;
+
+  private:
+    FaultSite *siteLocked(const std::string &name);
+    void recomputeArmedLocked();
+
+    mutable std::mutex mutex_;
+    /** unique_ptr for pointer stability across registrations. */
+    std::vector<std::unique_ptr<FaultSite>> sites_;
+    std::atomic<bool> anyArmed_{false};
+};
+
+/**
+ * Deterministic retry backoff: attempt 1 waits 1ms, doubling per
+ * attempt, capped at 16ms. Pure function — callers sleep for the
+ * returned duration; results never depend on the wall clock.
+ */
+uint64_t retryBackoffMicros(uint32_t attempt);
+
+/** Sleep for retryBackoffMicros(attempt). */
+void retryBackoffSleep(uint32_t attempt);
+
+/** Resolve @p name against the global registry once per call site. */
+#define ZATEL_FAULT_SITE(name)                                              \
+    ([]() -> ::zatel::FaultSite * {                                         \
+        static ::zatel::FaultSite *const zatel_fault_site =                 \
+            ::zatel::FaultRegistry::global().site(name);                    \
+        return zatel_fault_site;                                            \
+    }())
+
+/** Throw FaultInjectedError if @p name's policy says so. */
+#define ZATEL_INJECT_FAULT(name)                                            \
+    do {                                                                    \
+        if (ZATEL_FAULT_SITE(name)->shouldFire())                           \
+            throw ::zatel::FaultInjectedError(name);                        \
+    } while (0)
+
+/** Keyed variant: @p key selects the failing subset under prob:. */
+#define ZATEL_INJECT_FAULT_KEYED(name, key)                                 \
+    do {                                                                    \
+        if (ZATEL_FAULT_SITE(name)->shouldFire(                             \
+                static_cast<uint64_t>(key)))                                \
+            throw ::zatel::FaultInjectedError(name);                        \
+    } while (0)
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_FAULT_INJECTION_HH

@@ -161,25 +161,44 @@ ThreadPool::parallelForChunked(size_t count, size_t grain,
     const size_t num_chunks = (count + grain - 1) / grain;
     state->remaining = num_chunks;
 
+    size_t submitted = 0;
+    std::exception_ptr submit_error;
     for (size_t c = 0; c < num_chunks; ++c) {
         const size_t begin = c * grain;
         const size_t end = std::min(count, begin + grain);
         // body is captured by reference: this function does not return
         // until every chunk has completed, so the reference stays valid.
-        submit([state, begin, end, &body] {
-            std::exception_ptr error;
-            try {
-                for (size_t i = begin; i < end; ++i)
-                    body(i);
-            } catch (...) {
-                error = std::current_exception();
-            }
-            std::lock_guard<std::mutex> lock(state->mutex);
-            if (error && !state->firstError)
-                state->firstError = error;
-            if (--state->remaining == 0)
-                state->done.notify_all();
-        });
+        try {
+            submit([state, begin, end, &body] {
+                std::exception_ptr error;
+                try {
+                    for (size_t i = begin; i < end; ++i)
+                        body(i);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (error && !state->firstError)
+                    state->firstError = error;
+                if (--state->remaining == 0)
+                    state->done.notify_all();
+            });
+        } catch (...) {
+            // submit() refused (e.g. shutdown began). The chunks that
+            // never made it into the queue will never decrement
+            // `remaining`; forget them now so the join below cannot
+            // wait forever, but DO still join the submitted ones —
+            // they reference `body` and must finish before we unwind.
+            submit_error = std::current_exception();
+            break;
+        }
+        ++submitted;
+    }
+    if (submitted < num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->remaining -= num_chunks - submitted;
+        if (state->remaining == 0)
+            state->done.notify_all();
     }
 
     // Wait for completion, helping to drain the queue so that nested
@@ -200,6 +219,10 @@ ThreadPool::parallelForChunked(size_t count, size_t grain,
         break;
     }
 
+    // A refused submit outranks a body error: it means part of the
+    // iteration space never ran at all.
+    if (submit_error)
+        std::rethrow_exception(submit_error);
     if (state->firstError)
         std::rethrow_exception(state->firstError);
 }
@@ -224,6 +247,8 @@ ThreadPool::runOneTask()
         poolMetrics().waitSeconds->observe(elapsedSeconds(task.enqueued));
     const auto started = task.timed ? std::chrono::steady_clock::now()
                                     : std::chrono::steady_clock::time_point{};
+    // packaged_task stores a thrown exception in the task's future, so
+    // a throwing task can never unwind (and kill) a worker thread.
     task.work();
     if (task.timed)
         poolMetrics().runSeconds->observe(elapsedSeconds(started));

@@ -13,6 +13,14 @@
  *    nested loops.
  *  - Exceptions thrown by loop bodies are captured and the first one is
  *    rethrown on the calling thread after every chunk has finished.
+ *  - A throwing task never terminates a worker thread: every task runs
+ *    inside a packaged_task, which stores the exception in the task's
+ *    future instead of letting it unwind the worker loop.
+ *  - If submit() throws partway through parallelForChunked's fan-out
+ *    (shutdown raced the loop), the already-submitted chunks are still
+ *    joined — the body reference stays valid for their whole run — and
+ *    the submit failure is rethrown; waiters cannot hang on chunks
+ *    that were never enqueued.
  */
 
 #ifndef ZATEL_UTIL_THREAD_POOL_HH

@@ -1,10 +1,12 @@
 #include "zatel/predictor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "obs/metrics_registry.hh"
 #include "obs/trace_recorder.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
@@ -232,6 +234,52 @@ ZatelPredictor::runGroupTask(size_t group_index) const
     return task;
 }
 
+ZatelPredictor::GroupTask
+ZatelPredictor::failedGroupTask(size_t group_index,
+                                const std::string &reason) const
+{
+    ZATEL_ASSERT(prepared_, "failedGroupTask() requires prepare()");
+    ZATEL_ASSERT(group_index < groups_.size(), "group index out of range");
+    GroupTask task;
+    task.primary.groupIndex = static_cast<uint32_t>(group_index);
+    task.primary.pixels = groups_[group_index].size();
+    task.primary.selectedPixels = 0;
+    task.primary.fractionTraced = 0.0;
+    task.primary.failed = true;
+    task.primary.error = reason;
+    return task;
+}
+
+ZatelPredictor::GroupTask
+ZatelPredictor::runGroupTaskResilient(size_t group_index) const
+{
+    const uint32_t max_attempts = params_.groupRetries + 1;
+    std::string last_error;
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        try {
+            // Fault site: group simulation fails on entry (keyed by
+            // group so prob: policies fail a deterministic subset).
+            ZATEL_INJECT_FAULT_KEYED("group.sim", group_index);
+            GroupTask task = runGroupTask(group_index);
+            task.primary.attempts = attempt;
+            return task;
+        } catch (const PredictionCancelled &) {
+            // Cancellation (campaign shutdown, timeout, watchdog) is
+            // not a fault: propagate so the caller can classify it.
+            throw;
+        } catch (const std::exception &e) {
+            last_error = e.what();
+        } catch (...) {
+            last_error = "unknown error";
+        }
+        if (attempt < max_attempts)
+            retryBackoffSleep(attempt);
+    }
+    GroupTask task = failedGroupTask(group_index, last_error);
+    task.primary.attempts = max_attempts;
+    return task;
+}
+
 ZatelResult
 ZatelPredictor::assemble(std::vector<GroupTask> tasks,
                          double sim_wall_seconds) const
@@ -256,10 +304,46 @@ ZatelPredictor::assemble(std::vector<GroupTask> tasks,
             std::max(result.maxGroupWallSeconds, group.wallSeconds);
     }
 
-    // Step (7): extrapolate per group, then combine across groups.
+    // Resilience budget (docs/ROBUSTNESS.md): failed groups are
+    // excluded from the combine step when enough survive; otherwise
+    // the prediction as a whole fails.
+    std::string first_error;
+    for (const GroupResult &group : result.groups) {
+        if (!group.failed)
+            continue;
+        result.failedGroups.push_back(group.groupIndex);
+        if (first_error.empty())
+            first_error = group.error;
+    }
+    if (!result.failedGroups.empty()) {
+        const size_t total = result.groups.size();
+        const size_t survivors = total - result.failedGroups.size();
+        const double survivor_fraction =
+            static_cast<double>(survivors) / static_cast<double>(total);
+        if (params_.failFast || survivors == 0 ||
+            survivor_fraction < params_.minGroupsFraction) {
+            throw GroupFailureError(
+                "zatel: " + std::to_string(result.failedGroups.size()) +
+                    " of " + std::to_string(total) +
+                    " groups failed (survivor fraction " +
+                    std::to_string(survivor_fraction) + " below " +
+                    std::to_string(params_.minGroupsFraction) +
+                    (params_.failFast ? ", fail-fast" : "") +
+                    "); first error: " + first_error,
+                result.failedGroups);
+        }
+        result.degraded = true;
+        warn("zatel: assembling degraded prediction from ", survivors,
+             " of ", total, " groups; first error: ", first_error);
+    }
+
+    // Step (7): extrapolate per surviving group, then combine across
+    // the survivors.
     const std::vector<gpusim::Metric> &metrics = gpusim::allMetrics();
     for (size_t g = 0; g < result.groups.size(); ++g) {
         GroupResult &group = result.groups[g];
+        if (group.failed)
+            continue;
         if (fractionsToRun_.empty()) {
             double fraction = std::max(group.fractionTraced, 1e-9);
             group.extrapolated =
@@ -281,26 +365,71 @@ ZatelPredictor::assemble(std::vector<GroupTask> tasks,
 
     uint64_t selected_total = 0;
     uint64_t pixels_total = 0;
+    uint64_t survivor_pixels = 0;
     for (const GroupResult &group : result.groups) {
         selected_total += group.selectedPixels;
         pixels_total += group.pixels;
+        if (!group.failed)
+            survivor_pixels += group.pixels;
     }
     result.fractionTraced =
         pixels_total == 0 ? 0.0
                           : static_cast<double>(selected_total) /
                                 static_cast<double>(pixels_total);
+    // Sum-rule metrics (throughput across concurrent slices) lose the
+    // failed slices' contribution; scale by the surviving pixel share
+    // so a degraded prediction still estimates the whole machine.
+    result.survivorExtrapolation =
+        (result.degraded && survivor_pixels > 0)
+            ? static_cast<double>(pixels_total) /
+                  static_cast<double>(survivor_pixels)
+            : 1.0;
 
     for (size_t m = 0; m < metrics.size(); ++m) {
         std::vector<double> group_values;
         group_values.reserve(result.groups.size());
-        for (const GroupResult &group : result.groups)
-            group_values.push_back(group.extrapolated[m]);
-        result.predicted[metrics[m]] =
-            combineMetric(metrics[m], group_values);
+        for (const GroupResult &group : result.groups) {
+            if (!group.failed)
+                group_values.push_back(group.extrapolated[m]);
+        }
+        double combined = combineMetric(metrics[m], group_values);
+        // Guarded by `degraded` (not just a *1.0) so the zero-fault
+        // path's arithmetic is untouched — the byte-identity contract.
+        if (result.degraded && combineRuleFor(metrics[m]) == CombineRule::Sum)
+            combined *= result.survivorExtrapolation;
+        result.predicted[metrics[m]] = combined;
     }
     predictorMetrics().assembleSeconds->observe(
         assemble_timer.elapsedSeconds());
     return result;
+}
+
+void
+ZatelPredictor::installWatchdogProbe(gpusim::Gpu &gpu,
+                                     size_t group_index) const
+{
+    gpu.setProgressCallback(
+        simProbeInterval_,
+        [this, group_index](uint64_t cycle, const gpusim::GpuStats &) {
+            // Fault site: the instance stops making progress. The
+            // emulated hang reports no further heartbeats and waits to
+            // be cancelled — to the watchdog it looks exactly like a
+            // real livelock. Without a cancel hook there is nobody to
+            // break the hang, so it degrades to a thrown fault.
+            if (ZATEL_FAULT_SITE("group.sim.stall")
+                    ->shouldFire(static_cast<uint64_t>(group_index))) {
+                if (!cancelCheck_)
+                    throw FaultInjectedError("group.sim.stall");
+                while (!cancelCheck_()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                return true;
+            }
+            if (simHeartbeat_)
+                simHeartbeat_(group_index, cycle);
+            return cancelCheck_ ? cancelCheck_() : false;
+        });
 }
 
 GroupResult
@@ -316,10 +445,22 @@ ZatelPredictor::simulateGroup(uint32_t group_index, const PixelGroup &group,
 
     ZATEL_TRACE_SCOPE("sim.group", static_cast<int64_t>(group_index));
     WallTimer timer;
+    // Fault site: the instance dies after workload construction but
+    // before (conceptually: during) the simulation itself.
+    ZATEL_INJECT_FAULT_KEYED("group.sim.midrun", group_index);
     gpusim::SimWorkload workload = gpusim::SimWorkload::build(
         tracer_, params_.width, params_.height, group, &selection.mask);
     gpusim::Gpu gpu(config, workload);
-    result.stats = gpu.run();
+    if (simProbeInterval_ > 0) {
+        installWatchdogProbe(gpu, group_index);
+        result.stats = gpu.run();
+        // The probe's cancel poll stops the run early; surface that as
+        // a cancellation so the watchdog layer can classify it.
+        if (gpu.stoppedEarly())
+            throw PredictionCancelled();
+    } else {
+        result.stats = gpu.run();
+    }
     result.wallSeconds = timer.elapsedSeconds();
 
     PredictorMetrics &metrics = predictorMetrics();
@@ -341,7 +482,7 @@ ZatelPredictor::predict()
     // Step (6): concurrent simulation of the K groups, on the injected
     // shared pool when one was provided, else on an owned pool.
     std::vector<GroupTask> tasks(groups_.size());
-    const auto body = [&](size_t g) { tasks[g] = runGroupTask(g); };
+    const auto body = [&](size_t g) { tasks[g] = runGroupTaskResilient(g); };
 
     WallTimer sim_timer;
     {
@@ -391,7 +532,16 @@ ZatelPredictor::runOracle() const
     gpusim::SimWorkload workload = gpusim::SimWorkload::buildFullFrame(
         tracer_, params_.width, params_.height);
     gpusim::Gpu gpu(targetConfig_, workload);
-    oracle.stats = gpu.run();
+    if (simProbeInterval_ > 0) {
+        // The oracle is watchdogged like any group; it reports the
+        // sentinel group index SIZE_MAX on the heartbeat.
+        installWatchdogProbe(gpu, SIZE_MAX);
+        oracle.stats = gpu.run();
+        if (gpu.stoppedEarly())
+            throw PredictionCancelled();
+    } else {
+        oracle.stats = gpu.run();
+    }
     oracle.wallSeconds = timer.elapsedSeconds();
     return oracle;
 }

@@ -21,6 +21,8 @@
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/config.hh"
@@ -57,6 +59,30 @@ class PredictionCancelled : public std::runtime_error
     }
 };
 
+/**
+ * Thrown by assemble() when group failures exceed the resilience
+ * budget: more than (1 - minGroupsFraction) of the groups failed, or
+ * any group failed while failFast was set (docs/ROBUSTNESS.md).
+ */
+class GroupFailureError : public std::runtime_error
+{
+  public:
+    GroupFailureError(std::string what, std::vector<uint32_t> failed_groups)
+        : std::runtime_error(std::move(what)),
+          failedGroups_(std::move(failed_groups))
+    {
+    }
+
+    /** Indices of the groups whose simulations failed. */
+    const std::vector<uint32_t> &failedGroups() const
+    {
+        return failedGroups_;
+    }
+
+  private:
+    std::vector<uint32_t> failedGroups_;
+};
+
 /** Full pipeline configuration. */
 struct ZatelParams
 {
@@ -91,6 +117,20 @@ struct ZatelParams
     /** Worker threads for concurrent group simulation;
      *  0 = hardware concurrency (capped at K). */
     uint32_t numThreads = 0;
+
+    // ---- Resilience (docs/ROBUSTNESS.md) ----
+    /** Times a failed group simulation is re-attempted (with
+     *  deterministic backoff) before it is recorded as failed. */
+    uint32_t groupRetries = 1;
+    /**
+     * Minimum fraction of groups that must survive for a degraded
+     * prediction to be assembled from the survivors (the paper's
+     * sampling-error analysis licenses subset extrapolation); below
+     * it assemble() throws GroupFailureError.
+     */
+    double minGroupsFraction = 0.5;
+    /** Treat any group failure as fatal (no degraded mode). */
+    bool failFast = false;
 };
 
 /** Per-group outcome. */
@@ -106,6 +146,15 @@ struct GroupResult
     std::vector<double> extrapolated;
     /** Wall-clock seconds this instance took. */
     double wallSeconds = 0.0;
+
+    // ---- Resilience (docs/ROBUSTNESS.md) ----
+    /** True when every attempt at this group's simulation failed; the
+     *  stats/extrapolated fields are then meaningless. */
+    bool failed = false;
+    /** Human-readable reason for the last failed attempt. */
+    std::string error;
+    /** Simulation attempts consumed (1 = first try succeeded). */
+    uint32_t attempts = 1;
 };
 
 /** Final prediction. */
@@ -128,6 +177,24 @@ struct ZatelResult
     double maxGroupWallSeconds = 0.0;
     /** Wall-clock seconds of preprocessing (heatmap + quantization). */
     double preprocessWallSeconds = 0.0;
+
+    // ---- Resilience (docs/ROBUSTNESS.md) ----
+    /**
+     * True when one or more groups failed every attempt but enough
+     * survived (params.minGroupsFraction) to assemble a prediction
+     * from the surviving subset. Degraded predictions carry the wider
+     * sampling error of a smaller representative set — consumers
+     * should treat them like a lower-fraction Zatel run.
+     */
+    bool degraded = false;
+    /** Indices of the groups excluded from the combine step. */
+    std::vector<uint32_t> failedGroups;
+    /**
+     * Pixel-weighted re-weighting factor applied to Sum-rule metrics:
+     * total image pixels / surviving groups' pixels (1.0 when nothing
+     * failed). Average-rule metrics average over survivors only.
+     */
+    double survivorExtrapolation = 1.0;
 
     double metric(gpusim::Metric m) const { return predicted.at(m); }
 };
@@ -201,6 +268,25 @@ class ZatelPredictor
         cancelCheck_ = std::move(cancelled);
     }
 
+    /**
+     * Mid-run progress probe for hang watchdogs (docs/ROBUSTNESS.md):
+     * every @p interval_cycles simulated cycles of a group (or oracle)
+     * run, @p heartbeat(group_index, cycle) is invoked and the cancel
+     * check is polled — a cancellation then aborts the simulation
+     * mid-run with PredictionCancelled instead of waiting for the
+     * stage boundary. The oracle run reports group_index SIZE_MAX.
+     * Interval 0 (the default) disables the probe; the activity-driven
+     * cycle loop's probe alignment keeps simulated stats byte-identical
+     * either way (docs/SIMULATOR.md).
+     */
+    void
+    setSimulationProbe(uint64_t interval_cycles,
+                       std::function<void(size_t, uint64_t)> heartbeat)
+    {
+        simProbeInterval_ = interval_cycles;
+        simHeartbeat_ = std::move(heartbeat);
+    }
+
     // ---- Stage-level API ----
     // predict() is composed of these; the campaign scheduler calls them
     // directly so it can feed every job's group simulations into one
@@ -234,8 +320,35 @@ class ZatelPredictor
     GroupTask runGroupTask(size_t group_index) const;
 
     /**
+     * Resilient wrapper around runGroupTask (docs/ROBUSTNESS.md): a
+     * throwing group simulation is re-attempted up to
+     * params.groupRetries times with deterministic backoff; when every
+     * attempt fails the task is returned with primary.failed set (and
+     * the reason in primary.error) instead of throwing, so one broken
+     * group cannot poison the whole prediction. PredictionCancelled is
+     * never swallowed — cancellation is not a fault.
+     */
+    GroupTask runGroupTaskResilient(size_t group_index) const;
+
+    /**
+     * A placeholder task for group @p group_index recording a failure
+     * that happened outside runGroupTask (e.g. the campaign
+     * scheduler's watchdog giving up on a stalled unit). Pixel counts
+     * are filled in so assemble() can re-weight survivors.
+     */
+    GroupTask failedGroupTask(size_t group_index,
+                              const std::string &reason) const;
+
+    /**
      * Step (7): extrapolate and combine @p tasks (one entry per group,
-     * in group order) into the final prediction.
+     * in group order) into the final prediction. Tasks whose
+     * primary.failed flag is set are excluded from the combine step:
+     * if enough groups survive (params.minGroupsFraction) the result
+     * is assembled from the survivors with `degraded` set and Sum-rule
+     * metrics re-weighted by `survivorExtrapolation`; otherwise (or
+     * with params.failFast) GroupFailureError is thrown. With no
+     * failed task the result is bit-identical to the pre-resilience
+     * assemble.
      * @param sim_wall_seconds Wall-clock of the whole simulation phase.
      */
     ZatelResult assemble(std::vector<GroupTask> tasks,
@@ -244,6 +357,9 @@ class ZatelPredictor
   private:
     /** Throw PredictionCancelled when the cancellation hook fires. */
     void throwIfCancelled() const;
+    /** Wire the watchdog heartbeat + mid-run cancel poll (and the
+     *  group.sim.stall fault site) into @p gpu's progress callback. */
+    void installWatchdogProbe(gpusim::Gpu &gpu, size_t group_index) const;
     /** Simulate one group at one selection; returns raw stats + time. */
     GroupResult simulateGroup(uint32_t group_index, const PixelGroup &group,
                               const Selection &selection,
@@ -260,6 +376,8 @@ class ZatelPredictor
     ThreadPool *executor_ = nullptr;
     std::function<bool()> cancelCheck_;
     bool hasPrebuiltHeatmap_ = false;
+    uint64_t simProbeInterval_ = 0;
+    std::function<void(size_t, uint64_t)> simHeartbeat_;
 
     // Prepared-pipeline state (steps 1-5), immutable once prepared_.
     bool prepared_ = false;

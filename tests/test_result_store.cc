@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "service/result_store.hh"
+#include "util/fault_injection.hh"
 
 namespace zatel::service
 {
@@ -92,6 +93,7 @@ TEST(ResultStore, JobStatusNamesAreStable)
     EXPECT_STREQ(jobStatusName(JobStatus::Cancelled), "cancelled");
     EXPECT_STREQ(jobStatusName(JobStatus::TimedOut), "timeout");
     EXPECT_STREQ(jobStatusName(JobStatus::Skipped), "skipped");
+    EXPECT_STREQ(jobStatusName(JobStatus::Degraded), "degraded");
 }
 
 TEST(ResultStore, JsonlRowOmitsEmptyMetricBlocks)
@@ -301,6 +303,137 @@ TEST(ResultStore, ConcurrentAppendsAreAllRecorded)
         ids.insert(row.jobId);
     EXPECT_EQ(ids.size(), static_cast<size_t>(kThreads * kRowsPerThread))
         << "no row lost or duplicated under concurrent appends";
+}
+
+TEST(ResultStore, DegradedJsonlRowsAppendDetailKeysAfterTheOkLayout)
+{
+    ResultStore store("");
+    ResultRow ok = sampleRow("j-ok");
+    ResultRow degraded = sampleRow("j-deg", JobStatus::Degraded);
+    degraded.failedGroups = 2;
+    degraded.survivorExtrapolation = 1.25;
+
+    const std::string ok_line = store.formatRow(ok);
+    const std::string degraded_line = store.formatRow(degraded);
+
+    // Ok rows must stay byte-identical to the pre-resilience layout:
+    // no degraded-only keys may leak into them.
+    EXPECT_EQ(ok_line.find("failed_groups"), std::string::npos) << ok_line;
+    EXPECT_EQ(ok_line.find("survivor_extrapolation"), std::string::npos);
+
+    EXPECT_NE(degraded_line.find("\"status\":\"degraded\""),
+              std::string::npos)
+        << degraded_line;
+    EXPECT_NE(degraded_line.find("\"failed_groups\":2"), std::string::npos)
+        << degraded_line;
+    EXPECT_NE(degraded_line.find("\"survivor_extrapolation\":"),
+              std::string::npos)
+        << degraded_line;
+}
+
+TEST(ResultStore, CompletedJobIdsIgnoresATruncatedFinalJsonlLine)
+{
+    // kill -9 mid-append: the final line stops mid-object. Resume must
+    // not trust it — even though its status substring survived intact.
+    const auto dir = scratchDir("truncated-jsonl");
+    const std::string path = (dir / "results.jsonl").string();
+
+    ResultStore fmt("");
+    {
+        std::ofstream out(path);
+        out << fmt.formatRow(sampleRow("j1")) << "\n";
+        out << fmt.formatRow(sampleRow("j2")) << "\n";
+        const std::string third = fmt.formatRow(sampleRow("j3"));
+        out << third.substr(0, third.size() / 2); // no closing '}'
+    }
+
+    const std::set<std::string> completed =
+        ResultStore::completedJobIds(path);
+    EXPECT_EQ(completed, (std::set<std::string>{"j1", "j2"}))
+        << "the torn j3 row must re-execute on resume";
+}
+
+TEST(ResultStore, CompletedJobIdsIgnoresATruncatedCsvRow)
+{
+    const auto dir = scratchDir("truncated-csv");
+    const std::string path = (dir / "results.csv").string();
+    {
+        ResultStore store(path);
+        store.append(sampleRow("j1"));
+        store.finalize();
+    }
+    {
+        // A row the writer died in the middle of: right id and status,
+        // but short of the header's column count.
+        std::ofstream out(path, std::ios::app);
+        out << "j2,ok,PARK";
+    }
+
+    const std::set<std::string> completed =
+        ResultStore::completedJobIds(path);
+    EXPECT_EQ(completed, (std::set<std::string>{"j1"}));
+}
+
+TEST(ResultStore, DegradedRowsAreNotResumeCompleted)
+{
+    // A degraded prediction is a real result, but resuming the
+    // campaign should retry the job: the fault that degraded it may
+    // have been transient.
+    const auto dir = scratchDir("degraded-resume");
+    const std::string path = (dir / "results.jsonl").string();
+    {
+        ResultStore store(path);
+        store.append(sampleRow("j-ok"));
+        store.append(sampleRow("j-deg", JobStatus::Degraded));
+        store.append(sampleRow("j-failed", JobStatus::Failed));
+        store.finalize();
+    }
+    const std::set<std::string> completed =
+        ResultStore::completedJobIds(path);
+    EXPECT_EQ(completed, (std::set<std::string>{"j-ok"}));
+}
+
+TEST(ResultStore, FinalizeIsIdempotentAndSafeWithoutAFile)
+{
+    ResultStore memory("");
+    memory.append(sampleRow("m"));
+    memory.finalize(); // no file: must be a no-op, not a crash
+    memory.finalize();
+
+    const auto dir = scratchDir("finalize");
+    const std::string path = (dir / "results.jsonl").string();
+    ResultStore store(path);
+    store.append(sampleRow("j1"));
+    store.finalize();
+    store.finalize();
+    store.append(sampleRow("j2")); // appends after finalize still land
+    store.finalize();
+    EXPECT_EQ(readLines(path).size(), 2u);
+}
+
+TEST(ResultStore, InjectedAppendFaultKeepsTheRowInMemory)
+{
+    FaultRegistry::global().resetForTest();
+    FaultRegistry::global().setPolicy("result.store.append",
+                                      FaultPolicy::nthHit(1));
+
+    const auto dir = scratchDir("append-fault");
+    const std::string path = (dir / "results.jsonl").string();
+    {
+        ResultStore store(path);
+        store.append(sampleRow("lost-on-disk")); // injected failure
+        store.append(sampleRow("written"));
+        EXPECT_EQ(store.writeFailures(), 1u);
+        // Both rows survive in memory regardless of the disk outcome.
+        EXPECT_EQ(store.rowCount(), 2u);
+        store.finalize();
+    }
+    FaultRegistry::global().resetForTest();
+
+    const std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u)
+        << "exactly the non-faulted row reaches the file";
+    EXPECT_NE(lines[0].find("\"job\":\"written\""), std::string::npos);
 }
 
 } // namespace

@@ -216,5 +216,87 @@ TEST(ThreadPoolStress, RapidConstructDestroyCycles)
     SUCCEED();
 }
 
+TEST(ThreadPoolStress, ParallelForChunkedDrainsEveryIndexWhenOneBodyThrows)
+{
+    // One throwing chunk must not abandon the rest of the iteration
+    // space: every other index still runs, and the first exception is
+    // rethrown only after all chunks finished (docs/ROBUSTNESS.md — a
+    // partially executed parallel loop would be a silently wrong
+    // number).
+    ThreadPool pool(3);
+    constexpr size_t kCount = 97;
+    std::vector<std::atomic<int>> ran(kCount);
+    bool threw = false;
+    try {
+        pool.parallelForChunked(kCount, 1, [&ran](size_t i) {
+            if (i == 7)
+                throw std::runtime_error("body failure");
+            ran[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    } catch (const std::runtime_error &error) {
+        threw = true;
+        EXPECT_STREQ(error.what(), "body failure");
+    }
+    EXPECT_TRUE(threw);
+    for (size_t i = 0; i < kCount; ++i) {
+        if (i == 7)
+            continue;
+        EXPECT_EQ(ran[i].load(), 1) << "index " << i << " did not run";
+    }
+    // The pool survives: a later loop completes normally.
+    std::atomic<int> after{0};
+    pool.parallelFor(16, [&after](size_t) { ++after; });
+    EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPoolStress, ManyThrowingBodiesPropagateExactlyOneException)
+{
+    // Several chunks throw concurrently; exactly one exception surfaces
+    // per loop and the join never hangs on the other throwers.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    int caught = 0;
+    for (int round = 0; round < 20; ++round) {
+        try {
+            // grain 1: each index is its own chunk, so a throwing index
+            // cannot shadow later indices of the same chunk.
+            pool.parallelForChunked(64, 1, [&ran](size_t i) {
+                ++ran;
+                if (i % 5 == 0)
+                    throw std::runtime_error("multi failure");
+            });
+        } catch (const std::runtime_error &) {
+            ++caught;
+        }
+    }
+    EXPECT_EQ(caught, 20);
+    EXPECT_EQ(ran.load(), 20 * 64)
+        << "a throwing chunk must not skip other chunks";
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(ThreadPoolStress, ThrowingTasksNeverWedgeWaitAll)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    futures.reserve(50);
+    for (int i = 0; i < 50; ++i) {
+        futures.push_back(
+            pool.submit([] { throw std::runtime_error("always"); }));
+    }
+    // waitAll must return even though every task threw: exceptions are
+    // parked in the futures, never allowed to unwind a worker.
+    pool.waitAll();
+    EXPECT_EQ(pool.activeWorkers(), 0u);
+    for (auto &future : futures)
+        EXPECT_THROW(future.get(), std::runtime_error);
+    // All workers are still alive afterwards.
+    std::atomic<int> after{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&after] { ++after; });
+    pool.waitAll();
+    EXPECT_EQ(after.load(), 8);
+}
+
 } // namespace
 } // namespace zatel

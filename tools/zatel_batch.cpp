@@ -100,6 +100,22 @@ main(int argc, char **argv)
                    "in-memory artifact cache budget in MiB");
     args.addOption("timeout", "0",
                    "per-job wall-clock budget in seconds (0 = none)");
+    // Resilience (docs/ROBUSTNESS.md).
+    args.addOption("group-retries", "1",
+                   "retries per failed group simulation before the group "
+                   "is excluded from the prediction");
+    args.addOption("stall-timeout-ms", "0",
+                   "cancel+retry a group/oracle simulation making no "
+                   "simulated-cycle progress for this long (0 = no "
+                   "watchdog)");
+    args.addOption("min-groups-fraction", "0.5",
+                   "minimum fraction of groups that must survive for a "
+                   "degraded prediction (below it the job fails)");
+    args.addOption("stage-retries", "1",
+                   "retries for transient start-stage/oracle failures");
+    args.addFlag("fail-fast",
+                 "treat any group failure as fatal for its job (no "
+                 "degraded predictions)");
     // Sweep shorthand (each may repeat to form a cartesian product).
     args.addOption("scene", "PARK", "scene name (repeatable)");
     args.addOption("gpu", "soc", "target GPU: soc | rtx2060 (repeatable)");
@@ -137,6 +153,43 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Range-check the resilience knobs before touching any state:
+    // getInt/getDouble already reject garbage with a clear message, and
+    // the checks below reject "parsed but nonsensical" values the same
+    // way (stderr + exit 1, never UB from a negative cast).
+    const int64_t group_retries = args.getInt("group-retries");
+    const int64_t stage_retries = args.getInt("stage-retries");
+    const double stall_timeout_ms = args.getDouble("stall-timeout-ms");
+    const double min_groups_fraction =
+        args.getDouble("min-groups-fraction");
+    if (group_retries < 0 || group_retries > 100) {
+        std::fprintf(stderr,
+                     "error: --group-retries must be in [0, 100], got "
+                     "%lld\n",
+                     static_cast<long long>(group_retries));
+        return 1;
+    }
+    if (stage_retries < 0 || stage_retries > 100) {
+        std::fprintf(stderr,
+                     "error: --stage-retries must be in [0, 100], got "
+                     "%lld\n",
+                     static_cast<long long>(stage_retries));
+        return 1;
+    }
+    if (stall_timeout_ms < 0.0) {
+        std::fprintf(stderr,
+                     "error: --stall-timeout-ms must be >= 0, got %g\n",
+                     stall_timeout_ms);
+        return 1;
+    }
+    if (min_groups_fraction < 0.0 || min_groups_fraction > 1.0) {
+        std::fprintf(stderr,
+                     "error: --min-groups-fraction must be in [0, 1], "
+                     "got %g\n",
+                     min_groups_fraction);
+        return 1;
+    }
+
     std::vector<service::CampaignJob> jobs;
     try {
         jobs = args.has("campaign")
@@ -146,11 +199,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;
     }
+    for (service::CampaignJob &job : jobs) {
+        job.params.groupRetries = static_cast<uint32_t>(group_retries);
+        job.params.minGroupsFraction = min_groups_fraction;
+        job.params.failFast = args.getFlag("fail-fast");
+    }
 
     const std::string out_path = args.get("out");
     service::SchedulerParams sched;
     sched.workers = static_cast<size_t>(args.getInt("jobs"));
     sched.jobTimeoutSeconds = args.getDouble("timeout");
+    sched.stallTimeoutSeconds = stall_timeout_ms / 1000.0;
+    sched.stageRetries = static_cast<uint32_t>(stage_retries);
     if (args.getFlag("resume")) {
         sched.alreadyCompleted =
             service::ResultStore::completedJobIds(out_path);
@@ -185,6 +245,13 @@ main(int argc, char **argv)
                         service::jobStatusName(row.status),
                         row.jobId.c_str(), row.k,
                         row.fractionTraced * 100.0);
+        } else if (row.status == service::JobStatus::Degraded) {
+            // A degraded row still carries a usable prediction —
+            // print it like an ok row plus the reason.
+            std::printf("[%-9s] %s (K=%u, %.1f%% traced) — %s\n",
+                        service::jobStatusName(row.status),
+                        row.jobId.c_str(), row.k,
+                        row.fractionTraced * 100.0, row.error.c_str());
         } else {
             std::printf("[%-9s] %s: %s\n",
                         service::jobStatusName(row.status),
@@ -223,6 +290,9 @@ main(int argc, char **argv)
     }
 
     service::CampaignSummary summary = scheduler.run();
+    // Flush + fsync the result file: a machine crash right after the
+    // campaign must not lose acknowledged rows (docs/ROBUSTNESS.md).
+    store.finalize();
 
     if (progress_thread.joinable()) {
         {
@@ -260,6 +330,14 @@ main(int argc, char **argv)
         }
     }
 
+    if (store.writeFailures() > 0) {
+        warn(store.writeFailures(),
+             " result row(s) could not be written to ", out_path,
+             " (kept in memory only)");
+    }
+
+    // Degraded jobs deliver usable predictions and do NOT fail the
+    // campaign's exit code (docs/ROBUSTNESS.md).
     const bool all_good =
         summary.failed == 0 && summary.cancelled == 0 &&
         summary.timedOut == 0 && io_ok;

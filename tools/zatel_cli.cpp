@@ -85,6 +85,20 @@ paramsFromArgs(const ArgParser &args)
         params.profiler.source = heatmap::ProfilingSource::HardwareTimer;
         params.profiler.timerNoise = args.getDouble("profile-noise");
     }
+
+    // Resilience knobs (docs/ROBUSTNESS.md), range-checked here so a
+    // negative or out-of-range value is a clear error, not a huge
+    // unsigned wrap.
+    const int64_t group_retries = args.getInt("group-retries");
+    if (group_retries < 0 || group_retries > 100)
+        fatal("--group-retries must be in [0, 100], got ", group_retries);
+    params.groupRetries = static_cast<uint32_t>(group_retries);
+    const double min_fraction = args.getDouble("min-groups-fraction");
+    if (min_fraction < 0.0 || min_fraction > 1.0)
+        fatal("--min-groups-fraction must be in [0, 1], got ",
+              min_fraction);
+    params.minGroupsFraction = min_fraction;
+    params.failFast = args.getFlag("fail-fast");
     return params;
 }
 
@@ -100,6 +114,13 @@ printPrediction(const core::ZatelResult &result)
     std::printf("K=%u, %.1f%% of pixels traced, slowest instance %.2fs\n",
                 result.k, result.fractionTraced * 100.0,
                 result.maxGroupWallSeconds);
+    if (result.degraded) {
+        std::printf("DEGRADED: %zu of %u group(s) failed; prediction "
+                    "assembled from survivors (extrapolation x%.4f) — "
+                    "expect widened sampling error\n",
+                    result.failedGroups.size(), result.k,
+                    result.survivorExtrapolation);
+    }
 }
 
 void
@@ -216,6 +237,14 @@ main(int argc, char **argv)
     args.addOption("k", "", "force the division/downscale factor");
     args.addOption("profile-noise", "",
                    "profile with noisy HW timers at this relative sigma");
+    args.addOption("group-retries", "1",
+                   "retries per failed group simulation before the group "
+                   "is excluded (docs/ROBUSTNESS.md)");
+    args.addOption("min-groups-fraction", "0.5",
+                   "minimum fraction of groups that must survive for a "
+                   "degraded prediction");
+    args.addFlag("fail-fast",
+                 "treat any group failure as fatal (no degraded mode)");
     args.addOption("csv", "", "write predicted metrics to this CSV file");
     args.addOption("trace-out", "",
                    "write a Chrome trace_event JSON of the run here "
