@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Full-tree zatel-lint runtime budget (docs/CORRECTNESS.md).
+ *
+ * The lint target runs in every CI leg and is meant to be cheap enough
+ * that nobody is tempted to skip it locally: the contract is that one
+ * cold scan of src/ -- load + tokenize every file, run the whole rule
+ * catalog including the cross-file lock-order and guarded-field passes
+ * -- finishes in under 5 seconds. This pins the tokenizer's "single
+ * pass, no backtracking" design and keeps rule authors from adding
+ * accidentally quadratic project passes.
+ *
+ * Exits nonzero when the best-of-3 wall time exceeds the budget, or
+ * when the scan loaded suspiciously few files (which would mean the
+ * bench measured nothing).
+ *
+ * Usage: bench_lint_runtime [repo-root]   (defaults to the compiled-in
+ * source directory, so `build/bench/bench_lint_runtime` just works).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/analyzer.hh"
+
+namespace
+{
+
+constexpr double kBudgetSeconds = 5.0;
+constexpr int kTrials = 3;
+constexpr size_t kMinFiles = 50; // src/ holds ~140 sources; 50 means
+                                 // a wrong root, not a small tree.
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::filesystem::path root =
+        argc > 1 ? std::filesystem::path(argv[1])
+                 : std::filesystem::path(ZATEL_LINT_BENCH_ROOT);
+    const std::filesystem::path src = root / "src";
+    if (!std::filesystem::is_directory(src)) {
+        std::fprintf(stderr, "bench_lint_runtime: no src/ under %s\n",
+                     root.string().c_str());
+        return 2;
+    }
+
+    double best = -1.0;
+    size_t files = 0;
+    size_t findings = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto start = std::chrono::steady_clock::now();
+        zatel::analysis::Analyzer analyzer;
+        files = analyzer.addPath(root, src);
+        const zatel::analysis::AnalysisResult result = analyzer.run();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        findings = result.findings.size();
+        if (best < 0.0 || elapsed.count() < best)
+            best = elapsed.count();
+    }
+
+    std::printf("bench_lint_runtime: %zu files, %zu finding(s), "
+                "best of %d: %.3f s (budget %.1f s)\n",
+                files, findings, kTrials, best, kBudgetSeconds);
+    if (files < kMinFiles) {
+        std::fprintf(stderr,
+                     "bench_lint_runtime: only %zu files scanned -- "
+                     "wrong root?\n",
+                     files);
+        return 2;
+    }
+    if (best > kBudgetSeconds) {
+        std::fprintf(stderr,
+                     "bench_lint_runtime: %.3f s exceeds the %.1f s "
+                     "full-tree budget\n",
+                     best, kBudgetSeconds);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,395 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+std::string
+readWholeFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+relativeSlashPath(const fs::path &path, const fs::path &root)
+{
+    return fs::relative(path, root).generic_string();
+}
+
+bool
+isSourceExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Meta-rule ids live outside allRules(): they police the suppression
+ *  mechanism itself and cannot be suppressed. */
+const char *kBadSuppression = "bad-suppression";
+const char *kUnusedSuppression = "unused-suppression";
+
+struct MetaRuleDoc
+{
+    const char *ruleId;
+    const char *text;
+};
+
+const MetaRuleDoc kMetaRuleDocs[] = {
+    {"bad-suppression",
+     "every 'zatel-lint: allow(rule): reason' names a known rule and "
+     "carries a written reason"},
+    {"unused-suppression",
+     "a suppression that matches no finding is stale and must be "
+     "removed"},
+};
+
+} // namespace
+
+void
+Analyzer::addFile(SourceFile file)
+{
+    files_.push_back(std::move(file));
+}
+
+size_t
+Analyzer::addPath(const fs::path &root, const fs::path &path)
+{
+    std::vector<fs::path> sources;
+    if (fs::is_directory(path)) {
+        for (const auto &entry : fs::recursive_directory_iterator(path)) {
+            if (entry.is_regular_file() &&
+                isSourceExtension(entry.path()))
+                sources.push_back(entry.path());
+        }
+        std::sort(sources.begin(), sources.end());
+    } else if (fs::exists(path)) {
+        sources.push_back(path);
+    }
+    for (const fs::path &source : sources) {
+        addFile(SourceFile::fromString(relativeSlashPath(source, root),
+                                       readWholeFile(source)));
+    }
+    return sources.size();
+}
+
+AnalysisResult
+Analyzer::run(const AnalyzerOptions &options) const
+{
+    AnalysisResult result;
+    result.fileCount = files_.size();
+
+    const IncludeGraph includes = IncludeGraph::build(files_);
+    AnalysisContext context;
+    context.files = &files_;
+    context.includes = &includes;
+
+    std::set<std::string> knownRules;
+    std::vector<Finding> raw;
+    for (const Rule *rule : allRules()) {
+        knownRules.insert(rule->id());
+        for (const SourceFile &file : files_)
+            rule->analyzeFile(context, file, raw);
+        rule->analyzeProject(context, raw);
+    }
+
+    // Inline suppressions: drop covered findings, remember which
+    // suppressions earned their keep (indexed parallel to files_).
+    std::vector<std::vector<bool>> used(files_.size());
+    for (size_t f = 0; f < files_.size(); ++f)
+        used[f].assign(files_[f].suppressions().size(), false);
+
+    std::vector<Finding> kept;
+    for (Finding &finding : raw) {
+        const SourceFile *file = context.find(finding.file);
+        bool suppressed = false;
+        if (file) {
+            const size_t fileIndex =
+                static_cast<size_t>(file - files_.data());
+            const std::vector<Suppression> &sups = file->suppressions();
+            for (size_t i = 0; i < sups.size(); ++i) {
+                const Suppression &s = sups[i];
+                if (s.malformed || s.rule != finding.rule)
+                    continue;
+                if (s.line == finding.line ||
+                    (s.standalone && s.line + 1 == finding.line)) {
+                    used[fileIndex][i] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if (suppressed)
+            ++result.suppressedCount;
+        else
+            kept.push_back(std::move(finding));
+    }
+
+    // Suppression meta-rules.
+    for (size_t f = 0; f < files_.size(); ++f) {
+        const SourceFile &file = files_[f];
+        const std::vector<Suppression> &sups = file.suppressions();
+        for (size_t i = 0; i < sups.size(); ++i) {
+            const Suppression &s = sups[i];
+            if (s.malformed) {
+                kept.push_back(
+                    {file.relPath(), s.line, kBadSuppression,
+                     "allow() needs both a rule id and a ': reason'; "
+                     "write 'zatel-lint: allow(rule-id): why this is "
+                     "safe'"});
+            } else if (!knownRules.count(s.rule)) {
+                kept.push_back(
+                    {file.relPath(), s.line, kBadSuppression,
+                     "allow(" + s.rule +
+                         ") names no known rule; see --list-rules"});
+            } else if (!used[f][i]) {
+                kept.push_back(
+                    {file.relPath(), s.line, kUnusedSuppression,
+                     "allow(" + s.rule +
+                         ") matched no finding; stale suppressions "
+                         "must be removed"});
+            }
+        }
+    }
+
+    // Legacy allowlist (file granularity).
+    std::vector<Finding> finalFindings;
+    for (Finding &finding : kept) {
+        if (options.allowlist.count(finding.file + ":" + finding.rule))
+            ++result.allowlistedCount;
+        else
+            finalFindings.push_back(std::move(finding));
+    }
+    sortFindings(finalFindings);
+    result.findings = std::move(finalFindings);
+    return result;
+}
+
+std::string
+Analyzer::formatText(const AnalysisResult &result)
+{
+    std::ostringstream out;
+    for (const Finding &f : result.findings) {
+        out << f.file << ":" << f.line << ": " << f.rule << " "
+            << f.message << "\n";
+    }
+    if (result.findings.empty()) {
+        out << "zatel-lint: clean (" << result.fileCount << " files, "
+            << result.allowlistedCount << " allowlisted finding(s), "
+            << result.suppressedCount << " suppressed)\n";
+    }
+    return out.str();
+}
+
+std::string
+Analyzer::formatJson(const AnalysisResult &result)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"tool\": \"zatel-lint\",\n"
+        << "  \"files\": " << result.fileCount << ",\n"
+        << "  \"suppressed\": " << result.suppressedCount << ",\n"
+        << "  \"allowlisted\": " << result.allowlistedCount << ",\n"
+        << "  \"findings\": [";
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        out << (i ? "," : "") << "\n    {\"file\": \""
+            << jsonEscape(f.file) << "\", \"line\": " << f.line
+            << ", \"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    out << (result.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+std::string
+Analyzer::formatSarif(const AnalysisResult &result)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"zatel-lint\",\n"
+        << "          \"rules\": [";
+    bool first = true;
+    for (const Rule *rule : allRules()) {
+        out << (first ? "" : ",") << "\n            {\"id\": \""
+            << jsonEscape(rule->id())
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(rule->description()) << "\"}}";
+        first = false;
+    }
+    for (const MetaRuleDoc &doc : kMetaRuleDocs) {
+        out << ",\n            {\"id\": \"" << doc.ruleId
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(doc.text) << "\"}}";
+    }
+    out << "\n          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        out << (i ? "," : "") << "\n        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(f.rule)
+            << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": {\"text\": \""
+            << jsonEscape(f.message) << "\"},\n"
+            << "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+            << f.line << "}}}]\n"
+            << "        }";
+    }
+    out << (result.findings.empty() ? "]" : "\n      ]") << "\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+int
+Analyzer::selfTest(const fs::path &root, std::ostream &out)
+{
+    Analyzer analyzer;
+    if (analyzer.addPath(root, root) == 0) {
+        out << "zatel-lint --self-test: no fixtures under "
+            << root.string() << "\n";
+        return 2;
+    }
+    const AnalysisResult result = analyzer.run();
+
+    struct Expectation
+    {
+        std::string file;
+        size_t line = 0;
+        std::string rule;
+    };
+    std::vector<Expectation> expected;
+    std::vector<fs::path> sources;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && isSourceExtension(entry.path()))
+            sources.push_back(entry.path());
+    }
+    std::sort(sources.begin(), sources.end());
+    for (const fs::path &source : sources) {
+        std::ifstream in(source);
+        std::string line;
+        size_t lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            const size_t pos = line.find("// EXPECT:");
+            if (pos == std::string::npos)
+                continue;
+            std::istringstream iss(line.substr(pos + 10));
+            std::string rule;
+            while (iss >> rule)
+                expected.push_back({relativeSlashPath(source, root),
+                                    lineNo, rule});
+        }
+    }
+
+    int failures = 0;
+    std::vector<bool> matched(result.findings.size(), false);
+    for (const Expectation &exp : expected) {
+        bool found = false;
+        for (size_t i = 0; i < result.findings.size(); ++i) {
+            const Finding &f = result.findings[i];
+            if (!matched[i] && f.file == exp.file && f.line == exp.line &&
+                f.rule == exp.rule) {
+                matched[i] = true;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            out << "self-test: MISSING expected finding " << exp.file
+                << ":" << exp.line << ": " << exp.rule << "\n";
+            ++failures;
+        }
+    }
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        if (!matched[i]) {
+            const Finding &f = result.findings[i];
+            out << "self-test: UNEXPECTED finding " << f.file << ":"
+                << f.line << ": " << f.rule << " " << f.message << "\n";
+            ++failures;
+        }
+    }
+    if (failures == 0) {
+        out << "zatel-lint self-test: " << expected.size()
+            << " expectations matched, no spurious findings\n";
+        return 0;
+    }
+    out << "zatel-lint self-test: " << failures << " mismatch(es)\n";
+    return 1;
+}
+
+} // namespace zatel::analysis

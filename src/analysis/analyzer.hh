@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The analysis driver: owns the file set, runs the rule catalog,
+ * applies inline suppressions and the allowlist, emits the two
+ * suppression meta-rules, and renders results as text, JSON, or
+ * SARIF 2.1.0.
+ *
+ * The CLI (tools/zatel_lint.cc) is a thin argument parser over this
+ * class; tests drive it directly with in-memory files.
+ */
+
+#ifndef ZATEL_ANALYSIS_ANALYZER_HH
+#define ZATEL_ANALYSIS_ANALYZER_HH
+
+#include <filesystem>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.hh"
+
+namespace zatel::analysis
+{
+
+struct AnalyzerOptions
+{
+    /** "path:rule-id" entries (legacy file-granularity allowlist). */
+    std::set<std::string> allowlist;
+};
+
+struct AnalysisResult
+{
+    std::vector<Finding> findings; ///< Sorted by (file, line, rule).
+    size_t fileCount = 0;
+    size_t suppressedCount = 0; ///< Inline-allow'd findings.
+    size_t allowlistedCount = 0;
+};
+
+class Analyzer
+{
+  public:
+    void addFile(SourceFile file);
+
+    /** Load one path (file, or directory scanned recursively for
+     *  .cc/.hh); relPaths are computed against @p root. Returns the
+     *  number of files added. */
+    size_t addPath(const std::filesystem::path &root,
+                   const std::filesystem::path &path);
+
+    AnalysisResult run(const AnalyzerOptions &options = {}) const;
+
+    static std::string formatText(const AnalysisResult &result);
+    static std::string formatJson(const AnalysisResult &result);
+    static std::string formatSarif(const AnalysisResult &result);
+
+    /**
+     * Fixture self-test: analyze every source under @p root and match
+     * findings against "// EXPECT: rule-id" annotations 1:1. Returns
+     * 0 on success, 1 on mismatch, 2 when no fixtures exist.
+     */
+    static int selfTest(const std::filesystem::path &root,
+                        std::ostream &out);
+
+  private:
+    std::vector<SourceFile> files_;
+};
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,290 @@
+#include "analysis/cpp_scan.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+/** Keywords that can start a line but never name a definition. */
+const std::set<std::string> kNotDefNames = {
+    "if",     "for",      "while",  "switch", "return",   "namespace",
+    "struct", "class",    "enum",   "using",  "typedef",  "static",
+    "else",   "do",       "case",   "public", "private",  "protected",
+    "try",    "catch",    "new",    "delete", "operator", "template",
+    "extern", "constexpr", "inline", "void",  "int",      "auto",
+};
+
+bool
+isMutexTypeName(const std::string &name)
+{
+    return name == "mutex" || name == "recursive_mutex" ||
+           name == "shared_mutex" || name == "timed_mutex" ||
+           name == "recursive_timed_mutex";
+}
+
+} // namespace
+
+size_t
+matchBrace(const std::vector<Token> &tokens, size_t openIndex)
+{
+    size_t depth = 0;
+    for (size_t i = openIndex; i < tokens.size(); ++i) {
+        if (tokens[i].isPunct("{")) {
+            ++depth;
+        } else if (tokens[i].isPunct("}")) {
+            if (--depth == 0)
+                return i;
+        }
+    }
+    return tokens.empty() ? 0 : tokens.size() - 1;
+}
+
+std::vector<FunctionDef>
+findFunctionDefs(const SourceFile &file)
+{
+    const std::vector<Token> &tokens = file.tokens();
+    std::vector<FunctionDef> defs;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier || !tok.atLineStart ||
+            tok.column != 1 || tok.onDirective)
+            continue;
+        if (kNotDefNames.count(tok.text))
+            continue;
+        // Consume the qualified-name chain: A :: B :: [~] name.
+        std::vector<std::string> parts{tok.text};
+        size_t j = i + 1;
+        while (j + 1 < tokens.size() && tokens[j].isPunct("::")) {
+            std::string part;
+            size_t k = j + 1;
+            if (tokens[k].isPunct("~") && k + 1 < tokens.size()) {
+                part = "~" + tokens[k + 1].text;
+                k += 1;
+            } else if (tokens[k].kind == TokenKind::Identifier) {
+                part = tokens[k].text;
+            } else {
+                break;
+            }
+            parts.push_back(part);
+            j = k + 1;
+        }
+        if (j >= tokens.size() || !tokens[j].isPunct("("))
+            continue;
+
+        FunctionDef def;
+        def.name = parts.back();
+        for (size_t p = 0; p + 1 < parts.size(); ++p) {
+            if (!def.qualifier.empty())
+                def.qualifier += "::";
+            def.qualifier += parts[p];
+        }
+        def.line = tok.line;
+        def.nameToken = i;
+        def.paramsBegin = j;
+
+        // Find the matching ')' of the parameter list.
+        size_t depth = 0;
+        size_t close = j;
+        for (; close < tokens.size(); ++close) {
+            if (tokens[close].isPunct("("))
+                ++depth;
+            else if (tokens[close].isPunct(")") && --depth == 0)
+                break;
+        }
+        if (close >= tokens.size())
+            continue;
+
+        // Scan to the body '{' (line-leading per house style) or stop
+        // at a top-level ';' (a declaration, e.g. a macro'd prototype).
+        size_t body = 0;
+        for (size_t k = close + 1; k < tokens.size(); ++k) {
+            if (tokens[k].isPunct(";") && !tokens[k].onDirective)
+                break;
+            if (tokens[k].isIdent("const") && k == close + 1)
+                def.isConst = true;
+            if (tokens[k].isPunct("{") && tokens[k].atLineStart) {
+                body = k;
+                break;
+            }
+            // A ctor's member-init list may carry braces; only a
+            // line-leading one opens the body, so keep scanning.
+        }
+        if (body == 0)
+            continue;
+        def.bodyBegin = body;
+        def.bodyEnd = matchBrace(tokens, body);
+        const size_t resume = def.bodyEnd;
+        defs.push_back(std::move(def));
+        i = resume;
+    }
+    return defs;
+}
+
+std::vector<MutexDecl>
+findMutexDecls(const SourceFile &file)
+{
+    const std::vector<Token> &tokens = file.tokens();
+    std::vector<MutexDecl> decls;
+
+    // Scope tracking: remember the innermost class/struct name at each
+    // brace depth so a declaration can be attributed to its owner.
+    struct Scope
+    {
+        bool isClass = false;
+        std::string name;
+    };
+    std::vector<Scope> scopes;
+    std::string pendingClass;
+    bool sawClassKeyword = false;
+
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.onDirective)
+            continue;
+        if (tok.kind == TokenKind::Identifier &&
+            (tok.text == "class" || tok.text == "struct")) {
+            // "enum class" opens an enum, not a class scope.
+            const bool enumBefore =
+                i > 0 && tokens[i - 1].isIdent("enum");
+            if (!enumBefore) {
+                sawClassKeyword = true;
+                pendingClass.clear();
+            }
+            continue;
+        }
+        if (sawClassKeyword && tok.kind == TokenKind::Identifier &&
+            pendingClass.empty()) {
+            pendingClass = tok.text;
+            continue;
+        }
+        if (tok.isPunct(";")) {
+            // "class Foo;" forward declaration: cancel.
+            sawClassKeyword = false;
+            pendingClass.clear();
+        } else if (tok.isPunct("{")) {
+            Scope scope;
+            if (sawClassKeyword && !pendingClass.empty()) {
+                scope.isClass = true;
+                scope.name = pendingClass;
+            }
+            scopes.push_back(scope);
+            sawClassKeyword = false;
+            pendingClass.clear();
+        } else if (tok.isPunct("}")) {
+            if (!scopes.empty())
+                scopes.pop_back();
+        } else if (tok.kind == TokenKind::Identifier &&
+                   isMutexTypeName(tok.text)) {
+            // "std::mutex name ;" (optionally mutable/static before).
+            if (i + 2 < tokens.size() &&
+                tokens[i + 1].kind == TokenKind::Identifier &&
+                tokens[i + 2].isPunct(";")) {
+                MutexDecl decl;
+                decl.name = tokens[i + 1].text;
+                decl.file = file.relPath();
+                decl.line = tokens[i + 1].line;
+                for (auto it = scopes.rbegin(); it != scopes.rend();
+                     ++it) {
+                    if (it->isClass) {
+                        decl.owningClass = it->name;
+                        break;
+                    }
+                }
+                decls.push_back(std::move(decl));
+            }
+        }
+    }
+    return decls;
+}
+
+std::string
+resolveLocalType(const SourceFile &file, const FunctionDef &def,
+                 const std::string &name, size_t beforeToken)
+{
+    const std::vector<Token> &tokens = file.tokens();
+    const size_t begin = def.paramsBegin;
+    const size_t end = std::min(beforeToken, tokens.size());
+    for (size_t i = begin; i < end; ++i) {
+        if (!tokens[i].isIdent(name))
+            continue;
+        // Declaration requires the name to be followed by a
+        // terminator/initializer, not a member access or call.
+        if (i + 1 >= tokens.size())
+            continue;
+        const std::string &next = tokens[i + 1].text;
+        if (next != "=" && next != ";" && next != "," && next != ")" &&
+            next != ":" && next != "{")
+            continue;
+        // Walk back over declarator decorations.
+        size_t j = i;
+        while (j > begin &&
+               (tokens[j - 1].isPunct("*") || tokens[j - 1].isPunct("&") ||
+                tokens[j - 1].isIdent("const")))
+            --j;
+        if (j == begin)
+            continue;
+        const Token &prev = tokens[j - 1];
+        if (prev.isPunct(">")) {
+            // "shared_ptr<T>" and friends: take the innermost type for
+            // pointer-like wrappers, since "x->m" dereferences to it.
+            size_t depth = 0;
+            size_t k = j - 1;
+            std::string inner;
+            while (k > begin) {
+                if (tokens[k].isPunct(">"))
+                    ++depth;
+                else if (tokens[k].isPunct("<") && --depth == 0)
+                    break;
+                else if (tokens[k].kind == TokenKind::Identifier &&
+                         inner.empty())
+                    inner = tokens[k].text;
+                --k;
+            }
+            if (k > begin && tokens[k - 1].kind == TokenKind::Identifier) {
+                const std::string &outer = tokens[k - 1].text;
+                if (outer == "shared_ptr" || outer == "unique_ptr" ||
+                    outer == "weak_ptr")
+                    return inner;
+                return outer;
+            }
+            continue;
+        }
+        if (prev.kind == TokenKind::Identifier) {
+            if (prev.text == "auto") {
+                // "auto x = std::make_shared<T>(...)".
+                for (size_t k = i + 1;
+                     k < end && !tokens[k].isPunct(";"); ++k) {
+                    if (tokens[k].isIdent("make_shared") ||
+                        tokens[k].isIdent("make_unique")) {
+                        for (size_t m = k + 1;
+                             m < end && !tokens[m].isPunct("("); ++m) {
+                            if (tokens[m].kind == TokenKind::Identifier)
+                                return tokens[m].text;
+                        }
+                    }
+                }
+                continue;
+            }
+            if (!kNotDefNames.count(prev.text))
+                return prev.text;
+        }
+    }
+    return "";
+}
+
+bool
+rangeHasIdent(const std::vector<Token> &tokens, size_t begin, size_t end,
+              const std::string &ident)
+{
+    for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+        if (tokens[i].isIdent(ident))
+            return true;
+    }
+    return false;
+}
+
+} // namespace zatel::analysis

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structural scans shared by the token-stream rules: function
+ * definition ranges, class/namespace scope attribution, mutex-member
+ * declarations, and best-effort local variable type resolution.
+ *
+ * These are heuristics tuned to the house style (.clang-format:
+ * definitions start at column 1 with the return type on the previous
+ * line, function bodies open with a line-leading brace). They accept
+ * false negatives -- a rule that misses an exotic construct is better
+ * than one that spams false positives -- but never depend on text
+ * inside comments or literals, which the tokenizer already removed
+ * from play.
+ */
+
+#ifndef ZATEL_ANALYSIS_CPP_SCAN_HH
+#define ZATEL_ANALYSIS_CPP_SCAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.hh"
+
+namespace zatel::analysis
+{
+
+/** One function definition found in a file's token stream. */
+struct FunctionDef
+{
+    std::string qualifier; ///< "CampaignScheduler" for C::f; "" if free.
+    std::string name;      ///< Unqualified name ("run", "~Gpu").
+    size_t line = 0;       ///< Line of the definition's name token.
+    size_t nameToken = 0;  ///< Index of the name token.
+    size_t paramsBegin = 0; ///< Index of the '(' opening the params.
+    size_t bodyBegin = 0;  ///< Index of the '{' opening the body.
+    size_t bodyEnd = 0;    ///< Index of the matching '}'.
+    bool isConst = false;  ///< ") const" member function.
+
+    bool isStructor() const
+    {
+        if (qualifier.empty())
+            return false;
+        const size_t pos = qualifier.rfind("::");
+        const std::string cls =
+            pos == std::string::npos ? qualifier : qualifier.substr(pos + 2);
+        return name == cls || name == "~" + cls;
+    }
+};
+
+/**
+ * Find function definitions. Only definitions whose (qualified) name
+ * starts at column 1 are recognized -- exactly what clang-format
+ * produces for this repo -- which skips declarations, lambdas, and
+ * inline class-body definitions.
+ */
+std::vector<FunctionDef> findFunctionDefs(const SourceFile &file);
+
+/** Index of the '}' matching the '{' at @p openIndex (or last token). */
+size_t matchBrace(const std::vector<Token> &tokens, size_t openIndex);
+
+/** A mutex-typed declaration (member or namespace scope). */
+struct MutexDecl
+{
+    std::string name;
+    std::string owningClass; ///< Enclosing class/struct; "" = namespace.
+    std::string file;        ///< relPath of the declaring file.
+    size_t line = 0;
+};
+
+/** std::mutex / recursive_mutex / shared_mutex declarations. */
+std::vector<MutexDecl> findMutexDecls(const SourceFile &file);
+
+/**
+ * Resolve the declared type of local/parameter @p name inside @p def,
+ * looking at tokens from the parameter list up to @p beforeToken.
+ * Understands "T x", "T *x", "T &x", "std::shared_ptr<T> x",
+ * "auto x = std::make_shared<T>(...)". Returns "" when unresolved.
+ */
+std::string resolveLocalType(const SourceFile &file,
+                             const FunctionDef &def, const std::string &name,
+                             size_t beforeToken);
+
+/** True if any token in [begin, end) is the identifier @p ident. */
+bool rangeHasIdent(const std::vector<Token> &tokens, size_t begin,
+                   size_t end, const std::string &ident);
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_CPP_SCAN_HH

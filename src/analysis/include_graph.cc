@@ -1,0 +1,111 @@
+#include "analysis/include_graph.hh"
+
+#include <algorithm>
+
+#include "analysis/source_file.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+/**
+ * Resolve one quoted include target against the scanned set. Project
+ * includes are written relative to src/ ("gpusim/cache.hh"), while
+ * relPaths carry the src/ prefix; fixtures may include bare names.
+ * Matching by path suffix handles both without configuring include
+ * directories.
+ */
+std::string
+resolveTarget(const std::string &target,
+              const std::set<std::string> &known)
+{
+    if (known.count(target))
+        return target;
+    std::string best;
+    for (const std::string &candidate : known) {
+        if (candidate.size() <= target.size())
+            continue;
+        if (candidate.compare(candidate.size() - target.size(),
+                              target.size(), target) != 0)
+            continue;
+        if (candidate[candidate.size() - target.size() - 1] != '/')
+            continue;
+        // Prefer the shortest (most specific suffix match is ambiguous
+        // only when two files share a suffix; shortest is stable).
+        if (best.empty() || candidate.size() < best.size() ||
+            (candidate.size() == best.size() && candidate < best))
+            best = candidate;
+    }
+    return best;
+}
+
+} // namespace
+
+IncludeGraph
+IncludeGraph::build(const std::vector<SourceFile> &files)
+{
+    IncludeGraph graph;
+    for (const SourceFile &file : files)
+        graph.known_.insert(file.relPath());
+    for (const SourceFile &file : files) {
+        std::vector<std::string> &out = graph.edges_[file.relPath()];
+        for (const Directive &directive : file.directives()) {
+            if (directive.name != "include" || directive.systemInclude)
+                continue;
+            const std::string resolved =
+                resolveTarget(directive.argument, graph.known_);
+            if (resolved.empty() || resolved == file.relPath())
+                continue;
+            if (std::find(out.begin(), out.end(), resolved) == out.end())
+                out.push_back(resolved);
+        }
+        for (const std::string &target : out)
+            graph.reverse_[target].push_back(file.relPath());
+    }
+    return graph;
+}
+
+const std::vector<std::string> &
+IncludeGraph::directIncludes(const std::string &relPath) const
+{
+    auto it = edges_.find(relPath);
+    return it == edges_.end() ? empty_ : it->second;
+}
+
+std::set<std::string>
+IncludeGraph::reachableIncludes(const std::string &relPath) const
+{
+    std::set<std::string> seen;
+    std::vector<std::string> stack{relPath};
+    while (!stack.empty()) {
+        const std::string current = stack.back();
+        stack.pop_back();
+        for (const std::string &next : directIncludes(current)) {
+            if (seen.insert(next).second)
+                stack.push_back(next);
+        }
+    }
+    return seen;
+}
+
+const std::vector<std::string> &
+IncludeGraph::includedBy(const std::string &relPath) const
+{
+    auto it = reverse_.find(relPath);
+    return it == reverse_.end() ? empty_ : it->second;
+}
+
+std::string
+IncludeGraph::pairedHeader(const std::string &ccRelPath) const
+{
+    if (ccRelPath.size() < 3 ||
+        ccRelPath.compare(ccRelPath.size() - 3, 3, ".cc") != 0)
+        return "";
+    const std::string header =
+        ccRelPath.substr(0, ccRelPath.size() - 3) + ".hh";
+    return known_.count(header) ? header : "";
+}
+
+} // namespace zatel::analysis

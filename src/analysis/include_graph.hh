@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Project include graph: which analyzed file includes which, resolved
+ * against the scanned file set only (system headers are ignored).
+ *
+ * Gives rules cheap cross-translation-unit facts: a .cc's paired
+ * header, the transitive closure of project headers a file can see
+ * (used to resolve mutex identities declared in headers for the
+ * lock-order rule), and the reverse map of who includes a header.
+ */
+
+#ifndef ZATEL_ANALYSIS_INCLUDE_GRAPH_HH
+#define ZATEL_ANALYSIS_INCLUDE_GRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace zatel::analysis
+{
+
+class SourceFile;
+
+class IncludeGraph
+{
+  public:
+    /** Build from the full analyzed file set (keyed by relPath). */
+    static IncludeGraph build(const std::vector<SourceFile> &files);
+
+    /** Project files directly included by @p relPath (resolved). */
+    const std::vector<std::string> &directIncludes(
+        const std::string &relPath) const;
+
+    /** Transitive closure of directIncludes (excludes the file itself
+     *  unless there is an include cycle). */
+    std::set<std::string> reachableIncludes(
+        const std::string &relPath) const;
+
+    /** Files whose directIncludes contain @p relPath. */
+    const std::vector<std::string> &includedBy(
+        const std::string &relPath) const;
+
+    /** "src/x/y.cc" -> "src/x/y.hh" when that header was scanned. */
+    std::string pairedHeader(const std::string &ccRelPath) const;
+
+  private:
+    std::map<std::string, std::vector<std::string>> edges_;
+    std::map<std::string, std::vector<std::string>> reverse_;
+    std::set<std::string> known_;
+    std::vector<std::string> empty_;
+};
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_INCLUDE_GRAPH_HH

@@ -1,0 +1,135 @@
+#include "analysis/lock_graph.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace zatel::analysis
+{
+
+void
+LockGraph::addEdge(const std::string &from, const std::string &to,
+                   const LockSite &site)
+{
+    edges_[{from, to}].push_back(site);
+}
+
+std::vector<LockEdge>
+LockGraph::edges() const
+{
+    std::vector<LockEdge> out;
+    for (const auto &[key, sites] : edges_)
+        out.push_back({key.first, key.second, sites});
+    return out;
+}
+
+std::vector<LockEdge>
+LockGraph::selfEdges() const
+{
+    std::vector<LockEdge> out;
+    for (const auto &[key, sites] : edges_) {
+        if (key.first == key.second)
+            out.push_back({key.first, key.second, sites});
+    }
+    return out;
+}
+
+std::vector<LockGraph::Cycle>
+LockGraph::cycles() const
+{
+    // Tarjan's SCC over the (small) graph; any component with more than
+    // one node is a lock-order cycle. Self-edges are reported
+    // separately by selfEdges().
+    std::vector<std::string> nodes;
+    std::map<std::string, std::vector<std::string>> adjacency;
+    for (const auto &[key, sites] : edges_) {
+        adjacency[key.first].push_back(key.second);
+        nodes.push_back(key.first);
+        nodes.push_back(key.second);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+    std::map<std::string, size_t> index;
+    std::map<std::string, size_t> lowlink;
+    std::set<std::string> onStack;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> components;
+    size_t counter = 0;
+
+    // Iterative Tarjan: frame = (node, next-neighbour position).
+    struct Frame
+    {
+        std::string node;
+        size_t next = 0;
+    };
+    for (const std::string &root : nodes) {
+        if (index.count(root))
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        while (!frames.empty()) {
+            Frame &frame = frames.back();
+            const std::string node = frame.node;
+            if (frame.next == 0) {
+                index[node] = counter;
+                lowlink[node] = counter;
+                ++counter;
+                stack.push_back(node);
+                onStack.insert(node);
+            }
+            const auto &neighbours = adjacency[node];
+            bool descended = false;
+            while (frame.next < neighbours.size()) {
+                const std::string &next = neighbours[frame.next];
+                ++frame.next;
+                if (!index.count(next)) {
+                    frames.push_back({next, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack.count(next))
+                    lowlink[node] =
+                        std::min(lowlink[node], index[next]);
+            }
+            if (descended)
+                continue;
+            if (lowlink[node] == index[node]) {
+                std::vector<std::string> component;
+                for (;;) {
+                    const std::string top = stack.back();
+                    stack.pop_back();
+                    onStack.erase(top);
+                    component.push_back(top);
+                    if (top == node)
+                        break;
+                }
+                if (component.size() > 1) {
+                    std::sort(component.begin(), component.end());
+                    components.push_back(std::move(component));
+                }
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                lowlink[frames.back().node] = std::min(
+                    lowlink[frames.back().node], lowlink[node]);
+            }
+        }
+    }
+
+    std::sort(components.begin(), components.end());
+    std::vector<Cycle> out;
+    for (const auto &component : components) {
+        Cycle cycle;
+        cycle.nodes = component;
+        const std::set<std::string> members(component.begin(),
+                                            component.end());
+        for (const auto &[key, sites] : edges_) {
+            if (key.first != key.second && members.count(key.first) &&
+                members.count(key.second))
+                cycle.edges.push_back({key.first, key.second, sites});
+        }
+        out.push_back(std::move(cycle));
+    }
+    return out;
+}
+
+} // namespace zatel::analysis

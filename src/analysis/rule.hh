@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Rule framework for the zatel-lint analysis library.
+ *
+ * A rule sees each file's token stream (plus scrubbed lines) through
+ * analyzeFile(), and the whole project -- file set and include graph
+ * -- through analyzeProject() for cross-translation-unit facts like
+ * the lock-order graph. Rules are stateless const objects; the
+ * Analyzer (analyzer.hh) owns ordering, suppression filtering, and
+ * output.
+ *
+ * The full catalog with rationale lives in docs/CORRECTNESS.md,
+ * including the "writing a new rule" guide.
+ */
+
+#ifndef ZATEL_ANALYSIS_RULE_HH
+#define ZATEL_ANALYSIS_RULE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.hh"
+#include "analysis/source_file.hh"
+
+namespace zatel::analysis
+{
+
+struct Finding
+{
+    std::string file; ///< relPath with '/' separators.
+    size_t line = 0;  ///< 1-based.
+    std::string rule;
+    std::string message;
+};
+
+struct AnalysisContext
+{
+    const std::vector<SourceFile> *files = nullptr;
+    const IncludeGraph *includes = nullptr;
+
+    const SourceFile *find(const std::string &relPath) const
+    {
+        for (const SourceFile &file : *files) {
+            if (file.relPath() == relPath)
+                return &file;
+        }
+        return nullptr;
+    }
+};
+
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    virtual std::string id() const = 0;
+    virtual std::string description() const = 0;
+
+    /** Per-file pass. Default: nothing. */
+    virtual void
+    analyzeFile(const AnalysisContext &context, const SourceFile &file,
+                std::vector<Finding> &findings) const
+    {
+        (void)context;
+        (void)file;
+        (void)findings;
+    }
+
+    /** Whole-project pass, run after every per-file pass. Default:
+     *  nothing. */
+    virtual void
+    analyzeProject(const AnalysisContext &context,
+                   std::vector<Finding> &findings) const
+    {
+        (void)context;
+        (void)findings;
+    }
+};
+
+/** The full registered catalog, in documentation order. */
+const std::vector<const Rule *> &allRules();
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_RULE_HH

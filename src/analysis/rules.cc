@@ -1,0 +1,46 @@
+#include "analysis/rules.hh"
+
+#include <map>
+#include <string>
+
+namespace zatel::analysis
+{
+
+const std::vector<const Rule *> &
+allRules()
+{
+    // Catalog order (docs/CORRECTNESS.md): the seven original rules in
+    // their historical order, then the cross-TU rules added with the
+    // src/analysis promotion.
+    static const std::vector<std::string> kOrder = {
+        "nondet-rand",
+        "nondet-unordered-iter",
+        "uninit-field",
+        "float-eq",
+        "assert-free-entry",
+        "header-guard",
+        "include-order",
+        "lock-order",
+        "nondet-pointer-key",
+        "guarded-field",
+        "fault-site-coverage",
+        "narrowing-cast-hotpath",
+        "blocking-in-task",
+    };
+    static const std::vector<const Rule *> rules = [] {
+        std::map<std::string, const Rule *> byId;
+        for (const auto *family :
+             {&styleRules(), &determinismRules(), &concurrencyRules(),
+              &robustnessRules()}) {
+            for (const Rule *rule : *family)
+                byId[rule->id()] = rule;
+        }
+        std::vector<const Rule *> ordered;
+        for (const std::string &ruleId : kOrder)
+            ordered.push_back(byId.at(ruleId));
+        return ordered;
+    }();
+    return rules;
+}
+
+} // namespace zatel::analysis

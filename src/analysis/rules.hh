@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal registry wiring: each rules_*.cc contributes its family;
+ * rule.hh's allRules() composes them in catalog order. Only the
+ * analyzer and the registry include this header.
+ */
+
+#ifndef ZATEL_ANALYSIS_RULES_HH
+#define ZATEL_ANALYSIS_RULES_HH
+
+#include <vector>
+
+#include "analysis/rule.hh"
+
+namespace zatel::analysis
+{
+
+/** header-guard, include-order, uninit-field. */
+const std::vector<const Rule *> &styleRules();
+
+/** nondet-rand, nondet-unordered-iter, float-eq, nondet-pointer-key,
+ *  narrowing-cast-hotpath. */
+const std::vector<const Rule *> &determinismRules();
+
+/** lock-order, guarded-field, blocking-in-task. */
+const std::vector<const Rule *> &concurrencyRules();
+
+/** assert-free-entry, fault-site-coverage. */
+const std::vector<const Rule *> &robustnessRules();
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_RULES_HH

@@ -1,0 +1,653 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/lock_graph.hh"
+#include "analysis/rules.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Mutex universe: every mutex declaration in the project, indexed for
+// identity resolution. "Identity" is what the lock-order graph keys
+// on: the same member locked through two different objects of one
+// class is one node ("LoopState::mutex"), while namespace-scope
+// mutexes key on their declaring file ("logging.hh::logMutex").
+// ---------------------------------------------------------------------------
+
+struct MutexUniverse
+{
+    /** class -> member mutex names. */
+    std::map<std::string, std::set<std::string>> byClass;
+    /** namespace-scope mutex name -> declaring file. */
+    std::map<std::string, std::string> fileScope;
+
+    static MutexUniverse
+    build(const AnalysisContext &context)
+    {
+        MutexUniverse u;
+        for (const SourceFile &file : *context.files) {
+            for (const MutexDecl &decl : findMutexDecls(file)) {
+                if (!decl.owningClass.empty())
+                    u.byClass[decl.owningClass].insert(decl.name);
+                else
+                    u.fileScope.emplace(decl.name, decl.file);
+            }
+        }
+        return u;
+    }
+
+    bool
+    classHasMutex(const std::string &cls, const std::string &name) const
+    {
+        auto it = byClass.find(cls);
+        return it != byClass.end() && it->second.count(name) > 0;
+    }
+};
+
+std::string
+enclosingClass(const FunctionDef &def)
+{
+    if (def.qualifier.empty())
+        return "";
+    const size_t pos = def.qualifier.rfind("::");
+    return pos == std::string::npos ? def.qualifier
+                                    : def.qualifier.substr(pos + 2);
+}
+
+std::string
+functionLabel(const FunctionDef &def)
+{
+    return def.qualifier.empty() ? def.name
+                                 : def.qualifier + "::" + def.name;
+}
+
+/**
+ * Resolve a guard-constructor mutex argument in [begin, end) to a
+ * stable identity. Handles "m", "this->m", "x.m" / "x->m" (through
+ * resolveLocalType, including shared_ptr<T>), and falls back to a
+ * per-class/per-file name so an unresolved expression still merges
+ * consistently within one TU.
+ */
+std::string
+resolveMutexId(const AnalysisContext &context, const MutexUniverse &universe,
+               const SourceFile &file, const FunctionDef &def,
+               size_t begin, size_t end)
+{
+    const std::vector<Token> &tokens = file.tokens();
+    // Collect the member-access chain, dropping a leading deref.
+    std::vector<std::string> parts;
+    for (size_t i = begin; i < end; ++i) {
+        const Token &tok = tokens[i];
+        if (tok.isPunct("*") || tok.isPunct("&"))
+            continue;
+        if (tok.kind == TokenKind::Identifier)
+            parts.push_back(tok.text);
+        else if (!tok.isPunct(".") && !tok.isPunct("->"))
+            return ""; // not a member chain (call, cast, ...): give up
+    }
+    if (parts.empty())
+        return "";
+
+    const std::string cls = enclosingClass(def);
+    if (parts.size() >= 2 && parts.front() == "this")
+        parts.erase(parts.begin());
+
+    if (parts.size() == 1) {
+        const std::string &name = parts[0];
+        if (!cls.empty() && universe.classHasMutex(cls, name))
+            return cls + "::" + name;
+        auto scoped = universe.fileScope.find(name);
+        if (scoped != universe.fileScope.end()) {
+            const std::string &declFile = scoped->second;
+            if (declFile == file.relPath() ||
+                context.includes->reachableIncludes(file.relPath())
+                    .count(declFile))
+                return declFile + "::" + name;
+        }
+        return (cls.empty() ? file.relPath() : cls) + "::" + name;
+    }
+
+    if (parts.size() == 2) {
+        const std::string &base = parts[0];
+        const std::string &member = parts[1];
+        const std::string type =
+            resolveLocalType(file, def, base, end);
+        if (!type.empty())
+            return type + "::" + member;
+        return (cls.empty() ? file.relPath() : cls) + "::" + base + "." +
+               member;
+    }
+
+    // Deeper chain: merge on the full spelling within this scope.
+    std::string joined;
+    for (const std::string &part : parts) {
+        if (!joined.empty())
+            joined += ".";
+        joined += part;
+    }
+    return (cls.empty() ? file.relPath() : cls) + "::" + joined;
+}
+
+// ---------------------------------------------------------------------------
+// Lock walker: one pass over a function body tracking the held-lock
+// set through guard declarations, explicit guard .lock()/.unlock(),
+// brace scopes, and lambda barriers (a deferred body does not inherit
+// the enclosing held set).
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+const std::set<std::string> kDeferTags = {"defer_lock", "try_to_lock",
+                                          "adopt_lock"};
+
+struct Acquisition
+{
+    std::string mutexId;
+    size_t line = 0;
+    std::vector<std::string> heldBefore;
+};
+
+struct FieldWrite
+{
+    std::string field;
+    size_t line = 0;
+    std::vector<std::string> heldIds;
+    bool inLambda = false;
+};
+
+struct WalkResult
+{
+    std::vector<Acquisition> acquisitions;
+    std::vector<FieldWrite> writes;
+    bool guardParam = false; ///< Takes a lock_guard&/unique_lock& param.
+};
+
+/** Skip a balanced <...> starting at the '<' index; returns the index
+ *  one past the closing '>'. Handles '>>' closing two levels. */
+size_t
+skipTemplateArgs(const std::vector<Token> &tokens, size_t openIndex)
+{
+    int depth = 0;
+    for (size_t i = openIndex; i < tokens.size(); ++i) {
+        if (tokens[i].isPunct("<"))
+            ++depth;
+        else if (tokens[i].isPunct(">"))
+            --depth;
+        else if (tokens[i].isPunct(">>"))
+            depth -= 2;
+        else if (tokens[i].isPunct(";"))
+            return i; // malformed; bail before leaving the statement
+        if (depth <= 0)
+            return i + 1;
+    }
+    return tokens.size();
+}
+
+/** Indexes of '{' tokens that open lambda bodies inside the range. */
+std::set<size_t>
+findLambdaBodyBraces(const std::vector<Token> &tokens, size_t begin,
+                     size_t end)
+{
+    std::set<size_t> opens;
+    for (size_t i = begin; i < end; ++i) {
+        if (!tokens[i].isPunct("["))
+            continue;
+        if (i == 0)
+            continue;
+        const Token &prev = tokens[i - 1];
+        const bool intro = prev.isPunct("(") || prev.isPunct(",") ||
+                           prev.isPunct("=") || prev.isPunct("{") ||
+                           prev.isPunct("&&") || prev.isPunct("||") ||
+                           prev.isIdent("return");
+        if (!intro)
+            continue; // subscript, attribute, ...
+        size_t j = i;
+        int depth = 0;
+        for (; j < end; ++j) {
+            if (tokens[j].isPunct("["))
+                ++depth;
+            else if (tokens[j].isPunct("]") && --depth == 0)
+                break;
+        }
+        if (j >= end)
+            continue;
+        ++j;
+        if (j < end && tokens[j].isPunct("(")) {
+            int parens = 0;
+            for (; j < end; ++j) {
+                if (tokens[j].isPunct("("))
+                    ++parens;
+                else if (tokens[j].isPunct(")") && --parens == 0)
+                    break;
+            }
+            ++j;
+        }
+        // Skip specifiers / trailing return up to the body brace.
+        while (j < end && !tokens[j].isPunct("{") &&
+               !tokens[j].isPunct(";") && !tokens[j].isPunct(")") &&
+               !tokens[j].isPunct(","))
+            ++j;
+        if (j < end && tokens[j].isPunct("{"))
+            opens.insert(j);
+    }
+    return opens;
+}
+
+WalkResult
+walkFunction(const AnalysisContext &context, const MutexUniverse &universe,
+             const SourceFile &file, const FunctionDef &def)
+{
+    WalkResult result;
+    const std::vector<Token> &tokens = file.tokens();
+
+    // A function taking a guard by reference runs entirely under its
+    // caller's lock ("...Locked(std::unique_lock<std::mutex> &lk)").
+    for (size_t i = def.paramsBegin; i < def.bodyBegin; ++i) {
+        if (tokens[i].kind == TokenKind::Identifier &&
+            kGuardTypes.count(tokens[i].text)) {
+            for (size_t j = i + 1; j < def.bodyBegin; ++j) {
+                if (tokens[j].isPunct("&")) {
+                    result.guardParam = true;
+                    break;
+                }
+                if (tokens[j].isPunct(",") || tokens[j].isPunct(")"))
+                    break;
+            }
+        }
+    }
+
+    const std::set<size_t> lambdaOpens =
+        findLambdaBodyBraces(tokens, def.bodyBegin, def.bodyEnd + 1);
+
+    struct Held
+    {
+        std::string id;
+        std::string var; ///< Guard variable; "" once released.
+        size_t depth = 0;
+    };
+    struct LambdaFrame
+    {
+        size_t depth = 0;
+        std::vector<Held> saved;
+    };
+    std::vector<Held> held;
+    std::vector<LambdaFrame> lambdas;
+    std::map<std::string, std::vector<std::string>> varLocks;
+    size_t depth = 0;
+
+    auto heldIds = [&held]() {
+        std::vector<std::string> ids;
+        for (const Held &h : held)
+            ids.push_back(h.id);
+        return ids;
+    };
+
+    for (size_t i = def.bodyBegin; i <= def.bodyEnd && i < tokens.size();
+         ++i) {
+        const Token &tok = tokens[i];
+        if (tok.isPunct("{")) {
+            ++depth;
+            if (lambdaOpens.count(i)) {
+                lambdas.push_back({depth, held});
+                held.clear();
+            }
+            continue;
+        }
+        if (tok.isPunct("}")) {
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [depth](const Held &h) {
+                                          return h.depth >= depth;
+                                      }),
+                       held.end());
+            if (!lambdas.empty() && lambdas.back().depth == depth) {
+                held = lambdas.back().saved;
+                lambdas.pop_back();
+            }
+            --depth;
+            continue;
+        }
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+
+        // Guard declaration: lock_guard<...> name(args) / scoped_lock
+        // name(args) / unique_lock<...> name; (deferred).
+        if (kGuardTypes.count(tok.text) &&
+            (i == 0 || (!tokens[i - 1].isPunct(".") &&
+                        !tokens[i - 1].isPunct("->")))) {
+            size_t j = i + 1;
+            if (j < tokens.size() && tokens[j].isPunct("<"))
+                j = skipTemplateArgs(tokens, j);
+            if (j >= tokens.size() ||
+                tokens[j].kind != TokenKind::Identifier)
+                continue; // a type mention, not a declaration
+            const std::string var = tokens[j].text;
+            const size_t varLine = tokens[j].line;
+            ++j;
+            if (j >= tokens.size())
+                continue;
+            if (tokens[j].isPunct(";")) {
+                varLocks[var] = {};
+                i = j;
+                continue;
+            }
+            if (!tokens[j].isPunct("(") && !tokens[j].isPunct("{"))
+                continue;
+            const std::string closer = tokens[j].text == "(" ? ")" : "}";
+            const std::string opener = tokens[j].text;
+            // Split the ctor args at top-level commas.
+            std::vector<std::pair<size_t, size_t>> argRanges;
+            int parens = 0;
+            size_t argBegin = j + 1;
+            size_t k = j;
+            for (; k < tokens.size(); ++k) {
+                if (tokens[k].isPunct(opener)) {
+                    ++parens;
+                } else if (tokens[k].isPunct(closer)) {
+                    if (--parens == 0) {
+                        if (k > argBegin)
+                            argRanges.emplace_back(argBegin, k);
+                        break;
+                    }
+                } else if (tokens[k].isPunct(",") && parens == 1) {
+                    argRanges.emplace_back(argBegin, k);
+                    argBegin = k + 1;
+                }
+            }
+            bool deferred = false;
+            std::vector<std::string> ids;
+            for (const auto &[a, b] : argRanges) {
+                bool isTag = false;
+                for (size_t t = a; t < b; ++t) {
+                    if (tokens[t].kind == TokenKind::Identifier &&
+                        kDeferTags.count(tokens[t].text)) {
+                        deferred = true;
+                        isTag = true;
+                    }
+                }
+                if (isTag)
+                    continue;
+                std::string id = resolveMutexId(context, universe, file,
+                                                def, a, b);
+                if (!id.empty())
+                    ids.push_back(id);
+            }
+            varLocks[var] = ids;
+            if (!deferred) {
+                for (const std::string &id : ids) {
+                    result.acquisitions.push_back(
+                        {id, varLine, heldIds()});
+                    held.push_back({id, var, depth});
+                }
+            }
+            i = k;
+            continue;
+        }
+
+        // guardVar.unlock() / guardVar.lock() on a known guard.
+        if (varLocks.count(tok.text) && i + 2 < tokens.size() &&
+            tokens[i + 1].isPunct(".") &&
+            (tokens[i + 2].isIdent("unlock") ||
+             tokens[i + 2].isIdent("lock"))) {
+            const bool locking = tokens[i + 2].isIdent("lock");
+            if (locking) {
+                for (const std::string &id : varLocks[tok.text]) {
+                    result.acquisitions.push_back(
+                        {id, tok.line, heldIds()});
+                    held.push_back({id, tok.text, depth});
+                }
+            } else {
+                const std::string &var = tok.text;
+                held.erase(std::remove_if(held.begin(), held.end(),
+                                          [&var](const Held &h) {
+                                              return h.var == var;
+                                          }),
+                           held.end());
+            }
+            i += 2;
+            continue;
+        }
+
+        // Member-field write for the guarded-field rule: "name_ = ...",
+        // compound assignment, or ++/--. Trailing-underscore members
+        // only -- that is the house naming convention for data members.
+        if (tok.text.size() > 1 && tok.text.back() == '_') {
+            const bool ownAccess =
+                i == 0 ||
+                (!tokens[i - 1].isPunct(".") &&
+                 !tokens[i - 1].isPunct("->")) ||
+                (i >= 2 && tokens[i - 1].isPunct("->") &&
+                 tokens[i - 2].isIdent("this"));
+            if (!ownAccess)
+                continue;
+            bool isWrite = false;
+            if (i + 1 < tokens.size()) {
+                static const std::set<std::string> kAssignOps = {
+                    "=",  "+=", "-=", "*=", "/=",
+                    "%=", "&=", "|=", "^=", "++",
+                    "--", "<<=", ">>="};
+                if (tokens[i + 1].kind == TokenKind::Punct &&
+                    kAssignOps.count(tokens[i + 1].text))
+                    isWrite = true;
+            }
+            if (i > 0 && (tokens[i - 1].isPunct("++") ||
+                          tokens[i - 1].isPunct("--")))
+                isWrite = true;
+            if (isWrite) {
+                result.writes.push_back(
+                    {tok.text, tok.line, heldIds(), !lambdas.empty()});
+            }
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order
+// ---------------------------------------------------------------------------
+
+class LockOrderRule : public Rule
+{
+  public:
+    std::string id() const override { return "lock-order"; }
+    std::string
+    description() const override
+    {
+        return "the project-wide mutex acquisition graph is acyclic; a "
+               "cycle (even split across files) is a deadlock waiting "
+               "for the right interleaving";
+    }
+
+    void
+    analyzeProject(const AnalysisContext &context,
+                   std::vector<Finding> &findings) const override
+    {
+        const MutexUniverse universe = MutexUniverse::build(context);
+        LockGraph graph;
+        for (const SourceFile &file : *context.files) {
+            if (file.isTest())
+                continue;
+            for (const FunctionDef &def : findFunctionDefs(file)) {
+                WalkResult walk =
+                    walkFunction(context, universe, file, def);
+                for (const Acquisition &acq : walk.acquisitions) {
+                    for (const std::string &heldId : acq.heldBefore) {
+                        graph.addEdge(heldId, acq.mutexId,
+                                      {file.relPath(), acq.line,
+                                       functionLabel(def)});
+                    }
+                }
+            }
+        }
+
+        for (const LockEdge &edge : graph.selfEdges()) {
+            for (const LockSite &site : edge.sites) {
+                findings.push_back(
+                    {site.file, site.line, id(),
+                     "'" + edge.from +
+                         "' acquired while already held in " +
+                         site.function +
+                         " (self-deadlock on a non-recursive mutex)"});
+            }
+        }
+        for (const LockGraph::Cycle &cycle : graph.cycles()) {
+            std::string path;
+            for (const std::string &node : cycle.nodes)
+                path += node + " -> ";
+            path += cycle.nodes.empty() ? "" : cycle.nodes.front();
+            for (const LockEdge &edge : cycle.edges) {
+                for (const LockSite &site : edge.sites) {
+                    findings.push_back(
+                        {site.file, site.line, id(),
+                         "lock-order inversion: acquiring '" + edge.to +
+                             "' while holding '" + edge.from +
+                             "' in " + site.function +
+                             " closes the cycle " + path});
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: guarded-field
+// ---------------------------------------------------------------------------
+
+class GuardedFieldRule : public Rule
+{
+  public:
+    std::string id() const override { return "guarded-field"; }
+    std::string
+    description() const override
+    {
+        return "a member field written under a class mutex is never "
+               "also written bare; mixed discipline is a data race";
+    }
+
+    void
+    analyzeProject(const AnalysisContext &context,
+                   std::vector<Finding> &findings) const override
+    {
+        const MutexUniverse universe = MutexUniverse::build(context);
+
+        struct FieldRecord
+        {
+            std::string guardMutex; ///< Any guarded-write mutex id.
+            std::vector<FieldWrite> bare;
+            std::vector<std::string> bareFiles;
+        };
+        std::map<std::pair<std::string, std::string>, FieldRecord>
+            fields;
+
+        for (const SourceFile &file : *context.files) {
+            if (file.isTest())
+                continue;
+            for (const FunctionDef &def : findFunctionDefs(file)) {
+                const std::string cls = enclosingClass(def);
+                if (cls.empty() || def.isStructor())
+                    continue;
+                auto mutexes = universe.byClass.find(cls);
+                if (mutexes == universe.byClass.end())
+                    continue; // no guard discipline expected
+                WalkResult walk =
+                    walkFunction(context, universe, file, def);
+                for (const FieldWrite &write : walk.writes) {
+                    if (write.inLambda)
+                        continue; // may run under a lock elsewhere
+                    FieldRecord &record =
+                        fields[{cls, write.field}];
+                    bool guarded = walk.guardParam;
+                    const std::string prefix = cls + "::";
+                    for (const std::string &heldId : write.heldIds) {
+                        if (heldId.rfind(prefix, 0) == 0) {
+                            guarded = true;
+                            record.guardMutex = heldId;
+                        }
+                    }
+                    if (!guarded) {
+                        record.bare.push_back(write);
+                        record.bareFiles.push_back(file.relPath());
+                    }
+                }
+            }
+        }
+
+        for (const auto &[key, record] : fields) {
+            if (record.guardMutex.empty() || record.bare.empty())
+                continue;
+            for (size_t i = 0; i < record.bare.size(); ++i) {
+                findings.push_back(
+                    {record.bareFiles[i], record.bare[i].line, id(),
+                     "field '" + key.second + "' of " + key.first +
+                         " is written here without a lock but written "
+                         "under '" +
+                         record.guardMutex +
+                         "' elsewhere; pick one discipline"});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: blocking-in-task
+// ---------------------------------------------------------------------------
+
+class BlockingInTaskRule : public Rule
+{
+  public:
+    std::string id() const override { return "blocking-in-task"; }
+    std::string
+    description() const override
+    {
+        return "no raw sleeps on pool/worker paths; blocking a pool "
+               "thread stalls unrelated groups -- use "
+               "retryBackoffSleep() or a condition variable";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (file.isTest())
+            return;
+        // The sanctioned backoff helper is allowed to sleep.
+        static const std::string helper = "src/util/fault_injection.";
+        if (file.relPath().find(helper) != std::string::npos)
+            return;
+        static const std::set<std::string> kBlocking = {
+            "sleep_for", "sleep_until", "usleep", "nanosleep"};
+        for (const Token &tok : file.tokens()) {
+            if (tok.kind == TokenKind::Identifier &&
+                kBlocking.count(tok.text)) {
+                findings.push_back(
+                    {file.relPath(), tok.line, id(),
+                     "raw '" + tok.text +
+                         "' blocks the calling thread; use "
+                         "retryBackoffSleep() "
+                         "(src/util/fault_injection.hh) for retry "
+                         "pacing or a condition variable for waiting"});
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+concurrencyRules()
+{
+    static const LockOrderRule lockOrder;
+    static const GuardedFieldRule guardedField;
+    static const BlockingInTaskRule blockingInTask;
+    static const std::vector<const Rule *> rules = {
+        &lockOrder, &guardedField, &blockingInTask};
+    return rules;
+}
+
+} // namespace zatel::analysis

@@ -1,0 +1,369 @@
+#include <algorithm>
+#include <regex>
+#include <set>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/rules.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nondet-rand
+// ---------------------------------------------------------------------------
+
+class NondetRandRule : public Rule
+{
+  public:
+    std::string id() const override { return "nondet-rand"; }
+    std::string
+    description() const override
+    {
+        return "no std::rand/srand/random_device/time() on simulation "
+               "paths; draw from the seeded zatel::Rng instead";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        // The seeded RNG and the wall-clock timer are the two
+        // sanctioned sources.
+        if (endsWith(file.relPath(), "src/util/rng.cc") ||
+            endsWith(file.relPath(), "src/util/timer.hh"))
+            return;
+        static const std::regex pattern(
+            R"((\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|\bstd::random_device\b|\brandom_device\b|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)))");
+        const std::vector<std::string> &lines = file.scrubbed();
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (std::regex_search(lines[i], pattern)) {
+                findings.push_back(
+                    {file.relPath(), i + 1, id(),
+                     "nondeterminism source on a simulation path; draw "
+                     "from the seeded zatel::Rng (src/util/rng.cc) "
+                     "instead"});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: nondet-unordered-iter
+// ---------------------------------------------------------------------------
+
+class NondetUnorderedIterRule : public Rule
+{
+  public:
+    std::string id() const override { return "nondet-unordered-iter"; }
+    std::string
+    description() const override
+    {
+        return "no iteration over std::unordered_* in src/gpusim or "
+               "src/zatel; iteration order is implementation-defined "
+               "and feeds Stats";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &context, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (!file.under("src/gpusim/") && !file.under("src/zatel/"))
+            return;
+
+        // Names of unordered containers declared here and in the
+        // paired header (members used from the .cc).
+        static const std::regex decl(
+            R"(unordered_(?:map|set)\s*<[^;{]*>\s*(\w+)\s*[;{=])");
+        std::set<std::string> names;
+        auto collect = [&names](const SourceFile &f) {
+            for (const std::string &line : f.scrubbed()) {
+                std::smatch m;
+                if (std::regex_search(line, m, decl))
+                    names.insert(m[1].str());
+            }
+        };
+        collect(file);
+        const std::string headerRel =
+            context.includes->pairedHeader(file.relPath());
+        if (!headerRel.empty()) {
+            if (const SourceFile *header = context.find(headerRel))
+                collect(*header);
+        }
+        if (names.empty())
+            return;
+
+        const std::vector<std::string> &lines = file.scrubbed();
+        for (size_t i = 0; i < lines.size(); ++i) {
+            const std::string &code = lines[i];
+            for (const std::string &name : names) {
+                bool rangeFor = std::regex_search(
+                    code, std::regex(R"(for\s*\([^)]*:\s*)" + name +
+                                     R"(\s*\))"));
+                bool beginIter =
+                    code.find(name + ".begin()") != std::string::npos ||
+                    code.find(name + ".cbegin()") != std::string::npos;
+                if (rangeFor || beginIter) {
+                    findings.push_back(
+                        {file.relPath(), i + 1, id(),
+                         "iterating '" + name +
+                             "' (std::unordered_*) on a Stats-feeding "
+                             "path; iteration order is "
+                             "implementation-defined -- use an ordered "
+                             "container or sort first"});
+                }
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: float-eq
+// ---------------------------------------------------------------------------
+
+class FloatEqRule : public Rule
+{
+  public:
+    std::string id() const override { return "float-eq"; }
+    std::string
+    description() const override
+    {
+        return "no ==/!= against floating-point literals outside tests; "
+               "use an epsilon or restructure around integers";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (file.isTest())
+            return;
+        static const std::regex right(
+            R"((==|!=)\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)[fFlL]?\b)");
+        static const std::regex left(
+            R"([-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)[fFlL]?\s*(==|!=))");
+        const std::vector<std::string> &lines = file.scrubbed();
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (std::regex_search(lines[i], right) ||
+                std::regex_search(lines[i], left)) {
+                findings.push_back(
+                    {file.relPath(), i + 1, id(),
+                     "exact floating-point comparison; use an epsilon "
+                     "or restructure around integers"});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: nondet-pointer-key
+// ---------------------------------------------------------------------------
+
+class NondetPointerKeyRule : public Rule
+{
+  public:
+    std::string id() const override { return "nondet-pointer-key"; }
+    std::string
+    description() const override
+    {
+        return "no std::map/set ordered on raw pointer keys; pointer "
+               "order varies run to run (ASLR, allocator) and leaks "
+               "into iteration order";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (file.isTest())
+            return;
+        static const std::set<std::string> kOrdered = {
+            "map", "set", "multimap", "multiset"};
+        const std::vector<Token> &tokens = file.tokens();
+        for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+            const Token &tok = tokens[i];
+            if (tok.kind != TokenKind::Identifier ||
+                !kOrdered.count(tok.text))
+                continue;
+            // Require "std::" qualification so a variable named "map"
+            // compared with '<' cannot match.
+            if (!tokens[i - 1].isPunct("::"))
+                continue;
+            if (!tokens[i + 1].isPunct("<"))
+                continue;
+            // Scan the first template argument (the key type) for a
+            // raw-pointer declarator.
+            int depth = 1;
+            bool firstArg = true;
+            bool pointerKey = false;
+            for (size_t j = i + 2; j < tokens.size() && depth > 0; ++j) {
+                const Token &t = tokens[j];
+                if (t.isPunct("<")) {
+                    ++depth;
+                } else if (t.isPunct(">")) {
+                    --depth;
+                } else if (t.isPunct(">>")) {
+                    depth -= 2;
+                } else if (t.isPunct(",") && depth == 1) {
+                    firstArg = false;
+                } else if (t.isPunct(";") || t.isPunct("{")) {
+                    break; // malformed / not a template after all
+                } else if (firstArg && t.isPunct("*")) {
+                    pointerKey = true;
+                }
+            }
+            if (pointerKey) {
+                findings.push_back(
+                    {file.relPath(), tok.line, id(),
+                     "ordered container keyed on a raw pointer; the "
+                     "ordering (and thus iteration order) depends on "
+                     "allocation addresses -- key on a stable id "
+                     "instead"});
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: narrowing-cast-hotpath
+// ---------------------------------------------------------------------------
+
+class NarrowingCastHotpathRule : public Rule
+{
+  public:
+    std::string id() const override { return "narrowing-cast-hotpath"; }
+    std::string
+    description() const override
+    {
+        return "no implicit 64->32 bit narrowing of cycle/address "
+               "values in src/gpusim or src/rt; narrow explicitly with "
+               "static_cast or a mask";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if ((!file.under("src/gpusim/") && !file.under("src/rt/")) ||
+            file.isTest())
+            return;
+        static const std::set<std::string> kWide = {"uint64_t",
+                                                    "int64_t"};
+        static const std::set<std::string> kNarrow = {
+            "uint32_t", "int32_t", "uint16_t", "int16_t",
+            "uint8_t",  "int8_t"};
+        const std::vector<Token> &tokens = file.tokens();
+        for (const FunctionDef &def : findFunctionDefs(file)) {
+            // 64-bit locals and parameters of this function.
+            std::set<std::string> wideNames;
+            std::set<std::string> narrowNames;
+            for (size_t i = def.paramsBegin;
+                 i + 1 < tokens.size() && i < def.bodyEnd; ++i) {
+                if (tokens[i].kind != TokenKind::Identifier)
+                    continue;
+                if (kWide.count(tokens[i].text) &&
+                    tokens[i + 1].kind == TokenKind::Identifier)
+                    wideNames.insert(tokens[i + 1].text);
+                else if (kNarrow.count(tokens[i].text) &&
+                         tokens[i + 1].kind == TokenKind::Identifier)
+                    narrowNames.insert(tokens[i + 1].text);
+            }
+            if (wideNames.empty())
+                continue;
+
+            // Statements that sink a wide value into a narrow slot:
+            // a narrow declaration with an initializer, or an
+            // assignment to a narrow local.
+            for (size_t i = def.bodyBegin; i < def.bodyEnd; ++i) {
+                const Token &tok = tokens[i];
+                bool isDecl = tok.kind == TokenKind::Identifier &&
+                              kNarrow.count(tok.text) &&
+                              i + 2 < tokens.size() &&
+                              tokens[i + 1].kind ==
+                                  TokenKind::Identifier &&
+                              (tokens[i + 2].isPunct("=") ||
+                               tokens[i + 2].isPunct("{") ||
+                               tokens[i + 2].isPunct("("));
+                bool isAssign = tok.kind == TokenKind::Identifier &&
+                                narrowNames.count(tok.text) &&
+                                i + 1 < tokens.size() &&
+                                tokens[i + 1].isPunct("=") &&
+                                (i == 0 || (!tokens[i - 1].isPunct(".") &&
+                                            !tokens[i - 1].isPunct("->")));
+                if (!isDecl && !isAssign)
+                    continue;
+                const size_t rhsBegin = isDecl ? i + 2 : i + 1;
+                // Scan the initializer/RHS up to ';'. A wide name
+                // inside a call's argument list is that callee's
+                // problem, not an implicit narrowing here.
+                bool usesWide = false;
+                bool mitigated = false;
+                std::vector<bool> callParens;
+                size_t j = rhsBegin;
+                for (; j < def.bodyEnd; ++j) {
+                    const Token &t = tokens[j];
+                    if (t.isPunct(";"))
+                        break;
+                    if (t.isPunct("(")) {
+                        callParens.push_back(
+                            j > 0 && (tokens[j - 1].kind ==
+                                          TokenKind::Identifier ||
+                                      tokens[j - 1].isPunct(">")));
+                    } else if (t.isPunct(")")) {
+                        if (!callParens.empty())
+                            callParens.pop_back();
+                    } else if (t.kind == TokenKind::Identifier &&
+                               wideNames.count(t.text)) {
+                        if (std::find(callParens.begin(),
+                                      callParens.end(),
+                                      true) == callParens.end())
+                            usesWide = true;
+                    }
+                    if (t.isIdent("static_cast") || t.isPunct("&") ||
+                        t.isPunct("%"))
+                        mitigated = true;
+                }
+                if (usesWide && !mitigated) {
+                    const std::string name =
+                        isDecl ? tokens[i + 1].text : tok.text;
+                    findings.push_back(
+                        {file.relPath(), tok.line, id(),
+                         "'" + name +
+                             "' narrows a 64-bit value implicitly; a "
+                             "wrapped cycle/address count corrupts "
+                             "Stats silently -- static_cast with a "
+                             "range check or widen the slot"});
+                }
+                i = j;
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+determinismRules()
+{
+    static const NondetRandRule nondetRand;
+    static const NondetUnorderedIterRule nondetUnorderedIter;
+    static const FloatEqRule floatEq;
+    static const NondetPointerKeyRule nondetPointerKey;
+    static const NarrowingCastHotpathRule narrowingCastHotpath;
+    static const std::vector<const Rule *> rules = {
+        &nondetRand, &nondetUnorderedIter, &floatEq, &nondetPointerKey,
+        &narrowingCastHotpath};
+    return rules;
+}
+
+} // namespace zatel::analysis

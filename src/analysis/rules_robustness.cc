@@ -1,0 +1,166 @@
+#include <set>
+
+#include "analysis/cpp_scan.hh"
+#include "analysis/rules.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: assert-free-entry
+// ---------------------------------------------------------------------------
+
+class AssertFreeEntryRule : public Rule
+{
+  public:
+    std::string id() const override { return "assert-free-entry"; }
+    std::string
+    description() const override
+    {
+        return "public mutating entry points in src/gpusim and src/obs "
+               "carry at least one ZATEL_ASSERT; invariant violations "
+               "must abort, not skew Stats";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if ((!file.under("src/gpusim/") && !file.under("src/obs/")) ||
+            !endsWith(file.relPath(), ".cc"))
+            return;
+        static const std::set<std::string> entryVerbs = {
+            "run",      "tick",       "access",   "fill",     "enqueue",
+            "request",  "launchWarp", "tryAdmit", "sendRead", "sendWrite",
+            "beginSpan", "endSpan",   "observe",
+        };
+        for (const FunctionDef &def : findFunctionDefs(file)) {
+            if (def.qualifier.empty() || !entryVerbs.count(def.name))
+                continue;
+            if (def.isConst)
+                continue; // non-mutating
+            if (rangeHasIdent(file.tokens(), def.bodyBegin, def.bodyEnd,
+                              "ZATEL_ASSERT"))
+                continue;
+            findings.push_back(
+                {file.relPath(), def.line, id(),
+                 "mutating entry point '" + def.name +
+                     "' has no ZATEL_ASSERT; simulator entry points "
+                     "must check their invariants"});
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: fault-site-coverage
+// ---------------------------------------------------------------------------
+
+class FaultSiteCoverageRule : public Rule
+{
+  public:
+    std::string id() const override { return "fault-site-coverage"; }
+    std::string
+    description() const override
+    {
+        return "fallible IO in src/service and src/util runs under a "
+               "registered fault site (ZATEL_INJECT_FAULT / "
+               "ZATEL_FAULT_SITE) so the resilience suite can reach it";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if ((!file.under("src/service/") && !file.under("src/util/")) ||
+            !endsWith(file.relPath(), ".cc") || file.isTest())
+            return;
+        // The injection framework itself is the one place allowed to
+        // do IO without registering with itself.
+        if (endsWith(file.relPath(), "src/util/fault_injection.cc"))
+            return;
+
+        static const std::set<std::string> kIoCalls = {
+            "fopen", "fsync", "fdatasync", "rename", "unlink"};
+        static const std::set<std::string> kStreamTypes = {
+            "ifstream", "ofstream", "fstream"};
+        static const std::set<std::string> kFaultMacros = {
+            "ZATEL_INJECT_FAULT", "ZATEL_INJECT_FAULT_KEYED",
+            "ZATEL_FAULT_SITE"};
+
+        const std::vector<Token> &tokens = file.tokens();
+        for (const FunctionDef &def : findFunctionDefs(file)) {
+            bool covered = false;
+            for (size_t i = def.bodyBegin;
+                 i < def.bodyEnd && i < tokens.size(); ++i) {
+                if (tokens[i].kind == TokenKind::Identifier &&
+                    kFaultMacros.count(tokens[i].text)) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (covered)
+                continue;
+            for (size_t i = def.bodyBegin;
+                 i < def.bodyEnd && i < tokens.size(); ++i) {
+                const Token &tok = tokens[i];
+                if (tok.kind != TokenKind::Identifier)
+                    continue;
+                bool isIo = false;
+                std::string what;
+                if (kIoCalls.count(tok.text) && i + 1 < tokens.size() &&
+                    tokens[i + 1].isPunct("(")) {
+                    isIo = true;
+                    what = tok.text + "()";
+                } else if (tok.text == "open" && i > 0 &&
+                           (tokens[i - 1].isPunct(".") ||
+                            tokens[i - 1].isPunct("::")) &&
+                           i + 1 < tokens.size() &&
+                           tokens[i + 1].isPunct("(")) {
+                    isIo = true;
+                    what = "open()";
+                } else if (kStreamTypes.count(tok.text) &&
+                           i + 2 < tokens.size() &&
+                           tokens[i + 1].kind == TokenKind::Identifier &&
+                           tokens[i + 2].isPunct("(")) {
+                    isIo = true;
+                    what = "std::" + tok.text + " open-on-construct";
+                }
+                if (isIo) {
+                    findings.push_back(
+                        {file.relPath(), tok.line, id(),
+                         what +
+                             " in a function with no fault-injection "
+                             "site; wrap it (or its enclosing "
+                             "operation) in ZATEL_INJECT_FAULT / "
+                             "ZATEL_FAULT_SITE so tests can exercise "
+                             "the failure path"});
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+robustnessRules()
+{
+    static const AssertFreeEntryRule assertFreeEntry;
+    static const FaultSiteCoverageRule faultSiteCoverage;
+    static const std::vector<const Rule *> rules = {&assertFreeEntry,
+                                                    &faultSiteCoverage};
+    return rules;
+}
+
+} // namespace zatel::analysis

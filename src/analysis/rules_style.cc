@@ -1,0 +1,197 @@
+#include <cctype>
+#include <regex>
+
+#include "analysis/rules.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: header-guard
+// ---------------------------------------------------------------------------
+
+std::string
+expectedGuard(const std::string &relPath)
+{
+    // src/gpusim/cache.hh -> ZATEL_GPUSIM_CACHE_HH
+    std::string tail = relPath;
+    if (tail.rfind("src/", 0) == 0)
+        tail = tail.substr(4);
+    std::string guard = "ZATEL_";
+    for (char c : tail) {
+        if (c == '/' || c == '.')
+            guard += '_';
+        else
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+    }
+    return guard;
+}
+
+class HeaderGuardRule : public Rule
+{
+  public:
+    std::string id() const override { return "header-guard"; }
+    std::string
+    description() const override
+    {
+        return ".hh include guards are derived from the header's path "
+               "(src/gpusim/cache.hh -> ZATEL_GPUSIM_CACHE_HH)";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (!file.isHeader())
+            return;
+        const std::string expected = expectedGuard(file.relPath());
+        for (const Directive &directive : file.directives()) {
+            if (directive.name != "ifndef")
+                continue;
+            // Only the first #ifndef is the guard.
+            if (directive.argument != expected) {
+                findings.push_back(
+                    {file.relPath(), directive.line, id(),
+                     "guard '" + directive.argument + "' should be '" +
+                         expected + "' (derived from path)"});
+            }
+            return;
+        }
+        findings.push_back({file.relPath(), 1, id(),
+                            "missing '#ifndef " + expected +
+                                "' include guard"});
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: include-order
+// ---------------------------------------------------------------------------
+
+class IncludeOrderRule : public Rule
+{
+  public:
+    std::string id() const override { return "include-order"; }
+    std::string
+    description() const override
+    {
+        return "a .cc includes its own header first; <system> includes "
+               "form one block before \"project\" includes";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &context, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (!endsWith(file.relPath(), ".cc"))
+            return;
+        // Expected own header, e.g. src/gpusim/cache.cc includes
+        // "gpusim/cache.hh" -- required only when that header is part
+        // of the scanned set.
+        std::string ownHeader;
+        if (!context.includes->pairedHeader(file.relPath()).empty()) {
+            std::string rel = file.relPath();
+            if (rel.rfind("src/", 0) == 0)
+                rel = rel.substr(4);
+            ownHeader = rel.substr(0, rel.size() - 3) + ".hh";
+        }
+
+        bool sawAnyInclude = false;
+        bool sawProjectInclude = false;
+        for (const Directive &directive : file.directives()) {
+            if (directive.name != "include")
+                continue;
+            if (!sawAnyInclude) {
+                sawAnyInclude = true;
+                if (!ownHeader.empty()) {
+                    if (directive.systemInclude ||
+                        directive.argument != ownHeader) {
+                        findings.push_back(
+                            {file.relPath(), directive.line, id(),
+                             "first include must be the file's own "
+                             "header \"" +
+                                 ownHeader + "\""});
+                    }
+                    // Own header does not count as a project include.
+                    continue;
+                }
+            }
+            if (directive.systemInclude && sawProjectInclude) {
+                findings.push_back(
+                    {file.relPath(), directive.line, id(),
+                     "<system> include after a \"project\" include; "
+                     "keep all system includes in one leading block"});
+            }
+            if (!directive.systemInclude)
+                sawProjectInclude = true;
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: uninit-field
+// ---------------------------------------------------------------------------
+
+class UninitFieldRule : public Rule
+{
+  public:
+    std::string id() const override { return "uninit-field"; }
+    std::string
+    description() const override
+    {
+        return "scalar/pointer data members in src/gpusim headers carry "
+               "member initializers (uninitialized counters corrupt "
+               "Stats)";
+    }
+
+    void
+    analyzeFile(const AnalysisContext &, const SourceFile &file,
+                std::vector<Finding> &findings) const override
+    {
+        if (!file.under("src/gpusim/") || !file.isHeader())
+            return;
+        // Scrubbed lines: literal/comment text can no longer match.
+        static const std::regex scalar(
+            R"(^\s+(?:u?int(?:8|16|32|64)_t|int|long|short|bool|float|double|size_t|char)\s+(\w+)\s*;\s*$)");
+        static const std::regex pointer(
+            R"(^\s+(?:const\s+)?\w[\w:]*\s*\*\s*(\w+)\s*;\s*$)");
+        const std::vector<std::string> &lines = file.scrubbed();
+        for (size_t i = 0; i < lines.size(); ++i) {
+            std::smatch m;
+            if (std::regex_match(lines[i], m, scalar) ||
+                std::regex_match(lines[i], m, pointer)) {
+                findings.push_back(
+                    {file.relPath(), i + 1, id(),
+                     "field '" + m[1].str() +
+                         "' has no member initializer; an uninitialized "
+                         "counter silently corrupts Stats"});
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<const Rule *> &
+styleRules()
+{
+    static const HeaderGuardRule headerGuard;
+    static const IncludeOrderRule includeOrder;
+    static const UninitFieldRule uninitField;
+    static const std::vector<const Rule *> rules = {
+        &headerGuard, &includeOrder, &uninitField};
+    return rules;
+}
+
+} // namespace zatel::analysis

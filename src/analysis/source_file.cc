@@ -1,0 +1,131 @@
+#include "analysis/source_file.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "analysis/tokenizer.hh"
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/**
+ * Parse "zatel-lint: allow(rule-id): reason" out of one comment token's
+ * text. Returns false when the comment is not an allow at all.
+ */
+bool
+parseAllow(const std::string &comment, Suppression &out)
+{
+    // The marker must open the comment (only whitespace before it), so
+    // documentation that merely quotes the syntax mid-comment -- like
+    // this file's own header -- does not register as a suppression.
+    const std::string marker = "zatel-lint:";
+    size_t mark = 0;
+    while (mark < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[mark])))
+        ++mark;
+    if (comment.compare(mark, marker.size(), marker) != 0)
+        return false;
+    size_t pos = comment.find("allow", mark + marker.size());
+    if (pos == std::string::npos)
+        return false;
+    pos = comment.find('(', pos);
+    if (pos == std::string::npos)
+        return false;
+    const size_t close = comment.find(')', pos);
+    if (close == std::string::npos)
+        return false;
+    out.rule = trim(comment.substr(pos + 1, close - pos - 1));
+    const size_t colon = comment.find(':', close);
+    out.reason = colon == std::string::npos
+                     ? ""
+                     : trim(comment.substr(colon + 1));
+    out.malformed = out.rule.empty() || out.reason.empty();
+    return true;
+}
+
+} // namespace
+
+SourceFile
+SourceFile::fromString(std::string relPath, std::string text)
+{
+    SourceFile file;
+    file.relPath_ = std::move(relPath);
+    TokenizeResult lexed = tokenize(text);
+    file.tokens_ = std::move(lexed.tokens);
+    file.directives_ = std::move(lexed.directives);
+    file.lineCount_ = lexed.lineCount;
+    file.scrubbed_ = scrubbedLines(file.tokens_, file.lineCount_);
+
+    // A comment is standalone when no non-comment token shares its line.
+    for (const Token &token : file.tokens_) {
+        if (token.kind != TokenKind::Comment)
+            continue;
+        Suppression s;
+        if (!parseAllow(token.text, s))
+            continue;
+        s.line = token.line;
+        s.standalone = std::none_of(
+            file.tokens_.begin(), file.tokens_.end(),
+            [&token](const Token &other) {
+                return other.kind != TokenKind::Comment &&
+                       other.line == token.line;
+            });
+        file.suppressions_.push_back(std::move(s));
+    }
+    return file;
+}
+
+bool
+SourceFile::suppresses(const std::string &rule, size_t line) const
+{
+    for (const Suppression &s : suppressions_) {
+        if (s.malformed || s.rule != rule)
+            continue;
+        if (s.line == line || (s.standalone && s.line + 1 == line))
+            return true;
+    }
+    return false;
+}
+
+bool
+SourceFile::isHeader() const
+{
+    return relPath_.size() >= 3 &&
+           relPath_.compare(relPath_.size() - 3, 3, ".hh") == 0;
+}
+
+bool
+SourceFile::isTest() const
+{
+    if (relPath_.find("tests/") != std::string::npos)
+        return true;
+    const size_t slash = relPath_.rfind('/');
+    const std::string name =
+        slash == std::string::npos ? relPath_ : relPath_.substr(slash + 1);
+    return name.rfind("test_", 0) == 0;
+}
+
+bool
+SourceFile::under(const std::string &dir) const
+{
+    return relPath_.find(dir) != std::string::npos;
+}
+
+} // namespace zatel::analysis

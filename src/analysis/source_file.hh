@@ -1,0 +1,76 @@
+/**
+ * @file
+ * One analyzed file: raw text, token stream, directives, scrubbed
+ * lines, and inline lint suppressions.
+ *
+ * Suppression syntax (docs/CORRECTNESS.md):
+ *
+ *     // zatel-lint: allow(rule-id): reason
+ *
+ * The comment suppresses findings of @c rule-id on its own line and,
+ * when it is the only thing on its line, on the following line. The
+ * reason is mandatory -- an allow without one is itself reported
+ * (rule id "bad-suppression"), and so is an allow that matched no
+ * finding ("unused-suppression"): suppressions must stay justified
+ * and must not outlive the code they excuse.
+ */
+
+#ifndef ZATEL_ANALYSIS_SOURCE_FILE_HH
+#define ZATEL_ANALYSIS_SOURCE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/token.hh"
+
+namespace zatel::analysis
+{
+
+struct Suppression
+{
+    size_t line = 0;      ///< Line carrying the allow comment.
+    std::string rule;     ///< Rule id being allowed.
+    std::string reason;   ///< Mandatory justification text.
+    bool standalone = false; ///< Comment-only line: also covers line+1.
+    bool malformed = false;  ///< allow(...) without a reason.
+};
+
+class SourceFile
+{
+  public:
+    /** Build from in-memory text (tests) or a loaded file. */
+    static SourceFile fromString(std::string relPath, std::string text);
+
+    const std::string &relPath() const { return relPath_; }
+    const std::vector<Token> &tokens() const { return tokens_; }
+    const std::vector<Directive> &directives() const { return directives_; }
+    const std::vector<Suppression> &suppressions() const
+    {
+        return suppressions_;
+    }
+    size_t lineCount() const { return lineCount_; }
+
+    /** Comment/literal-scrubbed per-line text (tokenizer.hh). */
+    const std::vector<std::string> &scrubbed() const { return scrubbed_; }
+
+    /** True if a suppression for @p rule covers @p line. */
+    bool suppresses(const std::string &rule, size_t line) const;
+
+    bool isHeader() const;
+    bool isTest() const;
+
+    /** True when relPath lives under @p dir ("src/gpusim/"). */
+    bool under(const std::string &dir) const;
+
+  private:
+    std::string relPath_;
+    std::vector<Token> tokens_;
+    std::vector<Directive> directives_;
+    std::vector<Suppression> suppressions_;
+    std::vector<std::string> scrubbed_;
+    size_t lineCount_ = 0;
+};
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_SOURCE_FILE_HH

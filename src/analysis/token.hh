@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Token model for the zatel-lint analysis library.
+ *
+ * The tokenizer (tokenizer.hh) turns C++ source into this stream so that
+ * lint rules operate on real lexical structure instead of raw text: a
+ * "rand()" inside a string literal or a "==" inside a comment can never
+ * match a rule, by construction (docs/CORRECTNESS.md).
+ */
+
+#ifndef ZATEL_ANALYSIS_TOKEN_HH
+#define ZATEL_ANALYSIS_TOKEN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zatel::analysis
+{
+
+enum class TokenKind
+{
+    Identifier, ///< Names and keywords (no keyword table is kept).
+    Number,     ///< Integer or floating literal, incl. suffixes.
+    String,     ///< "..." (text excludes the quotes; escapes kept raw).
+    RawString,  ///< R"delim(...)delim" (text is the raw content).
+    CharLit,    ///< '...'
+    Punct,      ///< Operators and punctuation, longest-match (e.g. "==").
+    Comment,    ///< // or /*...*/ (text excludes the markers).
+    HeaderName, ///< <...> or "..." immediately after #include.
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;   ///< See per-kind notes above.
+    size_t line = 0;    ///< 1-based line of the token's first character.
+    size_t column = 0;  ///< 1-based column of the token's first character.
+    bool atLineStart = false;  ///< First non-whitespace token on its line.
+    bool onDirective = false;  ///< Part of a preprocessor directive.
+
+    bool is(TokenKind k, const std::string &t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isIdent(const std::string &t) const
+    {
+        return is(TokenKind::Identifier, t);
+    }
+    bool isPunct(const std::string &t) const
+    {
+        return is(TokenKind::Punct, t);
+    }
+};
+
+/** One preprocessor directive, extracted during tokenization. */
+struct Directive
+{
+    size_t line = 0;         ///< 1-based line of the '#'.
+    std::string name;        ///< "include", "ifndef", "define", ...
+    std::string argument;    ///< First token after the name ("" if none).
+    bool systemInclude = false; ///< For includes: <...> vs "...".
+};
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_TOKEN_HH

@@ -1,0 +1,488 @@
+#include "analysis/tokenizer.hh"
+
+#include <array>
+#include <cctype>
+
+namespace zatel::analysis
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Encoding prefixes that may precede a raw string's R. */
+bool
+isRawStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+           ident == "UR" || ident == "u8R";
+}
+
+/**
+ * Character cursor over one file. advance()/peek() transparently skip
+ * line splices (backslash-newline) -- except via the raw* accessors,
+ * which raw string literals use (splices are not processed inside
+ * them). Line/column are 1-based physical positions.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &source) : text_(source)
+    {
+        skipSplices();
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    size_t line() const { return line_; }
+    size_t column() const { return column_; }
+
+    char peek(size_t offset = 0) const
+    {
+        // Offsets are only used to look past non-splice characters
+        // (e.g. "//"), so simple indexing suffices after skipSplices().
+        return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+    }
+
+    /** Consume the current character; returns it ('\0' at end). */
+    char advance()
+    {
+        if (atEnd())
+            return '\0';
+        const char c = text_[pos_];
+        step();
+        skipSplices();
+        return c;
+    }
+
+    char rawPeek() const { return peek(); }
+
+    /** Consume without splice skipping (raw string bodies). */
+    char rawAdvance()
+    {
+        if (atEnd())
+            return '\0';
+        const char c = text_[pos_];
+        step();
+        return c;
+    }
+
+  private:
+    void step()
+    {
+        if (text_[pos_] == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        ++pos_;
+    }
+
+    void skipSplices()
+    {
+        while (pos_ + 1 < text_.size() && text_[pos_] == '\\') {
+            if (text_[pos_ + 1] == '\n') {
+                step();
+                step();
+            } else if (pos_ + 2 < text_.size() &&
+                       text_[pos_ + 1] == '\r' &&
+                       text_[pos_ + 2] == '\n') {
+                step();
+                step();
+                step();
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+    size_t column_ = 1;
+};
+
+/** Multi-character operators, longest first for greedy matching. */
+const std::array<const char *, 23> kMultiPunct = {
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "##",
+};
+
+class Tokenizer
+{
+  public:
+    explicit Tokenizer(const std::string &source) : cursor_(source) {}
+
+    TokenizeResult run()
+    {
+        while (!cursor_.atEnd())
+            lexOne();
+        result_.lineCount = cursor_.line();
+        return std::move(result_);
+    }
+
+  private:
+    void
+    emit(TokenKind kind, std::string text, size_t line, size_t column)
+    {
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.line = line;
+        token.column = column;
+        token.atLineStart = line != lastTokenLine_;
+        token.onDirective = inDirective_;
+        lastTokenLine_ = line;
+        result_.tokens.push_back(std::move(token));
+    }
+
+    void
+    lexOne()
+    {
+        const char c = cursor_.peek();
+        if (c == '\n') {
+            inDirective_ = false;
+            cursor_.advance();
+            return;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cursor_.advance();
+            return;
+        }
+        const size_t line = cursor_.line();
+        const size_t column = cursor_.column();
+        if (c == '/' && cursor_.peek(1) == '/') {
+            lexLineComment(line, column);
+            return;
+        }
+        if (c == '/' && cursor_.peek(1) == '*') {
+            lexBlockComment(line, column);
+            return;
+        }
+        if (c == '"') {
+            lexString(line, column);
+            return;
+        }
+        if (c == '\'') {
+            lexCharLit(line, column);
+            return;
+        }
+        if (isDigit(c) || (c == '.' && isDigit(cursor_.peek(1)))) {
+            lexNumber(line, column);
+            return;
+        }
+        if (isIdentStart(c)) {
+            lexIdentifier(line, column);
+            return;
+        }
+        if (c == '#' && line != lastTokenLine_) {
+            lexDirective(line, column);
+            return;
+        }
+        lexPunct(line, column);
+    }
+
+    void
+    lexLineComment(size_t line, size_t column)
+    {
+        cursor_.advance();
+        cursor_.advance();
+        std::string text;
+        // A splice extends the comment onto the next physical line;
+        // advance() consumes it transparently, which matches phase-2
+        // translation.
+        while (!cursor_.atEnd() && cursor_.peek() != '\n')
+            text += cursor_.advance();
+        emit(TokenKind::Comment, std::move(text), line, column);
+    }
+
+    void
+    lexBlockComment(size_t line, size_t column)
+    {
+        cursor_.advance();
+        cursor_.advance();
+        std::string text;
+        while (!cursor_.atEnd()) {
+            if (cursor_.peek() == '*' && cursor_.peek(1) == '/') {
+                cursor_.advance();
+                cursor_.advance();
+                break;
+            }
+            text += cursor_.advance();
+        }
+        emit(TokenKind::Comment, std::move(text), line, column);
+    }
+
+    void
+    lexString(size_t line, size_t column)
+    {
+        cursor_.advance(); // opening quote
+        std::string text;
+        while (!cursor_.atEnd()) {
+            const char c = cursor_.peek();
+            if (c == '"') {
+                cursor_.advance();
+                break;
+            }
+            if (c == '\n') {
+                // Unterminated literal: stop at the line end so one bad
+                // quote cannot swallow the rest of the file.
+                break;
+            }
+            if (c == '\\') {
+                text += cursor_.advance();
+                if (!cursor_.atEnd())
+                    text += cursor_.advance();
+                continue;
+            }
+            text += cursor_.advance();
+        }
+        emit(TokenKind::String, std::move(text), line, column);
+    }
+
+    void
+    lexCharLit(size_t line, size_t column)
+    {
+        cursor_.advance(); // opening quote
+        std::string text;
+        while (!cursor_.atEnd()) {
+            const char c = cursor_.peek();
+            if (c == '\'') {
+                cursor_.advance();
+                break;
+            }
+            if (c == '\n')
+                break;
+            if (c == '\\') {
+                text += cursor_.advance();
+                if (!cursor_.atEnd())
+                    text += cursor_.advance();
+                continue;
+            }
+            text += cursor_.advance();
+        }
+        emit(TokenKind::CharLit, std::move(text), line, column);
+    }
+
+    void
+    lexNumber(size_t line, size_t column)
+    {
+        // pp-number: digits, letters, '.', digit separators, and
+        // exponent signs after e/E/p/P.
+        std::string text;
+        text += cursor_.advance();
+        while (!cursor_.atEnd()) {
+            const char c = cursor_.peek();
+            if (isIdentChar(c) || c == '.') {
+                text += cursor_.advance();
+                continue;
+            }
+            if (c == '\'' && isIdentChar(cursor_.peek(1))) {
+                text += cursor_.advance();
+                text += cursor_.advance();
+                continue;
+            }
+            if ((c == '+' || c == '-') && !text.empty()) {
+                const char prev = text.back();
+                if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                    prev == 'P') {
+                    text += cursor_.advance();
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(TokenKind::Number, std::move(text), line, column);
+    }
+
+    void
+    lexIdentifier(size_t line, size_t column)
+    {
+        std::string text;
+        while (!cursor_.atEnd() && isIdentChar(cursor_.peek()))
+            text += cursor_.advance();
+        if (isRawStringPrefix(text) && cursor_.peek() == '"') {
+            lexRawString(line, column);
+            return;
+        }
+        emit(TokenKind::Identifier, std::move(text), line, column);
+    }
+
+    void
+    lexRawString(size_t line, size_t column)
+    {
+        cursor_.rawAdvance(); // opening quote
+        std::string delim;
+        while (!cursor_.atEnd() && cursor_.rawPeek() != '(' &&
+               cursor_.rawPeek() != '\n')
+            delim += cursor_.rawAdvance();
+        if (cursor_.rawPeek() == '(')
+            cursor_.rawAdvance();
+        const std::string closer = ")" + delim + "\"";
+        std::string text;
+        while (!cursor_.atEnd()) {
+            text += cursor_.rawAdvance();
+            if (text.size() >= closer.size() &&
+                text.compare(text.size() - closer.size(), closer.size(),
+                             closer) == 0) {
+                text.resize(text.size() - closer.size());
+                break;
+            }
+        }
+        emit(TokenKind::RawString, std::move(text), line, column);
+    }
+
+    void
+    lexDirective(size_t line, size_t column)
+    {
+        inDirective_ = true;
+        emit(TokenKind::Punct, "#", line, column);
+        cursor_.advance();
+        // Lex the directive name.
+        while (!cursor_.atEnd() && cursor_.peek() != '\n' &&
+               std::isspace(static_cast<unsigned char>(cursor_.peek())))
+            cursor_.advance();
+        if (!isIdentStart(cursor_.peek()))
+            return;
+        const size_t name_line = cursor_.line();
+        const size_t name_col = cursor_.column();
+        std::string name;
+        while (!cursor_.atEnd() && isIdentChar(cursor_.peek()))
+            name += cursor_.advance();
+        emit(TokenKind::Identifier, name, name_line, name_col);
+
+        Directive directive;
+        directive.line = line;
+        directive.name = name;
+        while (!cursor_.atEnd() && cursor_.peek() != '\n' &&
+               std::isspace(static_cast<unsigned char>(cursor_.peek())))
+            cursor_.advance();
+        if (name == "include") {
+            const char open = cursor_.peek();
+            if (open == '<' || open == '"') {
+                const char close = open == '<' ? '>' : '"';
+                const size_t t_line = cursor_.line();
+                const size_t t_col = cursor_.column();
+                cursor_.advance();
+                std::string target;
+                while (!cursor_.atEnd() && cursor_.peek() != close &&
+                       cursor_.peek() != '\n')
+                    target += cursor_.advance();
+                if (cursor_.peek() == close)
+                    cursor_.advance();
+                directive.argument = target;
+                directive.systemInclude = open == '<';
+                emit(TokenKind::HeaderName,
+                     std::string(1, open) + target +
+                         std::string(1, close == '>' ? '>' : '"'),
+                     t_line, t_col);
+            }
+        } else if (isIdentStart(cursor_.peek())) {
+            // First identifier after e.g. #ifndef / #define.
+            const size_t a_line = cursor_.line();
+            const size_t a_col = cursor_.column();
+            std::string argument;
+            while (!cursor_.atEnd() && isIdentChar(cursor_.peek()))
+                argument += cursor_.advance();
+            directive.argument = argument;
+            emit(TokenKind::Identifier, std::move(argument), a_line,
+                 a_col);
+        }
+        result_.directives.push_back(std::move(directive));
+    }
+
+    void
+    lexPunct(size_t line, size_t column)
+    {
+        for (const char *op : kMultiPunct) {
+            const size_t len = std::char_traits<char>::length(op);
+            bool match = true;
+            for (size_t i = 0; i < len; ++i) {
+                if (cursor_.peek(i) != op[i]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                for (size_t i = 0; i < len; ++i)
+                    cursor_.advance();
+                emit(TokenKind::Punct, op, line, column);
+                return;
+            }
+        }
+        emit(TokenKind::Punct, std::string(1, cursor_.advance()), line,
+             column);
+    }
+
+    Cursor cursor_;
+    TokenizeResult result_;
+    size_t lastTokenLine_ = 0;
+    bool inDirective_ = false;
+};
+
+} // namespace
+
+TokenizeResult
+tokenize(const std::string &source)
+{
+    return Tokenizer(source).run();
+}
+
+std::vector<std::string>
+scrubbedLines(const std::vector<Token> &tokens, size_t lineCount)
+{
+    std::vector<std::string> lines(lineCount);
+    auto place = [&lines](size_t line, size_t column,
+                          const std::string &text) {
+        if (line == 0 || line > lines.size())
+            return;
+        std::string &out = lines[line - 1];
+        const size_t start = column > 0 ? column - 1 : 0;
+        if (out.size() < start + text.size())
+            out.resize(start + text.size(), ' ');
+        out.replace(start, text.size(), text);
+    };
+    for (const Token &token : tokens) {
+        switch (token.kind) {
+        case TokenKind::Comment:
+            break; // scrubbed
+        case TokenKind::String:
+            place(token.line, token.column, "\"\"");
+            break;
+        case TokenKind::RawString:
+            place(token.line, token.column, "R\"()\"");
+            break;
+        case TokenKind::CharLit:
+            place(token.line, token.column, "''");
+            break;
+        case TokenKind::HeaderName:
+        case TokenKind::Identifier:
+        case TokenKind::Number:
+        case TokenKind::Punct:
+            if (token.text.find('\n') == std::string::npos)
+                place(token.line, token.column, token.text);
+            break;
+        }
+    }
+    return lines;
+}
+
+} // namespace zatel::analysis

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A lightweight C++ tokenizer for the zatel-lint rules.
+ *
+ * Handles exactly the lexical features that made the old regex-per-line
+ * linter misfire: line comments, block comments, string/char literals
+ * with escapes, raw string literals (R"delim(...)delim", including
+ * embedded "//" and newlines), line splices (backslash-newline), and
+ * preprocessor directives (#include targets are lexed as header-name
+ * tokens, so quoted include paths survive literal scrubbing).
+ *
+ * It is NOT a full C++ lexer: tokens carry no keyword classification,
+ * numbers are not value-parsed, and templates/digraphs/trigraphs get no
+ * special treatment beyond longest-match punctuation. That is enough
+ * for every rule in rules.cc and keeps a full-tree scan well under the
+ * bench_lint_runtime budget.
+ */
+
+#ifndef ZATEL_ANALYSIS_TOKENIZER_HH
+#define ZATEL_ANALYSIS_TOKENIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/token.hh"
+
+namespace zatel::analysis
+{
+
+struct TokenizeResult
+{
+    std::vector<Token> tokens;        ///< Comments included, in order.
+    std::vector<Directive> directives; ///< Preprocessor lines, in order.
+    size_t lineCount = 0;             ///< Physical lines in the source.
+};
+
+/**
+ * Tokenize @p source (the full text of one file).
+ *
+ * Never fails: malformed input (unterminated literal or comment)
+ * degrades to a literal running to end-of-file, which is the right
+ * behaviour for a linter that must keep scanning the rest of the tree.
+ */
+TokenizeResult tokenize(const std::string &source);
+
+/**
+ * Render @p tokens back into per-line text with comments and literal
+ * contents removed: comments become spaces, string/char literal bodies
+ * become empty literals ("" / ''), raw strings become R"()". Line
+ * regex rules run on these lines, which makes matching inside literals
+ * impossible by construction. @p lineCount is the physical line count.
+ */
+std::vector<std::string> scrubbedLines(const std::vector<Token> &tokens,
+                                       size_t lineCount);
+
+} // namespace zatel::analysis
+
+#endif // ZATEL_ANALYSIS_TOKENIZER_HH

@@ -511,6 +511,10 @@ finalizeCampaign(std::vector<CampaignJob> &jobs)
 std::vector<CampaignJob>
 loadCampaignFile(const std::string &path)
 {
+    // Spec loading happens once, before the scheduler exists; a bad
+    // campaign file throws CampaignError and the run never starts, so
+    // there is no mid-flight failure path for the resilience suite.
+    // zatel-lint: allow(fault-site-coverage): pre-flight spec load
     std::ifstream in(path);
     if (!in.is_open())
         throw CampaignError("cannot open campaign file '" + path + "'");

@@ -120,6 +120,10 @@ ResultStore::ResultStore(std::string path, Options options)
     const auto mode = options_.append
                           ? (std::ios::out | std::ios::app)
                           : (std::ios::out | std::ios::trunc);
+    // Construction-time open is deliberately fatal-on-failure (fail
+    // fast before any work is accepted); the per-row append path is
+    // the injectable one (result.store.append).
+    // zatel-lint: allow(fault-site-coverage): fail-fast ctor open
     file_.open(path_, mode);
     if (!file_.is_open())
         fatal("result store: cannot open '", path_, "' for writing");
@@ -263,8 +267,14 @@ ResultStore::finalize()
     // fsync through a second descriptor: the data already left the
     // ofstream buffer on flush(); fsync pushes the OS page cache to
     // stable storage so kill -9 right after a campaign cannot eat rows.
+    // Both calls are best-effort durability hardening: failure is
+    // already tolerated inline (fd < 0 / fsync error changes nothing
+    // the caller can observe), so injection would only exercise a
+    // no-op branch.
+    // zatel-lint: allow(fault-site-coverage): best-effort fsync path
     const int fd = ::open(path_.c_str(), O_RDONLY);
     if (fd >= 0) {
+        // zatel-lint: allow(fault-site-coverage): best-effort fsync
         ::fsync(fd);
         ::close(fd);
     }
@@ -308,6 +318,10 @@ std::set<std::string>
 ResultStore::completedJobIds(const std::string &path)
 {
     std::set<std::string> completed;
+    // A missing/unreadable resume file legitimately means "nothing
+    // completed yet" -- the degraded path and the failure path are
+    // the same path, so there is no distinct branch to inject.
+    // zatel-lint: allow(fault-site-coverage): absence == empty resume
     std::ifstream in(path);
     if (!in.is_open())
         return completed;

@@ -225,6 +225,9 @@ CampaignScheduler::watchdogLoop(const std::atomic<bool> &stop)
                50, static_cast<int64_t>(
                        params_.stallTimeoutSeconds * 1000.0 / 4.0))));
     while (!stop.load(std::memory_order_relaxed)) {
+        // The watchdog runs on its own dedicated thread, not a pool
+        // worker; sleeping for one tick IS its duty cycle.
+        // zatel-lint: allow(blocking-in-task): watchdog duty cycle
         std::this_thread::sleep_for(tick);
         const uint64_t now = nowNs();
         for (const auto &job : jobs_) {
@@ -603,9 +606,9 @@ CampaignScheduler::runGroupUnit(JobState &state, size_t group_index)
                 // A stall cancellation is still draining this job's
                 // sim units; starting a fresh simulation now would be
                 // instantly cancelled. Requeue without burning a
-                // retry attempt.
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(1));
+                // retry attempt, pacing with the sanctioned backoff
+                // (1 ms at attempt 1) instead of a raw sleep.
+                retryBackoffSleep(1);
                 enqueueUnit(state.job.priority,
                             [this, s = &state, group_index]() {
                                 runGroupUnit(*s, group_index);

@@ -73,6 +73,10 @@ CsvWriter::toString() const
 bool
 CsvWriter::writeTo(const std::string &path) const
 {
+    // Failure is the bool return; callers on fallible paths (the
+    // artifact cache) already run under their own fault sites
+    // (artifact.cache.write), which inject above this helper.
+    // zatel-lint: allow(fault-site-coverage): bool-returning helper
     std::ofstream out(path);
     if (!out)
         return false;

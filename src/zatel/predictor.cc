@@ -421,6 +421,7 @@ ZatelPredictor::installWatchdogProbe(gpusim::Gpu &gpu,
                 if (!cancelCheck_)
                     throw FaultInjectedError("group.sim.stall");
                 while (!cancelCheck_()) {
+                    // zatel-lint: allow(blocking-in-task): emulated hang
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(1));
                 }

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Units for the zatel-lint analysis substrate: the comment/literal
+ * aware tokenizer, line scrubbing (the property that makes regex rules
+ * literal-proof by construction), suppression parsing, the include
+ * graph, and the JSON/SARIF emitters (validated with the obs JSON
+ * parser).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/include_graph.hh"
+#include "analysis/source_file.hh"
+#include "analysis/tokenizer.hh"
+#include "obs/json.hh"
+
+namespace
+{
+
+using zatel::analysis::AnalysisResult;
+using zatel::analysis::Analyzer;
+using zatel::analysis::SourceFile;
+using zatel::analysis::Token;
+using zatel::analysis::TokenKind;
+using zatel::analysis::TokenizeResult;
+
+std::vector<Token>
+tokensOfKind(const TokenizeResult &lexed, TokenKind kind)
+{
+    std::vector<Token> out;
+    for (const Token &token : lexed.tokens) {
+        if (token.kind == kind)
+            out.push_back(token);
+    }
+    return out;
+}
+
+TEST(AnalysisTokenizer, SplitsIdentifiersPunctsAndNumbers)
+{
+    TokenizeResult lexed =
+        zatel::analysis::tokenize("x += foo(1.5e-3, 0xFFu);");
+    std::vector<std::string> texts;
+    for (const Token &token : lexed.tokens)
+        texts.push_back(token.text);
+    const std::vector<std::string> expected = {
+        "x", "+=", "foo", "(", "1.5e-3", ",", "0xFFu", ")", ";"};
+    EXPECT_EQ(texts, expected);
+    EXPECT_EQ(lexed.tokens[1].kind, TokenKind::Punct);
+    EXPECT_EQ(lexed.tokens[4].kind, TokenKind::Number);
+}
+
+TEST(AnalysisTokenizer, CommentsBecomeSingleTokens)
+{
+    TokenizeResult lexed = zatel::analysis::tokenize(
+        "int a; // trailing std::rand()\n"
+        "/* block\n   spanning == 1.0 lines */ int b;\n");
+    const auto comments = tokensOfKind(lexed, TokenKind::Comment);
+    ASSERT_EQ(comments.size(), 2u);
+    EXPECT_NE(comments[0].text.find("std::rand()"), std::string::npos);
+    EXPECT_EQ(comments[1].line, 2u);
+    // The identifiers survive around them.
+    const auto idents = tokensOfKind(lexed, TokenKind::Identifier);
+    ASSERT_EQ(idents.size(), 4u);
+    EXPECT_EQ(idents[3].text, "b");
+}
+
+TEST(AnalysisTokenizer, RawStringsSwallowCommentMarkers)
+{
+    TokenizeResult lexed = zatel::analysis::tokenize(
+        "const char *s = R\"(not // a comment \" either)\";\n"
+        "int after = 1;\n");
+    EXPECT_TRUE(tokensOfKind(lexed, TokenKind::Comment).empty());
+    ASSERT_EQ(tokensOfKind(lexed, TokenKind::RawString).size(), 1u);
+    // Tokenization resumes correctly after the raw string.
+    const auto idents = tokensOfKind(lexed, TokenKind::Identifier);
+    ASSERT_FALSE(idents.empty());
+    EXPECT_EQ(idents.back().text, "after");
+}
+
+TEST(AnalysisTokenizer, ScrubbedLinesEmptyLiteralsAndDropComments)
+{
+    SourceFile file = SourceFile::fromString(
+        "src/x.cc",
+        "int a = 1; // std::rand() here\n"
+        "const char *s = \"time(nullptr) == 1.0\";\n");
+    ASSERT_GE(file.scrubbed().size(), 2u);
+    EXPECT_EQ(file.scrubbed()[0].find("rand"), std::string::npos);
+    EXPECT_EQ(file.scrubbed()[1].find("time("), std::string::npos);
+    // Code outside the literal survives at its position.
+    EXPECT_NE(file.scrubbed()[1].find("const char"), std::string::npos);
+    EXPECT_NE(file.scrubbed()[1].find("\"\""), std::string::npos);
+}
+
+TEST(AnalysisTokenizer, DirectivesCarryIncludeTargets)
+{
+    TokenizeResult lexed = zatel::analysis::tokenize(
+        "#include <vector>\n"
+        "#include \"gpusim/cache.hh\"\n"
+        "#ifndef GUARD_HH\n");
+    ASSERT_EQ(lexed.directives.size(), 3u);
+    EXPECT_EQ(lexed.directives[0].name, "include");
+    EXPECT_TRUE(lexed.directives[0].systemInclude);
+    EXPECT_EQ(lexed.directives[0].argument, "vector");
+    EXPECT_FALSE(lexed.directives[1].systemInclude);
+    EXPECT_EQ(lexed.directives[1].argument, "gpusim/cache.hh");
+    EXPECT_EQ(lexed.directives[2].name, "ifndef");
+    EXPECT_EQ(lexed.directives[2].argument, "GUARD_HH");
+}
+
+TEST(AnalysisTokenizer, SuppressionParsing)
+{
+    SourceFile file = SourceFile::fromString(
+        "src/x.cc",
+        "// zatel-lint: allow(float-eq): seeded fixture compare\n"
+        "int a = 1;\n"
+        "int b = 2; // zatel-lint: allow(nondet-rand): same line\n"
+        "// zatel-lint: allow(): broken\n"
+        "// docs may mention zatel-lint: allow(rule): mid-comment\n");
+    ASSERT_EQ(file.suppressions().size(), 3u);
+    EXPECT_EQ(file.suppressions()[0].rule, "float-eq");
+    EXPECT_TRUE(file.suppressions()[0].standalone);
+    EXPECT_FALSE(file.suppressions()[1].standalone);
+    EXPECT_TRUE(file.suppressions()[2].malformed);
+    // Standalone comments cover the next line; inline ones only theirs.
+    EXPECT_TRUE(file.suppresses("float-eq", 1));
+    EXPECT_TRUE(file.suppresses("float-eq", 2));
+    EXPECT_FALSE(file.suppresses("float-eq", 3));
+    EXPECT_TRUE(file.suppresses("nondet-rand", 3));
+    EXPECT_FALSE(file.suppresses("nondet-rand", 4));
+}
+
+TEST(AnalysisTokenizer, IncludeGraphResolvesAndPairs)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/gpusim/cache.cc", "#include \"gpusim/cache.hh\"\n"));
+    files.push_back(SourceFile::fromString(
+        "src/gpusim/cache.hh", "#include \"util/logging.hh\"\n"));
+    files.push_back(
+        SourceFile::fromString("src/util/logging.hh", "int x;\n"));
+    const auto graph = zatel::analysis::IncludeGraph::build(files);
+    EXPECT_EQ(graph.pairedHeader("src/gpusim/cache.cc"),
+              "src/gpusim/cache.hh");
+    const auto reachable = graph.reachableIncludes("src/gpusim/cache.cc");
+    EXPECT_TRUE(reachable.count("src/gpusim/cache.hh"));
+    EXPECT_TRUE(reachable.count("src/util/logging.hh"));
+    ASSERT_EQ(graph.includedBy("src/util/logging.hh").size(), 1u);
+}
+
+TEST(AnalysisTokenizer, LiteralsCannotTriggerRegexRules)
+{
+    Analyzer analyzer;
+    analyzer.addFile(SourceFile::fromString(
+        "src/gpusim/strings.cc",
+        "// std::rand() and x == 1.0 in a comment\n"
+        "const char *kDoc = \"std::rand() time(nullptr)\";\n"
+        "const char *kRaw = R\"(sleep_for // == 2.0)\";\n"));
+    const AnalysisResult result = analyzer.run();
+    EXPECT_TRUE(result.findings.empty())
+        << result.findings[0].rule << " at line "
+        << result.findings[0].line;
+}
+
+TEST(AnalysisTokenizer, RealViolationsStillFire)
+{
+    Analyzer analyzer;
+    analyzer.addFile(SourceFile::fromString(
+        "src/gpusim/dirty.cc", "int seed = std::rand();\n"));
+    const AnalysisResult result = analyzer.run();
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].rule, "nondet-rand");
+    EXPECT_EQ(result.findings[0].line, 1u);
+}
+
+TEST(AnalysisTokenizer, JsonOutputParsesAndCarriesFindings)
+{
+    Analyzer analyzer;
+    analyzer.addFile(SourceFile::fromString(
+        "src/gpusim/dirty.cc", "int seed = std::rand();\n"));
+    const AnalysisResult result = analyzer.run();
+    const zatel::obs::JsonValue doc =
+        zatel::obs::parseJson(Analyzer::formatJson(result));
+    EXPECT_EQ(doc.at("tool").stringValue, "zatel-lint");
+    ASSERT_EQ(doc.at("findings").arrayValue.size(), 1u);
+    const auto &finding = doc.at("findings").arrayValue[0];
+    EXPECT_EQ(finding.at("rule").stringValue, "nondet-rand");
+    EXPECT_EQ(finding.at("line").numberValue, 1.0);
+}
+
+TEST(AnalysisTokenizer, SarifOutputParsesWithRuleCatalog)
+{
+    Analyzer analyzer;
+    analyzer.addFile(SourceFile::fromString(
+        "src/gpusim/dirty.cc", "int seed = std::rand();\n"));
+    const AnalysisResult result = analyzer.run();
+    const zatel::obs::JsonValue doc =
+        zatel::obs::parseJson(Analyzer::formatSarif(result));
+    EXPECT_EQ(doc.at("version").stringValue, "2.1.0");
+    ASSERT_EQ(doc.at("runs").arrayValue.size(), 1u);
+    const auto &run = doc.at("runs").arrayValue[0];
+    const auto &rules =
+        run.at("tool").at("driver").at("rules").arrayValue;
+    // 13 catalog rules + 2 suppression meta-rules.
+    EXPECT_EQ(rules.size(), 15u);
+    const auto &results = run.at("results").arrayValue;
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].at("ruleId").stringValue, "nondet-rand");
+    const auto &location = results[0].at("locations").arrayValue[0];
+    EXPECT_EQ(location.at("physicalLocation")
+                  .at("artifactLocation")
+                  .at("uri")
+                  .stringValue,
+              "src/gpusim/dirty.cc");
+}
+
+TEST(AnalysisTokenizer, SuppressionLifecycleMetaRules)
+{
+    Analyzer analyzer;
+    analyzer.addFile(SourceFile::fromString(
+        "src/gpusim/sup.cc",
+        "// zatel-lint: allow(nondet-rand): fixture uses wall clock\n"
+        "int seed = std::rand();\n"
+        "// zatel-lint: allow(float-eq): stale\n"
+        "int other = 0;\n"));
+    const AnalysisResult result = analyzer.run();
+    EXPECT_EQ(result.suppressedCount, 1u);
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].rule, "unused-suppression");
+    EXPECT_EQ(result.findings[0].line, 3u);
+}
+
+} // namespace

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Units for the lock-order analysis: the LockGraph data structure
+ * (edge merging, self-edges, cycle detection) and end-to-end
+ * inversion detection through the Analyzer on in-memory translation
+ * units, including the regressions that keep the walker honest --
+ * unlock() tracking and the lambda deferred-body barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/lock_graph.hh"
+#include "analysis/source_file.hh"
+
+namespace
+{
+
+using zatel::analysis::AnalysisResult;
+using zatel::analysis::Analyzer;
+using zatel::analysis::Finding;
+using zatel::analysis::LockGraph;
+using zatel::analysis::LockSite;
+using zatel::analysis::SourceFile;
+
+LockSite
+site(const std::string &file, size_t line)
+{
+    return LockSite{file, line, "f"};
+}
+
+TEST(LockGraph, EdgesMergeSitesAndSortDeterministically)
+{
+    LockGraph graph;
+    graph.addEdge("B", "C", site("x.cc", 10));
+    graph.addEdge("A", "B", site("x.cc", 5));
+    graph.addEdge("A", "B", site("y.cc", 7));
+    const auto edges = graph.edges();
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0].from, "A");
+    EXPECT_EQ(edges[0].to, "B");
+    ASSERT_EQ(edges[0].sites.size(), 2u);
+    EXPECT_EQ(edges[1].from, "B");
+}
+
+TEST(LockGraph, SelfEdgeIsNotACycle)
+{
+    LockGraph graph;
+    graph.addEdge("M", "M", site("x.cc", 3));
+    const auto self = graph.selfEdges();
+    ASSERT_EQ(self.size(), 1u);
+    EXPECT_EQ(self[0].from, "M");
+    EXPECT_TRUE(graph.cycles().empty());
+}
+
+TEST(LockGraph, TwoNodeCycleAcrossFilesIsDetected)
+{
+    LockGraph graph;
+    graph.addEdge("A", "B", site("one.cc", 12));
+    graph.addEdge("B", "A", site("two.cc", 34));
+    const auto cycles = graph.cycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    ASSERT_EQ(cycles[0].nodes.size(), 2u);
+    EXPECT_EQ(cycles[0].nodes[0], "A");
+    EXPECT_EQ(cycles[0].nodes[1], "B");
+    ASSERT_EQ(cycles[0].edges.size(), 2u);
+}
+
+TEST(LockGraph, ThreeNodeCycleAndAcyclicChordCoexist)
+{
+    LockGraph graph;
+    graph.addEdge("A", "B", site("x.cc", 1));
+    graph.addEdge("B", "C", site("x.cc", 2));
+    graph.addEdge("C", "A", site("x.cc", 3));
+    graph.addEdge("A", "D", site("x.cc", 4)); // D is outside the SCC.
+    const auto cycles = graph.cycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0].nodes.size(), 3u);
+    for (const auto &edge : cycles[0].edges)
+        EXPECT_NE(edge.to, "D");
+}
+
+TEST(LockGraph, AcyclicGraphReportsNothing)
+{
+    LockGraph graph;
+    graph.addEdge("A", "B", site("x.cc", 1));
+    graph.addEdge("B", "C", site("x.cc", 2));
+    graph.addEdge("A", "C", site("x.cc", 3));
+    EXPECT_TRUE(graph.cycles().empty());
+    EXPECT_TRUE(graph.selfEdges().empty());
+}
+
+// --- End-to-end through the Analyzer on in-memory files. ------------
+
+const char *kRegistryHeader =
+    "#ifndef ZATEL_SERVICE_REG_HH\n"
+    "#define ZATEL_SERVICE_REG_HH\n"
+    "#include <mutex>\n"
+    "namespace zatel::service\n"
+    "{\n"
+    "class Registry\n"
+    "{\n"
+    "  public:\n"
+    "    void recordHit();\n"
+    "    void flush();\n"
+    "  private:\n"
+    "    std::mutex tableMutex_;\n"
+    "    std::mutex statsMutex_;\n"
+    "};\n"
+    "} // namespace zatel::service\n"
+    "#endif // ZATEL_SERVICE_REG_HH\n";
+
+AnalysisResult
+analyze(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    Analyzer analyzer;
+    for (const auto &entry : files)
+        analyzer.addFile(SourceFile::fromString(entry.first, entry.second));
+    return analyzer.run();
+}
+
+std::vector<Finding>
+findingsFor(const AnalysisResult &result, const std::string &rule)
+{
+    std::vector<Finding> out;
+    for (const Finding &finding : result.findings) {
+        if (finding.rule == rule)
+            out.push_back(finding);
+    }
+    return out;
+}
+
+TEST(LockOrderEndToEnd, CrossFileInversionIsReportedAtBothSites)
+{
+    const AnalysisResult result = analyze({
+        {"src/service/reg.hh", kRegistryHeader},
+        {"src/service/reg_hit.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::recordHit()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+        {"src/service/reg_flush.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::flush()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    const auto inversions = findingsFor(result, "lock-order");
+    ASSERT_EQ(inversions.size(), 2u) << Analyzer::formatText(result);
+    EXPECT_EQ(inversions[0].line, 9u);
+    EXPECT_EQ(inversions[1].line, 9u);
+    EXPECT_NE(inversions[0].message.find("inversion"), std::string::npos);
+    EXPECT_NE(inversions[0].message.find("Registry::statsMutex_"),
+              std::string::npos);
+    // Nothing but the inversion fires on these files.
+    EXPECT_EQ(result.findings.size(), inversions.size())
+        << Analyzer::formatText(result);
+}
+
+TEST(LockOrderEndToEnd, ConsistentOrderAcrossFilesIsClean)
+{
+    const AnalysisResult result = analyze({
+        {"src/service/reg.hh", kRegistryHeader},
+        {"src/service/reg_hit.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::recordHit()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "}\n"
+         "void\n"
+         "Registry::flush()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    EXPECT_TRUE(result.findings.empty()) << Analyzer::formatText(result);
+}
+
+TEST(LockOrderEndToEnd, SelfDeadlockIsReported)
+{
+    const AnalysisResult result = analyze({
+        {"src/service/reg.hh", kRegistryHeader},
+        {"src/service/reg_hit.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::recordHit()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> outer(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> inner(tableMutex_);\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    const auto findings = findingsFor(result, "lock-order");
+    ASSERT_EQ(findings.size(), 1u) << Analyzer::formatText(result);
+    EXPECT_EQ(findings[0].line, 9u);
+    EXPECT_NE(findings[0].message.find("self-deadlock"),
+              std::string::npos);
+}
+
+TEST(LockOrderEndToEnd, UnlockBreaksTheHeldSet)
+{
+    // rotate() releases statsMutex_ before taking tableMutex_, so no
+    // stats -> table edge exists and recordHit()'s table -> stats
+    // order cannot close a cycle.
+    const AnalysisResult result = analyze({
+        {"src/service/reg.hh", kRegistryHeader},
+        {"src/service/reg_hit.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::recordHit()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "}\n"
+         "void\n"
+         "Registry::flush()\n"
+         "{\n"
+         "    std::unique_lock<std::mutex> stats(statsMutex_);\n"
+         "    stats.unlock();\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    EXPECT_TRUE(findingsFor(result, "lock-order").empty())
+        << Analyzer::formatText(result);
+}
+
+TEST(LockOrderEndToEnd, LambdaBodyDoesNotInheritHeldLocks)
+{
+    // The deferred body runs on another thread later; if the walker
+    // leaked the held set into it, stats -> table would close a cycle
+    // against recordHit()'s blessed table -> stats order.
+    const AnalysisResult result = analyze({
+        {"src/service/reg.hh", kRegistryHeader},
+        {"src/service/reg_hit.cc",
+         "#include <mutex>\n"
+         "#include \"service/reg.hh\"\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "void\n"
+         "Registry::recordHit()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "}\n"
+         "void\n"
+         "Registry::flush()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> stats(statsMutex_);\n"
+         "    submit([this] {\n"
+         "        std::lock_guard<std::mutex> table(tableMutex_);\n"
+         "    });\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    EXPECT_TRUE(findingsFor(result, "lock-order").empty())
+        << Analyzer::formatText(result);
+}
+
+TEST(LockOrderEndToEnd, GuardedFieldCatchesBareWrite)
+{
+    const AnalysisResult result = analyze({
+        {"src/service/tally.cc",
+         "#include <mutex>\n"
+         "namespace zatel::service\n"
+         "{\n"
+         "class Tally\n"
+         "{\n"
+         "  public:\n"
+         "    void add();\n"
+         "    void reset();\n"
+         "  private:\n"
+         "    std::mutex mu_;\n"
+         "    int count_ = 0;\n"
+         "};\n"
+         "void\n"
+         "Tally::add()\n"
+         "{\n"
+         "    std::lock_guard<std::mutex> lk(mu_);\n"
+         "    count_ += 1;\n"
+         "}\n"
+         "void\n"
+         "Tally::reset()\n"
+         "{\n"
+         "    count_ = 0;\n"
+         "}\n"
+         "} // namespace zatel::service\n"},
+    });
+    const auto findings = findingsFor(result, "guarded-field");
+    ASSERT_EQ(findings.size(), 1u) << Analyzer::formatText(result);
+    EXPECT_EQ(findings[0].line, 22u);
+    EXPECT_NE(findings[0].message.find("count_"), std::string::npos);
+}
+
+} // namespace

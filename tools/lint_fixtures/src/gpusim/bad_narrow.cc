@@ -1,0 +1,19 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// Implicit 64->32 narrowing of a hot-path value; an explicit mask,
+// static_cast, or a call boundary stays clean.
+#include <cstdint>
+
+namespace zatel::gpusim
+{
+
+uint32_t
+foldAddress(uint64_t line_addr)
+{
+    uint32_t folded = line_addr; // EXPECT: narrowing-cast-hotpath
+    uint32_t masked = line_addr & 0xffffu;
+    uint32_t cast = static_cast<uint32_t>(line_addr);
+    uint32_t hashed = hashOf(line_addr);
+    return folded + masked + cast + hashed;
+}
+
+} // namespace zatel::gpusim

@@ -1,0 +1,22 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// An ordered container keyed on a raw pointer sorts by allocation
+// address; a pointer as the mapped value is fine.
+#include <cstdint>
+#include <map>
+
+namespace zatel::gpusim
+{
+
+struct Way;
+
+std::map<Way *, int> rank; // EXPECT: nondet-pointer-key
+std::map<uint64_t, Way *> byAddr;
+
+void
+scanWays()
+{
+    for (const auto &entry : byAddr)
+        (void)entry;
+}
+
+} // namespace zatel::gpusim

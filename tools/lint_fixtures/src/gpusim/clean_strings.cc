@@ -1,0 +1,14 @@
+// Fixture for zatel-lint --self-test: rule triggers inside comments
+// and literals must never fire. This mentions std::rand(), x == 1.0,
+// and sleep_for right here in a comment.
+#include <string>
+
+namespace zatel::gpusim
+{
+
+/* std::random_device in a block comment is not a finding */
+const char *kDoc = "call std::rand() then compare x == 0.5";
+const char *kRaw = R"(std::this_thread::sleep_for(ms) // not code)";
+const char *kPath = "time(nullptr) inside a string literal";
+
+} // namespace zatel::gpusim

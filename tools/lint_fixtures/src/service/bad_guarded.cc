@@ -1,0 +1,42 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// count_ is written under mu_ in add() but bare in reset(); the
+// *Locked(std::unique_lock&) convention marks a function that runs
+// entirely under its caller's guard and stays clean.
+#include <mutex>
+
+namespace zatel::service
+{
+
+class Tally
+{
+  public:
+    void add();
+    void reset();
+    void resetLocked(std::unique_lock<std::mutex> &lk);
+
+  private:
+    std::mutex mu_;
+    long count_ = 0;
+};
+
+void
+Tally::add()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    count_ += 1;
+}
+
+void
+Tally::reset()
+{
+    count_ = 0; // EXPECT: guarded-field
+}
+
+void
+Tally::resetLocked(std::unique_lock<std::mutex> &lk)
+{
+    count_ = 0;
+    (void)lk;
+}
+
+} // namespace zatel::service

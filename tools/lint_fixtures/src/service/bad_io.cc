@@ -1,0 +1,26 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// dumpSnapshot() opens a file with no fault-injection site in reach;
+// loadSnapshot() registers one and stays clean.
+#include <fstream>
+#include <string>
+
+namespace zatel::service
+{
+
+bool
+dumpSnapshot(const std::string &path)
+{
+    std::ofstream out(path); // EXPECT: fault-site-coverage
+    out << "snapshot";
+    return static_cast<bool>(out);
+}
+
+bool
+loadSnapshot(const std::string &path)
+{
+    ZATEL_INJECT_FAULT("snapshot.load");
+    std::ifstream in(path);
+    return static_cast<bool>(in);
+}
+
+} // namespace zatel::service

@@ -1,0 +1,24 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// Re-acquiring a held non-recursive mutex is a self-deadlock.
+#include <mutex>
+
+namespace zatel::service
+{
+
+class Replayer
+{
+  public:
+    void replay();
+
+  private:
+    std::mutex mu_;
+};
+
+void
+Replayer::replay()
+{
+    std::lock_guard<std::mutex> outer(mu_);
+    std::lock_guard<std::mutex> inner(mu_); // EXPECT: lock-order
+}
+
+} // namespace zatel::service

@@ -1,0 +1,24 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// A raw sleep on a worker path stalls the pool; the sanctioned backoff
+// helper stays clean.
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace zatel::service
+{
+
+void
+napBetweenRetries()
+{
+    std::this_thread::sleep_for( // EXPECT: blocking-in-task
+        std::chrono::milliseconds(5));
+}
+
+void
+paceBetweenRetries(uint32_t attempt)
+{
+    retryBackoffSleep(attempt);
+}
+
+} // namespace zatel::service

@@ -1,0 +1,19 @@
+// Fixture for zatel-lint --self-test: one half of a cross-file
+// lock-order inversion. This TU locks tableMutex_ before statsMutex_;
+// lock_inversion_b.cc locks them in the opposite order, and only the
+// merged project-wide graph can see the cycle.
+#include <mutex>
+
+#include "service/locks.hh"
+
+namespace zatel::service
+{
+
+void
+Registry::recordHit()
+{
+    std::lock_guard<std::mutex> table(tableMutex_);
+    std::lock_guard<std::mutex> stats(statsMutex_); // EXPECT: lock-order
+}
+
+} // namespace zatel::service

@@ -1,0 +1,17 @@
+// Fixture for zatel-lint --self-test: the other half of the cross-file
+// lock-order inversion seeded in lock_inversion_a.cc.
+#include <mutex>
+
+#include "service/locks.hh"
+
+namespace zatel::service
+{
+
+void
+Registry::flush()
+{
+    std::lock_guard<std::mutex> stats(statsMutex_);
+    std::lock_guard<std::mutex> table(tableMutex_); // EXPECT: lock-order
+}
+
+} // namespace zatel::service

@@ -1,0 +1,23 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+#ifndef ZATEL_SERVICE_LOCKS_HH
+#define ZATEL_SERVICE_LOCKS_HH
+
+#include <mutex>
+
+namespace zatel::service
+{
+
+class Registry
+{
+  public:
+    void recordHit();
+    void flush();
+
+  private:
+    std::mutex tableMutex_;
+    std::mutex statsMutex_;
+};
+
+} // namespace zatel::service
+
+#endif // ZATEL_SERVICE_LOCKS_HH

@@ -1,0 +1,49 @@
+// Fixture for zatel-lint --self-test: lock patterns that must stay
+// finding-free. acquireBoth() fixes the blessed order b -> c; rotate()
+// releases its guard before taking the next mutex (no edge, otherwise
+// c -> b would close a cycle); queueRefresh() hands a lambda to a pool
+// while holding cMutex_ -- the deferred body runs on another thread
+// later, so it must not inherit the held set (otherwise its bMutex_
+// acquisition would also close the cycle).
+#include <mutex>
+
+namespace zatel::service
+{
+
+class Ledger
+{
+  public:
+    void acquireBoth();
+    void rotate();
+    void queueRefresh();
+
+  private:
+    std::mutex bMutex_;
+    std::mutex cMutex_;
+};
+
+void
+Ledger::acquireBoth()
+{
+    std::lock_guard<std::mutex> first(bMutex_);
+    std::lock_guard<std::mutex> second(cMutex_);
+}
+
+void
+Ledger::rotate()
+{
+    std::unique_lock<std::mutex> lk(cMutex_);
+    lk.unlock();
+    std::lock_guard<std::mutex> next(bMutex_);
+}
+
+void
+Ledger::queueRefresh()
+{
+    std::lock_guard<std::mutex> hold(cMutex_);
+    submit([this] {
+        std::lock_guard<std::mutex> deferred(bMutex_);
+    });
+}
+
+} // namespace zatel::service

@@ -1,0 +1,26 @@
+// Fixture for zatel-lint --self-test: inline suppression behaviour.
+// tickerLoop()'s allow comment must silence the sleep finding; the
+// three comments in sloppy() are a missing rule id, an unknown rule
+// id, and a suppression that matches nothing.
+#include <chrono>
+#include <thread>
+
+namespace zatel::service
+{
+
+void
+tickerLoop()
+{
+    // zatel-lint: allow(blocking-in-task): fixture duty-cycle sleep
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void
+sloppy()
+{
+    // zatel-lint: allow(): missing id // EXPECT: bad-suppression
+    // zatel-lint: allow(no-such-rule): typo // EXPECT: bad-suppression
+    // zatel-lint: allow(float-eq): stale // EXPECT: unused-suppression
+}
+
+} // namespace zatel::service

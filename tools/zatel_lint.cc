@@ -1,507 +1,42 @@
 /**
  * @file
- * zatel-lint: a simulator-specific static-analysis tool.
+ * zatel-lint: CLI front-end for the src/analysis rule engine.
  *
- * Encodes Zatel invariants that generic linters cannot know. The headline
- * claim of the paper (<= 4.5% cycle error at 49x speedup) only holds if the
- * K concurrent downscaled simulator instances are bit-deterministic, so the
- * rules below ban nondeterminism sources from simulation paths and enforce
- * the defensive hygiene the determinism harness relies on:
+ * The rules themselves -- tokenizer, include graph, lock-order graph,
+ * and the full catalog -- live in src/analysis/ (see
+ * docs/CORRECTNESS.md for the catalog and the suppression policy).
+ * This file only parses arguments, loads the file set, and renders
+ * the result:
  *
- *   nondet-rand           std::rand / srand / random_device / time( on any
- *                         path under src/ except the seeded RNG itself
- *                         (src/util/rng.cc) and the wall-clock timer.
- *   nondet-unordered-iter iteration (range-for or .begin()) over a
- *                         std::unordered_map/set in src/gpusim/ or
- *                         src/zatel/ -- iteration order is
- *                         implementation-defined and feeds Stats.
- *   uninit-field          scalar or pointer data member without a member
- *                         initializer in a src/gpusim header.
- *   float-eq              == / != against a floating-point literal outside
- *                         test files.
- *   assert-free-entry     public mutating entry point (run/tick/access/...,
- *                         plus beginSpan/endSpan/observe) in a src/gpusim
- *                         or src/obs translation unit whose body contains
- *                         no ZATEL_ASSERT.
- *   header-guard          #ifndef guard not derived from the header path
- *                         (src/a/b.hh -> ZATEL_A_B_HH).
- *   include-order         .cc does not include its own header first, or
- *                         mixes <system> includes after "project" ones.
+ *   zatel-lint [--root DIR] [paths...]   scan src/ (or paths) for findings
+ *   --allowlist FILE                     legacy "path:rule-id" exemptions
+ *   --json                               machine-readable findings to stdout
+ *   --sarif FILE                         write SARIF 2.1.0 to FILE
+ *   --list-rules                         print the rule catalog and exit
+ *   --self-test                          run against EXPECT-annotated
+ *                                        fixtures under --root
  *
- * Findings print as "file:line: rule-id message" and make the process exit
- * nonzero unless matched by the allowlist (--allowlist FILE, lines of
- * "path:rule-id"). --self-test mode checks the tool against annotated
- * fixtures carrying "// EXPECT: rule-id" comments.
+ * Exit codes: 0 clean, 1 findings, 2 usage/setup error.
  */
 
-#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hh"
+
 namespace fs = std::filesystem;
+using zatel::analysis::AnalysisResult;
+using zatel::analysis::Analyzer;
+using zatel::analysis::AnalyzerOptions;
+using zatel::analysis::Rule;
 
 namespace
 {
-
-struct Finding
-{
-    std::string file; ///< Path relative to the scan root, '/' separators.
-    size_t line = 0;  ///< 1-based.
-    std::string rule;
-    std::string message;
-};
-
-struct FileUnit
-{
-    std::string relPath;
-    std::vector<std::string> lines;
-};
-
-bool
-startsWith(const std::string &text, const std::string &prefix)
-{
-    return text.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &text, const std::string &suffix)
-{
-    return text.size() >= suffix.size() &&
-           text.compare(text.size() - suffix.size(), suffix.size(),
-                        suffix) == 0;
-}
-
-std::string
-trimLeft(const std::string &text)
-{
-    size_t i = 0;
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
-        ++i;
-    return text.substr(i);
-}
-
-/** True for lines that are (likely) pure comment text. */
-bool
-isCommentLine(const std::string &line)
-{
-    std::string t = trimLeft(line);
-    return startsWith(t, "//") || startsWith(t, "*") || startsWith(t, "/*");
-}
-
-/** Strip a trailing // comment (naive: ignores // inside strings). */
-std::string
-stripLineComment(const std::string &line)
-{
-    size_t pos = line.find("//");
-    return pos == std::string::npos ? line : line.substr(0, pos);
-}
-
-bool
-isTestFile(const std::string &rel)
-{
-    return rel.find("tests/") != std::string::npos ||
-           startsWith(fs::path(rel).filename().string(), "test_");
-}
-
-// ---------------------------------------------------------------------------
-// Rule: nondet-rand
-// ---------------------------------------------------------------------------
-
-void
-checkNondetRand(const FileUnit &unit, std::vector<Finding> &findings)
-{
-    // The seeded RNG and the wall-clock timer are the two sanctioned
-    // sources; everything else under src/ must stay deterministic.
-    if (endsWith(unit.relPath, "src/util/rng.cc") ||
-        endsWith(unit.relPath, "src/util/timer.hh"))
-        return;
-    static const std::regex pattern(
-        R"((\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|\bstd::random_device\b|\brandom_device\b|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)))");
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        if (isCommentLine(unit.lines[i]))
-            continue;
-        if (std::regex_search(stripLineComment(unit.lines[i]), pattern)) {
-            findings.push_back(
-                {unit.relPath, i + 1, "nondet-rand",
-                 "nondeterminism source on a simulation path; draw from "
-                 "the seeded zatel::Rng (src/util/rng.cc) instead"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: nondet-unordered-iter
-// ---------------------------------------------------------------------------
-
-void
-checkUnorderedIteration(const FileUnit &unit, const FileUnit *pairedHeader,
-                        std::vector<Finding> &findings)
-{
-    if (unit.relPath.find("src/gpusim/") == std::string::npos &&
-        unit.relPath.find("src/zatel/") == std::string::npos)
-        return;
-
-    // Collect the names of unordered containers declared in this file and
-    // in the paired header (members used from the .cc).
-    static const std::regex decl(
-        R"(unordered_(?:map|set)\s*<[^;{]*>\s*(\w+)\s*[;{=])");
-    std::set<std::string> names;
-    auto collect = [&names](const FileUnit &f) {
-        for (const std::string &line : f.lines) {
-            std::smatch m;
-            std::string code = stripLineComment(line);
-            if (std::regex_search(code, m, decl))
-                names.insert(m[1].str());
-        }
-    };
-    collect(unit);
-    if (pairedHeader)
-        collect(*pairedHeader);
-    if (names.empty())
-        return;
-
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        if (isCommentLine(unit.lines[i]))
-            continue;
-        std::string code = stripLineComment(unit.lines[i]);
-        for (const std::string &name : names) {
-            bool rangeFor =
-                std::regex_search(code, std::regex(R"(for\s*\([^)]*:\s*)" +
-                                                   name + R"(\s*\))"));
-            bool beginIter =
-                code.find(name + ".begin()") != std::string::npos ||
-                code.find(name + ".cbegin()") != std::string::npos;
-            if (rangeFor || beginIter) {
-                findings.push_back(
-                    {unit.relPath, i + 1, "nondet-unordered-iter",
-                     "iterating '" + name +
-                         "' (std::unordered_*) on a Stats-feeding path; "
-                         "iteration order is implementation-defined -- use "
-                         "an ordered container or sort first"});
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: uninit-field
-// ---------------------------------------------------------------------------
-
-void
-checkUninitFields(const FileUnit &unit, std::vector<Finding> &findings)
-{
-    if (unit.relPath.find("src/gpusim/") == std::string::npos ||
-        !endsWith(unit.relPath, ".hh"))
-        return;
-    // Scalar members: "    uint32_t name_;" with no "= init".
-    static const std::regex scalar(
-        R"(^\s+(?:u?int(?:8|16|32|64)_t|int|long|short|bool|float|double|size_t|char)\s+(\w+)\s*;\s*$)");
-    // Raw-pointer members: "    Type *name_;" with no "= init".
-    static const std::regex pointer(
-        R"(^\s+(?:const\s+)?\w[\w:]*\s*\*\s*(\w+)\s*;\s*$)");
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        if (isCommentLine(unit.lines[i]))
-            continue;
-        std::string code = stripLineComment(unit.lines[i]);
-        std::smatch m;
-        if (std::regex_match(code, m, scalar) ||
-            std::regex_match(code, m, pointer)) {
-            findings.push_back(
-                {unit.relPath, i + 1, "uninit-field",
-                 "field '" + m[1].str() +
-                     "' has no member initializer; an uninitialized "
-                     "counter silently corrupts Stats"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: float-eq
-// ---------------------------------------------------------------------------
-
-void
-checkFloatEquality(const FileUnit &unit, std::vector<Finding> &findings)
-{
-    if (isTestFile(unit.relPath))
-        return;
-    // == / != with a float literal on either side.
-    static const std::regex right(
-        R"((==|!=)\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)[fFlL]?\b)");
-    static const std::regex left(
-        R"([-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)[fFlL]?\s*(==|!=))");
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        if (isCommentLine(unit.lines[i]))
-            continue;
-        std::string code = stripLineComment(unit.lines[i]);
-        if (std::regex_search(code, right) || std::regex_search(code, left)) {
-            findings.push_back(
-                {unit.relPath, i + 1, "float-eq",
-                 "exact floating-point comparison; use an epsilon or "
-                 "restructure around integers"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: assert-free-entry
-// ---------------------------------------------------------------------------
-
-void
-checkAssertFreeEntries(const FileUnit &unit, std::vector<Finding> &findings)
-{
-    if ((unit.relPath.find("src/gpusim/") == std::string::npos &&
-         unit.relPath.find("src/obs/") == std::string::npos) ||
-        !endsWith(unit.relPath, ".cc"))
-        return;
-    // Public mutating entry points of the simulator (and of the
-    // observability hot path, whose misuse -- unbalanced spans, NaN
-    // observations -- must abort rather than corrupt an export); each
-    // must carry at least one ZATEL_ASSERT so invariant violations
-    // abort instead of silently skewing statistics.
-    static const std::set<std::string> entryVerbs = {
-        "run",      "tick",       "access",   "fill",     "enqueue",
-        "request",  "launchWarp", "tryAdmit", "sendRead", "sendWrite",
-        "beginSpan", "endSpan",   "observe",
-    };
-    // House style puts the return type on its own line, so a definition's
-    // "Class::method(...)" starts in column 0.
-    static const std::regex defLine(R"(^[A-Za-z_][\w:]*::(\w+)\s*\()");
-
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        std::smatch m;
-        if (!std::regex_search(unit.lines[i], m, defLine))
-            continue;
-        const std::string method = m[1].str();
-        if (!entryVerbs.count(method))
-            continue;
-        // Join the signature until its closing line to detect const.
-        size_t j = i;
-        std::string signature;
-        while (j < unit.lines.size()) {
-            signature += unit.lines[j];
-            if (unit.lines[j].find('{') != std::string::npos ||
-                (j + 1 < unit.lines.size() && unit.lines[j + 1] == "{"))
-                break;
-            ++j;
-        }
-        if (signature.find(") const") != std::string::npos)
-            continue; // non-mutating
-        // Scan the body: from here to the first "}" in column 0.
-        bool hasAssert = false;
-        size_t k = j;
-        while (k < unit.lines.size() && unit.lines[k] != "}") {
-            if (unit.lines[k].find("ZATEL_ASSERT") != std::string::npos) {
-                hasAssert = true;
-                break;
-            }
-            ++k;
-        }
-        if (!hasAssert) {
-            findings.push_back(
-                {unit.relPath, i + 1, "assert-free-entry",
-                 "mutating entry point '" + method +
-                     "' has no ZATEL_ASSERT; simulator entry points must "
-                     "check their invariants"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: header-guard
-// ---------------------------------------------------------------------------
-
-std::string
-expectedGuard(const std::string &relPath)
-{
-    // src/gpusim/cache.hh -> ZATEL_GPUSIM_CACHE_HH
-    std::string tail = relPath;
-    if (startsWith(tail, "src/"))
-        tail = tail.substr(4);
-    std::string guard = "ZATEL_";
-    for (char c : tail) {
-        if (c == '/' || c == '.')
-            guard += '_';
-        else
-            guard += static_cast<char>(
-                std::toupper(static_cast<unsigned char>(c)));
-    }
-    return guard;
-}
-
-void
-checkHeaderGuard(const FileUnit &unit, std::vector<Finding> &findings)
-{
-    if (!endsWith(unit.relPath, ".hh"))
-        return;
-    const std::string expected = expectedGuard(unit.relPath);
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        std::string code = trimLeft(unit.lines[i]);
-        if (!startsWith(code, "#ifndef"))
-            continue;
-        std::istringstream iss(code);
-        std::string directive, macro;
-        iss >> directive >> macro;
-        if (macro != expected) {
-            findings.push_back({unit.relPath, i + 1, "header-guard",
-                                "guard '" + macro + "' should be '" +
-                                    expected + "' (derived from path)"});
-        }
-        // Only the first #ifndef is the guard.
-        return;
-    }
-    findings.push_back({unit.relPath, 1, "header-guard",
-                        "missing '#ifndef " + expected + "' include guard"});
-}
-
-// ---------------------------------------------------------------------------
-// Rule: include-order
-// ---------------------------------------------------------------------------
-
-void
-checkIncludeOrder(const FileUnit &unit, const fs::path &root,
-                  std::vector<Finding> &findings)
-{
-    if (!endsWith(unit.relPath, ".cc"))
-        return;
-
-    // Compute the expected own-header include, e.g. src/gpusim/cache.cc
-    // includes "gpusim/cache.hh".
-    std::string ownHeader;
-    fs::path headerPath = root / unit.relPath;
-    headerPath.replace_extension(".hh");
-    if (fs::exists(headerPath)) {
-        std::string rel = unit.relPath;
-        if (startsWith(rel, "src/"))
-            rel = rel.substr(4);
-        ownHeader = rel.substr(0, rel.size() - 3) + ".hh";
-    }
-
-    bool sawAnyInclude = false;
-    bool sawProjectInclude = false;
-    for (size_t i = 0; i < unit.lines.size(); ++i) {
-        std::string code = trimLeft(unit.lines[i]);
-        if (!startsWith(code, "#include"))
-            continue;
-        std::string target = code.substr(8);
-        target = trimLeft(target);
-        const bool system = !target.empty() && target[0] == '<';
-        std::string name;
-        if (target.size() > 2)
-            name = target.substr(1, target.find_first_of(">\"", 1) - 1);
-
-        if (!sawAnyInclude) {
-            sawAnyInclude = true;
-            if (!ownHeader.empty()) {
-                if (system || name != ownHeader) {
-                    findings.push_back(
-                        {unit.relPath, i + 1, "include-order",
-                         "first include must be the file's own header \"" +
-                             ownHeader + "\""});
-                }
-                continue; // own header does not count as project include
-            }
-        }
-        if (system && sawProjectInclude) {
-            findings.push_back(
-                {unit.relPath, i + 1, "include-order",
-                 "<system> include after a \"project\" include; keep all "
-                 "system includes in one leading block"});
-        }
-        if (!system)
-            sawProjectInclude = true;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-std::vector<std::string>
-readLines(const fs::path &path)
-{
-    std::vector<std::string> lines;
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        lines.push_back(line);
-    }
-    return lines;
-}
-
-std::string
-relativeSlashPath(const fs::path &path, const fs::path &root)
-{
-    std::string rel = fs::relative(path, root).generic_string();
-    return rel;
-}
-
-/** Collect every .cc/.hh under @p dir (sorted for deterministic output). */
-std::vector<fs::path>
-collectSources(const fs::path &dir)
-{
-    std::vector<fs::path> files;
-    if (!fs::exists(dir))
-        return files;
-    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
-        if (!entry.is_regular_file())
-            continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext == ".cc" || ext == ".hh")
-            files.push_back(entry.path());
-    }
-    std::sort(files.begin(), files.end());
-    return files;
-}
-
-std::vector<Finding>
-lintFiles(const std::vector<fs::path> &files, const fs::path &root)
-{
-    // Pre-load all units so .cc files can see their paired headers.
-    std::map<std::string, FileUnit> units;
-    for (const fs::path &file : files) {
-        FileUnit unit;
-        unit.relPath = relativeSlashPath(file, root);
-        unit.lines = readLines(file);
-        units.emplace(unit.relPath, std::move(unit));
-    }
-
-    std::vector<Finding> findings;
-    for (const auto &[rel, unit] : units) {
-        const FileUnit *paired = nullptr;
-        if (endsWith(rel, ".cc")) {
-            std::string headerRel = rel.substr(0, rel.size() - 3) + ".hh";
-            auto it = units.find(headerRel);
-            if (it != units.end())
-                paired = &it->second;
-        }
-        checkNondetRand(unit, findings);
-        checkUnorderedIteration(unit, paired, findings);
-        checkUninitFields(unit, findings);
-        checkFloatEquality(unit, findings);
-        checkAssertFreeEntries(unit, findings);
-        checkHeaderGuard(unit, findings);
-        checkIncludeOrder(unit, root, findings);
-    }
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
-    return findings;
-}
 
 /** Allowlist entries: "path:rule-id" (path relative to the scan root). */
 std::set<std::string>
@@ -515,7 +50,11 @@ readAllowlist(const fs::path &path)
     }
     std::string line;
     while (std::getline(in, line)) {
-        std::string t = trimLeft(line);
+        size_t begin = 0;
+        while (begin < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[begin])))
+            ++begin;
+        std::string t = line.substr(begin);
         if (t.empty() || t[0] == '#')
             continue;
         while (!t.empty() &&
@@ -526,87 +65,28 @@ readAllowlist(const fs::path &path)
     return allow;
 }
 
-/**
- * Self-test against fixtures annotated with "// EXPECT: rule-id" on the
- * violating line. Exit 0 iff each expectation matches exactly one finding
- * of that rule on that line and no unexpected findings remain.
- */
-int
-runSelfTest(const fs::path &root)
+void
+listRules()
 {
-    std::vector<fs::path> files = collectSources(root);
-    if (files.empty()) {
-        std::cerr << "zatel-lint --self-test: no fixtures under " << root
+    for (const Rule *rule : zatel::analysis::allRules())
+        std::cout << rule->id() << "\n    " << rule->description()
                   << "\n";
-        return 2;
-    }
-    std::vector<Finding> findings = lintFiles(files, root);
-
-    // Gather expectations.
-    struct Expectation
-    {
-        std::string file;
-        size_t line;
-        std::string rule;
-    };
-    std::vector<Expectation> expected;
-    for (const fs::path &file : files) {
-        std::vector<std::string> lines = readLines(file);
-        for (size_t i = 0; i < lines.size(); ++i) {
-            size_t pos = lines[i].find("// EXPECT:");
-            if (pos == std::string::npos)
-                continue;
-            std::istringstream iss(lines[i].substr(pos + 10));
-            std::string rule;
-            while (iss >> rule)
-                expected.push_back(
-                    {relativeSlashPath(file, root), i + 1, rule});
-        }
-    }
-
-    int failures = 0;
-    std::vector<bool> matched(findings.size(), false);
-    for (const Expectation &exp : expected) {
-        bool found = false;
-        for (size_t i = 0; i < findings.size(); ++i) {
-            if (!matched[i] && findings[i].file == exp.file &&
-                findings[i].line == exp.line && findings[i].rule == exp.rule) {
-                matched[i] = true;
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
-            std::cerr << "self-test: MISSING expected finding " << exp.file
-                      << ":" << exp.line << ": " << exp.rule << "\n";
-            ++failures;
-        }
-    }
-    for (size_t i = 0; i < findings.size(); ++i) {
-        if (!matched[i]) {
-            std::cerr << "self-test: UNEXPECTED finding " << findings[i].file
-                      << ":" << findings[i].line << ": " << findings[i].rule
-                      << " " << findings[i].message << "\n";
-            ++failures;
-        }
-    }
-    if (failures == 0) {
-        std::cout << "zatel-lint self-test: " << expected.size()
-                  << " expectations matched, no spurious findings\n";
-        return 0;
-    }
-    std::cerr << "zatel-lint self-test: " << failures << " mismatch(es)\n";
-    return 1;
+    std::cout << "bad-suppression\n    every 'zatel-lint: allow(rule): "
+                 "reason' names a known rule and carries a written "
+                 "reason\n"
+              << "unused-suppression\n    a suppression that matches no "
+                 "finding is stale and must be removed\n";
 }
 
 void
 usage()
 {
-    std::cerr
-        << "usage: zatel-lint [--root DIR] [--allowlist FILE] [--self-test]"
-           " [paths...]\n"
-           "  Scans src/ under --root (default: cwd) unless explicit paths"
-           " are given.\n";
+    std::cerr << "usage: zatel-lint [--root DIR] [--allowlist FILE] "
+                 "[--json] [--sarif FILE]\n"
+                 "                  [--list-rules] [--self-test] "
+                 "[paths...]\n"
+                 "  Scans src/ under --root (default: cwd) unless "
+                 "explicit paths are given.\n";
 }
 
 } // namespace
@@ -616,7 +96,9 @@ main(int argc, char **argv)
 {
     fs::path root = fs::current_path();
     fs::path allowlistPath;
+    fs::path sarifPath;
     bool selfTest = false;
+    bool json = false;
     std::vector<fs::path> explicitPaths;
 
     for (int i = 1; i < argc; ++i) {
@@ -625,12 +107,19 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--allowlist" && i + 1 < argc) {
             allowlistPath = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifPath = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--self-test") {
             selfTest = true;
+        } else if (arg == "--list-rules") {
+            listRules();
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
-        } else if (startsWith(arg, "--")) {
+        } else if (arg.rfind("--", 0) == 0) {
             usage();
             return 2;
         } else {
@@ -640,45 +129,51 @@ main(int argc, char **argv)
     root = fs::absolute(root);
 
     if (selfTest)
-        return runSelfTest(root);
+        return Analyzer::selfTest(root, std::cerr);
 
-    std::vector<fs::path> files;
+    Analyzer analyzer;
+    size_t loaded = 0;
     if (explicitPaths.empty()) {
-        files = collectSources(root / "src");
+        loaded = analyzer.addPath(root, root / "src");
     } else {
-        for (const fs::path &p : explicitPaths) {
-            fs::path abs = p.is_absolute() ? p : root / p;
-            if (fs::is_directory(abs)) {
-                for (fs::path &f : collectSources(abs))
-                    files.push_back(std::move(f));
-            } else {
-                files.push_back(abs);
-            }
-        }
-        std::sort(files.begin(), files.end());
+        for (const fs::path &p : explicitPaths)
+            loaded +=
+                analyzer.addPath(root, p.is_absolute() ? p : root / p);
+    }
+    if (loaded == 0) {
+        // A typo'd --root or path must not report "clean" and pass a
+        // CI gate green.
+        std::cerr << "zatel-lint: no sources found under "
+                  << (explicitPaths.empty() ? root / "src"
+                                            : explicitPaths.front())
+                  << "\n";
+        return 2;
     }
 
-    std::set<std::string> allow;
+    AnalyzerOptions options;
     if (!allowlistPath.empty())
-        allow = readAllowlist(allowlistPath);
+        options.allowlist = readAllowlist(allowlistPath);
 
-    std::vector<Finding> findings = lintFiles(files, root);
-    size_t reported = 0;
-    size_t allowed = 0;
-    for (const Finding &f : findings) {
-        if (allow.count(f.file + ":" + f.rule)) {
-            ++allowed;
-            continue;
+    const AnalysisResult result = analyzer.run(options);
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath);
+        if (!out) {
+            std::cerr << "zatel-lint: cannot write " << sarifPath
+                      << "\n";
+            return 2;
         }
-        std::cout << f.file << ":" << f.line << ": " << f.rule << " "
-                  << f.message << "\n";
-        ++reported;
+        out << Analyzer::formatSarif(result);
     }
-    if (reported == 0) {
-        std::cout << "zatel-lint: clean (" << files.size() << " files, "
-                  << allowed << " allowlisted finding(s))\n";
+    if (json)
+        std::cout << Analyzer::formatJson(result);
+    else
+        std::cout << Analyzer::formatText(result);
+
+    if (result.findings.empty())
         return 0;
-    }
-    std::cerr << "zatel-lint: " << reported << " finding(s)\n";
+    if (!json)
+        std::cerr << "zatel-lint: " << result.findings.size()
+                  << " finding(s)\n";
     return 1;
 }
