@@ -1,0 +1,260 @@
+/**
+ * @file
+ * zatel-serve latency bench (docs/SERVING.md): an in-process
+ * PredictionServer on an ephemeral loopback port, hammered by
+ * closed-loop socket clients. One cold request warms the reply cache
+ * (runs the only simulation); every request after that exercises the
+ * full socket -> parse -> cache-hit -> respond path, which is the SLO
+ * surface the daemon's p50/p99 histograms watch.
+ *
+ * Reports warm-path p50/p99 latency and throughput and writes
+ * ./BENCH_serve.json. The exit code gates FUNCTIONAL properties only —
+ * every request answered 200 with the byte-identical body, exactly one
+ * simulation behind them — never a latency number (CI machines are too
+ * noisy to gate on one).
+ *
+ *   ZATEL_BENCH_QUICK=1   fewer requests per client
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "service/artifact_cache.hh"
+
+namespace
+{
+
+using namespace zatel;
+
+const char kRecipe[] =
+    "{\"scene\":\"PARK\",\"detail\":0.3,\"res\":32,\"fraction\":0.2}";
+
+int
+connectTo(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** One request/response exchange; empty response on any error. */
+std::string
+exchange(uint16_t port, const std::string &rawRequest)
+{
+    const int fd = connectTo(port);
+    if (fd < 0)
+        return "";
+    std::string response;
+    size_t offset = 0;
+    while (offset < rawRequest.size()) {
+        const ssize_t n =
+            ::send(fd, rawRequest.data() + offset,
+                   rawRequest.size() - offset, MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return "";
+        }
+        offset += static_cast<size_t>(n);
+    }
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        response.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string
+postPredict()
+{
+    const std::string json = kRecipe;
+    return "POST /predict HTTP/1.1\r\nContent-Length: " +
+           std::to_string(json.size()) + "\r\n\r\n" + json;
+}
+
+bool
+isOk(const std::string &response)
+{
+    return response.rfind("HTTP/1.1 200 ", 0) == 0;
+}
+
+std::string
+bodyOf(const std::string &response)
+{
+    const size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string()
+                                      : response.substr(split + 4);
+}
+
+double
+percentileMs(std::vector<double> &sortedMs, double fraction)
+{
+    if (sortedMs.empty())
+        return 0.0;
+    const size_t index = std::min(
+        sortedMs.size() - 1,
+        static_cast<size_t>(fraction *
+                            static_cast<double>(sortedMs.size())));
+    return sortedMs[index];
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *quickEnv = std::getenv("ZATEL_BENCH_QUICK");
+    const bool quick = quickEnv != nullptr && quickEnv[0] == '1';
+    const size_t kClients = 4;
+    const size_t kPerClient = quick ? 50 : 250;
+
+    service::ArtifactCache cache(256ull * 1024 * 1024, "");
+    serve::ServeParams params;
+    params.port = 0;
+    params.httpWorkers = 4;
+    params.pipeline.workers = 2;
+    serve::PredictionServer server(cache, params);
+    server.start();
+
+    // Cold request: runs the one simulation and fills the reply cache.
+    const std::string warm = exchange(server.port(), postPredict());
+    if (!isOk(warm)) {
+        std::fprintf(stderr, "FAIL: warm-up request failed:\n%s\n",
+                     warm.c_str());
+        return 1;
+    }
+    const std::string expectedBody = bodyOf(warm);
+
+    // Closed loop: each client fires its next request as soon as the
+    // previous one completes (per-request connect + request + close,
+    // exactly what a curl-style client costs).
+    std::vector<std::vector<double>> perClientMs(kClients);
+    std::vector<size_t> badResponses(kClients, 0);
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c]() {
+            perClientMs[c].reserve(kPerClient);
+            for (size_t i = 0; i < kPerClient; ++i) {
+                const auto start = std::chrono::steady_clock::now();
+                const std::string response =
+                    exchange(server.port(), postPredict());
+                const auto end = std::chrono::steady_clock::now();
+                if (!isOk(response) ||
+                    bodyOf(response) != expectedBody) {
+                    ++badResponses[c];
+                    continue;
+                }
+                perClientMs[c].push_back(
+                    std::chrono::duration<double, std::milli>(end -
+                                                              start)
+                        .count());
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+
+    std::vector<double> latenciesMs;
+    size_t bad = 0;
+    for (size_t c = 0; c < kClients; ++c) {
+        latenciesMs.insert(latenciesMs.end(), perClientMs[c].begin(),
+                           perClientMs[c].end());
+        bad += badResponses[c];
+    }
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    const double p50 = percentileMs(latenciesMs, 0.50);
+    const double p99 = percentileMs(latenciesMs, 0.99);
+    const double rps =
+        wallSeconds > 0.0
+            ? static_cast<double>(latenciesMs.size()) / wallSeconds
+            : 0.0;
+
+    const serve::ServeSnapshot snap = server.snapshot();
+    server.stop();
+
+    std::printf("clients %zu x %zu requests (warm cache)\n", kClients,
+                kPerClient);
+    std::printf("p50 %.3f ms  p99 %.3f ms  throughput %.0f req/s\n",
+                p50, p99, rps);
+    std::printf("simulated %llu  cache hits %llu  coalesced %llu  "
+                "bad responses %zu\n",
+                static_cast<unsigned long long>(snap.predict.simulated),
+                static_cast<unsigned long long>(snap.predict.cacheHits),
+                static_cast<unsigned long long>(snap.predict.coalesced),
+                bad);
+
+    FILE *json = std::fopen("BENCH_serve.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "FAIL: could not write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"serve_latency\",\n"
+                 "  \"clients\": %zu,\n"
+                 "  \"requests_per_client\": %zu,\n"
+                 "  \"warm_requests_ok\": %zu,\n"
+                 "  \"bad_responses\": %zu,\n"
+                 "  \"p50_ms\": %.4f,\n"
+                 "  \"p99_ms\": %.4f,\n"
+                 "  \"throughput_rps\": %.1f,\n"
+                 "  \"simulated\": %llu,\n"
+                 "  \"cache_hits\": %llu,\n"
+                 "  \"coalesced\": %llu\n"
+                 "}\n",
+                 kClients, kPerClient, latenciesMs.size(), bad, p50, p99,
+                 rps,
+                 static_cast<unsigned long long>(snap.predict.simulated),
+                 static_cast<unsigned long long>(snap.predict.cacheHits),
+                 static_cast<unsigned long long>(snap.predict.coalesced));
+    std::fclose(json);
+    std::printf("wrote BENCH_serve.json\n");
+
+    // Functional gates only.
+    if (bad > 0) {
+        std::fprintf(stderr, "FAIL: %zu bad/mismatched responses\n", bad);
+        return 1;
+    }
+    if (snap.predict.simulated != 1) {
+        std::fprintf(stderr,
+                     "FAIL: expected exactly 1 simulation, saw %llu\n",
+                     static_cast<unsigned long long>(
+                         snap.predict.simulated));
+        return 1;
+    }
+    if (snap.predict.cacheHits == 0) {
+        std::fprintf(stderr, "FAIL: warm loop produced no cache hits\n");
+        return 1;
+    }
+    return 0;
+}

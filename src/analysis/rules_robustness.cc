@@ -73,16 +73,18 @@ class FaultSiteCoverageRule : public Rule
     std::string
     description() const override
     {
-        return "fallible IO in src/service and src/util runs under a "
-               "registered fault site (ZATEL_INJECT_FAULT / "
-               "ZATEL_FAULT_SITE) so the resilience suite can reach it";
+        return "fallible IO in src/service, src/serve and src/util "
+               "runs under a registered fault site (ZATEL_INJECT_FAULT "
+               "/ ZATEL_FAULT_SITE) so the resilience suite can reach "
+               "it";
     }
 
     void
     analyzeFile(const AnalysisContext &, const SourceFile &file,
                 std::vector<Finding> &findings) const override
     {
-        if ((!file.under("src/service/") && !file.under("src/util/")) ||
+        if ((!file.under("src/service/") && !file.under("src/serve/") &&
+             !file.under("src/util/")) ||
             !endsWith(file.relPath(), ".cc") || file.isTest())
             return;
         // The injection framework itself is the one place allowed to
@@ -90,8 +92,13 @@ class FaultSiteCoverageRule : public Rule
         if (endsWith(file.relPath(), "src/util/fault_injection.cc"))
             return;
 
+        // Socket calls cover the serve daemon's request path. bind()
+        // and listen() stay out on purpose: they run once at startup
+        // and fail the whole start() (there is no degraded mode to
+        // exercise), while accept/recv/send fail per connection.
         static const std::set<std::string> kIoCalls = {
-            "fopen", "fsync", "fdatasync", "rename", "unlink"};
+            "fopen", "fsync",  "fdatasync", "rename",
+            "unlink", "accept", "recv",     "send"};
         static const std::set<std::string> kStreamTypes = {
             "ifstream", "ofstream", "fstream"};
         static const std::set<std::string> kFaultMacros = {

@@ -1,0 +1,66 @@
+#include "serve/fair_queue.hh"
+
+#include <utility>
+
+namespace zatel::serve
+{
+
+FairQueue::FairQueue(size_t limit) : limit_(limit)
+{
+}
+
+bool
+FairQueue::push(Conn conn)
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (stopped_ || size_ >= limit_)
+            return false;
+        std::deque<Conn> &backlog = perClient_[conn.client];
+        if (backlog.empty())
+            rotation_.push_back(conn.client);
+        backlog.push_back(std::move(conn));
+        ++size_;
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::optional<Conn>
+FairQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return size_ > 0 || stopped_; });
+    if (size_ == 0)
+        return std::nullopt;
+    const std::string client = rotation_.front();
+    rotation_.pop_front();
+    auto it = perClient_.find(client);
+    Conn conn = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        perClient_.erase(it);
+    else
+        rotation_.push_back(client);
+    --size_;
+    return conn;
+}
+
+void
+FairQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopped_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+FairQueue::depth() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return size_;
+}
+
+} // namespace zatel::serve

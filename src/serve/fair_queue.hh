@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded, per-client round-robin connection queue: the admission
+ * stage between the daemon's acceptor thread and its HTTP workers
+ * (docs/SERVING.md).
+ *
+ * Two admission-control properties live here:
+ *
+ *   bounded     push() refuses connections once `limit` are queued —
+ *               the acceptor sheds them with 503 instead of letting an
+ *               unbounded backlog grow (load-shedding beats queueing:
+ *               a client that waited past its own deadline still costs
+ *               a full simulation).
+ *   fair        pop() rotates round-robin over client addresses, so a
+ *               client that opened 50 connections cannot starve one
+ *               that opened a single connection. Within one client,
+ *               connections stay FIFO.
+ *
+ * stop() ends the accept phase: further pushes fail, pops drain what
+ * is already queued and then return nullopt — exactly the graceful
+ * SIGTERM semantics ("stop accepting, finish in-flight").
+ */
+
+#ifndef ZATEL_SERVE_FAIR_QUEUE_HH
+#define ZATEL_SERVE_FAIR_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace zatel::serve
+{
+
+/** One accepted, not-yet-served connection. */
+struct Conn
+{
+    int fd = -1;
+    /** Client address ("ip:port" without the port for fairness). */
+    std::string client;
+    std::chrono::steady_clock::time_point accepted{};
+};
+
+/** The bounded round-robin queue. All methods are thread-safe. */
+class FairQueue
+{
+  public:
+    explicit FairQueue(size_t limit);
+
+    /** False when the queue is full or stopped (caller sheds). */
+    bool push(Conn conn);
+
+    /**
+     * Next connection in round-robin client order; blocks while the
+     * queue is empty and accepting. nullopt = stopped and drained.
+     */
+    std::optional<Conn> pop();
+
+    /** Stop accepting; wake blocked pops once the backlog drains. */
+    void stop();
+
+    size_t depth() const;
+
+    size_t
+    limit() const
+    {
+        return limit_;
+    }
+
+  private:
+    const size_t limit_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    /** Per-client FIFO backlogs. Guarded by mutex_. */
+    std::map<std::string, std::deque<Conn>> perClient_;
+    /** Clients with a non-empty backlog, in service order; the front
+     *  client is served next, then rotated to the back. Guarded by
+     *  mutex_. */
+    std::deque<std::string> rotation_;
+    size_t size_ = 0;     ///< Guarded by mutex_.
+    bool stopped_ = false; ///< Guarded by mutex_.
+};
+
+} // namespace zatel::serve
+
+#endif // ZATEL_SERVE_FAIR_QUEUE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 request parser and response builder for the
+ * zatel-serve daemon (docs/SERVING.md). Dependency-free by design: the
+ * daemon speaks plain POSIX sockets, so this layer handles exactly the
+ * subset the endpoints need — one request per connection
+ * ("Connection: close" semantics), Content-Length bodies, bounded
+ * header/body sizes — and rejects everything else with a precise
+ * status code instead of guessing:
+ *
+ *   400  malformed request line / header
+ *   413  body larger than Limits::maxBodyBytes
+ *   431  headers larger than Limits::maxHeaderBytes
+ *   501  Transfer-Encoding (chunked uploads are not supported)
+ *   505  HTTP version other than 1.0/1.1
+ *
+ * The parser is incremental: feed() accepts whatever a socket read
+ * produced (one byte or the whole request) and reports NeedMore until
+ * the message is complete, so short reads and split TCP segments need
+ * no special handling at the call site.
+ */
+
+#ifndef ZATEL_SERVE_HTTP_HH
+#define ZATEL_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zatel::serve
+{
+
+/** Parser size bounds (admission control at the protocol layer). */
+struct HttpLimits
+{
+    /** Request line + headers, bytes, terminator included. */
+    size_t maxHeaderBytes = 8192;
+    /** Declared Content-Length upper bound, bytes. */
+    size_t maxBodyBytes = 1 << 20;
+};
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;  ///< Verbatim (GET, POST, ...).
+    std::string target;  ///< Verbatim request target (/predict).
+    std::string version; ///< "HTTP/1.0" or "HTTP/1.1".
+    /** Header fields keyed by lower-cased name (std::map for
+     *  deterministic iteration; last value wins on duplicates). */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Lower-case header lookup; empty string when absent. */
+    const std::string &header(const std::string &lowerName) const;
+};
+
+/** Incremental request parser; one instance per connection. */
+class HttpParser
+{
+  public:
+    enum class Status : uint8_t
+    {
+        NeedMore = 0, ///< Feed more bytes.
+        Complete = 1, ///< request() is valid.
+        Failed = 2,   ///< errorStatus()/errorReason() describe why.
+    };
+
+    explicit HttpParser(HttpLimits limits = {});
+
+    /** Consume @p size bytes; returns the parser status afterwards.
+     *  Feeding after Complete/Failed is a no-op. */
+    Status feed(const char *data, size_t size);
+
+    Status
+    status() const
+    {
+        return status_;
+    }
+
+    /** Valid once status() == Complete. */
+    const HttpRequest &
+    request() const
+    {
+        return request_;
+    }
+
+    /** HTTP status code to answer with once status() == Failed. */
+    int
+    errorStatus() const
+    {
+        return errorStatus_;
+    }
+
+    const std::string &
+    errorReason() const
+    {
+        return errorReason_;
+    }
+
+  private:
+    Status fail(int status, std::string reason);
+    /** Parse buffer_[0, headerEnd) as request line + headers. */
+    Status parseHead(size_t headerEnd);
+
+    HttpLimits limits_;
+    std::string buffer_;
+    bool headDone_ = false;
+    size_t bodyStart_ = 0;
+    size_t contentLength_ = 0;
+    HttpRequest request_;
+    Status status_ = Status::NeedMore;
+    int errorStatus_ = 0;
+    std::string errorReason_;
+};
+
+/** Reason phrase for the status codes the daemon emits. */
+const char *httpStatusReason(int status);
+
+/**
+ * Serialize one "Connection: close" response with Content-Length.
+ * @p extraHeaders are emitted verbatim after the standard ones.
+ */
+std::string
+httpResponse(int status, const std::string &contentType,
+             const std::string &body,
+             const std::vector<std::pair<std::string, std::string>>
+                 &extraHeaders = {});
+
+} // namespace zatel::serve
+
+#endif // ZATEL_SERVE_HTTP_HH

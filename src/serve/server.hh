@@ -1,0 +1,171 @@
+/**
+ * @file
+ * PredictionServer: the zatel-serve daemon's socket front end
+ * (docs/SERVING.md). A dependency-free HTTP/1.1 server over POSIX
+ * sockets:
+ *
+ *   acceptor    one thread accept()ing on a loopback-bound listener;
+ *               admits connections into the bounded FairQueue or sheds
+ *               them with 503 when it is full (queue-depth-aware
+ *               admission control)
+ *   workers     a bounded pool of HTTP threads popping the queue in
+ *               per-client round-robin order, parsing one request per
+ *               connection (HttpParser) and routing it:
+ *                 POST /predict   PredictService (single-flight,
+ *                                 cached, deadline-bounded)
+ *                 GET  /healthz   liveness probe
+ *                 GET  /status    JSON snapshot of queues and counters
+ *                 GET  /metrics   Prometheus text (MetricsRegistry)
+ *
+ * SLO instruments (registered at start()): per-endpoint latency
+ * histograms, request counters by status code, a queue-depth gauge,
+ * shed/timeout counters and prediction-source counters — the p50/p99
+ * the bench and the CI smoke read all come from /metrics.
+ *
+ * Server IO is fault-injectable (docs/ROBUSTNESS.md): `serve.accept`
+ * sheds an accepted connection with 503, `serve.read` fails a request
+ * read with 500, `serve.write` degrades a response write — each
+ * degrades the one request and never kills the daemon.
+ *
+ * stop() is the graceful SIGTERM/SIGINT path: close the listener,
+ * serve every already-queued connection, join the workers, drain the
+ * JobPipeline. Idempotent; the destructor calls it.
+ */
+
+#ifndef ZATEL_SERVE_SERVER_HH
+#define ZATEL_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fair_queue.hh"
+#include "serve/http.hh"
+#include "serve/predict_service.hh"
+#include "service/job_pipeline.hh"
+
+namespace zatel::serve
+{
+
+/** Daemon tuning (flag-mapped in tools/zatel_serve.cpp). */
+struct ServeParams
+{
+    /** Bind address. Loopback by default: the daemon trusts its
+     *  clients (no TLS/auth); expose it via a fronting proxy. */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see port()). */
+    uint16_t port = 0;
+    /** HTTP worker threads (connection concurrency). */
+    size_t httpWorkers = 4;
+    /** Accepted-connection backlog before 503 shedding. */
+    size_t connectionQueueLimit = 64;
+    /** Per-connection socket read budget, seconds. */
+    double readTimeoutSeconds = 10.0;
+    HttpLimits httpLimits{};
+    PredictParams predict{};
+    service::PipelineParams pipeline{};
+};
+
+/** Point-in-time counters for /status and tests. */
+struct ServeSnapshot
+{
+    uint64_t accepted = 0;       ///< Connections admitted to the queue.
+    uint64_t shedConnections = 0;///< Connections 503-shed at accept.
+    uint64_t responses2xx = 0;
+    uint64_t responses4xx = 0;
+    uint64_t responses5xx = 0;
+    size_t queueDepth = 0;
+    size_t pipelinePending = 0;
+    PredictService::Stats predict;
+};
+
+/** Thrown when the listener cannot be set up (bad host, port taken). */
+class ServeError : public std::runtime_error
+{
+  public:
+    explicit ServeError(const std::string &message)
+        : std::runtime_error("serve: " + message)
+    {
+    }
+};
+
+class PredictionServer
+{
+  public:
+    /** @param cache Shared artifact cache (outlives the server). */
+    PredictionServer(service::ArtifactCache &cache, ServeParams params);
+    ~PredictionServer();
+
+    PredictionServer(const PredictionServer &) = delete;
+    PredictionServer &operator=(const PredictionServer &) = delete;
+
+    /** Bind + listen + spawn acceptor and workers.
+     *  @throws ServeError when the listener cannot be created. */
+    void start();
+
+    /** Graceful drain: stop accepting, serve the backlog, finish
+     *  in-flight predictions. Idempotent; safe without start(). */
+    void stop();
+
+    /** Bound port (the ephemeral one when params.port was 0). */
+    uint16_t port() const;
+
+    bool
+    running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    ServeSnapshot snapshot() const;
+
+    /** The /status JSON document. */
+    std::string statusJson() const;
+
+  private:
+    void acceptorLoop();
+    void workerLoop();
+    /** Serve one connection: read, parse, route, respond, close. */
+    void handleConnection(const Conn &conn);
+    /** Route one parsed request. @p endpoint / @p contentType are set
+     *  for metrics and response framing. */
+    PredictService::Reply route(const HttpRequest &request,
+                                std::string &endpoint,
+                                std::string &contentType);
+    /** Write the full response; false on error or injected fault. */
+    bool writeResponse(int fd, const std::string &response);
+    void countResponse(int status);
+
+    service::ArtifactCache &cache_;
+    const ServeParams params_;
+
+    service::JobPipeline pipeline_;
+    PredictService predictService_;
+    FairQueue queue_;
+
+    int listenFd_ = -1;
+    uint16_t boundPort_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> shedConnections_{0};
+    std::atomic<uint64_t> responses2xx_{0};
+    std::atomic<uint64_t> responses4xx_{0};
+    std::atomic<uint64_t> responses5xx_{0};
+
+    std::chrono::steady_clock::time_point startTime_{};
+};
+
+} // namespace zatel::serve
+
+#endif // ZATEL_SERVE_SERVER_HH

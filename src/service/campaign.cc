@@ -341,6 +341,25 @@ gpuConfigFromName(const std::string &name)
                         "' (use soc or rtx2060)");
 }
 
+rt::SceneId
+resolveSceneName(const std::string &name)
+{
+    for (rt::SceneId id : rt::allScenes()) {
+        const std::string candidate = rt::sceneName(id);
+        if (candidate.size() == name.size() &&
+            std::equal(candidate.begin(), candidate.end(), name.begin(),
+                       [](char a, char b) {
+                           return std::tolower(
+                                      static_cast<unsigned char>(a)) ==
+                                  std::tolower(
+                                      static_cast<unsigned char>(b));
+                       })) {
+            return id;
+        }
+    }
+    throw CampaignError("unknown scene '" + name + "'");
+}
+
 void
 applyJobField(CampaignJob &job, const std::string &key,
               const std::string &value)

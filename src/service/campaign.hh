@@ -33,6 +33,7 @@
 
 #include "gpusim/config.hh"
 #include "rt/bvh.hh"
+#include "rt/scene_library.hh"
 #include "zatel/predictor.hh"
 
 namespace zatel::service
@@ -92,6 +93,14 @@ std::string autoJobId(const CampaignJob &job);
  * @throws CampaignError for unknown names.
  */
 gpusim::GpuConfig gpuConfigFromName(const std::string &name);
+
+/**
+ * Resolve a scene-library name (case-insensitive) without the
+ * library's fatal() path: a typo in one campaign job or serve request
+ * must fail that job, not the whole service process.
+ * @throws CampaignError for unknown names.
+ */
+rt::SceneId resolveSceneName(const std::string &name);
 
 /**
  * Apply one "key = value" field to @p job.

@@ -1,0 +1,799 @@
+#include "service/job_pipeline.hh"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "heatmap/profiler.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_recorder.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "util/fault_injection.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace zatel::service
+{
+
+namespace
+{
+
+/** Lazily-registered campaign metrics (docs/OBSERVABILITY.md). The
+ *  group_units_skipped counter doubles as the cancellation witness for
+ *  SchedulerTimeout.CancelsPendingStages: a timed-out job's pending
+ *  group units must land here instead of simulating. */
+struct PipelineMetrics
+{
+    obs::Counter *unitsStart;
+    obs::Counter *unitsGroup;
+    obs::Counter *unitsFinalize;
+    obs::Counter *groupUnitsSkipped;
+    obs::Counter *jobsOk;
+    obs::Counter *jobsDegraded;
+    obs::Counter *jobsFailed;
+    obs::Counter *jobsCancelled;
+    obs::Counter *jobsTimedOut;
+    obs::Counter *stallCancellations;
+};
+
+PipelineMetrics &
+pipelineMetrics()
+{
+    static PipelineMetrics metrics = [] {
+        auto &reg = obs::MetricsRegistry::global();
+        PipelineMetrics m;
+        const std::string unitName = "zatel_campaign_units_total";
+        const std::string unitHelp =
+            "Campaign scheduler stage units executed";
+        m.unitsStart =
+            reg.counter(unitName, unitHelp, {{"stage", "start"}});
+        m.unitsGroup =
+            reg.counter(unitName, unitHelp, {{"stage", "group"}});
+        m.unitsFinalize =
+            reg.counter(unitName, unitHelp, {{"stage", "finalize"}});
+        m.groupUnitsSkipped = reg.counter(
+            "zatel_campaign_group_units_skipped_total",
+            "Group units skipped because their job was already "
+            "broken (failed / cancelled / timed out)");
+        const std::string jobName = "zatel_campaign_jobs_total";
+        const std::string jobHelp =
+            "Campaign jobs finished, by terminal status";
+        m.jobsOk = reg.counter(jobName, jobHelp, {{"status", "ok"}});
+        m.jobsDegraded =
+            reg.counter(jobName, jobHelp, {{"status", "degraded"}});
+        m.jobsFailed =
+            reg.counter(jobName, jobHelp, {{"status", "failed"}});
+        m.jobsCancelled =
+            reg.counter(jobName, jobHelp, {{"status", "cancelled"}});
+        m.jobsTimedOut =
+            reg.counter(jobName, jobHelp, {{"status", "timed_out"}});
+        m.stallCancellations = reg.counter(
+            "zatel_campaign_stall_cancellations_total",
+            "Watchdog cancellations of simulations that stopped "
+            "making simulated-cycle progress");
+        return m;
+    }();
+    return metrics;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Monotonic now in nanoseconds (watchdog heartbeat timestamps). */
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+JobPipeline::JobPipeline(ArtifactCache &cache, PipelineParams params)
+    : cache_(cache), params_(std::move(params)), pool_(params_.workers)
+{
+    pumpThread_ = std::thread([this]() { pumpLoop(); });
+    if (params_.stallTimeoutSeconds > 0.0)
+        watchdogThread_ = std::thread([this]() { watchdogLoop(); });
+}
+
+JobPipeline::~JobPipeline()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> guard(pumpMutex_);
+        stopPump_ = true;
+        pumpCv_.notify_all();
+    }
+    pumpThread_.join();
+    pool_.waitAll();
+    if (watchdogThread_.joinable()) {
+        watchdogStop_.store(true);
+        watchdogThread_.join();
+    }
+}
+
+void
+JobPipeline::submit(Submission submission)
+{
+    if (!accepting_.load(std::memory_order_acquire))
+        throw std::runtime_error(
+            "JobPipeline::submit() after drain() started");
+    auto state = std::make_unique<JobState>();
+    state->job = std::move(submission.job);
+    state->timeoutSeconds = submission.timeoutSeconds;
+    state->done = std::move(submission.done);
+    JobState *s = state.get();
+    {
+        std::lock_guard<std::mutex> guard(jobsMutex_);
+        jobs_.push_back(std::move(state));
+    }
+    pendingJobs_.fetch_add(1, std::memory_order_acq_rel);
+    enqueueUnit(s->job.priority, [this, s]() { runStartUnit(*s); });
+}
+
+void
+JobPipeline::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(pumpMutex_);
+    pumpCv_.wait(lock, [this]() {
+        return pendingJobs_.load(std::memory_order_acquire) == 0 &&
+               ready_.empty() && unitsInFlight_ == 0;
+    });
+}
+
+void
+JobPipeline::drain()
+{
+    accepting_.store(false, std::memory_order_release);
+    waitIdle();
+}
+
+size_t
+JobPipeline::pendingJobs() const
+{
+    return pendingJobs_.load(std::memory_order_acquire);
+}
+
+size_t
+JobPipeline::queueDepth() const
+{
+    std::lock_guard<std::mutex> guard(pumpMutex_);
+    return ready_.size() + unitsInFlight_;
+}
+
+bool
+JobPipeline::pipelineCancelled() const
+{
+    return params_.cancelled && params_.cancelled();
+}
+
+bool
+JobPipeline::deadlineExceeded(const JobState &state)
+{
+    return state.hasDeadline &&
+           std::chrono::steady_clock::now() > state.deadline;
+}
+
+bool
+JobPipeline::jobShouldStop(const JobState &state) const
+{
+    if (state.stallCancelled.load(std::memory_order_relaxed))
+        return true;
+    if (pipelineCancelled())
+        return true;
+    return deadlineExceeded(state);
+}
+
+void
+JobPipeline::simEnter(JobState &state, size_t slot)
+{
+    state.groupProgressNs[slot].store(nowNs(), std::memory_order_relaxed);
+    state.activeSimUnits.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+JobPipeline::simExit(JobState &state, size_t slot)
+{
+    state.groupProgressNs[slot].store(0, std::memory_order_relaxed);
+    if (state.activeSimUnits.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last active simulation out: a stall cancellation has fully
+        // drained, clear the flag so retried units can run. Deferred
+        // to here so siblings still inside the GPU loop observe it.
+        state.stallCancelled.store(false, std::memory_order_relaxed);
+    }
+}
+
+void
+JobPipeline::watchdogLoop()
+{
+    const uint64_t timeout_ns = static_cast<uint64_t>(
+        params_.stallTimeoutSeconds * 1e9);
+    const auto tick = std::chrono::milliseconds(std::max<int64_t>(
+        1, std::min<int64_t>(
+               50, static_cast<int64_t>(
+                       params_.stallTimeoutSeconds * 1000.0 / 4.0))));
+    while (!watchdogStop_.load(std::memory_order_relaxed)) {
+        // The watchdog runs on its own dedicated thread, not a pool
+        // worker; sleeping for one tick IS its duty cycle.
+        // zatel-lint: allow(blocking-in-task): watchdog duty cycle
+        std::this_thread::sleep_for(tick);
+        const uint64_t now = nowNs();
+        std::lock_guard<std::mutex> guard(jobsMutex_);
+        for (const auto &job : jobs_) {
+            JobState &state = *job;
+            if (state.finished.load(std::memory_order_acquire))
+                continue;
+            if (state.broken.load(std::memory_order_relaxed))
+                continue;
+            if (state.stallCancelled.load(std::memory_order_relaxed))
+                continue;
+            // progressSlots (release-stored after the array alloc)
+            // publishes groupProgressNs to this thread.
+            const size_t slots =
+                state.progressSlots.load(std::memory_order_acquire);
+            for (size_t i = 0; i < slots; ++i) {
+                const uint64_t ts = state.groupProgressNs[i].load(
+                    std::memory_order_relaxed);
+                if (ts == 0 || now <= ts || now - ts <= timeout_ns)
+                    continue;
+                state.stallCancelled.store(true,
+                                           std::memory_order_relaxed);
+                pipelineMetrics().stallCancellations->inc();
+                warn("campaign job '", state.job.id,
+                     "': watchdog: no simulated-cycle progress in ",
+                     i + 1 == slots ? std::string("the oracle run")
+                                    : "group " + std::to_string(i),
+                     " for over ", params_.stallTimeoutSeconds,
+                     "s; cancelling this job's in-flight simulations "
+                     "for retry");
+                break;
+            }
+        }
+    }
+}
+
+void
+JobPipeline::enqueueUnit(int priority, std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> guard(pumpMutex_);
+    Unit unit;
+    unit.priority = priority;
+    unit.seq = nextSeq_++;
+    unit.fn = std::move(fn);
+    ready_.insert(std::move(unit));
+    pumpCv_.notify_all();
+}
+
+void
+JobPipeline::pumpLocked(std::unique_lock<std::mutex> &lock)
+{
+    // Load-aware dispatch: keep the pool's FIFO queue shallow so the
+    // priority order of ready_ actually governs execution order.
+    while (!ready_.empty() && pool_.queueDepth() < pool_.workerCount()) {
+        auto node = ready_.extract(ready_.begin());
+        std::function<void()> fn = std::move(node.value().fn);
+        ++unitsInFlight_;
+        lock.unlock();
+        pool_.submit([this, unit_fn = std::move(fn)]() {
+            // "pool.task" fault site: models a worker that failed to
+            // pick up a unit. A lost unit would strand the job
+            // (groupsRemaining never reaches zero), so the recovery is
+            // bounded backoff and then running the unit regardless.
+            for (uint32_t attempt = 1; attempt <= 3; ++attempt) {
+                if (!ZATEL_FAULT_SITE("pool.task")->shouldFire())
+                    break;
+                if (attempt == 3)
+                    break;
+                retryBackoffSleep(attempt);
+            }
+            try {
+                unit_fn();
+            } catch (const std::exception &err) {
+                // Units handle their own failures; an escape here is a
+                // bug, but eating it beats terminating the pool worker.
+                warn("campaign: stage unit leaked an exception: ",
+                     err.what());
+            } catch (...) {
+                warn("campaign: stage unit leaked an unknown exception");
+            }
+            std::lock_guard<std::mutex> guard(pumpMutex_);
+            --unitsInFlight_;
+            pumpCv_.notify_all();
+        });
+        lock.lock();
+    }
+}
+
+void
+JobPipeline::pumpLoop()
+{
+    std::unique_lock<std::mutex> lock(pumpMutex_);
+    while (true) {
+        pumpLocked(lock);
+        if (stopPump_ && ready_.empty() && unitsInFlight_ == 0)
+            break;
+        pumpCv_.wait_for(lock, std::chrono::milliseconds(5));
+        lock.unlock();
+        sweepFinished();
+        lock.lock();
+    }
+}
+
+void
+JobPipeline::sweepFinished()
+{
+    std::lock_guard<std::mutex> guard(jobsMutex_);
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [](const std::unique_ptr<JobState> &s) {
+                                   return s->finished.load(
+                                       std::memory_order_acquire);
+                               }),
+                jobs_.end());
+}
+
+void
+JobPipeline::markBroken(JobState &state, JobStatus status,
+                        const std::string &message)
+{
+    std::lock_guard<std::mutex> guard(state.errorMutex);
+    if (state.broken.load())
+        return;
+    state.terminalStatus = status;
+    state.errorMessage = message;
+    state.broken.store(true);
+}
+
+void
+JobPipeline::finishJob(JobState &state, ResultRow row)
+{
+    switch (row.status) {
+    case JobStatus::Ok:
+        pipelineMetrics().jobsOk->inc();
+        break;
+    case JobStatus::Degraded:
+        pipelineMetrics().jobsDegraded->inc();
+        break;
+    case JobStatus::Failed:
+        pipelineMetrics().jobsFailed->inc();
+        break;
+    case JobStatus::Cancelled:
+        pipelineMetrics().jobsCancelled->inc();
+        break;
+    case JobStatus::TimedOut:
+        pipelineMetrics().jobsTimedOut->inc();
+        break;
+    case JobStatus::Skipped:
+        break;
+    }
+    if (state.done)
+        state.done(row);
+    // Free the heavyweight state before signalling completion. After
+    // the finished store below the sweeper may destroy the state, so
+    // nothing here may touch it afterwards.
+    state.predictor.reset();
+    state.pack.reset();
+    state.tasks.clear();
+    state.done = nullptr;
+    pendingJobs_.fetch_sub(1, std::memory_order_acq_rel);
+    state.finished.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> guard(pumpMutex_);
+    pumpCv_.notify_all();
+}
+
+void
+JobPipeline::runStartUnit(JobState &state)
+{
+    ZATEL_TRACE_SCOPE("job.start");
+    pipelineMetrics().unitsStart->inc();
+    if (state.startAttempts == 0) {
+        // First attempt only: a retried start stage must not extend
+        // the job's wall-clock budget.
+        state.startTime = std::chrono::steady_clock::now();
+        if (state.timeoutSeconds > 0.0) {
+            state.hasDeadline = true;
+            state.deadline =
+                state.startTime +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(state.timeoutSeconds));
+        }
+    }
+
+    ResultRow row;
+    row.jobId = state.job.id;
+    row.scene = state.job.scene;
+    row.gpu = state.job.gpu;
+
+    try {
+        if (jobShouldStop(state))
+            throw core::PredictionCancelled();
+
+        const rt::SceneId scene_id = resolveSceneName(state.job.scene);
+        row.scene = rt::sceneName(scene_id);
+        state.config = gpuConfigFromName(state.job.gpu);
+        const CampaignJob &job = state.job;
+
+        // Stage: scene + BVH, built once per recipe across all jobs.
+        const uint64_t pack_key =
+            scenePackKey(row.scene, job.sceneDetail, job.sceneSeed,
+                         job.bvh);
+        state.pack = cache_.getOrBuild<ScenePack>(
+            ArtifactKind::ScenePack, pack_key,
+            [&]() -> std::pair<std::shared_ptr<const ScenePack>, uint64_t> {
+                ZATEL_INJECT_FAULT("scene.pack.build");
+                // Heap-allocate and build the BVH in place: the Bvh keeps
+                // a pointer into the scene's triangle vector, so the pack
+                // must never be moved after build().
+                auto pack = std::make_shared<ScenePack>();
+                rt::SceneDetail detail;
+                detail.density = job.sceneDetail;
+                pack->scene =
+                    rt::buildScene(scene_id, detail, job.sceneSeed);
+                pack->bvh.build(pack->scene.triangles(), job.bvh);
+                pack->contentHash = hashSceneContent(pack->scene);
+                const uint64_t bytes = pack->approxBytes();
+                return {std::shared_ptr<const ScenePack>(std::move(pack)),
+                        bytes};
+            });
+
+        state.predictor = std::make_unique<core::ZatelPredictor>(
+            state.pack->scene, state.pack->bvh, state.config, job.params);
+        state.predictor->setCancelCheck(
+            [this, s = &state]() { return jobShouldStop(*s); });
+
+        // Stage: heatmap profile + quantize, once per content key.
+        const uint64_t map_key =
+            heatmapKey(state.pack->contentHash, job.params);
+        std::shared_ptr<const heatmap::QuantizedHeatmap> quantized =
+            cache_.getOrBuild<heatmap::QuantizedHeatmap>(
+                ArtifactKind::QuantizedHeatmap, map_key,
+                [&]() -> std::pair<
+                          std::shared_ptr<const heatmap::QuantizedHeatmap>,
+                          uint64_t> {
+                    ZATEL_INJECT_FAULT("heatmap.build");
+                    // Must match ZatelPredictor::prepare() exactly so
+                    // cached and uncached runs are byte-identical.
+                    rt::TracerParams tp;
+                    tp.samplesPerPixel = job.params.samplesPerPixel;
+                    rt::Tracer tracer(state.pack->scene, state.pack->bvh,
+                                      tp);
+                    rt::RenderResult render = tracer.render(
+                        job.params.width, job.params.height);
+                    heatmap::Heatmap map = heatmap::profileRender(
+                        render, job.params.profiler);
+                    auto result =
+                        std::make_shared<heatmap::QuantizedHeatmap>(
+                            heatmap::QuantizedHeatmap::quantize(
+                                map, job.params.quantizeColors,
+                                job.params.seed));
+                    const uint64_t bytes =
+                        result->clusterIds().size() * sizeof(uint32_t) +
+                        result->palette().size() * sizeof(rt::Vec3) +
+                        result->coolnessValues().size() * sizeof(double) +
+                        result->populations().size() * sizeof(size_t) +
+                        sizeof(heatmap::QuantizedHeatmap);
+                    return {result, bytes};
+                });
+        state.predictor->setPrebuiltHeatmap(*quantized);
+        state.predictor->prepare();
+
+        // Stage: fan the K group simulations out as priority units.
+        const size_t group_count = state.predictor->groupCount();
+        state.tasks.resize(group_count);
+        state.groupAttempts.assign(group_count, 0);
+        if (params_.stallTimeoutSeconds > 0.0) {
+            // One heartbeat slot per group plus one for the oracle;
+            // the release store on progressSlots publishes the array
+            // to the watchdog thread.
+            const size_t slots = group_count + 1;
+            state.groupProgressNs =
+                std::make_unique<std::atomic<uint64_t>[]>(slots);
+            for (size_t i = 0; i < slots; ++i)
+                state.groupProgressNs[i].store(
+                    0, std::memory_order_relaxed);
+            state.progressSlots.store(slots, std::memory_order_release);
+            state.predictor->setSimulationProbe(
+                params_.probeIntervalCycles,
+                [s = &state, group_count](size_t group_index, uint64_t) {
+                    const size_t slot = group_index == SIZE_MAX
+                                            ? group_count
+                                            : group_index;
+                    s->groupProgressNs[slot].store(
+                        nowNs(), std::memory_order_relaxed);
+                });
+        }
+        state.groupsRemaining.store(group_count);
+        state.simStart = std::chrono::steady_clock::now();
+        for (size_t g = 0; g < group_count; ++g) {
+            enqueueUnit(state.job.priority, [this, s = &state, g]() {
+                runGroupUnit(*s, g);
+            });
+        }
+    } catch (const core::PredictionCancelled &) {
+        const bool timed_out = deadlineExceeded(state) &&
+                               !pipelineCancelled();
+        row.status =
+            timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
+        row.error = timed_out ? "job timeout during preprocessing"
+                              : "campaign cancelled";
+        finishJob(state, std::move(row));
+    } catch (const CampaignError &err) {
+        // Configuration problems (unknown scene/GPU) are permanent:
+        // retrying cannot fix a typo.
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+        finishJob(state, std::move(row));
+    } catch (const std::exception &err) {
+        // Possibly-transient failure (I/O, injected fault): retry the
+        // whole start stage with deterministic backoff.
+        if (state.startAttempts < params_.stageRetries) {
+            const uint32_t attempt = ++state.startAttempts;
+            warn("campaign job '", state.job.id,
+                 "': start stage failed (", err.what(), "); retry ",
+                 attempt, "/", params_.stageRetries);
+            retryBackoffSleep(attempt);
+            enqueueUnit(state.job.priority,
+                        [this, s = &state]() { runStartUnit(*s); });
+            return;
+        }
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+        finishJob(state, std::move(row));
+    }
+}
+
+void
+JobPipeline::runGroupUnit(JobState &state, size_t group_index)
+{
+    ZATEL_TRACE_SCOPE("job.group", static_cast<int64_t>(group_index));
+    pipelineMetrics().unitsGroup->inc();
+    const bool watchdog_on = params_.stallTimeoutSeconds > 0.0;
+    if (state.broken.load()) {
+        // The job already failed / timed out / was cancelled: this
+        // pending unit is dropped without simulating so the pool
+        // drains quickly (SchedulerTimeout.CancelsPendingStages).
+        pipelineMetrics().groupUnitsSkipped->inc();
+    } else {
+        if (watchdog_on &&
+            state.stallCancelled.load(std::memory_order_relaxed)) {
+            if (state.activeSimUnits.load(std::memory_order_acquire) ==
+                0) {
+                // No simulation left to cancel: the flag is stale
+                // (set after the last unit drained); clear it and run.
+                state.stallCancelled.store(false,
+                                           std::memory_order_relaxed);
+            } else {
+                // A stall cancellation is still draining this job's
+                // sim units; starting a fresh simulation now would be
+                // instantly cancelled. Requeue without burning a
+                // retry attempt, pacing with the sanctioned backoff
+                // (1 ms at attempt 1) instead of a raw sleep.
+                retryBackoffSleep(1);
+                enqueueUnit(state.job.priority,
+                            [this, s = &state, group_index]() {
+                                runGroupUnit(*s, group_index);
+                            });
+                return;
+            }
+        }
+        if (watchdog_on)
+            simEnter(state, group_index);
+        bool requeue = false;
+        try {
+            state.tasks[group_index] =
+                state.predictor->runGroupTaskResilient(group_index);
+        } catch (const core::PredictionCancelled &) {
+            if (pipelineCancelled()) {
+                markBroken(state, JobStatus::Cancelled,
+                           "campaign cancelled");
+            } else if (deadlineExceeded(state)) {
+                markBroken(state, JobStatus::TimedOut,
+                           "job timeout during group simulation");
+            } else if (watchdog_on) {
+                // Stall cancellation. Only the unit whose heartbeat
+                // actually went stale burns a retry; siblings taken
+                // down with it requeue for free.
+                const uint64_t timeout_ns = static_cast<uint64_t>(
+                    params_.stallTimeoutSeconds * 1e9);
+                const uint64_t ts = state.groupProgressNs[group_index]
+                                        .load(std::memory_order_relaxed);
+                const uint64_t now = nowNs();
+                const bool self_stalled =
+                    ts != 0 && now > ts && now - ts > timeout_ns;
+                if (!self_stalled) {
+                    requeue = true;
+                } else {
+                    const uint32_t attempt =
+                        ++state.groupAttempts[group_index];
+                    if (attempt <=
+                        state.job.params.groupRetries) {
+                        warn("campaign job '", state.job.id,
+                             "': group ", group_index,
+                             " stalled; retry ", attempt, "/",
+                             state.job.params.groupRetries);
+                        requeue = true;
+                    } else {
+                        state.tasks[group_index] =
+                            state.predictor->failedGroupTask(
+                                group_index,
+                                "stalled: no simulated-cycle progress "
+                                "within " +
+                                    std::to_string(
+                                        params_.stallTimeoutSeconds) +
+                                    "s (retries exhausted)");
+                    }
+                }
+            } else {
+                // No watchdog, so the cancel hook fired for a reason
+                // that has since cleared; treat it as cancellation.
+                markBroken(state, JobStatus::Cancelled,
+                           "campaign cancelled");
+            }
+        } catch (const std::exception &err) {
+            // runGroupTaskResilient converts failures into failed
+            // tasks; anything escaping is unexpected but must not
+            // wedge the pipeline.
+            markBroken(state, JobStatus::Failed, err.what());
+        }
+        if (watchdog_on)
+            simExit(state, group_index);
+        if (requeue) {
+            enqueueUnit(state.job.priority,
+                        [this, s = &state, group_index]() {
+                            runGroupUnit(*s, group_index);
+                        });
+            return; // groupsRemaining stays owed to the retry.
+        }
+    }
+    if (state.groupsRemaining.fetch_sub(1) == 1) {
+        // Last group out schedules the finalize stage.
+        enqueueUnit(state.job.priority,
+                    [this, s = &state]() { runFinalizeUnit(*s); });
+    }
+}
+
+void
+JobPipeline::runFinalizeUnit(JobState &state)
+{
+    ZATEL_TRACE_SCOPE("job.finalize");
+    pipelineMetrics().unitsFinalize->inc();
+    ResultRow row;
+    row.jobId = state.job.id;
+    row.scene = state.job.scene;
+    row.gpu = state.job.gpu;
+
+    if (state.broken.load()) {
+        std::lock_guard<std::mutex> guard(state.errorMutex);
+        row.status = state.terminalStatus;
+        row.error = state.errorMessage;
+        finishJob(state, std::move(row));
+        return;
+    }
+
+    try {
+        const double sim_seconds = secondsSince(state.simStart);
+        core::ZatelResult result = state.predictor->assemble(
+            std::move(state.tasks), sim_seconds);
+        state.tasks.clear();
+
+        row.scene = state.pack->scene.name();
+        row.k = result.k;
+        row.fractionTraced = result.fractionTraced;
+        row.predicted = result.predicted;
+        row.preprocessSeconds = result.preprocessWallSeconds;
+        row.simSeconds = result.simWallSeconds;
+        row.maxGroupSeconds = result.maxGroupWallSeconds;
+        row.status = JobStatus::Ok;
+        if (result.degraded) {
+            // Survivors-only prediction (docs/ROBUSTNESS.md): valid
+            // numbers with widened sampling error.
+            row.status = JobStatus::Degraded;
+            row.failedGroups =
+                static_cast<uint32_t>(result.failedGroups.size());
+            row.survivorExtrapolation = result.survivorExtrapolation;
+            row.error = std::to_string(result.failedGroups.size()) +
+                        " group(s) failed; prediction assembled from "
+                        "survivors";
+        }
+
+        if (state.job.withOracle) {
+            const uint64_t key = oracleKey(state.pack->contentHash,
+                                           state.config, state.job.params);
+            const size_t oracle_slot = state.predictor->groupCount();
+            const bool watchdog_on = params_.stallTimeoutSeconds > 0.0;
+            WallTimer oracle_timer;
+            std::shared_ptr<const gpusim::GpuStats> stats;
+            std::string oracle_error;
+            const uint32_t max_attempts = params_.stageRetries + 1;
+            for (uint32_t attempt = 1; attempt <= max_attempts;
+                 ++attempt) {
+                try {
+                    stats = cache_.getOrBuild<gpusim::GpuStats>(
+                        ArtifactKind::OracleStats, key,
+                        [&]() -> std::pair<
+                                  std::shared_ptr<const gpusim::GpuStats>,
+                                  uint64_t> {
+                            ZATEL_INJECT_FAULT("oracle.run");
+                            if (watchdog_on)
+                                simEnter(state, oracle_slot);
+                            core::OracleResult oracle;
+                            try {
+                                oracle = state.predictor->runOracle();
+                            } catch (...) {
+                                if (watchdog_on)
+                                    simExit(state, oracle_slot);
+                                throw;
+                            }
+                            if (watchdog_on)
+                                simExit(state, oracle_slot);
+                            return {
+                                std::make_shared<const gpusim::GpuStats>(
+                                    oracle.stats),
+                                sizeof(gpusim::GpuStats)};
+                        });
+                    oracle_error.clear();
+                    break;
+                } catch (const core::PredictionCancelled &) {
+                    // Pipeline cancellation / timeout end the job;
+                    // a watchdog stall is retried like any other
+                    // transient oracle failure (the oracle is this
+                    // job's only active simulation here, so its
+                    // simExit already cleared the stall flag).
+                    if (pipelineCancelled() || deadlineExceeded(state))
+                        throw;
+                    oracle_error =
+                        "stalled: no simulated-cycle progress within " +
+                        std::to_string(params_.stallTimeoutSeconds) +
+                        "s";
+                } catch (const std::exception &err) {
+                    oracle_error = err.what();
+                }
+                if (attempt < max_attempts) {
+                    warn("campaign job '", state.job.id,
+                         "': oracle run failed (", oracle_error,
+                         "); retry ", attempt, "/",
+                         params_.stageRetries);
+                    retryBackoffSleep(attempt);
+                }
+            }
+            if (stats) {
+                row.oracleSeconds = oracle_timer.elapsedSeconds();
+                for (gpusim::Metric metric : gpusim::allMetrics())
+                    row.oracle[metric] = stats->metricValue(metric);
+            } else {
+                // The prediction itself is fine — deliver it, flagged
+                // Degraded because the requested reference is missing.
+                row.status = JobStatus::Degraded;
+                if (!row.error.empty())
+                    row.error += "; ";
+                row.error += "oracle failed: " + oracle_error;
+            }
+        }
+    } catch (const core::PredictionCancelled &) {
+        const bool timed_out = deadlineExceeded(state) &&
+                               !pipelineCancelled();
+        row.status = timed_out ? JobStatus::TimedOut : JobStatus::Cancelled;
+        row.error = timed_out ? "job timeout during finalize"
+                              : "campaign cancelled";
+    } catch (const core::GroupFailureError &err) {
+        // Too many failed groups (or fail-fast): no usable prediction.
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+    } catch (const std::exception &err) {
+        row.status = JobStatus::Failed;
+        row.error = err.what();
+    }
+    finishJob(state, std::move(row));
+}
+
+} // namespace zatel::service

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Incremental-submission job pipeline: the per-job execution core that
+ * CampaignScheduler used to own, extracted so long-running callers
+ * (the zatel-serve daemon, tools/zatel_serve.cpp) can feed jobs in one
+ * at a time while a batch campaign submits them all up front.
+ *
+ * Each submitted job decomposes into pipeline stages:
+ *
+ *   start     resolve scene + GPU, get the ScenePack and quantized
+ *             heatmap from the artifact cache (built at most once per
+ *             recipe thanks to single-flight getOrBuild), prepare the
+ *             predictor
+ *   group g   one unit per image-plane group: the downscaled simulator
+ *             instance (the bulk of the work)
+ *   finalize  extrapolate + combine, optional cached oracle run, invoke
+ *             the submission's done callback with the terminal row
+ *
+ * Stage units go through a priority ready-queue (job priority desc,
+ * enqueue order asc) that a dedicated pump thread feeds into the shared
+ * ThreadPool only while the pool queue is shallower than its worker
+ * count. That load-aware dispatch keeps the FIFO pool from burying a
+ * late high-priority job under an earlier job's long unit backlog.
+ *
+ * Cancellation and timeouts are cooperative: every predictor polls a
+ * cancel hook between stages and before each group simulation, so a
+ * cancelled pipeline or a job past its wall-clock budget stops at the
+ * next stage boundary and is recorded as Cancelled / TimedOut.
+ *
+ * Resilience (docs/ROBUSTNESS.md): transient start-stage failures are
+ * retried (stageRetries) with deterministic backoff, group simulations
+ * retry inside ZatelPredictor::runGroupTaskResilient, and a progress
+ * watchdog thread cancels simulations that stop making simulated-cycle
+ * progress for stallTimeoutSeconds so a hung instance is retried or
+ * recorded as a failed group instead of wedging the pipeline.
+ *
+ * Determinism: stage units compute into per-job, per-group slots and
+ * assembly happens in group order, so a pipelined prediction is
+ * byte-identical to ZatelPredictor::predict() on the same inputs (see
+ * tests/test_determinism.cc).
+ */
+
+#ifndef ZATEL_SERVICE_JOB_PIPELINE_HH
+#define ZATEL_SERVICE_JOB_PIPELINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "util/thread_pool.hh"
+
+namespace zatel::service
+{
+
+/** Pipeline tuning (the scheduler-level knobs of SchedulerParams). */
+struct PipelineParams
+{
+    /** Shared-pool worker count; 0 = hardware concurrency. */
+    size_t workers = 0;
+    /**
+     * Hang watchdog (docs/ROBUSTNESS.md): a group/oracle simulation
+     * that reports no simulated-cycle progress for this many seconds
+     * is cooperatively cancelled and retried (or recorded as a failed
+     * group once retries are exhausted). <= 0 disables the watchdog
+     * (and the mid-run progress probe entirely).
+     */
+    double stallTimeoutSeconds = 0.0;
+    /** Retries for transient start-stage and oracle failures. */
+    uint32_t stageRetries = 1;
+    /** Simulated cycles between watchdog heartbeats. */
+    uint64_t probeIntervalCycles = 250000;
+    /** Pipeline-level cooperative cancellation (polled frequently). */
+    std::function<bool()> cancelled;
+};
+
+/**
+ * Runs prediction jobs submitted at any time, from any thread, on ONE
+ * shared worker pool. Construct once; submit() as work arrives; each
+ * submission's done callback fires exactly once with the terminal
+ * ResultRow (from a pool worker; must be thread-safe and must not
+ * block on the pipeline itself). drain()/the destructor finish all
+ * in-flight jobs before returning.
+ */
+class JobPipeline
+{
+  public:
+    /** One job plus its per-request policy. */
+    struct Submission
+    {
+        CampaignJob job;
+        /** Per-job wall-clock budget in seconds; <= 0 disables it. */
+        double timeoutSeconds = 0.0;
+        /** Terminal-row sink; invoked exactly once per submission. */
+        std::function<void(const ResultRow &)> done;
+    };
+
+    /** @param cache Shared artifact cache (outlives the pipeline). */
+    explicit JobPipeline(ArtifactCache &cache, PipelineParams params = {});
+    ~JobPipeline();
+
+    JobPipeline(const JobPipeline &) = delete;
+    JobPipeline &operator=(const JobPipeline &) = delete;
+
+    /**
+     * Enqueue one job (thread-safe). @throws std::runtime_error when
+     * called after drain() started.
+     */
+    void submit(Submission submission);
+
+    /** Block until no submitted job is pending or executing. */
+    void waitIdle();
+
+    /** Stop accepting submissions, then waitIdle(). Idempotent. */
+    void drain();
+
+    /** Jobs submitted but not yet finished. */
+    size_t pendingJobs() const;
+
+    size_t workerCount() const { return pool_.workerCount(); }
+
+    /** Stage units ready or executing (admission-control signal). */
+    size_t queueDepth() const;
+
+  private:
+    /** One schedulable unit of work. */
+    struct Unit
+    {
+        int priority = 0;
+        uint64_t seq = 0;
+        std::function<void()> fn;
+
+        /** Higher priority first; FIFO within a priority. */
+        bool
+        operator<(const Unit &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq < other.seq;
+        }
+    };
+
+    /** Mutable per-job execution state. */
+    struct JobState
+    {
+        CampaignJob job;
+        /** Per-job wall-clock budget (from the submission). */
+        double timeoutSeconds = 0.0;
+        /** Terminal-row sink (from the submission). */
+        std::function<void(const ResultRow &)> done;
+
+        gpusim::GpuConfig config;
+        std::shared_ptr<const ScenePack> pack;
+        std::unique_ptr<core::ZatelPredictor> predictor;
+        std::vector<core::ZatelPredictor::GroupTask> tasks;
+        std::atomic<size_t> groupsRemaining{0};
+
+        /** Set once by whichever unit fails first. */
+        std::atomic<bool> broken{false};
+        std::mutex errorMutex;
+        JobStatus terminalStatus = JobStatus::Ok;
+        std::string errorMessage;
+
+        std::chrono::steady_clock::time_point startTime;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point simStart;
+
+        // ---- Hang-watchdog state (docs/ROBUSTNESS.md) ----
+        /**
+         * Per-slot last-heartbeat timestamps (monotonic ns): one slot
+         * per group plus a final slot for the oracle run. 0 means "no
+         * simulation active in this slot". Allocated by the start unit;
+         * progressSlots (released after the allocation) publishes the
+         * array to the watchdog thread.
+         */
+        std::unique_ptr<std::atomic<uint64_t>[]> groupProgressNs;
+        std::atomic<size_t> progressSlots{0};
+        /** Simulations of this job currently inside the GPU loop. */
+        std::atomic<size_t> activeSimUnits{0};
+        /** Set by the watchdog; cleared by the last sim unit out (or
+         *  by an arriving unit when none is active). */
+        std::atomic<bool> stallCancelled{false};
+        /** Stall retries consumed per group. Element g is only touched
+         *  by group g's unit (requeues serialize it). */
+        std::vector<uint32_t> groupAttempts;
+        /** Start-stage retries consumed (start units serialize). */
+        uint32_t startAttempts = 0;
+
+        /** Terminal: done fired, heavy state freed; sweepable. */
+        std::atomic<bool> finished{false};
+    };
+
+    void enqueueUnit(int priority, std::function<void()> fn);
+    void pumpLocked(std::unique_lock<std::mutex> &lock);
+    /** Pump-thread body: dispatch ready units, sweep finished jobs. */
+    void pumpLoop();
+    /** Drop jobs whose done callback has fired. */
+    void sweepFinished();
+
+    /** True when the pipeline-level cancel hook fired. */
+    bool pipelineCancelled() const;
+    /** Cancel-hook body for @p state (pipeline cancel or job timeout). */
+    bool jobShouldStop(const JobState &state) const;
+
+    void runStartUnit(JobState &state);
+    void runGroupUnit(JobState &state, size_t group_index);
+    void runFinalizeUnit(JobState &state);
+
+    /** Mark @p slot's simulation active (heartbeat baseline = now). */
+    void simEnter(JobState &state, size_t slot);
+    /** Clear @p slot; the last unit out clears a pending stall flag. */
+    void simExit(JobState &state, size_t slot);
+    /** True when @p state's deadline exists and has passed. */
+    static bool deadlineExceeded(const JobState &state);
+    /** Watchdog thread body: flags jobs with stale progress slots. */
+    void watchdogLoop();
+
+    /** Record the first failure of a job (later calls are ignored). */
+    void markBroken(JobState &state, JobStatus status,
+                    const std::string &message);
+    /** Fire the done callback, release the job, mark it sweepable. */
+    void finishJob(JobState &state, ResultRow row);
+
+    ArtifactCache &cache_;
+    PipelineParams params_;
+    ThreadPool pool_;
+
+    /** Live job states; guarded by jobsMutex_ (watchdog + sweeper). */
+    mutable std::mutex jobsMutex_;
+    std::vector<std::unique_ptr<JobState>> jobs_;
+
+    mutable std::mutex pumpMutex_;
+    mutable std::condition_variable pumpCv_;
+    std::set<Unit> ready_;
+    uint64_t nextSeq_ = 0;
+    size_t unitsInFlight_ = 0;
+    std::atomic<size_t> pendingJobs_{0};
+    std::atomic<bool> accepting_{true};
+    bool stopPump_ = false; ///< Guarded by pumpMutex_.
+
+    std::atomic<bool> watchdogStop_{false};
+    std::thread pumpThread_;
+    std::thread watchdogThread_;
+};
+
+} // namespace zatel::service
+
+#endif // ZATEL_SERVICE_JOB_PIPELINE_HH

@@ -15,12 +15,8 @@
 namespace zatel::service
 {
 
-namespace
-{
-
-/** Stable snake_case key per Table I metric (serialization order). */
 const char *
-metricKey(gpusim::Metric metric)
+metricJsonKey(gpusim::Metric metric)
 {
     switch (metric) {
     case gpusim::Metric::Ipc:
@@ -41,9 +37,8 @@ metricKey(gpusim::Metric metric)
     return "unknown";
 }
 
-/** %.17g: enough digits that parsing reproduces the exact double. */
 std::string
-fmtDouble(double value)
+formatDouble17(double value)
 {
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
@@ -51,7 +46,7 @@ fmtDouble(double value)
 }
 
 std::string
-jsonEscape(const std::string &text)
+jsonEscaped(const std::string &text)
 {
     std::string out;
     out.reserve(text.size());
@@ -78,6 +73,9 @@ jsonEscape(const std::string &text)
     }
     return out;
 }
+
+namespace
+{
 
 /** Lookup with 0.0 fallback so rows always carry every metric column. */
 double
@@ -141,9 +139,9 @@ ResultStore::csvHeader() const
     std::ostringstream oss;
     oss << "job,status,scene,gpu,k,fraction_traced";
     for (gpusim::Metric metric : gpusim::allMetrics())
-        oss << "," << metricKey(metric);
+        oss << "," << metricJsonKey(metric);
     for (gpusim::Metric metric : gpusim::allMetrics())
-        oss << ",oracle_" << metricKey(metric);
+        oss << ",oracle_" << metricJsonKey(metric);
     if (options_.includeTiming)
         oss << ",preprocess_s,sim_s,max_group_s,oracle_s";
     oss << ",error";
@@ -157,16 +155,16 @@ ResultStore::formatRow(const ResultRow &row) const
     if (csv_) {
         oss << row.jobId << "," << jobStatusName(row.status) << ","
             << row.scene << "," << row.gpu << "," << row.k << ","
-            << fmtDouble(row.fractionTraced);
+            << formatDouble17(row.fractionTraced);
         for (gpusim::Metric metric : gpusim::allMetrics())
-            oss << "," << fmtDouble(metricOrZero(row.predicted, metric));
+            oss << "," << formatDouble17(metricOrZero(row.predicted, metric));
         for (gpusim::Metric metric : gpusim::allMetrics())
-            oss << "," << fmtDouble(metricOrZero(row.oracle, metric));
+            oss << "," << formatDouble17(metricOrZero(row.oracle, metric));
         if (options_.includeTiming) {
-            oss << "," << fmtDouble(row.preprocessSeconds) << ","
-                << fmtDouble(row.simSeconds) << ","
-                << fmtDouble(row.maxGroupSeconds) << ","
-                << fmtDouble(row.oracleSeconds);
+            oss << "," << formatDouble17(row.preprocessSeconds) << ","
+                << formatDouble17(row.simSeconds) << ","
+                << formatDouble17(row.maxGroupSeconds) << ","
+                << formatDouble17(row.oracleSeconds);
         }
         // The error message may hold commas/quotes; RFC-4180-quote it.
         std::string quoted = row.error;
@@ -187,38 +185,38 @@ ResultStore::formatRow(const ResultRow &row) const
         return oss.str();
     }
 
-    oss << "{\"job\":\"" << jsonEscape(row.jobId) << "\""
+    oss << "{\"job\":\"" << jsonEscaped(row.jobId) << "\""
         << ",\"status\":\"" << jobStatusName(row.status) << "\""
-        << ",\"scene\":\"" << jsonEscape(row.scene) << "\""
-        << ",\"gpu\":\"" << jsonEscape(row.gpu) << "\"";
+        << ",\"scene\":\"" << jsonEscaped(row.scene) << "\""
+        << ",\"gpu\":\"" << jsonEscaped(row.gpu) << "\"";
     oss << ",\"k\":" << row.k;
-    oss << ",\"fraction_traced\":" << fmtDouble(row.fractionTraced);
+    oss << ",\"fraction_traced\":" << formatDouble17(row.fractionTraced);
     if (!row.predicted.empty()) {
         for (gpusim::Metric metric : gpusim::allMetrics()) {
-            oss << ",\"" << metricKey(metric)
-                << "\":" << fmtDouble(metricOrZero(row.predicted, metric));
+            oss << ",\"" << metricJsonKey(metric)
+                << "\":" << formatDouble17(metricOrZero(row.predicted, metric));
         }
     }
     if (!row.oracle.empty()) {
         for (gpusim::Metric metric : gpusim::allMetrics()) {
-            oss << ",\"oracle_" << metricKey(metric)
-                << "\":" << fmtDouble(metricOrZero(row.oracle, metric));
+            oss << ",\"oracle_" << metricJsonKey(metric)
+                << "\":" << formatDouble17(metricOrZero(row.oracle, metric));
         }
     }
     if (options_.includeTiming) {
-        oss << ",\"preprocess_s\":" << fmtDouble(row.preprocessSeconds)
-            << ",\"sim_s\":" << fmtDouble(row.simSeconds)
-            << ",\"max_group_s\":" << fmtDouble(row.maxGroupSeconds)
-            << ",\"oracle_s\":" << fmtDouble(row.oracleSeconds);
+        oss << ",\"preprocess_s\":" << formatDouble17(row.preprocessSeconds)
+            << ",\"sim_s\":" << formatDouble17(row.simSeconds)
+            << ",\"max_group_s\":" << formatDouble17(row.maxGroupSeconds)
+            << ",\"oracle_s\":" << formatDouble17(row.oracleSeconds);
     }
     if (!row.error.empty())
-        oss << ",\"error\":\"" << jsonEscape(row.error) << "\"";
+        oss << ",\"error\":\"" << jsonEscaped(row.error) << "\"";
     // Degraded-only keys: Ok rows keep their pre-resilience byte
     // layout (the CI batch smoke diffs runs byte-for-byte).
     if (row.status == JobStatus::Degraded) {
         oss << ",\"failed_groups\":" << row.failedGroups
             << ",\"survivor_extrapolation\":"
-            << fmtDouble(row.survivorExtrapolation);
+            << formatDouble17(row.survivorExtrapolation);
     }
     oss << "}";
     return oss.str();

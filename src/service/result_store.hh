@@ -53,6 +53,19 @@ enum class JobStatus : uint8_t
 
 const char *jobStatusName(JobStatus status);
 
+/**
+ * Stable snake_case key per Table I metric. Shared by the row
+ * serializers here and the serve layer's /predict response bodies so
+ * both spell metrics identically.
+ */
+const char *metricJsonKey(gpusim::Metric metric);
+
+/** %.17g: enough digits that parsing reproduces the exact double. */
+std::string formatDouble17(double value);
+
+/** Escape for embedding in a JSON string literal. */
+std::string jsonEscaped(const std::string &text);
+
 /** One result row (one finished job). */
 struct ResultRow
 {

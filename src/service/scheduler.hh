@@ -5,38 +5,14 @@
  * K cores; a campaign of J predictions would need J x K cores if every
  * predictor owned its pool — the scheduler multiplexes them instead).
  *
- * Each job decomposes into pipeline stages:
- *
- *   start     resolve scene + GPU, get the ScenePack and quantized
- *             heatmap from the artifact cache (built at most once per
- *             campaign thanks to single-flight getOrBuild), prepare the
- *             predictor
- *   group g   one unit per image-plane group: the downscaled simulator
- *             instance (the bulk of the work)
- *   finalize  extrapolate + combine, optional cached oracle run, append
- *             the result row
- *
- * Stage units go through a priority ready-queue (job priority desc,
- * enqueue order asc) that is pumped into the shared ThreadPool only
- * while the pool queue is shallower than its worker count. That
- * load-aware dispatch keeps the FIFO pool from burying a late
- * high-priority job under an earlier job's long unit backlog, which is
- * what ThreadPool::queueDepth() exists for.
- *
- * Cancellation and timeouts are cooperative: every predictor polls a
- * cancel hook between stages and before each group simulation, so a
- * cancelled campaign or a job past its wall-clock budget stops at the
- * next stage boundary and is recorded as Cancelled / TimedOut.
- *
- * Resilience (docs/ROBUSTNESS.md): transient start-stage failures are
- * retried (stageRetries) with deterministic backoff, group simulations
- * retry inside ZatelPredictor::runGroupTaskResilient, and a progress
- * watchdog thread cancels simulations that stop making simulated-cycle
- * progress for stallTimeoutSeconds so a hung instance is retried or
- * recorded as a failed group instead of wedging the campaign. Jobs
- * whose prediction was assembled from a surviving subset of groups —
- * or whose optional oracle run failed while the prediction itself
- * succeeded — finish with JobStatus::Degraded.
+ * Since the zatel-serve work the execution machinery itself — priority
+ * stage units, load-aware pump, stall watchdog, retries, cooperative
+ * cancellation — lives in JobPipeline (job_pipeline.hh), which accepts
+ * jobs incrementally from any thread. CampaignScheduler is the batch
+ * front end: it submits every campaign job up front with the shared
+ * per-job timeout, appends each terminal row to the ResultStore, and
+ * aggregates the terminal-status tallies plus the cache counters into
+ * a CampaignSummary when the pipeline drains.
  *
  * Determinism: stage units compute into per-job, per-group slots and
  * assembly happens in group order, so a scheduled prediction is
@@ -47,12 +23,8 @@
 #ifndef ZATEL_SERVICE_SCHEDULER_HH
 #define ZATEL_SERVICE_SCHEDULER_HH
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -60,8 +32,8 @@
 
 #include "service/artifact_cache.hh"
 #include "service/campaign.hh"
+#include "service/job_pipeline.hh"
 #include "service/result_store.hh"
-#include "util/thread_pool.hh"
 
 namespace zatel::service
 {
@@ -143,112 +115,22 @@ class CampaignScheduler
     /** Execute the campaign; call exactly once. */
     CampaignSummary run();
 
-    size_t workerCount() const { return pool_.workerCount(); }
+    size_t workerCount() const { return pipeline_.workerCount(); }
 
   private:
-    /** One schedulable unit of work. */
-    struct Unit
-    {
-        int priority = 0;
-        uint64_t seq = 0;
-        std::function<void()> fn;
-
-        /** Higher priority first; FIFO within a priority. */
-        bool
-        operator<(const Unit &other) const
-        {
-            if (priority != other.priority)
-                return priority > other.priority;
-            return seq < other.seq;
-        }
-    };
-
-    /** Mutable per-job execution state. */
-    struct JobState
-    {
-        CampaignJob job;
-        gpusim::GpuConfig config;
-        std::shared_ptr<const ScenePack> pack;
-        std::unique_ptr<core::ZatelPredictor> predictor;
-        std::vector<core::ZatelPredictor::GroupTask> tasks;
-        std::atomic<size_t> groupsRemaining{0};
-
-        /** Set once by whichever unit fails first. */
-        std::atomic<bool> broken{false};
-        std::mutex errorMutex;
-        JobStatus terminalStatus = JobStatus::Ok;
-        std::string errorMessage;
-
-        std::chrono::steady_clock::time_point startTime;
-        std::chrono::steady_clock::time_point deadline;
-        bool hasDeadline = false;
-        std::chrono::steady_clock::time_point simStart;
-
-        // ---- Hang-watchdog state (docs/ROBUSTNESS.md) ----
-        /**
-         * Per-slot last-heartbeat timestamps (monotonic ns): one slot
-         * per group plus a final slot for the oracle run. 0 means "no
-         * simulation active in this slot". Allocated by the start unit;
-         * progressSlots (released after the allocation) publishes the
-         * array to the watchdog thread.
-         */
-        std::unique_ptr<std::atomic<uint64_t>[]> groupProgressNs;
-        std::atomic<size_t> progressSlots{0};
-        /** Simulations of this job currently inside the GPU loop. */
-        std::atomic<size_t> activeSimUnits{0};
-        /** Set by the watchdog; cleared by the last sim unit out (or
-         *  by an arriving unit when none is active). */
-        std::atomic<bool> stallCancelled{false};
-        /** Stall retries consumed per group. Element g is only touched
-         *  by group g's unit (requeues serialize it). */
-        std::vector<uint32_t> groupAttempts;
-        /** Start-stage retries consumed (start units serialize). */
-        uint32_t startAttempts = 0;
-    };
-
-    void enqueueUnit(int priority, std::function<void()> fn);
-    void pumpLocked(std::unique_lock<std::mutex> &lock);
-
-    /** True when the campaign-level cancel hook fired. */
-    bool campaignCancelled() const;
-    /** Cancel-hook body for @p state (campaign cancel or job timeout). */
-    bool jobShouldStop(const JobState &state) const;
-
-    void runStartUnit(JobState &state);
-    void runGroupUnit(JobState &state, size_t group_index);
-    void runFinalizeUnit(JobState &state);
-
-    /** Mark @p slot's simulation active (heartbeat baseline = now). */
-    void simEnter(JobState &state, size_t slot);
-    /** Clear @p slot; the last unit out clears a pending stall flag. */
-    void simExit(JobState &state, size_t slot);
-    /** True when @p state's deadline exists and has passed. */
-    static bool deadlineExceeded(const JobState &state);
-    /** Watchdog thread body: flags jobs with stale progress slots. */
-    void watchdogLoop(const std::atomic<bool> &stop);
-
-    /** Record the first failure of a job (later calls are ignored). */
-    void markBroken(JobState &state, JobStatus status,
-                    const std::string &message);
-    /** Append a terminal row, fire the hook, release the job. */
-    void finishJob(JobState &state, ResultRow row);
+    /** Pipeline tuning derived from @p params (ctor helper). */
+    static PipelineParams pipelineParams(const SchedulerParams &params);
 
     ArtifactCache &cache_;
     ResultStore &store_;
     SchedulerParams params_;
-    ThreadPool pool_;
+    JobPipeline pipeline_;
 
-    std::vector<std::unique_ptr<JobState>> jobs_;
+    std::vector<CampaignJob> jobs_;
     size_t skippedJobs_ = 0;
 
-    std::mutex pumpMutex_;
-    std::condition_variable pumpCv_;
-    std::set<Unit> ready_;
-    uint64_t nextSeq_ = 0;
-    size_t unitsInFlight_ = 0;
-    std::atomic<size_t> jobsRemaining_{0};
-
-    // Terminal-status tallies (guarded by pumpMutex_).
+    // Terminal-status tallies (guarded by tallyMutex_).
+    std::mutex tallyMutex_;
     size_t okJobs_ = 0;
     size_t degradedJobs_ = 0;
     size_t failedJobs_ = 0;

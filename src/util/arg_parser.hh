@@ -64,6 +64,21 @@ class ArgParser
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
 
+    /**
+     * Validated conversions: like getInt() but also fatal() when the
+     * value falls outside the stated range, so every tool rejects
+     * nonsense the same way ("--workers -3", "--port 99999") instead of
+     * hand-rolling the bounds check (or worse, casting a negative to
+     * size_t). Overflowing int64 is caught by getInt() itself.
+     */
+    int64_t getIntInRange(const std::string &name, int64_t lo,
+                          int64_t hi) const;
+    /** A strictly positive integer (>= 1). */
+    int64_t getPositiveInt(const std::string &name) const;
+    /** A TCP port: [1, 65535], or 0 too when @p allowZero (ephemeral). */
+    uint16_t getPortNumber(const std::string &name,
+                           bool allowZero = false) const;
+
     /** Positional (non-option) arguments in order. */
     const std::vector<std::string> &positional() const
     {

@@ -111,6 +111,103 @@ TEST(ArgParser, MalformedNumberIsFatal)
                 "integer");
 }
 
+TEST(ArgParser, OverflowingIntegerIsFatal)
+{
+    ArgParser parser("t");
+    parser.addOption("count", "0", "a count");
+    std::vector<const char *> args{"t", "--count",
+                                   "99999999999999999999999"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EXIT(parser.getInt("count"), testing::ExitedWithCode(1),
+                "overflows");
+}
+
+TEST(ArgParser, GetIntInRangeAcceptsBoundsAndRejectsOutside)
+{
+    ArgParser parser("t");
+    parser.addOption("retries", "1", "retry count");
+    {
+        std::vector<const char *> args{"t", "--retries", "0"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EQ(parser.getIntInRange("retries", 0, 100), 0);
+    }
+    {
+        std::vector<const char *> args{"t", "--retries", "100"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EQ(parser.getIntInRange("retries", 0, 100), 100);
+    }
+    {
+        std::vector<const char *> args{"t", "--retries", "101"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EXIT(parser.getIntInRange("retries", 0, 100),
+                    testing::ExitedWithCode(1), "must be in");
+    }
+    {
+        std::vector<const char *> args{"t", "--retries", "-1"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EXIT(parser.getIntInRange("retries", 0, 100),
+                    testing::ExitedWithCode(1), "must be in");
+    }
+}
+
+TEST(ArgParser, GetPositiveIntRejectsZeroAndNegative)
+{
+    ArgParser parser("t");
+    parser.addOption("spp", "1", "samples per pixel");
+    {
+        std::vector<const char *> args{"t", "--spp", "4"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EQ(parser.getPositiveInt("spp"), 4);
+    }
+    {
+        std::vector<const char *> args{"t", "--spp", "0"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EXIT(parser.getPositiveInt("spp"),
+                    testing::ExitedWithCode(1), ">= 1");
+    }
+    {
+        std::vector<const char *> args{"t", "--spp", "-3"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EXIT(parser.getPositiveInt("spp"),
+                    testing::ExitedWithCode(1), ">= 1");
+    }
+}
+
+TEST(ArgParser, GetPortNumberBoundsAndEphemeralZero)
+{
+    ArgParser parser("t");
+    parser.addOption("port", "8080", "TCP port");
+    {
+        std::vector<const char *> args{"t", "--port", "65535"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EQ(parser.getPortNumber("port"), 65535);
+    }
+    {
+        std::vector<const char *> args{"t", "--port", "0"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        // 0 is only a valid (ephemeral) port when explicitly allowed.
+        EXPECT_EQ(parser.getPortNumber("port", /*allowZero=*/true), 0);
+        EXPECT_EXIT(parser.getPortNumber("port"),
+                    testing::ExitedWithCode(1), "must be in");
+    }
+    {
+        std::vector<const char *> args{"t", "--port", "65536"};
+        ASSERT_TRUE(
+            parser.parse(static_cast<int>(args.size()), args.data()));
+        EXPECT_EXIT(parser.getPortNumber("port", /*allowZero=*/true),
+                    testing::ExitedWithCode(1), "must be in");
+    }
+}
+
 TEST(ArgParser, UsageMentionsEverything)
 {
     ArgParser parser = makeParser();

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Units for the serve layer's protocol pieces (docs/SERVING.md):
+ *
+ *  - HttpParser: incremental parsing under short reads (byte-at-a-time
+ *    feeds), every rejection path with its precise status code
+ *    (400/413/431/501/505), header normalization, size limits.
+ *  - httpResponse: framing (status line, Content-Length, close).
+ *  - FairQueue: bounded admission, per-client round-robin order,
+ *    stop() drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fair_queue.hh"
+#include "serve/http.hh"
+
+namespace zatel::serve
+{
+namespace
+{
+
+HttpParser::Status
+feedAll(HttpParser &parser, const std::string &bytes)
+{
+    return parser.feed(bytes.data(), bytes.size());
+}
+
+/** Feed one byte at a time: the worst-case short-read pattern. */
+HttpParser::Status
+feedByByte(HttpParser &parser, const std::string &bytes)
+{
+    HttpParser::Status status = parser.status();
+    for (char c : bytes)
+        status = parser.feed(&c, 1);
+    return status;
+}
+
+TEST(HttpParser, ParsesSimpleGetInOneFeed)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "GET /healthz HTTP/1.1\r\n"
+                              "Host: localhost\r\n\r\n"),
+              HttpParser::Status::Complete);
+    EXPECT_EQ(parser.request().method, "GET");
+    EXPECT_EQ(parser.request().target, "/healthz");
+    EXPECT_EQ(parser.request().version, "HTTP/1.1");
+    EXPECT_EQ(parser.request().header("host"), "localhost");
+    EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParser, ParsesPostBodyAcrossByteSizedFeeds)
+{
+    const std::string body = "{\"scene\":\"PARK\"}";
+    const std::string raw = "POST /predict HTTP/1.1\r\n"
+                            "Content-Type: application/json\r\n"
+                            "Content-Length: " +
+                            std::to_string(body.size()) + "\r\n\r\n" +
+                            body;
+    HttpParser parser;
+    ASSERT_EQ(feedByByte(parser, raw), HttpParser::Status::Complete);
+    EXPECT_EQ(parser.request().method, "POST");
+    EXPECT_EQ(parser.request().body, body);
+    EXPECT_EQ(parser.request().header("content-type"),
+              "application/json");
+}
+
+TEST(HttpParser, NeedsMoreUntilBodyArrives)
+{
+    HttpParser parser;
+    EXPECT_EQ(feedAll(parser, "POST /predict HTTP/1.1\r\n"
+                              "Content-Length: 4\r\n\r\n"),
+              HttpParser::Status::NeedMore);
+    EXPECT_EQ(feedAll(parser, "ab"), HttpParser::Status::NeedMore);
+    EXPECT_EQ(feedAll(parser, "cd"), HttpParser::Status::Complete);
+    EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParser, HeaderNamesAreCaseInsensitive)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/1.1\r\n"
+                              "X-ReQuEsT-Id: abc\r\n\r\n"),
+              HttpParser::Status::Complete);
+    EXPECT_EQ(parser.request().header("x-request-id"), "abc");
+    // Absent headers come back as the empty string, not a throw.
+    EXPECT_EQ(parser.request().header("missing"), "");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "NONSENSE\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, MissingHeaderColonIs400)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/1.1\r\n"
+                              "BadHeaderNoColon\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, NonNumericContentLengthIs400)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "POST / HTTP/1.1\r\n"
+                              "Content-Length: abc\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, NegativeContentLengthIs400)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "POST / HTTP/1.1\r\n"
+                              "Content-Length: -5\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpParser, OversizedBodyIs413)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 16;
+    HttpParser parser(limits);
+    ASSERT_EQ(feedAll(parser, "POST / HTTP/1.1\r\n"
+                              "Content-Length: 17\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpParser, OversizedHeadersAre431)
+{
+    HttpLimits limits;
+    limits.maxHeaderBytes = 64;
+    HttpParser parser(limits);
+    const std::string raw = "GET / HTTP/1.1\r\nX-Pad: " +
+                            std::string(128, 'x') + "\r\n\r\n";
+    ASSERT_EQ(feedAll(parser, raw), HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParser, TransferEncodingIs501)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "POST / HTTP/1.1\r\n"
+                              "Transfer-Encoding: chunked\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 501);
+}
+
+TEST(HttpParser, UnsupportedVersionIs505)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/2.0\r\n\r\n"),
+              HttpParser::Status::Failed);
+    EXPECT_EQ(parser.errorStatus(), 505);
+}
+
+TEST(HttpParser, FeedingAfterTerminalStateIsANoOp)
+{
+    HttpParser parser;
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/1.1\r\n\r\n"),
+              HttpParser::Status::Complete);
+    // Pipelined bytes after the complete request are ignored: the
+    // daemon serves one request per connection.
+    EXPECT_EQ(feedAll(parser, "GET /other HTTP/1.1\r\n\r\n"),
+              HttpParser::Status::Complete);
+    EXPECT_EQ(parser.request().target, "/");
+}
+
+TEST(HttpResponse, FramesStatusLengthAndClose)
+{
+    const std::string response =
+        httpResponse(404, "application/json", "{\"error\":\"nope\"}");
+    EXPECT_EQ(response.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u)
+        << response;
+    EXPECT_NE(response.find("Content-Length: 16\r\n"),
+              std::string::npos);
+    EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(response.find("\r\n\r\n{\"error\":\"nope\"}"),
+              std::string::npos);
+}
+
+TEST(FairQueue, FifoWithinOneClient)
+{
+    FairQueue queue(8);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(queue.push(Conn{i, "10.0.0.1", {}}));
+    for (int i = 0; i < 3; ++i) {
+        auto conn = queue.pop();
+        ASSERT_TRUE(conn.has_value());
+        EXPECT_EQ(conn->fd, i);
+    }
+}
+
+TEST(FairQueue, RoundRobinAcrossClients)
+{
+    FairQueue queue(8);
+    // Client A floods three connections before B and C get one each.
+    ASSERT_TRUE(queue.push(Conn{0, "a", {}}));
+    ASSERT_TRUE(queue.push(Conn{1, "a", {}}));
+    ASSERT_TRUE(queue.push(Conn{2, "a", {}}));
+    ASSERT_TRUE(queue.push(Conn{3, "b", {}}));
+    ASSERT_TRUE(queue.push(Conn{4, "c", {}}));
+
+    std::vector<std::string> order;
+    for (int i = 0; i < 5; ++i) {
+        auto conn = queue.pop();
+        ASSERT_TRUE(conn.has_value());
+        order.push_back(conn->client);
+    }
+    // A cannot starve B and C: service rotates a, b, c, a, a.
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c", "a", "a"}));
+}
+
+TEST(FairQueue, BoundedPushRefusesWhenFull)
+{
+    FairQueue queue(2);
+    EXPECT_TRUE(queue.push(Conn{0, "a", {}}));
+    EXPECT_TRUE(queue.push(Conn{1, "b", {}}));
+    EXPECT_FALSE(queue.push(Conn{2, "c", {}}));
+    EXPECT_EQ(queue.depth(), 2u);
+    // Popping frees a slot again.
+    ASSERT_TRUE(queue.pop().has_value());
+    EXPECT_TRUE(queue.push(Conn{3, "c", {}}));
+}
+
+TEST(FairQueue, StopDrainsBacklogThenReturnsNullopt)
+{
+    FairQueue queue(4);
+    ASSERT_TRUE(queue.push(Conn{0, "a", {}}));
+    ASSERT_TRUE(queue.push(Conn{1, "b", {}}));
+    queue.stop();
+    EXPECT_FALSE(queue.push(Conn{2, "c", {}}));
+    // Already-admitted connections are still served (graceful drain)...
+    EXPECT_TRUE(queue.pop().has_value());
+    EXPECT_TRUE(queue.pop().has_value());
+    // ...and only then do poppers see the end.
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(FairQueue, StopWakesBlockedPopper)
+{
+    FairQueue queue(4);
+    std::thread popper([&queue]() {
+        // Blocks until stop(); must return nullopt, not hang.
+        EXPECT_FALSE(queue.pop().has_value());
+    });
+    queue.stop();
+    popper.join();
+}
+
+} // namespace
+} // namespace zatel::serve

@@ -1,0 +1,35 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// readAll() recv()s with no fault-injection site in reach; writeAll()
+// registers serve.write and stays clean — the coverage contract for
+// src/serve/ socket IO (accept/recv/send) added with the daemon.
+#include <cstddef>
+#include <string>
+
+#define ZATEL_FAULT_SITE(name) (name)
+
+extern "C" long recv(int fd, void *buf, size_t len, int flags);
+extern "C" long send(int fd, const void *buf, size_t len, int flags);
+
+namespace zatel::serve
+{
+
+bool
+readAll(int fd, std::string &out)
+{
+    char buffer[256];
+    const long n = recv(fd, buffer, sizeof(buffer), 0); // EXPECT: fault-site-coverage
+    if (n <= 0)
+        return false;
+    out.assign(buffer, static_cast<size_t>(n));
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &body)
+{
+    if (ZATEL_FAULT_SITE("serve.write"))
+        return false;
+    return send(fd, body.data(), body.size(), 0) >= 0;
+}
+
+} // namespace zatel::serve

@@ -153,29 +153,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Range-check the resilience knobs before touching any state:
-    // getInt/getDouble already reject garbage with a clear message, and
-    // the checks below reject "parsed but nonsensical" values the same
-    // way (stderr + exit 1, never UB from a negative cast).
-    const int64_t group_retries = args.getInt("group-retries");
-    const int64_t stage_retries = args.getInt("stage-retries");
+    // Range-check every numeric knob before touching any state: the
+    // validated accessors reject garbage AND "parsed but nonsensical"
+    // values with one clear message (stderr + exit 1, never UB from a
+    // negative cast).
+    const int64_t group_retries = args.getIntInRange("group-retries", 0, 100);
+    const int64_t stage_retries = args.getIntInRange("stage-retries", 0, 100);
     const double stall_timeout_ms = args.getDouble("stall-timeout-ms");
     const double min_groups_fraction =
         args.getDouble("min-groups-fraction");
-    if (group_retries < 0 || group_retries > 100) {
-        std::fprintf(stderr,
-                     "error: --group-retries must be in [0, 100], got "
-                     "%lld\n",
-                     static_cast<long long>(group_retries));
-        return 1;
-    }
-    if (stage_retries < 0 || stage_retries > 100) {
-        std::fprintf(stderr,
-                     "error: --stage-retries must be in [0, 100], got "
-                     "%lld\n",
-                     static_cast<long long>(stage_retries));
-        return 1;
-    }
     if (stall_timeout_ms < 0.0) {
         std::fprintf(stderr,
                      "error: --stall-timeout-ms must be >= 0, got %g\n",
@@ -207,7 +193,8 @@ main(int argc, char **argv)
 
     const std::string out_path = args.get("out");
     service::SchedulerParams sched;
-    sched.workers = static_cast<size_t>(args.getInt("jobs"));
+    sched.workers =
+        static_cast<size_t>(args.getIntInRange("jobs", 0, 4096));
     sched.jobTimeoutSeconds = args.getDouble("timeout");
     sched.stallTimeoutSeconds = stall_timeout_ms / 1000.0;
     sched.stageRetries = static_cast<uint32_t>(stage_retries);
@@ -222,7 +209,8 @@ main(int argc, char **argv)
     service::ResultStore store(out_path, store_options);
 
     const uint64_t budget =
-        static_cast<uint64_t>(args.getInt("cache-mb")) * 1024 * 1024;
+        static_cast<uint64_t>(args.getPositiveInt("cache-mb")) * 1024 *
+        1024;
     service::ArtifactCache cache(budget, args.get("cache-dir"));
 
     // Observability must be switched on BEFORE the scheduler exists:

@@ -50,17 +50,20 @@ core::ZatelParams
 paramsFromArgs(const ArgParser &args)
 {
     core::ZatelParams params;
-    params.width = static_cast<uint32_t>(args.getInt("res"));
+    params.width = static_cast<uint32_t>(args.getPositiveInt("res"));
     params.height = params.width;
-    params.samplesPerPixel = static_cast<uint32_t>(args.getInt("spp"));
+    params.samplesPerPixel =
+        static_cast<uint32_t>(args.getPositiveInt("spp"));
     params.seed = static_cast<uint64_t>(args.getInt("seed"));
-    params.numThreads = static_cast<uint32_t>(args.getInt("threads"));
+    params.numThreads =
+        static_cast<uint32_t>(args.getIntInRange("threads", 0, 4096));
     params.downscaleGpu = !args.getFlag("no-downscale");
 
     if (args.has("fraction"))
         params.selector.fixedFraction = args.getDouble("fraction");
     if (args.has("k"))
-        params.forcedK = static_cast<uint32_t>(args.getInt("k"));
+        params.forcedK =
+            static_cast<uint32_t>(args.getPositiveInt("k"));
 
     const std::string &division = args.get("division");
     if (division == "coarse")
@@ -86,13 +89,11 @@ paramsFromArgs(const ArgParser &args)
         params.profiler.timerNoise = args.getDouble("profile-noise");
     }
 
-    // Resilience knobs (docs/ROBUSTNESS.md), range-checked here so a
+    // Resilience knobs (docs/ROBUSTNESS.md), range-checked so a
     // negative or out-of-range value is a clear error, not a huge
     // unsigned wrap.
-    const int64_t group_retries = args.getInt("group-retries");
-    if (group_retries < 0 || group_retries > 100)
-        fatal("--group-retries must be in [0, 100], got ", group_retries);
-    params.groupRetries = static_cast<uint32_t>(group_retries);
+    params.groupRetries = static_cast<uint32_t>(
+        args.getIntInRange("group-retries", 0, 100));
     const double min_fraction = args.getDouble("min-groups-fraction");
     if (min_fraction < 0.0 || min_fraction > 1.0)
         fatal("--min-groups-fraction must be in [0, 1], got ",
