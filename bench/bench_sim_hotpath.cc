@@ -19,6 +19,13 @@
  * when stats diverge or the predictor-level speedup drops below 1.2x
  * (the CI floor; the differential suite tests/test_gpu_fastpath.cc
  * covers correctness in finer grain).
+ *
+ * A third leg times the epoch-span parallel fast loop (simThreads=4,
+ * epochLength=16) against the serial fast loop on the same full frame.
+ * Stat divergence there is always fatal; the >= 2x speedup gate is
+ * enforced only on machines with at least 4 hardware threads (single-
+ * core CI runners record a skip reason instead — a thread pool cannot
+ * beat serial on one core).
  */
 
 #include <algorithm>
@@ -27,6 +34,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
@@ -52,6 +60,11 @@ using zatel::gpusim::TickMode;
 constexpr double kMinSpeedup = 1.2; // CI floor; target is >= 1.3x
 constexpr int kTrials = 5;
 
+// Parallel leg: serial fast loop vs the epoch-span sharded loop.
+constexpr double kMinParallelSpeedup = 2.0;
+constexpr uint32_t kParallelThreads = 4;
+constexpr uint32_t kParallelEpoch = 16;
+
 double
 nowSeconds()
 {
@@ -69,44 +82,27 @@ bitsOf(double value)
     return bits;
 }
 
-/** Compare every raw counter of two GpuStats. */
+/**
+ * Compare every raw counter of two GpuStats via the shared field table
+ * (gpuStatsFields), so a counter added to GpuStats is covered here
+ * without touching the bench.
+ */
 bool
 statsIdentical(const GpuStats &a, const GpuStats &b, const char *context)
 {
     bool same = true;
-#define ZATEL_CHECK_COUNTER(field)                                          \
-    do {                                                                    \
-        if (a.field != b.field) {                                           \
-            std::fprintf(stderr,                                            \
-                         "FAIL %s: counter " #field                         \
-                         " diverged (slow=%llu fast=%llu)\n",               \
-                         context,                                           \
-                         static_cast<unsigned long long>(a.field),          \
-                         static_cast<unsigned long long>(b.field));         \
-            same = false;                                                   \
-        }                                                                   \
-    } while (0)
-    ZATEL_CHECK_COUNTER(cycles);
-    ZATEL_CHECK_COUNTER(threadInstructions);
-    ZATEL_CHECK_COUNTER(warpInstructions);
-    ZATEL_CHECK_COUNTER(l1dAccesses);
-    ZATEL_CHECK_COUNTER(l1dMisses);
-    ZATEL_CHECK_COUNTER(l2Accesses);
-    ZATEL_CHECK_COUNTER(l2Misses);
-    ZATEL_CHECK_COUNTER(rtActiveRaySum);
-    ZATEL_CHECK_COUNTER(rtResidentWarpCycles);
-    ZATEL_CHECK_COUNTER(rtNodeVisits);
-    ZATEL_CHECK_COUNTER(rtTriangleTests);
-    ZATEL_CHECK_COUNTER(dramBusyCycles);
-    ZATEL_CHECK_COUNTER(dramActiveCycles);
-    ZATEL_CHECK_COUNTER(dramChannelCycles);
-    ZATEL_CHECK_COUNTER(dramBytesRead);
-    ZATEL_CHECK_COUNTER(dramBytesWritten);
-    ZATEL_CHECK_COUNTER(warpsLaunched);
-    ZATEL_CHECK_COUNTER(raysTraced);
-    ZATEL_CHECK_COUNTER(pixelsTraced);
-    ZATEL_CHECK_COUNTER(pixelsFiltered);
-#undef ZATEL_CHECK_COUNTER
+    for (const auto &field : zatel::gpusim::gpuStatsFields()) {
+        uint64_t lhs = a.*(field.member);
+        uint64_t rhs = b.*(field.member);
+        if (lhs != rhs) {
+            std::fprintf(stderr,
+                         "FAIL %s: counter %s diverged (%llu vs %llu)\n",
+                         context, field.name,
+                         static_cast<unsigned long long>(lhs),
+                         static_cast<unsigned long long>(rhs));
+            same = false;
+        }
+    }
     return same;
 }
 
@@ -194,6 +190,7 @@ struct FullFrameOutcome
     double seconds = 0.0;
     uint64_t fastForwarded = 0;
     uint64_t skippedSmTicks = 0;
+    uint64_t parallelSpans = 0;
 };
 
 /** One timed full-frame simulation in @p mode. */
@@ -211,6 +208,7 @@ runFullFrameOnce(const rt::Tracer &tracer, const GpuConfig &config,
     outcome.seconds = nowSeconds() - start;
     outcome.fastForwarded = gpu.fastForwardedCycles();
     outcome.skippedSmTicks = gpu.skippedSmTicks();
+    outcome.parallelSpans = gpu.parallelSpans();
     return outcome;
 }
 
@@ -233,6 +231,37 @@ runFullFrame(const rt::Tracer &tracer, const GpuConfig &config,
             runFullFrameOnce(tracer, config, res, TickMode::Fast);
         if (f.seconds < fast.seconds)
             fast = f;
+    }
+}
+
+/**
+ * Best-of-kTrials full-frame run of the serial fast loop vs the
+ * epoch-span parallel loop, interleaved. Both use the same explicit
+ * epochLength so the only variable is SM sharding across threads.
+ */
+void
+runParallelLeg(const rt::Tracer &tracer, const GpuConfig &base,
+               uint32_t res, FullFrameOutcome &serial,
+               FullFrameOutcome &parallel)
+{
+    GpuConfig serialConfig = base;
+    serialConfig.simThreads = 1;
+    serialConfig.epochLength = kParallelEpoch;
+    GpuConfig parallelConfig = base;
+    parallelConfig.simThreads = kParallelThreads;
+    parallelConfig.epochLength = kParallelEpoch;
+
+    serial.seconds = 1e300;
+    parallel.seconds = 1e300;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        FullFrameOutcome s =
+            runFullFrameOnce(tracer, serialConfig, res, TickMode::Fast);
+        if (s.seconds < serial.seconds)
+            serial = s;
+        FullFrameOutcome p =
+            runFullFrameOnce(tracer, parallelConfig, res, TickMode::Fast);
+        if (p.seconds < parallel.seconds)
+            parallel = p;
     }
 }
 
@@ -267,17 +296,41 @@ main()
     identical &=
         statsIdentical(frameSlow.stats, frameFast.stats, "full frame");
 
+    // ---- Parallel leg: serial fast loop vs epoch-span sharded loop.
+    FullFrameOutcome parallelSerial;
+    FullFrameOutcome parallelSharded;
+    runParallelLeg(tracer, config, frameRes, parallelSerial,
+                   parallelSharded);
+    bool parallelIdentical = statsIdentical(
+        parallelSerial.stats, parallelSharded.stats, "parallel leg");
+    // The parallel run must also match the slow oracle, not just the
+    // serial fast loop it raced against.
+    parallelIdentical &= statsIdentical(
+        frameSlow.stats, parallelSharded.stats, "parallel vs slow");
+    unsigned hardwareThreads = std::thread::hardware_concurrency();
+    bool enforceParallelGate = hardwareThreads >= kParallelThreads;
+
     // ---- Timing.
     PredictTimes times = timePredict(prepared, config, params);
     double slowSeconds = times.slowSeconds;
     double fastSeconds = times.fastSeconds;
     double speedup = slowSeconds / fastSeconds;
     double frameSpeedup = frameSlow.seconds / frameFast.seconds;
+    double parallelSpeedup =
+        parallelSerial.seconds / parallelSharded.seconds;
 
     std::printf("predictor  slow %.3fs  fast %.3fs  speedup %.2fx\n",
                 slowSeconds, fastSeconds, speedup);
     std::printf("full frame slow %.3fs  fast %.3fs  speedup %.2fx\n",
                 frameSlow.seconds, frameFast.seconds, frameSpeedup);
+    std::printf("parallel   serial %.3fs  %u-thread %.3fs  speedup %.2fx"
+                "  (%llu spans, %u hw threads%s)\n",
+                parallelSerial.seconds, kParallelThreads,
+                parallelSharded.seconds, parallelSpeedup,
+                static_cast<unsigned long long>(
+                    parallelSharded.parallelSpans),
+                hardwareThreads,
+                enforceParallelGate ? "" : ", gate skipped");
     std::printf("fast-forwarded cycles %llu  skipped SM ticks %llu  "
                 "(of %llu cycles)\n",
                 static_cast<unsigned long long>(frameFast.fastForwarded),
@@ -302,13 +355,33 @@ main()
             "  \"fast_forwarded_cycles\": %llu,\n"
             "  \"skipped_sm_ticks\": %llu,\n"
             "  \"stats_identical\": %s,\n"
-            "  \"min_speedup_gate\": %.2f\n"
+            "  \"min_speedup_gate\": %.2f,\n"
+            "  \"parallel_serial_seconds\": %.6f,\n"
+            "  \"parallel_sharded_seconds\": %.6f,\n"
+            "  \"parallel_speedup\": %.4f,\n"
+            "  \"parallel_threads\": %u,\n"
+            "  \"parallel_epoch_length\": %u,\n"
+            "  \"parallel_spans\": %llu,\n"
+            "  \"parallel_stats_identical\": %s,\n"
+            "  \"parallel_gate_enforced\": %s,\n"
+            "  \"parallel_gate_skip_reason\": \"%s\",\n"
+            "  \"min_parallel_speedup_gate\": %.2f,\n"
+            "  \"hardware_threads\": %u\n"
             "}\n",
             options.resolution, kTrials, slowSeconds, fastSeconds, speedup,
             frameSlow.seconds, frameFast.seconds, frameSpeedup,
             static_cast<unsigned long long>(frameFast.fastForwarded),
             static_cast<unsigned long long>(frameFast.skippedSmTicks),
-            identical ? "true" : "false", kMinSpeedup);
+            identical ? "true" : "false", kMinSpeedup,
+            parallelSerial.seconds, parallelSharded.seconds,
+            parallelSpeedup, kParallelThreads, kParallelEpoch,
+            static_cast<unsigned long long>(parallelSharded.parallelSpans),
+            parallelIdentical ? "true" : "false",
+            enforceParallelGate ? "true" : "false",
+            enforceParallelGate
+                ? ""
+                : "fewer than 4 hardware threads on this machine",
+            kMinParallelSpeedup, hardwareThreads);
         std::fclose(json);
         std::printf("wrote BENCH_sim.json\n");
     } else {
@@ -321,10 +394,23 @@ main()
                      "FAIL: fast loop diverged from the slow reference\n");
         return 1;
     }
+    if (!parallelIdentical) {
+        std::fprintf(stderr, "FAIL: parallel loop diverged from the "
+                             "serial/slow reference\n");
+        return 1;
+    }
     if (speedup < kMinSpeedup) {
         std::fprintf(stderr,
                      "FAIL: predictor speedup %.2fx below the %.2fx gate\n",
                      speedup, kMinSpeedup);
+        return 1;
+    }
+    if (enforceParallelGate && parallelSpeedup < kMinParallelSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: parallel speedup %.2fx below the %.2fx gate "
+                     "(%u threads)\n",
+                     parallelSpeedup, kMinParallelSpeedup,
+                     kParallelThreads);
         return 1;
     }
     std::printf("sim hotpath gate passed (>= %.2fx, stats identical)\n",

@@ -63,6 +63,11 @@ MemPartition::nextEventCycle(uint64_t now) const
 void
 MemPartition::fastForward(uint64_t cycles)
 {
+    // The sim_clock.hh contract forbids skipping a window that contains
+    // an event; a queued writeback retries every cycle, so its presence
+    // here means the caller's nextEventCycle() bookkeeping broke.
+    ZATEL_ASSERT(pendingWritebacks_.empty(),
+                 "fast-forward across a pending writeback retry");
     // The L2 slice and MSHR table accrue nothing per cycle; only the
     // DRAM channel's active/busy counters are time-linear.
     dram_.fastForward(cycles);

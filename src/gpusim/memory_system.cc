@@ -15,6 +15,17 @@ MemorySystem::MemorySystem(const GpuConfig &config) : config_(config)
     for (uint32_t p = 0; p < config.numMemPartitions; ++p)
         partitions_.emplace_back(config, p);
     fillQueues_.resize(config.numSms);
+    drainScratch_.resize(config.numSms);
+    stagedSends_.resize(config.numSms);
+}
+
+void
+MemorySystem::routeToPartition(const MemRequest &request)
+{
+    uint32_t p = AddressMap::partitionOf(request.lineAddr,
+                                         config_.l2LineBytes,
+                                         numPartitions());
+    partitions_[p].enqueue(request);
 }
 
 void
@@ -26,9 +37,10 @@ MemorySystem::sendRead(uint32_t src_sm, uint64_t line_addr, uint64_t now)
     request.srcSm = src_sm;
     request.isWrite = false;
     request.readyCycle = now + config_.nocLatencyCycles;
-    uint32_t p = AddressMap::partitionOf(line_addr, config_.l2LineBytes,
-                                         numPartitions());
-    partitions_[p].enqueue(request);
+    if (deferSends_)
+        stagedSends_[src_sm].push_back(request);
+    else
+        routeToPartition(request);
 }
 
 void
@@ -40,9 +52,51 @@ MemorySystem::sendWrite(uint32_t src_sm, uint64_t line_addr, uint64_t now)
     request.srcSm = src_sm;
     request.isWrite = true;
     request.readyCycle = now + config_.nocLatencyCycles;
-    uint32_t p = AddressMap::partitionOf(line_addr, config_.l2LineBytes,
-                                         numPartitions());
-    partitions_[p].enqueue(request);
+    if (deferSends_)
+        stagedSends_[src_sm].push_back(request);
+    else
+        routeToPartition(request);
+}
+
+bool
+MemorySystem::hasStagedSends() const
+{
+    for (const auto &lane : stagedSends_) {
+        if (!lane.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+MemorySystem::flushStagedSends()
+{
+    // Per-lane cursors; every lane is already sorted by send cycle
+    // (readyCycle = send cycle + the constant NoC latency, and each SM
+    // generates requests in cycle order). A k-way merge by (readyCycle,
+    // source SM) therefore reproduces the serial enqueue order.
+    std::vector<size_t> cursor(stagedSends_.size(), 0);
+    for (;;) {
+        uint64_t next_cycle = kNoEventCycle;
+        for (size_t s = 0; s < stagedSends_.size(); ++s) {
+            if (cursor[s] < stagedSends_[s].size()) {
+                next_cycle = std::min(
+                    next_cycle, stagedSends_[s][cursor[s]].readyCycle);
+            }
+        }
+        if (next_cycle == kNoEventCycle)
+            break;
+        for (size_t s = 0; s < stagedSends_.size(); ++s) {
+            auto &lane = stagedSends_[s];
+            while (cursor[s] < lane.size() &&
+                   lane[cursor[s]].readyCycle == next_cycle) {
+                routeToPartition(lane[cursor[s]]);
+                ++cursor[s];
+            }
+        }
+    }
+    for (auto &lane : stagedSends_)
+        lane.clear();
 }
 
 void
@@ -75,8 +129,7 @@ MemorySystem::deliverResponses()
                      "response to unknown SM");
         fillQueues_[response.dstSm].push(
             {response.readyCycle + config_.nocLatencyCycles,
-             response.lineAddr});
-        ++inFlightResponses_;
+             response.lineAddr, fillSeq_++});
     }
 }
 
@@ -102,20 +155,24 @@ MemorySystem::fastForward(uint64_t cycles)
 const std::vector<uint64_t> &
 MemorySystem::drainFills(uint32_t sm, uint64_t now)
 {
-    drainScratch_.clear();
+    std::vector<uint64_t> &scratch = drainScratch_[sm];
+    scratch.clear();
     auto &queue = fillQueues_[sm];
     while (!queue.empty() && queue.top().readyCycle <= now) {
-        drainScratch_.push_back(queue.top().lineAddr);
+        scratch.push_back(queue.top().lineAddr);
         queue.pop();
-        --inFlightResponses_;
     }
-    return drainScratch_;
+    return scratch;
 }
 
 bool
 MemorySystem::idle() const
 {
-    if (inFlightResponses_ != 0)
+    for (const auto &queue : fillQueues_) {
+        if (!queue.empty())
+            return false;
+    }
+    if (hasStagedSends())
         return false;
     for (const MemPartition &partition : partitions_) {
         if (!partition.idle())

@@ -34,6 +34,26 @@ class MemorySystem
     /** Route a write (fire-and-forget). */
     void sendWrite(uint32_t src_sm, uint64_t line_addr, uint64_t now);
 
+    /**
+     * Switch sendRead()/sendWrite() into deferred mode: requests park in
+     * a per-source-SM staging lane instead of entering their partition,
+     * so SMs on different threads never touch shared queues
+     * (docs/SIMULATOR.md, "Intra-simulation parallelism"). Call
+     * flushStagedSends() from a single thread to route them.
+     */
+    void setDeferSends(bool defer) { deferSends_ = defer; }
+
+    /**
+     * Route every staged request into its partition in (send cycle,
+     * source SM index) order — exactly the order the serial loop's
+     * immediate enqueues produce, so partition FIFO contents (and thus
+     * all downstream timing) are byte-identical to serial execution.
+     */
+    void flushStagedSends();
+
+    /** True when deferred requests are parked and unrouted. */
+    bool hasStagedSends() const;
+
     /** Advance partitions and response delivery one cycle. */
     void tick(uint64_t now);
 
@@ -79,7 +99,9 @@ class MemorySystem
 
     /**
      * Drain fills that are ready for @p sm at cycle @p now.
-     * Returned vector is reused across calls; consume immediately.
+     * Returned vector is per-SM scratch reused across calls; consume
+     * immediately. Touches only @p sm 's lane, so concurrent drains for
+     * distinct SMs are race-free.
      */
     const std::vector<uint64_t> &drainFills(uint32_t sm, uint64_t now);
 
@@ -107,13 +129,25 @@ class MemorySystem
     {
         uint64_t readyCycle = 0;
         uint64_t lineAddr = 0;
+        /** Delivery sequence number: the heap's tie order on readyCycle
+         *  would otherwise depend on the push/pop interleaving, which
+         *  the span-parallel loop batches differently from the serial
+         *  loop (all of a span's pushes land before any drain). The
+         *  (readyCycle, seq) total order makes drain order a function of
+         *  the delivery sequence alone, which all loops share. */
+        uint64_t seq = 0;
 
         bool
         operator>(const PendingFill &o) const
         {
-            return readyCycle > o.readyCycle;
+            if (readyCycle != o.readyCycle)
+                return readyCycle > o.readyCycle;
+            return seq > o.seq;
         }
     };
+
+    /** Route @p request into its line-interleaved partition. */
+    void routeToPartition(const MemRequest &request);
 
     GpuConfig config_;
     std::vector<MemPartition> partitions_;
@@ -122,8 +156,16 @@ class MemorySystem
                                     std::greater<PendingFill>>>
         fillQueues_;
     std::vector<MemResponse> responseScratch_;
-    std::vector<uint64_t> drainScratch_;
-    uint64_t inFlightResponses_ = 0;
+    /** Monotone PendingFill::seq source (deliverResponses is always
+     *  single-threaded, in every loop). */
+    uint64_t fillSeq_ = 0;
+    /** Per-SM drain scratch: shard threads drain concurrently. */
+    std::vector<std::vector<uint64_t>> drainScratch_;
+    /** Per-source-SM parked requests while deferSends_ is set. Each
+     *  lane is written only by its owning SM's shard thread; lanes are
+     *  flushed (and cleared) between shard phases. */
+    std::vector<std::vector<MemRequest>> stagedSends_;
+    bool deferSends_ = false;
 };
 
 } // namespace zatel::gpusim

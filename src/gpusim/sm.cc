@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "gpusim/sim_clock.hh"
 #include "util/logging.hh"
 
 namespace zatel::gpusim
@@ -394,6 +395,12 @@ Sm::idle() const
             return false;
     }
     return true;
+}
+
+bool
+Sm::settled() const
+{
+    return idle() && memory_->nextFillCycle(index_) == kNoEventCycle;
 }
 
 void

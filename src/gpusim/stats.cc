@@ -107,26 +107,49 @@ GpuStats::operator+=(const GpuStats &other)
     // cycles is a max (components share the same clock), everything else
     // is additive.
     cycles = cycles > other.cycles ? cycles : other.cycles;
-    threadInstructions += other.threadInstructions;
-    warpInstructions += other.warpInstructions;
-    l1dAccesses += other.l1dAccesses;
-    l1dMisses += other.l1dMisses;
-    l2Accesses += other.l2Accesses;
-    l2Misses += other.l2Misses;
-    rtActiveRaySum += other.rtActiveRaySum;
-    rtResidentWarpCycles += other.rtResidentWarpCycles;
-    rtNodeVisits += other.rtNodeVisits;
-    rtTriangleTests += other.rtTriangleTests;
-    dramBusyCycles += other.dramBusyCycles;
-    dramActiveCycles += other.dramActiveCycles;
-    dramChannelCycles += other.dramChannelCycles;
-    dramBytesRead += other.dramBytesRead;
-    dramBytesWritten += other.dramBytesWritten;
-    warpsLaunched += other.warpsLaunched;
-    raysTraced += other.raysTraced;
-    pixelsTraced += other.pixelsTraced;
-    pixelsFiltered += other.pixelsFiltered;
+    for (const GpuStatsField &field : gpuStatsFields()) {
+        if (field.member != &GpuStats::cycles)
+            this->*field.member += other.*field.member;
+    }
     return *this;
+}
+
+const std::vector<GpuStatsField> &
+gpuStatsFields()
+{
+    static const std::vector<GpuStatsField> fields = {
+        {"cycles", &GpuStats::cycles},
+        {"threadInstructions", &GpuStats::threadInstructions},
+        {"warpInstructions", &GpuStats::warpInstructions},
+        {"l1dAccesses", &GpuStats::l1dAccesses},
+        {"l1dMisses", &GpuStats::l1dMisses},
+        {"l2Accesses", &GpuStats::l2Accesses},
+        {"l2Misses", &GpuStats::l2Misses},
+        {"rtActiveRaySum", &GpuStats::rtActiveRaySum},
+        {"rtResidentWarpCycles", &GpuStats::rtResidentWarpCycles},
+        {"rtNodeVisits", &GpuStats::rtNodeVisits},
+        {"rtTriangleTests", &GpuStats::rtTriangleTests},
+        {"dramBusyCycles", &GpuStats::dramBusyCycles},
+        {"dramActiveCycles", &GpuStats::dramActiveCycles},
+        {"dramChannelCycles", &GpuStats::dramChannelCycles},
+        {"dramBytesRead", &GpuStats::dramBytesRead},
+        {"dramBytesWritten", &GpuStats::dramBytesWritten},
+        {"warpsLaunched", &GpuStats::warpsLaunched},
+        {"raysTraced", &GpuStats::raysTraced},
+        {"pixelsTraced", &GpuStats::pixelsTraced},
+        {"pixelsFiltered", &GpuStats::pixelsFiltered},
+    };
+    return fields;
+}
+
+const char *
+firstCounterDifference(const GpuStats &a, const GpuStats &b)
+{
+    for (const GpuStatsField &field : gpuStatsFields()) {
+        if (a.*field.member != b.*field.member)
+            return field.name;
+    }
+    return nullptr;
 }
 
 std::string

@@ -88,6 +88,27 @@ struct GpuStats
     std::string summary() const;
 };
 
+/**
+ * Name + member pointer for one raw GpuStats counter. The table below
+ * is the single enumeration of the counters; the differential tests and
+ * the hotpath bench iterate it instead of hand-listing fields, so a new
+ * counter is automatically covered by every byte-identity check.
+ */
+struct GpuStatsField
+{
+    const char *name = nullptr;
+    uint64_t GpuStats::*member = nullptr;
+};
+
+/** Every raw counter, in declaration order (cycles first). */
+const std::vector<GpuStatsField> &gpuStatsFields();
+
+/**
+ * Name of the first raw counter whose value differs between @p a and
+ * @p b; nullptr when every counter is bit-identical.
+ */
+const char *firstCounterDifference(const GpuStats &a, const GpuStats &b);
+
 } // namespace zatel::gpusim
 
 #endif // ZATEL_GPUSIM_STATS_HH

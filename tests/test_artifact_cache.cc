@@ -100,6 +100,17 @@ TEST(ArtifactCacheHash, GpuConfigHashCoversFields)
     gpusim::GpuConfig clocks = base;
     clocks.memClockMhz += 1.0;
     EXPECT_NE(hashGpuConfig(base), hashGpuConfig(clocks));
+
+    // epochLength gates warp dispatch (a model parameter): keyed.
+    // simThreads is execution strategy (bit-identical output at any
+    // thread count): deliberately NOT keyed.
+    gpusim::GpuConfig epoch = base;
+    epoch.epochLength = 16;
+    EXPECT_NE(hashGpuConfig(base), hashGpuConfig(epoch));
+
+    gpusim::GpuConfig threads = base;
+    threads.simThreads = 7;
+    EXPECT_EQ(hashGpuConfig(base), hashGpuConfig(threads));
 }
 
 TEST(ArtifactCacheHash, HeatmapKeyTracksPreprocessingParams)

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "gpusim/dram.hh"
+#include "gpusim/mem_partition.hh"
+#include "gpusim/sim_clock.hh"
+#include "util/rng.hh"
 
 namespace zatel::gpusim
 {
@@ -270,6 +275,99 @@ TEST(Dram, FastForwardMatchesTickedLatencyWait)
     EXPECT_EQ(ticked.stats().busyCycles, skipped.stats().busyCycles);
     EXPECT_EQ(ticked.stats().bytesRead, skipped.stats().bytesRead);
     EXPECT_EQ(ticked.stats().reads, skipped.stats().reads);
+}
+
+// ---------------------------------------------------------------------
+// Partition-level skip contract (sim_clock.hh): driving a MemPartition
+// with quiescentAt()-gated fastForward() windows must produce the exact
+// response stream and DRAM counters of ticking every cycle, over
+// randomized request schedules. This is the property Gpu::run's
+// whole-device jump (and the span-parallel loop's jump) relies on.
+// ---------------------------------------------------------------------
+
+TEST(Dram, PartitionFastForwardMatchesTickedOverRandomWindows)
+{
+    Rng rng(0xD12A3DB5u);
+    for (int trial = 0; trial < 24; ++trial) {
+        GpuConfig config = testConfig();
+        // Vary the backpressure knobs so some trials hit queue-full
+        // retries and writeback stalls, others never do.
+        config.dramQueueSize = static_cast<uint32_t>(rng.nextRange(2, 6));
+        config.nocLatencyCycles = static_cast<uint32_t>(rng.nextRange(0, 20));
+
+        MemPartition ticked(config, 0);
+        MemPartition skipped(config, 0);
+
+        // Random request schedule: bursts of reads/writes with NoC
+        // arrival cycles spread over a window, some lines shared so L2
+        // MSHR merging and dirty evictions both trigger.
+        uint64_t arrival = 0;
+        int requests = static_cast<int>(rng.nextRange(4, 24));
+        for (int r = 0; r < requests; ++r) {
+            arrival += static_cast<uint64_t>(rng.nextRange(0, 60));
+            MemRequest req;
+            req.lineAddr = 128ull * static_cast<uint64_t>(rng.nextRange(0, 12));
+            req.srcSm = static_cast<uint32_t>(rng.nextRange(0, 3));
+            req.isWrite = rng.nextBounded(4) == 0;
+            req.readyCycle = arrival;
+            ticked.enqueue(req);
+            skipped.enqueue(req);
+        }
+
+        const uint64_t horizon = arrival + 4000;
+        std::vector<MemResponse> ticked_responses;
+        for (uint64_t cycle = 0; cycle < horizon; ++cycle)
+            ticked.tick(cycle, ticked_responses);
+
+        std::vector<MemResponse> skipped_responses;
+        uint64_t cycle = 0;
+        while (cycle < horizon) {
+            if (skipped.quiescentAt(cycle)) {
+                uint64_t event = skipped.nextEventCycle(cycle);
+                uint64_t target = std::min(event, horizon);
+                if (target > cycle + 1) {
+                    // Skip (cycle, target): accrual only, by contract.
+                    skipped.fastForward(target - cycle - 1);
+                    cycle = target;
+                    continue;
+                }
+            }
+            skipped.tick(cycle, skipped_responses);
+            ++cycle;
+        }
+
+        ASSERT_EQ(ticked.idle(), skipped.idle()) << "trial " << trial;
+        ASSERT_EQ(ticked_responses.size(), skipped_responses.size())
+            << "trial " << trial;
+        for (size_t i = 0; i < ticked_responses.size(); ++i) {
+            EXPECT_EQ(ticked_responses[i].lineAddr,
+                      skipped_responses[i].lineAddr)
+                << "trial " << trial << " response " << i;
+            EXPECT_EQ(ticked_responses[i].dstSm, skipped_responses[i].dstSm)
+                << "trial " << trial << " response " << i;
+            EXPECT_EQ(ticked_responses[i].readyCycle,
+                      skipped_responses[i].readyCycle)
+                << "trial " << trial << " response " << i;
+        }
+        EXPECT_EQ(ticked.dram().stats().busyCycles,
+                  skipped.dram().stats().busyCycles)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.dram().stats().activeCycles,
+                  skipped.dram().stats().activeCycles)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.dram().stats().bytesRead,
+                  skipped.dram().stats().bytesRead)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.dram().stats().bytesWritten,
+                  skipped.dram().stats().bytesWritten)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.l2().stats().accesses, skipped.l2().stats().accesses)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.l2().stats().misses, skipped.l2().stats().misses)
+            << "trial " << trial;
+        EXPECT_EQ(ticked.l2ReservedHits(), skipped.l2ReservedHits())
+            << "trial " << trial;
+    }
 }
 
 TEST(Dram, BurstCyclesDeriveFromClocks)

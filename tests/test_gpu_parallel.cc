@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Three-way differential suite for the epoch-span parallel cycle loop
+ * (docs/SIMULATOR.md, "Intra-simulation parallelism").
+ *
+ * The oracle chain: TickMode::Slow (tick everything, every cycle) vs
+ * the fast serial loop vs the fast parallel loop at several thread
+ * counts. All three must be observationally identical — byte-identical
+ * GpuStats, identical per-component StatsReport, identical probe
+ * schedules and snapshots, and bit-identical predictor output — for
+ * every scene x config x scheduler x epoch combination, at thread
+ * counts 1/2/4/7 (7 exercises non-power-of-two shard splits).
+ *
+ * GpuParallelFuzz draws ~64 deterministic random configurations so
+ * shard-boundary and epoch-boundary edge cases (SMs < threads, one SM,
+ * epoch longer than the whole simulation, zero-latency NoC) are covered
+ * by construction rather than hand-picked.
+ *
+ * Suites are named GpuParallel* so the tsan-determinism preset's test
+ * filter picks them up (CMakePresets.json).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/gpu.hh"
+#include "gpusim/stats_report.hh"
+#include "rt/bvh.hh"
+#include "rt/scene.hh"
+#include "rt/scene_library.hh"
+#include "rt/tracer.hh"
+#include "util/rng.hh"
+#include "zatel/predictor.hh"
+
+namespace zatel::gpusim
+{
+namespace
+{
+
+/** Bit pattern of a double; NaN-safe and distinguishes -0.0 from 0.0. */
+uint64_t
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Expect every raw counter of two GpuStats to be identical, via the
+ *  gpuStatsFields() table so new counters are covered automatically. */
+void
+expectStatsIdentical(const GpuStats &a, const GpuStats &b,
+                     const std::string &context)
+{
+    for (const GpuStatsField &field : gpuStatsFields()) {
+        EXPECT_EQ(a.*field.member, b.*field.member)
+            << context << ": counter " << field.name << " diverged";
+    }
+}
+
+struct SceneBundle
+{
+    rt::Scene scene;
+    rt::Bvh bvh;
+    std::unique_ptr<rt::Tracer> tracer;
+};
+
+/** Heap-allocated so the tracer's scene/BVH references stay stable. */
+std::unique_ptr<SceneBundle>
+makeScene(rt::SceneId id)
+{
+    auto bundle = std::make_unique<SceneBundle>();
+    bundle->scene = rt::buildScene(id, rt::SceneDetail{0.4f});
+    bundle->bvh.build(bundle->scene.triangles());
+    bundle->tracer =
+        std::make_unique<rt::Tracer>(bundle->scene, bundle->bvh);
+    return bundle;
+}
+
+struct RunOutcome
+{
+    GpuStats stats;
+    StatsReport report;
+    uint64_t parallelSpans = 0;
+    uint32_t simThreadsUsed = 0;
+    bool stoppedEarly = false;
+    std::vector<uint64_t> probeCycles;
+    std::vector<GpuStats> probeSnapshots;
+};
+
+/** One run of @p config (whose simThreads/epochLength knobs select the
+ *  loop) in tick mode @p mode. */
+RunOutcome
+runMode(const rt::Tracer &tracer, const GpuConfig &config, TickMode mode,
+        uint32_t frame, uint64_t probe_interval = 0,
+        uint64_t stop_after_probes = 0)
+{
+    SimWorkload workload =
+        SimWorkload::buildFullFrame(tracer, frame, frame);
+    Gpu gpu(config, workload);
+    gpu.setTickMode(mode);
+    RunOutcome out;
+    if (probe_interval > 0) {
+        gpu.setProgressCallback(
+            probe_interval,
+            [&out, stop_after_probes](uint64_t cycle, const GpuStats &snap) {
+                out.probeCycles.push_back(cycle);
+                out.probeSnapshots.push_back(snap);
+                return stop_after_probes != 0 &&
+                       out.probeCycles.size() >= stop_after_probes;
+            });
+    }
+    out.stats = gpu.run();
+    out.report = gpu.statsReport();
+    out.parallelSpans = gpu.parallelSpans();
+    out.simThreadsUsed = gpu.simThreadsUsed();
+    out.stoppedEarly = gpu.stoppedEarly();
+    return out;
+}
+
+/** Full observational comparison of two runs (stats, report text,
+ *  probe schedule, probe snapshots). */
+void
+expectOutcomesIdentical(const RunOutcome &want, const RunOutcome &got,
+                        const std::string &context)
+{
+    expectStatsIdentical(want.stats, got.stats, context);
+    EXPECT_EQ(want.stoppedEarly, got.stoppedEarly) << context;
+
+    ASSERT_EQ(want.report.lines().size(), got.report.lines().size())
+        << context;
+    for (size_t i = 0; i < want.report.lines().size(); ++i) {
+        EXPECT_EQ(want.report.lines()[i].path, got.report.lines()[i].path)
+            << context << ": report row " << i;
+        EXPECT_EQ(bitsOf(want.report.lines()[i].value),
+                  bitsOf(got.report.lines()[i].value))
+            << context << ": report counter "
+            << want.report.lines()[i].path;
+    }
+
+    EXPECT_EQ(want.probeCycles, got.probeCycles) << context;
+    ASSERT_EQ(want.probeSnapshots.size(), got.probeSnapshots.size())
+        << context;
+    for (size_t i = 0; i < want.probeSnapshots.size(); ++i) {
+        expectStatsIdentical(want.probeSnapshots[i], got.probeSnapshots[i],
+                             context + ": probe " + std::to_string(i));
+    }
+}
+
+/** The three-way oracle chain for one scene x config x probe setup:
+ *  slow vs fast-serial vs fast-parallel at each thread count. */
+void
+expectThreeWayIdentical(const rt::Tracer &tracer, const GpuConfig &base,
+                        const std::string &context, uint32_t frame,
+                        std::vector<uint32_t> thread_counts = {2, 4, 7},
+                        uint64_t probe_interval = 0,
+                        uint64_t stop_after_probes = 0)
+{
+    GpuConfig serial_config = base;
+    serial_config.simThreads = 1;
+    RunOutcome slow = runMode(tracer, serial_config, TickMode::Slow, frame,
+                              probe_interval, stop_after_probes);
+    RunOutcome serial = runMode(tracer, serial_config, TickMode::Fast,
+                                frame, probe_interval, stop_after_probes);
+    expectOutcomesIdentical(slow, serial, context + "/slow-vs-serial");
+    EXPECT_EQ(serial.parallelSpans, 0u) << context;
+
+    for (uint32_t threads : thread_counts) {
+        GpuConfig parallel_config = base;
+        parallel_config.simThreads = threads;
+        RunOutcome parallel =
+            runMode(tracer, parallel_config, TickMode::Fast, frame,
+                    probe_interval, stop_after_probes);
+        std::string label =
+            context + "/slow-vs-parallel-t" + std::to_string(threads);
+        expectOutcomesIdentical(slow, parallel, label);
+        // The parallel loop must actually engage (threads clamp to the
+        // SM count; with >= 2 SMs these counts all stay > 1).
+        if (base.numSms > 1) {
+            EXPECT_GT(parallel.simThreadsUsed, 1u) << label;
+            EXPECT_GT(parallel.parallelSpans, 0u) << label;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-picked differential coverage: scenes x configs x schedulers x
+// epochs, plus probe and early-stop plumbing.
+// ---------------------------------------------------------------------
+
+TEST(GpuParallelDifferential, WkndMobileSoc)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectThreeWayIdentical(*s->tracer, GpuConfig::mobileSoc(),
+                            "wknd/mobile", 32);
+}
+
+TEST(GpuParallelDifferential, WkndRtx2060)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectThreeWayIdentical(*s->tracer, GpuConfig::rtx2060(),
+                            "wknd/rtx2060", 24);
+}
+
+TEST(GpuParallelDifferential, SprngMobileSocLrrScheduler)
+{
+    auto s = makeScene(rt::SceneId::Sprng);
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.scheduler = WarpSchedulerPolicy::LooseRoundRobin;
+    expectThreeWayIdentical(*s->tracer, config, "sprng/mobile/lrr", 24);
+}
+
+TEST(GpuParallelDifferential, EpochSixteenMatchesAcrossAllLoops)
+{
+    // Epoch 16 == the NoC latency: full-length spans between barriers.
+    // The epoch is a timing-model knob, so slow and fast-serial run it
+    // too — the three-way chain pins the *epoch-gated* dispatch, not
+    // just the parallel execution of it.
+    auto s = makeScene(rt::SceneId::Wknd);
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.epochLength = 16;
+    expectThreeWayIdentical(*s->tracer, config, "wknd/mobile/epoch16", 32);
+}
+
+TEST(GpuParallelDifferential, ProgressProbesObserved)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.epochLength = 8;
+    expectThreeWayIdentical(*s->tracer, config, "wknd/mobile/probes", 32,
+                            {2, 4, 7}, /*probe_interval=*/512);
+}
+
+TEST(GpuParallelDifferential, EarlyStopViaProbe)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    expectThreeWayIdentical(*s->tracer, GpuConfig::mobileSoc(),
+                            "wknd/mobile/early-stop", 32, {2, 4, 7},
+                            /*probe_interval=*/256,
+                            /*stop_after_probes=*/3);
+}
+
+TEST(GpuParallelDifferential, SingleSmClampsThreadsAndStaysIdentical)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.numSms = 1;
+    config.numMemPartitions = 1;
+    expectThreeWayIdentical(*s->tracer, config, "wknd/1sm", 16);
+}
+
+// ---------------------------------------------------------------------
+// Knob resolution: instance > global > environment, TickMode-style.
+// ---------------------------------------------------------------------
+
+TEST(GpuParallelKnobs, GlobalThreadsEngageAndInstanceOverrides)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    setGlobalSimThreads(4);
+    RunOutcome by_global = runMode(*s->tracer, GpuConfig::mobileSoc(),
+                                   TickMode::Fast, 16);
+    EXPECT_EQ(by_global.simThreadsUsed, 4u);
+    EXPECT_GT(by_global.parallelSpans, 0u);
+
+    GpuConfig pinned = GpuConfig::mobileSoc();
+    pinned.simThreads = 1;
+    RunOutcome by_instance =
+        runMode(*s->tracer, pinned, TickMode::Fast, 16);
+    EXPECT_EQ(by_instance.simThreadsUsed, 1u);
+    EXPECT_EQ(by_instance.parallelSpans, 0u);
+    setGlobalSimThreads(0);
+    EXPECT_EQ(globalSimThreads(), 0u);
+
+    setGlobalEpochLength(8);
+    GpuConfig epoch_pinned = GpuConfig::mobileSoc();
+    epoch_pinned.epochLength = 2;
+    SimWorkload workload =
+        SimWorkload::buildFullFrame(*s->tracer, 16, 16);
+    Gpu gpu(epoch_pinned, workload);
+    gpu.run();
+    EXPECT_EQ(gpu.epochLengthUsed(), 2u);
+    setGlobalEpochLength(0);
+    EXPECT_EQ(globalEpochLength(), 0u);
+}
+
+TEST(GpuParallelKnobs, SlowModeIgnoresSimThreads)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    GpuConfig config = GpuConfig::mobileSoc();
+    config.simThreads = 4;
+    RunOutcome slow = runMode(*s->tracer, config, TickMode::Slow, 16);
+    EXPECT_EQ(slow.simThreadsUsed, 1u);
+    EXPECT_EQ(slow.parallelSpans, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded randomized config fuzz: 64 deterministic draws of SM count /
+// partition count / RT units / epoch / scheduler / NoC latency / warp
+// capacity / scene, each asserting the full three-way oracle chain.
+// ---------------------------------------------------------------------
+
+struct FuzzDraw
+{
+    GpuConfig config;
+    uint32_t threads = 0;
+    uint32_t frame = 0;
+    bool sprng = false;
+};
+
+FuzzDraw
+drawConfig(Rng &rng)
+{
+    FuzzDraw draw;
+    GpuConfig &config = draw.config;
+    config = GpuConfig::mobileSoc();
+    config.name = "fuzz";
+    config.numSms = static_cast<uint32_t>(rng.nextRange(1, 12));
+    config.numMemPartitions = static_cast<uint32_t>(rng.nextRange(1, 6));
+    config.rtUnitsPerSm = static_cast<uint32_t>(rng.nextRange(1, 2));
+    config.scheduler = rng.nextBounded(2) == 0
+                           ? WarpSchedulerPolicy::GreedyThenOldest
+                           : WarpSchedulerPolicy::LooseRoundRobin;
+    // Small warp capacities force multi-round dispatch with a standing
+    // pending-warp backlog across many epoch boundaries.
+    static constexpr uint32_t kWarpCaps[] = {2, 4, 32};
+    config.maxWarpsPerSm = kWarpCaps[rng.nextBounded(3)];
+    // Zero-latency NoC degenerates spans to one cycle; 1 and 4 make
+    // span boundaries land mid-epoch.
+    static constexpr uint32_t kNocLatencies[] = {0, 1, 4, 16};
+    config.nocLatencyCycles = kNocLatencies[rng.nextBounded(4)];
+    // Epochs below, at, and far beyond the NoC latency — including one
+    // longer than any simulation here will run.
+    static constexpr uint32_t kEpochs[] = {1, 2, 3, 5, 8, 16, 32,
+                                           1'000'000};
+    config.epochLength = kEpochs[rng.nextBounded(8)];
+    static constexpr uint32_t kThreads[] = {2, 3, 4, 7};
+    draw.threads = kThreads[rng.nextBounded(4)];
+    if (config.epochLength >= 1'000'000) {
+        // Epoch longer than the sim: every warp must fit in the cycle-0
+        // dispatch or the tail would wait a million cycles. An 8x8
+        // frame is two warps — always resident-capacity-safe.
+        draw.frame = 8;
+        config.maxWarpsPerSm = 32;
+    } else {
+        draw.frame = static_cast<uint32_t>(rng.nextRange(8, 12));
+    }
+    draw.sprng = rng.nextBounded(4) == 0;
+    return draw;
+}
+
+TEST(GpuParallelFuzz, ThreeWayOracleAgreementOver64Draws)
+{
+    auto wknd = makeScene(rt::SceneId::Wknd);
+    auto sprng = makeScene(rt::SceneId::Sprng);
+    Rng rng(0x5EEDBEEF);
+    for (int i = 0; i < 64; ++i) {
+        FuzzDraw draw = drawConfig(rng);
+        const rt::Tracer &tracer =
+            draw.sprng ? *sprng->tracer : *wknd->tracer;
+        std::string context =
+            "draw" + std::to_string(i) + "/sms" +
+            std::to_string(draw.config.numSms) + "/parts" +
+            std::to_string(draw.config.numMemPartitions) + "/epoch" +
+            std::to_string(draw.config.epochLength) + "/noc" +
+            std::to_string(draw.config.nocLatencyCycles) + "/t" +
+            std::to_string(draw.threads);
+        expectThreeWayIdentical(tracer, draw.config, context, draw.frame,
+                                {draw.threads});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-level differential: the whole predictor must produce
+// bit-identical output with intra-simulation parallelism on.
+// ---------------------------------------------------------------------
+
+TEST(GpuParallelPredictor, PredictionBitIdenticalSerialVsParallel)
+{
+    auto s = makeScene(rt::SceneId::Wknd);
+    core::ZatelParams params;
+    params.width = 48;
+    params.height = 48;
+    params.numThreads = 1;
+
+    // Same timing model (epoch 8) for both; only the execution strategy
+    // differs. Group sims run nested under the predictor's own pool in
+    // the parallel case — the work-helping pool keeps that safe.
+    setGlobalEpochLength(8);
+    setGlobalSimThreads(1);
+    core::ZatelResult serial =
+        core::ZatelPredictor(s->scene, s->bvh, GpuConfig::mobileSoc(),
+                             params)
+            .predict();
+    setGlobalSimThreads(4);
+    core::ZatelResult parallel =
+        core::ZatelPredictor(s->scene, s->bvh, GpuConfig::mobileSoc(),
+                             params)
+            .predict();
+    setGlobalSimThreads(0);
+    setGlobalEpochLength(0);
+
+    EXPECT_EQ(serial.k, parallel.k);
+    EXPECT_EQ(bitsOf(serial.fractionTraced),
+              bitsOf(parallel.fractionTraced));
+    ASSERT_EQ(serial.predicted.size(), parallel.predicted.size());
+    for (const auto &[metric, value] : serial.predicted) {
+        ASSERT_TRUE(parallel.predicted.count(metric));
+        EXPECT_EQ(bitsOf(value), bitsOf(parallel.predicted.at(metric)))
+            << "metric " << metricName(metric) << " diverged";
+    }
+    ASSERT_EQ(serial.groups.size(), parallel.groups.size());
+    for (size_t g = 0; g < serial.groups.size(); ++g) {
+        expectStatsIdentical(serial.groups[g].stats,
+                             parallel.groups[g].stats,
+                             "group " + std::to_string(g));
+    }
+}
+
+} // namespace
+} // namespace zatel::gpusim
