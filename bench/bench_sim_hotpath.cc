@@ -25,7 +25,16 @@
  * Stat divergence there is always fatal; the >= 2x speedup gate is
  * enforced only on machines with at least 4 hardware threads (single-
  * core CI runners record a skip reason instead — a thread pool cannot
- * beat serial on one core).
+ * beat serial on one core). Its slow-tick cross-check runs the oracle
+ * at the same epochLength — the epoch is a timing-model knob, so
+ * cross-epoch stats are not comparable.
+ *
+ * A fourth (SoA) leg records the SoA hot-path numbers as soa_* fields:
+ * the single-thread predict time of the SoA fast loop vs the slow-tick
+ * oracle (gated at >= 1.25x in the release CI run of this binary) and
+ * the workload-build time, which isolates the packetized-traversal +
+ * arena ray-record path (docs/SIMULATOR.md, "Data layout of the hot
+ * path").
  */
 
 #include <algorithm>
@@ -59,6 +68,13 @@ using zatel::gpusim::TickMode;
 
 constexpr double kMinSpeedup = 1.2; // CI floor; target is >= 1.3x
 constexpr int kTrials = 5;
+
+// SoA leg: the SoA/packetized fast loop must hold >= 1.25x on a
+// single-thread predict against the slow-tick oracle in the same
+// process (same-process ratios shed machine-to-machine noise; the
+// absolute soa_* times in BENCH_sim.json track regressions across
+// commits).
+constexpr double kMinSoaSpeedup = 1.25;
 
 // Parallel leg: serial fast loop vs the epoch-span sharded loop.
 constexpr double kMinParallelSpeedup = 2.0;
@@ -304,9 +320,19 @@ main()
     bool parallelIdentical = statsIdentical(
         parallelSerial.stats, parallelSharded.stats, "parallel leg");
     // The parallel run must also match the slow oracle, not just the
-    // serial fast loop it raced against.
+    // serial fast loop it raced against. The oracle must run at the
+    // parallel leg's epochLength: the epoch is a timing-model knob
+    // (dispatch happens at epoch boundaries), so a default-epoch slow
+    // frame legitimately differs from an epoch-16 run and comparing
+    // across epochs fails on counters that are deterministic within
+    // either epoch setting.
+    GpuConfig slowEpochConfig = config;
+    slowEpochConfig.simThreads = 1;
+    slowEpochConfig.epochLength = kParallelEpoch;
+    FullFrameOutcome slowEpoch =
+        runFullFrameOnce(tracer, slowEpochConfig, frameRes, TickMode::Slow);
     parallelIdentical &= statsIdentical(
-        frameSlow.stats, parallelSharded.stats, "parallel vs slow");
+        slowEpoch.stats, parallelSharded.stats, "parallel vs slow");
     unsigned hardwareThreads = std::thread::hardware_concurrency();
     bool enforceParallelGate = hardwareThreads >= kParallelThreads;
 
@@ -315,6 +341,23 @@ main()
     double slowSeconds = times.slowSeconds;
     double fastSeconds = times.fastSeconds;
     double speedup = slowSeconds / fastSeconds;
+
+    // ---- SoA leg. The fast loop IS the SoA layout (flat tag/MSHR
+    // maps, fill heaps, lane rings, arena-backed ray spans), so its
+    // single-thread predict time against the slow-tick oracle is the
+    // leg's gate; the workload build is timed separately because it
+    // isolates the packetized-traversal + arena path that no other
+    // number covers.
+    double soaWorkloadBuildSeconds = 1e300;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        double start = nowSeconds();
+        zatel::gpusim::SimWorkload workload =
+            zatel::gpusim::SimWorkload::buildFullFrame(tracer, frameRes,
+                                                       frameRes);
+        soaWorkloadBuildSeconds =
+            std::min(soaWorkloadBuildSeconds, nowSeconds() - start);
+    }
+    double soaSpeedup = speedup;
     double frameSpeedup = frameSlow.seconds / frameFast.seconds;
     double parallelSpeedup =
         parallelSerial.seconds / parallelSharded.seconds;
@@ -331,6 +374,9 @@ main()
                     parallelSharded.parallelSpans),
                 hardwareThreads,
                 enforceParallelGate ? "" : ", gate skipped");
+    std::printf("soa leg    predict fast %.3fs  speedup vs slow %.2fx  "
+                "workload build %.3fs\n",
+                fastSeconds, soaSpeedup, soaWorkloadBuildSeconds);
     std::printf("fast-forwarded cycles %llu  skipped SM ticks %llu  "
                 "(of %llu cycles)\n",
                 static_cast<unsigned long long>(frameFast.fastForwarded),
@@ -356,6 +402,11 @@ main()
             "  \"skipped_sm_ticks\": %llu,\n"
             "  \"stats_identical\": %s,\n"
             "  \"min_speedup_gate\": %.2f,\n"
+            "  \"soa_predict_slow_seconds\": %.6f,\n"
+            "  \"soa_predict_fast_seconds\": %.6f,\n"
+            "  \"soa_predict_speedup\": %.4f,\n"
+            "  \"soa_workload_build_seconds\": %.6f,\n"
+            "  \"soa_min_speedup_gate\": %.2f,\n"
             "  \"parallel_serial_seconds\": %.6f,\n"
             "  \"parallel_sharded_seconds\": %.6f,\n"
             "  \"parallel_speedup\": %.4f,\n"
@@ -372,8 +423,9 @@ main()
             frameSlow.seconds, frameFast.seconds, frameSpeedup,
             static_cast<unsigned long long>(frameFast.fastForwarded),
             static_cast<unsigned long long>(frameFast.skippedSmTicks),
-            identical ? "true" : "false", kMinSpeedup,
-            parallelSerial.seconds, parallelSharded.seconds,
+            identical ? "true" : "false", kMinSpeedup, slowSeconds,
+            fastSeconds, soaSpeedup, soaWorkloadBuildSeconds,
+            kMinSoaSpeedup, parallelSerial.seconds, parallelSharded.seconds,
             parallelSpeedup, kParallelThreads, kParallelEpoch,
             static_cast<unsigned long long>(parallelSharded.parallelSpans),
             parallelIdentical ? "true" : "false",
@@ -403,6 +455,13 @@ main()
         std::fprintf(stderr,
                      "FAIL: predictor speedup %.2fx below the %.2fx gate\n",
                      speedup, kMinSpeedup);
+        return 1;
+    }
+    if (soaSpeedup < kMinSoaSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: SoA predict speedup %.2fx below the %.2fx "
+                     "gate\n",
+                     soaSpeedup, kMinSoaSpeedup);
         return 1;
     }
     if (enforceParallelGate && parallelSpeedup < kMinParallelSpeedup) {

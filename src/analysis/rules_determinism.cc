@@ -259,9 +259,13 @@ class NarrowingCastHotpathRule : public Rule
             return;
         static const std::set<std::string> kWide = {"uint64_t",
                                                     "int64_t"};
+        // The SoA index aliases (LineSlot in line_map.hh, LaneRef in
+        // rt_unit.hh) are 32-bit slots that hot-path code assigns cache
+        // line and lane-token material into; treat them as narrow so an
+        // implicit 64->32 sink through the alias is still flagged.
         static const std::set<std::string> kNarrow = {
-            "uint32_t", "int32_t", "uint16_t", "int16_t",
-            "uint8_t",  "int8_t"};
+            "uint32_t", "int32_t",  "uint16_t", "int16_t",
+            "uint8_t",  "int8_t",   "LineSlot", "LaneRef"};
         const std::vector<Token> &tokens = file.tokens();
         for (const FunctionDef &def : findFunctionDefs(file)) {
             // 64-bit locals and parameters of this function.

@@ -7,12 +7,24 @@
 namespace zatel::gpusim
 {
 
+namespace
+{
+
+uint32_t
+totalLines(uint64_t size_bytes, uint32_t line_bytes)
+{
+    return static_cast<uint32_t>(
+        std::max<uint64_t>(1, size_bytes / line_bytes));
+}
+
+} // namespace
+
 TagCache::TagCache(uint64_t size_bytes, uint32_t line_bytes, uint32_t assoc)
-    : lineBytes_(line_bytes)
+    : lineBytes_(line_bytes), index_(totalLines(size_bytes, line_bytes))
 {
     ZATEL_ASSERT(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
                  "line size must be a power of two");
-    uint64_t lines = std::max<uint64_t>(1, size_bytes / line_bytes);
+    uint64_t lines = totalLines(size_bytes, line_bytes);
     if (assoc == 0 || assoc >= lines) {
         // Fully associative: one set holding every line.
         assoc_ = static_cast<uint32_t>(lines);
@@ -21,7 +33,12 @@ TagCache::TagCache(uint64_t size_bytes, uint32_t line_bytes, uint32_t assoc)
         assoc_ = assoc;
         numSets_ = static_cast<uint32_t>(std::max<uint64_t>(1, lines / assoc));
     }
-    ways_.resize(static_cast<size_t>(numSets_) * assoc_);
+    size_t ways = static_cast<size_t>(numSets_) * assoc_;
+    tags_.assign(ways, 0);
+    lastUse_.assign(ways, 0);
+    validBits_.assign((ways + 63) / 64, 0);
+    dirtyBits_.assign((ways + 63) / 64, 0);
+    validCount_.assign(numSets_, 0);
 }
 
 uint32_t
@@ -30,31 +47,15 @@ TagCache::setOf(uint64_t line_addr) const
     return static_cast<uint32_t>((line_addr / lineBytes_) % numSets_);
 }
 
-TagCache::Way *
-TagCache::findWay(uint64_t line_addr)
-{
-    auto it = index_.find(line_addr);
-    if (it == index_.end())
-        return nullptr;
-    return &ways_[it->second];
-}
-
-const TagCache::Way *
-TagCache::findWay(uint64_t line_addr) const
-{
-    return const_cast<TagCache *>(this)->findWay(line_addr);
-}
-
 bool
 TagCache::access(uint64_t line_addr)
 {
     ZATEL_ASSERT(line_addr % lineBytes_ == 0,
                  "cache access address must be line-aligned");
     ++stats_.accesses;
-    Way *way = findWay(line_addr);
-    if (way) {
+    if (const LineSlot *way = index_.find(line_addr)) {
         ++stats_.hits;
-        way->lastUse = ++useCounter_;
+        lastUse_[*way] = ++useCounter_;
         return true;
     }
     ++stats_.misses;
@@ -64,7 +65,7 @@ TagCache::access(uint64_t line_addr)
 bool
 TagCache::contains(uint64_t line_addr) const
 {
-    return findWay(line_addr) != nullptr;
+    return index_.contains(line_addr);
 }
 
 bool
@@ -73,57 +74,74 @@ TagCache::fill(uint64_t line_addr, bool dirty, bool &evicted_dirty)
     ZATEL_ASSERT(line_addr % lineBytes_ == 0,
                  "cache fill address must be line-aligned");
     evicted_dirty = false;
-    Way *existing = findWay(line_addr);
-    if (existing) {
-        existing->lastUse = ++useCounter_;
-        existing->dirty = existing->dirty || dirty;
+    if (LineSlot *existing = index_.find(line_addr)) {
+        lastUse_[*existing] = ++useCounter_;
+        if (dirty)
+            setBit(dirtyBits_, *existing);
         return false;
     }
 
     uint32_t set = setOf(line_addr);
-    Way *base = &ways_[static_cast<size_t>(set) * assoc_];
-    Way *victim = nullptr;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
+    uint32_t base = set * assoc_;
+    uint32_t victim = ~0u;
+    if (validCount_[set] < assoc_) {
+        // A free way exists: take the first invalid one (matches the
+        // reference first-fit policy).
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (!testBit(validBits_, base + w)) {
+                victim = base + w;
+                break;
+            }
         }
-        if (!victim || base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        ZATEL_ASSERT(victim != ~0u, "valid-count says a free way exists");
+    } else {
+        // LRU scan over the set's contiguous last-use lane (first
+        // strict minimum wins, matching the reference tie-break).
+        victim = base;
+        uint64_t best = lastUse_[base];
+        for (uint32_t w = 1; w < assoc_; ++w) {
+            if (lastUse_[base + w] < best) {
+                best = lastUse_[base + w];
+                victim = base + w;
+            }
+        }
     }
 
-    bool evicted = victim->valid;
+    bool evicted = testBit(validBits_, victim);
     if (evicted) {
         ++stats_.evictions;
-        if (victim->dirty) {
+        if (testBit(dirtyBits_, victim)) {
             ++stats_.dirtyEvictions;
             evicted_dirty = true;
         }
-        index_.erase(victim->tag);
+        index_.erase(tags_[victim]);
+    } else {
+        setBit(validBits_, victim);
+        ++validCount_[set];
     }
-    victim->valid = true;
-    victim->tag = line_addr;
-    victim->dirty = dirty;
-    victim->lastUse = ++useCounter_;
-    index_.emplace(line_addr,
-                   static_cast<uint32_t>(victim - ways_.data()));
+    tags_[victim] = line_addr;
+    if (dirty)
+        setBit(dirtyBits_, victim);
+    else
+        clearBit(dirtyBits_, victim);
+    lastUse_[victim] = ++useCounter_;
+    index_.insert(line_addr, victim);
     return evicted;
 }
 
 void
 TagCache::markDirty(uint64_t line_addr)
 {
-    Way *way = findWay(line_addr);
-    if (way)
-        way->dirty = true;
+    if (const LineSlot *way = index_.find(line_addr))
+        setBit(dirtyBits_, *way);
 }
 
 uint64_t
 TagCache::residentLines() const
 {
     uint64_t count = 0;
-    for (const Way &way : ways_)
-        count += way.valid ? 1 : 0;
+    for (uint32_t c : validCount_)
+        count += c;
     return count;
 }
 

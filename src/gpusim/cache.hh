@@ -9,14 +9,21 @@
 #define ZATEL_GPUSIM_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "gpusim/line_map.hh"
 
 namespace zatel::gpusim
 {
 
 /**
  * Set-associative LRU tag cache (assoc == 0 selects fully associative).
+ *
+ * Ways are held in SoA form — parallel tag / last-use arrays plus
+ * valid/dirty bitmask words — and the line-to-way index is a flat
+ * open-addressed LineMap, so lookups and the LRU victim scan touch
+ * dense arrays instead of hash nodes (docs/SIMULATOR.md, "Data layout
+ * of the hot path").
  *
  * All addresses passed in must already be line aligned.
  */
@@ -69,25 +76,36 @@ class TagCache
     uint64_t residentLines() const;
 
   private:
-    struct Way
-    {
-        uint64_t tag = 0;
-        uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     uint32_t setOf(uint64_t line_addr) const;
-    Way *findWay(uint64_t line_addr);
-    const Way *findWay(uint64_t line_addr) const;
 
-    /** line address -> index into ways_ (valid entries only). */
-    std::unordered_map<uint64_t, uint32_t> index_;
+    bool testBit(const std::vector<uint64_t> &bits, uint32_t way) const
+    {
+        return (bits[way >> 6] >> (way & 63)) & 1;
+    }
+
+    void setBit(std::vector<uint64_t> &bits, uint32_t way)
+    {
+        bits[way >> 6] |= uint64_t{1} << (way & 63);
+    }
+
+    void clearBit(std::vector<uint64_t> &bits, uint32_t way)
+    {
+        bits[way >> 6] &= ~(uint64_t{1} << (way & 63));
+    }
 
     uint32_t lineBytes_ = 0;
     uint32_t assoc_ = 0;
     uint32_t numSets_ = 0;
-    std::vector<Way> ways_; // numSets_ x assoc_
+
+    /** line address -> way slot (valid entries only). */
+    LineMap index_;
+    // SoA way state: numSets_ x assoc_ entries each.
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> lastUse_;
+    std::vector<uint64_t> validBits_; // bitmask words over way slots
+    std::vector<uint64_t> dirtyBits_; // bitmask words over way slots
+    /** Valid ways per set: skips the free-way scan once a set is full. */
+    std::vector<uint32_t> validCount_;
     uint64_t useCounter_ = 0;
     Stats stats_;
 };

@@ -622,7 +622,7 @@ Gpu::run(uint64_t max_cycles)
             ++stats.pixelsTraced;
         else
             ++stats.pixelsFiltered;
-        stats.raysTraced += thread.record.rays.size();
+        stats.raysTraced += thread.rayCount;
     }
 
     // Surface the run's headline counters into the metrics registry

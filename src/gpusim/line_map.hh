@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Flat open-addressed map from line address to a 32-bit slot index.
+ *
+ * The per-cycle hot paths (L1/L2 tag lookup, MSHR pending checks) used
+ * to go through std::unordered_map — node-based, pointer-chasing, and
+ * heap-allocating on insert. LineMap is the SoA replacement: two
+ * parallel arrays (keys, values), linear probing, backward-shift
+ * deletion, and a fixed power-of-two footprint sized at construction so
+ * steady-state operation never rehashes or allocates
+ * (docs/SIMULATOR.md, "Data layout of the hot path").
+ *
+ * Keys are line-aligned addresses; the all-ones sentinel can never be a
+ * real key because line sizes are at least 2 bytes.
+ */
+
+#ifndef ZATEL_GPUSIM_LINE_MAP_HH
+#define ZATEL_GPUSIM_LINE_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace zatel::gpusim
+{
+
+/** Index type stored in LineMap values (cache way / MSHR entry slot). */
+using LineSlot = uint32_t;
+
+class LineMap
+{
+  public:
+    static constexpr uint64_t kEmptyKey = ~0ull;
+
+    /**
+     * @param max_entries Upper bound on simultaneously resident keys.
+     * The table is sized to keep load factor at or below 1/2.
+     */
+    explicit LineMap(uint32_t max_entries)
+    {
+        uint64_t slots = 16;
+        while (slots < uint64_t{max_entries} * 2)
+            slots <<= 1;
+        keys_.assign(slots, kEmptyKey);
+        values_.assign(slots, 0);
+        mask_ = slots - 1;
+        capacity_ = max_entries;
+    }
+
+    /** Slot of @p key, or nullptr when absent. */
+    const LineSlot *
+    find(uint64_t key) const
+    {
+        size_t i = probeStart(key);
+        for (;;) {
+            if (keys_[i] == key)
+                return &values_[i];
+            if (keys_[i] == kEmptyKey)
+                return nullptr;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    LineSlot *
+    find(uint64_t key)
+    {
+        return const_cast<LineSlot *>(
+            static_cast<const LineMap *>(this)->find(key));
+    }
+
+    bool contains(uint64_t key) const { return find(key) != nullptr; }
+
+    /** Insert @p key -> @p value. @pre key absent and size() < capacity. */
+    void
+    insert(uint64_t key, LineSlot value)
+    {
+        ZATEL_ASSERT(key != kEmptyKey, "line map key collides with sentinel");
+        ZATEL_ASSERT(size_ < capacity_, "line map over its sized capacity");
+        size_t i = probeStart(key);
+        while (keys_[i] != kEmptyKey) {
+            ZATEL_ASSERT(keys_[i] != key, "duplicate line map insert");
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = key;
+        values_[i] = value;
+        ++size_;
+    }
+
+    /** Remove @p key. @return false when absent. */
+    bool
+    erase(uint64_t key)
+    {
+        size_t i = probeStart(key);
+        for (;;) {
+            if (keys_[i] == kEmptyKey)
+                return false;
+            if (keys_[i] == key)
+                break;
+            i = (i + 1) & mask_;
+        }
+        // Backward-shift deletion keeps probe chains unbroken without
+        // tombstones: pull every displaced follower one slot back.
+        size_t hole = i;
+        size_t j = (i + 1) & mask_;
+        while (keys_[j] != kEmptyKey) {
+            size_t home = probeStart(keys_[j]);
+            // The follower can fill the hole iff its probe path from
+            // `home` crosses the hole before reaching `j` (circular
+            // distance comparison).
+            if (((hole - home) & mask_) <= ((j - home) & mask_)) {
+                keys_[hole] = keys_[j];
+                values_[hole] = values_[j];
+                hole = j;
+            }
+            j = (j + 1) & mask_;
+        }
+        keys_[hole] = kEmptyKey;
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        keys_.assign(keys_.size(), kEmptyKey);
+        size_ = 0;
+    }
+
+    size_t size() const { return size_; }
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    size_t
+    probeStart(uint64_t key) const
+    {
+        // Multiplicative mix; line addresses share low zero bits, so
+        // fold the high product bits down before masking.
+        uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        return static_cast<size_t>(h >> 32) & mask_;
+    }
+
+    std::vector<uint64_t> keys_;
+    std::vector<LineSlot> values_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+    uint32_t capacity_ = 0;
+};
+
+} // namespace zatel::gpusim
+
+#endif // ZATEL_GPUSIM_LINE_MAP_HH

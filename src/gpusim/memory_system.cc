@@ -75,7 +75,8 @@ MemorySystem::flushStagedSends()
     // (readyCycle = send cycle + the constant NoC latency, and each SM
     // generates requests in cycle order). A k-way merge by (readyCycle,
     // source SM) therefore reproduces the serial enqueue order.
-    std::vector<size_t> cursor(stagedSends_.size(), 0);
+    flushCursor_.assign(stagedSends_.size(), 0);
+    std::vector<size_t> &cursor = flushCursor_;
     for (;;) {
         uint64_t next_cycle = kNoEventCycle;
         for (size_t s = 0; s < stagedSends_.size(); ++s) {
@@ -128,8 +129,8 @@ MemorySystem::deliverResponses()
         ZATEL_ASSERT(response.dstSm < fillQueues_.size(),
                      "response to unknown SM");
         fillQueues_[response.dstSm].push(
-            {response.readyCycle + config_.nocLatencyCycles,
-             response.lineAddr, fillSeq_++});
+            response.readyCycle + config_.nocLatencyCycles,
+            response.lineAddr, fillSeq_++);
     }
 }
 
@@ -157,9 +158,9 @@ MemorySystem::drainFills(uint32_t sm, uint64_t now)
 {
     std::vector<uint64_t> &scratch = drainScratch_[sm];
     scratch.clear();
-    auto &queue = fillQueues_[sm];
-    while (!queue.empty() && queue.top().readyCycle <= now) {
-        scratch.push_back(queue.top().lineAddr);
+    FillHeap &queue = fillQueues_[sm];
+    while (!queue.empty() && queue.topReady() <= now) {
+        scratch.push_back(queue.topAddr());
         queue.pop();
     }
     return scratch;

@@ -10,10 +10,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "gpusim/config.hh"
+#include "gpusim/fill_heap.hh"
 #include "gpusim/mem_partition.hh"
 #include "gpusim/mem_types.hh"
 #include "gpusim/sim_clock.hh"
@@ -82,8 +82,8 @@ class MemorySystem
      */
     uint64_t nextFillCycle(uint32_t sm) const
     {
-        const auto &queue = fillQueues_[sm];
-        return queue.empty() ? kNoEventCycle : queue.top().readyCycle;
+        const FillHeap &queue = fillQueues_[sm];
+        return queue.empty() ? kNoEventCycle : queue.topReady();
     }
 
     /**
@@ -93,8 +93,8 @@ class MemorySystem
      */
     bool hasReadyFill(uint32_t sm, uint64_t now) const
     {
-        const auto &queue = fillQueues_[sm];
-        return !queue.empty() && queue.top().readyCycle <= now;
+        const FillHeap &queue = fillQueues_[sm];
+        return !queue.empty() && queue.topReady() <= now;
     }
 
     /**
@@ -125,36 +125,21 @@ class MemorySystem
     /** Push this tick's partition responses into the per-SM fill queues. */
     void deliverResponses();
 
-    struct PendingFill
-    {
-        uint64_t readyCycle = 0;
-        uint64_t lineAddr = 0;
-        /** Delivery sequence number: the heap's tie order on readyCycle
-         *  would otherwise depend on the push/pop interleaving, which
-         *  the span-parallel loop batches differently from the serial
-         *  loop (all of a span's pushes land before any drain). The
-         *  (readyCycle, seq) total order makes drain order a function of
-         *  the delivery sequence alone, which all loops share. */
-        uint64_t seq = 0;
-
-        bool
-        operator>(const PendingFill &o) const
-        {
-            if (readyCycle != o.readyCycle)
-                return readyCycle > o.readyCycle;
-            return seq > o.seq;
-        }
-    };
-
     /** Route @p request into its line-interleaved partition. */
     void routeToPartition(const MemRequest &request);
 
     GpuConfig config_;
     std::vector<MemPartition> partitions_;
-    /** Min-heap of fills per destination SM. */
-    std::vector<std::priority_queue<PendingFill, std::vector<PendingFill>,
-                                    std::greater<PendingFill>>>
-        fillQueues_;
+    /**
+     * SoA min-heap of fills per destination SM, ordered by (readyCycle,
+     * seq). The delivery sequence number tie-break matters: the heap's
+     * tie order on readyCycle would otherwise depend on the push/pop
+     * interleaving, which the span-parallel loop batches differently
+     * from the serial loop (all of a span's pushes land before any
+     * drain). The (readyCycle, seq) total order makes drain order a
+     * function of the delivery sequence alone, which all loops share.
+     */
+    std::vector<FillHeap> fillQueues_;
     std::vector<MemResponse> responseScratch_;
     /** Monotone PendingFill::seq source (deliverResponses is always
      *  single-threaded, in every loop). */
@@ -165,6 +150,8 @@ class MemorySystem
      *  lane is written only by its owning SM's shard thread; lanes are
      *  flushed (and cleared) between shard phases. */
     std::vector<std::vector<MemRequest>> stagedSends_;
+    /** flushStagedSends() cursor scratch (retained across flushes). */
+    std::vector<size_t> flushCursor_;
     bool deferSends_ = false;
 };
 

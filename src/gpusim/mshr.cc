@@ -5,48 +5,89 @@
 namespace zatel::gpusim
 {
 
-MshrTable::MshrTable(uint32_t capacity) : capacity_(capacity)
+MshrTable::MshrTable(uint32_t capacity)
+    : capacity_(capacity), index_(capacity)
 {
     ZATEL_ASSERT(capacity > 0, "MSHR capacity must be > 0");
+    entryLine_.assign(capacity, 0);
+    waiterHead_.assign(capacity, kNoNode);
+    waiterTail_.assign(capacity, kNoNode);
+    entryFree_.reserve(capacity);
+    for (uint32_t slot = capacity; slot-- > 0;)
+        entryFree_.push_back(slot);
+    // Seed the waiter pool at one node per entry; merges grow it on
+    // demand (and it is retained across fills, so growth is one-time).
+    nodeToken_.reserve(capacity * 2);
+    nodeNext_.reserve(capacity * 2);
+}
+
+uint32_t
+MshrTable::allocNode(uint64_t token)
+{
+    if (nodeFreeHead_ != kNoNode) {
+        uint32_t node = nodeFreeHead_;
+        nodeFreeHead_ = nodeNext_[node];
+        nodeToken_[node] = token;
+        nodeNext_[node] = kNoNode;
+        return node;
+    }
+    uint32_t node = static_cast<uint32_t>(nodeToken_.size());
+    nodeToken_.push_back(token);
+    nodeNext_.push_back(kNoNode);
+    return node;
 }
 
 MshrTable::Outcome
 MshrTable::request(uint64_t line_addr, uint64_t waiter_token)
 {
-    ZATEL_ASSERT(entries_.size() <= capacity_,
+    ZATEL_ASSERT(index_.size() <= capacity_,
                  "MSHR exceeded its configured capacity");
-    auto it = entries_.find(line_addr);
-    if (it != entries_.end()) {
-        it->second.push_back(waiter_token);
+    if (const LineSlot *slot = index_.find(line_addr)) {
+        uint32_t node = allocNode(waiter_token);
+        nodeNext_[waiterTail_[*slot]] = node;
+        waiterTail_[*slot] = node;
         ++stats_.merges;
         return Outcome::Merged;
     }
-    if (entries_.size() >= capacity_) {
+    if (index_.size() >= capacity_) {
         ++stats_.fullStalls;
         return Outcome::Full;
     }
-    entries_.emplace(line_addr, std::vector<uint64_t>{waiter_token});
+    uint32_t slot = entryFree_.back();
+    entryFree_.pop_back();
+    uint32_t node = allocNode(waiter_token);
+    entryLine_[slot] = line_addr;
+    waiterHead_[slot] = node;
+    waiterTail_[slot] = node;
+    index_.insert(line_addr, slot);
     ++stats_.allocations;
     return Outcome::Allocated;
 }
 
-bool
-MshrTable::pending(uint64_t line_addr) const
-{
-    return entries_.count(line_addr) != 0;
-}
-
-std::vector<uint64_t>
+const std::vector<uint64_t> &
 MshrTable::fill(uint64_t line_addr)
 {
-    auto it = entries_.find(line_addr);
-    if (it == entries_.end())
-        return {};
-    std::vector<uint64_t> waiters = std::move(it->second);
-    ZATEL_ASSERT(!waiters.empty(),
+    fillScratch_.clear();
+    const LineSlot *found = index_.find(line_addr);
+    if (!found)
+        return fillScratch_;
+    uint32_t slot = *found;
+    // Walk the waiter chain in registration order, recycling each node.
+    uint32_t node = waiterHead_[slot];
+    ZATEL_ASSERT(node != kNoNode,
                  "an allocated MSHR entry must hold at least one waiter");
-    entries_.erase(it);
-    return waiters;
+    while (node != kNoNode) {
+        fillScratch_.push_back(nodeToken_[node]);
+        uint32_t next = nodeNext_[node];
+        nodeNext_[node] = nodeFreeHead_;
+        nodeFreeHead_ = node;
+        node = next;
+    }
+    waiterHead_[slot] = kNoNode;
+    waiterTail_[slot] = kNoNode;
+    entryFree_.push_back(slot);
+    index_.erase(line_addr);
+    return fillScratch_;
 }
 
 } // namespace zatel::gpusim

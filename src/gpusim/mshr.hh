@@ -10,8 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "gpusim/line_map.hh"
 
 namespace zatel::gpusim
 {
@@ -19,6 +20,11 @@ namespace zatel::gpusim
 /**
  * MSHR table keyed by line address. Waiters are opaque 64-bit tokens the
  * owning component interprets (e.g. packed warp/lane ids).
+ *
+ * Storage is SoA and allocation-free in steady state: entries live in
+ * fixed parallel arrays indexed by a LineMap, and waiter lists are
+ * singly-linked chains through a pooled node array with a free list
+ * (docs/SIMULATOR.md, "Data layout of the hot path").
  */
 class MshrTable
 {
@@ -46,23 +52,42 @@ class MshrTable
     Outcome request(uint64_t line_addr, uint64_t waiter_token);
 
     /** True when @p line_addr has an entry in flight. */
-    bool pending(uint64_t line_addr) const;
+    bool pending(uint64_t line_addr) const { return index_.contains(line_addr); }
 
     /**
      * Complete @p line_addr: removes the entry.
-     * @return all waiter tokens registered for the line (empty when the
-     *         line was not pending).
+     * @return all waiter tokens registered for the line, in registration
+     *         order (empty when the line was not pending). The returned
+     *         vector is internal scratch reused by the next fill();
+     *         consume it before calling fill() again.
      */
-    std::vector<uint64_t> fill(uint64_t line_addr);
+    const std::vector<uint64_t> &fill(uint64_t line_addr);
 
-    size_t occupancy() const { return entries_.size(); }
+    size_t occupancy() const { return index_.size(); }
     uint32_t capacity() const { return capacity_; }
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return index_.size() >= capacity_; }
     const Stats &stats() const { return stats_; }
 
   private:
+    static constexpr uint32_t kNoNode = ~0u;
+
+    /** Take a waiter node off the free list (growing the pool if dry). */
+    uint32_t allocNode(uint64_t token);
+
     uint32_t capacity_ = 0;
-    std::unordered_map<uint64_t, std::vector<uint64_t>> entries_;
+    /** line address -> entry slot. */
+    LineMap index_;
+    // SoA entry state, indexed by entry slot (free slots chain through
+    // entryFree_).
+    std::vector<uint64_t> entryLine_;
+    std::vector<uint32_t> waiterHead_;
+    std::vector<uint32_t> waiterTail_;
+    std::vector<uint32_t> entryFree_; // stack of free entry slots
+    // Pooled waiter nodes: parallel token/next arrays + free-list head.
+    std::vector<uint64_t> nodeToken_;
+    std::vector<uint32_t> nodeNext_;
+    uint32_t nodeFreeHead_ = kNoNode;
+    std::vector<uint64_t> fillScratch_;
     Stats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "gpusim/rt_unit.hh"
 
+#include <algorithm>
+
 #include "gpusim/address_map.hh"
 #include "gpusim/sm.hh"
 #include "util/logging.hh"
@@ -9,48 +11,68 @@ namespace zatel::gpusim
 
 RtUnit::RtUnit(const GpuConfig *config, Sm *sm) : config_(config), sm_(sm)
 {
+    uint32_t max_warps = std::max(1u, config->rtMaxWarps);
+    residentSlot_.resize(max_warps);
+    residentWarp_.resize(max_warps);
+    residentLanes_.resize(max_warps);
+    residentPoolIdx_.resize(max_warps);
+    lanePool_.resize(static_cast<size_t>(max_warps) * config->warpSize);
+    // Highest index on top so admission pops span 0 first (pure
+    // cosmetics: any fixed order is deterministic).
+    freeSpans_.reserve(max_warps);
+    for (uint32_t i = max_warps; i-- > 0;)
+        freeSpans_.push_back(i);
 }
 
-RtUnit::Resident *
-RtUnit::findResident(uint32_t warp_slot)
+int
+RtUnit::findResident(uint32_t warp_slot) const
 {
-    for (Resident &resident : resident_) {
-        if (resident.warpSlot == warp_slot)
-            return &resident;
+    for (uint32_t i = 0; i < residentCount_; ++i) {
+        if (residentSlot_[i] == warp_slot)
+            return static_cast<int>(i);
     }
-    return nullptr;
+    return -1;
 }
 
 Warp *
 RtUnit::warpAt(uint32_t warp_slot)
 {
-    Resident *resident = findResident(warp_slot);
-    return resident ? resident->warp : nullptr;
+    int index = findResident(warp_slot);
+    return index >= 0 ? residentWarp_[index] : nullptr;
 }
 
 bool
 RtUnit::tryAdmit(uint32_t warp_slot, Warp *warp)
 {
     ZATEL_ASSERT(warp != nullptr, "cannot admit a null warp");
-    if (resident_.size() >= config_->rtMaxWarps)
+    if (residentCount_ >= config_->rtMaxWarps)
         return false;
 
-    warp->enterRtUnit();
+    ZATEL_ASSERT(!freeSpans_.empty(), "lane pool exhausted below capacity");
+    uint32_t span = freeSpans_.back();
+    freeSpans_.pop_back();
+    warp->enterRtUnit(
+        lanePool_.data() + static_cast<size_t>(span) * config_->warpSize);
     uint32_t lanes_remaining = 0;
-    for (uint32_t lane = 0; lane < warp->lanes().size(); ++lane) {
+    for (uint32_t lane = 0; lane < warp->laneCount(); ++lane) {
         WarpLane &state = warp->lanes()[lane];
         if (state.state == WarpLane::State::NeedFetch) {
             ++lanes_remaining;
-            fetchQueue_.push_back({warp_slot, lane});
+            fetchQueue_.pushBack(packLaneRef(warp_slot, lane));
         }
     }
-    resident_.push_back({warp_slot, warp, lanes_remaining});
 
     if (lanes_remaining == 0) {
         // Degenerate: every lane finished instantly (e.g. empty BVH).
-        resident_.pop_back();
         warp->exitRtUnit(0);
+        freeSpans_.push_back(span);
+        return true;
     }
+    residentSlot_[residentCount_] = warp_slot;
+    residentWarp_[residentCount_] = warp;
+    residentLanes_[residentCount_] = lanes_remaining;
+    residentPoolIdx_[residentCount_] = span;
+    ++residentCount_;
     return true;
 }
 
@@ -64,23 +86,23 @@ RtUnit::onFill(uint32_t warp_slot, uint32_t lane)
     ZATEL_ASSERT(state.state == WarpLane::State::WaitMem,
                  "fill for a lane that is not waiting");
     state.state = WarpLane::State::ReadyStep;
-    readyQueue_.push_back({warp_slot, lane});
+    readyQueue_.pushBack(packLaneRef(warp_slot, lane));
 }
 
 bool
-RtUnit::issueFetch(const LaneRef &ref, uint64_t now, GpuStats &stats)
+RtUnit::issueFetch(LaneRef ref, uint64_t now, GpuStats &stats)
 {
-    Warp *warp = warpAt(ref.warpSlot);
+    Warp *warp = warpAt(laneRefSlot(ref));
     ZATEL_ASSERT(warp, "fetch for a non-resident warp");
-    WarpLane &lane = warp->lanes()[ref.lane];
+    WarpLane &lane = warp->lanes()[laneRefLane(ref)];
     ZATEL_ASSERT(lane.state == WarpLane::State::NeedFetch,
                  "fetch for a lane not needing one");
 
     uint64_t node_addr =
         AddressMap::bvhNodeAddress(lane.stepper.pendingNode());
     uint64_t line = AddressMap::lineOf(node_addr, config_->l1dLineBytes);
-    uint64_t token =
-        WaiterToken::pack(WaiterToken::RtRay, ref.warpSlot, ref.lane);
+    uint64_t token = WaiterToken::pack(WaiterToken::RtRay, laneRefSlot(ref),
+                                       laneRefLane(ref));
 
     Sm::L1Outcome outcome = sm_->l1Load(line, token, now);
     if (outcome == Sm::L1Outcome::Stall)
@@ -91,12 +113,12 @@ RtUnit::issueFetch(const LaneRef &ref, uint64_t now, GpuStats &stats)
 }
 
 void
-RtUnit::executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats)
+RtUnit::executeVisit(LaneRef ref, uint64_t now, GpuStats &stats)
 {
-    Resident *resident = findResident(ref.warpSlot);
-    ZATEL_ASSERT(resident, "visit for a non-resident warp");
-    Warp *warp = resident->warp;
-    WarpLane &lane = warp->lanes()[ref.lane];
+    int resident = findResident(laneRefSlot(ref));
+    ZATEL_ASSERT(resident >= 0, "visit for a non-resident warp");
+    Warp *warp = residentWarp_[resident];
+    WarpLane &lane = warp->lanes()[laneRefLane(ref)];
     ZATEL_ASSERT(lane.state == WarpLane::State::ReadyStep,
                  "visit for a lane that is not ready");
 
@@ -126,68 +148,66 @@ RtUnit::executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats)
 
     if (lane.stepper.finished()) {
         lane.state = WarpLane::State::Done;
-        ZATEL_ASSERT(resident->lanesRemaining > 0, "lane accounting broke");
-        --resident->lanesRemaining;
-        if (resident->lanesRemaining == 0) {
-            Warp *done_warp = resident->warp;
-            // Remove from residency, then let the warp continue.
-            for (size_t i = 0; i < resident_.size(); ++i) {
-                if (resident_[i].warpSlot == ref.warpSlot) {
-                    resident_.erase(resident_.begin() + i);
-                    break;
-                }
+        ZATEL_ASSERT(residentLanes_[resident] > 0, "lane accounting broke");
+        if (--residentLanes_[resident] == 0) {
+            Warp *done_warp = residentWarp_[resident];
+            freeSpans_.push_back(residentPoolIdx_[resident]);
+            // Remove from residency (preserving admission order), then
+            // let the warp continue.
+            for (uint32_t i = resident; i + 1u < residentCount_; ++i) {
+                residentSlot_[i] = residentSlot_[i + 1];
+                residentWarp_[i] = residentWarp_[i + 1];
+                residentLanes_[i] = residentLanes_[i + 1];
+                residentPoolIdx_[i] = residentPoolIdx_[i + 1];
             }
+            --residentCount_;
             done_warp->exitRtUnit(now);
             // Tell the SM's lean scan the warp is scannable again.
-            sm_->onWarpLeftRtUnit(ref.warpSlot);
+            sm_->onWarpLeftRtUnit(laneRefSlot(ref));
         }
         return;
     }
 
     lane.state = WarpLane::State::NeedFetch;
-    fetchQueue_.push_back(ref);
+    fetchQueue_.pushBack(ref);
 }
 
 void
 RtUnit::fastForward(uint64_t cycles, GpuStats &stats) const
 {
     ZATEL_ASSERT(quiet(), "fast-forward across a unit with pending work");
-    for (const Resident &resident : resident_) {
+    for (uint32_t i = 0; i < residentCount_; ++i) {
         stats.rtResidentWarpCycles += cycles;
-        stats.rtActiveRaySum += cycles * resident.lanesRemaining;
+        stats.rtActiveRaySum += cycles * residentLanes_[i];
     }
 }
 
 void
 RtUnit::tick(uint64_t now, GpuStats &stats)
 {
-    ZATEL_ASSERT(resident_.size() <= config_->rtMaxWarps,
+    ZATEL_ASSERT(residentCount_ <= config_->rtMaxWarps,
                  "more resident warps than the RT unit allows");
     // Residency/efficiency sampling (Table I: RT Unit Avg Efficiency).
     // Lanes still traversing == lanesRemaining (NeedFetch/WaitMem/Ready).
-    for (const Resident &resident : resident_) {
+    for (uint32_t i = 0; i < residentCount_; ++i) {
         ++stats.rtResidentWarpCycles;
-        stats.rtActiveRaySum += resident.lanesRemaining;
+        stats.rtActiveRaySum += residentLanes_[i];
     }
 
     // 1. Issue node fetches while ports and MSHRs allow.
     size_t fetch_budget = fetchQueue_.size();
     while (fetch_budget-- > 0 && !fetchQueue_.empty()) {
-        LaneRef ref = fetchQueue_.front();
-        fetchQueue_.pop_front();
+        LaneRef ref = fetchQueue_.popFront();
         if (!issueFetch(ref, now, stats)) {
-            fetchQueue_.push_front(ref);
+            fetchQueue_.pushFront(ref);
             break; // stalled: stop issuing this cycle
         }
     }
 
     // 2. Execute up to rtVisitsPerCycle node visits.
     uint32_t visit_budget = config_->rtVisitsPerCycle;
-    while (visit_budget-- > 0 && !readyQueue_.empty()) {
-        LaneRef ref = readyQueue_.front();
-        readyQueue_.pop_front();
-        executeVisit(ref, now, stats);
-    }
+    while (visit_budget-- > 0 && !readyQueue_.empty())
+        executeVisit(readyQueue_.popFront(), now, stats);
 }
 
 } // namespace zatel::gpusim

@@ -9,6 +9,11 @@
  * rtVisitsPerCycle visit slots. Leaf visits additionally stream the leaf's
  * triangle data as prefetch-style fetches that generate cache/DRAM traffic
  * without stalling traversal.
+ *
+ * Per-cycle state is SoA (docs/SIMULATOR.md, "Data layout of the hot
+ * path"): the ready/fetch queues are flat rings of packed lane
+ * references, and residency bookkeeping lives in parallel arrays
+ * instead of a struct vector.
  */
 
 #ifndef ZATEL_GPUSIM_RT_UNIT_HH
@@ -16,17 +21,97 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "gpusim/config.hh"
 #include "gpusim/stats.hh"
 #include "gpusim/warp.hh"
+#include "util/logging.hh"
 
 namespace zatel::gpusim
 {
 
 class Sm;
+
+/**
+ * Packed (warp slot, lane) reference: slot in the high bits, lane in
+ * the low byte — same shape as WaiterToken's payload.
+ */
+using LaneRef = uint32_t;
+
+inline LaneRef
+packLaneRef(uint32_t warp_slot, uint32_t lane)
+{
+    return (warp_slot << 8) | lane;
+}
+
+inline uint32_t laneRefSlot(LaneRef ref) { return ref >> 8; }
+inline uint32_t laneRefLane(LaneRef ref) { return ref & 0xFFu; }
+
+/**
+ * Flat ring of packed lane references with power-of-two wraparound.
+ * Supports pushFront for the stall-requeue path (a stalled fetch goes
+ * back to the head so issue order matches the reference deque).
+ */
+class LaneRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    LaneRef front() const { return refs_[head_ & mask_]; }
+
+    void
+    pushBack(LaneRef ref)
+    {
+        if (size_ == refs_.size())
+            grow();
+        refs_[tail_ & mask_] = ref;
+        ++tail_;
+        ++size_;
+    }
+
+    void
+    pushFront(LaneRef ref)
+    {
+        if (size_ == refs_.size())
+            grow();
+        --head_;
+        refs_[head_ & mask_] = ref;
+        ++size_;
+    }
+
+    LaneRef
+    popFront()
+    {
+        LaneRef ref = refs_[head_ & mask_];
+        ++head_;
+        --size_;
+        return ref;
+    }
+
+  private:
+    void
+    grow()
+    {
+        size_t cap = refs_.empty() ? 64 : refs_.size() * 2;
+        std::vector<LaneRef> next(cap);
+        for (size_t i = 0; i < size_; ++i)
+            next[i] = refs_[(head_ + i) & mask_];
+        refs_ = std::move(next);
+        head_ = 0;
+        tail_ = size_;
+        mask_ = cap - 1;
+    }
+
+    std::vector<LaneRef> refs_;
+    // head_/tail_ are free-running and masked on access; head_ may wrap
+    // below zero via pushFront, which unsigned arithmetic handles.
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
 
 /** The per-SM ray-tracing accelerator. */
 class RtUnit
@@ -43,11 +128,11 @@ class RtUnit
     /** Advance one cycle: issue fetches, execute visits, retire warps. */
     void tick(uint64_t now, GpuStats &stats);
 
-    bool idle() const { return resident_.empty(); }
-    size_t residentWarps() const { return resident_.size(); }
+    bool idle() const { return residentCount_ == 0; }
+    size_t residentWarps() const { return residentCount_; }
 
     /** Another warp can be admitted (used by the SM's event predicate). */
-    bool hasFreeSlot() const { return resident_.size() < config_->rtMaxWarps; }
+    bool hasFreeSlot() const { return residentCount_ < config_->rtMaxWarps; }
 
     /**
      * True when the unit has no lane ready to visit and no fetch to
@@ -67,34 +152,32 @@ class RtUnit
     void fastForward(uint64_t cycles, GpuStats &stats) const;
 
   private:
-    struct LaneRef
-    {
-        uint32_t warpSlot = 0;
-        uint32_t lane = 0;
-    };
-
-    /** Resident warp bookkeeping. */
-    struct Resident
-    {
-        uint32_t warpSlot = 0;
-        Warp *warp = nullptr;
-        uint32_t lanesRemaining = 0;
-    };
-
-    Resident *findResident(uint32_t warp_slot);
+    /** Residency index of @p warp_slot, or -1 when not resident. */
+    int findResident(uint32_t warp_slot) const;
     /** Issue the pending node fetch of a lane. @return false on stall. */
-    bool issueFetch(const LaneRef &ref, uint64_t now, GpuStats &stats);
+    bool issueFetch(LaneRef ref, uint64_t now, GpuStats &stats);
     /** Execute one node visit for a ready lane. */
-    void executeVisit(const LaneRef &ref, uint64_t now, GpuStats &stats);
+    void executeVisit(LaneRef ref, uint64_t now, GpuStats &stats);
     Warp *warpAt(uint32_t warp_slot);
 
     const GpuConfig *config_ = nullptr;
     Sm *sm_ = nullptr;
-    std::vector<Resident> resident_;
+    // Resident warp bookkeeping, SoA over residency index (admission
+    // order preserved; removal shifts the tail down).
+    std::vector<uint32_t> residentSlot_;
+    std::vector<Warp *> residentWarp_;
+    std::vector<uint32_t> residentLanes_;
+    std::vector<uint32_t> residentPoolIdx_;
+    uint32_t residentCount_ = 0;
+    // Lane pool: rtMaxWarps spans of warpSize WarpLanes. A warp borrows
+    // a span for the duration of its residency (Warp::enterRtUnit
+    // re-initializes everything observable, so reuse is deterministic).
+    std::vector<WarpLane> lanePool_;
+    std::vector<uint32_t> freeSpans_;
     /** Lanes whose node data is available. */
-    std::deque<LaneRef> readyQueue_;
+    LaneRing readyQueue_;
     /** Lanes that must (re)issue a fetch. */
-    std::deque<LaneRef> fetchQueue_;
+    LaneRing fetchQueue_;
 };
 
 } // namespace zatel::gpusim

@@ -21,7 +21,6 @@ Sm::Sm(uint32_t index, const GpuConfig *config, MemorySystem *memory)
     rtUnits_.reserve(std::max(1u, config->rtUnitsPerSm));
     for (uint32_t u = 0; u < std::max(1u, config->rtUnitsPerSm); ++u)
         rtUnits_.emplace_back(config, this);
-    hitRing_.resize(config->l1dLatencyCycles + 1);
 }
 
 void
@@ -67,11 +66,8 @@ Sm::l1Load(uint64_t line_addr, uint64_t token, uint64_t now)
 
     ++portsUsed_;
     if (l1_.access(line_addr)) {
-        if (!is_prefetch) {
-            uint64_t ready = now + config_->l1dLatencyCycles;
-            hitRing_[ready % hitRing_.size()].push_back(token);
-            ++pendingHitTokens_;
-        }
+        if (!is_prefetch)
+            hitFifo_.push(now + config_->l1dLatencyCycles, token);
         return L1Outcome::HitScheduled;
     }
 
@@ -140,15 +136,12 @@ Sm::processFills(uint64_t now)
 void
 Sm::processHitQueue(uint64_t now)
 {
-    if (pendingHitTokens_ == 0)
-        return;
-    std::vector<uint64_t> &bucket = hitRing_[now % hitRing_.size()];
-    if (bucket.empty())
-        return;
-    pendingHitTokens_ -= bucket.size();
-    for (uint64_t token : bucket)
-        deliverToken(token, now);
-    bucket.clear();
+    // Ready cycles are monotone in push order, so this cycle's tokens
+    // sit contiguously at the head, in the order they were pushed. A
+    // zero-latency hit is scheduled after this pass already ran and so
+    // drains on the next tick, exactly like the old one-bucket ring.
+    while (!hitFifo_.empty() && hitFifo_.frontReady() <= now)
+        deliverToken(hitFifo_.pop(), now);
 }
 
 void
@@ -244,7 +237,10 @@ Sm::tickImpl(uint64_t now, bool lean_scan)
                  "resident warp count exceeds the slot table");
     portsUsed_ = 0;
     lastTickIssued_ = false;
-    processFills(now);
+    // Inline two-load peek before the drain call: most ticks have no
+    // ready fill, and drainFills would only clear scratch and return.
+    if (memory_->hasReadyFill(index_, now))
+        processFills(now);
     processHitQueue(now);
     for (RtUnit &unit : rtUnits_)
         unit.tick(now, stats_);
@@ -323,7 +319,7 @@ Sm::quiescentAt(uint64_t now) const
     // (their tokens all reference resident warps) and that the warp
     // scheduler pass has nothing to scan; the checks stay explicit
     // because they are one load each and guard the contract anyway.
-    if (residentWarps_ != 0 || pendingHitTokens_ != 0)
+    if (residentWarps_ != 0 || !hitFifo_.empty())
         return false;
     return !memory_->hasReadyFill(index_, now);
 }
@@ -362,17 +358,12 @@ Sm::nextEventCycle(uint64_t now) const
         }
     }
 
-    // 3. Delayed L1 hits: earliest non-empty ring bucket. The ring spans
-    //    l1dLatencyCycles + 1 slots, so scanning one lap finds any
-    //    scheduled token.
-    if (pendingHitTokens_ != 0) {
-        for (uint64_t off = 1; off <= hitRing_.size(); ++off) {
-            if (!hitRing_[(now + off) % hitRing_.size()].empty()) {
-                next = std::min(next, now + off);
-                break;
-            }
-        }
-    }
+    // 3. Delayed L1 hits: the FIFO head is the earliest scheduled token
+    //    (ready cycles are monotone in push order). A head already due
+    //    drains on the next tick (zero-latency hits are scheduled after
+    //    the drain pass ran).
+    if (!hitFifo_.empty())
+        next = std::min(next, std::max(hitFifo_.frontReady(), now + 1));
     return next;
 }
 
@@ -387,8 +378,7 @@ Sm::fastForward(uint64_t cycles)
 bool
 Sm::idle() const
 {
-    if (residentWarps_ != 0 || pendingHitTokens_ != 0 ||
-        mshr_.occupancy() != 0)
+    if (residentWarps_ != 0 || !hitFifo_.empty() || mshr_.occupancy() != 0)
         return false;
     for (const RtUnit &unit : rtUnits_) {
         if (!unit.idle())

@@ -20,6 +20,7 @@
 #include "gpusim/stats.hh"
 #include "gpusim/stats_report.hh"
 #include "gpusim/warp.hh"
+#include "util/logging.hh"
 
 namespace zatel::gpusim
 {
@@ -56,6 +57,74 @@ struct WaiterToken
     {
         return static_cast<uint32_t>(token & 0xFFu);
     }
+};
+
+/**
+ * Fixed-latency L1-hit delay line in SoA form: parallel ready-cycle /
+ * token rings with power-of-two wraparound. The single producer
+ * (Sm::l1Load) always schedules `now + l1dLatencyCycles` with a
+ * constant latency, so ready cycles are monotone in push order and the
+ * structure is a FIFO — the earliest pending event is an O(1) peek at
+ * the head instead of a lap over time buckets
+ * (docs/SIMULATOR.md, "Data layout of the hot path").
+ */
+class HitFifo
+{
+  public:
+    void
+    push(uint64_t ready_cycle, uint64_t token)
+    {
+        ZATEL_ASSERT(size_ == 0 || ready_cycle >= ready_[(tail_ - 1) & mask_],
+                     "hit FIFO requires monotone ready cycles");
+        if (size_ == capacity())
+            grow();
+        ready_[tail_ & mask_] = ready_cycle;
+        token_[tail_ & mask_] = token;
+        ++tail_;
+        ++size_;
+    }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    /** Ready cycle of the oldest pending token. @pre !empty() */
+    uint64_t frontReady() const { return ready_[head_ & mask_]; }
+
+    /** Pop the oldest token. @pre !empty() */
+    uint64_t
+    pop()
+    {
+        uint64_t token = token_[head_ & mask_];
+        ++head_;
+        --size_;
+        return token;
+    }
+
+  private:
+    size_t capacity() const { return ready_.size(); }
+
+    void
+    grow()
+    {
+        size_t cap = capacity() == 0 ? 128 : capacity() * 2;
+        std::vector<uint64_t> ready(cap), token(cap);
+        for (size_t i = 0; i < size_; ++i) {
+            ready[i] = ready_[(head_ + i) & mask_];
+            token[i] = token_[(head_ + i) & mask_];
+        }
+        ready_ = std::move(ready);
+        token_ = std::move(token);
+        head_ = 0;
+        tail_ = size_;
+        mask_ = cap - 1;
+    }
+
+    std::vector<uint64_t> ready_;
+    std::vector<uint64_t> token_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t mask_ = 0;
+    size_t size_ = 0;
 };
 
 /** One streaming multiprocessor. */
@@ -244,11 +313,12 @@ class Sm
     std::vector<RtUnit> rtUnits_;
     std::vector<int8_t> rtUnitOf_; // per warp slot; -1 = not resident
     /**
-     * Fixed-latency delay line for L1 hits: ring of token buckets
-     * indexed by (cycle % ring size); the L1 latency is constant so a
-     * bucket is fully drained when its cycle comes around.
+     * Fixed-latency delay line for L1 hits. The constant L1 latency
+     * makes scheduled ready cycles monotone in push order, so a flat
+     * SoA FIFO replaces the old ring of per-cycle token buckets and
+     * nextEventCycle() reads the head instead of scanning a lap.
      */
-    std::vector<std::vector<uint64_t>> hitRing_;
+    HitFifo hitFifo_;
     /**
      * Lean-scan masks (tickFast): bit i set in scannableSlots_ when slot
      * i holds a warp whose phase is anything but InRt — InRt warps are
@@ -260,7 +330,6 @@ class Sm
      */
     uint64_t scannableSlots_ = 0;
     uint64_t rtWaitSlots_ = 0;
-    uint64_t pendingHitTokens_ = 0;
     uint32_t portsUsed_ = 0;
     bool lastTickIssued_ = false;
 

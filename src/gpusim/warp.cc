@@ -29,12 +29,8 @@ Warp::Warp(uint32_t id, const GpuConfig *config, const SimWorkload *workload,
     ZATEL_ASSERT(thread_end > thread_begin, "empty warp");
     ZATEL_ASSERT(thread_end - thread_begin <= config->warpSize,
                  "warp exceeds warpSize threads");
-    lanes_.resize(config->warpSize);
-    for (uint32_t t = threadBegin_; t < threadEnd_; ++t) {
-        maxRaySlots_ = std::max(
-            maxRaySlots_,
-            static_cast<uint32_t>(workload_->threads[t].record.rays.size()));
-    }
+    for (uint32_t t = threadBegin_; t < threadEnd_; ++t)
+        maxRaySlots_ = std::max(maxRaySlots_, workload_->threads[t].rayCount);
 }
 
 const ThreadWork &
@@ -66,9 +62,9 @@ Warp::compilePostRayStage()
     loadsToIssue_.clear();
     for (uint32_t t = threadBegin_; t < threadEnd_; ++t) {
         const ThreadWork &thread = workload_->threads[t];
-        if (static_cast<size_t>(currentRaySlot_) >= thread.record.rays.size())
+        if (static_cast<uint32_t>(currentRaySlot_) >= thread.rayCount)
             continue;
-        const rt::RayTask &task = thread.record.rays[currentRaySlot_];
+        const rt::RayTask &task = thread.rays[currentRaySlot_];
         uint32_t insts = 0;
         if (task.mode == rt::TraversalMode::ClosestHit) {
             if (task.hit) {
@@ -227,11 +223,13 @@ Warp::onLoadComplete()
 }
 
 void
-Warp::enterRtUnit()
+Warp::enterRtUnit(WarpLane *lanes)
 {
     ZATEL_ASSERT(phase_ == Phase::RtWait, "warp not waiting for RT");
+    ZATEL_ASSERT(lanes != nullptr, "RT entry needs a lane span");
     phase_ = Phase::InRt;
-    for (uint32_t lane = 0; lane < lanes_.size(); ++lane) {
+    lanes_ = lanes;
+    for (uint32_t lane = 0; lane < config_->warpSize; ++lane) {
         WarpLane &state = lanes_[lane];
         uint32_t t = threadBegin_ + lane;
         if (t >= threadEnd_) {
@@ -239,12 +237,11 @@ Warp::enterRtUnit()
             continue;
         }
         const ThreadWork &thread = workload_->threads[t];
-        if (static_cast<size_t>(currentRaySlot_) >=
-            thread.record.rays.size()) {
+        if (static_cast<uint32_t>(currentRaySlot_) >= thread.rayCount) {
             state.state = WarpLane::State::Inactive;
             continue;
         }
-        const rt::RayTask &task = thread.record.rays[currentRaySlot_];
+        const rt::RayTask &task = thread.rays[currentRaySlot_];
         state.stepper.init(workload_->bvh, task.ray, task.mode);
         state.state = state.stepper.finished() ? WarpLane::State::Done
                                                : WarpLane::State::NeedFetch;
@@ -256,14 +253,18 @@ Warp::exitRtUnit(uint64_t now)
 {
     ZATEL_ASSERT(phase_ == Phase::InRt, "warp not in RT unit");
     (void)now;
+    lanes_ = nullptr; // span returns to the RT unit's pool
     compilePostRayStage();
 }
 
 uint32_t
 Warp::activeLaneCount() const
 {
+    if (lanes_ == nullptr)
+        return 0;
     uint32_t active = 0;
-    for (const WarpLane &lane : lanes_) {
+    for (uint32_t i = 0; i < config_->warpSize; ++i) {
+        const WarpLane &lane = lanes_[i];
         if (lane.state == WarpLane::State::NeedFetch ||
             lane.state == WarpLane::State::WaitMem ||
             lane.state == WarpLane::State::ReadyStep) {

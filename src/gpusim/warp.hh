@@ -104,11 +104,19 @@ class Warp
     // ---- RT phase interface ----
     /** True when the warp waits for an RT unit slot. */
     bool wantsRtSlot() const { return phase_ == Phase::RtWait; }
-    /** Enter the RT unit: initialize lane steppers for the current slot. */
-    void enterRtUnit();
+    /**
+     * Enter the RT unit: borrow @p lanes (warpSize entries, owned by the
+     * RT unit's lane pool) and initialize lane steppers for the current
+     * slot. The span stays borrowed until exitRtUnit; pool reuse is safe
+     * because every lane's state (and, for live lanes, its stepper) is
+     * re-initialized here before anything reads it.
+     */
+    void enterRtUnit(WarpLane *lanes);
     /** Called by the RT unit when every lane finished the current slot. */
     void exitRtUnit(uint64_t now);
-    std::vector<WarpLane> &lanes() { return lanes_; }
+    /** Borrowed lane span (warpSize entries); null outside InRt. */
+    WarpLane *lanes() { return lanes_; }
+    uint32_t laneCount() const { return config_->warpSize; }
     /** Lanes still traversing (for the RT efficiency metric). */
     uint32_t activeLaneCount() const;
 
@@ -183,7 +191,10 @@ class Warp
 
     uint64_t pendingThreadInsts_ = 0;
 
-    std::vector<WarpLane> lanes_;
+    // Borrowed from the RT unit's lane pool while InRt; null otherwise.
+    // Owning the lanes here would memset warpSize steppers per warp at
+    // construction — the pool bounds that to rtMaxWarps spans per SM.
+    WarpLane *lanes_ = nullptr;
 };
 
 } // namespace zatel::gpusim

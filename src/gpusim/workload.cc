@@ -10,7 +10,7 @@ SimWorkload::totalRays() const
 {
     uint64_t total = 0;
     for (const ThreadWork &thread : threads)
-        total += thread.record.rays.size();
+        total += thread.rayCount;
     return total;
 }
 
@@ -26,22 +26,44 @@ SimWorkload::build(const rt::Tracer &tracer, uint32_t width, uint32_t height,
     workload.width = width;
     workload.height = height;
     workload.bvh = &tracer.bvh();
-    workload.threads.reserve(pixels.size());
+    workload.threads.resize(pixels.size());
+
+    // Selected pixels, in launch order, for the packetized recorder.
+    std::vector<uint32_t> xs;
+    std::vector<uint32_t> ys;
+    std::vector<uint32_t> thread_of;
+    xs.reserve(pixels.size());
+    ys.reserve(pixels.size());
+    thread_of.reserve(pixels.size());
 
     for (size_t i = 0; i < pixels.size(); ++i) {
         const PixelCoord &pixel = pixels[i];
         ZATEL_ASSERT(pixel.x < width && pixel.y < height,
                      "workload pixel out of bounds");
-        ThreadWork thread;
+        ThreadWork &thread = workload.threads[i];
         thread.pixelLinear = pixel.y * width + pixel.x;
         thread.selected = !selected || (*selected)[i];
         if (thread.selected) {
-            thread.record =
-                rt::recordPixelRays(tracer, pixel.x, pixel.y, width, height);
+            xs.push_back(pixel.x);
+            ys.push_back(pixel.y);
+            thread_of.push_back(static_cast<uint32_t>(i));
             ++workload.selectedCount;
         }
-        workload.threads.push_back(std::move(thread));
     }
+
+    // Record rays in RayPacket batches; every completed pixel's tasks
+    // are flattened into the workload's arena so the timed hot path
+    // walks one contiguous RayTask stream per thread.
+    rt::recordPixelRaysBatch(
+        tracer, xs.data(), ys.data(), static_cast<uint32_t>(xs.size()),
+        width, height,
+        [&workload, &thread_of](uint32_t index,
+                                const rt::PixelRayRecord &record) {
+            ThreadWork &thread = workload.threads[thread_of[index]];
+            thread.rayCount = static_cast<uint32_t>(record.rays.size());
+            thread.rays = workload.rayArena.copySpan(record.rays.data(),
+                                                     record.rays.size());
+        });
     return workload;
 }
 

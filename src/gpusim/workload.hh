@@ -18,6 +18,7 @@
 #include "rt/bvh.hh"
 #include "rt/ray_record.hh"
 #include "rt/tracer.hh"
+#include "util/arena.hh"
 
 namespace zatel::gpusim
 {
@@ -38,11 +39,19 @@ struct ThreadWork
     uint32_t pixelLinear = 0;
     /** False when the Zatel filter skips this pixel. */
     bool selected = true;
-    /** Rays this pixel casts (empty when !selected). */
-    rt::PixelRayRecord record;
+    /**
+     * Rays this pixel casts in program order, or null when !selected.
+     * The span lives in the owning SimWorkload's rayArena — a flat
+     * arena-backed layout instead of a per-thread vector, so the timed
+     * hot path walks contiguous RayTask storage (docs/SIMULATOR.md,
+     * "Data layout of the hot path").
+     */
+    const rt::RayTask *rays = nullptr;
+    uint32_t rayCount = 0;
 };
 
-/** A complete launch for one simulator instance. */
+/** A complete launch for one simulator instance. Move-only: the arena
+ *  backing every ThreadWork::rays span moves with it. */
 struct SimWorkload
 {
     uint32_t width = 0;
@@ -52,6 +61,8 @@ struct SimWorkload
     /** Threads in launch order; warps are consecutive runs of warpSize. */
     std::vector<ThreadWork> threads;
     uint64_t selectedCount = 0;
+    /** Owns the RayTask storage the threads' spans point into. */
+    FrameArena rayArena;
 
     /** Total recorded rays over all selected threads. */
     uint64_t totalRays() const;

@@ -14,6 +14,7 @@
 #define ZATEL_RT_RAY_RECORD_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rt/ray.hh"
@@ -60,6 +61,23 @@ struct PixelRayRecord
  */
 PixelRayRecord recordPixelRays(const Tracer &tracer, uint32_t x, uint32_t y,
                                uint32_t width, uint32_t height);
+
+/**
+ * Packetized batch form of recordPixelRays(): records pixel
+ * (xs[i], ys[i]) for every i < count, tracing the pixels' rays in
+ * RayPacket batches, and invokes @p sink once per pixel, in index
+ * order, with that pixel's completed record. The record reference is
+ * engine-internal scratch reused between calls — copy what you keep.
+ *
+ * Per pixel the emitted record is byte-identical to recordPixelRays()
+ * (the packet only interleaves independent per-ray traversals;
+ * tests/test_tracer.cc holds the differential).
+ */
+void recordPixelRaysBatch(
+    const Tracer &tracer, const uint32_t *xs, const uint32_t *ys,
+    uint32_t count, uint32_t width, uint32_t height,
+    const std::function<void(uint32_t index, const PixelRayRecord &record)>
+        &sink);
 
 } // namespace zatel::rt
 

@@ -26,6 +26,262 @@ hashJitter(uint32_t x, uint32_t y, uint32_t sample, uint32_t salt)
     return (h & 0xFFFFFFu) / static_cast<float>(0x1000000u);
 }
 
+/**
+ * Wavefront shading engine shared by the render and record paths.
+ *
+ * Up to RayPacket::kWidth pixels run side by side; every round gathers
+ * each live pixel's next ray (closest-hit or shadow, mixed freely) into
+ * one RayPacket, traces the packet in lockstep, then advances each
+ * pixel's shading state machine. The shading control flow — one shadow
+ * ray per lit hit, one reflection ray per mirror hit — is the single
+ * source of truth that Tracer::shade() and the scalar recordShade()
+ * used to duplicate; both modes now share it, selected per pixel by
+ * which output sinks are non-null.
+ *
+ * Reflection chains are linear (one reflection per shade level), so
+ * the recursive radiance sum is folded deepest-first on completion:
+ *   c = terminal; for k = K-1 .. 0: c = local_k + (c * albedo_k) * refl_k
+ * which performs exactly the float operations of the recursion, in the
+ * same order, keeping packetized output bit-identical to the scalar
+ * reference paths (tests/test_tracer.cc holds the differentials).
+ */
+class WavefrontEngine
+{
+  public:
+    /** One pixel's identity and output sinks. Null sinks are skipped:
+     *  render mode sets color+profile, record mode sets tasks. */
+    struct Pixel
+    {
+        uint32_t x = 0;
+        uint32_t y = 0;
+        Vec3 *color = nullptr;
+        PixelProfile *profile = nullptr;
+        PixelRayRecord *tasks = nullptr;
+    };
+
+    explicit WavefrontEngine(const Tracer &tracer)
+        : scene_(tracer.scene()), bvh_(&tracer.bvh()),
+          params_(tracer.params())
+    {
+    }
+
+    /** Run @p count pixels (<= RayPacket::kWidth) to completion. */
+    void
+    run(const Pixel *pixels, uint32_t count, uint32_t width, uint32_t height)
+    {
+        ZATEL_ASSERT(count <= RayPacket::kWidth,
+                     "wavefront batch exceeds the packet width");
+        width_ = width;
+        height_ = height;
+        for (uint32_t i = 0; i < count; ++i) {
+            Lane &lane = lanes_[i];
+            lane.px = pixels[i];
+            lane.sample = 0;
+            lane.acc = Vec3(0.0f);
+            lane.chain.clear();
+            lane.done = false;
+            if (lane.px.tasks)
+                lane.px.tasks->rays.clear();
+            startSample(lane);
+        }
+        uint32_t slotLane[RayPacket::kWidth];
+        for (;;) {
+            packet_.reset();
+            uint32_t slots = 0;
+            for (uint32_t i = 0; i < count; ++i) {
+                Lane &lane = lanes_[i];
+                if (lane.done)
+                    continue;
+                packet_.add(bvh_, lane.pending,
+                            lane.shadowPhase ? TraversalMode::AnyHit
+                                             : TraversalMode::ClosestHit);
+                slotLane[slots++] = i;
+            }
+            if (slots == 0)
+                return;
+            packet_.trace();
+            for (uint32_t s = 0; s < slots; ++s)
+                consume(lanes_[slotLane[s]], s);
+        }
+    }
+
+  private:
+    /** One shade level that reflected: folded deepest-first at the end. */
+    struct ChainLevel
+    {
+        Vec3 local;
+        Vec3 albedo;
+        float reflectivity = 0.0f;
+    };
+
+    struct Lane
+    {
+        Pixel px;
+        uint32_t sample = 0;
+        uint8_t bounce = 0;
+        bool shadowPhase = false;
+        bool done = true;
+        /** The ray the next packet round traces for this lane. */
+        Ray pending;
+        /** Direction of the level's closest-hit ray (reflect() input). */
+        Vec3 inDir;
+        HitRecord hit;
+        const Material *material = nullptr;
+        Vec3 lightDir;
+        float lightDist = 0.0f;
+        std::vector<ChainLevel> chain;
+        Vec3 acc{0.0f};
+    };
+
+    void
+    startSample(Lane &lane)
+    {
+        uint32_t spp = params_.samplesPerPixel;
+        float jx = spp == 1 ? 0.5f
+                            : hashJitter(lane.px.x, lane.px.y, lane.sample,
+                                         0x11u);
+        float jy = spp == 1 ? 0.5f
+                            : hashJitter(lane.px.x, lane.px.y, lane.sample,
+                                         0x23u);
+        lane.pending = scene_.camera().generateRay(lane.px.x, lane.px.y,
+                                                   width_, height_, jx, jy);
+        lane.bounce = 0;
+        lane.shadowPhase = false;
+    }
+
+    /** Fold the reflection chain onto @p terminal and close the sample. */
+    void
+    finishSample(Lane &lane, const Vec3 &terminal)
+    {
+        if (lane.px.color) {
+            Vec3 c = terminal;
+            for (size_t k = lane.chain.size(); k-- > 0;) {
+                const ChainLevel &level = lane.chain[k];
+                c = level.local + (c * level.albedo) * level.reflectivity;
+            }
+            lane.acc += c;
+        }
+        lane.chain.clear();
+        ++lane.sample;
+        if (lane.sample < params_.samplesPerPixel) {
+            startSample(lane);
+            return;
+        }
+        if (lane.px.color) {
+            *lane.px.color =
+                lane.acc / static_cast<float>(params_.samplesPerPixel);
+        }
+        lane.done = true;
+    }
+
+    /** Advance @p lane past the traversal that ran in packet slot @p s. */
+    void
+    consume(Lane &lane, uint32_t slot)
+    {
+        PixelProfile *profile = lane.px.profile;
+        PixelRayRecord *out = lane.px.tasks;
+        if (profile) {
+            ++profile->raysCast;
+            profile->nodesVisited += packet_.nodesVisited(slot);
+            profile->triangleTests += packet_.triangleTests(slot);
+        }
+
+        if (!lane.shadowPhase) {
+            const HitRecord &hit = packet_.hit(slot);
+            if (out) {
+                RayTask task;
+                task.ray = lane.pending;
+                task.mode = TraversalMode::ClosestHit;
+                task.bounce = lane.bounce;
+                task.hit = hit.valid();
+                if (hit.valid())
+                    task.materialId = hit.materialId;
+                out->rays.push_back(task);
+            }
+            if (!hit.valid()) {
+                finishSample(lane, scene_.background());
+                return;
+            }
+            if (lane.bounce == 0 && profile)
+                profile->primaryHit = true;
+
+            const Material &mat = scene_.material(hit.materialId);
+            if (mat.type == MaterialType::Emissive) {
+                finishSample(lane, mat.albedo);
+                return;
+            }
+
+            const PointLight &light = scene_.light();
+            Vec3 to_light = light.position - hit.position;
+            float dist = length(to_light);
+            Vec3 light_dir =
+                dist > 0.0f ? to_light / dist : Vec3{0.0f, 1.0f, 0.0f};
+
+            lane.hit = hit;
+            lane.material = &mat;
+            lane.lightDir = light_dir;
+            lane.lightDist = dist;
+            lane.inDir = lane.pending.direction;
+
+            Ray shadow_ray;
+            shadow_ray.origin = hit.position + hit.normal * 1e-3f;
+            shadow_ray.direction = light_dir;
+            shadow_ray.tMax = dist - 1e-3f;
+            lane.pending = shadow_ray;
+            lane.shadowPhase = true;
+            return;
+        }
+
+        // Shadow phase: the level's lighting is now decidable.
+        bool occluded = packet_.hasHit(slot);
+        if (out) {
+            RayTask task;
+            task.ray = lane.pending;
+            task.mode = TraversalMode::AnyHit;
+            task.bounce = lane.bounce;
+            task.hit = occluded;
+            out->rays.push_back(task);
+        }
+        lane.shadowPhase = false;
+
+        const Material &mat = *lane.material;
+        Vec3 color;
+        if (lane.px.color) {
+            color = mat.albedo * params_.ambient;
+            if (!occluded) {
+                float ndotl = std::max(0.0f, dot(lane.hit.normal,
+                                                 lane.lightDir));
+                float falloff =
+                    1.0f / (1.0f + params_.distanceFalloff * lane.lightDist *
+                                       lane.lightDist);
+                color += mat.albedo * scene_.light().intensity *
+                         (ndotl * falloff);
+            }
+        }
+
+        if (mat.type == MaterialType::Mirror && mat.reflectivity > 0.0f &&
+            lane.bounce < scene_.maxBounces()) {
+            if (lane.px.color)
+                lane.chain.push_back({color, mat.albedo, mat.reflectivity});
+            Ray refl;
+            refl.origin = lane.hit.position + lane.hit.normal * 1e-3f;
+            refl.direction = normalize(reflect(lane.inDir, lane.hit.normal));
+            lane.pending = refl;
+            ++lane.bounce;
+            return;
+        }
+        finishSample(lane, color);
+    }
+
+    const Scene &scene_;
+    const Bvh *bvh_ = nullptr;
+    TracerParams params_;
+    uint32_t width_ = 0;
+    uint32_t height_ = 0;
+    Lane lanes_[RayPacket::kWidth];
+    RayPacket packet_;
+};
+
 } // namespace
 
 Tracer::Tracer(const Scene &scene, const Bvh &bvh, const Params &params)
@@ -43,14 +299,34 @@ Tracer::render(uint32_t width, uint32_t height) const
     result.image = FrameBuffer(width, height);
     result.profiles.resize(static_cast<size_t>(width) * height);
 
+    // Packetized wavefront over row-major batches; per pixel the output
+    // is bit-identical to the scalar tracePixel() reference path.
+    WavefrontEngine engine(*this);
+    WavefrontEngine::Pixel batch[RayPacket::kWidth];
+    Vec3 colors[RayPacket::kWidth];
+    uint32_t filled = 0;
+    auto flush = [&]() {
+        if (filled == 0)
+            return;
+        engine.run(batch, filled, width, height);
+        for (uint32_t i = 0; i < filled; ++i)
+            result.image.set(batch[i].x, batch[i].y, colors[i]);
+        filled = 0;
+    };
     for (uint32_t y = 0; y < height; ++y) {
         for (uint32_t x = 0; x < width; ++x) {
-            PixelProfile &profile =
-                result.profiles[static_cast<size_t>(y) * width + x];
-            Vec3 color = tracePixel(x, y, width, height, profile);
-            result.image.set(x, y, color);
+            WavefrontEngine::Pixel &px = batch[filled];
+            px.x = x;
+            px.y = y;
+            px.color = &colors[filled];
+            px.profile =
+                &result.profiles[static_cast<size_t>(y) * width + x];
+            px.tasks = nullptr;
+            if (++filled == RayPacket::kWidth)
+                flush();
         }
     }
+    flush();
     return result;
 }
 
@@ -194,6 +470,36 @@ recordPixelRays(const Tracer &tracer, uint32_t x, uint32_t y, uint32_t width,
         recordShade(tracer, ray, 0, record);
     }
     return record;
+}
+
+void
+recordPixelRaysBatch(
+    const Tracer &tracer, const uint32_t *xs, const uint32_t *ys,
+    uint32_t count, uint32_t width, uint32_t height,
+    const std::function<void(uint32_t index, const PixelRayRecord &record)>
+        &sink)
+{
+    // One engine for the whole batch: the per-pixel record scratch (and
+    // its vector capacity) is reused across packet rounds.
+    WavefrontEngine engine(tracer);
+    WavefrontEngine::Pixel batch[RayPacket::kWidth];
+    PixelRayRecord records[RayPacket::kWidth];
+    uint32_t done = 0;
+    while (done < count) {
+        uint32_t n = std::min(RayPacket::kWidth, count - done);
+        for (uint32_t i = 0; i < n; ++i) {
+            WavefrontEngine::Pixel &px = batch[i];
+            px.x = xs[done + i];
+            px.y = ys[done + i];
+            px.color = nullptr;
+            px.profile = nullptr;
+            px.tasks = &records[i];
+        }
+        engine.run(batch, n, width, height);
+        for (uint32_t i = 0; i < n; ++i)
+            sink(done + i, records[i]);
+        done += n;
+    }
 }
 
 } // namespace zatel::rt

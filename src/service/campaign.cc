@@ -41,6 +41,17 @@ isSkippableLine(const std::string &line)
 uint64_t
 parseU64(const std::string &value, const std::string &key)
 {
+    // std::stoull accepts a leading '-' and wraps the negation into the
+    // unsigned range ("-1" -> 2^64-1), which would turn a typo'd negative
+    // spec value into an absurdly large count. Reject the sign up front
+    // (after the leading whitespace stoull itself would skip).
+    size_t first = 0;
+    while (first < value.size() &&
+           std::isspace(static_cast<unsigned char>(value[first]))) {
+        ++first;
+    }
+    if (first < value.size() && value[first] == '-')
+        throw CampaignError("negative value in " + key + "='" + value + "'");
     try {
         size_t used = 0;
         uint64_t parsed = std::stoull(value, &used, 0);

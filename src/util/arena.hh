@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Frame arena: a bump allocator for per-frame transient state.
+ *
+ * The simulator's hot loops allocate many short-lived, trivially
+ * destructible records (recorded rays, scratch spans) whose lifetime is
+ * "one frame" or "one workload build". FrameArena serves those from
+ * chained blocks with a pointer bump, and reset() rewinds the cursor
+ * while *retaining* every block, so steady-state operation performs no
+ * heap allocation at all (docs/SIMULATOR.md, "Data layout of the hot
+ * path").
+ */
+
+#ifndef ZATEL_UTIL_ARENA_HH
+#define ZATEL_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace zatel
+{
+
+/**
+ * Chained-block bump allocator. Not thread-safe; one arena per producer.
+ *
+ * Lifecycle: allocate()/allocateSpan() during a frame, reset() between
+ * frames (retains capacity), release() to return memory to the OS.
+ * Objects are never destroyed — only trivially destructible types may be
+ * placed in the arena (enforced by allocateSpan).
+ */
+class FrameArena
+{
+  public:
+    static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+    explicit FrameArena(size_t block_bytes = kDefaultBlockBytes)
+        : blockBytes_(block_bytes)
+    {
+        ZATEL_ASSERT(block_bytes > 0, "arena block size must be > 0");
+    }
+
+    FrameArena(FrameArena &&) = default;
+    FrameArena &operator=(FrameArena &&) = default;
+    FrameArena(const FrameArena &) = delete;
+    FrameArena &operator=(const FrameArena &) = delete;
+
+    /** Allocate @p bytes aligned to @p align (a power of two). */
+    void *
+    allocate(size_t bytes, size_t align = alignof(std::max_align_t))
+    {
+        ZATEL_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                     "arena alignment must be a power of two");
+        uintptr_t cursor = reinterpret_cast<uintptr_t>(cursor_);
+        uintptr_t aligned = (cursor + (align - 1)) & ~(uintptr_t{align} - 1);
+        size_t padding = aligned - cursor;
+        if (cursor_ == nullptr || padding + bytes > remaining_) {
+            refill(bytes + align - 1);
+            cursor = reinterpret_cast<uintptr_t>(cursor_);
+            aligned = (cursor + (align - 1)) & ~(uintptr_t{align} - 1);
+            padding = aligned - cursor;
+        }
+        cursor_ += padding + bytes;
+        remaining_ -= padding + bytes;
+        allocated_ += padding + bytes;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    /**
+     * Allocate a default-initialized array of @p count T. The arena never
+     * runs destructors, so T must be trivially destructible.
+     */
+    template <typename T>
+    T *
+    allocateSpan(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-backed types must not need destruction");
+        if (count == 0)
+            return nullptr;
+        // Element-wise placement new: the array form may prepend an
+        // unspecified cookie, which a bump allocator cannot afford.
+        T *out = static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+        for (size_t i = 0; i < count; ++i)
+            new (out + i) T();
+        return out;
+    }
+
+    /** Copy @p count elements from @p src into the arena. */
+    template <typename T>
+    T *
+    copySpan(const T *src, size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "copySpan requires trivially copyable types");
+        if (count == 0)
+            return nullptr;
+        void *raw = allocate(count * sizeof(T), alignof(T));
+        std::memcpy(raw, src, count * sizeof(T));
+        return static_cast<T *>(raw);
+    }
+
+    /**
+     * Rewind to empty while retaining every block: the next frame reuses
+     * the same memory with zero heap traffic.
+     */
+    void
+    reset()
+    {
+        activeBlock_ = 0;
+        allocated_ = 0;
+        if (blocks_.empty()) {
+            cursor_ = nullptr;
+            remaining_ = 0;
+            return;
+        }
+        cursor_ = blocks_[0].data.get();
+        remaining_ = blocks_[0].size;
+    }
+
+    /** Drop every block (memory back to the OS) and rewind. */
+    void
+    release()
+    {
+        blocks_.clear();
+        activeBlock_ = 0;
+        cursor_ = nullptr;
+        remaining_ = 0;
+        allocated_ = 0;
+    }
+
+    /** Live bytes handed out since the last reset (includes padding). */
+    size_t bytesAllocated() const { return allocated_; }
+
+    /** Total bytes held across all retained blocks. */
+    size_t
+    bytesReserved() const
+    {
+        size_t total = 0;
+        for (const Block &block : blocks_)
+            total += block.size;
+        return total;
+    }
+
+    size_t blockCount() const { return blocks_.size(); }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size = 0;
+    };
+
+    /** Advance to a retained block that fits @p bytes, or chain a new one. */
+    void
+    refill(size_t bytes)
+    {
+        // After reset() earlier blocks are being reused in order; advance
+        // through retained blocks before allocating fresh ones.
+        while (activeBlock_ + 1 < blocks_.size()) {
+            ++activeBlock_;
+            if (blocks_[activeBlock_].size >= bytes) {
+                cursor_ = blocks_[activeBlock_].data.get();
+                remaining_ = blocks_[activeBlock_].size;
+                return;
+            }
+        }
+        size_t size = bytes > blockBytes_ ? bytes : blockBytes_;
+        Block block;
+        block.data = std::make_unique<std::byte[]>(size);
+        block.size = size;
+        blocks_.push_back(std::move(block));
+        activeBlock_ = blocks_.size() - 1;
+        cursor_ = blocks_[activeBlock_].data.get();
+        remaining_ = size;
+    }
+
+    size_t blockBytes_ = kDefaultBlockBytes;
+    std::vector<Block> blocks_;
+    size_t activeBlock_ = 0;
+    std::byte *cursor_ = nullptr;
+    size_t remaining_ = 0;
+    size_t allocated_ = 0;
+};
+
+} // namespace zatel
+
+#endif // ZATEL_UTIL_ARENA_HH

@@ -97,7 +97,13 @@ ExponentialFit::evaluate(double x) const
 {
     if (!exponential)
         return fallback.evaluate(x);
-    return offset + coeff * std::pow(ratio, x);
+    double value = offset + coeff * std::pow(ratio, x);
+    // An extreme ratio overflows for large |x| even when the fit itself
+    // was finite; degrade to the fallback line rather than handing a
+    // non-finite prediction to the extrapolation stage.
+    if (!std::isfinite(value))
+        return fallback.evaluate(x);
+    return value;
 }
 
 ExponentialFit
@@ -111,6 +117,36 @@ fitExponentialThreePoint(const std::vector<double> &xs,
                  "three-point fit requires equally spaced x values");
 
     ExponentialFit fit;
+    fit.exponential = false;
+
+    // Non-finite samples support neither form. Fit whatever finite
+    // subset remains linearly (horizontal when fewer than two points
+    // survive) so evaluate() always returns a finite value.
+    bool all_finite = true;
+    for (size_t i = 0; i < 3; ++i)
+        all_finite &= std::isfinite(xs[i]) && std::isfinite(ys[i]);
+    if (!all_finite) {
+        std::vector<double> fx, fy;
+        for (size_t i = 0; i < 3; ++i) {
+            if (std::isfinite(xs[i]) && std::isfinite(ys[i])) {
+                fx.push_back(xs[i]);
+                fy.push_back(ys[i]);
+            }
+        }
+        if (fx.size() >= 2) {
+            fit.fallback = fitLinear(fx, fy);
+        } else {
+            fit.fallback.slope = 0.0;
+            fit.fallback.intercept = fx.size() == 1 ? fy[0] : 0.0;
+            fit.fallback.r2 = 0.0;
+        }
+        return fit;
+    }
+
+    // The fallback line through the outer samples is always populated:
+    // evaluate() degrades to it when the exponential form overflows.
+    fit.fallback = fitLinear({xs[0], xs[2]}, {ys[0], ys[2]});
+
     const double d1 = ys[1] - ys[0];
     const double d2 = ys[2] - ys[1];
 
@@ -118,18 +154,28 @@ fitExponentialThreePoint(const std::vector<double> &xs,
     if (std::abs(d1) > 1e-12 && d2 / d1 > 1e-9) {
         double ratio_h = d2 / d1;
         double ratio = std::pow(ratio_h, 1.0 / h);
-        if (std::abs(ratio - 1.0) > 1e-9) {
-            fit.exponential = true;
-            fit.ratio = ratio;
-            fit.coeff = d1 / (std::pow(ratio, xs[1]) - std::pow(ratio, xs[0]));
-            fit.offset = ys[0] - fit.coeff * std::pow(ratio, xs[0]);
-            return fit;
+        if (std::isfinite(ratio) && std::abs(ratio - 1.0) > 1e-9) {
+            double denom =
+                std::pow(ratio, xs[1]) - std::pow(ratio, xs[0]);
+            double coeff = d1 / denom;
+            double offset = ys[0] - coeff * std::pow(ratio, xs[0]);
+            // A near-zero d1 against a large d2 drives the ratio to an
+            // extreme where these terms overflow (coeff -> 0 * inf ->
+            // NaN); accept only a fully finite solution and keep the
+            // linear fallback otherwise. (A zero denom makes coeff
+            // infinite, so the finite checks cover it.)
+            if (std::isfinite(denom) && std::isfinite(coeff) &&
+                std::isfinite(offset)) {
+                fit.exponential = true;
+                fit.ratio = ratio;
+                fit.coeff = coeff;
+                fit.offset = offset;
+                return fit;
+            }
         }
     }
 
     // Degenerate shape: the line through the outer samples.
-    fit.exponential = false;
-    fit.fallback = fitLinear({xs[0], xs[2]}, {ys[0], ys[2]});
     return fit;
 }
 

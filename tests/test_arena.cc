@@ -1,0 +1,122 @@
+// FrameArena reset/reuse lifecycle (docs/SIMULATOR.md, "Data layout of
+// the hot path"): steady-state frames must not touch the heap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/arena.hh"
+
+namespace
+{
+
+using zatel::FrameArena;
+
+TEST(FrameArena, AllocationsAreAlignedAndDisjoint)
+{
+    FrameArena arena(256);
+    auto *a = arena.allocateSpan<uint64_t>(4);
+    auto *b = arena.allocateSpan<uint32_t>(3);
+    auto *c = arena.allocateSpan<uint8_t>(5);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(uint64_t), 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(uint32_t), 0u);
+    // Writes to one span must not clobber another.
+    for (int i = 0; i < 4; ++i)
+        a[i] = 0xA1A1A1A1A1A1A1A1ull;
+    for (int i = 0; i < 3; ++i)
+        b[i] = 0xB2B2B2B2u;
+    for (int i = 0; i < 5; ++i)
+        c[i] = 0xC3;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], 0xA1A1A1A1A1A1A1A1ull);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(b[i], 0xB2B2B2B2u);
+}
+
+TEST(FrameArena, ZeroCountReturnsNull)
+{
+    FrameArena arena;
+    EXPECT_EQ(arena.allocateSpan<uint32_t>(0), nullptr);
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+}
+
+TEST(FrameArena, OversizedAllocationGetsDedicatedBlock)
+{
+    FrameArena arena(64);
+    auto *big = arena.allocateSpan<uint8_t>(1000);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0x5A, 1000);
+    EXPECT_GE(arena.bytesReserved(), 1000u);
+}
+
+TEST(FrameArena, ResetRetainsCapacityAndReusesBlocks)
+{
+    FrameArena arena(128);
+    for (int i = 0; i < 10; ++i)
+        arena.allocateSpan<uint64_t>(8);
+    size_t reserved = arena.bytesReserved();
+    size_t blocks = arena.blockCount();
+    ASSERT_GT(blocks, 1u);
+
+    // Re-running the identical frame after reset() must not grow the
+    // arena: every block is reused in place.
+    for (int frame = 0; frame < 5; ++frame) {
+        arena.reset();
+        EXPECT_EQ(arena.bytesAllocated(), 0u);
+        for (int i = 0; i < 10; ++i) {
+            auto *span = arena.allocateSpan<uint64_t>(8);
+            ASSERT_NE(span, nullptr);
+            span[0] = static_cast<uint64_t>(frame);
+        }
+        EXPECT_EQ(arena.bytesReserved(), reserved);
+        EXPECT_EQ(arena.blockCount(), blocks);
+    }
+}
+
+TEST(FrameArena, ResetThenFirstAllocationReusesFirstBlock)
+{
+    FrameArena arena(256);
+    auto *first = arena.allocateSpan<uint32_t>(4);
+    arena.reset();
+    auto *again = arena.allocateSpan<uint32_t>(4);
+    // Same block, same offset: the bump cursor rewound.
+    EXPECT_EQ(first, again);
+}
+
+TEST(FrameArena, CopySpanPreservesContents)
+{
+    FrameArena arena;
+    const uint32_t src[5] = {1, 2, 3, 4, 5};
+    uint32_t *copy = arena.copySpan(src, 5);
+    ASSERT_NE(copy, nullptr);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(copy[i], src[i]);
+}
+
+TEST(FrameArena, ReleaseReturnsMemory)
+{
+    FrameArena arena(128);
+    arena.allocateSpan<uint64_t>(64);
+    EXPECT_GT(arena.bytesReserved(), 0u);
+    arena.release();
+    EXPECT_EQ(arena.bytesReserved(), 0u);
+    EXPECT_EQ(arena.blockCount(), 0u);
+    // The arena stays usable after release().
+    auto *span = arena.allocateSpan<uint16_t>(3);
+    ASSERT_NE(span, nullptr);
+}
+
+TEST(FrameArena, MoveTransfersBlocksAndKeepsPointersValid)
+{
+    FrameArena arena(128);
+    auto *span = arena.allocateSpan<uint64_t>(4);
+    span[0] = 42;
+    FrameArena moved = std::move(arena);
+    EXPECT_EQ(span[0], 42u);
+    EXPECT_GT(moved.bytesReserved(), 0u);
+}
+
+} // namespace

@@ -126,6 +126,23 @@ TEST(Campaign, ApplyJobFieldRejectsBadInput)
     EXPECT_THROW(applyJobField(job, "distribution", "zipf"), CampaignError);
 }
 
+TEST(Campaign, ApplyJobFieldRejectsNegativeIntegers)
+{
+    // std::stoull accepts a leading '-' and wraps it into the unsigned
+    // range ("-1" -> 2^64-1); the parser must reject the sign instead
+    // of letting a typo'd negative become an absurdly large value.
+    CampaignJob job;
+    EXPECT_THROW(applyJobField(job, "res", "-1"), CampaignError);
+    EXPECT_THROW(applyJobField(job, "seed", "-7"), CampaignError);
+    EXPECT_THROW(applyJobField(job, "scene_seed", "  -42"), CampaignError);
+    EXPECT_THROW(applyJobField(job, "threads", "-1"), CampaignError);
+    EXPECT_THROW(applyJobField(job, "k", "-2"), CampaignError);
+    // Sanity: the same fields still accept the non-negative forms.
+    applyJobField(job, "res", "96");
+    applyJobField(job, "seed", "7");
+    EXPECT_EQ(job.params.width, 96u);
+}
+
 TEST(Campaign, GpuConfigFromNameResolvesAliases)
 {
     EXPECT_EQ(gpuConfigFromName("soc").name,

@@ -14,7 +14,12 @@
  * GpuParallelFuzz draws ~64 deterministic random configurations so
  * shard-boundary and epoch-boundary edge cases (SMs < threads, one SM,
  * epoch longer than the whole simulation, zero-latency NoC) are covered
- * by construction rather than hand-picked.
+ * by construction rather than hand-picked. Every draw also stresses the
+ * SoA hot-path layout (docs/SIMULATOR.md, "Data layout of the hot
+ * path"): the workload build runs packetized BVH traversal for every
+ * pixel, and the L1-size / MSHR-size / L1-latency grid keeps the flat
+ * tag maps, fill heaps and waiter pools churning under the same
+ * three-way oracle.
  *
  * Suites are named GpuParallel* so the tsan-determinism preset's test
  * filter picks them up (CMakePresets.json).
@@ -335,6 +340,21 @@ drawConfig(Rng &rng)
     // span boundaries land mid-epoch.
     static constexpr uint32_t kNocLatencies[] = {0, 1, 4, 16};
     config.nocLatencyCycles = kNocLatencies[rng.nextBounded(4)];
+    // SoA hot-path stress (docs/SIMULATOR.md, "Data layout of the hot
+    // path"): a tiny L1 churns the flat tag map's insert/backward-shift
+    // delete and keeps the fill heaps and MSHR waiter pools live; a
+    // tiny MSHR forces allocate-stall requeues through the lane rings;
+    // l1dLatencyCycles=0 drains the L1-hit ring on the issue cycle
+    // (front-ready == now). Every draw lands somewhere in this grid, so
+    // each one exercises the SoA fill/MSHR layout against the slow-tick
+    // oracle, not just the draws that happen to miss in cache.
+    static constexpr uint32_t kL1Sizes[] = {1024, 4096, 64 * 1024};
+    config.l1dSizeBytes = kL1Sizes[rng.nextBounded(3)];
+    static constexpr uint32_t kMshrSizes[] = {2, 8, 64};
+    config.rtMshrSize = kMshrSizes[rng.nextBounded(3)];
+    config.l2MshrSize = kMshrSizes[rng.nextBounded(3)];
+    static constexpr uint32_t kL1Latencies[] = {0, 1, 20};
+    config.l1dLatencyCycles = kL1Latencies[rng.nextBounded(3)];
     // Epochs below, at, and far beyond the NoC latency — including one
     // longer than any simulation here will run.
     static constexpr uint32_t kEpochs[] = {1, 2, 3, 5, 8, 16, 32,
@@ -369,7 +389,10 @@ TEST(GpuParallelFuzz, ThreeWayOracleAgreementOver64Draws)
             std::to_string(draw.config.numSms) + "/parts" +
             std::to_string(draw.config.numMemPartitions) + "/epoch" +
             std::to_string(draw.config.epochLength) + "/noc" +
-            std::to_string(draw.config.nocLatencyCycles) + "/t" +
+            std::to_string(draw.config.nocLatencyCycles) + "/l1" +
+            std::to_string(draw.config.l1dSizeBytes) + "/l1lat" +
+            std::to_string(draw.config.l1dLatencyCycles) + "/mshr" +
+            std::to_string(draw.config.rtMshrSize) + "/t" +
             std::to_string(draw.threads);
         expectThreeWayIdentical(tracer, draw.config, context, draw.frame,
                                 {draw.threads});

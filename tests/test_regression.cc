@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/regression.hh"
 
@@ -113,6 +114,57 @@ TEST(ExponentialFit, NonMonotonicFallsBack)
                                                   {1.0, 5.0, 2.0});
     EXPECT_FALSE(fit.exponential);
     EXPECT_NEAR(fit.evaluate(3.0), 2.0, 1e-9);
+}
+
+TEST(ExponentialFit, TinyD1AgainstLargeD2StaysFinite)
+{
+    // d1 barely clears the 1e-12 gate while d2 is huge: the implied
+    // ratio is ~1e18 and the closed-form coeff/offset overflow
+    // (0 * inf -> NaN). The fit must reject that solution and keep the
+    // finite linear fallback.
+    ExponentialFit fit = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {0.0, 1e-11, 1e7});
+    for (double x : {0.0, 1.0, 3.0, 10.0, 100.0}) {
+        EXPECT_TRUE(std::isfinite(fit.evaluate(x)))
+            << "non-finite prediction at x=" << x;
+    }
+}
+
+TEST(ExponentialFit, SteepButSolvableRatioNeverReturnsNonFinite)
+{
+    // A legitimately exponential but steep series: the fit solves, yet
+    // ratio^x overflows for large x. evaluate() must degrade to the
+    // fallback line instead of returning inf.
+    ExponentialFit fit = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {1.0, 1e100, 1e200});
+    for (double x : {1.0, 2.0, 5.0, 1e4}) {
+        EXPECT_TRUE(std::isfinite(fit.evaluate(x)))
+            << "non-finite prediction at x=" << x;
+    }
+}
+
+TEST(ExponentialFit, NonFiniteSamplesFallBackToFiniteSubset)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // One poisoned sample: line through the two finite ones.
+    ExponentialFit one_bad = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {10.0, nan, 30.0});
+    EXPECT_FALSE(one_bad.exponential);
+    EXPECT_NEAR(one_bad.evaluate(2.0), 20.0, 1e-9);
+
+    // Two poisoned samples: horizontal line at the survivor.
+    ExponentialFit two_bad = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {inf, 7.0, nan});
+    EXPECT_FALSE(two_bad.exponential);
+    EXPECT_NEAR(two_bad.evaluate(100.0), 7.0, 1e-9);
+
+    // Everything poisoned: still finite (zero line).
+    ExponentialFit all_bad = fitExponentialThreePoint(
+        {1.0, 2.0, 3.0}, {nan, inf, -inf});
+    EXPECT_FALSE(all_bad.exponential);
+    EXPECT_TRUE(std::isfinite(all_bad.evaluate(42.0)));
 }
 
 } // namespace

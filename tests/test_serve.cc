@@ -224,6 +224,24 @@ TEST_F(Serve, InvalidPredictRequestsAnswer400)
     EXPECT_EQ(server_->snapshot().predict.simulated, 0u);
 }
 
+TEST_F(Serve, NegativeIntegerFieldAnswers400)
+{
+    start();
+    // A negative integer field used to wrap through std::stoull ("-1"
+    // -> 2^64-1) and reach the pipeline as an absurd resolution; it
+    // must be rejected at parse time instead.
+    const std::string response = exchange(
+        port(), postPredict("{\"scene\":\"PARK\",\"res\":-1}"));
+    EXPECT_EQ(statusOf(response), 400);
+    EXPECT_NE(bodyOf(response).find("negative"), std::string::npos);
+    const std::string seed = exchange(
+        port(),
+        postPredict("{\"scene\":\"PARK\",\"res\":32,\"seed\":-3}"));
+    EXPECT_EQ(statusOf(seed), 400);
+    EXPECT_EQ(server_->snapshot().predict.invalid, 2u);
+    EXPECT_EQ(server_->snapshot().predict.simulated, 0u);
+}
+
 TEST_F(Serve, IdenticalConcurrentRequestsRunOneSimulation)
 {
     start();

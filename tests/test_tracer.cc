@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "rt/bvh.hh"
 #include "rt/mesh.hh"
 #include "rt/ray_record.hh"
@@ -201,6 +204,132 @@ TEST_F(TracerFixture, EmissiveTerminatesPath)
     EXPECT_FLOAT_EQ(color.x, radiance.x);
     // Emissive hit casts no shadow ray.
     EXPECT_EQ(profile.raysCast, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Packetized/scalar differential: render() and recordPixelRaysBatch()
+// run the wavefront engine (32-wide ray packets, docs/SIMULATOR.md
+// "Data layout of the hot path"); tracePixel() and recordPixelRays()
+// are the scalar recursive reference. Both pairs must be byte-identical
+// per pixel — colors bit-exact, profiles field-exact, ray streams
+// task-by-task equal.
+// ---------------------------------------------------------------------
+
+/** Scene with a mirror so reflection chains exercise the packet
+ *  engine's deepest-first contribution folding. */
+Scene
+mirrorScene()
+{
+    Scene scene = simpleScene();
+    uint16_t shiny =
+        scene.addMaterial(Material::mirror({0.9f, 0.9f, 0.95f}));
+    MeshBuilder mesh;
+    mesh.addSphere({-1.5f, 1.0f, -1.0f}, 0.8f, 12, shiny);
+    scene.addTriangles(mesh.takeTriangles());
+    return scene;
+}
+
+void
+expectPacketizedRenderMatchesScalar(const Scene &scene, uint32_t spp,
+                                    uint32_t width, uint32_t height)
+{
+    Bvh bvh;
+    bvh.build(scene.triangles());
+    TracerParams params;
+    params.samplesPerPixel = spp;
+    Tracer tracer(scene, bvh, params);
+
+    RenderResult frame = tracer.render(width, height);
+    for (uint32_t y = 0; y < height; ++y) {
+        for (uint32_t x = 0; x < width; ++x) {
+            PixelProfile scalarProfile;
+            Vec3 scalar =
+                tracer.tracePixel(x, y, width, height, scalarProfile);
+            Vec3 packet = frame.image.at(x, y);
+            const PixelProfile &profile = frame.profileAt(x, y);
+            ASSERT_EQ(std::memcmp(&scalar, &packet, sizeof(Vec3)), 0)
+                << "color diverged at (" << x << "," << y << ") spp="
+                << spp;
+            EXPECT_EQ(scalarProfile.nodesVisited, profile.nodesVisited);
+            EXPECT_EQ(scalarProfile.triangleTests, profile.triangleTests);
+            EXPECT_EQ(scalarProfile.raysCast, profile.raysCast);
+            EXPECT_EQ(scalarProfile.primaryHit, profile.primaryHit);
+        }
+    }
+}
+
+TEST_F(TracerFixture, PacketizedRenderMatchesScalarTracePixel)
+{
+    // 9x7 = 63 pixels: two packets, the second under-full.
+    expectPacketizedRenderMatchesScalar(scene, 1, 9, 7);
+    expectPacketizedRenderMatchesScalar(scene, 2, 8, 8);
+}
+
+TEST(TracerPacketDifferential, MirrorChainsAndMultiSample)
+{
+    Scene scene = mirrorScene();
+    expectPacketizedRenderMatchesScalar(scene, 1, 16, 16);
+    expectPacketizedRenderMatchesScalar(scene, 3, 11, 5);
+}
+
+TEST(TracerPacketDifferential, BatchRayRecordMatchesScalar)
+{
+    Scene scene = mirrorScene();
+    Bvh bvh;
+    bvh.build(scene.triangles());
+    TracerParams params;
+    params.samplesPerPixel = 2;
+    Tracer tracer(scene, bvh, params);
+
+    // 13x3 = 39 pixels in one batch: one full packet plus a remainder.
+    constexpr uint32_t kWidth = 13, kHeight = 3;
+    std::vector<uint32_t> xs, ys;
+    for (uint32_t y = 0; y < kHeight; ++y) {
+        for (uint32_t x = 0; x < kWidth; ++x) {
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+    }
+    std::vector<PixelRayRecord> batched(xs.size());
+    uint32_t callbacks = 0;
+    recordPixelRaysBatch(
+        tracer, xs.data(), ys.data(), static_cast<uint32_t>(xs.size()),
+        kWidth, kHeight,
+        [&](uint32_t index, const PixelRayRecord &record) {
+            ASSERT_LT(index, batched.size());
+            batched[index] = record; // the reference is reused scratch
+            ++callbacks;
+        });
+    ASSERT_EQ(callbacks, xs.size());
+
+    for (size_t i = 0; i < xs.size(); ++i) {
+        PixelRayRecord scalar =
+            recordPixelRays(tracer, xs[i], ys[i], kWidth, kHeight);
+        ASSERT_EQ(scalar.rays.size(), batched[i].rays.size())
+            << "ray count diverged at pixel " << i;
+        for (size_t r = 0; r < scalar.rays.size(); ++r) {
+            const RayTask &want = scalar.rays[r];
+            const RayTask &got = batched[i].rays[r];
+            EXPECT_EQ(std::memcmp(&want.ray.origin, &got.ray.origin,
+                                  sizeof(Vec3)),
+                      0)
+                << "origin diverged: pixel " << i << " ray " << r;
+            EXPECT_EQ(std::memcmp(&want.ray.direction, &got.ray.direction,
+                                  sizeof(Vec3)),
+                      0)
+                << "direction diverged: pixel " << i << " ray " << r;
+            EXPECT_EQ(std::memcmp(&want.ray.tMax, &got.ray.tMax,
+                                  sizeof(float)),
+                      0)
+                << "tMax diverged: pixel " << i << " ray " << r;
+            EXPECT_EQ(want.mode, got.mode) << "pixel " << i << " ray " << r;
+            EXPECT_EQ(want.hit, got.hit) << "pixel " << i << " ray " << r;
+            EXPECT_EQ(want.materialId, got.materialId)
+                << "pixel " << i << " ray " << r;
+            EXPECT_EQ(want.bounce, got.bounce)
+                << "pixel " << i << " ray " << r;
+        }
+    }
 }
 
 } // namespace

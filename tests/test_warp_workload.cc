@@ -58,8 +58,8 @@ TEST_F(WorkloadFixture, FilterMaskSkipsRecording)
         SimWorkload::build(*tracer, 16, 16, pixels, &selected);
     EXPECT_EQ(workload.selectedCount, 2u);
     EXPECT_FALSE(workload.threads[1].selected);
-    EXPECT_TRUE(workload.threads[1].record.rays.empty());
-    EXPECT_FALSE(workload.threads[0].record.rays.empty());
+    EXPECT_EQ(workload.threads[1].rayCount, 0u);
+    EXPECT_GT(workload.threads[0].rayCount, 0u);
 }
 
 TEST_F(WorkloadFixture, PixelLinearIndexing)
@@ -135,11 +135,14 @@ TEST_F(WorkloadFixture, RtRoundTripAndPostRayStage)
     warp.poll(cycle);
     ASSERT_TRUE(warp.wantsRtSlot());
 
-    // Enter the RT unit manually and run every lane to completion.
-    warp.enterRtUnit();
+    // Enter the RT unit manually (lending it a lane span the way the RT
+    // unit's pool would) and run every lane to completion.
+    std::vector<WarpLane> laneSpan(config.warpSize);
+    warp.enterRtUnit(laneSpan.data());
     EXPECT_EQ(warp.phase(), Warp::Phase::InRt);
     EXPECT_GT(warp.activeLaneCount(), 0u);
-    for (WarpLane &lane : warp.lanes()) {
+    for (uint32_t i = 0; i < warp.laneCount(); ++i) {
+        WarpLane &lane = warp.lanes()[i];
         if (lane.state == WarpLane::State::Inactive)
             continue;
         while (!lane.stepper.finished())
@@ -167,11 +170,13 @@ TEST_F(WorkloadFixture, FbWriteStoresCoalesce)
     // Drive the warp to completion, counting stores.
     uint64_t cycle = 0;
     uint32_t stores = 0;
+    std::vector<WarpLane> laneSpan(config.warpSize);
     for (int guard = 0; guard < 100000 && !warp.done(); ++guard) {
         warp.poll(cycle);
         if (warp.wantsRtSlot()) {
-            warp.enterRtUnit();
-            for (WarpLane &lane : warp.lanes()) {
+            warp.enterRtUnit(laneSpan.data());
+            for (uint32_t i = 0; i < warp.laneCount(); ++i) {
+                WarpLane &lane = warp.lanes()[i];
                 if (lane.state == WarpLane::State::Inactive)
                     continue;
                 while (!lane.stepper.finished())

@@ -16,4 +16,17 @@ foldAddress(uint64_t line_addr)
     return folded + masked + cast + hashed;
 }
 
+// The SoA index aliases are 32-bit slots too: sinking a 64-bit value
+// through one must be flagged exactly like a raw uint32_t.
+uint32_t
+foldThroughAliases(uint64_t line_addr)
+{
+    LineSlot slot = line_addr; // EXPECT: narrowing-cast-hotpath
+    LaneRef ref = line_addr % 7; // modulo bounds the value: clean
+    LaneRef assigned = 0;
+    assigned = line_addr; // EXPECT: narrowing-cast-hotpath
+    LineSlot castSlot = static_cast<LineSlot>(line_addr);
+    return slot + ref + assigned + castSlot;
+}
+
 } // namespace zatel::gpusim
