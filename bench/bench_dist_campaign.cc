@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Distributed-campaign scaling: single-process CampaignScheduler vs
+ * the DistCoordinator at 2 and 4 zatel-worker processes on the same
+ * sweep (docs/DISTRIBUTED.md).
+ *
+ * Process sharding pays a real tax — spawns, the job-board filesystem
+ * protocol, per-worker scene/heatmap rebuilds (or disk-cache reads) —
+ * so on a tiny sweep the distributed runs are EXPECTED to trail the
+ * in-process pool; the number to watch is how the gap closes as the
+ * per-job simulation cost grows. Writes ./BENCH_dist.json. The exit
+ * code gates FUNCTIONAL properties only — every run completes all-ok
+ * and the merged rows match the single-process reference — never a
+ * wall-time ratio (CI machines are too noisy to gate on one).
+ *
+ *   ZATEL_BENCH_QUICK=1   fewer jobs per run
+ *   ZATEL_WORKER_BIN is baked in by CMake ($<TARGET_FILE:zatel-worker>).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hh"
+#include "service/artifact_cache.hh"
+#include "service/campaign.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
+#include "util/timer.hh"
+
+#ifndef ZATEL_WORKER_BIN
+#define ZATEL_WORKER_BIN "zatel-worker"
+#endif
+
+namespace
+{
+
+using namespace zatel;
+
+std::vector<service::CampaignJob>
+makeSweep(size_t job_count)
+{
+    std::vector<service::CampaignJob> jobs;
+    for (size_t i = 0; i < job_count; ++i) {
+        service::CampaignJob job;
+        job.scene = "PARK";
+        job.sceneDetail = 0.4f;
+        job.params.width = 48;
+        job.params.height = 48;
+        job.params.selector.fixedFraction =
+            0.1 + 0.02 * static_cast<double>(i);
+        jobs.push_back(std::move(job));
+    }
+    service::finalizeCampaign(jobs);
+    return jobs;
+}
+
+std::vector<std::string>
+sortedLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = std::getenv("ZATEL_BENCH_QUICK") != nullptr;
+    const size_t job_count = quick ? 4 : 12;
+
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "zatel-bench-dist";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::printf("Distributed campaign scaling: %zu jobs, PARK 48x48\n\n",
+                job_count);
+
+    // Single-process reference.
+    const std::string ref_path = (dir / "ref.jsonl").string();
+    double single_seconds = 0.0;
+    {
+        service::ArtifactCache cache(512ull << 20);
+        service::ResultStoreOptions store_options;
+        store_options.includeTiming = false;
+        service::ResultStore store(ref_path, store_options);
+        WallTimer timer;
+        service::CampaignScheduler scheduler(makeSweep(job_count), cache,
+                                             store,
+                                             service::SchedulerParams{});
+        service::CampaignSummary summary = scheduler.run();
+        store.finalize();
+        single_seconds = timer.elapsedSeconds();
+        if (summary.ok != summary.totalJobs) {
+            std::fprintf(stderr, "FAIL: reference run not all-ok\n");
+            return 1;
+        }
+    }
+    const std::vector<std::string> reference = sortedLines(ref_path);
+    std::printf("[single-process] %.2fs\n", single_seconds);
+
+    bool functional_ok = true;
+    double dist_seconds[2] = {0.0, 0.0};
+    const uint32_t worker_counts[2] = {2, 4};
+    for (size_t run = 0; run < 2; ++run) {
+        const uint32_t workers = worker_counts[run];
+        const std::string out_path =
+            (dir / ("dist-" + std::to_string(workers) + ".jsonl"))
+                .string();
+        dist::DistParams params;
+        params.workers = workers;
+        params.workerCmd = ZATEL_WORKER_BIN;
+        params.boardDir = out_path + ".board";
+        params.quiet = true;
+        params.workerExtraArgs = {"--no-timing", "--quiet", "--cache-dir",
+                                  (dir / "cache").string()};
+        service::ResultStoreOptions store_options;
+        store_options.includeTiming = false;
+        service::ResultStore store(out_path, store_options);
+        WallTimer timer;
+        dist::DistCoordinator coordinator(makeSweep(job_count), store,
+                                          std::move(params));
+        dist::DistSummary summary = coordinator.run();
+        dist_seconds[run] = timer.elapsedSeconds();
+        std::printf("[%u workers] %.2fs (reassignments=%llu)\n", workers,
+                    dist_seconds[run],
+                    static_cast<unsigned long long>(
+                        summary.shardReassignments));
+        if (summary.ok != summary.totalJobs) {
+            std::fprintf(stderr, "FAIL: %u-worker run not all-ok\n",
+                         workers);
+            functional_ok = false;
+        }
+        if (sortedLines(out_path) != reference) {
+            std::fprintf(stderr,
+                         "FAIL: %u-worker rows differ from the "
+                         "single-process reference\n",
+                         workers);
+            functional_ok = false;
+        }
+    }
+
+    FILE *json = std::fopen("BENCH_dist.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "FAIL: could not write BENCH_dist.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"dist_campaign\",\n"
+                 "  \"jobs\": %zu,\n"
+                 "  \"single_process_s\": %.4f,\n"
+                 "  \"workers2_s\": %.4f,\n"
+                 "  \"workers4_s\": %.4f,\n"
+                 "  \"functional_ok\": %s\n"
+                 "}\n",
+                 job_count, single_seconds, dist_seconds[0],
+                 dist_seconds[1], functional_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_dist.json\n");
+
+    std::filesystem::remove_all(dir);
+    return functional_ok ? 0 : 1;
+}

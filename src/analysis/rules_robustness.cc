@@ -73,10 +73,10 @@ class FaultSiteCoverageRule : public Rule
     std::string
     description() const override
     {
-        return "fallible IO in src/service, src/serve and src/util "
-               "runs under a registered fault site (ZATEL_INJECT_FAULT "
-               "/ ZATEL_FAULT_SITE) so the resilience suite can reach "
-               "it";
+        return "fallible IO in src/service, src/serve, src/dist and "
+               "src/util runs under a registered fault site "
+               "(ZATEL_INJECT_FAULT / ZATEL_FAULT_SITE) so the "
+               "resilience suite can reach it";
     }
 
     void
@@ -84,7 +84,7 @@ class FaultSiteCoverageRule : public Rule
                 std::vector<Finding> &findings) const override
     {
         if ((!file.under("src/service/") && !file.under("src/serve/") &&
-             !file.under("src/util/")) ||
+             !file.under("src/dist/") && !file.under("src/util/")) ||
             !endsWith(file.relPath(), ".cc") || file.isTest())
             return;
         // The injection framework itself is the one place allowed to

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Filesystem job board for distributed campaigns (docs/DISTRIBUTED.md).
+ *
+ * The coordinator (coordinator.hh) and the zatel-worker processes
+ * (worker.hh) never talk over sockets; they share a directory:
+ *
+ *   <board>/MANIFEST                   shard count + fragment format
+ *   <board>/shards/shard-0007.jsonl    one JSONL campaign spec per shard
+ *   <board>/leases/shard-0007.lease    exclusive claim, heartbeat = mtime
+ *   <board>/frags/shard-0007.partial.jsonl  append-as-you-go rows
+ *   <board>/frags/shard-0007.ok.jsonl  published fragment (rename of ^)
+ *   <board>/frags/shard-0007.exhausted reassignment budget spent
+ *   <board>/stats/worker-3.stats       per-worker cache counters
+ *   <board>/logs/worker-3.log          redirected worker stdout+stderr
+ *
+ * Crash-tolerance contract:
+ *  - A lease is claimed with O_CREAT|O_EXCL (atomic across processes)
+ *    and kept alive by touching its mtime; a worker that dies stops
+ *    touching it, and the coordinator reclaims the shard once the
+ *    lease age exceeds the timeout.
+ *  - Fragments are published by renaming the partial file, so a
+ *    fragment either exists completely or not at all. The partial file
+ *    a dead worker left behind is resumed by the next claimant
+ *    (ResultStore's torn-line discipline) — completed rows are never
+ *    recomputed, only missing ones.
+ *  - Because prediction is deterministic and row serialization is
+ *    byte-stable, a zombie worker and its replacement write identical
+ *    bytes; last-wins rename races are therefore benign.
+ *
+ * Fault sites (docs/ROBUSTNESS.md): dist.lease.write fires in
+ * tryClaimShard, dist.fragment.write in publishFragment,
+ * worker.heartbeat in refreshLease.
+ */
+
+#ifndef ZATEL_DIST_JOB_BOARD_HH
+#define ZATEL_DIST_JOB_BOARD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace zatel::dist
+{
+
+/** Path scheme of one job board. Copyable value type. */
+struct BoardPaths
+{
+    /** Board root directory. */
+    std::string root;
+    /** Fragments use the final result file's format so merged rows
+     *  are verbatim copies ('.csv' or '.jsonl'). */
+    bool csv = false;
+
+    std::string manifestPath() const { return root + "/MANIFEST"; }
+    std::string shardsDir() const { return root + "/shards"; }
+    std::string leasesDir() const { return root + "/leases"; }
+    std::string fragsDir() const { return root + "/frags"; }
+    std::string statsDir() const { return root + "/stats"; }
+    std::string logsDir() const { return root + "/logs"; }
+
+    std::string shardSpecPath(uint32_t shard) const;
+    std::string leasePath(uint32_t shard) const;
+    /** Append-in-progress fragment (resumable, may end in a torn row). */
+    std::string partialFragmentPath(uint32_t shard) const;
+    /** Published fragment (complete; rename target of the partial). */
+    std::string fragmentPath(uint32_t shard) const;
+    /** Marker: shard spent its reassignment budget; stop retrying. */
+    std::string exhaustedMarkerPath(uint32_t shard) const;
+    std::string workerStatsPath(uint64_t worker_id) const;
+    std::string workerLogPath(uint64_t worker_id) const;
+};
+
+/** What MANIFEST records; written once by the coordinator. */
+struct BoardManifest
+{
+    uint32_t shards = 0;
+    bool csv = false;
+    uint64_t jobs = 0;
+};
+
+/** Create the board directory tree and write MANIFEST (tmp+rename).
+ *  @throws std::runtime_error when the tree cannot be created. */
+void initBoard(const BoardPaths &paths, const BoardManifest &manifest);
+
+/** Read MANIFEST; false when absent/unparsable (worker exits). */
+bool readManifest(const BoardPaths &paths, BoardManifest &manifest);
+
+/** A parsed lease file. */
+struct LeaseInfo
+{
+    bool exists = false;
+    uint64_t workerId = 0;
+    long pid = 0;
+};
+
+/**
+ * Atomically claim @p shard for @p worker_id (O_CREAT|O_EXCL).
+ * Returns false when another worker holds the lease.
+ * @throws FaultInjectedError (dist.lease.write) or std::runtime_error
+ *         on I/O failure — the caller skips the shard and retries the
+ *         board later.
+ */
+bool tryClaimShard(const BoardPaths &paths, uint32_t shard,
+                   uint64_t worker_id);
+
+/**
+ * Heartbeat: bump the lease's mtime without rewriting its content.
+ * Returns false on failure (including an armed worker.heartbeat
+ * fault); a worker losing its heartbeat must assume the lease will be
+ * reclaimed and abandon the shard without publishing (fencing).
+ */
+bool refreshLease(const BoardPaths &paths, uint32_t shard);
+
+/** Parse the lease file; exists=false when absent or unreadable. */
+LeaseInfo readLease(const BoardPaths &paths, uint32_t shard);
+
+/** Seconds since the lease's last heartbeat; < 0 when absent. */
+double leaseAgeSeconds(const BoardPaths &paths, uint32_t shard);
+
+/** Remove the lease (worker after publish, coordinator on reclaim). */
+void breakLease(const BoardPaths &paths, uint32_t shard);
+
+/**
+ * Publish the shard's partial fragment by renaming it into place.
+ * @throws FaultInjectedError (dist.fragment.write) or
+ *         std::runtime_error when the rename fails; the partial file
+ *         survives for the next attempt.
+ */
+void publishFragment(const BoardPaths &paths, uint32_t shard);
+
+/** True when the shard's published fragment exists. */
+bool shardDone(const BoardPaths &paths, uint32_t shard);
+
+/** True when the shard's exhausted marker exists. */
+bool shardExhausted(const BoardPaths &paths, uint32_t shard);
+
+/** Write the exhausted marker (idempotent; @p reason is its content). */
+void markShardExhausted(const BoardPaths &paths, uint32_t shard,
+                        const std::string &reason);
+
+/**
+ * Deterministic chaos harness (tests/test_dist.cc): a parsed
+ * ZATEL_WORKER_KILL spec, "point:nth[@workerid]". The worker raises
+ * SIGKILL on itself the nth time it passes the named point — no stack
+ * unwinding, no destructors, exactly the torn state a power cut or
+ * OOM-kill leaves behind. Points: pre_lease (before a claim attempt),
+ * mid_job (after the nth result row is appended), pre_publish (before
+ * the fragment rename).
+ */
+struct ChaosKillSpec
+{
+    bool armed = false;
+    std::string point;
+    uint64_t nth = 1;
+    /** Only this worker id dies; < 0 = any worker. */
+    int64_t workerFilter = -1;
+
+    /**
+     * Parse "point:nth[@workerid]"; returns an unarmed spec for
+     * null/empty @p text.
+     * @throws std::invalid_argument on a malformed spec (a typo'd
+     *         chaos plan must fail loudly, like ZATEL_FAULTS).
+     */
+    static ChaosKillSpec parse(const char *text);
+};
+
+} // namespace zatel::dist
+
+#endif // ZATEL_DIST_JOB_BOARD_HH

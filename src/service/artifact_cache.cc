@@ -1,5 +1,8 @@
 #include "service/artifact_cache.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -7,6 +10,13 @@
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
 
 #include "obs/metrics_registry.hh"
 #include "util/fault_injection.hh"
@@ -368,6 +378,7 @@ enum CacheEvent
     EventDiskHit,
     EventEviction,
     EventDiskError,
+    EventDiskEviction,
     EventCount
 };
 
@@ -381,7 +392,8 @@ cacheEventCounter(size_t kind_index, CacheEvent event)
     static const Table table = [] {
         auto &reg = obs::MetricsRegistry::global();
         const char *events[EventCount] = {"hit", "miss", "disk_hit",
-                                          "eviction", "disk_error"};
+                                          "eviction", "disk_error",
+                                          "disk_eviction"};
         Table t;
         for (size_t k = 0; k < 3; ++k) {
             const char *kind =
@@ -422,7 +434,13 @@ cacheEntriesGauge()
 // ---------------------------------------------------------------------------
 
 ArtifactCache::ArtifactCache(uint64_t byte_budget, std::string disk_dir)
-    : byteBudget_(byte_budget), diskDir_(std::move(disk_dir))
+    : ArtifactCache(byte_budget, std::move(disk_dir), DiskTierOptions())
+{
+}
+
+ArtifactCache::ArtifactCache(uint64_t byte_budget, std::string disk_dir,
+                             DiskTierOptions disk)
+    : byteBudget_(byte_budget), diskDir_(std::move(disk_dir)), disk_(disk)
 {
     if (!diskDir_.empty()) {
         std::error_code ec;
@@ -442,6 +460,7 @@ ArtifactCache::Counters::operator+=(const Counters &other)
     diskHits += other.diskHits;
     evictions += other.evictions;
     diskErrors += other.diskErrors;
+    diskEvictions += other.diskEvictions;
     return *this;
 }
 
@@ -485,10 +504,23 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
 
     BuiltValue built{nullptr, 0};
     bool from_disk = false;
+    bool own_claim = false;
+    std::string claim_path;
     try {
         if (persistable(kind) && !diskDir_.empty()) {
             built = tryLoadFromDisk(kind, key);
             from_disk = built.first != nullptr;
+            if (!built.first) {
+                // Cross-process single-flight: either we own the build
+                // claim now, or another process published the artifact
+                // while we waited (re-try the disk), or the wait gave
+                // up (build locally — duplicated work, never wrong).
+                own_claim = acquireBuildClaim(kind, key, claim_path);
+                if (!own_claim) {
+                    built = tryLoadFromDisk(kind, key);
+                    from_disk = built.first != nullptr;
+                }
+            }
         }
         if (!built.first)
             built = build();
@@ -502,6 +534,8 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
             cacheEventCounter(kind_index, EventMiss)->inc();
             inflight_.erase(k);
         }
+        if (own_claim)
+            releaseBuildClaim(claim_path);
         promise.set_exception(std::current_exception());
         throw;
     }
@@ -524,6 +558,10 @@ ArtifactCache::getOrBuildRaw(ArtifactKind kind, uint64_t key,
 
     if (!from_disk && persistable(kind) && !diskDir_.empty())
         trySaveToDisk(kind, key, built.first);
+    // The claim is released only after the publish attempt, so a
+    // waiting process wakes to a readable .zart, not a gap.
+    if (own_claim)
+        releaseBuildClaim(claim_path);
     return built.first;
 }
 
@@ -848,7 +886,220 @@ ArtifactCache::trySaveToDisk(ArtifactKind kind, uint64_t key,
         degradeDiskTier(kind,
                         "cannot publish " + path + ": " + ec.message());
         std::filesystem::remove(tmp, ec);
+        return;
     }
+    maybeEvictDisk();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process disk-tier safety (docs/DISTRIBUTED.md)
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+#ifdef __unix__
+/** True when the pid recorded in @p claim_path no longer runs. A pid
+ *  that cannot be read or verified is NOT stale here — the mtime TTL
+ *  in claimIsStale backstops unverifiable owners. */
+bool
+claimOwnerIsDead(const std::string &claim_path)
+{
+    // zatel-lint: allow(fault-site-coverage): unreadable == not stale
+    std::ifstream in(claim_path);
+    long pid = 0;
+    if (!(in >> pid) || pid <= 0)
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+}
+#endif
+
+/** Claim age in seconds via mtime; a huge value when unreadable (the
+ *  file vanished: the owner released it, callers re-check). */
+double
+claimAgeSeconds(const std::string &claim_path)
+{
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(claim_path, ec);
+    if (ec)
+        return -1.0;
+    const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+    return std::chrono::duration<double>(age).count();
+}
+
+} // namespace
+
+bool
+ArtifactCache::acquireBuildClaim(ArtifactKind kind, uint64_t key,
+                                 std::string &claim_path) const
+{
+#ifndef __unix__
+    (void)kind;
+    (void)key;
+    (void)claim_path;
+    return false;
+#else
+    if (diskDegraded())
+        return false;
+    const std::string path = diskPath(kind, key);
+    if (path.empty())
+        return false;
+    claim_path = path + ".claim";
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(disk_.claimWaitSeconds));
+    uint32_t attempt = 0;
+    while (true) {
+        // O_EXCL create is the atomic cross-process mutex: exactly one
+        // process wins; everyone else polls for the published artifact.
+        // Claim I/O is best-effort by design — any failure below falls
+        // back to a local build, which is the degraded-but-correct
+        // route a real fault would take too.
+        // zatel-lint: allow(fault-site-coverage): failure = local build
+        const int fd = ::open(claim_path.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            char text[32];
+            const int len = std::snprintf(text, sizeof(text), "%ld\n",
+                                          static_cast<long>(::getpid()));
+            if (len > 0 && ::write(fd, text, static_cast<size_t>(len)) < 0)
+                warn("artifact-cache: short claim write to ", claim_path);
+            ::close(fd);
+            return true;
+        }
+        if (errno != EEXIST)
+            return false;
+        // Someone else holds the claim. Finished already?
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec))
+            return false;
+        // Stale claim (owner died without unlinking, or is unverifiable
+        // and ancient): break it and race for a fresh one.
+        const double age = claimAgeSeconds(claim_path);
+        if (claimOwnerIsDead(claim_path) || age > disk_.claimStaleSeconds) {
+            std::filesystem::remove(claim_path, ec); // benign race
+            continue;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            warn("artifact-cache: gave up waiting for build claim ",
+                 claim_path, " after ", disk_.claimWaitSeconds,
+                 " s; building locally");
+            return false;
+        }
+        attempt = std::min<uint32_t>(attempt + 1, 5);
+        retryBackoffSleep(attempt);
+    }
+#endif
+}
+
+void
+ArtifactCache::releaseBuildClaim(const std::string &claim_path) const
+{
+    if (claim_path.empty())
+        return;
+    std::error_code ec;
+    // Best-effort: a leaked claim is broken by the next acquirer's
+    // dead-owner / mtime-TTL staleness checks.
+    std::filesystem::remove(claim_path, ec);
+}
+
+void
+ArtifactCache::maybeEvictDisk() const
+{
+#ifdef __unix__
+    if (disk_.byteBudget == 0 || diskDir_.empty() || diskDegraded())
+        return;
+    // Advisory flock so only one process scans at a time; a busy lock
+    // means another process is already evicting — skip, not block.
+    // Eviction I/O is best-effort: a failed scan only delays space
+    // reclamation, so every error path below is a plain return.
+    const std::string lock_path = diskDir_ + "/.evict.lock";
+    // zatel-lint: allow(fault-site-coverage): skipped scan = retry later
+    const int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (lock_fd < 0)
+        return;
+    if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(lock_fd);
+        return;
+    }
+
+    struct DiskFile
+    {
+        std::filesystem::path path;
+        uint64_t bytes = 0;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<DiskFile> files;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(diskDir_, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const std::filesystem::path &p = it->path();
+        // Only published artifacts are eviction candidates: .tmp files
+        // belong to an in-flight writer, .claim files to a builder.
+        if (p.extension() != ".zart")
+            continue;
+        std::error_code file_ec;
+        DiskFile f;
+        f.path = p;
+        f.bytes = static_cast<uint64_t>(
+            std::filesystem::file_size(p, file_ec));
+        if (file_ec)
+            continue; // raced a concurrent rename/delete; skip
+        f.mtime = std::filesystem::last_write_time(p, file_ec);
+        if (file_ec)
+            continue;
+        total += f.bytes;
+        files.push_back(std::move(f));
+    }
+
+    if (total > disk_.byteBudget) {
+        std::sort(files.begin(), files.end(),
+                  [](const DiskFile &a, const DiskFile &b) {
+                      return a.mtime < b.mtime;
+                  });
+        const auto now = std::filesystem::file_time_type::clock::now();
+        const auto grace =
+            std::chrono::duration_cast<
+                std::filesystem::file_time_type::duration>(
+                std::chrono::duration<double>(disk_.evictGraceSeconds));
+        uint64_t evicted = 0;
+        for (const DiskFile &f : files) {
+            if (total <= disk_.byteBudget)
+                break;
+            // Files are mtime-sorted, so the first too-young file ends
+            // the scan: everything after it is younger still. This is
+            // what makes the scan safe against a concurrent writer's
+            // fresh tmp+rename from another process.
+            if (now - f.mtime < grace)
+                break;
+            std::error_code rm_ec;
+            if (!std::filesystem::remove(f.path, rm_ec) || rm_ec)
+                continue; // raced another process's eviction
+            total -= f.bytes;
+            // Attribute the eviction to the kind the filename names
+            // ("heatmap-<hex>.zart" / "oracle-<hex>.zart").
+            const std::string stem = f.path.filename().string();
+            size_t kind_index =
+                static_cast<size_t>(ArtifactKind::QuantizedHeatmap);
+            if (stem.rfind(artifactKindName(ArtifactKind::OracleStats),
+                           0) == 0) {
+                kind_index = static_cast<size_t>(ArtifactKind::OracleStats);
+            }
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                ++perKind_[kind_index].diskEvictions;
+            }
+            cacheEventCounter(kind_index, EventDiskEviction)->inc();
+            ++evicted;
+        }
+        (void)evicted;
+    }
+
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+#endif
 }
 
 } // namespace zatel::service

@@ -154,6 +154,8 @@ class ArtifactCache
         /** Disk-tier I/O failures (real or injected); nonzero means the
          *  disk tier has degraded to memory-only (docs/ROBUSTNESS.md). */
         uint64_t diskErrors = 0;
+        /** .zart files deleted by the disk-tier byte budget. */
+        uint64_t diskEvictions = 0;
 
         Counters &operator+=(const Counters &other);
     };
@@ -166,14 +168,49 @@ class ArtifactCache
     };
 
     /**
+     * Disk-tier tuning. The disk tier is multi-process-safe
+     * (docs/DISTRIBUTED.md): writes publish via tmp+rename, builds
+     * take a cross-process single-flight claim, and the eviction scan
+     * holds an advisory flock and skips files younger than the grace
+     * window so it cannot race another process's in-flight publish.
+     */
+    struct DiskTierOptions
+    {
+        /** Disk byte budget; 0 = unlimited (no eviction scan). */
+        uint64_t byteBudget = 0;
+        /**
+         * Eviction never deletes a .zart younger than this, so a file
+         * another process renamed into place moments ago (and is about
+         * to read back) survives the scan.
+         */
+        double evictGraceSeconds = 60.0;
+        /**
+         * How long a builder waits on another process's build claim
+         * before giving up and building locally (wasted work, never
+         * wrong results).
+         */
+        double claimWaitSeconds = 120.0;
+        /**
+         * A claim file older than this is presumed abandoned (its
+         * owner died without unlinking) and is broken even when the
+         * recorded pid is unverifiable.
+         */
+        double claimStaleSeconds = 120.0;
+    };
+
+    /**
      * @param byte_budget Memory budget; the LRU entry is evicted while
      *        residency exceeds it (the newest entry is always kept, so a
      *        single oversized artifact still works).
      * @param disk_dir Optional persistence directory; "" disables it.
      *        Heatmaps and oracle stats are persisted (scene packs are
      *        cheap to rebuild and hold scene-relative pointers).
+     * @param disk Disk-tier budget/locking tuning (ignored without a
+     *        disk_dir).
      */
     explicit ArtifactCache(uint64_t byte_budget, std::string disk_dir = "");
+    ArtifactCache(uint64_t byte_budget, std::string disk_dir,
+                  DiskTierOptions disk);
 
     ArtifactCache(const ArtifactCache &) = delete;
     ArtifactCache &operator=(const ArtifactCache &) = delete;
@@ -273,6 +310,31 @@ class ArtifactCache
                        const std::shared_ptr<const void> &value) const;
 
     /**
+     * Cross-process single-flight (docs/DISTRIBUTED.md): try to become
+     * the one process building (kind, key). Returns true when this
+     * process owns the claim file (build, publish, then
+     * releaseBuildClaim). Returns false when the artifact appeared on
+     * disk meanwhile, the claim wait timed out, or claim I/O failed —
+     * in every false case the caller re-tries the disk and otherwise
+     * builds locally without a claim (correct, possibly duplicated
+     * work).
+     */
+    bool acquireBuildClaim(ArtifactKind kind, uint64_t key,
+                           std::string &claim_path) const;
+
+    /** Unlink an owned claim file (best-effort). */
+    void releaseBuildClaim(const std::string &claim_path) const;
+
+    /**
+     * Disk-tier byte-budget eviction: under an advisory flock, delete
+     * oldest-mtime .zart files until the directory fits the budget,
+     * never touching files younger than the grace window. Runs after a
+     * successful publish; a concurrently scanning process simply skips
+     * the scan (LOCK_NB).
+     */
+    void maybeEvictDisk() const;
+
+    /**
      * Record a disk-tier failure for @p kind and permanently switch to
      * memory-only operation (warns once). Safe from any thread; callers
      * must NOT hold mutex_ (trySaveToDisk runs outside the lock).
@@ -281,6 +343,7 @@ class ArtifactCache
 
     const uint64_t byteBudget_;
     const std::string diskDir_;
+    const DiskTierOptions disk_;
 
     /** One-way latch: disk tier has failed, operate memory-only. */
     mutable std::atomic<bool> diskDegraded_{false};

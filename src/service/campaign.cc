@@ -449,6 +449,91 @@ applyJobField(CampaignJob &job, const std::string &key,
     }
 }
 
+namespace
+{
+
+/** %.17g: parseF64 reproduces the exact double on re-parse. */
+std::string
+jsonNumber(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+/** Escape for the subset of JSON strings JsonCursor reads back. */
+std::string
+jsonString(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeJobJsonl(const CampaignJob &job)
+{
+    const core::ZatelParams &p = job.params;
+    std::ostringstream oss;
+    oss << "{\"id\":" << jsonString(job.id)
+        << ",\"scene\":" << jsonString(job.scene)
+        << ",\"detail\":" << jsonNumber(job.sceneDetail)
+        << ",\"scene_seed\":" << job.sceneSeed
+        << ",\"gpu\":" << jsonString(job.gpu)
+        << ",\"width\":" << p.width << ",\"height\":" << p.height
+        << ",\"spp\":" << p.samplesPerPixel << ",\"seed\":" << p.seed;
+    if (p.selector.fixedFraction)
+        oss << ",\"fraction\":" << jsonNumber(*p.selector.fixedFraction);
+    if (p.forcedK)
+        oss << ",\"k\":" << *p.forcedK;
+    oss << ",\"division\":"
+        << (p.partition.method == core::DivisionMethod::CoarseGrained
+                ? "\"coarse\""
+                : "\"fine\"");
+    const char *distribution = "uniform";
+    if (p.selector.distribution == core::DistributionMethod::LinTemp)
+        distribution = "lintmp";
+    else if (p.selector.distribution == core::DistributionMethod::ExpTemp)
+        distribution = "exptmp";
+    oss << ",\"distribution\":\"" << distribution << "\"";
+    oss << ",\"regression\":"
+        << (p.extrapolation ==
+                    core::ExtrapolationMethod::ExponentialRegression
+                ? "true"
+                : "false");
+    oss << ",\"downscale\":" << (p.downscaleGpu ? "true" : "false");
+    if (p.profiler.source == heatmap::ProfilingSource::HardwareTimer)
+        oss << ",\"profile_noise\":" << jsonNumber(p.profiler.timerNoise);
+    oss << ",\"quantize_colors\":" << p.quantizeColors;
+    oss << ",\"threads\":" << p.numThreads;
+    oss << ",\"priority\":" << job.priority;
+    oss << ",\"oracle\":" << (job.withOracle ? "true" : "false");
+    oss << "}";
+    const std::string line = oss.str();
+
+    // Lossless-round-trip guarantee: a job whose state no campaign
+    // field expresses (custom BVH params, a non-default profiler seed,
+    // ...) must be rejected here, not silently altered on a worker.
+    std::istringstream replay(line);
+    std::vector<CampaignJob> reparsed = parseCampaignJsonl(replay);
+    if (reparsed.size() != 1 || reparsed[0].id != job.id ||
+        jobParamsHash(reparsed[0]) != jobParamsHash(job)) {
+        throw CampaignError(
+            "job '" + job.id +
+            "' does not round-trip through campaign fields (state "
+            "outside the serializable set, e.g. custom BVH build "
+            "params); it cannot be dispatched to worker processes");
+    }
+    return line;
+}
+
 std::vector<CampaignJob>
 parseCampaignJsonl(std::istream &in)
 {

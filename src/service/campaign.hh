@@ -112,6 +112,16 @@ rt::SceneId resolveSceneName(const std::string &name);
 void applyJobField(CampaignJob &job, const std::string &key,
                    const std::string &value);
 
+/**
+ * Serialize @p job as one flat JSONL campaign line (the exact format
+ * parseCampaignJsonl reads back). The distributed coordinator uses this
+ * to write shard spec files, so the round trip must be lossless: the
+ * function re-parses its own output and throws CampaignError when the
+ * result's id or jobParamsHash differs (a job carrying state that no
+ * campaign field can express, e.g. custom BVH build params).
+ */
+std::string serializeJobJsonl(const CampaignJob &job);
+
 /** Parse a JSONL campaign stream (one flat JSON object per line). */
 std::vector<CampaignJob> parseCampaignJsonl(std::istream &in);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #ifdef __unix__
@@ -255,6 +256,37 @@ ResultStore::append(const ResultRow &row)
 }
 
 void
+ResultStore::appendRawLine(const std::string &raw_line,
+                           const std::string &job_id, JobStatus status)
+{
+    // Same injectable I/O path and recovery route as append(): the
+    // merge loses at most the on-disk copy, never the tally.
+    const bool injected =
+        ZATEL_FAULT_SITE("result.store.append")->shouldFire();
+    std::lock_guard<std::mutex> guard(mutex_);
+    ResultRow row;
+    row.jobId = job_id;
+    row.status = status;
+    rows_.push_back(std::move(row));
+    if (!file_.is_open())
+        return;
+    bool wrote = false;
+    if (!injected) {
+        file_ << raw_line << "\n";
+        file_.flush();
+        wrote = file_.good();
+        if (!wrote)
+            file_.clear();
+    }
+    if (!wrote) {
+        ++writeFailures_;
+        warn("result store: write to '", path_, "' failed",
+             injected ? " (injected fault)" : "",
+             "; row for job '", job_id, "' retained in memory only");
+    }
+}
+
+void
 ResultStore::finalize()
 {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -312,17 +344,39 @@ ResultStore::countWithStatus(JobStatus status) const
     return count;
 }
 
-std::set<std::string>
-ResultStore::completedJobIds(const std::string &path)
+namespace
 {
-    std::set<std::string> completed;
-    // A missing/unreadable resume file legitimately means "nothing
-    // completed yet" -- the degraded path and the failure path are
-    // the same path, so there is no distinct branch to inject.
-    // zatel-lint: allow(fault-site-coverage): absence == empty resume
+
+/** Inverse of jobStatusName(); false for unknown status spellings. */
+bool
+statusFromName(const std::string &name, JobStatus &status)
+{
+    static const JobStatus all[] = {
+        JobStatus::Ok,        JobStatus::Failed,  JobStatus::Cancelled,
+        JobStatus::TimedOut,  JobStatus::Skipped, JobStatus::Degraded,
+    };
+    for (JobStatus candidate : all) {
+        if (name == jobStatusName(candidate)) {
+            status = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<ScannedRow>
+ResultStore::scanRows(const std::string &path)
+{
+    std::vector<ScannedRow> rows;
+    // A missing/unreadable file legitimately means "no rows yet" --
+    // the degraded path and the failure path are the same path, so
+    // there is no distinct branch to inject.
+    // zatel-lint: allow(fault-site-coverage): absence == no rows
     std::ifstream in(path);
     if (!in.is_open())
-        return completed;
+        return rows;
     const bool is_csv =
         path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
 
@@ -353,11 +407,14 @@ ResultStore::completedJobIds(const std::string &path)
             size_t comma2 = line.find(',', comma1 + 1);
             if (comma2 == std::string::npos)
                 continue;
-            const std::string job = line.substr(0, comma1);
+            ScannedRow row;
+            row.jobId = line.substr(0, comma1);
             const std::string status =
                 line.substr(comma1 + 1, comma2 - comma1 - 1);
-            if (status == "ok" || status == "skipped")
-                completed.insert(job);
+            if (!statusFromName(status, row.status))
+                continue;
+            row.rawLine = line;
+            rows.push_back(std::move(row));
             continue;
         }
         // Truncation guard (JSONL): every complete row closes its
@@ -371,17 +428,91 @@ ResultStore::completedJobIds(const std::string &path)
         size_t job_pos = line.find(job_tag);
         if (job_pos == std::string::npos)
             continue;
+        // Two objects glued onto one line (a torn row a later writer
+        // appended after, before repairTruncatedTail existed) carry
+        // two job tags; neither half can be trusted.
+        if (line.find(job_tag, job_pos + job_tag.size()) !=
+            std::string::npos) {
+            continue;
+        }
         job_pos += job_tag.size();
         size_t job_end = line.find('"', job_pos);
         if (job_end == std::string::npos)
             continue;
-        const bool ok =
-            line.find("\"status\":\"ok\"") != std::string::npos ||
-            line.find("\"status\":\"skipped\"") != std::string::npos;
-        if (ok)
-            completed.insert(line.substr(job_pos, job_end - job_pos));
+        const std::string status_tag = "\"status\":\"";
+        size_t status_pos = line.find(status_tag);
+        if (status_pos == std::string::npos)
+            continue;
+        status_pos += status_tag.size();
+        size_t status_end = line.find('"', status_pos);
+        if (status_end == std::string::npos)
+            continue;
+        ScannedRow row;
+        row.jobId = line.substr(job_pos, job_end - job_pos);
+        if (!statusFromName(line.substr(status_pos,
+                                        status_end - status_pos),
+                            row.status)) {
+            continue;
+        }
+        row.rawLine = line;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::set<std::string>
+ResultStore::completedJobIds(const std::string &path, bool degraded_as_done)
+{
+    std::set<std::string> completed;
+    for (const ScannedRow &row : scanRows(path)) {
+        if (row.status == JobStatus::Ok ||
+            row.status == JobStatus::Skipped ||
+            (degraded_as_done && row.status == JobStatus::Degraded)) {
+            completed.insert(row.jobId);
+        }
     }
     return completed;
+}
+
+uint64_t
+ResultStore::repairTruncatedTail(const std::string &path)
+{
+    // Read-then-truncate repair: any failure below leaves the file
+    // exactly as it was, and the torn-line guards in scanRows() /
+    // completedJobIds() still protect every reader.
+    // zatel-lint: allow(fault-site-coverage): failure leaves file as-is
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.is_open())
+        return 0;
+    const std::streamoff size = in.tellg();
+    if (size <= 0)
+        return 0;
+    // Walk backwards until the last '\n'; everything after it is a
+    // row the writer died inside.
+    std::streamoff keep = size;
+    while (keep > 0) {
+        in.seekg(keep - 1);
+        char c = 0;
+        if (!in.get(c))
+            return 0;
+        if (c == '\n')
+            break;
+        --keep;
+    }
+    const uint64_t torn = static_cast<uint64_t>(size - keep);
+    if (torn == 0)
+        return 0;
+    in.close();
+    std::error_code ec;
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(keep), ec);
+    if (ec) {
+        warn("result store: cannot repair torn tail of '", path,
+             "': ", ec.message());
+        return 0;
+    }
+    warn("result store: truncated ", torn, " byte(s) of a torn row from '",
+         path, "'");
+    return torn;
 }
 
 } // namespace zatel::service

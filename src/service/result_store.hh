@@ -66,6 +66,20 @@ std::string formatDouble17(double value);
 /** Escape for embedding in a JSON string literal. */
 std::string jsonEscaped(const std::string &text);
 
+/**
+ * One row recovered from an existing result file by scanRows():
+ * the parsed identity plus the raw serialized line, so a merge can
+ * republish the row byte-identically (the distributed coordinator
+ * copies worker fragment rows into the final store this way).
+ */
+struct ScannedRow
+{
+    std::string jobId;
+    JobStatus status = JobStatus::Ok;
+    /** The full line as stored on disk (no trailing newline). */
+    std::string rawLine;
+};
+
 /** One result row (one finished job). */
 struct ResultRow
 {
@@ -139,6 +153,16 @@ class ResultStore
     void append(const ResultRow &row);
 
     /**
+     * Append an already-serialized row verbatim (same failure handling
+     * as append(): never throws, failed writes are counted and the
+     * identity retained in memory). The distributed merge uses this to
+     * copy worker fragment rows byte-identically; @p raw_line must be
+     * one line in this store's format without the trailing newline.
+     */
+    void appendRawLine(const std::string &raw_line,
+                       const std::string &job_id, JobStatus status);
+
+    /**
      * Flush and fsync the underlying file (when one is open). Called
      * once after a campaign completes so a machine crash immediately
      * after the run cannot lose acknowledged rows.
@@ -163,8 +187,12 @@ class ResultStore
     std::string formatRow(const ResultRow &row) const;
 
     /**
-     * Ids of jobs recorded as "ok" in an existing result file; empty for
-     * a missing/unreadable file. Works for both formats.
+     * Ids of jobs recorded as completed in an existing result file;
+     * empty for a missing/unreadable file. Works for both formats.
+     * "ok" and "skipped" rows always count; "degraded" rows count by
+     * default (their prediction is usable) unless @p degraded_as_done
+     * is false — zatel-batch's --retry-degraded flag clears it so a
+     * resumed run re-executes them (docs/ROBUSTNESS.md).
      *
      * Crash tolerance: a final line truncated mid-append (the writer
      * died between write and flush, e.g. kill -9) is ignored — JSONL
@@ -172,7 +200,26 @@ class ResultStore
      * column count — so --resume re-executes that job instead of
      * trusting half a row.
      */
-    static std::set<std::string> completedJobIds(const std::string &path);
+    static std::set<std::string>
+    completedJobIds(const std::string &path, bool degraded_as_done = true);
+
+    /**
+     * Every parseable row of an existing result file, in file order,
+     * with the same torn-line tolerance as completedJobIds(). Rows
+     * whose status is not in the jobStatusName() catalog are skipped.
+     * The distributed coordinator merges worker fragments with this.
+     */
+    static std::vector<ScannedRow> scanRows(const std::string &path);
+
+    /**
+     * Truncate a trailing partial line (one missing its '\n': the
+     * writer died mid-append) so the file can be reopened in append
+     * mode without the next row gluing onto half a row. Returns the
+     * number of bytes removed (0 when the file is absent or clean).
+     * Every resume-then-append path (worker fragment resume, zatel-batch
+     * --resume) must call this before reopening the file.
+     */
+    static uint64_t repairTruncatedTail(const std::string &path);
 
   private:
     /** CSV header matching formatRow's column order. */

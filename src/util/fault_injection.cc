@@ -292,6 +292,10 @@ FaultRegistry::knownSiteNames()
         "serve.accept",        // Daemon acceptor: shed the connection
         "serve.read",          // Daemon request read: fail with 500
         "serve.write",         // Daemon response write: bare 500
+        "worker.spawn",        // Dist coordinator: worker fork/exec
+        "worker.heartbeat",    // Dist worker: lease heartbeat refresh
+        "dist.lease.write",    // Dist worker: shard lease claim write
+        "dist.fragment.write", // Dist worker: fragment publish rename
     };
     return names;
 }

@@ -108,7 +108,10 @@ TEST_F(Resilience, TransientFaultAtEverySiteRecovers)
     for (const std::string &site : FaultRegistry::knownSiteNames()) {
         // serve.* sites live in the daemon's socket path, which a
         // campaign never reaches; tests/test_serve.cc drives them.
-        if (site.rfind("serve.", 0) == 0)
+        // dist.* / worker.* sites live in the multi-process job-board
+        // path; tests/test_dist.cc drives them.
+        if (site.rfind("serve.", 0) == 0 ||
+            site.rfind("dist.", 0) == 0 || site.rfind("worker.", 0) == 0)
             continue;
         FaultRegistry::global().resetForTest();
         FaultRegistry::global().setPolicy(site, FaultPolicy::nthHit(1));
@@ -191,9 +194,12 @@ TEST_F(Resilience, PersistentFaultMatrixYieldsDocumentedStatus)
     // expectation is a hole in the resilience story). serve.* sites
     // are the daemon's socket path: a campaign never reaches them, so
     // tests/test_serve.cc carries their always-policy expectations.
+    // Likewise dist.* / worker.* sites fire only in the multi-process
+    // job-board path; tests/test_dist.cc carries theirs.
     size_t campaignSites = 0;
     for (const std::string &site : FaultRegistry::knownSiteNames()) {
-        if (site.rfind("serve.", 0) == 0)
+        if (site.rfind("serve.", 0) == 0 ||
+            site.rfind("dist.", 0) == 0 || site.rfind("worker.", 0) == 0)
             continue;
         ++campaignSites;
         ASSERT_TRUE(expectations.count(site)) << site;

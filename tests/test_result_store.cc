@@ -374,11 +374,14 @@ TEST(ResultStore, CompletedJobIdsIgnoresATruncatedCsvRow)
     EXPECT_EQ(completed, (std::set<std::string>{"j1"}));
 }
 
-TEST(ResultStore, DegradedRowsAreNotResumeCompleted)
+TEST(ResultStore, DegradedRowsResumeAsDoneUnlessRetryRequested)
 {
-    // A degraded prediction is a real result, but resuming the
-    // campaign should retry the job: the fault that degraded it may
-    // have been transient.
+    // A degraded prediction is a real, usable result: by default a
+    // resumed campaign keeps it (a distributed merge synthesizes
+    // Degraded rows for exhausted shards, and resuming must not retry
+    // the whole campaign because of them). zatel-batch's
+    // --retry-degraded opts back into re-running them via
+    // degraded_as_done=false.
     const auto dir = scratchDir("degraded-resume");
     const std::string path = (dir / "results.jsonl").string();
     {
@@ -388,9 +391,11 @@ TEST(ResultStore, DegradedRowsAreNotResumeCompleted)
         store.append(sampleRow("j-failed", JobStatus::Failed));
         store.finalize();
     }
-    const std::set<std::string> completed =
-        ResultStore::completedJobIds(path);
-    EXPECT_EQ(completed, (std::set<std::string>{"j-ok"}));
+    EXPECT_EQ(ResultStore::completedJobIds(path),
+              (std::set<std::string>{"j-ok", "j-deg"}));
+    EXPECT_EQ(
+        ResultStore::completedJobIds(path, /*degraded_as_done=*/false),
+        (std::set<std::string>{"j-ok"}));
 }
 
 TEST(ResultStore, FinalizeIsIdempotentAndSafeWithoutAFile)

@@ -1,0 +1,29 @@
+// Fixture for zatel-lint --self-test: seeded violations, never compiled.
+// publishRaw() renames a fragment with no fault-injection site in
+// reach; claimShard() registers dist.lease.write and stays clean — the
+// coverage contract extended to src/dist/ with the distributed
+// campaign subsystem (docs/DISTRIBUTED.md).
+#include <string>
+
+#define ZATEL_INJECT_FAULT_KEYED(name, key) ((void)(name), (void)(key))
+
+extern "C" int rename(const char *from, const char *to);
+extern "C" int open(const char *path, int flags, ...);
+
+namespace zatel::dist
+{
+
+bool
+publishRaw(const std::string &partial, const std::string &final_path)
+{
+    return rename(partial.c_str(), final_path.c_str()) == 0; // EXPECT: fault-site-coverage
+}
+
+bool
+claimShard(const std::string &lease_path, unsigned shard)
+{
+    ZATEL_INJECT_FAULT_KEYED("dist.lease.write", shard);
+    return open(lease_path.c_str(), 0) >= 0;
+}
+
+} // namespace zatel::dist

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "dist/coordinator.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/trace_recorder.hh"
 #include "service/artifact_cache.hh"
@@ -116,6 +117,31 @@ main(int argc, char **argv)
     args.addFlag("fail-fast",
                  "treat any group failure as fatal for its job (no "
                  "degraded predictions)");
+    // Distributed campaigns (docs/DISTRIBUTED.md).
+    args.addOption("workers", "0",
+                   "distribute the campaign across this many zatel-worker "
+                   "processes (0 = run in-process)");
+    args.addOption("worker-cmd", "",
+                   "worker executable (default: zatel-worker next to "
+                   "this binary)");
+    args.addOption("board-dir", "",
+                   "job-board scratch directory (default: <out>.board)");
+    args.addOption("shards", "0",
+                   "job-board shard count (0 = min(jobs, workers*4))");
+    args.addOption("lease-timeout-ms", "10000",
+                   "reclaim a worker's shard lease after this long "
+                   "without a heartbeat");
+    args.addOption("max-shard-reassignments", "3",
+                   "reclamations per shard before its unfinished jobs "
+                   "degrade instead of retrying forever");
+    args.addOption("cache-disk-mb", "0",
+                   "disk-tier byte budget for the shared --cache-dir in "
+                   "MiB (0 = unlimited)");
+    args.addFlag("keep-board",
+                 "keep the job-board directory after the run (debugging)");
+    args.addFlag("retry-degraded",
+                 "with --resume: re-run jobs whose recorded status is "
+                 "'degraded' (default resumes them as done)");
     // Sweep shorthand (each may repeat to form a cartesian product).
     args.addOption("scene", "PARK", "scene name (repeatable)");
     args.addOption("gpu", "soc", "target GPU: soc | rtx2060 (repeatable)");
@@ -175,6 +201,26 @@ main(int argc, char **argv)
                      min_groups_fraction);
         return 1;
     }
+    const int64_t dist_workers = args.getIntInRange("workers", 0, 256);
+    const int64_t dist_shards = args.getIntInRange("shards", 0, 4096);
+    const int64_t max_shard_reassignments =
+        args.getIntInRange("max-shard-reassignments", 0, 1000);
+    const int64_t cache_disk_mb =
+        args.getIntInRange("cache-disk-mb", 0, 1 << 20);
+    const double lease_timeout_ms = args.getDouble("lease-timeout-ms");
+    if (lease_timeout_ms <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --lease-timeout-ms must be > 0, got %g\n",
+                     lease_timeout_ms);
+        return 1;
+    }
+    const bool retry_degraded = args.getFlag("retry-degraded");
+    if (retry_degraded && !args.getFlag("resume")) {
+        std::fprintf(stderr,
+                     "error: --retry-degraded requires --resume (it "
+                     "changes which recorded rows count as done)\n");
+        return 1;
+    }
 
     std::vector<service::CampaignJob> jobs;
     try {
@@ -199,8 +245,11 @@ main(int argc, char **argv)
     sched.stallTimeoutSeconds = stall_timeout_ms / 1000.0;
     sched.stageRetries = static_cast<uint32_t>(stage_retries);
     if (args.getFlag("resume")) {
-        sched.alreadyCompleted =
-            service::ResultStore::completedJobIds(out_path);
+        // A previous run may have died mid-append; drop the torn tail
+        // line before reopening for append (docs/ROBUSTNESS.md).
+        service::ResultStore::repairTruncatedTail(out_path);
+        sched.alreadyCompleted = service::ResultStore::completedJobIds(
+            out_path, /*degraded_as_done=*/!retry_degraded);
     }
 
     service::ResultStoreOptions store_options;
@@ -208,13 +257,9 @@ main(int argc, char **argv)
     store_options.append = args.getFlag("resume");
     service::ResultStore store(out_path, store_options);
 
-    const uint64_t budget =
-        static_cast<uint64_t>(args.getPositiveInt("cache-mb")) * 1024 *
-        1024;
-    service::ArtifactCache cache(budget, args.get("cache-dir"));
-
-    // Observability must be switched on BEFORE the scheduler exists:
-    // its shared ThreadPool registers worker trace names at startup.
+    // Observability must be switched on BEFORE the scheduler exists
+    // (its shared ThreadPool registers worker trace names at startup)
+    // and before the distributed coordinator (its counters).
     if (args.has("trace-out")) {
         obs::TraceRecorder::global().enable();
         obs::TraceRecorder::global().setThreadName("main");
@@ -223,6 +268,107 @@ main(int argc, char **argv)
         obs::MetricsRegistry::global().setEnabled(true);
 
     const bool quiet = args.getFlag("quiet");
+
+    // Shared tail for both the in-process and the distributed paths:
+    // trace/metrics export, write-failure warning, exit policy.
+    // Degraded jobs deliver usable predictions and do NOT fail the
+    // campaign's exit code (docs/ROBUSTNESS.md).
+    auto finish = [&](size_t failed, size_t cancelled, size_t timed_out) {
+        bool io_ok = true;
+        if (args.has("trace-out")) {
+            obs::TraceRecorder::global().disable();
+            const std::string &path = args.get("trace-out");
+            if (obs::TraceRecorder::global().writeChromeTrace(path)) {
+                std::printf("wrote %s (chrome://tracing)\n",
+                            path.c_str());
+            } else {
+                warn("could not write trace to ", path);
+                io_ok = false;
+            }
+        }
+        if (args.has("metrics-out")) {
+            const std::string &path = args.get("metrics-out");
+            if (obs::MetricsRegistry::global().writeTo(path)) {
+                std::printf("wrote %s\n", path.c_str());
+            } else {
+                warn("could not write metrics to ", path);
+                io_ok = false;
+            }
+        }
+        if (store.writeFailures() > 0) {
+            warn(store.writeFailures(),
+                 " result row(s) could not be written to ", out_path,
+                 " (kept in memory only)");
+        }
+        const bool all_good =
+            failed == 0 && cancelled == 0 && timed_out == 0 && io_ok;
+        return all_good ? 0 : 1;
+    };
+
+    if (dist_workers > 0) {
+        dist::DistParams dist_params;
+        dist_params.workers = static_cast<uint32_t>(dist_workers);
+        dist_params.workerCmd = args.get("worker-cmd");
+        dist_params.boardDir = args.get("board-dir").empty()
+                                   ? out_path + ".board"
+                                   : args.get("board-dir");
+        dist_params.shards = static_cast<uint32_t>(dist_shards);
+        dist_params.leaseTimeoutSeconds = lease_timeout_ms / 1000.0;
+        dist_params.maxShardReassignments =
+            static_cast<uint32_t>(max_shard_reassignments);
+        dist_params.keepBoard = args.getFlag("keep-board");
+        dist_params.quiet = quiet;
+        dist_params.alreadyCompleted = std::move(sched.alreadyCompleted);
+
+        // Shard specs carry campaign fields only — forward the pool /
+        // cache / resilience knobs on the worker command lines.
+        auto forward = [&dist_params](const char *flag,
+                                      const std::string &value) {
+            dist_params.workerExtraArgs.emplace_back(flag);
+            dist_params.workerExtraArgs.emplace_back(value);
+        };
+        forward("--jobs", args.get("jobs"));
+        if (!args.get("cache-dir").empty())
+            forward("--cache-dir", args.get("cache-dir"));
+        forward("--cache-mb", args.get("cache-mb"));
+        forward("--cache-disk-mb", std::to_string(cache_disk_mb));
+        forward("--timeout", args.get("timeout"));
+        forward("--stall-timeout-ms", args.get("stall-timeout-ms"));
+        forward("--stage-retries", std::to_string(stage_retries));
+        forward("--group-retries", std::to_string(group_retries));
+        forward("--min-groups-fraction", args.get("min-groups-fraction"));
+        if (args.getFlag("fail-fast"))
+            dist_params.workerExtraArgs.emplace_back("--fail-fast");
+        if (args.getFlag("no-timing"))
+            dist_params.workerExtraArgs.emplace_back("--no-timing");
+        if (quiet)
+            dist_params.workerExtraArgs.emplace_back("--quiet");
+
+        if (!quiet) {
+            std::printf("distributing %zu job(s) across %u worker "
+                        "process(es)\n",
+                        jobs.size(), dist_params.workers);
+        }
+        dist::DistSummary dist_summary;
+        try {
+            dist::DistCoordinator coordinator(std::move(jobs), store,
+                                              std::move(dist_params));
+            dist_summary = coordinator.run();
+        } catch (const std::exception &err) {
+            std::fprintf(stderr, "error: %s\n", err.what());
+            return 1;
+        }
+        std::printf("%s", dist_summary.toString().c_str());
+        std::printf("results: %s (%zu row(s))\n", out_path.c_str(),
+                    store.rowCount());
+        return finish(dist_summary.failed, dist_summary.cancelled,
+                      dist_summary.timedOut);
+    }
+
+    const uint64_t budget =
+        static_cast<uint64_t>(args.getPositiveInt("cache-mb")) * 1024 *
+        1024;
+    service::ArtifactCache cache(budget, args.get("cache-dir"));
     std::atomic<size_t> jobs_done{0};
     sched.resultHook = [quiet, &jobs_done](const service::ResultRow &row) {
         jobs_done.fetch_add(1, std::memory_order_relaxed);
@@ -297,37 +443,5 @@ main(int argc, char **argv)
     if (!args.get("cache-dir").empty())
         std::printf("%s\n", cache.summary().c_str());
 
-    bool io_ok = true;
-    if (args.has("trace-out")) {
-        obs::TraceRecorder::global().disable();
-        const std::string &path = args.get("trace-out");
-        if (obs::TraceRecorder::global().writeChromeTrace(path)) {
-            std::printf("wrote %s (chrome://tracing)\n", path.c_str());
-        } else {
-            warn("could not write trace to ", path);
-            io_ok = false;
-        }
-    }
-    if (args.has("metrics-out")) {
-        const std::string &path = args.get("metrics-out");
-        if (obs::MetricsRegistry::global().writeTo(path)) {
-            std::printf("wrote %s\n", path.c_str());
-        } else {
-            warn("could not write metrics to ", path);
-            io_ok = false;
-        }
-    }
-
-    if (store.writeFailures() > 0) {
-        warn(store.writeFailures(),
-             " result row(s) could not be written to ", out_path,
-             " (kept in memory only)");
-    }
-
-    // Degraded jobs deliver usable predictions and do NOT fail the
-    // campaign's exit code (docs/ROBUSTNESS.md).
-    const bool all_good =
-        summary.failed == 0 && summary.cancelled == 0 &&
-        summary.timedOut == 0 && io_ok;
-    return all_good ? 0 : 1;
+    return finish(summary.failed, summary.cancelled, summary.timedOut);
 }
